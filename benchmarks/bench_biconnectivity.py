@@ -1,0 +1,86 @@
+"""E9 — Theorem 5.2 (Figure 2): vertex biconnectivity.
+
+Upper bounds: the DFS/lowpoint scheme at Theta(log n) deterministic and
+Theta(log log n) randomized.  Lower bound: the crossing attack on the
+Figure 2 cycle-with-chords gadget — crossing two independent cycle edges
+creates an articulation point at v0, and a truncated scheme below the
+threshold cannot notice.
+"""
+
+import math
+
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.graphs.generators import (
+    cycle_with_chords_configuration,
+    two_blocks_configuration,
+)
+from repro.lowerbounds.crossing_attack import cycle_gadgets, deterministic_crossing_attack
+from repro.lowerbounds.truncation import ModularCycleIndexPLS
+from repro.schemes.biconnectivity import BiconnectivityPLS, BiconnectivityPredicate
+from repro.simulation.runner import format_table
+
+SIZES = (16, 32, 64, 128, 256)
+
+
+def test_biconnectivity_bounds(benchmark, report):
+    rows = []
+    rand_series = []
+    for n in SIZES:
+        configuration = cycle_with_chords_configuration(n)
+        deterministic = BiconnectivityPLS()
+        randomized = FingerprintCompiledRPLS(deterministic)
+        det_bits = deterministic.verification_complexity(configuration)
+        rand_bits = randomized.verification_complexity(configuration)
+        rand_series.append(rand_bits)
+        assert verify_deterministic(deterministic, configuration).accepted
+        rows.append([n, det_bits, rand_bits])
+        assert det_bits <= 14 * math.log2(n) + 40
+
+    bad = two_blocks_configuration(8)
+    randomized = FingerprintCompiledRPLS(BiconnectivityPLS())
+    reject = estimate_acceptance(
+        randomized, bad, trials=15, labels=randomized.prover(bad)
+    )
+    assert reject.probability < 0.3
+
+    report(
+        "E9_biconnectivity",
+        format_table(["n", "det bits (Theta(log n))", "rand bits (Theta(log log n))"], rows)
+        + f"\n\ntwo-blocks rejection rate: {1 - reject.probability:.2f}",
+    )
+    assert rand_series[-1] - rand_series[0] <= 8
+
+    configuration = cycle_with_chords_configuration(64)
+    labels = randomized.prover(configuration)
+    benchmark(lambda: verify_randomized(randomized, configuration, seed=3, labels=labels))
+
+
+def test_figure2_crossing_attack(benchmark, report):
+    """The lower-bound gadget: crossing cycle edges creates an articulation
+    point, and undersized labels cannot tell."""
+    n = 128  # modulus 8 divides n, so the truncated scheme is complete
+    configuration = cycle_with_chords_configuration(n)
+    from repro.schemes.cycle_length import CycleAtLeastPredicate
+
+    scheme = ModularCycleIndexPLS(
+        3, CycleAtLeastPredicate(n // 2), [list(range(n))]
+    )
+    gadgets = cycle_gadgets(configuration, n)
+    gadgets.validate()
+    result = deterministic_crossing_attack(scheme, gadgets)
+    assert result.fooled
+    crossed = result.crossed_configuration
+    assert not BiconnectivityPredicate().holds(crossed)  # v0 is now a cut vertex
+
+    report(
+        "E9_figure2_attack",
+        format_table(
+            ["n", "label bits", "gadgets r", "collision", "crossed accepted",
+             "v2con after crossing"],
+            [[n, 3, gadgets.r, result.collision_found, result.crossed_accepted,
+              BiconnectivityPredicate().holds(crossed)]],
+        ),
+    )
+
+    benchmark(lambda: deterministic_crossing_attack(scheme, gadgets))

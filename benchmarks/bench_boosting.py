@@ -1,0 +1,81 @@
+"""E13 — footnote 1: error boosting.
+
+Repeating the verification t times (certificate-level, AND rule for our
+one-sided schemes) drives the false-accept probability below (1/2)^t at a
+t-fold certificate cost — the O(log 1/delta) trade the paper tunes epsilon
+with.  Measured on the Unif scheme with a deliberately tiny payload (so
+single-round fingerprint collisions are frequent enough to observe).
+"""
+
+from repro.core.bitstrings import BitString
+from repro.core.boosting import BoostedRPLS, repetitions_for_delta
+from repro.core.verifier import estimate_acceptance
+from repro.graphs.generators import two_node_configuration, uniform_configuration
+from repro.schemes.uniformity import DirectUnifRPLS
+from repro.simulation.runner import boosting_sweep, format_table
+
+
+def test_boosting_curve(benchmark, report):
+    # The Lemma C.3 gadget (one edge) with the *worst-case* payload pair:
+    # the false-accept probability equals (#roots of the difference
+    # polynomial)/p, so search the 6-bit payloads for the pair whose
+    # difference polynomial has the most roots in GF(p).
+    from repro.core.fingerprint import Fingerprinter
+
+    lam = 6
+    field = Fingerprinter(lam).field
+    x = BitString.from_int(0, lam)
+    best_y, best_roots = None, -1
+    for candidate in range(1, 2**lam):
+        coefficients = BitString.from_int(candidate, lam).bits()
+        roots = sum(
+            1 for point in range(field.p)
+            if field.poly_eval(coefficients, point) == 0
+        )
+        if roots > best_roots:
+            best_y, best_roots = candidate, roots
+    y = BitString.from_int(best_y, lam)
+    illegal = two_node_configuration(x, y)
+    legal = uniform_configuration(10, lam, equal=True, seed=1)
+
+    rows = boosting_sweep(
+        make_boosted=lambda t: BoostedRPLS(DirectUnifRPLS(), t),
+        illegal=illegal,
+        labels_factory=lambda scheme: scheme.prover(illegal),
+        repetitions_list=[1, 2, 3, 4, 6],
+        trials=250,
+        seed=2,
+    )
+
+    table_rows = [
+        [row.repetitions, row.certificate_bits, f"{row.empirical_error:.4f}",
+         f"{row.theoretical_bound:.4f}"]
+        for row in rows
+    ]
+    report(
+        "E13_boosting",
+        format_table(
+            ["repetitions t", "cert bits", "empirical false-accept", "bound (1/2)^t"],
+            table_rows,
+        )
+        + f"\n\nrepetitions for delta=1e-6: {repetitions_for_delta(1e-6)}",
+    )
+
+    # Error decreases monotonically (up to sampling noise) and respects the bound.
+    errors = [row.empirical_error for row in rows]
+    assert errors[-1] <= errors[0]
+    for row in rows:
+        assert row.empirical_error <= row.theoretical_bound + 0.08
+    # Certificates grow linearly in t.
+    assert rows[-1].certificate_bits >= 4 * rows[0].certificate_bits
+
+    # Completeness is untouched by boosting (one-sided).
+    boosted = BoostedRPLS(DirectUnifRPLS(), 4)
+    estimate = estimate_acceptance(boosted, legal, trials=40, seed=3)
+    assert estimate.probability == 1.0
+
+    benchmark(
+        lambda: estimate_acceptance(
+            BoostedRPLS(DirectUnifRPLS(), 3), illegal, trials=10, seed=4
+        )
+    )

@@ -1,0 +1,73 @@
+"""E6 — Proposition 4.3 / Theorem 4.4 (Figure 1): deterministic crossing.
+
+On an n-node path with r = ~n/3 single-edge gadgets, any scheme with labels
+below log2(r)/2 bits is crossable.  We sweep the label width of a truncated
+acyclicity scheme and record where the attack succeeds; the honest
+Theta(log n) scheme is immune (its labels never collide on a path).
+"""
+
+import math
+
+from repro.graphs.generators import line_configuration
+from repro.lowerbounds.bounds import (
+    deterministic_crossing_threshold,
+    gadget_copies_needed_deterministic,
+)
+from repro.lowerbounds.crossing_attack import (
+    deterministic_crossing_attack,
+    path_gadgets,
+)
+from repro.lowerbounds.truncation import ModularAcyclicityPLS
+from repro.schemes.acyclicity import AcyclicityPLS, AcyclicityPredicate
+from repro.simulation.runner import format_table
+
+N = 600
+
+
+def test_deterministic_crossing(benchmark, report):
+    configuration = line_configuration(N)
+    gadgets = path_gadgets(configuration)
+    gadgets.validate()
+    threshold = deterministic_crossing_threshold(gadgets.r, gadgets.s)
+
+    rows = []
+    for bits in (2, 3, 4, 5, 6, 7, 8, 9):
+        scheme = ModularAcyclicityPLS(bits)
+        result = deterministic_crossing_attack(scheme, gadgets)
+        below = bits < threshold
+        predicate_flipped = (
+            result.collision_found
+            and not AcyclicityPredicate().holds(result.crossed_configuration)
+        )
+        rows.append(
+            [bits, below, result.collision_found,
+             result.crossed_accepted if result.collision_found else "-",
+             result.fooled, predicate_flipped if result.collision_found else "-"]
+        )
+        if below:
+            # Theorem 4.4's guarantee: below the threshold the attack MUST work.
+            assert result.fooled, bits
+        if result.collision_found:
+            assert predicate_flipped  # the crossed path contains a cycle
+
+    report(
+        "E6_crossing_deterministic",
+        format_table(
+            ["label bits", f"below log(r)/2s={threshold:.2f}", "collision",
+             "crossed accepted", "fooled", "predicate flipped"],
+            rows,
+        )
+        + f"\n\nr = {gadgets.r} gadgets, s = {gadgets.s};"
+        f" copies needed to defeat kappa bits: "
+        + ", ".join(
+            f"k={k}: r>{gadget_copies_needed_deterministic(k, 1) - 1}"
+            for k in (2, 3, 4)
+        ),
+    )
+
+    # The honest scheme is immune.
+    honest = deterministic_crossing_attack(AcyclicityPLS(), gadgets)
+    assert not honest.collision_found and honest.original_accepted
+
+    scheme = ModularAcyclicityPLS(3)
+    benchmark(lambda: deterministic_crossing_attack(scheme, gadgets))

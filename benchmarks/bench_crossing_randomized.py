@@ -1,0 +1,100 @@
+"""E7 — Propositions 4.6 / 4.8, Theorem 4.7: randomized crossing.
+
+Two parts:
+
+1. The one-sided *support-collision* attack (Prop 4.8), run against compiled
+   truncated schemes: below the log log r threshold the supports collide and
+   the crossed configuration stays accepted with probability 1.
+2. The exact counting tables behind Prop 4.6 (epsilon-rounded distributions)
+   and Prop 4.8: how many gadget copies r each certificate width kappa
+   requires — the doubly-exponential wall that caps the technique at
+   Omega(log log n).
+"""
+
+from repro.graphs.generators import line_configuration
+from repro.lowerbounds.bounds import (
+    epsilon_for_two_sided,
+    gadget_copies_needed_one_sided,
+    one_sided_crossing_threshold,
+    two_sided_crossing_threshold,
+)
+from repro.lowerbounds.counting import count_rounded_distributions
+from repro.lowerbounds.crossing_attack import one_sided_support_attack, path_gadgets
+from repro.lowerbounds.truncation import modular_acyclicity_rpls
+from repro.schemes.acyclicity import AcyclicityPredicate
+from repro.simulation.runner import format_table
+
+
+def test_one_sided_support_attack(benchmark, report):
+    configuration = line_configuration(260)
+    gadgets = path_gadgets(configuration)
+    rows = []
+    for bits in (2, 3):
+        scheme = modular_acyclicity_rpls(bits)
+        cert_bits = scheme.verification_complexity(configuration)
+        result = one_sided_support_attack(
+            scheme, gadgets, trials=500, acceptance_trials=10
+        )
+        rows.append(
+            [bits, cert_bits, gadgets.r, result.collision_found, result.fooled]
+        )
+        assert result.fooled
+        assert not AcyclicityPredicate().holds(result.crossed_configuration)
+
+    report(
+        "E7_support_attack",
+        format_table(
+            ["base label bits", "cert bits", "r", "support collision", "fooled"],
+            rows,
+        ),
+    )
+
+    scheme = modular_acyclicity_rpls(2)
+    benchmark(
+        lambda: one_sided_support_attack(
+            scheme, gadgets, trials=120, acceptance_trials=3
+        )
+    )
+
+
+def test_counting_tables(benchmark, report):
+    """The doubly-exponential r requirements of Props 4.6 / 4.8."""
+    rows_one_sided = []
+    for kappa in (0, 1, 2, 3, 4):
+        r_needed = gadget_copies_needed_one_sided(kappa, 1)
+        digits = len(str(r_needed))
+        rows_one_sided.append(
+            [kappa, f"~10^{digits - 1}", f"{one_sided_crossing_threshold(r_needed, 1):.2f}"]
+        )
+
+    rows_two_sided = []
+    for log2_r in (8, 32, 128, 1024, 2**14, 2**20):
+        kappa = two_sided_crossing_threshold(2**log2_r, 1)
+        epsilon = epsilon_for_two_sided(max(kappa, 0), 1)
+        domain = 2 ** (2 * max(kappa, 0))
+        rows_two_sided.append(
+            [f"2^{log2_r}", kappa, f"{epsilon:.2e}",
+             f"{count_rounded_distributions(domain, epsilon):.1f}"]
+        )
+
+    report(
+        "E7_counting",
+        "Prop 4.8 (one-sided): gadget copies needed per certificate width\n"
+        + format_table(["kappa", "r needed", "threshold at that r"], rows_one_sided)
+        + "\n\nProp 4.6 (two-sided, edge-independent): exact crossable kappa\n"
+        + format_table(
+            ["r", "max crossable kappa", "epsilon", "log2(#rounded dists)"],
+            rows_two_sided,
+        ),
+    )
+
+    # Shape: kappa grows like (log2 log2 r) / 2 (Theorem 4.7's cap).
+    import math
+
+    kappas = [row[1] for row in rows_two_sided]
+    assert kappas == sorted(kappas)
+    for (log2_r_label, kappa, _eps, _count) in rows_two_sided:
+        log2_r = int(log2_r_label[2:])
+        assert kappa <= math.log2(log2_r) / 2 + 1
+
+    benchmark(lambda: two_sided_crossing_threshold(2**4096, 1))

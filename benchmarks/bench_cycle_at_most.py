@@ -1,0 +1,86 @@
+"""E12 — Theorem 5.6 (Figure 5): cycle-at-most-c on a chain of cycles.
+
+No efficient PLS can exist (co-NP hardness), so the paper proves
+Omega(log n/c) / Omega(log log n/c) lower bounds on the chain-of-cycles
+family: one gadget edge per cycle, r = n/c copies.  Crossing two of them
+splices their cycles into one of length 2c > c.  We run the attack against
+truncated cycle-index schemes, and also report the universal RPLS's
+certificate size — the only general upper bound on offer.
+"""
+
+from repro.core.verifier import verify_deterministic
+from repro.graphs.generators import chain_of_cycles_configuration
+from repro.lowerbounds.bounds import deterministic_crossing_threshold
+from repro.lowerbounds.crossing_attack import (
+    chain_cycle_gadgets,
+    deterministic_crossing_attack,
+)
+from repro.lowerbounds.truncation import ModularCycleIndexPLS
+from repro.schemes.cycle_length import (
+    CycleAtMostPredicate,
+    cycle_at_most_universal_rpls,
+)
+from repro.simulation.runner import format_table
+
+
+def test_figure5_attack(benchmark, report):
+    rows = []
+    for n, c in ((64, 8), (128, 8), (128, 16)):
+        configuration = chain_of_cycles_configuration(n, c)
+        cycle_count = n // c
+        cycles = [list(range(i * c, (i + 1) * c)) for i in range(cycle_count)]
+        scheme = ModularCycleIndexPLS(3, CycleAtMostPredicate(c), cycles)
+        assert verify_deterministic(scheme, configuration).accepted
+        gadgets = chain_cycle_gadgets(configuration, c)
+        gadgets.validate()
+        threshold = deterministic_crossing_threshold(gadgets.r, gadgets.s)
+        result = deterministic_crossing_attack(scheme, gadgets)
+        predicate_after = (
+            CycleAtMostPredicate(c).holds(result.crossed_configuration)
+            if result.collision_found
+            else "-"
+        )
+        rows.append(
+            [n, c, gadgets.r, f"{threshold:.2f}", result.collision_found,
+             result.fooled, predicate_after]
+        )
+        assert result.fooled
+        assert predicate_after is False  # a 2c-cycle exists after crossing
+
+    report(
+        "E12_figure5_attack",
+        format_table(
+            ["n", "c", "r = n/c", "log(r)/2s", "collision", "fooled",
+             "cycle<=c after crossing"],
+            rows,
+        ),
+    )
+
+    configuration = chain_of_cycles_configuration(64, 8)
+    cycles = [list(range(i * 8, (i + 1) * 8)) for i in range(8)]
+    scheme = ModularCycleIndexPLS(3, CycleAtMostPredicate(8), cycles)
+    gadgets = chain_cycle_gadgets(configuration, 8)
+    benchmark(lambda: deterministic_crossing_attack(scheme, gadgets))
+
+
+def test_universal_upper_bound(benchmark, report):
+    """The only general scheme: universal RPLS certificates on the chain."""
+    rows = []
+    for n, c in ((24, 6), (48, 6), (96, 6)):
+        configuration = chain_of_cycles_configuration(n, c)
+        scheme = cycle_at_most_universal_rpls(c)
+        bits = scheme.verification_complexity(configuration)
+        rows.append([n, c, bits])
+
+    report(
+        "E12_universal_upper",
+        format_table(["n", "c", "universal RPLS cert bits (O(log n))"], rows),
+    )
+    assert rows[-1][2] - rows[0][2] <= 8  # logarithmic growth
+
+    configuration = chain_of_cycles_configuration(24, 6)
+    scheme = cycle_at_most_universal_rpls(6)
+    labels = scheme.prover(configuration)
+    from repro.core.verifier import verify_randomized
+
+    benchmark(lambda: verify_randomized(scheme, configuration, seed=1, labels=labels))

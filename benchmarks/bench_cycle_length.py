@@ -1,0 +1,94 @@
+"""E10 — Theorems 5.3 / 5.4: cycle-at-least-c.
+
+Upper bounds: witness-marking labels at O(log n) deterministic and
+O(log log n) randomized, swept over n and c.  Lower bound: the Theorem 5.4
+attack on the Figure 2 spokes gadget — crossing two cycle edges splits the
+c-cycle into two short ones, killing the predicate while an undersized
+scheme keeps accepting.
+"""
+
+import math
+
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    long_cycle_with_spokes_configuration,
+    planted_cycle_configuration,
+)
+from repro.lowerbounds.bounds import deterministic_crossing_threshold
+from repro.lowerbounds.crossing_attack import cycle_gadgets, deterministic_crossing_attack
+from repro.lowerbounds.truncation import ModularCycleIndexPLS
+from repro.schemes.cycle_length import (
+    CycleAtLeastPLS,
+    CycleAtLeastPredicate,
+    cycle_at_least_rpls,
+)
+from repro.simulation.runner import format_table
+
+
+def test_upper_bounds(benchmark, report):
+    rows = []
+    rand_series = []
+    for n, c in ((32, 8), (64, 16), (128, 16), (256, 32), (512, 32)):
+        configuration, witness = planted_cycle_configuration(n, c, seed=n)
+        deterministic = CycleAtLeastPLS(c, witness=witness)
+        randomized = cycle_at_least_rpls(c, witness=witness)
+        det_bits = deterministic.verification_complexity(configuration)
+        rand_bits = randomized.verification_complexity(configuration)
+        rand_series.append(rand_bits)
+        assert verify_deterministic(deterministic, configuration).accepted
+        assert verify_randomized(randomized, configuration, seed=0).accepted
+        rows.append([n, c, det_bits, rand_bits])
+        assert det_bits <= 10 * math.log2(n) + 16
+
+    report(
+        "E10_cycle_at_least_upper",
+        format_table(["n", "c", "det bits O(log n)", "rand bits O(log log n)"], rows),
+    )
+    assert rand_series[-1] - rand_series[0] <= 8
+
+    configuration, witness = planted_cycle_configuration(128, 16, seed=1)
+    randomized = cycle_at_least_rpls(16, witness=witness)
+    labels = randomized.prover(configuration)
+    benchmark(lambda: verify_randomized(randomized, configuration, seed=2, labels=labels))
+
+
+def test_theorem_5_4_attack(benchmark, report):
+    """Crossing the c-cycle of the spokes gadget (Figure 2 restricted)."""
+    rows = []
+    for c, bits in ((64, 2), (64, 3), (128, 3)):
+        n = c + 16
+        configuration, witness = long_cycle_with_spokes_configuration(n, c)
+        scheme = ModularCycleIndexPLS(
+            bits, CycleAtLeastPredicate(c), [witness]
+        )
+        gadgets = cycle_gadgets(configuration, c)
+        gadgets.validate()
+        threshold = deterministic_crossing_threshold(gadgets.r, gadgets.s)
+        result = deterministic_crossing_attack(scheme, gadgets)
+        predicate_after = (
+            CycleAtLeastPredicate(c).holds(result.crossed_configuration)
+            if result.collision_found
+            else "-"
+        )
+        rows.append(
+            [c, bits, f"{threshold:.2f}", gadgets.r,
+             result.collision_found, result.fooled, predicate_after]
+        )
+        if result.collision_found:
+            # Crossing splits the long cycle: cycle-at-least-c now FALSE.
+            assert result.fooled
+            assert predicate_after is False
+
+    report(
+        "E10_theorem54_attack",
+        format_table(
+            ["c", "label bits", "log(r)/2s", "r", "collision", "fooled",
+             "cycle>=c after crossing"],
+            rows,
+        ),
+    )
+
+    configuration, witness = long_cycle_with_spokes_configuration(80, 64)
+    scheme = ModularCycleIndexPLS(3, CycleAtLeastPredicate(64), [witness])
+    gadgets = cycle_gadgets(configuration, 64)
+    benchmark(lambda: deterministic_crossing_attack(scheme, gadgets))

@@ -1,0 +1,61 @@
+"""E2 — Lemma 3.2 / A.1: randomized EQ costs Theta(log lam) with error < 1/3.
+
+Sweep the input length lam, comparing the deterministic lam-bit protocol
+with the fingerprint protocol's measured communication and empirical error
+on Hamming-distance-1 inputs (the hardest case).
+"""
+
+import math
+import random
+
+from repro.substrates.comm import (
+    DeterministicEqualityProtocol,
+    RandomizedEqualityProtocol,
+    estimate_error,
+    flip_one_bit,
+    random_bitstring,
+)
+from repro.simulation.runner import format_table
+
+LAMBDAS = (16, 64, 256, 1024, 4096)
+
+
+def test_eq_protocol(benchmark, report):
+    rows = []
+    for lam in LAMBDAS:
+        rng = random.Random(lam)
+        x = random_bitstring(lam, rng)
+        y = flip_one_bit(x, lam // 2)
+        protocol = RandomizedEqualityProtocol(lam)
+        error = estimate_error(protocol, x, y, trials=300, seed=lam)
+        completeness_error = estimate_error(protocol, x, x, trials=100, seed=lam)
+        rows.append(
+            [
+                lam,
+                lam,  # deterministic cost
+                protocol.communication_bits,
+                f"{error:.3f}",
+                f"{completeness_error:.3f}",
+            ]
+        )
+        assert completeness_error == 0.0  # one-sided
+        assert error < 1 / 3 + 0.06
+        assert protocol.communication_bits <= 2 * math.ceil(math.log2(6 * lam))
+
+    report(
+        "E2_eq_protocol",
+        format_table(
+            ["lam", "det bits", "rand bits", "false-accept rate", "false-reject rate"],
+            rows,
+        ),
+    )
+
+    # Shape: lam grew 256x, communication grew by a constant number of bits.
+    costs = [row[2] for row in rows]
+    assert costs[-1] - costs[0] <= 20
+
+    lam = 1024
+    rng = random.Random(0)
+    x = random_bitstring(lam, rng)
+    protocol = RandomizedEqualityProtocol(lam)
+    benchmark(lambda: protocol.run(x, x, random.Random(1)))

@@ -1,0 +1,112 @@
+"""E15 — the verification-complexity landscape across the scheme zoo.
+
+Not a single theorem but the picture Section 5 paints: predicates occupy
+different floors of the complexity hierarchy, and Theorem 3.1 compresses
+exactly the ones above the logarithmic floor.  For every scheme in the
+library (paper schemes + extensions) we measure deterministic label bits and
+compiled certificate bits across n, and assert the stratification:
+
+    0  (eulerian)  <  1  (mis, bipartite)  <  Theta(log n)  (tree-like)
+                                           <  Theta(log^2 n)  (mst)
+
+with compiled certificates collapsing every stratum to O(log kappa).
+"""
+
+import math
+
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    mst_configuration,
+    spanning_tree_configuration,
+)
+from repro.graphs.workloads import (
+    distance_configuration,
+    eulerian_configuration,
+    hamiltonian_configuration,
+    leader_configuration,
+    mis_configuration,
+    random_bipartite_configuration,
+)
+from repro.schemes.bipartiteness import BipartitenessPLS
+from repro.schemes.distance import DistancePLS
+from repro.schemes.eulerian import EulerianPLS
+from repro.schemes.hamiltonicity import HamiltonicityPLS
+from repro.schemes.leader import LeaderAgreementPLS
+from repro.schemes.mis import MISPLS
+from repro.schemes.mst import MSTPLS
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.simulation.runner import format_table
+
+SIZES = (32, 128, 512)
+
+
+def _hamiltonian(n):
+    config, witness = hamiltonian_configuration(n, extra_edges=n // 4, seed=n)
+    return config, HamiltonicityPLS(witness=witness)
+
+
+ZOO = [
+    ("eulerian", lambda n: (eulerian_configuration(n, seed=n), EulerianPLS())),
+    ("mis", lambda n: (mis_configuration(n, n // 2, seed=n), MISPLS())),
+    (
+        "bipartite",
+        lambda n: (
+            random_bipartite_configuration(n // 2, n // 2, extra_edges=n // 4, seed=n),
+            BipartitenessPLS(),
+        ),
+    ),
+    (
+        "spanning-tree",
+        lambda n: (spanning_tree_configuration(n, n // 3, seed=n), SpanningTreePLS()),
+    ),
+    ("sssp-distance", lambda n: (distance_configuration(n, n // 3, seed=n), DistancePLS())),
+    ("leader", lambda n: (leader_configuration(n, n // 3, seed=n), LeaderAgreementPLS())),
+    ("hamiltonian", _hamiltonian),
+    ("mst", lambda n: (mst_configuration(n, seed=n), MSTPLS())),
+]
+
+
+def test_complexity_landscape(benchmark, report):
+    rows = []
+    bits_at_largest = {}
+    for name, factory in ZOO:
+        for n in SIZES:
+            configuration, scheme = factory(n)
+            assert verify_deterministic(scheme, configuration).accepted, (name, n)
+            kappa = scheme.verification_complexity(configuration)
+            compiled = FingerprintCompiledRPLS(scheme)
+            cert = compiled.verification_complexity(configuration)
+            assert verify_randomized(compiled, configuration, seed=0).accepted, (name, n)
+            rows.append([name, n, kappa, cert])
+            if n == SIZES[-1]:
+                bits_at_largest[name] = (kappa, cert)
+
+    report(
+        "E15_extension_landscape",
+        format_table(["scheme", "n", "det label bits", "rand cert bits"], rows),
+    )
+
+    # The stratification at the largest size.
+    n = SIZES[-1]
+    log_n = math.log2(n)
+    assert bits_at_largest["eulerian"][0] == 0
+    assert bits_at_largest["mis"][0] == 1
+    assert bits_at_largest["bipartite"][0] == 1
+    for tree_like in ("spanning-tree", "sssp-distance", "leader", "hamiltonian"):
+        kappa, cert = bits_at_largest[tree_like]
+        assert 2 <= kappa <= 8 * log_n + 16, tree_like
+        # Compiled certificates: O(log kappa) — far below kappa once kappa
+        # clears the compiler's constant framing overhead.
+        assert cert <= 4 * math.log2(max(kappa, 2)) + 16, (tree_like, kappa, cert)
+    mst_kappa, mst_cert = bits_at_largest["mst"]
+    tree_kappa = bits_at_largest["spanning-tree"][0]
+    assert mst_kappa > 4 * tree_kappa  # the log^2 n stratum is visibly higher
+    assert mst_cert <= 4 * math.log2(mst_kappa) + 16
+
+    configuration, scheme = ZOO[4][1](128)  # sssp-distance at n=128
+    compiled = FingerprintCompiledRPLS(scheme)
+    labels = compiled.prover(configuration)
+    benchmark(
+        lambda: verify_randomized(compiled, configuration, seed=3, labels=labels)
+    )

@@ -1,0 +1,55 @@
+"""E11 — Theorem 5.5: iterated crossing.
+
+The stronger lower-bound family: distinguish graphs containing an n-cycle
+from graphs whose cycles all have fewer than c nodes.  The proof applies
+crossing *iteratively*, halving the long cycle until every piece is short;
+the verifier — fed the same labels throughout — never notices.  This bench
+runs the whole cascade and records each round.
+"""
+
+from repro.core.verifier import verify_deterministic
+from repro.graphs.generators import cycle_with_chords_configuration
+from repro.lowerbounds.crossing_attack import iterated_crossing_attack
+from repro.lowerbounds.truncation import ModularCycleIndexPLS
+from repro.schemes.cycle_length import CycleAtLeastPredicate
+from repro.simulation.runner import format_table
+
+
+def test_iterated_crossing(benchmark, report):
+    rows = []
+    for n, c, bits in ((96, 24, 3), (160, 40, 3), (256, 32, 4)):
+        configuration = cycle_with_chords_configuration(n)
+        scheme = ModularCycleIndexPLS(
+            bits, CycleAtLeastPredicate(c), [list(range(n))]
+        )
+        assert verify_deterministic(scheme, configuration).accepted
+        result = iterated_crossing_attack(
+            scheme, configuration, list(range(n)), target_length=c
+        )
+        predicate_after = CycleAtLeastPredicate(c).holds(result.final_configuration)
+        rows.append(
+            [n, c, bits, result.iterations,
+             result.final_cycle_lengths[0] if result.final_cycle_lengths else 0,
+             result.all_rounds_accepted, predicate_after]
+        )
+        assert result.iterations >= 2
+        assert result.all_rounds_accepted
+        assert all(length < c - 1 for length in result.final_cycle_lengths)
+        assert not predicate_after
+
+    report(
+        "E11_iterated_crossing",
+        format_table(
+            ["n", "c", "label bits", "crossings applied", "longest final cycle",
+             "accepted every round", "cycle>=c at the end"],
+            rows,
+        ),
+    )
+
+    configuration = cycle_with_chords_configuration(96)
+    scheme = ModularCycleIndexPLS(3, CycleAtLeastPredicate(24), [list(range(96))])
+    benchmark(
+        lambda: iterated_crossing_attack(
+            scheme, configuration, list(range(96)), target_length=24
+        )
+    )

@@ -1,0 +1,116 @@
+"""E18 — radius-t local checking vs the label model ([21] connection).
+
+Göös–Suomela's locally checkable proofs (the paper's reference [21]) let
+nodes see their radius-t neighborhood.  Predicates whose violations have
+radius-t witnesses then need **zero label bits** — but the nodes must
+*collect* their balls, which costs communication the label model does not
+pay.  This experiment measures both sides of that trade on the predicates
+the library implements in both models:
+
+- label model: verification complexity (label bits) and total bits shipped
+  in the one-round exchange;
+- ball model: label bits (always 0), the radius required, and the total
+  bits needed to gather every node's ball (states + topology).
+
+The asserted shape: the ball model wins on label size (0 vs >= 1) and loses
+on total traffic, increasingly so as the radius grows — locality is bought
+with bandwidth.
+"""
+
+from repro.core.local import (
+    GirthAtLeastChecker,
+    MISChecker,
+    ProperColoringChecker,
+    extract_ball,
+    verify_locally,
+)
+from repro.core.verifier import verify_deterministic
+from repro.graphs.generators import colored_configuration
+from repro.graphs.workloads import high_girth_configuration, mis_configuration
+from repro.schemes.coloring import ColoringPLS
+from repro.schemes.mis import MISPLS
+from repro.simulation.runner import format_table
+
+
+def ball_traffic_bits(configuration, radius: int) -> int:
+    """Bits to gather every node's radius-t ball: visible states + edges."""
+    total = 0
+    id_bits = configuration.id_bits
+    for node in configuration.graph.nodes:
+        ball = extract_ball(configuration, node, radius)
+        total += sum(
+            ball.state_of(member).encoded_bits() for member in ball.graph.nodes
+        )
+        total += ball.graph.edge_count * 2 * id_bits
+    return total
+
+
+def test_label_model_vs_ball_model(benchmark, report):
+    n = 64
+    cases = [
+        (
+            "proper-coloring",
+            colored_configuration(n, 6, proper=True, seed=1),
+            ColoringPLS(),
+            ProperColoringChecker(),
+        ),
+        (
+            "mis",
+            mis_configuration(n, n // 2, seed=2),
+            MISPLS(),
+            MISChecker(),
+        ),
+        (
+            "girth>=6",
+            high_girth_configuration(n, 6, extra_edges=8, seed=3),
+            None,  # no label-model scheme implemented for girth
+            GirthAtLeastChecker(6),
+        ),
+    ]
+
+    rows = []
+    for name, configuration, label_scheme, checker in cases:
+        if label_scheme is not None:
+            run = verify_deterministic(label_scheme, configuration)
+            assert run.accepted
+            label_bits = run.max_label_bits
+            label_traffic = run.round_stats.total_bits
+        else:
+            label_bits = None
+            label_traffic = None
+        accepted, rejecting = verify_locally(configuration, checker)
+        assert accepted, (name, rejecting)
+        ball_traffic = ball_traffic_bits(configuration, checker.radius)
+        rows.append(
+            [
+                name,
+                label_bits if label_bits is not None else "-",
+                label_traffic if label_traffic is not None else "-",
+                checker.radius,
+                0,
+                ball_traffic,
+            ]
+        )
+        if label_traffic is not None:
+            # Locality is bought with bandwidth: gathering balls costs more
+            # total bits than exchanging the (tiny) labels.
+            assert ball_traffic > label_traffic, (name, ball_traffic, label_traffic)
+
+    report(
+        "E18_local_checking",
+        format_table(
+            [
+                "predicate",
+                "label bits (t=1)",
+                "label traffic",
+                "ball radius t",
+                "ball label bits",
+                "ball traffic",
+            ],
+            rows,
+        ),
+    )
+
+    configuration = mis_configuration(n, n // 2, seed=2)
+    checker = MISChecker()
+    benchmark(lambda: verify_locally(configuration, checker))

@@ -1,0 +1,100 @@
+"""E16 — two-sided schemes under channel noise, and footnote-1 majority.
+
+The paper's two-sided error model (Section 2.2) allows rejecting legal
+configurations with probability up to 1/3; all the library's native schemes
+are one-sided, so this experiment manufactures two-sided behaviour with a
+binary symmetric channel (:mod:`repro.core.noise`) and measures:
+
+1. acceptance on a legal configuration vs per-bit flip rate ``p`` — the
+   ``(1-p)^B`` completeness decay;
+2. the calibrated ``p`` that lands exactly in the paper's
+   ``p_accept >= 2/3`` regime;
+3. run-level majority voting (footnote 1): error vs repetition count ``t``
+   on both legal and illegal instances — exponential decay on both sides.
+"""
+
+from repro.core.boosting import majority_decision
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.noise import NoisyChannelRPLS, flip_probability_for_completeness
+from repro.core.verifier import estimate_acceptance
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+)
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.simulation.runner import format_table
+
+TRIALS = 80
+
+
+def test_noise_completeness_decay(benchmark, report):
+    config = spanning_tree_configuration(24, 8, seed=1)
+    base = FingerprintCompiledRPLS(SpanningTreePLS())
+    bits = NoisyChannelRPLS(base, 0.0).round_bits(config)
+
+    rows = []
+    rates = []
+    for p in (0.0, 0.0005, 0.002, 0.01, 0.05):
+        noisy = NoisyChannelRPLS(base, p)
+        rate = estimate_acceptance(noisy, config, trials=TRIALS).probability
+        floor = (1.0 - p) ** bits
+        rows.append([p, f"{rate:.3f}", f"{floor:.3f}"])
+        rates.append(rate)
+        assert rate >= floor - 0.15, (p, rate, floor)  # sampling slack
+
+    report(
+        "E16_noise_decay",
+        f"round bits B = {bits}\n"
+        + format_table(["flip prob p", "measured accept", "(1-p)^B floor"], rows),
+    )
+    # Monotone decay from certainty to near-zero.
+    assert rates[0] == 1.0
+    assert rates[-1] < rates[0]
+    assert rates[-1] < 0.5
+
+    noisy = NoisyChannelRPLS(base, 0.002)
+    labels = noisy.prover(config)
+    benchmark(lambda: estimate_acceptance(noisy, config, trials=5, labels=labels))
+
+
+def test_noise_calibration_and_majority(benchmark, report):
+    config = spanning_tree_configuration(24, 8, seed=2)
+    corrupted = corrupt_spanning_tree(config, seed=3)
+    base = FingerprintCompiledRPLS(SpanningTreePLS())
+    bits = NoisyChannelRPLS(base, 0.0).round_bits(config)
+    p = flip_probability_for_completeness(0.75, bits)
+    noisy = NoisyChannelRPLS(base, p)
+
+    legal_rate = estimate_acceptance(noisy, config, trials=TRIALS).probability
+    assert legal_rate >= 0.6  # calibrated to 0.75, minus sampling slack
+
+    rows = []
+    stale = base.prover(config)
+    for t in (1, 3, 7, 15):
+        legal_votes = sum(
+            majority_decision(noisy, config, repetitions=t, seed=seed)
+            for seed in range(20)
+        )
+        illegal_votes = sum(
+            majority_decision(
+                noisy, corrupted, repetitions=t, seed=seed, labels=stale
+            )
+            for seed in range(20)
+        )
+        rows.append([t, f"{legal_votes}/20", f"{illegal_votes}/20"])
+
+    report(
+        "E16_majority_boosting",
+        f"calibrated p = {p:.6f} (B = {bits} bits, target 0.75)\n"
+        + format_table(
+            ["repetitions t", "legal accepted", "illegal accepted"], rows
+        ),
+    )
+    # Footnote 1's shape: more repetitions push legal votes to 20/20 and
+    # illegal votes to 0/20.
+    final_legal = int(rows[-1][1].split("/")[0])
+    final_illegal = int(rows[-1][2].split("/")[0])
+    assert final_legal >= 18
+    assert final_illegal <= 2
+
+    benchmark(lambda: majority_decision(noisy, config, repetitions=7, seed=0))

@@ -1,0 +1,251 @@
+"""E19 — the self-stabilization loop: detection latency vs certificate bits.
+
+The paper's motivating application ([1], [9], [30]): periodic randomized
+verification as the local-detection component of a self-stabilizing system.
+Two fault models:
+
+1. **Output faults** (state corruption).  The compiled verifier's base check
+   catches these deterministically — latency 0 at every boosting level;
+   the table documents that detection is certain and false-alarm-free.
+2. **Proof faults** (label-memory corruption, semantically invisible: a
+   dist bit of a non-parent stored replica flips).  Only the randomized
+   equality test sees these.  Under the shared-coins scheme the per-round detection
+   probability is exactly ``1 - 2^-t``, so latency is geometric with mean
+   ``2^-t / (1 - 2^-t)`` — the cleanest certificate-bits-vs-latency trade
+   in the library, and the measured curve tracks it.
+"""
+
+from repro.core.bitstrings import BitString, bits_for_max
+from repro.core.shared import SharedCoinsCompiledRPLS
+
+from repro.core.boosting import BoostedRPLS
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.configuration import Configuration
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+)
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.simulation.runner import format_table
+from repro.simulation.self_stabilization import (
+    periodic_faults,
+    run_self_stabilization,
+    seeded_injector,
+)
+from repro.substrates.bfs import bfs_layers
+
+ROUNDS = 240
+PERIOD = 12
+N = 20
+
+
+def _scheme(repetitions):
+    base = FingerprintCompiledRPLS(SpanningTreePLS())
+    if repetitions == 1:
+        return base
+    return BoostedRPLS(base, repetitions=repetitions)
+
+
+def _recovery_for(scheme):
+    def recovery(corrupted):
+        graph = corrupted.graph
+        tree = bfs_layers(graph, graph.nodes[0])
+        states = {
+            node: corrupted.state(node).with_fields(parent_port=tree.parent_port[node])
+            for node in graph.nodes
+        }
+        repaired = Configuration(graph, states)
+        return repaired, scheme.prover(repaired)
+
+    return recovery
+
+
+def test_detection_latency_vs_boosting(benchmark, report):
+    configuration = spanning_tree_configuration(N, 8, seed=1)
+    injector = seeded_injector(corrupt_spanning_tree)
+    schedule = periodic_faults(injector, period=PERIOD, total_rounds=ROUNDS)
+
+    rows = []
+    latencies = {}
+    for t in (1, 2, 4, 8):
+        scheme = _scheme(t)
+        trace = run_self_stabilization(
+            scheme,
+            configuration,
+            _recovery_for(scheme),
+            fault_rounds=schedule,
+            total_rounds=ROUNDS,
+            seed=3,
+        )
+        bits = scheme.verification_complexity(configuration)
+        mean_latency = trace.mean_detection_latency
+        rows.append(
+            [
+                t,
+                bits,
+                len(trace.detection_latencies),
+                f"{mean_latency:.2f}" if mean_latency is not None else "-",
+                f"{trace.availability:.3f}",
+                trace.false_alarms,
+            ]
+        )
+        latencies[t] = mean_latency
+        # One-sided detectors never false-alarm; every fault is eventually
+        # caught within the period.
+        assert trace.false_alarms == 0
+        assert trace.undetected_faults == 0
+        assert len(trace.detection_latencies) == len(schedule)
+
+    report(
+        "E19_self_stabilization",
+        f"n={N}, {ROUNDS} rounds, one fault every {PERIOD} rounds\n"
+        + format_table(
+            [
+                "boost t",
+                "cert bits",
+                "faults detected",
+                "mean latency (rounds)",
+                "availability",
+                "false alarms",
+            ],
+            rows,
+        ),
+    )
+
+    # The trade's shape: heavier certificates detect (weakly) faster.
+    assert latencies[8] <= latencies[1] + 0.5
+
+    scheme = _scheme(4)
+    recovery = _recovery_for(scheme)
+    benchmark(
+        lambda: run_self_stabilization(
+            scheme,
+            configuration,
+            recovery,
+            fault_rounds={3: injector},
+            total_rounds=10,
+            seed=5,
+        )
+    )
+
+
+def _find_invisible_bit(
+    label: BitString, kappa: int, degree: int, parent_port
+) -> int:
+    """Bit index whose flip is invisible to the spanning-tree base verifier.
+
+    Compiled label layout: varuint(kappa) || (degree+1) replicas of width
+    ``bits_for_max(kappa) + kappa``.  The last payload bit of a *non-parent*
+    neighbor's stored dist is never read by the base verifier (it only uses
+    neighbor root ids and the parent's dist), so flipping it changes nothing
+    semantically — only the randomized equality test can see the corruption.
+    """
+    from repro.core.bitstrings import BitReader
+
+    len_width = bits_for_max(kappa)
+    width = len_width + kappa
+    header = label.length - (degree + 1) * width
+    for slot in range(1, degree + 1):
+        if parent_port is not None and slot - 1 == parent_port:
+            continue
+        start = header + slot * width
+        reader = BitReader(label.slice(start, width))
+        true_length = reader.read_uint(len_width)
+        if true_length < 8:
+            continue  # too short to safely carry a dist payload bit
+        # Last bit of the embedded base label: the low payload bit of the
+        # dist varuint's final 4-bit group — structure-preserving to flip.
+        return start + len_width + true_length - 1
+    raise ValueError("no non-parent replica in this label")
+
+
+def test_proof_fault_latency_tracks_two_to_minus_t(benchmark, report):
+    configuration = spanning_tree_configuration(N, 8, seed=2)
+    base = SpanningTreePLS()
+    kappa = base.verification_complexity(configuration)
+
+    rows = []
+    measured = {}
+    for t in (1, 2, 4):
+        scheme = SharedCoinsCompiledRPLS(base, repetitions=t)
+        clean_labels = scheme.prover(configuration)
+
+        # Pick a victim with a non-parent stored replica, once.
+        victim = None
+        position = None
+        for node in configuration.graph.nodes:
+            if configuration.graph.degree(node) < 2:
+                continue
+            try:
+                position = _find_invisible_bit(
+                    clean_labels[node],
+                    kappa,
+                    configuration.graph.degree(node),
+                    configuration.state(node).get("parent_port"),
+                )
+                victim = node
+                break
+            except ValueError:
+                continue
+        assert victim is not None
+
+        def flip_padding(labels, config, round_index):
+            label = labels[victim]
+            mutated = dict(labels)
+            mutated[victim] = BitString(
+                label.value ^ (1 << (label.length - 1 - position)), label.length
+            )
+            return mutated
+
+        schedule = {r: flip_padding for r in range(0, ROUNDS, PERIOD)}
+        trace = run_self_stabilization(
+            scheme,
+            configuration,
+            _recovery_for(scheme),
+            fault_rounds={},
+            label_fault_rounds=schedule,
+            total_rounds=ROUNDS,
+            seed=7,
+            randomness="shared",
+        )
+        expected = (0.5**t) / (1 - 0.5**t)
+        mean_latency = trace.mean_detection_latency
+        assert mean_latency is not None
+        measured[t] = mean_latency
+        rows.append(
+            [
+                t,
+                t,  # shared-coin certificates are exactly t bits
+                len(trace.detection_latencies),
+                f"{mean_latency:.3f}",
+                f"{expected:.3f}",
+            ]
+        )
+        assert trace.false_alarms == 0
+
+    report(
+        "E19_proof_faults",
+        f"semantically invisible label corruption, shared-coin detector\n"
+        + format_table(
+            [
+                "t",
+                "cert bits",
+                "faults detected",
+                "measured mean latency",
+                "2^-t/(1-2^-t)",
+            ],
+            rows,
+        ),
+    )
+    # The geometric shape: latency drops sharply with t.
+    assert measured[4] < measured[1]
+
+    scheme = SharedCoinsCompiledRPLS(base, repetitions=2)
+    labels = scheme.prover(configuration)
+    from repro.core.verifier import verify_randomized
+
+    benchmark(
+        lambda: verify_randomized(
+            scheme, configuration, seed=9, labels=labels, randomness="shared"
+        )
+    )

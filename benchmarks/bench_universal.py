@@ -1,0 +1,76 @@
+"""E3 + E4 — Lemma 3.3 / Corollary 3.4: the universal schemes.
+
+E3: universal PLS label size follows O(m log n + n k).
+E4: universal RPLS certificate size follows O(log n + log k).
+Both swept over n (graph size) and k (state payload size).
+"""
+
+import math
+
+from repro.core.predicate import FunctionPredicate
+from repro.core.universal import UniversalPLS, UniversalRPLS, universal_label_bits_formula
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import random_connected_configuration, uniform_configuration
+from repro.simulation.runner import format_table
+
+EVEN = FunctionPredicate("even-order", lambda config: config.node_count % 2 == 0)
+
+
+def test_universal_label_size_vs_n(benchmark, report):
+    """E3: sweep n with small constant states."""
+    rows = []
+    for n in (8, 16, 32, 64, 128):
+        config = random_connected_configuration(n, extra_edges=n, seed=n)
+        pls = UniversalPLS(EVEN)
+        measured = pls.verification_complexity(config)
+        formula = universal_label_bits_formula(
+            config.node_count, config.edge_count, config.state_bits
+        )
+        rows.append([n, config.edge_count, config.state_bits, measured, formula])
+        assert measured <= 60 * formula
+        assert verify_deterministic(pls, config).accepted
+
+    report(
+        "E3_universal_pls",
+        format_table(["n", "m", "k", "measured label bits", "paper formula bits"], rows),
+    )
+
+    # Superlinear growth in n (the label ships the configuration).
+    assert rows[-1][3] > 8 * rows[0][3]
+
+    config = random_connected_configuration(32, extra_edges=32, seed=1)
+    pls = UniversalPLS(EVEN)
+    labels = pls.prover(config)
+    benchmark(lambda: verify_deterministic(pls, config, labels=labels))
+
+
+def test_universal_certificates_vs_n_and_k(benchmark, report):
+    """E4: certificates grow like log n + log k."""
+    rows = []
+    for n in (8, 16, 32, 64):
+        for k_bits in (8, 256):
+            config = uniform_configuration(n, k_bits, equal=True, seed=n + k_bits)
+            rpls = UniversalRPLS(EVEN)
+            cert = rpls.verification_complexity(config)
+            label = UniversalPLS(EVEN).verification_complexity(config)
+            bound = 2 * math.ceil(math.log2(6 * (label + 16)))
+            rows.append([n, k_bits, label, cert, bound])
+            assert cert <= bound + 8
+            assert verify_randomized(rpls, config, seed=0).accepted
+
+    report(
+        "E4_universal_rpls",
+        format_table(
+            ["n", "k bits", "universal label bits", "cert bits", "2*log2(6*label)"],
+            rows,
+        ),
+    )
+
+    # n grew 8x and k grew 32x; certificates moved by a few bits only.
+    certs = [row[3] for row in rows]
+    assert max(certs) - min(certs) <= 16
+
+    config = uniform_configuration(32, 64, equal=True, seed=5)
+    rpls = UniversalRPLS(EVEN)
+    labels = rpls.prover(config)
+    benchmark(lambda: verify_randomized(rpls, config, seed=3, labels=labels))

@@ -1,0 +1,30 @@
+"""Shared infrastructure for the benchmark harness.
+
+Each ``bench_*`` file regenerates one experiment from DESIGN.md's index
+(E1-E19): it measures the quantities the corresponding theorem/figure is
+about, prints the table, persists it under ``benchmarks/results/``, asserts
+the qualitative *shape* the paper proves, and times one representative
+operation through pytest-benchmark.
+
+Run with:  pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture
+def report():
+    """Print a table and persist it under benchmarks/results/<name>.txt."""
+
+    def _report(name: str, text: str) -> None:
+        RESULTS_DIR.mkdir(exist_ok=True)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+        print(f"\n=== {name} ===\n{text}")
+
+    return _report

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP 660
+editable wheels cannot be built; this shim lets ``pip install -e .`` fall back
+to the classic ``setup.py develop`` path.  All metadata lives in
+``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

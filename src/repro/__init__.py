@@ -1,0 +1,46 @@
+"""repro — a reproduction of *Randomized Proof-Labeling Schemes* (PODC 2015).
+
+Baruch, Fraigniaud and Patt-Shamir introduce randomized proof-labeling
+schemes (RPLS): distributed certification where nodes hold private labels and
+exchange only short randomized certificates.  This package implements the
+full system the paper describes:
+
+- the port-numbered network model and configurations (:mod:`repro.graphs`,
+  :mod:`repro.core.configuration`);
+- deterministic and randomized proof-labeling schemes with exact bit-level
+  verification-complexity accounting (:mod:`repro.core`);
+- the Theorem 3.1 compiler (PLS -> RPLS with ``O(log kappa)`` certificates),
+  the universal schemes of Lemma 3.3 / Corollary 3.4, and error boosting;
+- the Section 4 crossing lower-bound machinery, run as constructive attacks
+  (:mod:`repro.lowerbounds`);
+- concrete schemes for the Section 5 predicates — MST, biconnectivity,
+  cycle length, flow, symmetry, uniformity (:mod:`repro.schemes`);
+- the classical substrates these need, from scratch
+  (:mod:`repro.substrates`), and a Monte-Carlo simulation harness
+  (:mod:`repro.simulation`).
+
+Quickstart::
+
+    from repro.core import verify_deterministic, verify_randomized
+    from repro.core.compiler import FingerprintCompiledRPLS
+    from repro.graphs.generators import spanning_tree_configuration
+    from repro.schemes.spanning_tree import SpanningTreePLS
+
+    config = spanning_tree_configuration(node_count=64, seed=1)
+    pls = SpanningTreePLS()
+    assert verify_deterministic(pls, config).accepted
+
+    rpls = FingerprintCompiledRPLS(pls)
+    assert verify_randomized(rpls, config, seed=0).accepted
+"""
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "core",
+    "graphs",
+    "lowerbounds",
+    "schemes",
+    "simulation",
+    "substrates",
+]

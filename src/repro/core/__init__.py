@@ -1,0 +1,62 @@
+"""Core of the reproduction: the proof-labeling-scheme framework itself.
+
+The paper's contribution is a *model* plus generic transformations on it, so
+the core package carries:
+
+- exact bit accounting (:mod:`repro.core.bitstrings`,
+  :mod:`repro.core.encoding`) — verification complexity is a bit count
+  (Definition 2.1), so labels and certificates are real bit strings, not
+  Python objects whose size we hand-wave;
+- configurations (:mod:`repro.core.configuration`) — a port-numbered graph
+  plus a state per node (Section 2.1);
+- the scheme abstractions (:mod:`repro.core.scheme`) and one-round execution
+  engines (:mod:`repro.core.verifier`) for deterministic PLS and randomized
+  RPLS (Section 2.2);
+- the ``GF(p)`` polynomial fingerprints of Lemma A.1
+  (:mod:`repro.core.fingerprint`);
+- the Theorem 3.1 compiler turning any PLS into an RPLS with exponentially
+  smaller certificates (:mod:`repro.core.compiler`);
+- the universal schemes of Lemma 3.3 / Corollary 3.4
+  (:mod:`repro.core.universal`);
+- error boosting per the paper's footnote 1 (:mod:`repro.core.boosting`);
+- genuinely two-sided schemes via binary-symmetric channel noise
+  (:mod:`repro.core.noise`), exercising the Section 2.2 two-sided error
+  model and footnote 1's majority amplification.
+"""
+
+from repro.core.bitstrings import BitString, BitReader, BitWriter
+from repro.core.configuration import Configuration, NodeState
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, RandomizedScheme
+from repro.core.verifier import (
+    estimate_acceptance,
+    verify_deterministic,
+    verify_randomized,
+)
+from repro.core.fingerprint import Fingerprinter
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.universal import UniversalPLS, UniversalRPLS
+from repro.core.boosting import BoostedRPLS
+from repro.core.noise import NoisyChannelRPLS
+from repro.core.shared import SharedCoinsCompiledRPLS
+
+__all__ = [
+    "BitReader",
+    "BitString",
+    "BitWriter",
+    "BoostedRPLS",
+    "NoisyChannelRPLS",
+    "Configuration",
+    "FingerprintCompiledRPLS",
+    "Fingerprinter",
+    "NodeState",
+    "Predicate",
+    "ProofLabelingScheme",
+    "RandomizedScheme",
+    "SharedCoinsCompiledRPLS",
+    "UniversalPLS",
+    "UniversalRPLS",
+    "estimate_acceptance",
+    "verify_deterministic",
+    "verify_randomized",
+]

@@ -1,0 +1,141 @@
+"""A deterministic, self-delimiting binary codec for structured values.
+
+Node *states* (Section 2.1) carry structured data — identities, per-port edge
+weights, algorithm outputs such as parent pointers or tree markings.  Two
+places need a faithful bit encoding of whole states:
+
+- the universal scheme of Lemma 3.3 ships a representation of the entire
+  configuration, so its label size depends on how states are encoded;
+- the definition of verification complexity is parameterized by ``k``, the
+  number of bits needed to encode a state, so ``Configuration.state_bits``
+  must be a real number, not a guess.
+
+The codec is type-tagged and self-delimiting, supporting exactly the value
+shapes states use: ``None``, ``bool``, non-negative ``int`` (varuint),
+negative ``int``, ``str`` (ASCII), :class:`BitString`, and
+tuples/lists/dicts of the above.  Encoding is canonical (dict keys sorted),
+so equal values produce identical bit strings — which is what lets fingerprint
+equality stand in for value equality.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+
+_TAG_NONE = 0
+_TAG_FALSE = 1
+_TAG_TRUE = 2
+_TAG_UINT = 3
+_TAG_NEGINT = 4
+_TAG_STR = 5
+_TAG_BITS = 6
+_TAG_TUPLE = 7
+_TAG_DICT = 8
+
+_TAG_WIDTH = 4
+
+
+def _write_value(writer: BitWriter, value: Any) -> None:
+    if value is None:
+        writer.write_uint(_TAG_NONE, _TAG_WIDTH)
+    elif value is False:
+        writer.write_uint(_TAG_FALSE, _TAG_WIDTH)
+    elif value is True:
+        writer.write_uint(_TAG_TRUE, _TAG_WIDTH)
+    elif isinstance(value, int):
+        if value >= 0:
+            writer.write_uint(_TAG_UINT, _TAG_WIDTH)
+            writer.write_varuint(value)
+        else:
+            writer.write_uint(_TAG_NEGINT, _TAG_WIDTH)
+            writer.write_varuint(-value)
+    elif isinstance(value, str):
+        writer.write_uint(_TAG_STR, _TAG_WIDTH)
+        data = value.encode("utf-8")
+        writer.write_varuint(len(data))
+        for byte in data:
+            writer.write_uint(byte, 8)
+    elif isinstance(value, BitString):
+        writer.write_uint(_TAG_BITS, _TAG_WIDTH)
+        writer.write_varuint(value.length)
+        writer.write_bitstring(value)
+    elif isinstance(value, (tuple, list)):
+        writer.write_uint(_TAG_TUPLE, _TAG_WIDTH)
+        writer.write_varuint(len(value))
+        for item in value:
+            _write_value(writer, item)
+    elif isinstance(value, dict):
+        writer.write_uint(_TAG_DICT, _TAG_WIDTH)
+        keys = sorted(value)
+        writer.write_varuint(len(keys))
+        for key in keys:
+            if not isinstance(key, str):
+                raise TypeError(f"dict keys must be str, got {type(key).__name__}")
+            _write_value(writer, key)
+            _write_value(writer, value[key])
+    else:
+        raise TypeError(f"cannot encode value of type {type(value).__name__}")
+
+
+def _read_value(reader: BitReader) -> Any:
+    tag = reader.read_uint(_TAG_WIDTH)
+    if tag == _TAG_NONE:
+        return None
+    if tag == _TAG_FALSE:
+        return False
+    if tag == _TAG_TRUE:
+        return True
+    if tag == _TAG_UINT:
+        return reader.read_varuint()
+    if tag == _TAG_NEGINT:
+        return -reader.read_varuint()
+    if tag == _TAG_STR:
+        count = reader.read_varuint()
+        data = bytes(reader.read_uint(8) for _ in range(count))
+        return data.decode("utf-8")
+    if tag == _TAG_BITS:
+        width = reader.read_varuint()
+        return reader.read_bitstring(width)
+    if tag == _TAG_TUPLE:
+        count = reader.read_varuint()
+        return tuple(_read_value(reader) for _ in range(count))
+    if tag == _TAG_DICT:
+        count = reader.read_varuint()
+        result = {}
+        for _ in range(count):
+            key = _read_value(reader)
+            result[key] = _read_value(reader)
+        return result
+    raise ValueError(f"unknown tag {tag}")
+
+
+def encode_value(value: Any) -> BitString:
+    """Encode a structured value canonically.
+
+    >>> encode_value((1, "ab")) == encode_value((1, "ab"))
+    True
+    >>> encode_value({"b": 1, "a": 2}) == encode_value({"a": 2, "b": 1})
+    True
+    """
+    writer = BitWriter()
+    _write_value(writer, value)
+    return writer.finish()
+
+
+def decode_value(bit_string: BitString) -> Any:
+    """Inverse of :func:`encode_value` (strict: consumes every bit).
+
+    >>> decode_value(encode_value([1, None, True]))
+    (1, None, True)
+    """
+    reader = BitReader(bit_string)
+    value = _read_value(reader)
+    reader.expect_exhausted()
+    return value
+
+
+def encoded_bits(value: Any) -> int:
+    """Number of bits :func:`encode_value` uses for ``value``."""
+    return encode_value(value).length

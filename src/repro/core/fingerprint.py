@@ -1,0 +1,151 @@
+"""Polynomial identity fingerprints over ``GF(p)`` — Lemma A.1.
+
+This is the randomness engine behind every upper bound in the paper.  A
+``lam``-bit string ``a = a_0 ... a_{lam-1}`` is read as the polynomial
+
+    A(x) = a_0 + a_1 x + ... + a_{lam-1} x^{lam-1}   over GF(p),
+
+for a fixed prime ``3*lam < p < 6*lam``.  A *fingerprint* is the pair
+``(x, A(x))`` for a uniformly random ``x``; it occupies ``2 * ceil(log2 p)``
+= ``O(log lam)`` bits.  Checking a fingerprint against a local string ``b``
+means evaluating ``B(x)`` and comparing:
+
+- **completeness** — if ``a == b`` the polynomials are identical, so the
+  check passes for *every* ``x`` (this is why all schemes built on
+  fingerprints are one-sided);
+- **soundness** — if ``a != b``, the two distinct polynomials of degree
+  ``< lam`` agree on at most ``lam - 1`` of the ``p > 3*lam`` points, so the
+  check passes with probability ``< 1/3``.
+
+``repetitions`` independent fingerprints drive the failure probability to
+``(1/3)^t`` at a ``t``-fold size cost — the paper's epsilon-tuning knob.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter, bits_for_max
+from repro.substrates.gf import PrimeField
+from repro.substrates.primes import fingerprint_prime
+
+
+@dataclass(frozen=True)
+class FingerprintParams:
+    """The public parameters of a fingerprint family for ``lam``-bit inputs."""
+
+    lam: int
+    prime: int
+    coordinate_bits: int
+
+    @property
+    def certificate_bits(self) -> int:
+        """Bits per single fingerprint: the point ``x`` plus the value."""
+        return 2 * self.coordinate_bits
+
+
+class Fingerprinter:
+    """Produces and checks fingerprints of ``lam``-bit strings.
+
+    Instances are deterministic public objects — the prime is a function of
+    ``lam`` alone, so sender and receiver agree on the field without
+    communicating.
+
+    >>> fp = Fingerprinter(16)
+    >>> rng = random.Random(7)
+    >>> data = BitString.from_int(0xBEEF, 16)
+    >>> fp.check(data, fp.make(data, rng))
+    True
+    """
+
+    def __init__(self, lam: int, repetitions: int = 1):
+        if lam < 0:
+            raise ValueError("lam must be non-negative")
+        if repetitions < 1:
+            raise ValueError("need at least one repetition")
+        self.lam = lam
+        self.repetitions = repetitions
+        prime = fingerprint_prime(lam)
+        self.field = PrimeField(prime)
+        self.params = FingerprintParams(
+            lam=lam,
+            prime=prime,
+            coordinate_bits=bits_for_max(prime - 1),
+        )
+
+    # -- sizes ---------------------------------------------------------------
+
+    @property
+    def certificate_bits(self) -> int:
+        """Total fingerprint size: ``2 * ceil(log2 p) * repetitions`` bits."""
+        return self.params.certificate_bits * self.repetitions
+
+    def soundness_error(self) -> float:
+        """Upper bound on ``Pr[check passes | strings differ]``.
+
+        ``((lam - 1) / p) ** repetitions`` — strictly below ``(1/3)^t``.
+        """
+        if self.lam <= 1:
+            # Degenerate: distinct 1-bit strings are the polynomials 0 and 1,
+            # which agree nowhere, and length-0 strings are always equal.
+            return 0.0
+        return ((self.lam - 1) / self.params.prime) ** self.repetitions
+
+    # -- operations ------------------------------------------------------------
+
+    def _coefficients(self, data: BitString) -> list:
+        if data.length != self.lam:
+            raise ValueError(
+                f"fingerprinter for {self.lam}-bit strings got {data.length} bits"
+            )
+        return data.bits()
+
+    def make(self, data: BitString, rng: random.Random) -> BitString:
+        """Fingerprint ``data``: ``repetitions`` pairs ``(x, A(x))``."""
+        coefficients = self._coefficients(data)
+        writer = BitWriter()
+        for _ in range(self.repetitions):
+            x = rng.randrange(self.params.prime)
+            value = self.field.poly_eval(coefficients, x)
+            writer.write_uint(x, self.params.coordinate_bits)
+            writer.write_uint(value, self.params.coordinate_bits)
+        return writer.finish()
+
+    def check(self, data: BitString, certificate: BitString) -> bool:
+        """Evaluate ``data``'s polynomial at the certificate's points.
+
+        Returns False on malformed certificates (wrong size, coordinates
+        outside the field) — forged messages must be rejected, not trusted.
+        """
+        if certificate.length != self.certificate_bits:
+            return False
+        coefficients = self._coefficients(data)
+        reader = BitReader(certificate)
+        for _ in range(self.repetitions):
+            x = reader.read_uint(self.params.coordinate_bits)
+            claimed = reader.read_uint(self.params.coordinate_bits)
+            if x >= self.params.prime or claimed >= self.params.prime:
+                return False
+            if self.field.poly_eval(coefficients, x) != claimed:
+                return False
+        return True
+
+
+def repetitions_for_error(target_error: float) -> int:
+    """Repetitions needed to push one-sided error below ``target_error``.
+
+    Each fingerprint errs with probability < 1/3, so ``t`` repetitions err
+    with probability < ``(1/3)^t`` — the ``O(log 1/delta)`` of footnote 1.
+
+    >>> repetitions_for_error(1e-6)
+    13
+    """
+    if not 0 < target_error < 1:
+        raise ValueError("target_error must be in (0, 1)")
+    repetitions = 1
+    error = 1.0 / 3.0
+    while error >= target_error:
+        repetitions += 1
+        error /= 3.0
+    return repetitions

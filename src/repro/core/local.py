@@ -1,0 +1,233 @@
+"""Radius-t local checking — the label-free floor of the hierarchy.
+
+The paper's related work cites Göös and Suomela's *locally checkable proofs*
+[21], where nodes decide from their radius-``t`` neighborhood rather than a
+single label exchange.  This module implements the radius-``t`` view and the
+class of predicates that need **no labels at all** once the radius covers
+their violation witnesses — the floor against which every positive
+verification-complexity bound in the library is measured.
+
+A :class:`BallChecker` is a local rule of radius ``t``: the global predicate
+is, by definition, the conjunction of the rule over all balls (a universal,
+"forbidden-substructure" property).  Such predicates are verifiable with
+0-bit labels at radius ``t``:
+
+- completeness: every ball of a legal configuration passes its check;
+- soundness: a violating configuration contains a witness of radius ``t``,
+  and the witness's center node sees all of it and rejects — no labels exist
+  to forge.
+
+Existential predicates (``exists`` a spanning tree / a long cycle / an
+automorphism) are exactly the ones this cannot express: far-away nodes must
+accept without seeing the witness, which is why the paper's schemes carry
+labels pointing at it.  The module therefore draws the line the paper's
+introduction describes between locally checkable predicates and those
+needing proofs.
+
+Ball convention: the radius-``t`` view of ``v`` contains every node at hop
+distance ``<= t`` from ``v`` and every edge with at least one endpoint at
+distance ``< t`` (an edge between two distance-``t`` nodes is not visible —
+observing it would take ``t + 1`` hops of communication).  States of all
+ball nodes are visible, as in [21].
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.configuration import Configuration, NodeState
+from repro.core.predicate import Predicate
+from repro.graphs.port_graph import Node, PortGraph
+from repro.substrates.bfs import bfs_layers
+from repro.substrates.cycles import girth
+
+
+@dataclass(frozen=True)
+class BallView:
+    """The radius-``t`` neighborhood of a center node.
+
+    ``graph`` is the visible subgraph (its port numbers are the *original*
+    port numbers, so degrees inside the ball may be smaller than true
+    degrees); ``true_degree`` carries the center's real degree, which a node
+    always knows.
+    """
+
+    center: Node
+    radius: int
+    graph: PortGraph
+    states: Dict[Node, NodeState]
+    distances: Dict[Node, int]
+    true_degree: int
+
+    def state_of(self, node: Node) -> NodeState:
+        return self.states[node]
+
+
+def extract_ball(configuration: Configuration, center: Node, radius: int) -> BallView:
+    """Build the radius-``t`` view of ``center``."""
+    if radius < 0:
+        raise ValueError("radius must be non-negative")
+    graph = configuration.graph
+    tree = bfs_layers(graph, center)
+    members: Set[Node] = {
+        node for node, dist in tree.dist.items() if dist <= radius
+    }
+    visible = PortGraph()
+    for node in members:
+        visible.add_node(node)
+    seen: Set[frozenset] = set()
+    for node in members:
+        if tree.dist[node] >= radius:
+            continue  # edges are visible only from interior endpoints
+        for _port, neighbor, _reverse in graph.ports(node):
+            key = frozenset((node, neighbor))
+            if neighbor in members and key not in seen:
+                seen.add(key)
+                visible.add_edge(node, neighbor)
+    return BallView(
+        center=center,
+        radius=radius,
+        graph=visible,
+        states={node: configuration.state(node) for node in members},
+        distances={node: tree.dist[node] for node in members},
+        true_degree=graph.degree(center),
+    )
+
+
+class BallChecker(ABC):
+    """A radius-``t`` local rule; the global predicate is its conjunction."""
+
+    name: str = "ball-checker"
+    radius: int = 1
+
+    @abstractmethod
+    def check_ball(self, ball: BallView) -> bool:
+        """Decide at one center from its radius-``t`` view."""
+
+
+class LocallyCheckedPredicate(Predicate):
+    """The predicate "every ball passes ``checker``" — 0-bit verifiable."""
+
+    def __init__(self, checker: BallChecker):
+        self.checker = checker
+        self.name = f"locally({checker.name}, t={checker.radius})"
+
+    def holds(self, configuration: Configuration) -> bool:
+        return all(
+            self.checker.check_ball(
+                extract_ball(configuration, node, self.checker.radius)
+            )
+            for node in configuration.graph.nodes
+        )
+
+
+def verify_locally(
+    configuration: Configuration, checker: BallChecker
+) -> Tuple[bool, List[Node]]:
+    """Run the 0-label radius-``t`` verifier; returns (accepted, rejectors)."""
+    rejecting = [
+        node
+        for node in configuration.graph.nodes
+        if not checker.check_ball(
+            extract_ball(configuration, node, checker.radius)
+        )
+    ]
+    return not rejecting, rejecting
+
+
+# ---------------------------------------------------------------------------
+# concrete checkers
+# ---------------------------------------------------------------------------
+
+
+class ProperColoringChecker(BallChecker):
+    """Radius 1: my color differs from every neighbor's color.
+
+    The same predicate as ``schemes.coloring`` — but with states visible in
+    the ball, the label republishing the color disappears: 0 bits.
+    """
+
+    name = "proper-coloring"
+    radius = 1
+
+    def check_ball(self, ball: BallView) -> bool:
+        own = ball.state_of(ball.center).get("color")
+        if own is None:
+            return False
+        return all(
+            ball.state_of(neighbor).get("color") != own
+            for neighbor in ball.graph.neighbors(ball.center)
+        )
+
+
+class MISChecker(BallChecker):
+    """Radius 1: the ``in_mis`` marks are independent and maximal around me.
+
+    Contrast with :class:`repro.schemes.mis.MISPLS`, which pays 1 bit per
+    node to republish the mark — here the ball shows states directly.
+    """
+
+    name = "mis"
+    radius = 1
+
+    def check_ball(self, ball: BallView) -> bool:
+        own = bool(ball.state_of(ball.center).get("in_mis"))
+        marked_neighbors = sum(
+            1
+            for neighbor in ball.graph.neighbors(ball.center)
+            if ball.state_of(neighbor).get("in_mis")
+        )
+        if own:
+            return marked_neighbors == 0
+        return marked_neighbors >= 1
+
+
+class MaxDegreeChecker(BallChecker):
+    """Radius 0: my degree is at most ``bound`` — no communication at all."""
+
+    name = "max-degree"
+    radius = 0
+
+    def __init__(self, bound: int):
+        if bound < 0:
+            raise ValueError("degree bound must be non-negative")
+        self.bound = bound
+        self.name = f"max-degree-{bound}"
+
+    def check_ball(self, ball: BallView) -> bool:
+        return ball.true_degree <= self.bound
+
+
+class GirthAtLeastChecker(BallChecker):
+    """Radius ``floor(g/2)``: no simple cycle with fewer than ``g`` nodes.
+
+    A cycle of length ``c < g`` has diameter ``floor(c/2) <= floor((g-1)/2)
+    <= floor(g/2)``... more precisely every node of a ``c``-cycle sees the
+    whole cycle (all nodes within ``floor(c/2)``, all edges incident to
+    nodes within ``floor(c/2) <= radius - 1`` when ``c <= 2*radius - 1``, and
+    the two "far" edges of an even cycle from its antipode's neighbors).
+    Setting ``radius = floor(g/2)`` makes every too-short cycle fully visible
+    from each of its members, so its members reject — 0-bit verification of
+    ``girth >= g``.
+    """
+
+    name = "girth-at-least"
+    radius = 1
+
+    def __init__(self, girth: int):
+        if girth < 3:
+            raise ValueError("girth bounds below 3 are vacuous")
+        self.girth = girth
+        self.radius = girth // 2
+        self.name = f"girth-at-least-{girth}"
+
+    def check_ball(self, ball: BallView) -> bool:
+        # Reject iff the visible ball contains a simple cycle shorter than g.
+        # Soundness of the rule: every visible edge is a real edge, so a
+        # visible short cycle is a real short cycle; completeness: a legal
+        # (girth >= g) configuration has no short cycle anywhere, visible or
+        # not.
+        visible_girth = girth(ball.graph)
+        return visible_girth is None or visible_girth >= self.girth

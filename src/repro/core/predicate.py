@@ -1,0 +1,76 @@
+"""Boolean predicates over configurations.
+
+A proof-labeling scheme certifies a predicate ``P`` over a family ``F`` of
+configurations (Section 2.2).  Predicates here are plain callables wrapped
+with a name — they are evaluated *centrally* (by tests, benchmarks, and the
+universal scheme's verifier, which is allowed unbounded local computation per
+Appendix B), never by the distributed verifier directly.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable
+
+from repro.core.configuration import Configuration
+
+
+class Predicate(ABC):
+    """A named boolean predicate over configurations."""
+
+    name: str = "predicate"
+
+    @abstractmethod
+    def holds(self, configuration: Configuration) -> bool:
+        """Evaluate the predicate on a configuration."""
+
+    def __call__(self, configuration: Configuration) -> bool:
+        return self.holds(configuration)
+
+    def __and__(self, other: "Predicate") -> "Predicate":
+        return AndPredicate(self, other)
+
+    def __invert__(self) -> "Predicate":
+        return NotPredicate(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<Predicate {self.name}>"
+
+
+class FunctionPredicate(Predicate):
+    """Adapter turning a plain function into a :class:`Predicate`.
+
+    >>> always = FunctionPredicate("always", lambda config: True)
+    >>> always.name
+    'always'
+    """
+
+    def __init__(self, name: str, function: Callable[[Configuration], bool]):
+        self.name = name
+        self._function = function
+
+    def holds(self, configuration: Configuration) -> bool:
+        return bool(self._function(configuration))
+
+
+class AndPredicate(Predicate):
+    """Conjunction — used by Theorem 3.5's ``Unif ∧ Sym`` construction."""
+
+    def __init__(self, left: Predicate, right: Predicate):
+        self.left = left
+        self.right = right
+        self.name = f"({left.name} and {right.name})"
+
+    def holds(self, configuration: Configuration) -> bool:
+        return self.left.holds(configuration) and self.right.holds(configuration)
+
+
+class NotPredicate(Predicate):
+    """Negation (used by tests to build illegal-instance families)."""
+
+    def __init__(self, inner: Predicate):
+        self.inner = inner
+        self.name = f"not {inner.name}"
+
+    def holds(self, configuration: Configuration) -> bool:
+        return not self.inner.holds(configuration)

@@ -1,0 +1,204 @@
+"""The PLS / RPLS abstractions (Section 2.2).
+
+Locality is enforced by construction: verifiers never see the configuration.
+They receive a :class:`VerifierView` carrying exactly what the model grants a
+node — its own state, its own label, the per-port incoming messages (labels in
+a PLS, certificates in an RPLS), and the family-level constants
+(:class:`SchemeParams`) every scheme is allowed to know (``n``, field widths).
+A scheme that tried to peek at a neighbor's state simply has no handle to do
+so.
+
+Deterministic scheme (:class:`ProofLabelingScheme`):
+
+- ``prover(config) -> {node: BitString}`` — the oracle's label assignment,
+  only ever called on configurations (legal ones in the completeness
+  direction; adversarial labels come from :mod:`repro.simulation.adversary`);
+- ``verify_at(view) -> bool`` — the one-round verifier at a node.
+
+Randomized scheme (:class:`RandomizedScheme`):
+
+- same prover; labels stay *private* to each node;
+- ``certificate(view, port, rng) -> BitString`` — the randomized certificate
+  node ``v`` generates for the neighbor on ``port`` (Definition 2.1 measures
+  the maximum length of these);
+- ``verify_at(view) -> bool`` — decides from own state + own label + the
+  certificates received on each port.
+
+Verification complexity (Definition 2.1) is computed by actually producing
+the labels/certificates and measuring them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration, NodeState
+from repro.core.predicate import Predicate
+from repro.graphs.port_graph import Node
+
+
+@dataclass(frozen=True)
+class SchemeParams:
+    """Family-level constants a node may use to parse labels.
+
+    The paper's schemes implicitly know the family they run on (labels for
+    ``n``-node networks use ``O(log n)``-bit fields); these are those shared
+    constants, derived once from the configuration and handed to every view.
+    """
+
+    node_count: int
+    id_bits: int
+    port_bits: int
+    max_degree: int
+    state_bits: int
+
+    @staticmethod
+    def from_configuration(configuration: Configuration) -> "SchemeParams":
+        return SchemeParams(
+            node_count=configuration.node_count,
+            id_bits=configuration.id_bits,
+            port_bits=configuration.port_bits,
+            max_degree=configuration.graph.max_degree,
+            state_bits=configuration.state_bits,
+        )
+
+
+@dataclass(frozen=True)
+class LabelView:
+    """A node's private inputs: state, degree, label, family constants."""
+
+    node: Node
+    state: NodeState
+    degree: int
+    params: SchemeParams
+    own_label: BitString
+
+
+@dataclass(frozen=True)
+class VerifierView(LabelView):
+    """A :class:`LabelView` plus the messages received, indexed by port.
+
+    In a PLS run ``messages[i]`` is the full label of the port-``i`` neighbor;
+    in an RPLS run it is the certificate that neighbor generated for the
+    shared edge.
+
+    ``shared_rng`` is populated only under the public-coin model
+    (``randomness="shared"``): it is a fresh stream over the round's shared
+    coins, identical at every node, so verifiers can re-derive the random
+    choices the senders used.  It is ``None`` in the private-coin modes the
+    paper's definitions use.
+    """
+
+    messages: Tuple[BitString, ...] = ()
+    shared_rng: Optional[random.Random] = None
+
+
+class ProofLabelingScheme(ABC):
+    """A deterministic proof-labeling scheme ``(p, v)`` for ``(F, P)``."""
+
+    name: str = "pls"
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+
+    @abstractmethod
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        """The oracle: assign a label to every node of a legal configuration."""
+
+    @abstractmethod
+    def verify_at(self, view: VerifierView) -> bool:
+        """The verifier at one node; ``view.messages`` are neighbor labels."""
+
+    def verification_complexity(self, configuration: Configuration) -> int:
+        """Maximum label length (bits) the prover assigns — Definition 2.1."""
+        labels = self.prover(configuration)
+        return max((label.length for label in labels.values()), default=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} {self.name!r} for {self.predicate.name!r}>"
+
+
+class RandomizedScheme(ABC):
+    """A randomized proof-labeling scheme (RPLS).
+
+    ``one_sided`` declares the error model: one-sided schemes accept legal
+    configurations with probability 1 and reject illegal ones with
+    probability >= 1/2; two-sided schemes achieve >= 2/3 on both sides.
+    ``edge_independent`` declares Definition 4.5 compliance — every scheme in
+    this library draws fresh randomness per (node, port), so the flag is True
+    throughout, but the engine honours it when deriving RNG streams.
+    """
+
+    name: str = "rpls"
+    one_sided: bool = True
+    edge_independent: bool = True
+
+    def __init__(self, predicate: Predicate):
+        self.predicate = predicate
+
+    @abstractmethod
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        """The oracle: assign a (private) label to every node."""
+
+    @abstractmethod
+    def certificate(self, view: LabelView, port: int, rng: random.Random) -> BitString:
+        """The randomized certificate for the neighbor on ``port``."""
+
+    @abstractmethod
+    def verify_at(self, view: VerifierView) -> bool:
+        """The verifier; ``view.messages`` are the received certificates."""
+
+    def verification_complexity(
+        self, configuration: Configuration, seed: int = 0
+    ) -> int:
+        """Maximum certificate length over one full sampled round.
+
+        Certificate lengths in this library are deterministic functions of
+        the label layout (only the contents are random), so one sample is
+        exact; the seed parameter exists for schemes that vary.
+        """
+        labels = self.prover(configuration)
+        params = SchemeParams.from_configuration(configuration)
+        longest = 0
+        for node in configuration.graph.nodes:
+            view = LabelView(
+                node=node,
+                state=configuration.state(node),
+                degree=configuration.graph.degree(node),
+                params=params,
+                own_label=labels[node],
+            )
+            for port in range(configuration.graph.degree(node)):
+                rng = derive_rng(seed, node, port)
+                longest = max(longest, self.certificate(view, port, rng).length)
+        return longest
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        sided = "one-sided" if self.one_sided else "two-sided"
+        return f"<{type(self).__name__} {self.name!r} ({sided}) for {self.predicate.name!r}>"
+
+
+def derive_rng(seed: int, node: Node, port: Optional[int]) -> random.Random:
+    """A deterministic child RNG for a (node, port) pair.
+
+    Edge-independent randomness (Definition 4.5): each certificate draws from
+    its own stream.  Passing ``port=None`` yields the node-shared stream used
+    by the non-edge-independent mode the paper's open questions mention.
+    """
+    if port is None:
+        return random.Random(f"{seed}|{node!r}|node")
+    return random.Random(f"{seed}|{node!r}|{port}")
+
+
+def derive_shared_rng(seed: int) -> random.Random:
+    """The public-coin stream for a round: identical at every node.
+
+    Each caller receives a *fresh* generator over the same sequence, so all
+    nodes (senders and verifiers alike) observe exactly the same coins —
+    the shared-randomness model of the paper's Section 6 open questions.
+    """
+    return random.Random(f"{seed}|shared")

@@ -1,0 +1,36 @@
+"""Port-numbered network model and the crossing machinery of Section 4.
+
+The paper's model (Section 2.1): a network is a connected graph without
+self-loops or multi-edges, where the edges incident to a node ``v`` are
+numbered ``1..deg(v)`` (here 0-based).  An edge may carry *different* port
+numbers at its two endpoints.  :class:`repro.graphs.PortGraph` implements
+exactly this, with reciprocity invariants, and
+:mod:`repro.graphs.crossing` implements Definition 4.2's edge-crossing
+operation σ⋈(G) used by every lower bound in the paper.
+
+Workload generation lives in two modules: :mod:`repro.graphs.generators`
+builds the paper's gadget families (Figures 2-5) and the Section 5
+workloads; :mod:`repro.graphs.workloads` builds the planted workloads for
+the extension schemes (distances, leader, bipartiteness, MIS, Eulerian,
+Hamiltonian).
+"""
+
+from repro.graphs.port_graph import PortGraph
+from repro.graphs.crossing import (
+    cross_edge_pairs,
+    cross_subgraphs,
+    subgraphs_independent,
+)
+from repro.graphs.isomorphism import (
+    is_port_preserving_isomorphism,
+    find_port_preserving_isomorphisms,
+)
+
+__all__ = [
+    "PortGraph",
+    "cross_edge_pairs",
+    "cross_subgraphs",
+    "find_port_preserving_isomorphisms",
+    "is_port_preserving_isomorphism",
+    "subgraphs_independent",
+]

@@ -1,0 +1,110 @@
+"""Edge crossing — Definition 4.2 and Figure 1.
+
+Given two independent, port-preserving-isomorphic subgraphs ``H1, H2`` of
+``G`` with isomorphism ``sigma``, the crossing ``sigma ⋈ (G)`` replaces every
+pair of edges ``{u, v} in E1`` and ``{sigma(u), sigma(v)} in E2`` by the pair
+``{u, sigma(v)}`` and ``{sigma(u), v}``.  Crucially, every surviving endpoint
+keeps its original port number: node ``u`` still talks on the same port, it
+just now reaches ``sigma(v)`` instead of ``v``.  That is exactly why a
+verifier whose messages collide on ``H1`` and ``H2`` cannot tell ``G`` from
+the crossed graph — the information arriving at every port is unchanged.
+
+This module is pure graph surgery; the pigeonhole search that decides *which*
+pair to cross lives in :mod:`repro.lowerbounds.crossing_attack`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Mapping, Sequence, Set, Tuple
+
+from repro.graphs.port_graph import Node, PortGraph
+
+EdgePair = Tuple[Tuple[Node, Node], Tuple[Node, Node]]
+
+
+def subgraphs_independent(
+    graph: PortGraph, nodes1: Set[Node], nodes2: Set[Node]
+) -> bool:
+    """Definition 4.1: disjoint node sets with no edge of ``G`` between them."""
+    if nodes1 & nodes2:
+        return False
+    for u in nodes1:
+        for neighbor in graph.neighbors(u):
+            if neighbor in nodes2:
+                return False
+    return True
+
+
+def cross_edge_pairs(graph: PortGraph, pairs: Sequence[EdgePair]) -> PortGraph:
+    """Return a new graph with every listed edge pair crossed.
+
+    Each element of ``pairs`` is ``((u, v), (u2, v2))`` where ``u2 = sigma(u)``
+    and ``v2 = sigma(v)``; the edges ``{u, v}`` and ``{u2, v2}`` are replaced
+    by ``{u, v2}`` and ``{u2, v}`` with all four port numbers preserved.
+
+    Raises :class:`ValueError` if a listed edge is missing.  The input graph
+    is not modified.
+    """
+    result = graph.copy()
+    for (u, v), (u2, v2) in pairs:
+        port_u = result.port_to(u, v)
+        port_u2 = result.port_to(u2, v2)
+        if port_u is None:
+            raise ValueError(f"edge {{{u!r}, {v!r}}} not in graph")
+        if port_u2 is None:
+            raise ValueError(f"edge {{{u2!r}, {v2!r}}} not in graph")
+        port_v = result.reverse_port(u, port_u)
+        port_v2 = result.reverse_port(u2, port_u2)
+        # {u, v} + {u2, v2}  ->  {u, v2} + {u2, v}, ports kept at each endpoint.
+        result.rewire(u, port_u, v2, port_v2)
+        result.rewire(v2, port_v2, u, port_u)
+        result.rewire(u2, port_u2, v, port_v)
+        result.rewire(v, port_v, u2, port_u2)
+    return result
+
+
+def cross_subgraphs(
+    graph: PortGraph,
+    sigma: Mapping[Node, Node],
+    edges1: Iterable[Tuple[Node, Node]],
+) -> PortGraph:
+    """Apply Definition 4.2 for a subgraph isomorphism.
+
+    ``sigma`` maps ``V(H1)`` onto ``V(H2)`` and ``edges1`` lists ``E1``; every
+    ``{u, v}`` in ``E1`` is crossed with ``{sigma(u), sigma(v)}``.
+    """
+    pairs: List[EdgePair] = [((u, v), (sigma[u], sigma[v])) for u, v in edges1]
+    return cross_edge_pairs(graph, pairs)
+
+
+def crossing_is_involution(
+    graph: PortGraph,
+    sigma: Mapping[Node, Node],
+    edges1: Sequence[Tuple[Node, Node]],
+) -> bool:
+    """Check that crossing the same pair of subgraphs twice restores ``G``.
+
+    Used by property tests: crossing swaps two half-edge attachments, so doing
+    it twice must be the identity.
+    """
+    crossed = cross_subgraphs(graph, sigma, edges1)
+    # After the first crossing, {u, v} became {u, sigma(v)}; crossing the
+    # *images* back requires pairing {u, sigma(v)} with {sigma(u), v}.
+    pairs: List[EdgePair] = [
+        ((u, sigma[v]), (sigma[u], v)) for u, v in edges1
+    ]
+    restored = cross_edge_pairs(crossed, pairs)
+    return _same_wiring(graph, restored)
+
+
+def _same_wiring(a: PortGraph, b: PortGraph) -> bool:
+    """Exact equality of the port wiring of two graphs."""
+    if set(a.nodes) != set(b.nodes):
+        return False
+    for node in a.nodes:
+        if a.degree(node) != b.degree(node):
+            return False
+        for port in range(a.degree(node)):
+            if a.half_edge(node, port) != b.half_edge(node, port):
+                return False
+    return True

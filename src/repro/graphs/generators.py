@@ -1,0 +1,685 @@
+"""Configuration generators: the paper's gadget families and the workloads.
+
+Every figure in the paper is a *construction*; this module builds them all,
+plus the randomized workloads the benchmarks sweep:
+
+- lines and cycles (family ``F`` in the Theorem 5.1 lower bound);
+- the cycle-with-chords graph of Figure 2 (Theorems 5.2 and 5.4);
+- the chain of cycles of Figure 5 (Theorem 5.6);
+- the symmetry gadgets ``G(z)`` and ``G(z, z')`` of Figures 3–4
+  (Lemma C.1 / Theorem 3.5);
+- the two-node ``Unif`` gadget of Lemma C.3;
+- random spanning-tree / MST / biconnectivity / flow / coloring workloads
+  with *planted witnesses* (so provers never need NP-hard search), plus
+  corruption helpers that produce predicate-violating variants for soundness
+  experiments.
+
+Generators return :class:`repro.core.configuration.Configuration` objects
+(states included); functions that plant a witness also return it.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration, NodeState, simple_states
+from repro.graphs.port_graph import Node, PortGraph, cycle_graph, path_graph
+from repro.substrates.mst import kruskal
+
+# ---------------------------------------------------------------------------
+# basic families
+# ---------------------------------------------------------------------------
+
+
+def line_configuration(length: int) -> Configuration:
+    """A path on ``length`` nodes with consistent ports (acyclic, connected)."""
+    graph = path_graph(length)
+    return Configuration(graph, simple_states(graph))
+
+
+def cycle_configuration(length: int) -> Configuration:
+    """A cycle with consistently ordered ports (the illegal case of acyclicity)."""
+    graph = cycle_graph(length)
+    return Configuration(graph, simple_states(graph))
+
+
+def random_connected_graph(
+    node_count: int, extra_edges: int, rng: random.Random
+) -> PortGraph:
+    """A uniform random recursive tree plus ``extra_edges`` random chords."""
+    graph = PortGraph()
+    graph.add_node(0)
+    for node in range(1, node_count):
+        graph.add_edge(node, rng.randrange(node))
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def random_connected_configuration(
+    node_count: int, extra_edges: int = 0, seed: int = 0
+) -> Configuration:
+    """A random connected configuration with identity-only states."""
+    graph = random_connected_graph(node_count, extra_edges, random.Random(seed))
+    return Configuration(graph, simple_states(graph))
+
+
+# ---------------------------------------------------------------------------
+# spanning trees (intro scheme) and MSTs (Theorem 5.1)
+# ---------------------------------------------------------------------------
+
+
+def _mark_tree_ports(
+    graph: PortGraph, tree_edges: Set[frozenset]
+) -> Dict[Node, Tuple[int, ...]]:
+    """Per-node 0/1 port tuples marking membership in ``tree_edges``."""
+    marks: Dict[Node, Tuple[int, ...]] = {}
+    for node in graph.nodes:
+        marks[node] = tuple(
+            1 if frozenset((node, graph.neighbor(node, port))) in tree_edges else 0
+            for port in range(graph.degree(node))
+        )
+    return marks
+
+
+def _bfs_parents(
+    graph: PortGraph, root: Node, allowed_edges: Optional[Set[frozenset]] = None
+) -> Dict[Node, Optional[int]]:
+    """Parent ports of a BFS tree from ``root`` (restricted to allowed edges)."""
+    from collections import deque
+
+    parent_port: Dict[Node, Optional[int]] = {root: None}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for port, neighbor, reverse_port in graph.ports(current):
+            if neighbor in parent_port:
+                continue
+            if allowed_edges is not None and frozenset(
+                (current, neighbor)
+            ) not in allowed_edges:
+                continue
+            parent_port[neighbor] = reverse_port
+            queue.append(neighbor)
+    return parent_port
+
+
+def spanning_tree_configuration(
+    node_count: int, extra_edges: int = 0, seed: int = 0
+) -> Configuration:
+    """A random connected graph whose state claims a (correct) BFS spanning tree.
+
+    State fields: ``parent_port`` (None at the root, node 0) and the symmetric
+    ``tree`` port marking — the output the intro's spanning-tree scheme
+    verifies.
+    """
+    graph = random_connected_graph(node_count, extra_edges, random.Random(seed))
+    parent_port = _bfs_parents(graph, 0)
+    tree_edges = {
+        frozenset((node, graph.neighbor(node, port)))
+        for node, port in (
+            (node, port) for node, port in parent_port.items() if port is not None
+        )
+    }
+    marks = _mark_tree_ports(graph, tree_edges)
+    states = {
+        node: NodeState(
+            node,
+            {
+                "parent_port": parent_port[node],
+                "tree": marks[node],
+            },
+        )
+        for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+def corrupt_spanning_tree(configuration: Configuration, seed: int = 0) -> Configuration:
+    """Break the claimed tree: re-point one node's parent into its own subtree.
+
+    Re-pointing ``v``'s parent at one of ``v``'s *descendants* closes a cycle
+    in the parent pointers (and orphans that whole subtree from the root), so
+    the spanning-tree predicate is guaranteed false while every local field
+    still looks plausible.
+    """
+    from repro.schemes.spanning_tree import SpanningTreePredicate
+
+    rng = random.Random(seed)
+    graph = configuration.graph
+    predicate = SpanningTreePredicate()
+    candidates = []
+    for node in graph.nodes:
+        current = configuration.state(node).get("parent_port")
+        if current is None:
+            continue
+        for port in range(graph.degree(node)):
+            if port != current:
+                candidates.append((node, port))
+    rng.shuffle(candidates)
+    for node, port in candidates:
+        corrupted = configuration.with_state(
+            node, configuration.state(node).with_fields(parent_port=port)
+        )
+        if predicate.holds(corrupted):
+            continue  # the re-pointed edge happened to form another tree
+        # Re-derive the symmetric tree marking from the (now broken) parents.
+        tree_edges = set()
+        for v in graph.nodes:
+            parent_port = corrupted.state(v).get("parent_port")
+            if parent_port is not None:
+                tree_edges.add(frozenset((v, graph.neighbor(v, parent_port))))
+        marks = _mark_tree_ports(graph, tree_edges)
+        states = {
+            v: corrupted.state(v).with_fields(tree=marks[v]) for v in graph.nodes
+        }
+        return Configuration(graph, states)
+    raise ValueError("every alternative parent pointer still forms a spanning tree")
+
+
+def mst_configuration(
+    node_count: int,
+    extra_edges: Optional[int] = None,
+    max_weight: int = 64,
+    seed: int = 0,
+) -> Configuration:
+    """A random weighted connected graph with its (unique) MST marked.
+
+    Weights are symmetric per edge and tie-broken by endpoint identities
+    (see :meth:`Configuration.weight_key`), so the marked tree is the one
+    every correct MST algorithm must produce.
+    """
+    rng = random.Random(seed)
+    if extra_edges is None:
+        extra_edges = node_count // 2
+    graph = random_connected_graph(node_count, extra_edges, rng)
+    edge_weight: Dict[frozenset, int] = {
+        frozenset((u, v)): rng.randrange(1, max_weight + 1)
+        for u, _pu, v, _pv in graph.edges()
+    }
+    weights = {
+        node: tuple(
+            edge_weight[frozenset((node, graph.neighbor(node, port)))]
+            for port in range(graph.degree(node))
+        )
+        for node in graph.nodes
+    }
+    # Temporary configuration to expose weight_key for Kruskal.
+    provisional = Configuration(
+        graph,
+        {
+            node: NodeState(node, {"weights": weights[node]})
+            for node in graph.nodes
+        },
+    )
+    tree = kruskal(graph, provisional.weight_key)
+    marks = _mark_tree_ports(graph, tree)
+    states = {
+        node: NodeState(node, {"weights": weights[node], "tree": marks[node]})
+        for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+def corrupt_mst_swap(configuration: Configuration, seed: int = 0) -> Configuration:
+    """Swap one tree edge for a strictly heavier non-tree edge.
+
+    The marking stays a spanning tree, but by the cycle property it is no
+    longer minimum — the subtle corruption the MST scheme must catch (a
+    non-spanning corruption would already be caught by the spanning-tree
+    layer).
+    """
+    rng = random.Random(seed)
+    graph = configuration.graph
+    tree = {frozenset((u, v)) for u, _pu, v, _pv in configuration.tree_edges()}
+    non_tree = [
+        (u, pu, v, pv)
+        for u, pu, v, pv in graph.edges()
+        if frozenset((u, v)) not in tree
+    ]
+    if not non_tree:
+        raise ValueError("the graph is itself a tree; no swap is possible")
+    u, pu, v, _pv = rng.choice(non_tree)
+    heavy_key = configuration.weight_key(u, pu)
+    # Tree path between u and v: every edge on it is lighter than the chord
+    # (cycle property of the unique MST).
+    parent = _tree_path_parents(configuration, tree, u)
+    path_edges = []
+    current = v
+    while current != u:
+        nxt = parent[current]
+        path_edges.append(frozenset((current, nxt)))
+        current = nxt
+    drop = rng.choice(path_edges)
+    new_tree = (tree - {drop}) | {frozenset((u, v))}
+    marks = _mark_tree_ports(graph, new_tree)
+    states = {
+        node: configuration.state(node).with_fields(tree=marks[node])
+        for node in graph.nodes
+    }
+    corrupted = Configuration(graph, states)
+    # Sanity: the swap must strictly increase weight (cycle property).
+    drop_nodes = tuple(drop)
+    drop_port = graph.port_to(drop_nodes[0], drop_nodes[1])
+    if configuration.weight_key(drop_nodes[0], drop_port) > heavy_key:
+        raise AssertionError("swap did not increase the tree weight")
+    return corrupted
+
+
+def _tree_path_parents(
+    configuration: Configuration, tree: Set[frozenset], root: Node
+) -> Dict[Node, Node]:
+    """Parents of every node in the marked tree, rooted at ``root``."""
+    from collections import deque
+
+    graph = configuration.graph
+    parent: Dict[Node, Node] = {}
+    seen = {root}
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for _port, neighbor, _reverse in graph.ports(current):
+            if neighbor in seen or frozenset((current, neighbor)) not in tree:
+                continue
+            parent[neighbor] = current
+            seen.add(neighbor)
+            queue.append(neighbor)
+    return parent
+
+
+def unmark_tree_edge(configuration: Configuration, seed: int = 0) -> Configuration:
+    """Remove one marked edge — the marking no longer spans (gross corruption)."""
+    rng = random.Random(seed)
+    graph = configuration.graph
+    tree = {frozenset((u, v)) for u, _pu, v, _pv in configuration.tree_edges()}
+    if not tree:
+        raise ValueError("no tree edges to unmark")
+    drop = rng.choice(sorted(tree, key=sorted))
+    new_tree = tree - {drop}
+    marks = _mark_tree_ports(graph, new_tree)
+    states = {
+        node: configuration.state(node).with_fields(tree=marks[node])
+        for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+# ---------------------------------------------------------------------------
+# Figure 2: cycle with chords (Theorems 5.2 / 5.4)
+# ---------------------------------------------------------------------------
+
+
+def cycle_with_chords_configuration(node_count: int) -> Configuration:
+    """Figure 2(a) for Theorem 5.2: an ``n``-cycle plus chords ``{v0, vj}``.
+
+    Chords run from ``v0`` to every ``vj``, ``j = 2..n-2`` — the graph is
+    vertex-biconnected, and crossing any two independent cycle edges creates
+    an articulation point at ``v0``.
+    """
+    if node_count < 5:
+        raise ValueError("the Figure 2 gadget needs at least 5 nodes")
+    graph = cycle_graph(node_count)
+    for j in range(2, node_count - 1):
+        graph.add_edge(0, j)
+    return Configuration(graph, simple_states(graph))
+
+
+def long_cycle_with_spokes_configuration(
+    node_count: int, cycle_length: int
+) -> Tuple[Configuration, List[Node]]:
+    """The Theorem 5.4 gadget: a ``c``-cycle plus ``v0`` joined to all others.
+
+    ``G = ({v0..v_{n-1}}, Ec ∪ E0)`` with ``Ec`` the cycle on the first ``c``
+    nodes (ports consistently ordered) and ``E0 = {{v0, vj} : j = 2..n-1,
+    j != c-1}``.  Satisfies cycle-at-least-c; returns the planted cycle.
+    """
+    c = cycle_length
+    if c < 5 or node_count < c:
+        raise ValueError("need n >= c >= 5")
+    graph = cycle_graph(c)
+    for j in range(c, node_count):
+        graph.add_node(j)
+    for j in range(2, node_count):
+        if j == c - 1:
+            continue
+        graph.add_edge(0, j)
+    config = Configuration(graph, simple_states(graph))
+    return config, list(range(c))
+
+
+def two_blocks_configuration(block_size: int) -> Configuration:
+    """Two cycles sharing a single cut vertex — *not* biconnected."""
+    if block_size < 3:
+        raise ValueError("blocks must be cycles of >= 3 nodes")
+    graph = PortGraph()
+    # First block: 0 .. block_size-1; second: 0, block_size .. 2*block_size-2.
+    for i in range(block_size):
+        graph.add_node(i)
+    for i in range(block_size):
+        graph.add_edge(i, (i + 1) % block_size)
+    previous = 0
+    for j in range(block_size, 2 * block_size - 1):
+        graph.add_node(j)
+        graph.add_edge(previous, j)
+        previous = j
+    graph.add_edge(previous, 0)
+    return Configuration(graph, simple_states(graph))
+
+
+def random_biconnected_configuration(node_count: int, seed: int = 0) -> Configuration:
+    """A random biconnected graph: a Hamiltonian cycle plus random chords."""
+    rng = random.Random(seed)
+    graph = cycle_graph(node_count)
+    for _ in range(max(1, node_count // 3)):
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return Configuration(graph, simple_states(graph))
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: chain of cycles (Theorem 5.6) and planted long cycles (Thm 5.3)
+# ---------------------------------------------------------------------------
+
+
+def chain_of_cycles_configuration(
+    node_count: int, cycle_length: int
+) -> Configuration:
+    """Figure 5(a): ``ceil(n/c)`` disjoint ``c``-cycles chained by single edges.
+
+    Every simple cycle has exactly ``c`` nodes (the chaining edges are
+    bridges), so cycle-at-most-c holds; crossing edges of two *different*
+    cycles merges them into one long cycle and breaks the predicate.
+    """
+    c = cycle_length
+    if c < 3:
+        raise ValueError("cycles need at least 3 nodes")
+    cycle_count = max(1, (node_count + c - 1) // c)
+    graph = PortGraph()
+    for index in range(cycle_count):
+        # graft() preserves each block's pred/succ port convention exactly,
+        # which the port-preserving isomorphisms between cycles rely on.
+        graph.graft(cycle_graph(c, offset=index * c))
+    for index in range(cycle_count - 1):
+        # Connect consecutive cycles: last node of one to first of the next.
+        graph.add_edge(index * c + c - 1, (index + 1) * c)
+    return Configuration(graph, simple_states(graph))
+
+
+def planted_cycle_configuration(
+    node_count: int, cycle_length: int, seed: int = 0
+) -> Tuple[Configuration, List[Node]]:
+    """A graph whose longest simple cycle has exactly ``cycle_length`` nodes.
+
+    The cycle ``0..c-1`` is planted; all remaining nodes hang off it in
+    random trees (bridges create no new cycles).  Returns the witness cycle
+    in order, so provers need no NP-hard search.
+    """
+    c = cycle_length
+    if c < 3 or node_count < c:
+        raise ValueError("need n >= c >= 3")
+    rng = random.Random(seed)
+    graph = cycle_graph(c)
+    for node in range(c, node_count):
+        graph.add_edge(node, rng.randrange(node))
+    config = Configuration(graph, simple_states(graph))
+    return config, list(range(c))
+
+
+def tree_only_configuration(node_count: int, seed: int = 0) -> Configuration:
+    """A random tree — contains no cycle at all (cycle-at-least-c is false)."""
+    graph = random_connected_graph(node_count, 0, random.Random(seed))
+    return Configuration(graph, simple_states(graph))
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-4: the symmetry gadgets of Appendix C
+# ---------------------------------------------------------------------------
+
+
+def sym_gadget_edges(z: BitString, side: int) -> Tuple[List[Node], List[Tuple[Node, Node]]]:
+    """Nodes and edges of ``G(z)`` with names tagged by ``side`` (0 or 1).
+
+    Per Appendix C: a path ``U`` of ``lam`` nodes, flag nodes ``W``, a
+    triangle ``T``, the anchor edge ``{t0, u0}``, and ``w_i`` attached to
+    ``u_i`` when ``z_i = 1`` or to ``t1`` when ``z_i = 0``.
+    """
+    lam = z.length
+    bits = z.bits()
+    u = [(side, "u", i) for i in range(lam)]
+    w = [(side, "w", i) for i in range(lam)]
+    t = [(side, "t", i) for i in range(3)]
+    nodes: List[Node] = u + w + t
+    edges: List[Tuple[Node, Node]] = []
+    edges.extend((u[i], u[i + 1]) for i in range(lam - 1))
+    edges.extend([(t[0], t[1]), (t[0], t[2]), (t[1], t[2])])
+    edges.append((t[0], u[0]))
+    for i in range(lam):
+        edges.append((w[i], u[i]) if bits[i] == 1 else (w[i], t[1]))
+    return nodes, edges
+
+
+def sym_pair_configuration(
+    x: BitString, y: BitString
+) -> Tuple[Configuration, Tuple[Node, Node], Set[Node], Set[Node]]:
+    """Figure 4: ``G(x, y)`` — two gadgets joined by one cut edge.
+
+    Returns ``(configuration, cut_edge, alice_nodes, bob_nodes)``.  By
+    Claim C.2, the configuration satisfies ``Sym`` iff ``x == y``, which is
+    what turns any RPLS for ``Sym`` into a 2-party EQ protocol.
+    """
+    if x.length != y.length or x.length < 1:
+        raise ValueError("x and y must be equal-length, non-empty bit strings")
+    nodes0, edges0 = sym_gadget_edges(x, side=0)
+    nodes1, edges1 = sym_gadget_edges(y, side=1)
+    lam = x.length
+    cut = ((0, "u", lam - 1), (1, "u", lam - 1))
+    graph = PortGraph.from_edges(
+        edges0 + edges1 + [cut], nodes=nodes0 + nodes1
+    )
+    ids = {node: index for index, node in enumerate(sorted(nodes0 + nodes1, key=repr))}
+    states = {node: NodeState(ids[node]) for node in graph.nodes}
+    config = Configuration(graph, states)
+    return config, cut, set(nodes0), set(nodes1)
+
+
+# ---------------------------------------------------------------------------
+# Unif (Lemma C.3) and coloring (intro)
+# ---------------------------------------------------------------------------
+
+
+def uniform_configuration(
+    node_count: int,
+    payload_bits: int,
+    equal: bool = True,
+    seed: int = 0,
+    extra_edges: int = 0,
+) -> Configuration:
+    """A random connected graph whose nodes carry ``payload`` state strings.
+
+    ``equal=True`` gives every node the same payload (``Unif`` holds);
+    otherwise exactly one node differs in one bit — the hardest violation.
+    """
+    rng = random.Random(seed)
+    graph = random_connected_graph(node_count, extra_edges, rng)
+    payload = BitString(rng.getrandbits(payload_bits) if payload_bits else 0, payload_bits)
+    states = {}
+    deviant = rng.randrange(node_count) if not equal else None
+    for node in graph.nodes:
+        value = payload
+        if node == deviant:
+            if payload_bits == 0:
+                raise ValueError("cannot build an unequal 0-bit payload family")
+            flip = 1 << rng.randrange(payload_bits)
+            value = BitString(payload.value ^ flip, payload_bits)
+        states[node] = NodeState(node, {"payload": value})
+    return Configuration(graph, states)
+
+
+def two_node_configuration(x: BitString, y: BitString) -> Configuration:
+    """Lemma C.3's graph: a single edge whose endpoints hold ``x`` and ``y``."""
+    graph = PortGraph.from_edges([(1, 2)])
+    states = {
+        1: NodeState(1, {"payload": x}),
+        2: NodeState(2, {"payload": y}),
+    }
+    return Configuration(graph, states)
+
+
+def colored_configuration(
+    node_count: int,
+    colors: int,
+    proper: bool = True,
+    seed: int = 0,
+    extra_edges: Optional[int] = None,
+) -> Configuration:
+    """A random graph with a greedy proper coloring (or one planted conflict)."""
+    rng = random.Random(seed)
+    if extra_edges is None:
+        extra_edges = node_count
+    graph = random_connected_graph(node_count, extra_edges, rng)
+    coloring: Dict[Node, int] = {}
+    for node in graph.nodes:
+        used = {coloring[nb] for nb in graph.neighbors(node) if nb in coloring}
+        color = next(c for c in range(colors + graph.max_degree + 1) if c not in used)
+        coloring[node] = color
+    if not proper:
+        u, _pu, v, _pv = graph.edges()[rng.randrange(graph.edge_count)]
+        coloring[v] = coloring[u]
+    states = {
+        node: NodeState(node, {"color": coloring[node]}) for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+# ---------------------------------------------------------------------------
+# k-flow workloads (Section 5.2)
+# ---------------------------------------------------------------------------
+
+
+def flow_configuration(
+    path_count: int,
+    path_length: int = 3,
+    decoy_edges: int = 0,
+    seed: int = 0,
+) -> Configuration:
+    """A graph whose ``s``–``t`` max flow (unit capacities) is exactly ``k``.
+
+    ``k = path_count`` edge-disjoint paths of ``path_length`` interior nodes
+    each run from ``s`` to ``t``; ``deg(s) = k`` pins the max flow to exactly
+    ``k`` no matter which decoy edges are added among non-source nodes.
+    State fields: ``source`` / ``target`` flags and the target value ``k``.
+    """
+    if path_count < 1 or path_length < 1:
+        raise ValueError("need at least one path with one interior node")
+    rng = random.Random(seed)
+    graph = PortGraph()
+    source = 0
+    sink = 1
+    graph.add_node(source)
+    graph.add_node(sink)
+    next_node = 2
+    interiors: List[Node] = []
+    for _ in range(path_count):
+        previous = source
+        for _ in range(path_length):
+            graph.add_node(next_node)
+            graph.add_edge(previous, next_node)
+            interiors.append(next_node)
+            previous = next_node
+            next_node += 1
+        graph.add_edge(previous, sink)
+    added = 0
+    attempts = 0
+    while added < decoy_edges and attempts < 50 * (decoy_edges + 1):
+        attempts += 1
+        u = rng.choice(interiors)
+        v = rng.choice(interiors + [sink])
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    states = {
+        node: NodeState(
+            node,
+            {
+                "source": node == source,
+                "target": node == sink,
+                "k": path_count,
+            },
+        )
+        for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+def vertex_connectivity_configuration(
+    path_count: int,
+    path_length: int = 2,
+    decoy_edges: int = 0,
+    seed: int = 0,
+) -> Configuration:
+    """A graph whose s-t *vertex* connectivity is exactly ``k = path_count``.
+
+    ``k`` internally disjoint paths with ``path_length >= 1`` interior nodes
+    each; ``s`` and ``t`` are non-adjacent and ``deg(s) = k``, so the
+    neighborhood of ``s`` is a vertex cut of size ``k`` no matter which decoy
+    edges are added among non-source nodes.
+    """
+    if path_count < 1 or path_length < 1:
+        raise ValueError("need at least one path with one interior node")
+    rng = random.Random(seed)
+    graph = PortGraph()
+    source, sink = 0, 1
+    graph.add_node(source)
+    graph.add_node(sink)
+    next_node = 2
+    interiors: List[Node] = []
+    for _ in range(path_count):
+        previous = source
+        for _ in range(path_length):
+            graph.add_node(next_node)
+            graph.add_edge(previous, next_node)
+            interiors.append(next_node)
+            previous = next_node
+            next_node += 1
+        graph.add_edge(previous, sink)
+    added = 0
+    attempts = 0
+    while added < decoy_edges and attempts < 50 * (decoy_edges + 1):
+        attempts += 1
+        u = rng.choice(interiors)
+        v = rng.choice(interiors + [sink])
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    states = {
+        node: NodeState(
+            node,
+            {
+                "source": node == source,
+                "target": node == sink,
+                "k": path_count,
+            },
+        )
+        for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+def reindex_ids(configuration: Configuration, offset: int) -> Configuration:
+    """Shift every identity by ``offset`` (distinctness experiments)."""
+    states = {
+        node: NodeState(state.node_id + offset, dict(state.fields))
+        for node, state in configuration.states.items()
+    }
+    return Configuration(configuration.graph, states)

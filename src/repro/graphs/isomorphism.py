@@ -1,0 +1,161 @@
+"""Port-preserving subgraph isomorphisms.
+
+Section 4 crosses subgraphs related by a *port-preserving* isomorphism: the
+image of an edge must carry the same port number at the image endpoint as the
+original edge does at the original endpoint.  That is what makes the crossed
+graph indistinguishable to the verifier — messages arrive on the same ports.
+
+Functions here validate a candidate ``sigma`` and (for tests and small
+gadgets) enumerate all valid ones by brute force.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+from repro.graphs.port_graph import Node, PortGraph
+
+
+def edge_ports(graph: PortGraph, u: Node, v: Node) -> Tuple[int, int]:
+    """The ports ``(at u, at v)`` of the (unique, simple) edge ``{u, v}``."""
+    port_u = graph.port_to(u, v)
+    if port_u is None:
+        raise ValueError(f"edge {{{u!r}, {v!r}}} not in graph")
+    return port_u, graph.reverse_port(u, port_u)
+
+
+def is_port_preserving_isomorphism(
+    graph: PortGraph,
+    edges1: Iterable[Tuple[Node, Node]],
+    sigma: Mapping[Node, Node],
+) -> bool:
+    """True if ``sigma`` maps the subgraph with edges ``edges1`` port-preservingly.
+
+    For every ``{u, v}`` in ``edges1`` with ports ``(a, b)``, the graph must
+    contain ``{sigma(u), sigma(v)}`` wired on port ``a`` of ``sigma(u)`` and
+    port ``b`` of ``sigma(v)``.  ``sigma`` must be injective.
+    """
+    values = list(sigma.values())
+    if len(set(values)) != len(values):
+        return False
+    for u, v in edges1:
+        if u not in sigma or v not in sigma:
+            return False
+        port_u, port_v = edge_ports(graph, u, v)
+        image_u, image_v = sigma[u], sigma[v]
+        if graph.degree(image_u) <= port_u:
+            return False
+        if graph.neighbor(image_u, port_u) != image_v:
+            return False
+        if graph.reverse_port(image_u, port_u) != port_v:
+            return False
+    return True
+
+
+def find_port_preserving_isomorphisms(
+    graph: PortGraph,
+    nodes1: Sequence[Node],
+    nodes2: Sequence[Node],
+    edges1: Sequence[Tuple[Node, Node]],
+) -> Iterator[Dict[Node, Node]]:
+    """Enumerate every port-preserving isomorphism ``V1 -> V2`` (brute force).
+
+    Intended for small gadgets and tests; the benchmark attacks construct
+    their isomorphisms directly from the gadget layout instead.
+    """
+    nodes1 = list(nodes1)
+    for image in permutations(nodes2, len(nodes1)):
+        sigma = dict(zip(nodes1, image))
+        if is_port_preserving_isomorphism(graph, edges1, sigma):
+            yield sigma
+
+
+def graphs_isomorphic(a: PortGraph, b: PortGraph) -> bool:
+    """Unlabeled (port-oblivious) graph isomorphism, exact.
+
+    Used by the ``Sym`` predicate (Theorem 3.5 / Appendix C): a graph is
+    *symmetric* when deleting some edge splits it into two isomorphic halves.
+    The algorithm is Weisfeiler–Leman color refinement to prune, followed by
+    backtracking over color-respecting bijections — amply fast for the gadget
+    sizes the paper's constructions use.
+    """
+    if a.node_count != b.node_count or a.edge_count != b.edge_count:
+        return False
+    colors_a = _refined_colors(a)
+    colors_b = _refined_colors(b)
+    histogram_a = sorted(colors_a.values())
+    histogram_b = sorted(colors_b.values())
+    if histogram_a != histogram_b:
+        return False
+
+    order = sorted(a.nodes, key=lambda node: (colors_a[node], repr(node)))
+    candidates: Dict[Node, List[Node]] = {
+        node: [
+            other
+            for other in b.nodes
+            if colors_b[other] == colors_a[node]
+        ]
+        for node in order
+    }
+    mapping: Dict[Node, Node] = {}
+    used: set = set()
+
+    def backtrack(index: int) -> bool:
+        if index == len(order):
+            return True
+        node = order[index]
+        for image in candidates[node]:
+            if image in used:
+                continue
+            consistent = True
+            for neighbor in a.neighbors(node):
+                if neighbor in mapping and not b.has_edge(image, mapping[neighbor]):
+                    consistent = False
+                    break
+            if consistent:
+                # Also forbid extra edges: mapped neighbors of the image must
+                # correspond to neighbors of node.
+                for mapped_node, mapped_image in mapping.items():
+                    if b.has_edge(image, mapped_image) != a.has_edge(node, mapped_node):
+                        consistent = False
+                        break
+            if not consistent:
+                continue
+            mapping[node] = image
+            used.add(image)
+            if backtrack(index + 1):
+                return True
+            del mapping[node]
+            used.discard(image)
+        return False
+
+    return backtrack(0)
+
+
+def _refined_colors(graph: PortGraph) -> Dict[Node, int]:
+    """1-dimensional Weisfeiler-Leman colors (stable refinement of degrees)."""
+    colors: Dict[Node, int] = {node: graph.degree(node) for node in graph.nodes}
+    for _ in range(graph.node_count):
+        signatures = {
+            node: (colors[node], tuple(sorted(colors[nb] for nb in graph.neighbors(node))))
+            for node in graph.nodes
+        }
+        palette = {sig: idx for idx, sig in enumerate(sorted(set(signatures.values())))}
+        new_colors = {node: palette[signatures[node]] for node in graph.nodes}
+        if new_colors == colors:
+            break
+        colors = new_colors
+    return colors
+
+
+def translation_isomorphism(offset_nodes: Sequence[Node], image_nodes: Sequence[Node]) -> Dict[Node, Node]:
+    """The positional map ``offset_nodes[i] -> image_nodes[i]``.
+
+    Convenience for gadget families where copies are translates of each other
+    (paths, cycles), so the isomorphism is "shift by 3i" as in the proofs of
+    Theorems 5.1, 5.2 and 5.4.
+    """
+    if len(offset_nodes) != len(image_nodes):
+        raise ValueError("node sequences must have equal length")
+    return dict(zip(offset_nodes, image_nodes))

@@ -1,0 +1,402 @@
+"""Workload generators for the extension schemes.
+
+:mod:`repro.graphs.generators` builds the paper's own gadget families; this
+module builds the planted workloads for the schemes the library adds on top
+of them (distance certification, leader agreement, bipartiteness, MIS,
+Eulerian circuits, Hamiltonicity).  The same conventions apply: generators
+return :class:`~repro.core.configuration.Configuration` objects with planted
+witnesses, and every legal generator has corruption helpers producing the
+matching illegal instances for soundness experiments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.configuration import Configuration, NodeState, simple_states
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.port_graph import Node, PortGraph, cycle_graph
+from repro.substrates.bfs import bfs_layers, dijkstra, is_bipartite
+
+# ---------------------------------------------------------------------------
+# single-source distances (schemes.distance)
+# ---------------------------------------------------------------------------
+
+
+def distance_configuration(
+    node_count: int,
+    extra_edges: int = 0,
+    seed: int = 0,
+    weighted: bool = False,
+    max_weight: int = 9,
+) -> Configuration:
+    """A random connected graph with true ``dist`` fields from node 0.
+
+    ``weighted=True`` draws symmetric integer edge weights in
+    ``[1, max_weight]`` and plants Dijkstra distances; otherwise hop
+    distances.
+    """
+    rng = random.Random(seed)
+    graph = random_connected_graph(node_count, extra_edges, rng)
+    weights: Optional[Dict[Node, List[int]]] = None
+    if weighted:
+        weights = {node: [0] * graph.degree(node) for node in graph.nodes}
+        for u, pu, v, pv in graph.edges():
+            w = rng.randint(1, max_weight)
+            weights[u][pu] = w
+            weights[v][pv] = w
+        dist = dijkstra(graph, 0, weights).dist
+    else:
+        dist = bfs_layers(graph, 0).dist
+    states = {}
+    for node in graph.nodes:
+        fields = {"source": node == 0, "dist": dist[node]}
+        if weights is not None:
+            fields["weights"] = tuple(weights[node])
+        states[node] = NodeState(node, fields)
+    return Configuration(graph, states)
+
+
+def corrupt_distance(configuration: Configuration, seed: int = 0) -> Configuration:
+    """Perturb one non-source node's ``dist`` claim by +-1 (never to the truth)."""
+    rng = random.Random(seed)
+    nodes = [
+        node
+        for node in configuration.graph.nodes
+        if not configuration.state(node).get("source")
+    ]
+    victim = nodes[rng.randrange(len(nodes))]
+    state = configuration.state(victim)
+    claimed = state.get("dist")
+    delta = 1 if claimed == 0 or rng.random() < 0.5 else -1
+    states = dict(configuration.states)
+    states[victim] = state.with_fields(dist=claimed + delta)
+    return Configuration(configuration.graph, states)
+
+
+def corrupt_distance_second_source(
+    configuration: Configuration, seed: int = 0
+) -> Configuration:
+    """Mark a second node as source (breaks source uniqueness)."""
+    rng = random.Random(seed)
+    nodes = [
+        node
+        for node in configuration.graph.nodes
+        if not configuration.state(node).get("source")
+    ]
+    victim = nodes[rng.randrange(len(nodes))]
+    states = dict(configuration.states)
+    states[victim] = configuration.state(victim).with_fields(source=True)
+    return Configuration(configuration.graph, states)
+
+
+# ---------------------------------------------------------------------------
+# leader agreement (schemes.leader)
+# ---------------------------------------------------------------------------
+
+
+def leader_configuration(
+    node_count: int, extra_edges: int = 0, seed: int = 0
+) -> Configuration:
+    """A random connected graph where every node names the max id as leader."""
+    rng = random.Random(seed)
+    graph = random_connected_graph(node_count, extra_edges, rng)
+    leader_id = max(node for node in graph.nodes)
+    states = {
+        node: NodeState(node, {"leader": leader_id}) for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+def corrupt_leader_disagreement(
+    configuration: Configuration, seed: int = 0
+) -> Configuration:
+    """One node names a different (existing) leader."""
+    rng = random.Random(seed)
+    nodes = configuration.graph.nodes
+    victim = nodes[rng.randrange(len(nodes))]
+    current = configuration.state(victim).get("leader")
+    other = next(
+        configuration.node_id(node)
+        for node in nodes
+        if configuration.node_id(node) != current
+    )
+    states = dict(configuration.states)
+    states[victim] = configuration.state(victim).with_fields(leader=other)
+    return Configuration(configuration.graph, states)
+
+
+def corrupt_leader_phantom(configuration: Configuration) -> Configuration:
+    """Every node names an id no node holds — the locally invisible violation."""
+    phantom = 1 + max(
+        configuration.node_id(node) for node in configuration.graph.nodes
+    )
+    states = {
+        node: configuration.state(node).with_fields(leader=phantom)
+        for node in configuration.graph.nodes
+    }
+    return Configuration(configuration.graph, states)
+
+
+# ---------------------------------------------------------------------------
+# bipartiteness (schemes.bipartiteness)
+# ---------------------------------------------------------------------------
+
+
+def random_bipartite_configuration(
+    left: int, right: int, extra_edges: int = 0, seed: int = 0
+) -> Configuration:
+    """A connected random bipartite graph on ``left + right`` nodes.
+
+    A random recursive tree alternating sides guarantees connectivity: each
+    new node attaches to a random *already-attached* node of the other side.
+    Extra edges are drawn across the bipartition only.
+    """
+    if left < 1 or right < 1:
+        raise ValueError("both sides need at least one node")
+    rng = random.Random(seed)
+    left_nodes = list(range(left))
+    right_nodes = list(range(left, left + right))
+    graph = PortGraph()
+    graph.add_edge(left_nodes[0], right_nodes[0])
+    attached = {0: [left_nodes[0]], 1: [right_nodes[0]]}
+    pending = [(0, node) for node in left_nodes[1:]] + [
+        (1, node) for node in right_nodes[1:]
+    ]
+    rng.shuffle(pending)
+    for side, node in pending:
+        anchor = attached[side ^ 1][rng.randrange(len(attached[side ^ 1]))]
+        graph.add_edge(node, anchor)
+        attached[side].append(node)
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u = left_nodes[rng.randrange(left)]
+        v = right_nodes[rng.randrange(right)]
+        if not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return Configuration(graph, simple_states(graph))
+
+
+def odd_cycle_configuration(node_count: int, seed: int = 0) -> Configuration:
+    """A non-bipartite graph: an odd cycle with random trees hanging off it."""
+    if node_count < 3:
+        raise ValueError("need at least 3 nodes")
+    cycle_len = node_count if node_count % 2 == 1 else node_count - 1
+    rng = random.Random(seed)
+    graph = cycle_graph(cycle_len)
+    for node in range(cycle_len, node_count):
+        graph.add_edge(node, rng.randrange(node))
+    return Configuration(graph, simple_states(graph))
+
+
+# ---------------------------------------------------------------------------
+# maximal independent set (schemes.mis)
+# ---------------------------------------------------------------------------
+
+
+def mis_configuration(
+    node_count: int, extra_edges: int = 0, seed: int = 0
+) -> Configuration:
+    """A random connected graph with a greedy (hence maximal) independent set."""
+    rng = random.Random(seed)
+    graph = random_connected_graph(node_count, extra_edges, rng)
+    marked = set()
+    order = list(graph.nodes)
+    rng.shuffle(order)
+    for node in order:
+        if not any(neighbor in marked for neighbor in graph.neighbors(node)):
+            marked.add(node)
+    states = {
+        node: NodeState(node, {"in_mis": node in marked}) for node in graph.nodes
+    }
+    return Configuration(graph, states)
+
+
+def corrupt_mis_independence(
+    configuration: Configuration, seed: int = 0
+) -> Configuration:
+    """Mark a neighbor of a marked node (breaks independence)."""
+    rng = random.Random(seed)
+    graph = configuration.graph
+    candidates = [
+        (node, neighbor)
+        for node in graph.nodes
+        if configuration.state(node).get("in_mis")
+        for neighbor in graph.neighbors(node)
+        if not configuration.state(neighbor).get("in_mis")
+    ]
+    if not candidates:
+        raise ValueError("no marked node with an unmarked neighbor")
+    _, victim = candidates[rng.randrange(len(candidates))]
+    states = dict(configuration.states)
+    states[victim] = configuration.state(victim).with_fields(in_mis=True)
+    return Configuration(graph, states)
+
+
+def corrupt_mis_maximality(
+    configuration: Configuration, seed: int = 0
+) -> Configuration:
+    """Unmark one marked node (its unmarked neighbors lose coverage...).
+
+    Note unmarking can leave the set maximal when every former neighbor has
+    another marked neighbor; the helper unmarks a node at least one of whose
+    neighbors has no other marked neighbor, so the result always violates
+    maximality (that neighbor — or the victim itself — ends uncovered).
+    """
+    rng = random.Random(seed)
+    graph = configuration.graph
+    marked = {
+        node for node in graph.nodes if configuration.state(node).get("in_mis")
+    }
+    victims = []
+    for node in marked:
+        # Unmarking `node` leaves `node` itself uncovered unless it has a
+        # marked neighbor — impossible in an independent set.  So any marked
+        # node works: after unmarking, no neighbor of `node` is marked
+        # (independence), so `node` is unmarked with no marked neighbor.
+        victims.append(node)
+    victim = sorted(victims, key=repr)[rng.randrange(len(victims))]
+    states = dict(configuration.states)
+    states[victim] = configuration.state(victim).with_fields(in_mis=False)
+    return Configuration(graph, states)
+
+
+# ---------------------------------------------------------------------------
+# Eulerian circuits (schemes.eulerian)
+# ---------------------------------------------------------------------------
+
+
+def eulerian_configuration(node_count: int, seed: int = 0) -> Configuration:
+    """A connected graph where every degree is even.
+
+    Built as a union of edge-disjoint cycles sharing nodes: start from one
+    cycle over all nodes, then superpose random cycles — each superposition
+    keeps all degrees even.
+    """
+    if node_count < 3:
+        raise ValueError("need at least 3 nodes")
+    rng = random.Random(seed)
+    graph = cycle_graph(node_count)
+    # Superpose a few random simple cycles (node sequences without repeats,
+    # avoiding existing edges so the graph stays simple).
+    for _attempt in range(node_count // 3):
+        length = rng.randrange(3, max(4, node_count // 2 + 1))
+        members = rng.sample(range(node_count), min(length, node_count))
+        closed = members + [members[0]]
+        if all(
+            not graph.has_edge(closed[i], closed[i + 1])
+            for i in range(len(members))
+        ):
+            for i in range(len(members)):
+                graph.add_edge(closed[i], closed[i + 1])
+    return Configuration(graph, simple_states(graph))
+
+
+def non_eulerian_configuration(node_count: int, seed: int = 0) -> Configuration:
+    """An Eulerian configuration spoiled by one extra edge (two odd degrees)."""
+    base = eulerian_configuration(node_count, seed)
+    graph = base.graph.copy()
+    rng = random.Random(seed + 1)
+    attempts = 0
+    while attempts < 200:
+        attempts += 1
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            return Configuration(graph, simple_states(graph))
+    raise ValueError("could not find a non-edge to add")
+
+
+# ---------------------------------------------------------------------------
+# girth (core.local radius-t checking)
+# ---------------------------------------------------------------------------
+
+
+def high_girth_configuration(
+    node_count: int, girth: int, extra_edges: int = 0, seed: int = 0
+) -> Configuration:
+    """A connected graph with no simple cycle shorter than ``girth``.
+
+    A random tree plus chords added only between nodes at hop distance
+    ``>= girth - 1`` (a chord closes a cycle of exactly that distance + 1).
+    """
+    if girth < 3:
+        raise ValueError("girth bounds below 3 are vacuous")
+    rng = random.Random(seed)
+    graph = random_connected_graph(node_count, 0, rng)
+    added = 0
+    attempts = 0
+    while added < extra_edges and attempts < 100 * (extra_edges + 1):
+        attempts += 1
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u == v or graph.has_edge(u, v):
+            continue
+        dist = bfs_layers(graph, u).dist.get(v)
+        if dist is not None and dist >= girth - 1:
+            graph.add_edge(u, v)
+            added += 1
+    return Configuration(graph, simple_states(graph))
+
+
+def corrupt_girth(configuration: Configuration, girth: int, seed: int = 0) -> Configuration:
+    """Add one chord closing a cycle shorter than ``girth``."""
+    rng = random.Random(seed)
+    graph = configuration.graph.copy()
+    nodes = graph.nodes
+    for _attempt in range(500):
+        u = nodes[rng.randrange(len(nodes))]
+        dist = bfs_layers(graph, u).dist
+        candidates = [
+            v
+            for v in nodes
+            if v != u
+            and not graph.has_edge(u, v)
+            and 2 <= dist.get(v, girth) <= girth - 2
+        ]
+        if candidates:
+            v = candidates[rng.randrange(len(candidates))]
+            graph.add_edge(u, v)
+            return Configuration(graph, dict(configuration.states))
+    raise ValueError("could not find a short-cycle chord")
+
+
+# ---------------------------------------------------------------------------
+# Hamiltonicity (schemes.hamiltonicity)
+# ---------------------------------------------------------------------------
+
+
+def hamiltonian_configuration(
+    node_count: int, extra_edges: int = 0, seed: int = 0
+) -> Tuple[Configuration, List[Node]]:
+    """A Hamiltonian graph with its witness cycle.
+
+    A random permutation cycle over all nodes is planted, then chords are
+    added; the witness (in cycle order) is returned so provers skip the
+    NP-hard search.
+    """
+    if node_count < 3:
+        raise ValueError("need at least 3 nodes")
+    rng = random.Random(seed)
+    order = list(range(node_count))
+    rng.shuffle(order)
+    graph = PortGraph()
+    for position, node in enumerate(order):
+        graph.add_node(node)
+    for position, node in enumerate(order):
+        graph.add_edge(node, order[(position + 1) % node_count])
+    attempts = 0
+    added = 0
+    while added < extra_edges and attempts < 50 * (extra_edges + 1):
+        attempts += 1
+        u = rng.randrange(node_count)
+        v = rng.randrange(node_count)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return Configuration(graph, simple_states(graph)), order

@@ -1,0 +1,41 @@
+"""Section 4 lower-bound machinery, run as constructive attacks.
+
+The paper's lower bounds are pigeonhole arguments, and pigeonhole arguments
+are algorithms: enumerate gadget copies, find two whose labels (Prop 4.3),
+certificate supports (Prop 4.8) or ε-rounded certificate distributions
+(Prop 4.6) collide, and cross them (Definition 4.2).  This package executes
+exactly those procedures:
+
+- :mod:`repro.lowerbounds.bounds` — the closed-form thresholds of
+  Theorems 4.4 / 4.7 and Propositions 4.3 / 4.6 / 4.8;
+- :mod:`repro.lowerbounds.counting` — ε-rounded distributions and their
+  counting bound (Eq. (1)-(2) in Appendix D);
+- :mod:`repro.lowerbounds.truncation` — deliberately undersized schemes the
+  attacks defeat, demonstrating the bounds are real;
+- :mod:`repro.lowerbounds.crossing_attack` — the attacks themselves,
+  including the iterated variant of Theorem 5.5;
+- :mod:`repro.lowerbounds.reductions` — the RPLS→2-party-EQ reductions of
+  Lemmas C.1 and C.3 behind the Theorem 3.5 tightness result.
+"""
+
+from repro.lowerbounds.bounds import (
+    deterministic_crossing_threshold,
+    one_sided_crossing_threshold,
+    two_sided_crossing_threshold,
+)
+from repro.lowerbounds.crossing_attack import (
+    AttackResult,
+    CrossingGadgets,
+    deterministic_crossing_attack,
+    one_sided_support_attack,
+)
+
+__all__ = [
+    "AttackResult",
+    "CrossingGadgets",
+    "deterministic_crossing_attack",
+    "deterministic_crossing_threshold",
+    "one_sided_crossing_threshold",
+    "one_sided_support_attack",
+    "two_sided_crossing_threshold",
+]

@@ -1,0 +1,113 @@
+"""Closed-form crossing thresholds — Theorems 4.4 and 4.7.
+
+With ``r`` pairwise independent isomorphic subgraphs of ``s`` edges each:
+
+- **Proposition 4.3 / Theorem 4.4 (deterministic).**  The concatenated labels
+  of a (<= 2s)-node gadget occupy ``2*s*kappa`` bits; fewer than ``r``
+  distinct values forces a collision, i.e. every PLS with
+  ``kappa < log2(r) / (2s)`` is crossable: ``Omega(log r / s)``.
+- **Proposition 4.8 (one-sided randomized).**  What must collide is the
+  *support* of each certificate — a subset of ``2^kappa`` strings — over the
+  ``2s`` directed edges: ``2^(2s * 2^kappa)`` possibilities, so
+  ``kappa < log2(log2(r)) / (2s)`` forces a collision:
+  ``Omega(log log r / s)``.
+- **Proposition 4.6 / Theorem 4.7 (edge-independent two-sided).**  What must
+  collide is the epsilon-rounded joint certificate distribution with
+  ``epsilon = 1 / (12 s 2^(2 s kappa))``; the count is
+  ``(2/epsilon)^(2^(2 s kappa))``, giving the same ``Omega(log log r / s)``
+  asymptotics.  :func:`two_sided_crossing_threshold` solves the exact
+  inequality ``(2^(4s) * 2^(2 s kappa))^(2^(2 s kappa)) < r`` instead of the
+  asymptotic form.
+
+Since ``r <= n``, the technique cannot prove more than ``Omega(log n)``
+deterministically or ``Omega(log log n)`` randomizedly — the paper's remarks
+after Theorems 4.4 and 4.7, visible in the tables benchmark E6/E7 print.
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def _check_gadget_parameters(r: int, s: int) -> None:
+    if r < 2:
+        raise ValueError("need at least two gadget copies")
+    if s < 1:
+        raise ValueError("gadgets need at least one edge")
+
+
+def deterministic_crossing_threshold(r: int, s: int) -> float:
+    """Proposition 4.3: any PLS with ``kappa`` strictly below this is crossable.
+
+    >>> deterministic_crossing_threshold(1024, 1)
+    5.0
+    """
+    _check_gadget_parameters(r, s)
+    return math.log2(r) / (2 * s)
+
+
+def one_sided_crossing_threshold(r: int, s: int) -> float:
+    """Proposition 4.8: one-sided RPLS threshold ``log2(log2 r) / (2s)``.
+
+    >>> one_sided_crossing_threshold(2 ** 16, 1)
+    2.0
+    """
+    _check_gadget_parameters(r, s)
+    if r <= 2:
+        return 0.0
+    return math.log2(math.log2(r)) / (2 * s)
+
+
+def two_sided_crossing_threshold(r: int, s: int) -> int:
+    """Proposition 4.6, exact: the largest crossable ``kappa``.
+
+    Returns the largest integer ``kappa`` such that
+    ``(2^(4s) * 2^(2 s kappa))^(2^(2 s kappa)) < r`` — i.e. the number of
+    epsilon-rounded distributions is below ``r``, so two gadgets must carry
+    identical rounded certificate distributions and the crossing changes the
+    acceptance probability by less than 1/3.  Returns -1 when not even
+    ``kappa = 0`` satisfies the inequality.
+    """
+    _check_gadget_parameters(r, s)
+    log_r = math.log2(r)
+    kappa = -1
+    while True:
+        candidate = kappa + 1
+        exponent = 2 ** (2 * s * candidate)
+        # log2 of (2^(4s) * 2^(2*s*candidate)) ** exponent:
+        total = exponent * (4 * s + 2 * s * candidate)
+        if total < log_r:
+            kappa = candidate
+        else:
+            return kappa
+
+
+def gadget_copies_needed_deterministic(kappa: int, s: int) -> int:
+    """Smallest ``r`` guaranteeing a label collision against ``kappa``-bit labels.
+
+    Inverts Proposition 4.3: with ``r > 2^(2 s kappa)`` copies two gadgets
+    must share their concatenated label string.
+    """
+    if kappa < 0 or s < 1:
+        raise ValueError("kappa >= 0 and s >= 1 required")
+    return 2 ** (2 * s * kappa) + 1
+
+
+def gadget_copies_needed_one_sided(kappa: int, s: int) -> int:
+    """Smallest ``r`` guaranteeing a support collision (Proposition 4.8).
+
+    The proof represents one gadget's ``2s`` certificate supports as a subset
+    of the ``2^(2 s kappa)`` possible concatenated certificate strings, so
+    there are ``2^(2^(2 s kappa))`` support signatures; ``r`` exceeding that
+    forces two gadgets to coincide.
+    """
+    if kappa < 0 or s < 1:
+        raise ValueError("kappa >= 0 and s >= 1 required")
+    return 2 ** (2 ** (2 * s * kappa)) + 1
+
+
+def epsilon_for_two_sided(kappa: int, s: int) -> float:
+    """The rounding granularity of Appendix D: ``1/(12 s 2^(2 s kappa))``."""
+    if kappa < 0 or s < 1:
+        raise ValueError("kappa >= 0 and s >= 1 required")
+    return 1.0 / (12 * s * 2 ** (2 * s * kappa))

@@ -1,0 +1,88 @@
+"""Epsilon-rounded distributions — the counting core of Proposition 4.6.
+
+Appendix D rounds certificate distributions down to multiples of ``epsilon``:
+
+- two distributions with equal roundings differ by at most ``epsilon * |X|``
+  on any event (Eq. 1), so swapping one fragment's certificate sources for
+  the other's moves the acceptance probability by less than 1/3;
+- there are at most ``(2/epsilon)^|X|`` distinct rounded distributions
+  (Eq. 2), so enough gadget copies force a collision.
+
+These helpers implement the rounding, the counting bound, and empirical
+distribution estimation used by the two-sided crossing attack (which works
+with sampled, then rounded, certificate distributions).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Dict, Hashable, Mapping, Tuple
+
+
+def round_down(value: float, epsilon: float) -> float:
+    """``epsilon * floor(value / epsilon)`` — the paper's floor-to-grid."""
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return epsilon * math.floor(value / epsilon)
+
+
+def round_distribution(
+    distribution: Mapping[Hashable, float], epsilon: float
+) -> Dict[Hashable, float]:
+    """Round every probability down to the epsilon grid.
+
+    The result is generally *not* a probability distribution (it may sum to
+    less than 1) — the paper's Appendix D makes the same observation and only
+    uses roundings as collision signatures.
+    """
+    return {
+        outcome: round_down(probability, epsilon)
+        for outcome, probability in distribution.items()
+    }
+
+
+def rounded_signature(
+    distribution: Mapping[Hashable, float], epsilon: float
+) -> Tuple[Tuple[Hashable, int], ...]:
+    """A hashable signature of the rounded distribution (grid indices).
+
+    Zero entries are dropped, so distributions over different supports align.
+    """
+    items = []
+    for outcome, probability in distribution.items():
+        grid = math.floor(probability / epsilon)
+        if grid:
+            items.append((outcome, grid))
+    return tuple(sorted(items, key=repr))
+
+
+def count_rounded_distributions(domain_size: int, epsilon: float) -> float:
+    """Upper bound ``(2/epsilon)^domain_size`` of Eq. (2) (as a float/log).
+
+    Returns ``log2`` of the bound to avoid overflow; callers compare against
+    ``log2(r)``.
+    """
+    if domain_size < 1:
+        raise ValueError("domain must be non-empty")
+    if epsilon <= 0:
+        raise ValueError("epsilon must be positive")
+    return domain_size * math.log2(2.0 / epsilon)
+
+
+def total_variation_bound(domain_size: int, epsilon: float) -> float:
+    """Eq. (1): rounding-equal distributions differ by ``< epsilon * |X|``."""
+    return epsilon * domain_size
+
+
+def empirical_distribution(
+    sampler, trials: int, rng: random.Random
+) -> Dict[Hashable, float]:
+    """Estimate a distribution by sampling ``sampler(rng)`` repeatedly."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    counts: Dict[Hashable, int] = {}
+    for _ in range(trials):
+        outcome = sampler(rng)
+        counts[outcome] = counts.get(outcome, 0) + 1
+    return {outcome: count / trials for outcome, count in counts.items()}

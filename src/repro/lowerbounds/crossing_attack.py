@@ -1,0 +1,425 @@
+"""Crossing attacks — Propositions 4.3, 4.6, 4.8 and Theorem 5.5, executed.
+
+An attack instance consists of a configuration plus ``r`` pairwise
+independent, port-preserving-isomorphic gadget subgraphs
+(:class:`CrossingGadgets`).  The attack:
+
+1. runs the honest prover;
+2. searches two gadgets whose *signatures* collide — concatenated labels
+   (deterministic, Prop 4.3), sampled certificate supports (one-sided RPLS,
+   Prop 4.8), or sampled-and-rounded certificate distributions
+   (edge-independent two-sided RPLS, Prop 4.6);
+3. crosses them (Definition 4.2) and re-runs the verifier *with the same
+   labels* on the crossed configuration.
+
+If the original was accepted and the crossed one is too — although it
+violates the predicate — the scheme is *fooled*, which is exactly what the
+propositions predict whenever the certificate size sits below the
+corresponding threshold in :mod:`repro.lowerbounds.bounds`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.scheme import (
+    LabelView,
+    ProofLabelingScheme,
+    RandomizedScheme,
+    SchemeParams,
+    derive_rng,
+)
+from repro.core.verifier import (
+    estimate_acceptance,
+    verify_deterministic,
+    verify_randomized,
+)
+from repro.graphs.crossing import cross_subgraphs, subgraphs_independent
+from repro.graphs.isomorphism import is_port_preserving_isomorphism
+from repro.graphs.port_graph import Node, PortGraph
+
+
+@dataclass
+class CrossingGadgets:
+    """``r`` aligned gadget copies inside one configuration.
+
+    ``gadget_nodes[i]`` lists the nodes of ``H_i`` in a fixed order so that
+    the positional map ``gadget_nodes[i][t] -> gadget_nodes[j][t]`` is the
+    isomorphism ``sigma_j ∘ sigma_i^{-1}``; ``gadget_edges[i]`` lists ``E_i``
+    with endpoints drawn from that node list.
+    """
+
+    configuration: Configuration
+    gadget_nodes: List[List[Node]]
+    gadget_edges: List[List[Tuple[Node, Node]]]
+
+    @property
+    def r(self) -> int:
+        return len(self.gadget_nodes)
+
+    @property
+    def s(self) -> int:
+        return len(self.gadget_edges[0]) if self.gadget_edges else 0
+
+    def sigma(self, i: int, j: int) -> Dict[Node, Node]:
+        """The positional isomorphism ``H_i -> H_j``."""
+        return dict(zip(self.gadget_nodes[i], self.gadget_nodes[j]))
+
+    def validate(self) -> None:
+        """Check independence and port-preserving isomorphism of all copies.
+
+        Raises :class:`ValueError` on violation — benchmark code calls this
+        once per family so the attack's preconditions are real, not assumed.
+        """
+        graph = self.configuration.graph
+        for i in range(self.r):
+            for j in range(i + 1, self.r):
+                if not subgraphs_independent(
+                    graph, set(self.gadget_nodes[i]), set(self.gadget_nodes[j])
+                ):
+                    raise ValueError(f"gadgets {i} and {j} are not independent")
+        for i in range(1, self.r):
+            if not is_port_preserving_isomorphism(
+                graph, self.gadget_edges[0], self.sigma(0, i)
+            ):
+                raise ValueError(f"gadget {i} is not port-preserving isomorphic to gadget 0")
+
+
+@dataclass
+class AttackResult:
+    """Outcome of one crossing attack."""
+
+    collision_found: bool
+    pair: Optional[Tuple[int, int]] = None
+    original_accepted: Optional[bool] = None
+    crossed_accepted: Optional[bool] = None
+    crossed_configuration: Optional[Configuration] = None
+    details: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def fooled(self) -> bool:
+        """True when the verifier accepted both the legal and crossed instance."""
+        return bool(
+            self.collision_found and self.original_accepted and self.crossed_accepted
+        )
+
+
+# ---------------------------------------------------------------------------
+# gadget families for the paper's graphs
+# ---------------------------------------------------------------------------
+
+
+def path_gadgets(configuration: Configuration) -> CrossingGadgets:
+    """Theorem 5.1's family: single edges ``{u_{3i}, u_{3i+1}}`` along a path.
+
+    Assumes nodes are ``0..n-1`` in path order with consistent ports (as
+    :func:`repro.graphs.generators.line_configuration` builds them).
+    """
+    n = configuration.node_count
+    gadget_nodes = []
+    gadget_edges = []
+    # Start at i = 1: the endpoint u_0 has degree 1, so the edge {u_0, u_1}
+    # carries different port numbers than the interior edges and would break
+    # port preservation.
+    for i in range(1, n // 3):
+        a, b = 3 * i, 3 * i + 1
+        if b + 1 >= n:
+            break  # keep the last gadget clear of the far endpoint
+        gadget_nodes.append([a, b])
+        gadget_edges.append([(a, b)])
+    return CrossingGadgets(configuration, gadget_nodes, gadget_edges)
+
+
+def cycle_gadgets(
+    configuration: Configuration, cycle_length: int, skip_anchor: bool = True
+) -> CrossingGadgets:
+    """The Figure 2 family: edges ``{v_{3i}, v_{3i+1}}`` along the cycle.
+
+    ``skip_anchor`` starts at ``i = 1`` so no gadget touches ``v0`` or its
+    chord endpoints' immediate cycle neighborhood, matching the proofs of
+    Theorems 5.2 / 5.4 (their ``H_1 = {v1, v2}`` shifted to the uniform
+    ``{v_{3i}, v_{3i+1}}`` form).
+    """
+    gadget_nodes = []
+    gadget_edges = []
+    start = 1 if skip_anchor else 0
+    for i in range(start, cycle_length // 3):
+        a, b = 3 * i, 3 * i + 1
+        if b >= cycle_length:
+            break
+        gadget_nodes.append([a, b])
+        gadget_edges.append([(a, b)])
+    return CrossingGadgets(configuration, gadget_nodes, gadget_edges)
+
+
+def chain_cycle_gadgets(
+    configuration: Configuration, cycle_length: int
+) -> CrossingGadgets:
+    """The Figure 5 family: one edge from each cycle in the chain.
+
+    Uses the edge ``{offset + 1, offset + 2}`` of each ``c``-cycle — away
+    from the chaining connectors at ``offset`` and ``offset + c - 1``.
+    """
+    c = cycle_length
+    n = configuration.node_count
+    gadget_nodes = []
+    gadget_edges = []
+    cycle_count = n // c
+    for index in range(cycle_count):
+        a = index * c + 1
+        b = index * c + 2
+        gadget_nodes.append([a, b])
+        gadget_edges.append([(a, b)])
+    return CrossingGadgets(configuration, gadget_nodes, gadget_edges)
+
+
+# ---------------------------------------------------------------------------
+# deterministic attack (Proposition 4.3)
+# ---------------------------------------------------------------------------
+
+
+def _label_signature(labels, nodes: Sequence[Node]) -> Tuple:
+    return tuple((labels[node].value, labels[node].length) for node in nodes)
+
+
+def find_label_collision(
+    labels, gadgets: CrossingGadgets
+) -> Optional[Tuple[int, int]]:
+    """First pair ``(i, j)`` of gadgets with identical concatenated labels."""
+    seen: Dict[Tuple, int] = {}
+    for index, nodes in enumerate(gadgets.gadget_nodes):
+        signature = _label_signature(labels, nodes)
+        if signature in seen:
+            return seen[signature], index
+        seen[signature] = index
+    return None
+
+
+def deterministic_crossing_attack(
+    scheme: ProofLabelingScheme, gadgets: CrossingGadgets
+) -> AttackResult:
+    """Proposition 4.3, executed against a concrete scheme."""
+    configuration = gadgets.configuration
+    labels = scheme.prover(configuration)
+    original = verify_deterministic(scheme, configuration, labels=labels)
+    pair = find_label_collision(labels, gadgets)
+    if pair is None:
+        return AttackResult(
+            collision_found=False, original_accepted=original.accepted
+        )
+    i, j = pair
+    sigma = gadgets.sigma(i, j)
+    crossed_graph = cross_subgraphs(
+        configuration.graph, sigma, gadgets.gadget_edges[i]
+    )
+    crossed_configuration = configuration.with_graph(crossed_graph)
+    crossed = verify_deterministic(scheme, crossed_configuration, labels=labels)
+    return AttackResult(
+        collision_found=True,
+        pair=pair,
+        original_accepted=original.accepted,
+        crossed_accepted=crossed.accepted,
+        crossed_configuration=crossed_configuration,
+    )
+
+
+# ---------------------------------------------------------------------------
+# one-sided support attack (Proposition 4.8)
+# ---------------------------------------------------------------------------
+
+
+def _support_signature(
+    scheme: RandomizedScheme,
+    configuration: Configuration,
+    labels,
+    nodes: Sequence[Node],
+    trials: int,
+    seed: int,
+) -> Tuple:
+    """Sampled certificate supports over the gadget's directed edges.
+
+    Exact supports are uncomputable in general; ``trials`` samples per
+    directed edge approximate them (exact whenever the number of distinct
+    certificates is small, as with fingerprints over a fixed label).
+    """
+    graph = configuration.graph
+    params = SchemeParams.from_configuration(configuration)
+    node_set = set(nodes)
+    signature = []
+    for node in nodes:
+        view = LabelView(
+            node=node,
+            state=configuration.state(node),
+            degree=graph.degree(node),
+            params=params,
+            own_label=labels[node],
+        )
+        for port in range(graph.degree(node)):
+            if graph.neighbor(node, port) not in node_set:
+                continue
+            support = set()
+            for trial in range(trials):
+                rng = random.Random(f"support|{seed}|{trial}|{node!r}|{port}")
+                certificate = scheme.certificate(view, port, rng)
+                support.add((certificate.value, certificate.length))
+            signature.append(frozenset(support))
+    return tuple(signature)
+
+
+def one_sided_support_attack(
+    scheme: RandomizedScheme,
+    gadgets: CrossingGadgets,
+    trials: int = 512,
+    acceptance_trials: int = 20,
+    seed: int = 0,
+) -> AttackResult:
+    """Proposition 4.8, executed with sampled supports.
+
+    The crossed configuration keeps the original labels; for a one-sided
+    scheme whose colliding gadgets truly share supports, it must still be
+    accepted with probability 1 — estimated over ``acceptance_trials`` runs.
+
+    ``trials`` samples approximate each directed edge's support; it must
+    comfortably exceed the support size (for fingerprint certificates, the
+    field size ``p = O(kappa)``) times ``log`` of it, or sampling noise makes
+    equal supports look different and the attack under-reports.
+    """
+    configuration = gadgets.configuration
+    labels = scheme.prover(configuration)
+    original = verify_randomized(scheme, configuration, seed=seed, labels=labels)
+    seen: Dict[Tuple, int] = {}
+    pair: Optional[Tuple[int, int]] = None
+    for index, nodes in enumerate(gadgets.gadget_nodes):
+        signature = _support_signature(
+            scheme, configuration, labels, nodes, trials, seed
+        )
+        if signature in seen:
+            pair = (seen[signature], index)
+            break
+        seen[signature] = index
+    if pair is None:
+        return AttackResult(
+            collision_found=False, original_accepted=original.accepted
+        )
+    i, j = pair
+    sigma = gadgets.sigma(i, j)
+    crossed_graph = cross_subgraphs(
+        configuration.graph, sigma, gadgets.gadget_edges[i]
+    )
+    crossed_configuration = configuration.with_graph(crossed_graph)
+    estimate = estimate_acceptance(
+        scheme,
+        crossed_configuration,
+        trials=acceptance_trials,
+        seed=seed,
+        labels=labels,
+    )
+    return AttackResult(
+        collision_found=True,
+        pair=pair,
+        original_accepted=original.accepted,
+        crossed_accepted=estimate.probability > 0.5,
+        crossed_configuration=crossed_configuration,
+        details={"crossed_acceptance": estimate},
+    )
+
+
+# ---------------------------------------------------------------------------
+# iterated crossing (Theorem 5.5)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class IteratedCrossingResult:
+    """Outcome of the Theorem 5.5 iterated attack."""
+
+    iterations: int
+    final_configuration: Configuration
+    final_cycle_lengths: List[int]
+    all_rounds_accepted: bool
+
+
+def iterated_crossing_attack(
+    scheme: ProofLabelingScheme,
+    configuration: Configuration,
+    cycle_nodes: Sequence[Node],
+    target_length: int,
+) -> IteratedCrossingResult:
+    """Theorem 5.5: cross repeatedly until every cycle is shorter than ``c - 1``.
+
+    ``cycle_nodes`` lists the initial long cycle in order (ports consistently
+    ordered).  Each round finds, inside the longest remaining cycle, two
+    independent edges whose endpoint label pairs collide, crosses them, and
+    splits that cycle in two.  The verifier is re-run after every round with
+    the unchanged labels; with undersized labels it keeps accepting while the
+    predicate cycle-at-least-c silently turns false — the paper's iterative
+    argument, executed.
+    """
+    labels = scheme.prover(configuration)
+    current_graph = configuration.graph
+    cycles: List[List[Node]] = [list(cycle_nodes)]
+    iterations = 0
+    all_accepted = verify_deterministic(
+        scheme, configuration, labels=labels
+    ).accepted
+
+    while True:
+        cycles.sort(key=len, reverse=True)
+        if not cycles or len(cycles[0]) < max(target_length - 1, 3):
+            break
+        cycle = cycles[0]
+        pair = _independent_colliding_cycle_edges(labels, cycle)
+        if pair is None:
+            break
+        (a_index, b_index) = pair
+        length = len(cycle)
+        a_u, a_v = cycle[a_index], cycle[(a_index + 1) % length]
+        b_u, b_v = cycle[b_index], cycle[(b_index + 1) % length]
+        sigma = {a_u: b_u, a_v: b_v}
+        current_graph = cross_subgraphs(current_graph, sigma, [(a_u, a_v)])
+        # Crossing edges (a, a+1) and (b, b+1) of one cycle yields two cycles:
+        # a+1..b and b+1..a (indices mod length).
+        first = [cycle[(a_index + 1 + offset) % length] for offset in range((b_index - a_index) % length)]
+        second = [cycle[(b_index + 1 + offset) % length] for offset in range((a_index - b_index) % length)]
+        cycles = cycles[1:] + [first, second]
+        iterations += 1
+        crossed_configuration = configuration.with_graph(current_graph)
+        run = verify_deterministic(scheme, crossed_configuration, labels=labels)
+        all_accepted = all_accepted and run.accepted
+
+    return IteratedCrossingResult(
+        iterations=iterations,
+        final_configuration=configuration.with_graph(current_graph),
+        final_cycle_lengths=sorted((len(c) for c in cycles), reverse=True),
+        all_rounds_accepted=all_accepted,
+    )
+
+
+def _independent_colliding_cycle_edges(
+    labels, cycle: Sequence[Node]
+) -> Optional[Tuple[int, int]]:
+    """Two non-adjacent cycle positions with identical endpoint label pairs."""
+    length = len(cycle)
+    seen: Dict[Tuple, int] = {}
+    for index in range(length):
+        u, v = cycle[index], cycle[(index + 1) % length]
+        signature = (
+            labels[u].value,
+            labels[u].length,
+            labels[v].value,
+            labels[v].length,
+        )
+        if signature in seen:
+            other = seen[signature]
+            # Independence: the two edges must neither share nodes nor be
+            # joined by a cycle edge (gaps 2 and length-2 would create a
+            # multi-edge after crossing).
+            gap = (index - other) % length
+            if 3 <= gap <= length - 3:
+                return other, index
+        else:
+            seen[signature] = index
+    return None

@@ -1,0 +1,147 @@
+"""RPLS → 2-party protocol reductions — Lemmas C.1 and C.3 (Theorem 3.5).
+
+The tightness of the universal RPLS bound ``O(log n + log k)`` is proved by
+simulation: an RPLS with short certificates for ``Sym`` (resp. ``Unif``)
+yields a 2-party EQ protocol whose communication is the certificate traffic
+across a single cut edge, contradicting Lemma 3.2 below ``Omega(log n)``
+(resp. ``Omega(log k)``).  These functions *run* the simulations:
+
+- :func:`sym_eq_protocol` — Lemma C.1.  Alice builds ``G(x, x)``, Bob builds
+  ``G(y, y)``; each labels their own graph with the honest prover and
+  simulates the verifier on their half of the *real* graph ``G(x, y)``
+  (Figure 4).  Only the two certificates over the cut edge
+  ``{u^0_{lam-1}, u^1_{lam-1}}`` are exchanged.  By Claim C.2,
+  ``Sym(G(x, y))`` iff ``x == y``, so the joint accept/reject outcome decides
+  EQ with the scheme's error.
+- :func:`unif_eq_protocol` — Lemma C.3.  The graph is a single edge whose
+  endpoints hold ``x`` and ``y``; communication is again the two
+  certificates.
+
+Both return the protocol output *and* the exact bits exchanged, which
+benchmark E5 compares against the scheme's verification complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.bitstrings import BitString
+from repro.core.scheme import RandomizedScheme
+from repro.core.verifier import verify_randomized
+from repro.graphs.generators import sym_pair_configuration, two_node_configuration
+from repro.graphs.port_graph import Node
+
+
+@dataclass
+class ReductionRun:
+    """One execution of an RPLS-as-2-party-protocol simulation."""
+
+    output: bool               # the protocol's EQ verdict (accept = "equal")
+    ground_truth: bool         # x == y
+    cut_bits: int              # certificate bits exchanged across the cut
+    alice_accepts: bool
+    bob_accepts: bool
+
+    @property
+    def correct(self) -> bool:
+        return self.output == self.ground_truth
+
+
+def _stitched_labels(
+    alice_labels: Dict[Node, BitString],
+    bob_labels: Dict[Node, BitString],
+    alice_nodes,
+    bob_nodes,
+) -> Dict[Node, BitString]:
+    labels = {}
+    for node in alice_nodes:
+        labels[node] = alice_labels[node]
+    for node in bob_nodes:
+        labels[node] = bob_labels[node]
+    return labels
+
+
+def sym_eq_protocol(
+    scheme: RandomizedScheme, x: BitString, y: BitString, seed: int = 0
+) -> ReductionRun:
+    """Run the Lemma C.1 simulation once.
+
+    ``scheme`` must be an RPLS for ``Sym`` (or any predicate that equals
+    ``Sym`` on the gadget family).  Alice's labels come from the prover on
+    ``G(x, x)``, Bob's from the prover on ``G(y, y)``; the verifier runs on
+    ``G(x, y)`` with the stitched labels.
+    """
+    real_config, cut, alice_nodes, bob_nodes = sym_pair_configuration(x, y)
+    alice_config, _cut_a, _, _ = sym_pair_configuration(x, x)
+    bob_config, _cut_b, _, _ = sym_pair_configuration(y, y)
+
+    alice_labels = scheme.prover(alice_config)
+    bob_labels = scheme.prover(bob_config)
+    labels = _stitched_labels(alice_labels, bob_labels, alice_nodes, bob_nodes)
+
+    run = verify_randomized(scheme, real_config, seed=seed, labels=labels)
+
+    cut_alice, cut_bob = cut
+    graph = real_config.graph
+    port_a = graph.port_to(cut_alice, cut_bob)
+    port_b = graph.port_to(cut_bob, cut_alice)
+    cut_bits = (
+        run.certificates[(cut_alice, port_a)].length
+        + run.certificates[(cut_bob, port_b)].length
+    )
+
+    alice_accepts = all(
+        run.node_outputs[node] for node in alice_nodes
+    )
+    bob_accepts = all(run.node_outputs[node] for node in bob_nodes)
+    return ReductionRun(
+        output=alice_accepts and bob_accepts,
+        ground_truth=x == y,
+        cut_bits=cut_bits,
+        alice_accepts=alice_accepts,
+        bob_accepts=bob_accepts,
+    )
+
+
+def unif_eq_protocol(
+    scheme: RandomizedScheme, x: BitString, y: BitString, seed: int = 0
+) -> ReductionRun:
+    """Run the Lemma C.3 simulation once.
+
+    ``scheme`` must be an RPLS for ``Unif``.  Alice labels ``G(x)`` (both
+    endpoints holding ``x``), Bob labels ``G(y)``; the verifier runs on the
+    mixed two-node configuration.
+    """
+    real_config = two_node_configuration(x, y)
+    alice_config = two_node_configuration(x, x)
+    bob_config = two_node_configuration(y, y)
+
+    alice_labels = scheme.prover(alice_config)
+    bob_labels = scheme.prover(bob_config)
+    labels = {1: alice_labels[1], 2: bob_labels[2]}
+
+    run = verify_randomized(scheme, real_config, seed=seed, labels=labels)
+    cut_bits = (
+        run.certificates[(1, 0)].length + run.certificates[(2, 0)].length
+    )
+    return ReductionRun(
+        output=run.node_outputs[1] and run.node_outputs[2],
+        ground_truth=x == y,
+        cut_bits=cut_bits,
+        alice_accepts=run.node_outputs[1],
+        bob_accepts=run.node_outputs[2],
+    )
+
+
+def reduction_error_rate(
+    protocol, scheme: RandomizedScheme, x: BitString, y: BitString,
+    trials: int, seed: int = 0,
+) -> float:
+    """Fraction of wrong EQ verdicts over ``trials`` independent runs."""
+    wrong = 0
+    for trial in range(trials):
+        run = protocol(scheme, x, y, seed=hash((seed, trial)))
+        if not run.correct:
+            wrong += 1
+    return wrong / trials

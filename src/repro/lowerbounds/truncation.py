@@ -1,0 +1,172 @@
+"""Deliberately undersized schemes — the attacks' demonstration targets.
+
+Theorem 4.4 says *no* scheme with ``kappa < log2(r) / (2s)`` can work; to
+exhibit that constructively the benchmarks need schemes that genuinely try
+with fewer bits.  :class:`ModularAcyclicityPLS` is the natural candidate: it
+compresses the Theta(log n) acyclicity labels (distances) to ``b`` bits by
+reducing modulo ``M = 2^b``, with the verifier relaxed accordingly:
+
+- every neighbor's label must be ``own ± 1 (mod M)``;
+- at most one neighbor may sit at ``own - 1 (mod M)``.
+
+On an honestly labeled path this always accepts, and for ``b >= log2(n)`` it
+is exactly as strong as the full scheme.  For smaller ``b`` the pigeonhole of
+Proposition 4.3 guarantees two single-edge gadgets with identical label pairs
+once ``r > 2^(2b)``, and crossing them produces a *cycle* the scheme still
+accepts — acyclicity broken, exactly at the predicted threshold.
+
+:func:`modular_acyclicity_rpls` compiles the modular scheme (Theorem 3.1),
+giving the randomized target for the support-collision attack of
+Proposition 4.8.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.schemes.acyclicity import AcyclicityPredicate
+
+
+class ModularAcyclicityPLS(ProofLabelingScheme):
+    """Acyclicity labels truncated to ``bits``-bit residues (``bits >= 2``).
+
+    Verification complexity is exactly ``bits``; the scheme is complete on
+    paths and sound only while ``2^bits`` exceeds the label diversity the
+    crossing pigeonhole needs — which is the point.
+    """
+
+    name = "modular-acyclicity-pls"
+
+    def __init__(self, bits: int):
+        if bits < 2:
+            raise ValueError("modulus must be at least 4 (bits >= 2)")
+        super().__init__(AcyclicityPredicate())
+        self.bits = bits
+        self.modulus = 2**bits
+        self.name = f"modular-acyclicity-pls({bits}b)"
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        labels: Dict[Node, BitString] = {}
+        assigned: Dict[Node, int] = {}
+        for root in graph.nodes:
+            if root in assigned:
+                continue
+            for node, depth in graph.bfs_distances(root).items():
+                assigned[node] = depth
+        for node, depth in assigned.items():
+            labels[node] = BitString.from_int(depth % self.modulus, self.bits)
+        return labels
+
+    def verify_at(self, view: VerifierView) -> bool:
+        if view.own_label.length != self.bits:
+            return False
+        own = view.own_label.value
+        below = 0
+        for message in view.messages:
+            if message.length != self.bits:
+                return False
+            value = message.value
+            if value == (own - 1) % self.modulus:
+                below += 1
+            elif value != (own + 1) % self.modulus:
+                return False
+        return below <= 1
+
+
+def modular_acyclicity_rpls(bits: int, repetitions: int = 1):
+    """The compiled modular scheme — target for the one-sided support attack."""
+    from repro.core.compiler import FingerprintCompiledRPLS
+
+    return FingerprintCompiledRPLS(ModularAcyclicityPLS(bits), repetitions=repetitions)
+
+
+class ModularCycleIndexPLS(ProofLabelingScheme):
+    """A truncated cycle-marking scheme for the cycle-length lower bounds.
+
+    The Theorem 5.3 upper-bound scheme marks a witness cycle with
+    ``(dist, index)`` labels; this variant reduces the index modulo
+    ``M = 2^bits`` and relaxes the on-cycle rule to tolerate chords:
+
+    - ``dist = 0``: among the neighbors with ``dist = 0`` there is at least
+      one with index ``own + 1 (mod M)`` and at least one with
+      ``own - 1 (mod M)``;
+    - ``dist > 0``: some neighbor has ``dist - 1``.
+
+    Completeness requires every planted cycle length to be divisible by
+    ``M`` (otherwise the wrap-around is inconsistent) — callers pick gadget
+    sizes accordingly.  With ``bits`` below the Theorem 5.4 / 5.6 thresholds
+    the crossing attacks find equal-label edge pairs in different (or distant)
+    cycle positions, and the crossed configuration — whose simple-cycle
+    structure has changed — is still accepted.
+
+    ``planted_cycles`` lists the witness cycles (node sequences in cycle
+    order); the predicate is supplied by the caller (cycle-at-least-c for the
+    Figure 2 families, cycle-at-most-c for the Figure 5 chain).
+    """
+
+    name = "modular-cycle-index-pls"
+
+    def __init__(self, bits: int, predicate, planted_cycles):
+        if bits < 2:
+            raise ValueError("modulus must be at least 4 (bits >= 2)")
+        super().__init__(predicate)
+        self.bits = bits
+        self.modulus = 2**bits
+        self.planted_cycles = [list(cycle) for cycle in planted_cycles]
+        self.name = f"modular-cycle-index-pls({bits}b)"
+        for cycle in self.planted_cycles:
+            if len(cycle) % self.modulus != 0:
+                raise ValueError(
+                    "planted cycle lengths must be divisible by the modulus "
+                    "for the truncated scheme to be complete"
+                )
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        from collections import deque
+
+        from repro.core.bitstrings import BitWriter
+
+        graph = configuration.graph
+        index: Dict[Node, int] = {}
+        for cycle in self.planted_cycles:
+            for position, node in enumerate(cycle):
+                index[node] = position % self.modulus
+        dist: Dict[Node, int] = {node: 0 for node in index}
+        queue = deque(index)
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor not in dist:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+        labels = {}
+        for node in graph.nodes:
+            writer = BitWriter()
+            writer.write_varuint(dist.get(node, 1))
+            writer.write_uint(index.get(node, 0), self.bits)
+            labels[node] = writer.finish()
+        return labels
+
+    def verify_at(self, view: VerifierView) -> bool:
+        from repro.core.bitstrings import BitReader
+
+        def parse(label: BitString):
+            reader = BitReader(label)
+            dist = reader.read_varuint()
+            idx = reader.read_uint(self.bits)
+            reader.expect_exhausted()
+            return dist, idx
+
+        own_dist, own_index = parse(view.own_label)
+        neighbors = [parse(message) for message in view.messages]
+        if own_dist == 0:
+            on_cycle = [idx for dist, idx in neighbors if dist == 0]
+            has_next = any(idx == (own_index + 1) % self.modulus for idx in on_cycle)
+            has_prev = any(idx == (own_index - 1) % self.modulus for idx in on_cycle)
+            return has_next and has_prev
+        return any(dist == own_dist - 1 for dist, _idx in neighbors)

@@ -1,0 +1,90 @@
+"""Concrete proof-labeling schemes for the paper's predicates.
+
+Every deterministic scheme here is paired with its compiled RPLS (Theorem
+3.1), and every RPLS in this package is **one-sided** and
+**edge-independent** — matching the paper's remark that all of its Section 5
+upper bounds have both properties.
+
+==========================  ===============================  =========================
+module                      predicate                        bounds reproduced
+==========================  ===============================  =========================
+coloring                    proper c-coloring                intro warm-up, O(log c)
+spanning_tree               "is a spanning tree"             intro, Theta(log n)
+acyclicity                  graph is a forest                [31], Theta(log n) /
+                                                             Theta(log log n) (Thm 5.1 lb)
+mst                         marked tree is the MST           Thm 5.1: O(log^2 n) /
+                                                             Theta(log log n)
+biconnectivity              vertex biconnectivity            Thm 5.2: Theta(log n) /
+                                                             Theta(log log n)
+cycle_length                cycle-at-least-c / at-most-c     Thms 5.3-5.6
+flow                        s-t max flow equals k            Sect 5.2: O(k log n) /
+                                                             O(log k + log log n)
+symmetry                    Sym (Figures 3-4)                Thm 3.5 lower bound
+uniformity                  Unif (all payloads equal)        Lemma C.3, direct O(log k)
+==========================  ===============================  =========================
+
+Extension schemes beyond the paper's own list (same machinery, used to map
+out the complexity landscape the benchmarks sweep):
+
+==========================  ===============================  =========================
+module                      predicate                        verification complexity
+==========================  ===============================  =========================
+eulerian                    all degrees even                 0 bits (the floor)
+mis                         marked set is a maximal IS       1 bit (republished output)
+bipartiteness               graph is 2-colorable             1 bit (planted witness)
+distance                    dist fields are the SSSP metric  Theta(log n) / O(log log n)
+leader                      agreed leader exists             Theta(log n) / O(log log n)
+hamiltonicity               cycle-at-least-n                 O(log n) / O(log log n)
+==========================  ===============================  =========================
+"""
+
+from repro.schemes.coloring import ColoringPLS, ProperColoringPredicate
+from repro.schemes.spanning_tree import SpanningTreePLS, SpanningTreePredicate
+from repro.schemes.acyclicity import AcyclicityPLS, AcyclicityPredicate
+from repro.schemes.uniformity import DirectUnifRPLS, UnifPLS, UnifPredicate
+from repro.schemes.bipartiteness import (
+    BipartitenessPLS,
+    BipartitenessPredicate,
+    bipartiteness_rpls,
+)
+from repro.schemes.distance import DistancePLS, DistancePredicate, distance_rpls
+from repro.schemes.eulerian import EulerianPLS, EulerianPredicate
+from repro.schemes.hamiltonicity import (
+    HamiltonicityPLS,
+    HamiltonicityPredicate,
+    hamiltonicity_rpls,
+)
+from repro.schemes.leader import (
+    LeaderAgreementPLS,
+    LeaderAgreementPredicate,
+    leader_rpls,
+)
+from repro.schemes.mis import MISPLS, MISPredicate
+
+__all__ = [
+    "AcyclicityPLS",
+    "AcyclicityPredicate",
+    "BipartitenessPLS",
+    "BipartitenessPredicate",
+    "ColoringPLS",
+    "DirectUnifRPLS",
+    "DistancePLS",
+    "DistancePredicate",
+    "EulerianPLS",
+    "EulerianPredicate",
+    "HamiltonicityPLS",
+    "HamiltonicityPredicate",
+    "LeaderAgreementPLS",
+    "LeaderAgreementPredicate",
+    "MISPLS",
+    "MISPredicate",
+    "ProperColoringPredicate",
+    "SpanningTreePLS",
+    "SpanningTreePredicate",
+    "UnifPLS",
+    "UnifPredicate",
+    "bipartiteness_rpls",
+    "distance_rpls",
+    "hamiltonicity_rpls",
+    "leader_rpls",
+]

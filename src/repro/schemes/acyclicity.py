@@ -1,0 +1,80 @@
+"""Acyclicity — the Theta(log n) scheme of [31], and the Theorem 5.1 anchor.
+
+Predicate: the graph is a forest.  The paper's Theorem 5.1 lower bound works
+on the family of lines and cycles and shows that even this "simple" predicate
+needs ``Omega(log log n)``-bit certificates randomizedly (hence so does MST,
+which subsumes it).
+
+Scheme ([31]): root every tree at a canonical node; the label of ``v`` is its
+tree distance ``d(v)`` to its root.  Verification at ``v``:
+
+- ``d(v) = 0``: every neighbor ``w`` must have ``d(w) = 1``;
+- ``d(v) > 0``: exactly one neighbor has ``d(v) - 1`` and every other
+  neighbor has ``d(v) + 1``.
+
+Soundness: the checks force adjacent labels to differ by exactly one, and on
+any cycle a maximal-label node would see two neighbors at ``d - 1`` —
+rejected whether it is a local maximum or a zero (a zero with a non-one
+neighbor also rejects).  Forests with honest distances pass, so verification
+complexity is ``Theta(log n)``; the matching ``Omega(log n)`` is by crossing
+(Theorem 4.4 on a path), reproduced in benchmark E6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.union_find import UnionFind
+
+
+class AcyclicityPredicate(Predicate):
+    """True iff the graph contains no cycle (each component is a tree)."""
+
+    name = "acyclicity"
+
+    def holds(self, configuration: Configuration) -> bool:
+        forest = UnionFind(configuration.graph.nodes)
+        for u, _pu, v, _pv in configuration.graph.edges():
+            if not forest.union(u, v):
+                return False
+        return True
+
+
+class AcyclicityPLS(ProofLabelingScheme):
+    """Label = distance to the component's root; Theta(log n) bits."""
+
+    name = "acyclicity-pls"
+
+    def __init__(self) -> None:
+        super().__init__(AcyclicityPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        labels: Dict[Node, BitString] = {}
+        assigned: Dict[Node, int] = {}
+        for root in graph.nodes:
+            if root in assigned:
+                continue
+            for node, depth in graph.bfs_distances(root).items():
+                assigned[node] = depth
+        for node, depth in assigned.items():
+            writer = BitWriter()
+            writer.write_varuint(depth)
+            labels[node] = writer.finish()
+        return labels
+
+    def verify_at(self, view: VerifierView) -> bool:
+        own = BitReader(view.own_label).read_varuint()
+        neighbor_depths = [
+            BitReader(message).read_varuint() for message in view.messages
+        ]
+        if own == 0:
+            return all(depth == 1 for depth in neighbor_depths)
+        below = sum(1 for depth in neighbor_depths if depth == own - 1)
+        above = sum(1 for depth in neighbor_depths if depth == own + 1)
+        return below == 1 and below + above == len(neighbor_depths)

@@ -1,0 +1,173 @@
+"""Vertex biconnectivity — Theorem 5.2 and its Appendix E scheme.
+
+``v2con``: removing any single node leaves the graph connected.  The
+deterministic scheme labels every node with DFS-tree data (Hopcroft–Tarjan
+[22], analysed in [37]):
+
+    l(v) = (id-root(v), dist(v), preo(v), span(v), lowpt(v))
+
+all ``O(log n)`` bits, and the verifier is the conjunction of the paper's
+predicates P1–P8:
+
+- **DFS verification** (P1–P6): all neighbors share ``id-root``; distances
+  are consistent (a non-root has exactly one neighbor one level up, P3);
+  children's spans partition the parent's span minus its own preorder (P4);
+  no two adjacent nodes share a depth (P5); spans of adjacent nodes nest
+  according to depth (P6).  Together these force the labels to describe a
+  genuine DFS tree of the graph ([37], Theorem 1).
+- **lowpt verification** (P7): ``lowpt(v) = min(childmin(v),
+  neighbormin(v))`` — the convergecast that makes lowpoints locally
+  checkable.
+- **biconnectivity** (P8): the root has at most one child, and every child
+  ``u`` of a non-root ``v`` satisfies ``lowpt(u) < preo(v)`` — exactly "no
+  articulation points" ([37], Lemma 5).
+
+Children are identified by depth: in a DFS tree of an undirected graph every
+non-tree edge joins an ancestor/descendant pair at depth difference >= 2, so
+a neighbor at ``dist(v) + 1`` is necessarily a child (P5/P6 enforce this).
+
+Randomized: the Theorem 3.1 compiler yields Theta(log log n) certificates;
+the matching lower bounds (deterministic Omega(log n), randomized
+Omega(log log n)) are reproduced by the crossing attack on the Figure 2
+gadget in benchmark E9.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.dfs import dfs_tree, is_biconnected
+
+
+class BiconnectivityPredicate(Predicate):
+    """The paper's ``v2con`` over connected graphs."""
+
+    name = "v2con"
+
+    def holds(self, configuration: Configuration) -> bool:
+        return is_biconnected(configuration.graph)
+
+
+class _Label:
+    """Decoded biconnectivity label (plain data carrier)."""
+
+    __slots__ = ("root_id", "dist", "preorder", "span_low", "span_high", "lowpoint")
+
+    def __init__(self, root_id, dist, preorder, span_low, span_high, lowpoint):
+        self.root_id = root_id
+        self.dist = dist
+        self.preorder = preorder
+        self.span_low = span_low
+        self.span_high = span_high
+        self.lowpoint = lowpoint
+
+
+def _pack(label: _Label) -> BitString:
+    writer = BitWriter()
+    for value in (
+        label.root_id,
+        label.dist,
+        label.preorder,
+        label.span_low,
+        label.span_high,
+        label.lowpoint,
+    ):
+        writer.write_varuint(value)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> _Label:
+    reader = BitReader(label)
+    values = [reader.read_varuint() for _ in range(6)]
+    reader.expect_exhausted()
+    return _Label(*values)
+
+
+class BiconnectivityPLS(ProofLabelingScheme):
+    """The Appendix E DFS/lowpoint scheme; Theta(log n)-bit labels."""
+
+    name = "v2con-pls"
+
+    def __init__(self) -> None:
+        super().__init__(BiconnectivityPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        root = min(graph.nodes, key=configuration.node_id)
+        tree = dfs_tree(graph, root)
+        if len(tree.preorder) != graph.node_count:
+            raise ValueError("prover requires a connected configuration")
+        labels = {}
+        for node in graph.nodes:
+            low, high = tree.span[node]
+            labels[node] = _pack(
+                _Label(
+                    root_id=configuration.node_id(root),
+                    dist=tree.depth[node],
+                    preorder=tree.preorder[node],
+                    span_low=low,
+                    span_high=high,
+                    lowpoint=tree.lowpoint[node],
+                )
+            )
+        return labels
+
+    def verify_at(self, view: VerifierView) -> bool:
+        mine = _unpack(view.own_label)
+        neighbors = [_unpack(message) for message in view.messages]
+
+        # P1: agreement on the root identity.
+        if any(nb.root_id != mine.root_id for nb in neighbors):
+            return False
+        # P2 is structural (varuints are non-negative).
+        # P3: root identification / unique parent.
+        if mine.dist == 0:
+            if mine.root_id != view.state.node_id:
+                return False
+        else:
+            if sum(1 for nb in neighbors if nb.dist == mine.dist - 1) != 1:
+                return False
+        # Own span must start at own preorder (span includes v itself).
+        if mine.span_low != mine.preorder or mine.span_high < mine.preorder:
+            return False
+        # P5: no neighbor at my own depth.
+        if any(nb.dist == mine.dist for nb in neighbors):
+            return False
+        # P6: span nesting along every edge (strict containment).
+        for nb in neighbors:
+            if nb.dist < mine.dist:
+                if not (nb.span_low <= mine.span_low and mine.span_high <= nb.span_high
+                        and (nb.span_low, nb.span_high) != (mine.span_low, mine.span_high)):
+                    return False
+            elif nb.dist > mine.dist:
+                if not (mine.span_low <= nb.span_low and nb.span_high <= mine.span_high
+                        and (nb.span_low, nb.span_high) != (mine.span_low, mine.span_high)):
+                    return False
+        # P4: children's spans partition span(v) \ {preo(v)}.
+        children = [nb for nb in neighbors if nb.dist == mine.dist + 1]
+        intervals = sorted((child.span_low, child.span_high) for child in children)
+        cursor = mine.preorder + 1
+        for low, high in intervals:
+            if low != cursor or high < low:
+                return False
+            cursor = high + 1
+        if cursor != mine.span_high + 1:
+            return False
+        # P7: lowpoint convergecast.
+        neighbor_min = min((nb.preorder for nb in neighbors), default=mine.preorder)
+        child_min = min((child.lowpoint for child in children), default=neighbor_min)
+        if mine.lowpoint != min(neighbor_min, child_min):
+            return False
+        # P8: the biconnectivity test itself.
+        if mine.dist == 0:
+            if len(children) > 1:
+                return False
+        else:
+            if any(child.lowpoint >= mine.preorder for child in children):
+                return False
+        return True

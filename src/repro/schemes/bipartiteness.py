@@ -1,0 +1,76 @@
+"""Bipartiteness — a constant-size proof-labeling scheme.
+
+``Bip``: the graph is 2-colorable.  The witness is a proper 2-coloring, so a
+*single bit* per node certifies the predicate: ``l(v)`` is ``v``'s side, and
+the verifier rejects iff some neighbor shows the same side.  Verification
+complexity is exactly 1 bit — a useful extreme point in the benchmark
+tables: the Theorem 3.1 compiler *cannot* help here (``O(log kappa)`` of a
+constant is a constant, and the compiler's field-element framing makes the
+randomized certificates strictly larger, as benchmark E1 shows for
+coloring).
+
+This is the ``c = 2`` case of proper coloring, but with the color planted by
+the prover rather than read from the state: the predicate is a property of
+the *graph*, not of a claimed output, so the prover runs the BFS parity
+algorithm itself (:func:`repro.substrates.bfs.is_bipartite`).
+
+Soundness is information-theoretic: any label assignment is *some* 0/1
+side assignment, and if the graph has an odd cycle, every 0/1 assignment
+makes two adjacent nodes on that cycle agree — some verifier rejects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.bitstrings import BitString
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.bfs import is_bipartite
+
+
+class BipartitenessPredicate(Predicate):
+    """True iff the graph is 2-colorable (no odd cycle)."""
+
+    name = "bipartite"
+
+    def holds(self, configuration: Configuration) -> bool:
+        bipartite, _sides = is_bipartite(configuration.graph)
+        return bipartite
+
+
+class BipartitenessPLS(ProofLabelingScheme):
+    """One-bit labels: ``l(v)`` is the side of ``v`` in a 2-coloring."""
+
+    name = "bipartite-pls"
+
+    def __init__(self) -> None:
+        super().__init__(BipartitenessPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        bipartite, sides = is_bipartite(configuration.graph)
+        if not bipartite:
+            raise ValueError("graph is not bipartite")
+        return {
+            node: BitString.from_int(sides[node], 1)
+            for node in configuration.graph.nodes
+        }
+
+    def verify_at(self, view: VerifierView) -> bool:
+        if view.own_label.length != 1:
+            return False
+        side = view.own_label.value
+        return all(message.length == 1 and message.value != side for message in view.messages)
+
+
+def bipartiteness_rpls(repetitions: int = 1) -> FingerprintCompiledRPLS:
+    """The compiled RPLS — deliberately *larger* than the 1-bit PLS.
+
+    Kept for the benchmark tables: it demonstrates the regime where
+    Theorem 3.1's exponential compression buys nothing because ``kappa`` is
+    already constant.
+    """
+    return FingerprintCompiledRPLS(BipartitenessPLS(), repetitions=repetitions)

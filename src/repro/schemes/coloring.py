@@ -1,0 +1,63 @@
+"""Proper coloring — the introduction's warm-up predicate.
+
+"Deciding the correctness of the predicate stating that the nodes are
+properly colored is straightforward: every node collects the colors of its
+neighbors, and returns TRUE iff each differs from its own."
+
+In the proof-labeling formalism the verifier sees neighbor *labels*, not
+neighbor states, so the ``O(log C)``-bit label is simply the node's own
+color; the verifier checks that the label is truthful (equals the color in
+its state) and conflicts with no neighbor's label.  This is the smallest
+non-trivial scheme in the library and doubles as the framework's hello-world.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.bitstrings import BitString, BitWriter, BitReader
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+
+
+class ProperColoringPredicate(Predicate):
+    """True iff adjacent nodes never share the ``color`` state field."""
+
+    name = "proper-coloring"
+
+    def holds(self, configuration: Configuration) -> bool:
+        graph = configuration.graph
+        for u, _pu, v, _pv in graph.edges():
+            if configuration.state(u).get("color") == configuration.state(v).get(
+                "color"
+            ):
+                return False
+        return True
+
+
+class ColoringPLS(ProofLabelingScheme):
+    """Label = own color (varuint).  Verification complexity ``O(log C)``."""
+
+    name = "coloring-pls"
+
+    def __init__(self) -> None:
+        super().__init__(ProperColoringPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        labels = {}
+        for node in configuration.graph.nodes:
+            writer = BitWriter()
+            writer.write_varuint(configuration.state(node).get("color", 0))
+            labels[node] = writer.finish()
+        return labels
+
+    def verify_at(self, view: VerifierView) -> bool:
+        own_color = BitReader(view.own_label).read_varuint()
+        if own_color != view.state.get("color", 0):
+            return False
+        for message in view.messages:
+            if BitReader(message).read_varuint() == own_color:
+                return False
+        return True

@@ -1,0 +1,189 @@
+"""Cycle-length predicates — Section 5.3 (Theorems 5.3–5.6).
+
+``cycle-at-least-c``: some simple cycle has at least ``c`` nodes.  Upper
+bounds (Theorem 5.3): mark a witness cycle with ``O(log n)``-bit labels —
+distance to the cycle plus a position index — giving a deterministic scheme,
+and the Theorem 3.1 compiler gives ``O(log log n)`` randomized certificates.
+Lower bounds of ``Omega(log c)`` / ``Omega(log log c)`` (Theorem 5.4) come
+from crossing the Figure 2 gadget; benchmark E10 runs that attack, and
+benchmark E11 runs the *iterated* crossing of Theorem 5.5.
+
+``cycle-at-most-c``: no simple cycle exceeds ``c`` nodes.  The paper shows no
+polynomial-verifier PLS can exist unless NP = co-NP, so the only scheme
+offered is the universal one (:func:`cycle_at_most_universal_scheme`); the
+``Omega(log n/c)`` / ``Omega(log log n/c)`` lower bounds on the Figure 5
+chain of cycles are reproduced in benchmark E12.
+
+Verifier for cycle-at-least-c — the disjunction of the paper's P1 / P2 at
+each node ``v`` with label ``(dist(v), index(v))``:
+
+- **P1** (on-cycle): ``dist(v) = 0``, exactly two neighbors carry
+  ``dist = 0``, one of them at index ``i + 1`` (or ``0`` if ``i >= c - 1``),
+  the other at ``i - 1`` (or ``>= c - 1`` if ``i = 0``);
+- **P2** (off-cycle): ``dist(v) > 0`` and some neighbor has
+  ``dist(v) - 1``.
+
+Soundness: P2 chains force a node with ``dist = 0`` to exist; P1 then walks
+an infinite index sequence ``..., 0, 1, ..., c1, 0, 1, ...`` with every
+wrap-around index ``>= c - 1``; finiteness closes it into a cycle of length
+``>= c``.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.core.universal import UniversalPLS, UniversalRPLS
+from repro.graphs.port_graph import Node
+from repro.substrates.cycles import find_cycle_at_least, has_cycle_at_least
+
+
+class CycleAtLeastPredicate(Predicate):
+    """``cycle-at-least-c``: a simple cycle with >= ``c`` nodes exists."""
+
+    def __init__(self, c: int, step_budget: int = 2_000_000):
+        if c < 3:
+            raise ValueError("c must be at least 3")
+        self.c = c
+        self.step_budget = step_budget
+        self.name = f"cycle-at-least-{c}"
+
+    def holds(self, configuration: Configuration) -> bool:
+        return has_cycle_at_least(configuration.graph, self.c, self.step_budget)
+
+
+class CycleAtMostPredicate(Predicate):
+    """``cycle-at-most-c``: every simple cycle has <= ``c`` nodes.
+
+    co-NP-hard in general (``c = n - 1`` is co-Hamiltonicity); evaluated by
+    exact search, which is fine on the paper's gadget families.
+    """
+
+    def __init__(self, c: int, step_budget: int = 2_000_000):
+        if c < 3:
+            raise ValueError("c must be at least 3")
+        self.c = c
+        self.step_budget = step_budget
+        self.name = f"cycle-at-most-{c}"
+
+    def holds(self, configuration: Configuration) -> bool:
+        return not has_cycle_at_least(configuration.graph, self.c + 1, self.step_budget)
+
+
+def _pack(dist: int, index: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(dist)
+    writer.write_varuint(index)
+    return writer.finish()
+
+
+def _unpack(label: BitString):
+    reader = BitReader(label)
+    dist = reader.read_varuint()
+    index = reader.read_varuint()
+    reader.expect_exhausted()
+    return dist, index
+
+
+class CycleAtLeastPLS(ProofLabelingScheme):
+    """The Theorem 5.3 upper bound: mark a witness cycle, ``O(log n)`` bits.
+
+    The prover needs a witness cycle; pass one (``witness``) when the
+    configuration was generated with a planted cycle, otherwise an exact
+    (exponential in the worst case) search runs — the prover is an oracle in
+    the model, so this is faithful, but planting keeps benchmarks fast.
+    """
+
+    name = "cycle-at-least-pls"
+
+    def __init__(self, c: int, witness: Optional[Sequence[Node]] = None):
+        super().__init__(CycleAtLeastPredicate(c))
+        self.c = c
+        self.witness = list(witness) if witness is not None else None
+
+    def _find_cycle(self, configuration: Configuration) -> List[Node]:
+        if self.witness is not None:
+            return self.witness
+        cycle = find_cycle_at_least(configuration.graph, self.c)
+        if cycle is None:
+            raise ValueError(f"no simple cycle of length >= {self.c} exists")
+        return cycle
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        cycle = self._find_cycle(configuration)
+        if len(cycle) < self.c:
+            raise ValueError("witness cycle is shorter than c")
+        on_cycle = set(cycle)
+        if len(on_cycle) != len(cycle):
+            raise ValueError("witness cycle revisits a node")
+        for position, node in enumerate(cycle):
+            successor = cycle[(position + 1) % len(cycle)]
+            if not graph.has_edge(node, successor):
+                raise ValueError("witness cycle uses a non-edge")
+        index = {node: position for position, node in enumerate(cycle)}
+        # Multi-source BFS for distance to the cycle.
+        dist: Dict[Node, int] = {node: 0 for node in cycle}
+        queue = deque(cycle)
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor not in dist:
+                    dist[neighbor] = dist[current] + 1
+                    queue.append(neighbor)
+        if len(dist) != graph.node_count:
+            raise ValueError("prover requires a connected configuration")
+        return {
+            node: _pack(dist[node], index.get(node, 0)) for node in graph.nodes
+        }
+
+    def verify_at(self, view: VerifierView) -> bool:
+        dist, index = _unpack(view.own_label)
+        neighbors = [_unpack(message) for message in view.messages]
+        if dist == 0:
+            on_cycle = [(d, i) for d, i in neighbors if d == 0]
+            if len(on_cycle) != 2:
+                return False
+            indices = [i for _d, i in on_cycle]
+            successor_ok = [
+                i == index + 1 or (index >= self.c - 1 and i == 0) for i in indices
+            ]
+            predecessor_ok = [
+                i == index - 1 or (index == 0 and i >= self.c - 1) for i in indices
+            ]
+            # One neighbor must be the successor, the other the predecessor.
+            return (successor_ok[0] and predecessor_ok[1]) or (
+                successor_ok[1] and predecessor_ok[0]
+            )
+        return any(d == dist - 1 for d, _i in neighbors)
+
+
+def cycle_at_least_rpls(
+    c: int, witness: Optional[Sequence[Node]] = None, repetitions: int = 1
+):
+    """The Theorem 5.3 randomized upper bound: compile the witness scheme."""
+    from repro.core.compiler import FingerprintCompiledRPLS
+
+    return FingerprintCompiledRPLS(
+        CycleAtLeastPLS(c, witness=witness), repetitions=repetitions
+    )
+
+
+def cycle_at_most_universal_scheme(c: int) -> UniversalPLS:
+    """The only general scheme the paper offers for cycle-at-most-c.
+
+    A polynomial-time-verifier PLS would put co-Hamiltonicity in NP; the
+    universal scheme sidesteps this with unbounded local computation
+    (Appendix B), at configuration-sized labels.
+    """
+    return UniversalPLS(CycleAtMostPredicate(c))
+
+
+def cycle_at_most_universal_rpls(c: int, repetitions: int = 1) -> UniversalRPLS:
+    """Corollary 3.4 applied to cycle-at-most-c: ``O(log n)`` certificates."""
+    return UniversalRPLS(CycleAtMostPredicate(c), repetitions=repetitions)

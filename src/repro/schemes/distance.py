@@ -1,0 +1,172 @@
+"""Single-source distance certification.
+
+The introduction's spanning-tree scheme certifies *some* rooted tree; a
+natural strengthening (ubiquitous in the self-stabilization literature the
+paper builds on [1, 7, 23]) certifies that a claimed *distance field* is the
+true shortest-path metric from a distinguished source.  The configuration's
+output under verification is:
+
+- ``source`` — boolean state field marking the claimed source;
+- ``dist`` — the claimed distance of each node from the source (hop count,
+  or weighted when the configuration carries per-port ``weights``).
+
+The PLS labels each node with ``(id(source), dist(v))`` — ``dist`` is copied
+from the state so the verifier can cross-check the claim, and the source
+identity rules out a second spurious source, exactly as in the spanning-tree
+scheme.  Verification at ``v`` (``w(e)`` is the edge weight, 1 in hop mode):
+
+- **L0** — the label's ``dist`` equals the state's claimed ``dist``, and all
+  neighbors agree on ``id(source)``;
+- **L1** (source consistency) — ``v`` is marked source iff ``dist(v) = 0``,
+  and then ``id(source) = Id(v)``;
+- **L2** (Lipschitz) — ``dist(v) <= dist(u) + w(u, v)`` for every neighbor
+  ``u``: distances cannot drop faster than edges allow, so
+  ``dist(v) <= d(source, v)`` along any true shortest path;
+- **L3** (progress) — ``v`` not the source has a neighbor ``u`` with
+  ``dist(v) = dist(u) + w(u, v)``: descending chains terminate at the
+  source, so ``dist(v) >= d(source, v)``.
+
+L2 + L3 squeeze ``dist`` to the exact metric; labels are
+``O(log n + log(max dist))`` bits, i.e. Theta(log n) with polynomial
+weights.  The Theorem 3.1 compiler turns this into an ``O(log log n)``-bit
+RPLS (:func:`distance_rpls`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.bfs import bfs_layers, dijkstra
+
+
+class DistancePredicate(Predicate):
+    """True iff exactly one node is marked ``source`` and every node's
+    ``dist`` field is its true (hop or weighted) distance to it."""
+
+    name = "sssp-distance"
+
+    def __init__(self, weighted: bool = False):
+        self.weighted = weighted
+        self.name = "sssp-distance-weighted" if weighted else "sssp-distance"
+
+    def holds(self, configuration: Configuration) -> bool:
+        graph = configuration.graph
+        sources = [
+            node
+            for node in graph.nodes
+            if configuration.state(node).get("source")
+        ]
+        if len(sources) != 1:
+            return False
+        source = sources[0]
+        truth = _true_distances(configuration, source, self.weighted)
+        if len(truth) != graph.node_count:
+            return False  # source does not reach every node
+        for node in graph.nodes:
+            if configuration.state(node).get("dist") != truth[node]:
+                return False
+        return True
+
+
+def _true_distances(
+    configuration: Configuration, source: Node, weighted: bool
+) -> Dict[Node, int]:
+    graph = configuration.graph
+    if not weighted:
+        return bfs_layers(graph, source).dist
+    weights = {
+        node: [configuration.edge_weight(node, port) for port in range(graph.degree(node))]
+        for node in graph.nodes
+    }
+    return dijkstra(graph, source, weights).dist
+
+
+def _pack(source_id: int, dist: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(source_id)
+    writer.write_varuint(dist)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> tuple:
+    reader = BitReader(label)
+    source_id = reader.read_varuint()
+    dist = reader.read_varuint()
+    reader.expect_exhausted()
+    return source_id, dist
+
+
+class DistancePLS(ProofLabelingScheme):
+    """``l(v) = (id(source), dist(v))`` — Theta(log n) SSSP certification."""
+
+    name = "sssp-distance-pls"
+
+    def __init__(self, weighted: bool = False):
+        super().__init__(DistancePredicate(weighted))
+        self.weighted = weighted
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        source: Optional[Node] = None
+        for node in graph.nodes:
+            if configuration.state(node).get("source"):
+                source = node
+        if source is None:
+            raise ValueError("configuration marks no source")
+        source_id = configuration.node_id(source)
+        # The honest label repeats the *claimed* dist: on a legal
+        # configuration that is the true metric, and only legal
+        # configurations matter for completeness.
+        return {
+            node: _pack(source_id, configuration.state(node).get("dist", 0))
+            for node in graph.nodes
+        }
+
+    def _edge_weight(self, view: VerifierView, port: int) -> int:
+        if not self.weighted:
+            return 1
+        weights = view.state.get("weights")
+        if weights is None:
+            return 1
+        return weights[port]
+
+    def verify_at(self, view: VerifierView) -> bool:
+        source_id, dist = _unpack(view.own_label)
+        # L0 — label repeats the state's claim.
+        if view.state.get("dist") != dist:
+            return False
+        neighbor_labels: List[tuple] = [_unpack(message) for message in view.messages]
+        for neighbor_source, _ in neighbor_labels:
+            if neighbor_source != source_id:
+                return False
+        # L1 — source iff dist == 0, and the source names itself.
+        is_source = bool(view.state.get("source"))
+        if is_source != (dist == 0):
+            return False
+        if is_source and source_id != view.state.node_id:
+            return False
+        # L2 — Lipschitz along every incident edge.
+        for port, (_src, neighbor_dist) in enumerate(neighbor_labels):
+            weight = self._edge_weight(view, port)
+            if dist > neighbor_dist + weight:
+                return False
+        # L3 — progress: some neighbor realizes the distance exactly.
+        if not is_source:
+            realized = any(
+                dist == neighbor_dist + self._edge_weight(view, port)
+                for port, (_src, neighbor_dist) in enumerate(neighbor_labels)
+            )
+            if not realized:
+                return False
+        return True
+
+
+def distance_rpls(weighted: bool = False, repetitions: int = 1) -> FingerprintCompiledRPLS:
+    """The compiled ``O(log log n)``-bit randomized scheme (Theorem 3.1)."""
+    return FingerprintCompiledRPLS(DistancePLS(weighted), repetitions=repetitions)

@@ -1,0 +1,52 @@
+"""Eulerian-circuit feasibility — the zero-bit proof-labeling scheme.
+
+A connected graph admits an Eulerian circuit iff every node has even degree
+(Euler's theorem).  Degree parity is a function of the node's *own* local
+input, so over the family ``Fcon`` of connected configurations this
+predicate is verifiable with **empty labels**: verification complexity 0,
+the absolute floor of the hierarchy.
+
+The scheme earns its keep in the test and benchmark suites as an edge case:
+``kappa = 0`` exercises the Theorem 3.1 compiler, the universal scheme, and
+the bit-accounting machinery at their degenerate boundary (fingerprinting a
+zero-length replica, ``log kappa`` of zero, empty-certificate exchange).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+
+
+class EulerianPredicate(Predicate):
+    """Every node has even degree (Eulerian circuit over ``Fcon``)."""
+
+    name = "eulerian"
+
+    def holds(self, configuration: Configuration) -> bool:
+        graph = configuration.graph
+        return all(graph.degree(node) % 2 == 0 for node in graph.nodes)
+
+
+class EulerianPLS(ProofLabelingScheme):
+    """Empty labels; each node checks its own degree parity."""
+
+    name = "eulerian-pls"
+
+    def __init__(self) -> None:
+        super().__init__(EulerianPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        return {node: BitString.empty() for node in configuration.graph.nodes}
+
+    def verify_at(self, view: VerifierView) -> bool:
+        if view.own_label.length != 0:
+            return False
+        if any(message.length != 0 for message in view.messages):
+            return False
+        return view.degree % 2 == 0

@@ -1,0 +1,276 @@
+"""The k-flow scheme — Section 5.2's closing remark.
+
+Predicate: the maximum ``s``–``t`` flow of the (unit-capacity, simple,
+undirected) graph equals ``k``.  [31] gives an ``O(k log n)``-bit PLS;
+Theorem 3.1 then yields an ``O(log k + log log n)``-bit RPLS, which this
+module reproduces.
+
+The label of ``v`` certifies two facts at once:
+
+- **feasibility** (``maxflow >= k``): ``k`` edge-disjoint simple paths.
+  ``v`` stores one entry per path through it: ``(path_id, prev_id, next_id,
+  position)`` with identities of the neighboring path hops.  Entries chain —
+  a hop's successor must acknowledge it with ``position + 1`` — so accepted
+  labelings contain ``k`` genuinely disjoint source→target paths (positions
+  strictly increase, so chains cannot loop; edge-disjointness is the
+  distinctness of the neighbor identities used across a node's entries).
+  A node lies on at most ``min(deg/2, k)`` paths, so labels are
+  ``O(k log n)`` bits.
+- **maximality** (``maxflow <= k``): a one-bit ``reachable`` flag marking a
+  superset of the nodes reachable from ``s`` in the residual graph of the
+  claimed flow.  The flag must propagate along residual arcs (which ``v``
+  derives from its own entries), ``s`` must be flagged and ``t`` must not —
+  so no augmenting path exists.  If the true max flow exceeded ``k``, an
+  augmenting path would force the flag all the way to ``t`` and some node
+  would reject.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.flow import (
+    edge_disjoint_paths,
+    max_flow,
+    net_unit_flow,
+    residual_reachable,
+    unit_capacity_arcs,
+)
+
+
+def _terminals(configuration: Configuration) -> Tuple[Node, Node, int]:
+    source = sink = None
+    k = None
+    for node in configuration.graph.nodes:
+        state = configuration.state(node)
+        if state.get("source"):
+            source = node
+        if state.get("target"):
+            sink = node
+        if state.get("k") is not None:
+            k = state.get("k")
+    if source is None or sink is None or k is None:
+        raise ValueError("flow configurations need 'source', 'target' and 'k' fields")
+    return source, sink, k
+
+
+class KFlowPredicate(Predicate):
+    """True iff the unit-capacity max ``s``–``t`` flow equals ``k``."""
+
+    name = "k-flow"
+
+    def holds(self, configuration: Configuration) -> bool:
+        source, sink, k = _terminals(configuration)
+        value, _flow = max_flow(
+            unit_capacity_arcs(configuration.graph), source, sink
+        )
+        return value == k
+
+
+@dataclasses.dataclass
+class _PathEntry:
+    path_id: int
+    prev_id: Optional[int]
+    next_id: Optional[int]
+    position: int
+
+
+@dataclasses.dataclass
+class _FlowLabel:
+    node_id: int
+    reachable: bool
+    entries: List[_PathEntry]
+
+
+def _pack(label: _FlowLabel) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(label.node_id)
+    writer.write_flag(label.reachable)
+    writer.write_varuint(len(label.entries))
+    for entry in label.entries:
+        writer.write_varuint(entry.path_id)
+        writer.write_flag(entry.prev_id is not None)
+        if entry.prev_id is not None:
+            writer.write_varuint(entry.prev_id)
+        writer.write_flag(entry.next_id is not None)
+        if entry.next_id is not None:
+            writer.write_varuint(entry.next_id)
+        writer.write_varuint(entry.position)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> _FlowLabel:
+    reader = BitReader(label)
+    node_id = reader.read_varuint()
+    reachable = reader.read_flag()
+    count = reader.read_varuint()
+    if count > 4096:
+        raise ValueError("implausible path-entry count")
+    entries = []
+    for _ in range(count):
+        path_id = reader.read_varuint()
+        prev_id = reader.read_varuint() if reader.read_flag() else None
+        next_id = reader.read_varuint() if reader.read_flag() else None
+        position = reader.read_varuint()
+        entries.append(_PathEntry(path_id, prev_id, next_id, position))
+    reader.expect_exhausted()
+    return _FlowLabel(node_id=node_id, reachable=reachable, entries=entries)
+
+
+class KFlowPLS(ProofLabelingScheme):
+    """The ``O(k log n)`` k-flow scheme (disjoint paths + residual flags)."""
+
+    name = "k-flow-pls"
+
+    def __init__(self) -> None:
+        super().__init__(KFlowPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        source, sink, _k = _terminals(configuration)
+        paths = edge_disjoint_paths(graph, source, sink)
+        value, flow = max_flow(unit_capacity_arcs(graph), source, sink)
+        reachable = set(
+            residual_reachable(graph, net_unit_flow(graph, flow), source)
+        )
+
+        entries: Dict[Node, List[_PathEntry]] = {node: [] for node in graph.nodes}
+        for path_id, path in enumerate(paths):
+            for position, node in enumerate(path):
+                prev_node = path[position - 1] if position > 0 else None
+                next_node = path[position + 1] if position + 1 < len(path) else None
+                entries[node].append(
+                    _PathEntry(
+                        path_id=path_id,
+                        prev_id=None
+                        if prev_node is None
+                        else configuration.node_id(prev_node),
+                        next_id=None
+                        if next_node is None
+                        else configuration.node_id(next_node),
+                        position=position,
+                    )
+                )
+        return {
+            node: _pack(
+                _FlowLabel(
+                    node_id=configuration.node_id(node),
+                    reachable=node in reachable,
+                    entries=entries[node],
+                )
+            )
+            for node in graph.nodes
+        }
+
+    def verify_at(self, view: VerifierView) -> bool:
+        mine = _unpack(view.own_label)
+        neighbors = [_unpack(message) for message in view.messages]
+        if mine.node_id != view.state.node_id:
+            return False
+        is_source = bool(view.state.get("source"))
+        is_sink = bool(view.state.get("target"))
+        k = view.state.get("k")
+
+        # Locate neighbors by identity (identities are authenticated at the
+        # neighbor by the same check above).
+        port_of_id: Dict[int, int] = {}
+        for port, nb in enumerate(neighbors):
+            if nb.node_id in port_of_id:
+                return False  # simple graphs cannot see one id on two ports
+            port_of_id[nb.node_id] = port
+
+        # --- path entries: local shape ------------------------------------
+        path_ids = [entry.path_id for entry in mine.entries]
+        if len(set(path_ids)) != len(path_ids):
+            return False
+        used_edge_ids: List[int] = []
+        for entry in mine.entries:
+            if entry.prev_id is None:
+                if not is_source or entry.position != 0:
+                    return False
+            else:
+                used_edge_ids.append(entry.prev_id)
+                if entry.position == 0:
+                    return False
+            if entry.next_id is None:
+                if not is_sink:
+                    return False
+            else:
+                used_edge_ids.append(entry.next_id)
+        if len(set(used_edge_ids)) != len(used_edge_ids):
+            return False  # an edge carries at most one path hop
+
+        if is_source and (
+            len(mine.entries) != k
+            or any(entry.prev_id is not None for entry in mine.entries)
+        ):
+            return False
+        if is_sink and (
+            len(mine.entries) != k
+            or any(entry.next_id is not None for entry in mine.entries)
+        ):
+            return False
+
+        # --- path entries: chaining with neighbors -------------------------
+        for entry in mine.entries:
+            if entry.prev_id is not None:
+                port = port_of_id.get(entry.prev_id)
+                if port is None:
+                    return False
+                match = [
+                    other
+                    for other in neighbors[port].entries
+                    if other.path_id == entry.path_id
+                ]
+                if len(match) != 1:
+                    return False
+                if match[0].next_id != mine.node_id:
+                    return False
+                if match[0].position != entry.position - 1:
+                    return False
+            if entry.next_id is not None:
+                port = port_of_id.get(entry.next_id)
+                if port is None:
+                    return False
+                match = [
+                    other
+                    for other in neighbors[port].entries
+                    if other.path_id == entry.path_id
+                ]
+                if len(match) != 1:
+                    return False
+                if match[0].prev_id != mine.node_id:
+                    return False
+                if match[0].position != entry.position + 1:
+                    return False
+
+        # --- residual reachability ------------------------------------------
+        if is_source and not mine.reachable:
+            return False
+        if is_sink and mine.reachable:
+            return False
+        if mine.reachable:
+            next_ids = {
+                entry.next_id for entry in mine.entries if entry.next_id is not None
+            }
+            for port, nb in enumerate(neighbors):
+                # Residual arc v -> w exists unless the edge carries a path
+                # hop *out* of v (saturated forward arc, nothing to cancel).
+                if nb.node_id in next_ids:
+                    continue
+                if not nb.reachable:
+                    return False
+        return True
+
+
+def k_flow_rpls(repetitions: int = 1):
+    """Section 5.2's randomized bound: ``O(log k + log log n)`` certificates."""
+    from repro.core.compiler import FingerprintCompiledRPLS
+
+    return FingerprintCompiledRPLS(KFlowPLS(), repetitions=repetitions)

@@ -1,0 +1,114 @@
+"""Hamiltonicity — the extreme point of cycle-at-least-c.
+
+Section 5.3 defines Hamiltonian graphs (a simple cycle visiting every node)
+and builds ``cycle-at-least-c`` around them; Hamiltonicity is exactly
+``cycle-at-least-n``.  This module specializes the Theorem 5.3 machinery:
+
+- :class:`HamiltonicityPredicate` — ``cycle-at-least-n`` with ``c`` bound to
+  the instance size at evaluation time (the predicate family is indexed by
+  the configuration, not a fixed constant);
+- :class:`HamiltonicityPLS` — the witness-marking scheme with a
+  simplification Hamiltonicity allows: *every* node is on the cycle, so the
+  ``dist`` field collapses and labels are a bare position index,
+  ``O(log n)`` bits;
+- :func:`hamiltonicity_rpls` — the compiled ``O(log log n)`` RPLS.
+
+Finding the witness is NP-hard, so provers expect a planted cycle
+(:func:`repro.graphs.generators.hamiltonian_configuration` supplies one) and
+fall back to exact search on small graphs — the prover is an oracle in the
+model (see DESIGN.md, Substitutions).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.cycles import find_cycle_at_least
+
+
+class HamiltonicityPredicate(Predicate):
+    """Some simple cycle visits all ``n`` nodes."""
+
+    name = "hamiltonian"
+
+    def __init__(self, step_budget: int = 2_000_000):
+        self.step_budget = step_budget
+
+    def holds(self, configuration: Configuration) -> bool:
+        n = configuration.node_count
+        if n < 3:
+            return False
+        cycle = find_cycle_at_least(configuration.graph, n, self.step_budget)
+        return cycle is not None
+
+
+def _pack(index: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(index)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> int:
+    reader = BitReader(label)
+    index = reader.read_varuint()
+    reader.expect_exhausted()
+    return index
+
+
+class HamiltonicityPLS(ProofLabelingScheme):
+    """``l(v) = position of v on the witness cycle`` — ``O(log n)`` bits.
+
+    Verification at ``v`` with index ``i``: exactly two neighbors carry the
+    cyclically adjacent indices ``i - 1`` and ``i + 1`` (indices mod the
+    *family-known* ``n``).  Soundness: following successor indices walks
+    ``0, 1, 2, ...`` and can only close consistently after all ``n``
+    distinct indices appear — a cycle through every node.
+    """
+
+    name = "hamiltonian-pls"
+
+    def __init__(self, witness: Optional[Sequence[Node]] = None):
+        super().__init__(HamiltonicityPredicate())
+        self.witness = list(witness) if witness is not None else None
+
+    def _find_cycle(self, configuration: Configuration) -> List[Node]:
+        if self.witness is not None:
+            return self.witness
+        cycle = find_cycle_at_least(configuration.graph, configuration.node_count)
+        if cycle is None:
+            raise ValueError("configuration is not Hamiltonian")
+        return cycle
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        cycle = self._find_cycle(configuration)
+        if len(cycle) != graph.node_count or len(set(cycle)) != len(cycle):
+            raise ValueError("witness must visit every node exactly once")
+        for position, node in enumerate(cycle):
+            successor = cycle[(position + 1) % len(cycle)]
+            if not graph.has_edge(node, successor):
+                raise ValueError("witness cycle uses a non-edge")
+        return {node: _pack(position) for position, node in enumerate(cycle)}
+
+    def verify_at(self, view: VerifierView) -> bool:
+        n = view.params.node_count
+        index = _unpack(view.own_label)
+        if not 0 <= index < n:
+            return False
+        neighbor_indices = [_unpack(message) for message in view.messages]
+        successor = (index + 1) % n
+        predecessor = (index - 1) % n
+        return successor in neighbor_indices and predecessor in neighbor_indices
+
+
+def hamiltonicity_rpls(
+    witness: Optional[Sequence[Node]] = None, repetitions: int = 1
+) -> FingerprintCompiledRPLS:
+    """The compiled ``O(log log n)``-bit randomized scheme."""
+    return FingerprintCompiledRPLS(HamiltonicityPLS(witness=witness), repetitions=repetitions)

@@ -1,0 +1,119 @@
+"""Leader-agreement certification.
+
+A classic target for distributed verification (and the canonical example of
+an output that is *not* locally checkable): every node holds a ``leader``
+state field naming the id of the elected leader, and the predicate asks that
+
+1. all nodes name the *same* leader, and
+2. the named leader actually exists — some node ``v`` has
+   ``Id(v) = leader``.
+
+Agreement alone is locally checkable by comparing with neighbors, but
+existence is not: a network where everyone names a phantom id is locally
+indistinguishable from a legal one.  The standard ``Theta(log n)`` PLS roots
+a spanning tree at the leader: ``l(v) = (leader_id, dist(v))`` where ``dist``
+is the hop distance to the leader.  Verification at ``v``:
+
+- all neighbors carry the same ``leader_id``, which equals the state's
+  ``leader`` claim;
+- ``dist(v) = 0`` iff ``Id(v) = leader_id`` (the leader is where the
+  distances bottom out);
+- ``dist(v) > 0`` requires a neighbor with ``dist(v) - 1`` (progress: every
+  node has a descending path, so a ``dist = 0`` node — the leader — exists).
+
+The Theorem 3.1 compiler yields an ``O(log log n)``-bit RPLS
+(:func:`leader_rpls`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.bfs import bfs_layers
+
+
+class LeaderAgreementPredicate(Predicate):
+    """All nodes agree on ``leader``, and a node with that id exists."""
+
+    name = "leader-agreement"
+
+    def holds(self, configuration: Configuration) -> bool:
+        claims = {
+            configuration.state(node).get("leader")
+            for node in configuration.graph.nodes
+        }
+        if len(claims) != 1:
+            return False
+        (leader_id,) = claims
+        if leader_id is None:
+            return False
+        return any(
+            configuration.node_id(node) == leader_id
+            for node in configuration.graph.nodes
+        )
+
+
+def _pack(leader_id: int, dist: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(leader_id)
+    writer.write_varuint(dist)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> tuple:
+    reader = BitReader(label)
+    leader_id = reader.read_varuint()
+    dist = reader.read_varuint()
+    reader.expect_exhausted()
+    return leader_id, dist
+
+
+class LeaderAgreementPLS(ProofLabelingScheme):
+    """``l(v) = (leader_id, dist-to-leader)`` — Theta(log n)."""
+
+    name = "leader-agreement-pls"
+
+    def __init__(self) -> None:
+        super().__init__(LeaderAgreementPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        leader: Optional[Node] = None
+        claimed = configuration.state(graph.nodes[0]).get("leader")
+        for node in graph.nodes:
+            if configuration.node_id(node) == claimed:
+                leader = node
+        if leader is None:
+            raise ValueError(f"no node has the claimed leader id {claimed!r}")
+        tree = bfs_layers(graph, leader)
+        if len(tree.dist) != graph.node_count:
+            raise ValueError("graph must be connected")
+        return {
+            node: _pack(claimed, tree.dist[node]) for node in graph.nodes
+        }
+
+    def verify_at(self, view: VerifierView) -> bool:
+        leader_id, dist = _unpack(view.own_label)
+        if view.state.get("leader") != leader_id:
+            return False
+        neighbor_labels = [_unpack(message) for message in view.messages]
+        for neighbor_leader, _ in neighbor_labels:
+            if neighbor_leader != leader_id:
+                return False
+        if (view.state.node_id == leader_id) != (dist == 0):
+            return False
+        if dist > 0:
+            if not any(neighbor_dist == dist - 1 for _, neighbor_dist in neighbor_labels):
+                return False
+        return True
+
+
+def leader_rpls(repetitions: int = 1) -> FingerprintCompiledRPLS:
+    """The compiled ``O(log log n)``-bit randomized scheme (Theorem 3.1)."""
+    return FingerprintCompiledRPLS(LeaderAgreementPLS(), repetitions=repetitions)

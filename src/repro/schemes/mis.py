@@ -1,0 +1,82 @@
+"""Maximal-independent-set certification — a locally checkable output.
+
+The configuration's output is a boolean ``in_mis`` state field.  The
+predicate asks that the marked set is an *independent set* (no two adjacent
+marked nodes) that is *maximal* (every unmarked node has a marked neighbor).
+
+MIS is the textbook example of a **locally checkable labeling**: both
+conditions only mention a node and its direct neighbors.  The PLS therefore
+needs just one bit — the label republishes the node's own ``in_mis`` bit so
+neighbors can read it (the model exchanges labels, not states), and the
+verifier checks the label against the state and the two conditions.  This is
+the floor of the complexity landscape the benchmarks sweep: verification
+complexity 1, independent of ``n``, against which the Theta(log n) and
+Theta(log log n) schemes are contrasted.
+
+Soundness needs the label-equals-state check: without it a marked node could
+advertise "unmarked" to hide a conflict.  With it, any accepted run's labels
+*are* the real marks, and both MIS conditions are evaluated on the truth.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+
+
+class MISPredicate(Predicate):
+    """The ``in_mis`` marks form a maximal independent set."""
+
+    name = "maximal-independent-set"
+
+    def holds(self, configuration: Configuration) -> bool:
+        graph = configuration.graph
+        marked = {
+            node
+            for node in graph.nodes
+            if configuration.state(node).get("in_mis")
+        }
+        for u, _pu, v, _pv in graph.edges():
+            if u in marked and v in marked:
+                return False  # not independent
+        for node in graph.nodes:
+            if node in marked:
+                continue
+            if not any(neighbor in marked for neighbor in graph.neighbors(node)):
+                return False  # not maximal
+        return True
+
+
+class MISPLS(ProofLabelingScheme):
+    """One-bit labels republishing ``in_mis``; verification complexity 1."""
+
+    name = "mis-pls"
+
+    def __init__(self) -> None:
+        super().__init__(MISPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        return {
+            node: BitString.from_int(
+                1 if configuration.state(node).get("in_mis") else 0, 1
+            )
+            for node in configuration.graph.nodes
+        }
+
+    def verify_at(self, view: VerifierView) -> bool:
+        if view.own_label.length != 1:
+            return False
+        in_mis = bool(view.own_label.value)
+        if in_mis != bool(view.state.get("in_mis")):
+            return False
+        if any(message.length != 1 for message in view.messages):
+            return False
+        marked_neighbors = sum(message.value for message in view.messages)
+        if in_mis:
+            return marked_neighbors == 0
+        return marked_neighbors >= 1

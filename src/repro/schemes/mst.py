@@ -1,0 +1,330 @@
+"""MST verification — Theorem 5.1.
+
+Predicate: the ``tree``-marked edges form the minimum-weight spanning tree of
+the configuration's weighted graph.  Weights are tie-broken by endpoint
+identities (:meth:`Configuration.weight_key`), so the MST is unique and
+"minimum" needs no up-to-weight equivalence.
+
+**Deterministic scheme** — the ``O(log^2 n)`` construction in the spirit of
+Korman–Kutten–Peleg [31]: certify an entire Borůvka execution.  With
+``P <= ceil(log2 n)`` merge phases, the label of ``v`` carries, for each
+phase ``p``:
+
+- ``root_p(v)``            the identity of ``v``'s fragment root,
+- ``parent_p(v), depth_p(v)``  ``v``'s position in a spanning tree of its
+                           fragment (parents named by identity),
+- ``submin_p(v)``          the minimum weight key among fragment-outgoing
+                           edges incident to ``v``'s fragment subtree — the
+                           convergecast value,
+- ``chosen_p(v)``          the fragment's minimum-weight outgoing edge
+                           (MWOE), replicated fragment-wide,
+
+plus the final (phase ``P``) fragment structure and the node's own identity.
+Each field is ``O(log n)`` bits, giving ``O(log^2 n)`` per label.
+
+The verifier grounds everything in locally observable truth:
+
+1. identity fields are authenticated (label id = state id);
+2. phase 0 fragments are singletons; fragment trees are certified by the
+   root/parent/depth mechanism of the spanning-tree scheme, restricted to
+   tree-marked edges already merged (``merge-phase < p``);
+3. the *merge phase* of an edge is not shipped — it is derived from the two
+   endpoints' root sequences (the first phase at which they agree, minus
+   one), with a monotonicity check (fragments merge, never split);
+4. ``submin`` is recomputed from actual incident weights and children's
+   values; the root's ``chosen`` must equal its ``submin`` and be replicated
+   down the fragment tree;
+5. every tree-marked edge must be the ``chosen`` MWOE of one of its sides at
+   its merge phase, and — chasing the convergecast argmin — every fragment's
+   MWOE must be tree-marked at exactly that phase.
+
+If all nodes accept, the per-phase fragments replay Borůvka's execution on
+the true weights, so the marked edges are exactly the unique MST.
+
+**Randomized scheme** — Theorem 3.1 compiles this to ``O(log log n)``-bit
+certificates (:func:`mst_rpls`); the matching ``Omega(log log n)`` lower
+bound (via acyclicity on lines-and-cycles) is run as a crossing attack in
+benchmark E8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.mst import boruvka, kruskal
+
+WeightKey = Tuple[int, int, int]
+
+
+class MSTPredicate(Predicate):
+    """True iff the marked edges are exactly the unique MST."""
+
+    name = "mst"
+
+    def holds(self, configuration: Configuration) -> bool:
+        try:
+            marked = {
+                frozenset((u, v)) for u, _pu, v, _pv in configuration.tree_edges()
+            }
+        except ValueError:  # asymmetric marking
+            return False
+        if not configuration.graph.is_connected():
+            return False
+        return marked == kruskal(configuration.graph, configuration.weight_key)
+
+
+@dataclass
+class _PhaseRecord:
+    root: int
+    parent: Optional[int]
+    depth: int
+
+
+@dataclass
+class _MSTLabel:
+    node_id: int
+    phase_count: int
+    structure: List[_PhaseRecord]        # length phase_count + 1
+    submin: List[Optional[WeightKey]]    # length phase_count
+    chosen: List[WeightKey]              # length phase_count
+
+
+def _write_key(writer: BitWriter, key: WeightKey) -> None:
+    for part in key:
+        writer.write_varuint(part)
+
+
+def _read_key(reader: BitReader) -> WeightKey:
+    return (reader.read_varuint(), reader.read_varuint(), reader.read_varuint())
+
+
+def _pack(label: _MSTLabel) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(label.node_id)
+    writer.write_varuint(label.phase_count)
+    for record in label.structure:
+        writer.write_varuint(record.root)
+        writer.write_flag(record.parent is not None)
+        if record.parent is not None:
+            writer.write_varuint(record.parent)
+        writer.write_varuint(record.depth)
+    for phase in range(label.phase_count):
+        writer.write_flag(label.submin[phase] is not None)
+        if label.submin[phase] is not None:
+            _write_key(writer, label.submin[phase])
+        _write_key(writer, label.chosen[phase])
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> _MSTLabel:
+    reader = BitReader(label)
+    node_id = reader.read_varuint()
+    phase_count = reader.read_varuint()
+    if phase_count > 64:  # forged labels must not force absurd loops
+        raise ValueError("implausible phase count")
+    structure = []
+    for _ in range(phase_count + 1):
+        root = reader.read_varuint()
+        parent = reader.read_varuint() if reader.read_flag() else None
+        depth = reader.read_varuint()
+        structure.append(_PhaseRecord(root=root, parent=parent, depth=depth))
+    submin: List[Optional[WeightKey]] = []
+    chosen: List[WeightKey] = []
+    for _ in range(phase_count):
+        submin.append(_read_key(reader) if reader.read_flag() else None)
+        chosen.append(_read_key(reader))
+    reader.expect_exhausted()
+    return _MSTLabel(
+        node_id=node_id,
+        phase_count=phase_count,
+        structure=structure,
+        submin=submin,
+        chosen=chosen,
+    )
+
+
+class MSTPLS(ProofLabelingScheme):
+    """The Borůvka-trace MST scheme; ``O(log^2 n)``-bit labels."""
+
+    name = "mst-pls"
+
+    def __init__(self) -> None:
+        super().__init__(MSTPredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        trace = boruvka(graph, configuration.weight_key)
+        labels: Dict[Node, BitString] = {}
+        for node in graph.nodes:
+            structure = []
+            for phase in trace.phases:
+                record = phase.structure
+                parent = record.parent[node]
+                structure.append(
+                    _PhaseRecord(
+                        root=configuration.node_id(record.root[node]),
+                        parent=None if parent is None else configuration.node_id(parent),
+                        depth=record.depth[node],
+                    )
+                )
+            final_parent = trace.final_structure.parent[node]
+            structure.append(
+                _PhaseRecord(
+                    root=configuration.node_id(trace.final_structure.root[node]),
+                    parent=None
+                    if final_parent is None
+                    else configuration.node_id(final_parent),
+                    depth=trace.final_structure.depth[node],
+                )
+            )
+            labels[node] = _pack(
+                _MSTLabel(
+                    node_id=configuration.node_id(node),
+                    phase_count=trace.phase_count,
+                    structure=structure,
+                    submin=[phase.subtree_min[node] for phase in trace.phases],
+                    chosen=[
+                        phase.chosen[phase.structure.root[node]]
+                        for phase in trace.phases
+                    ],
+                )
+            )
+        return labels
+
+    # -- verification ----------------------------------------------------------
+
+    def verify_at(self, view: VerifierView) -> bool:
+        mine = _unpack(view.own_label)
+        neighbors = [_unpack(message) for message in view.messages]
+
+        # (1) identity authentication and (2) phase agreement.
+        if mine.node_id != view.state.node_id:
+            return False
+        if any(nb.phase_count != mine.phase_count for nb in neighbors):
+            return False
+        phase_count = mine.phase_count
+
+        # (3) phase-0 fragments are singletons.
+        first = mine.structure[0]
+        if first.root != mine.node_id or first.parent is not None or first.depth != 0:
+            return False
+
+        # Derived merge phases per port, with monotonicity (roots never split).
+        merge_phase: List[int] = []
+        for port, nb in enumerate(neighbors):
+            merged_at: Optional[int] = None
+            for q in range(phase_count + 1):
+                same = mine.structure[q].root == nb.structure[q].root
+                if merged_at is None:
+                    if same:
+                        merged_at = q
+                elif not same:
+                    return False  # split after merging
+            if merged_at is None or merged_at == 0:
+                # Phase-0 singletons can never share a root; and by the final
+                # phase all nodes must (connected graph, single fragment).
+                return False
+            merge_phase.append(merged_at - 1)
+
+        # (4) fragment-tree structure at every phase q = 0..P.
+        for q in range(phase_count + 1):
+            record = mine.structure[q]
+            if record.parent is None:
+                if record.depth != 0 or record.root != mine.node_id:
+                    return False
+                continue
+            parent_ports = [
+                port
+                for port, nb in enumerate(neighbors)
+                if nb.node_id == record.parent
+            ]
+            if len(parent_ports) != 1:
+                return False
+            port = parent_ports[0]
+            parent_label = neighbors[port]
+            if parent_label.structure[q].root != record.root:
+                return False
+            if parent_label.structure[q].depth != record.depth - 1:
+                return False
+            if not view.state.get("tree")[port]:
+                return False
+            if merge_phase[port] >= q:
+                return False
+
+        # Weight keys of incident edges (neighbor identities are
+        # authenticated at the neighbor, check (1) there).
+        weights = view.state.get("weights")
+        edge_keys: List[WeightKey] = []
+        for port, nb in enumerate(neighbors):
+            weight = weights[port] if weights is not None else 1
+            low, high = sorted((mine.node_id, nb.node_id))
+            edge_keys.append((weight, low, high))
+
+        # (5) per-phase convergecast and chosen-MWOE checks.
+        for p in range(phase_count):
+            my_root = mine.structure[p].root
+            local_best: Optional[WeightKey] = None
+            best_port: Optional[int] = None
+            child_values: List[Optional[WeightKey]] = []
+            for port, nb in enumerate(neighbors):
+                if nb.structure[p].root != my_root:
+                    if local_best is None or edge_keys[port] < local_best:
+                        local_best = edge_keys[port]
+                        best_port = port
+                elif nb.structure[p].parent == mine.node_id:
+                    child_values.append(nb.submin[p])
+            combined = local_best
+            for value in child_values:
+                if value is not None and (combined is None or value < combined):
+                    combined = value
+            if mine.submin[p] != combined:
+                return False
+
+            if mine.structure[p].parent is None:
+                if mine.submin[p] is None or mine.chosen[p] != mine.submin[p]:
+                    return False
+            else:
+                parent_port = next(
+                    port
+                    for port, nb in enumerate(neighbors)
+                    if nb.node_id == mine.structure[p].parent
+                )
+                if mine.chosen[p] != neighbors[parent_port].chosen[p]:
+                    return False
+
+            # Argmin chase: if my fragment's MWOE is achieved by one of my own
+            # outgoing edges, that edge must be marked and merged at phase p.
+            if (
+                mine.chosen[p] == mine.submin[p]
+                and best_port is not None
+                and local_best == mine.submin[p]
+            ):
+                if not view.state.get("tree")[best_port]:
+                    return False
+                if merge_phase[best_port] != p:
+                    return False
+
+        # (6) every tree-marked edge is somebody's MWOE at its merge phase;
+        #     unmarked edges must not pretend to be fragment-tree edges
+        #     (enforced at (4) via the mark requirement).
+        marks = view.state.get("tree")
+        for port, nb in enumerate(neighbors):
+            if marks is not None and marks[port]:
+                p = merge_phase[port]
+                if mine.chosen[p] != edge_keys[port] and nb.chosen[p] != edge_keys[port]:
+                    return False
+
+        return True
+
+
+def mst_rpls(repetitions: int = 1):
+    """Theorem 5.1's upper bound: the compiled ``O(log log n)`` RPLS."""
+    from repro.core.compiler import FingerprintCompiledRPLS
+
+    return FingerprintCompiledRPLS(MSTPLS(), repetitions=repetitions)

@@ -1,0 +1,132 @@
+"""The introduction's spanning-tree scheme.
+
+The configuration's output is a parent pointer per node (``parent_port``
+state field; ``None`` at the claimed root).  As observed since [7, 23], the
+certificate that the pointers form a spanning tree is the pair
+
+    l(v) = (id(r), d(v))
+
+— the root's identity and the node's tree distance to it.  Verification at
+``v``: all neighbors agree on ``id(r)``; if ``v`` is the root
+(``parent_port = None``) then ``d(v) = 0`` and ``id(r) = Id(v)``; otherwise
+``d(p(v)) = d(v) - 1``.
+
+Soundness: distances strictly decrease along parent pointers, so every
+pointer chain reaches a node with ``d = 0``; such a node proves
+``id(r) = Id(v)``, identities are unique, and all nodes agree on ``id(r)`` —
+hence there is exactly one root and no pointer cycle, i.e. the 1-factor is a
+spanning tree.  No forged labels can beat this, which is the Theta(log n)
+upper bound the paper's introduction quotes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.union_find import UnionFind
+
+
+class SpanningTreePredicate(Predicate):
+    """True iff the ``parent_port`` pointers form a spanning tree.
+
+    Exactly one node is a root (``parent_port is None``); the parent edges,
+    viewed undirected, connect all nodes without a cycle.
+    """
+
+    name = "spanning-tree"
+
+    def holds(self, configuration: Configuration) -> bool:
+        graph = configuration.graph
+        roots = [
+            node
+            for node in graph.nodes
+            if configuration.state(node).get("parent_port") is None
+        ]
+        if len(roots) != 1:
+            return False
+        forest = UnionFind(graph.nodes)
+        for node in graph.nodes:
+            port = configuration.state(node).get("parent_port")
+            if port is None:
+                continue
+            if not 0 <= port < graph.degree(node):
+                return False
+            parent = graph.neighbor(node, port)
+            if not forest.union(node, parent):
+                return False  # a merge that fails closes a cycle
+        return forest.component_count() == 1
+
+
+def _pack(root_id: int, distance: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(root_id)
+    writer.write_varuint(distance)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> tuple:
+    reader = BitReader(label)
+    root_id = reader.read_varuint()
+    distance = reader.read_varuint()
+    reader.expect_exhausted()
+    return root_id, distance
+
+
+class SpanningTreePLS(ProofLabelingScheme):
+    """``l(v) = (id(root), dist(v))`` — the classic Theta(log n) scheme."""
+
+    name = "spanning-tree-pls"
+
+    def __init__(self) -> None:
+        super().__init__(SpanningTreePredicate())
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        root: Optional[Node] = None
+        for node in graph.nodes:
+            if configuration.state(node).get("parent_port") is None:
+                root = node
+        if root is None:
+            raise ValueError("configuration claims no root")
+        distances: Dict[Node, int] = {}
+
+        def distance(node: Node) -> int:
+            chain = []
+            current = node
+            while current not in distances:
+                port = configuration.state(current).get("parent_port")
+                if port is None:
+                    distances[current] = 0
+                    break
+                chain.append(current)
+                current = graph.neighbor(current, port)
+                if len(chain) > graph.node_count:
+                    raise ValueError("parent pointers contain a cycle")
+            for member in reversed(chain):
+                port = configuration.state(member).get("parent_port")
+                distances[member] = distances[graph.neighbor(member, port)] + 1
+            return distances[node]
+
+        root_id = configuration.node_id(root)
+        return {
+            node: _pack(root_id, distance(node)) for node in graph.nodes
+        }
+
+    def verify_at(self, view: VerifierView) -> bool:
+        root_id, dist = _unpack(view.own_label)
+        neighbor_labels = [_unpack(message) for message in view.messages]
+        for neighbor_root, _neighbor_dist in neighbor_labels:
+            if neighbor_root != root_id:
+                return False
+        parent_port = view.state.get("parent_port")
+        if parent_port is None:
+            return dist == 0 and root_id == view.state.node_id
+        if not 0 <= parent_port < view.degree:
+            return False
+        _parent_root, parent_dist = neighbor_labels[parent_port]
+        return parent_dist == dist - 1

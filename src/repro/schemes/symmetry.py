@@ -1,0 +1,102 @@
+"""``Sym`` — the symmetry predicate of Theorem 3.5 (Appendix C, Figures 3-4).
+
+A connected graph is *symmetric* when some edge ``e`` exists such that
+``G - e`` consists of exactly two isomorphic connected components.  The
+predicate is the engine of the paper's ``Omega(log n)`` lower bound: the
+gadgets ``G(z, z')`` of Figure 4 satisfy ``Sym`` iff ``z = z'``
+(Claim C.2), so an RPLS for ``Sym`` with ``o(log n)``-bit certificates would
+beat the randomized communication complexity of 2-party EQ.
+
+The paper quotes an ``Omega(n^2)``-bit deterministic bound for Sym [21] — no
+efficient PLS exists, so the only schemes offered are the universal ones
+(:func:`sym_universal_scheme`, :func:`sym_universal_rpls`), and the point of
+benchmark E5 is the *reduction* (see
+:mod:`repro.lowerbounds.reductions`), not a clever upper bound.
+"""
+
+from __future__ import annotations
+
+from typing import List, Set, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.universal import UniversalPLS, UniversalRPLS
+from repro.graphs.isomorphism import graphs_isomorphic
+from repro.graphs.port_graph import Node, PortGraph
+
+
+def _component_subgraph(graph: PortGraph, nodes: Set[Node]) -> PortGraph:
+    """The induced subgraph on ``nodes`` (ports renumbered; Sym ignores ports)."""
+    edges = [
+        (u, v) for u, _pu, v, _pv in graph.edges() if u in nodes and v in nodes
+    ]
+    return PortGraph.from_edges(edges, nodes=nodes)
+
+
+def split_by_edge(
+    graph: PortGraph, u: Node, v: Node
+) -> Tuple[List[Set[Node]], PortGraph]:
+    """Delete ``{u, v}`` and return the resulting components (and the graph)."""
+    surviving = [
+        (a, b)
+        for a, _pa, b, _pb in graph.edges()
+        if frozenset((a, b)) != frozenset((u, v))
+    ]
+    reduced = PortGraph.from_edges(surviving, nodes=graph.nodes)
+    return reduced.connected_components(), reduced
+
+
+class SymPredicate(Predicate):
+    """True iff deleting some edge yields two isomorphic components."""
+
+    name = "sym"
+
+    def holds(self, configuration: Configuration) -> bool:
+        graph = configuration.graph
+        half = graph.node_count
+        for u, _pu, v, _pv in graph.edges():
+            components, reduced = split_by_edge(graph, u, v)
+            if len(components) != 2:
+                continue
+            first, second = components
+            if len(first) != len(second):
+                continue
+            if graphs_isomorphic(
+                _component_subgraph(reduced, first),
+                _component_subgraph(reduced, second),
+            ):
+                return True
+        return False
+
+
+def sym_universal_scheme() -> UniversalPLS:
+    """Lemma 3.3 applied to Sym — the best general PLS available."""
+    return UniversalPLS(SymPredicate())
+
+
+def sym_universal_rpls(repetitions: int = 1) -> UniversalRPLS:
+    """Corollary 3.4 applied to Sym: ``O(log n)`` certificates.
+
+    Theorem 3.5 (via Lemma C.1) shows this is tight — no RPLS for Sym can do
+    asymptotically better.
+    """
+    return UniversalRPLS(SymPredicate(), repetitions=repetitions)
+
+
+def unif_sym_predicate() -> Predicate:
+    """The Theorem 3.5 combination ``Unif ∧ Sym`` over ``F1 ∪ Fk``."""
+    from repro.schemes.uniformity import UnifPredicate
+
+    class _UnifOrTrivial(UnifPredicate):
+        # Identity-only states (family F1) carry no payload; Unif is then
+        # vacuously true, which is exactly how Theorem 3.5 combines the
+        # families.
+        def holds(self, configuration: Configuration) -> bool:
+            payloads = set()
+            for node in configuration.graph.nodes:
+                payload = configuration.state(node).get("payload")
+                if payload is not None:
+                    payloads.add(payload)
+            return len(payloads) <= 1
+
+    return _UnifOrTrivial() & SymPredicate()

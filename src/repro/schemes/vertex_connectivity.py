@@ -1,0 +1,349 @@
+"""s-t vertex connectivity — the other half of Section 5.2.
+
+[31] proved a Theta(log n) bound for *s-t connectivity* (the vertex version:
+all nodes agree on the vertex connectivity between two designated nodes);
+the paper recasts it as the decision problem "is the s-t vertex connectivity
+exactly k" and notes the bound persists.  This module implements that scheme
+on simple undirected graphs with **non-adjacent** terminals, where Menger's
+theorem says: the maximum number of internally vertex-disjoint s-t paths
+equals the minimum s-t vertex cut.
+
+Certificate (all fields O(log n) bits; at most one path crosses a node):
+
+- **feasibility** (`connectivity >= k`): k internally vertex-disjoint paths,
+  each non-terminal storing at most one ``(path_id, prev_id, next_id,
+  position)`` entry, chained exactly like the k-flow scheme;
+- **maximality** (`connectivity <= k`): reachability flags in the *split*
+  residual graph (every non-terminal ``v`` becomes ``v_in -> v_out`` with
+  capacity 1).  Each node carries two bits ``(reach_in, reach_out)``; the
+  propagation rules below mirror the split graph's residual arcs, the source
+  is reachable, and the target's ``reach_in`` must stay false — no augmenting
+  path, so no k+1st disjoint path exists.
+
+Residual arcs of the split graph, derivable locally:
+
+====================================  ================================
+situation                             residual arc
+====================================  ================================
+``v`` not on any path                 ``v_in -> v_out``
+``v`` on a path                       ``v_out -> v_in`` (reverse)
+edge ``{v, w}`` unused                ``v_out -> w_in`` and ``w_out -> v_in``
+edge carries a path hop ``v -> w``    ``w_in -> v_out`` (reverse) only
+====================================  ================================
+
+The compiled RPLS (Theorem 3.1) runs at ``O(log log n)`` certificates.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.configuration import Configuration
+from repro.core.predicate import Predicate
+from repro.core.scheme import ProofLabelingScheme, VerifierView
+from repro.graphs.port_graph import Node
+from repro.substrates.flow import vertex_disjoint_paths
+
+
+def _terminals(configuration: Configuration) -> Tuple[Node, Node, int]:
+    source = sink = None
+    k = None
+    for node in configuration.graph.nodes:
+        state = configuration.state(node)
+        if state.get("source"):
+            source = node
+        if state.get("target"):
+            sink = node
+        if state.get("k") is not None:
+            k = state.get("k")
+    if source is None or sink is None or k is None:
+        raise ValueError(
+            "vertex-connectivity configurations need 'source', 'target' and 'k'"
+        )
+    return source, sink, k
+
+
+class STVertexConnectivityPredicate(Predicate):
+    """True iff the s-t vertex connectivity equals ``k`` (s, t non-adjacent)."""
+
+    name = "st-vertex-connectivity"
+
+    def holds(self, configuration: Configuration) -> bool:
+        source, sink, k = _terminals(configuration)
+        if configuration.graph.has_edge(source, sink):
+            raise ValueError("the vertex form requires non-adjacent terminals")
+        return len(vertex_disjoint_paths(configuration.graph, source, sink)) == k
+
+
+@dataclasses.dataclass
+class _Entry:
+    path_id: int
+    prev_id: Optional[int]
+    next_id: Optional[int]
+    position: int
+
+
+@dataclasses.dataclass
+class _Label:
+    node_id: int
+    reach_in: bool
+    reach_out: bool
+    entries: List[_Entry]  # >1 entries only at the terminals
+
+
+def _pack(label: _Label) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(label.node_id)
+    writer.write_flag(label.reach_in)
+    writer.write_flag(label.reach_out)
+    writer.write_varuint(len(label.entries))
+    for entry in label.entries:
+        writer.write_varuint(entry.path_id)
+        writer.write_flag(entry.prev_id is not None)
+        if entry.prev_id is not None:
+            writer.write_varuint(entry.prev_id)
+        writer.write_flag(entry.next_id is not None)
+        if entry.next_id is not None:
+            writer.write_varuint(entry.next_id)
+        writer.write_varuint(entry.position)
+    return writer.finish()
+
+
+def _unpack(label: BitString) -> _Label:
+    reader = BitReader(label)
+    node_id = reader.read_varuint()
+    reach_in = reader.read_flag()
+    reach_out = reader.read_flag()
+    count = reader.read_varuint()
+    if count > 4096:
+        raise ValueError("implausible entry count")
+    entries = []
+    for _ in range(count):
+        path_id = reader.read_varuint()
+        prev_id = reader.read_varuint() if reader.read_flag() else None
+        next_id = reader.read_varuint() if reader.read_flag() else None
+        position = reader.read_varuint()
+        entries.append(_Entry(path_id, prev_id, next_id, position))
+    reader.expect_exhausted()
+    return _Label(node_id, reach_in, reach_out, entries)
+
+
+class STVertexConnectivityPLS(ProofLabelingScheme):
+    """Theta(log n) labels deciding s-t vertex connectivity == k."""
+
+    name = "st-vertex-connectivity-pls"
+
+    def __init__(self) -> None:
+        super().__init__(STVertexConnectivityPredicate())
+
+    # -- prover ---------------------------------------------------------------
+
+    def prover(self, configuration: Configuration) -> Dict[Node, BitString]:
+        graph = configuration.graph
+        source, sink, _k = _terminals(configuration)
+        paths = vertex_disjoint_paths(graph, source, sink)
+
+        entries: Dict[Node, List[_Entry]] = {node: [] for node in graph.nodes}
+        on_path: Set[Node] = set()
+        hop: Dict[Tuple[Node, Node], bool] = {}
+        for path_id, path in enumerate(paths):
+            for position, node in enumerate(path):
+                prev_node = path[position - 1] if position > 0 else None
+                next_node = path[position + 1] if position + 1 < len(path) else None
+                entries[node].append(
+                    _Entry(
+                        path_id=path_id,
+                        prev_id=None if prev_node is None else configuration.node_id(prev_node),
+                        next_id=None if next_node is None else configuration.node_id(next_node),
+                        position=position,
+                    )
+                )
+                if node not in (source, sink):
+                    on_path.add(node)
+                if next_node is not None:
+                    hop[(node, next_node)] = True
+
+        reach = self._split_residual_reachability(
+            configuration, paths, source, sink
+        )
+        labels = {}
+        for node in graph.nodes:
+            reach_in, reach_out = reach[node]
+            labels[node] = _pack(
+                _Label(
+                    node_id=configuration.node_id(node),
+                    reach_in=reach_in,
+                    reach_out=reach_out,
+                    entries=entries[node],
+                )
+            )
+        return labels
+
+    @staticmethod
+    def _split_residual_reachability(
+        configuration: Configuration, paths, source: Node, sink: Node
+    ) -> Dict[Node, Tuple[bool, bool]]:
+        """BFS over the split residual graph; returns (reach_in, reach_out)."""
+        from collections import deque
+
+        graph = configuration.graph
+        used_internal: Set[Node] = set()
+        used_hops: Set[Tuple[Node, Node]] = set()
+        for path in paths:
+            for position, node in enumerate(path):
+                if node not in (source, sink):
+                    used_internal.add(node)
+                if position + 1 < len(path):
+                    used_hops.add((node, path[position + 1]))
+
+        # States: (node, side) with side in {"in", "out"}; terminals have a
+        # single merged state, modelled as side "out" for s and "in" for t.
+        def initial() -> Tuple[Node, str]:
+            return (source, "out")
+
+        reached: Set[Tuple[Node, str]] = {initial()}
+        queue = deque([initial()])
+        while queue:
+            node, side = queue.popleft()
+
+            def push(state: Tuple[Node, str]) -> None:
+                if state not in reached:
+                    reached.add(state)
+                    queue.append(state)
+
+            if side == "in":
+                if node not in used_internal:
+                    push((node, "out"))
+                # Reverse of an incoming edge hop w -> node: in -> w_out.
+                for neighbor in graph.neighbors(node):
+                    if (neighbor, node) in used_hops:
+                        push((neighbor, "out"))
+            else:  # side == "out"
+                if node in used_internal:
+                    push((node, "in"))  # reverse of the internal arc
+                for neighbor in graph.neighbors(node):
+                    if (node, neighbor) in used_hops:
+                        continue  # saturated forward arc
+                    target_side = "out" if neighbor == source else "in"
+                    push((neighbor, target_side))
+
+        result = {}
+        for node in graph.nodes:
+            if node == source:
+                flag = (source, "out") in reached
+                result[node] = (flag, flag)
+            elif node == sink:
+                flag = (sink, "in") in reached
+                result[node] = (flag, flag)
+            else:
+                result[node] = ((node, "in") in reached, (node, "out") in reached)
+        return result
+
+    # -- verifier ---------------------------------------------------------------
+
+    def verify_at(self, view: VerifierView) -> bool:
+        mine = _unpack(view.own_label)
+        neighbors = [_unpack(message) for message in view.messages]
+        if mine.node_id != view.state.node_id:
+            return False
+        is_source = bool(view.state.get("source"))
+        is_sink = bool(view.state.get("target"))
+        k = view.state.get("k")
+
+        port_of_id: Dict[int, int] = {}
+        for port, nb in enumerate(neighbors):
+            if nb.node_id in port_of_id:
+                return False
+            port_of_id[nb.node_id] = port
+
+        # --- path entries ----------------------------------------------------
+        path_ids = [entry.path_id for entry in mine.entries]
+        if len(set(path_ids)) != len(path_ids):
+            return False
+        if is_source or is_sink:
+            if len(mine.entries) != k:
+                return False
+        else:
+            if len(mine.entries) > 1:
+                return False  # vertex-disjointness, the defining constraint
+
+        for entry in mine.entries:
+            if entry.prev_id is None:
+                if not is_source or entry.position != 0:
+                    return False
+            else:
+                port = port_of_id.get(entry.prev_id)
+                if port is None:
+                    return False
+                match = [
+                    other for other in neighbors[port].entries
+                    if other.path_id == entry.path_id
+                ]
+                if len(match) != 1 or match[0].next_id != mine.node_id:
+                    return False
+                if match[0].position != entry.position - 1:
+                    return False
+            if entry.next_id is None:
+                if not is_sink:
+                    return False
+            else:
+                port = port_of_id.get(entry.next_id)
+                if port is None:
+                    return False
+                match = [
+                    other for other in neighbors[port].entries
+                    if other.path_id == entry.path_id
+                ]
+                if len(match) != 1 or match[0].prev_id != mine.node_id:
+                    return False
+                if match[0].position != entry.position + 1:
+                    return False
+        if is_source and any(e.prev_id is not None for e in mine.entries):
+            return False
+        if is_sink and any(e.next_id is not None for e in mine.entries):
+            return False
+
+        # --- split-residual reachability --------------------------------------
+        on_path = bool(mine.entries) and not (is_source or is_sink)
+        next_ids = {e.next_id for e in mine.entries if e.next_id is not None}
+        prev_ids = {e.prev_id for e in mine.entries if e.prev_id is not None}
+
+        if is_source and not (mine.reach_in and mine.reach_out):
+            return False
+        if is_sink and mine.reach_in:
+            return False
+        if is_source or is_sink:
+            if mine.reach_in != mine.reach_out:
+                return False  # terminals carry one merged flag
+
+        # Internal arc rules.
+        if not (is_source or is_sink):
+            if not on_path and mine.reach_in and not mine.reach_out:
+                return False  # in -> out residual must propagate
+            if on_path and mine.reach_out and not mine.reach_in:
+                return False  # reverse arc out -> in
+        # Edge arcs: out(v) -> in(w) unless this edge carries my hop to w;
+        # reverse arcs in(v) -> out(w) when w's hop enters me are w's duty
+        # symmetric rule: my in must push back along my incoming hop.
+        if mine.reach_out:
+            for port, nb in enumerate(neighbors):
+                if nb.node_id in next_ids:
+                    continue  # saturated forward arc
+                if not nb.reach_in:
+                    return False
+        if mine.reach_in:
+            for port, nb in enumerate(neighbors):
+                if nb.node_id in prev_ids and not nb.reach_out:
+                    return False  # reverse of the incoming hop
+        return True
+
+
+def st_vertex_connectivity_rpls(repetitions: int = 1):
+    """The Theorem 3.1 compilation: O(log log n) certificates."""
+    from repro.core.compiler import FingerprintCompiledRPLS
+
+    return FingerprintCompiledRPLS(
+        STVertexConnectivityPLS(), repetitions=repetitions
+    )

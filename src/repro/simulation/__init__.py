@@ -1,0 +1,31 @@
+"""Distributed-execution substrate: one-round message passing, adversaries,
+Monte-Carlo experiment drivers, and measurement helpers.
+
+Proof-labeling schemes act "in one synchronous round of communication and
+computation" (Section 2.1).  :mod:`repro.simulation.network` implements that
+round with per-message bit accounting;
+:mod:`repro.simulation.adversary` produces the forged label assignments the
+soundness condition quantifies over; :mod:`repro.simulation.runner` drives
+repeated randomized runs and estimates acceptance probabilities;
+:mod:`repro.simulation.metrics` supplies the statistics (Wilson intervals,
+shape fits) benchmarks report; :mod:`repro.simulation.self_stabilization`
+closes the loop the paper motivates — periodic verification as the local
+detector of a self-stabilizing system, with fault injection (state and
+label memory), detection-latency measurement, and recovery.
+"""
+
+from repro.simulation.network import RoundStats, exchange_messages
+from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
+from repro.simulation.self_stabilization import (
+    StabilizationTrace,
+    run_self_stabilization,
+)
+
+__all__ = [
+    "AcceptanceEstimate",
+    "RoundStats",
+    "StabilizationTrace",
+    "exchange_messages",
+    "run_self_stabilization",
+    "wilson_interval",
+]

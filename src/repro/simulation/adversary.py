@@ -1,0 +1,103 @@
+"""Adversarial label assignments.
+
+Soundness (Section 2.2) quantifies over *every* label assignment: "for every
+illegal state, and for every label assignment, the verifier rejects...".
+Tests cannot enumerate all assignments on real instances, so they attack from
+three directions:
+
+- :func:`honest_labels_on` — the honest prover run on a *different* (legal)
+  configuration, or on the corrupted one; catches schemes that only compare
+  labels to each other and never to the ground truth;
+- :func:`random_labels` / :func:`perturb_labels` — random and
+  mutation-based forgeries;
+- :func:`exhaustive_forgery_search` — on tiny instances, literally every
+  label assignment up to a bit budget, making the "for every" quantifier
+  real where it is computable.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Dict, Iterator, Optional
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import verify_deterministic
+from repro.graphs.port_graph import Node
+
+
+def honest_labels_on(
+    scheme, donor_configuration: Configuration
+) -> Dict[Node, BitString]:
+    """The honest prover's labels for a donor configuration.
+
+    Useful when the corrupted configuration shares the donor's node set: the
+    labels are perfectly self-consistent, so only checks grounded in the
+    actual states/graph can reject.
+    """
+    return scheme.prover(donor_configuration)
+
+
+def random_labels(
+    configuration: Configuration, bits: int, seed: int = 0
+) -> Dict[Node, BitString]:
+    """Uniformly random ``bits``-bit labels."""
+    rng = random.Random(seed)
+    return {
+        node: BitString(rng.getrandbits(bits) if bits else 0, bits)
+        for node in configuration.graph.nodes
+    }
+
+
+def perturb_labels(
+    labels: Dict[Node, BitString], flips: int = 1, seed: int = 0
+) -> Dict[Node, BitString]:
+    """Flip ``flips`` random bits somewhere in the label assignment."""
+    rng = random.Random(seed)
+    mutable = dict(labels)
+    nodes_with_bits = [node for node, label in mutable.items() if label.length > 0]
+    if not nodes_with_bits:
+        return mutable
+    for _ in range(flips):
+        node = rng.choice(nodes_with_bits)
+        label = mutable[node]
+        position = rng.randrange(label.length)
+        mask = 1 << (label.length - 1 - position)
+        mutable[node] = BitString(label.value ^ mask, label.length)
+    return mutable
+
+
+def all_labels_up_to(bits: int) -> Iterator[BitString]:
+    """Every bit string of length 0..bits, shortest first."""
+    for length in range(bits + 1):
+        for value in range(1 << length):
+            yield BitString(value, length)
+
+
+def exhaustive_forgery_search(
+    scheme: ProofLabelingScheme,
+    configuration: Configuration,
+    max_bits: int,
+    limit: Optional[int] = None,
+) -> Optional[Dict[Node, BitString]]:
+    """Search *every* label assignment (labels up to ``max_bits`` bits each)
+    for one the verifier accepts.
+
+    Returns an accepting assignment (a soundness **counterexample** when the
+    configuration is illegal) or None if all assignments are rejected.  The
+    space has ``(2^(max_bits+1) - 1)^n`` points; ``limit`` caps the search
+    for safety and raises :class:`RuntimeError` when exhausted.
+    """
+    nodes = configuration.graph.nodes
+    alphabet = list(all_labels_up_to(max_bits))
+    examined = 0
+    for combination in itertools.product(alphabet, repeat=len(nodes)):
+        examined += 1
+        if limit is not None and examined > limit:
+            raise RuntimeError(f"exhausted the {limit}-assignment search budget")
+        labels = dict(zip(nodes, combination))
+        if verify_deterministic(scheme, configuration, labels=labels).accepted:
+            return labels
+    return None

@@ -1,0 +1,89 @@
+"""Statistics for Monte-Carlo verification experiments.
+
+The randomized verifier is a Monte-Carlo algorithm, so benchmarks report
+estimated acceptance probabilities with confidence intervals rather than bare
+frequencies.  The Wilson score interval is used because acceptance
+probabilities sit near 0 and 1 (one-sided schemes), where the normal
+approximation interval degenerates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+
+def wilson_interval(
+    successes: int, trials: int, z: float = 1.96
+) -> Tuple[float, float]:
+    """Wilson score confidence interval for a binomial proportion.
+
+    >>> low, high = wilson_interval(90, 100)
+    >>> 0.8 < low < 0.9 < high < 0.96
+    True
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    proportion = successes / trials
+    denominator = 1 + z * z / trials
+    center = (proportion + z * z / (2 * trials)) / denominator
+    margin = (
+        z
+        * math.sqrt(
+            proportion * (1 - proportion) / trials + z * z / (4 * trials * trials)
+        )
+        / denominator
+    )
+    return max(0.0, center - margin), min(1.0, center + margin)
+
+
+@dataclass(frozen=True)
+class AcceptanceEstimate:
+    """A Monte-Carlo estimate of ``Pr[verifier accepts]``."""
+
+    accepted: int
+    trials: int
+
+    @property
+    def probability(self) -> float:
+        return self.accepted / self.trials
+
+    @property
+    def interval(self) -> Tuple[float, float]:
+        return wilson_interval(self.accepted, self.trials)
+
+    def at_least(self, threshold: float) -> bool:
+        """True if the upper confidence bound clears ``threshold``.
+
+        Appropriate for asserting completeness-style guarantees
+        (``p_accept >= 2/3``) without flaking on sampling noise.
+        """
+        return self.interval[1] >= threshold
+
+    def at_most(self, threshold: float) -> bool:
+        """True if the lower confidence bound stays under ``threshold``."""
+        return self.interval[0] <= threshold
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        low, high = self.interval
+        return f"{self.probability:.3f} [{low:.3f}, {high:.3f}] ({self.trials} trials)"
+
+
+def doubling_ratio(values: Sequence[float]) -> float:
+    """Mean ratio ``values[i+1] / values[i]`` — crude growth-shape probe.
+
+    Benchmarks use this on bit counts measured at geometrically spaced ``n``:
+    logarithmic growth gives ratios tending to 1, linear growth gives ratios
+    near the spacing factor.
+    """
+    if len(values) < 2:
+        raise ValueError("need at least two values")
+    ratios = []
+    for left, right in zip(values, values[1:]):
+        if left <= 0:
+            raise ValueError("values must be positive")
+        ratios.append(right / left)
+    return sum(ratios) / len(ratios)

@@ -1,0 +1,63 @@
+"""One synchronous communication round with exact bit accounting.
+
+Verification in the paper's model is a single round: every node places one
+message on each of its ports; the message placed on port ``i`` of ``v`` is
+delivered to port ``j`` of the neighbor ``w`` wired to it.  The round
+statistics — total bits, largest single message — are what the benchmarks
+report, since *verification complexity is the size of the largest message a
+legal run ships* (labels for a PLS, certificates for an RPLS).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Tuple
+
+from repro.core.bitstrings import BitString
+from repro.graphs.port_graph import Node, PortGraph
+
+HalfEdgeKey = Tuple[Node, int]
+
+
+@dataclass
+class RoundStats:
+    """Measurements of one communication round."""
+
+    message_count: int = 0
+    total_bits: int = 0
+    max_message_bits: int = 0
+    sent_bits_per_node: Dict[Node, int] = field(default_factory=dict)
+
+    def record(self, sender: Node, message: BitString) -> None:
+        self.message_count += 1
+        self.total_bits += message.length
+        self.max_message_bits = max(self.max_message_bits, message.length)
+        self.sent_bits_per_node[sender] = (
+            self.sent_bits_per_node.get(sender, 0) + message.length
+        )
+
+
+def exchange_messages(
+    graph: PortGraph, outbox: Mapping[HalfEdgeKey, BitString]
+) -> Tuple[Dict[HalfEdgeKey, BitString], RoundStats]:
+    """Deliver one message per half-edge and account for every bit.
+
+    ``outbox[(v, i)]`` is the message node ``v`` places on its port ``i``;
+    the result maps ``(v, i)`` to the message *received* there, i.e. the one
+    the neighbor placed on the other end of the edge.
+
+    Raises :class:`ValueError` if any half-edge is missing a message — the
+    model has no silent ports.
+    """
+    inbox: Dict[HalfEdgeKey, BitString] = {}
+    stats = RoundStats()
+    for node in graph.nodes:
+        for port in range(graph.degree(node)):
+            if (node, port) not in outbox:
+                raise ValueError(f"no outgoing message on port {port} of {node!r}")
+    for node in graph.nodes:
+        for port, neighbor, reverse_port in graph.ports(node):
+            message = outbox[(node, port)]
+            stats.record(node, message)
+            inbox[(neighbor, reverse_port)] = message
+    return inbox, stats

@@ -1,0 +1,195 @@
+"""Experiment drivers shared by the test suite and the benchmark harness.
+
+These functions wrap the verification engines into the experiment shapes the
+paper's results call for: completeness/soundness summaries per scheme,
+verification-complexity sweeps over growing instances, and boosting curves.
+Benchmarks print the rows; tests assert the qualitative claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.configuration import Configuration
+from repro.core.scheme import ProofLabelingScheme, RandomizedScheme
+from repro.core.verifier import (
+    estimate_acceptance,
+    verify_deterministic,
+    verify_randomized,
+)
+from repro.simulation.metrics import AcceptanceEstimate
+
+
+@dataclass
+class SoundnessReport:
+    """Completeness and soundness evidence for one scheme on one family."""
+
+    scheme_name: str
+    legal_accepted: bool
+    illegal_results: List[Tuple[str, bool]]  # (attack name, rejected?)
+
+    @property
+    def all_illegal_rejected(self) -> bool:
+        return all(rejected for _name, rejected in self.illegal_results)
+
+
+def deterministic_soundness_report(
+    scheme: ProofLabelingScheme,
+    legal: Configuration,
+    attacks: Dict[str, Dict],
+) -> SoundnessReport:
+    """Run a PLS against a legal configuration and a dict of forged runs.
+
+    ``attacks`` maps attack names to ``{"configuration": ..., "labels": ...}``
+    (labels optional; default honest prover on that configuration).
+    """
+    legal_run = verify_deterministic(scheme, legal)
+    results = []
+    for name, attack in attacks.items():
+        configuration = attack["configuration"]
+        labels = attack.get("labels")
+        if labels is None:
+            try:
+                labels = scheme.prover(configuration)
+            except ValueError:
+                # The prover cannot even produce labels for this (illegal)
+                # configuration — that counts as a detection.
+                results.append((name, True))
+                continue
+        run = verify_deterministic(scheme, configuration, labels=labels)
+        results.append((name, not run.accepted))
+    return SoundnessReport(
+        scheme_name=scheme.name,
+        legal_accepted=legal_run.accepted,
+        illegal_results=results,
+    )
+
+
+@dataclass
+class ComplexityRow:
+    """One row of a verification-complexity sweep."""
+
+    parameter: int
+    deterministic_bits: Optional[int]
+    randomized_bits: Optional[int]
+
+    @property
+    def compression(self) -> Optional[float]:
+        if not self.deterministic_bits or not self.randomized_bits:
+            return None
+        return self.deterministic_bits / self.randomized_bits
+
+
+def complexity_sweep(
+    parameters: Sequence[int],
+    make_configuration: Callable[[int], Configuration],
+    make_pls: Optional[Callable[[int], ProofLabelingScheme]] = None,
+    make_rpls: Optional[Callable[[int], RandomizedScheme]] = None,
+) -> List[ComplexityRow]:
+    """Measure label/certificate bits across a parameter sweep.
+
+    Factories take the parameter so witness-carrying schemes can be rebuilt
+    per instance.
+    """
+    rows = []
+    for parameter in parameters:
+        configuration = make_configuration(parameter)
+        det_bits = (
+            make_pls(parameter).verification_complexity(configuration)
+            if make_pls is not None
+            else None
+        )
+        rand_bits = (
+            make_rpls(parameter).verification_complexity(configuration)
+            if make_rpls is not None
+            else None
+        )
+        rows.append(
+            ComplexityRow(
+                parameter=parameter,
+                deterministic_bits=det_bits,
+                randomized_bits=rand_bits,
+            )
+        )
+    return rows
+
+
+def grows_like_log(parameters: Sequence[int], values: Sequence[float], slack: float = 4.0) -> bool:
+    """Heuristic shape check: values bounded by ``slack * log2(parameter) + slack``.
+
+    Used by benchmark assertions; deliberately generous (constants are
+    implementation artifacts) while still separating ``log`` from ``poly``.
+    """
+    return all(
+        value <= slack * math.log2(max(parameter, 2)) + slack
+        for parameter, value in zip(parameters, values)
+    )
+
+
+def grows_like_loglog(
+    parameters: Sequence[int], values: Sequence[float], slack: float = 8.0
+) -> bool:
+    """Shape check against ``slack * log2(log2(parameter)) + slack``."""
+    return all(
+        value <= slack * math.log2(max(math.log2(max(parameter, 4)), 2.0)) + slack
+        for parameter, value in zip(parameters, values)
+    )
+
+
+@dataclass
+class BoostingRow:
+    """One row of a boosting sweep: repetitions vs measured error."""
+
+    repetitions: int
+    certificate_bits: int
+    empirical_error: float
+    theoretical_bound: float
+
+
+def boosting_sweep(
+    make_boosted: Callable[[int], RandomizedScheme],
+    illegal: Configuration,
+    labels_factory: Callable[[RandomizedScheme], Dict],
+    repetitions_list: Sequence[int],
+    trials: int,
+    seed: int = 0,
+) -> List[BoostingRow]:
+    """Measure the false-accept rate of boosted schemes on an illegal instance."""
+    rows = []
+    for repetitions in repetitions_list:
+        scheme = make_boosted(repetitions)
+        labels = labels_factory(scheme)
+        estimate = estimate_acceptance(
+            scheme, illegal, trials=trials, seed=seed, labels=labels
+        )
+        rows.append(
+            BoostingRow(
+                repetitions=repetitions,
+                certificate_bits=scheme.verification_complexity(illegal),
+                empirical_error=estimate.probability,
+                theoretical_bound=0.5**repetitions,
+            )
+        )
+    return rows
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence]) -> str:
+    """Monospace table rendering for benchmark output."""
+    columns = [
+        [str(header)] + [str(row[index]) for row in rows]
+        for index, header in enumerate(headers)
+    ]
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    header_line = "  ".join(
+        str(headers[i]).ljust(widths[i]) for i in range(len(headers))
+    )
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rows:
+        lines.append(
+            "  ".join(str(row[i]).ljust(widths[i]) for i in range(len(headers)))
+        )
+    return "\n".join(lines)

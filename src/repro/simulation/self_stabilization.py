@@ -1,0 +1,209 @@
+"""The self-stabilization loop: periodic verification, detection, recovery.
+
+Proof-labeling schemes were born in the self-stabilization literature the
+paper builds on ([1] local detection, [9] PLS vs silent self-stabilization,
+[30] fast MST fault detection): a network maintains a distributed data
+structure, transient faults silently corrupt it, and a periodic *local
+detection* round — exactly one PLS/RPLS verification — triggers recovery.
+
+This module simulates that loop faithfully and measures what a systems
+operator would: **detection latency** (rounds from fault to first FALSE),
+**false alarms** (FALSE on a legal state — provably zero for one-sided
+schemes), and **availability** (fraction of rounds spent in a legal state).
+
+The moving parts:
+
+- the *detector* is any :class:`~repro.core.scheme.RandomizedScheme`;
+  boosting it (:class:`~repro.core.boosting.BoostedRPLS`) trades certificate
+  bits for detection latency — benchmark E19 sweeps that trade;
+- the *fault injector* corrupts the configuration at scheduled rounds
+  (states only — labels go stale, which is precisely what makes the fault
+  detectable);
+- the *recovery* procedure rebuilds a legal configuration and fresh labels,
+  modeling the "launch a recovery procedure" reaction the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration
+from repro.core.scheme import RandomizedScheme
+from repro.graphs.port_graph import Node
+
+FaultInjector = Callable[[Configuration, int], Configuration]
+LabelFaultInjector = Callable[
+    [Dict[Node, BitString], Configuration, int], Dict[Node, BitString]
+]
+Recovery = Callable[[Configuration], Tuple[Configuration, Dict[Node, BitString]]]
+
+
+@dataclass
+class RoundRecord:
+    """What happened in one simulated round."""
+
+    round_index: int
+    fault_injected: bool
+    legal: bool
+    detected: bool
+    recovered: bool
+
+
+@dataclass
+class StabilizationTrace:
+    """The full history of one simulation run."""
+
+    records: List[RoundRecord] = field(default_factory=list)
+    detection_latencies: List[int] = field(default_factory=list)
+    false_alarms: int = 0
+    undetected_faults: int = 0
+
+    @property
+    def rounds(self) -> int:
+        return len(self.records)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of rounds spent in a legal state."""
+        if not self.records:
+            return 1.0
+        return sum(1 for r in self.records if r.legal) / len(self.records)
+
+    @property
+    def mean_detection_latency(self) -> Optional[float]:
+        if not self.detection_latencies:
+            return None
+        return sum(self.detection_latencies) / len(self.detection_latencies)
+
+
+def run_self_stabilization(
+    scheme: RandomizedScheme,
+    configuration: Configuration,
+    recovery: Recovery,
+    fault_rounds: Dict[int, FaultInjector],
+    total_rounds: int,
+    seed: int = 0,
+    label_fault_rounds: Optional[Dict[int, LabelFaultInjector]] = None,
+    randomness: str = "edge",
+) -> StabilizationTrace:
+    """Simulate ``total_rounds`` of the verify-detect-recover loop.
+
+    Two fault models, matching the transient-memory-fault setting of the
+    self-stabilization literature:
+
+    - ``fault_rounds`` corrupt the *output* (node states).  Labels are not
+      refreshed — they were computed for the pre-fault state, which is what
+      detection exploits.
+    - ``label_fault_rounds`` corrupt the *proof* (stored labels) while the
+      output stays legal.  These are only detectable through the randomized
+      consistency checks (fingerprint/parity mismatches), so detection is
+      probabilistic per round — the latency-vs-boosting trade lives here.
+
+    Every round runs one randomized verification with a fresh seed.  On a
+    FALSE at any node, recovery runs immediately (the repaired state is in
+    force from the next round on).
+    """
+    # Local import: repro.core.verifier pulls in repro.simulation.metrics,
+    # so a module-level import here would close an import cycle.
+    from repro.core.verifier import verify_randomized
+
+    trace = StabilizationTrace()
+    current = configuration
+    labels = scheme.prover(configuration)
+    fault_pending_since: Optional[int] = None
+    label_fault_rounds = label_fault_rounds or {}
+
+    for round_index in range(total_rounds):
+        injected = False
+        if round_index in fault_rounds:
+            current = fault_rounds[round_index](current, round_index)
+            if fault_pending_since is None:
+                fault_pending_since = round_index
+            injected = True
+        if round_index in label_fault_rounds:
+            labels = label_fault_rounds[round_index](labels, current, round_index)
+            if fault_pending_since is None:
+                fault_pending_since = round_index
+            injected = True
+
+        legal = scheme.predicate.holds(current)
+        run = verify_randomized(
+            scheme,
+            current,
+            seed=hash((seed, round_index)),
+            labels=labels,
+            randomness=randomness,
+        )
+        detected = not run.accepted
+
+        recovered = False
+        if detected:
+            if legal and fault_pending_since is None:
+                trace.false_alarms += 1
+            if fault_pending_since is not None:
+                trace.detection_latencies.append(round_index - fault_pending_since)
+                fault_pending_since = None
+            current, labels = recovery(current)
+            recovered = True
+
+        trace.records.append(
+            RoundRecord(
+                round_index=round_index,
+                fault_injected=injected,
+                legal=legal,
+                detected=detected,
+                recovered=recovered,
+            )
+        )
+
+    if fault_pending_since is not None:
+        trace.undetected_faults += 1
+    return trace
+
+
+def periodic_faults(
+    injector: FaultInjector, period: int, total_rounds: int, start: int = 0
+) -> Dict[int, FaultInjector]:
+    """A fault schedule hitting every ``period`` rounds."""
+    if period < 1:
+        raise ValueError("period must be positive")
+    return {r: injector for r in range(start, total_rounds, period)}
+
+
+def seeded_injector(
+    corrupt: Callable[[Configuration, int], Configuration]
+) -> FaultInjector:
+    """Adapt a ``corrupt(configuration, seed)`` helper into an injector that
+    uses the round index as its seed (distinct faults each time)."""
+
+    def inject(configuration: Configuration, round_index: int) -> Configuration:
+        return corrupt(configuration, round_index)
+
+    return inject
+
+
+def bit_flip_label_injector(flips: int = 1) -> LabelFaultInjector:
+    """A memory-fault model: flip ``flips`` random bits in one node's label."""
+
+    def inject(
+        labels: Dict[Node, BitString],
+        configuration: Configuration,
+        round_index: int,
+    ) -> Dict[Node, BitString]:
+        rng = random.Random(round_index)
+        nodes = configuration.graph.nodes
+        victim = nodes[rng.randrange(len(nodes))]
+        label = labels[victim]
+        if label.length == 0:
+            return labels
+        value = label.value
+        for _ in range(flips):
+            value ^= 1 << rng.randrange(label.length)
+        mutated = dict(labels)
+        mutated[victim] = BitString(value, label.length)
+        return mutated
+
+    return inject

@@ -1,0 +1,35 @@
+"""Classical-algorithm substrates used by the proof-labeling schemes.
+
+Every scheme in :mod:`repro.schemes` sits on top of one of these from-scratch
+implementations:
+
+- :mod:`repro.substrates.primes` — primality testing and prime selection for
+  the fingerprint field (Lemma A.1 needs a prime in ``(3*lam, 6*lam)``).
+- :mod:`repro.substrates.gf` — arithmetic over ``GF(p)`` and polynomial
+  evaluation (Horner) for fingerprints.
+- :mod:`repro.substrates.union_find` — disjoint-set union used by Kruskal,
+  Borůvka and connectivity predicates.
+- :mod:`repro.substrates.dfs` — DFS trees with preorder, subtree spans and
+  lowpoint values (Hopcroft–Tarjan), used by the biconnectivity scheme.
+- :mod:`repro.substrates.bfs` — BFS layers, Dijkstra shortest paths,
+  bipartiteness/odd-cycle witnesses, used by the distance-certification and
+  bipartiteness schemes.
+- :mod:`repro.substrates.mst` — Kruskal, Prim and a trace-recording Borůvka
+  used by the MST proof-labeling scheme of Theorem 5.1.
+- :mod:`repro.substrates.flow` — Edmonds–Karp max-flow, flow decomposition and
+  residual layering used by the k-flow scheme of Section 5.2.
+- :mod:`repro.substrates.comm` — a two-party communication-complexity
+  framework (Alice/Bob, transcripts, bit accounting) with the randomized EQ
+  protocol of Lemma 3.2, used by the lower-bound reductions of Theorem 3.5.
+"""
+
+from repro.substrates.primes import is_prime, next_prime, prime_in_range, primes_up_to
+from repro.substrates.union_find import UnionFind
+
+__all__ = [
+    "UnionFind",
+    "is_prime",
+    "next_prime",
+    "prime_in_range",
+    "primes_up_to",
+]

@@ -1,0 +1,195 @@
+"""Breadth-first search layers and single-source shortest paths.
+
+The spanning-tree and leader-agreement schemes only need *some* rooted tree,
+but certifying distances ("every node's ``dist`` field is its true graph
+distance to the source") needs the genuine shortest-path metric.  This module
+provides:
+
+- :func:`bfs_layers` — hop distances and a parent-port BFS tree, exploring in
+  port order so results are deterministic;
+- :func:`dijkstra` — weighted single-source distances using the per-port
+  ``weights`` convention of :mod:`repro.core.configuration`;
+- :func:`eccentricity` / :func:`graph_diameter` — reference metrics used by
+  tests and the benchmark workload generators.
+
+Everything is iterative and dependency-free, like the rest of
+:mod:`repro.substrates`.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.graphs.port_graph import Node, PortGraph
+
+
+@dataclass
+class BFSTree:
+    """Hop distances plus the tree realizing them.
+
+    ``parent_port[v]`` is the port *at v* leading to its BFS parent
+    (``None`` at the root), matching the ``parent_port`` state-field
+    convention so generators can plant the tree directly.
+    """
+
+    root: Node
+    dist: Dict[Node, int] = field(default_factory=dict)
+    parent: Dict[Node, Optional[Node]] = field(default_factory=dict)
+    parent_port: Dict[Node, Optional[int]] = field(default_factory=dict)
+    order: List[Node] = field(default_factory=list)
+
+    def layer(self, depth: int) -> List[Node]:
+        """All nodes at hop distance exactly ``depth``, in visit order."""
+        return [node for node in self.order if self.dist[node] == depth]
+
+
+def bfs_layers(graph: PortGraph, root: Node) -> BFSTree:
+    """Hop distances from ``root`` over its connected component."""
+    tree = BFSTree(root=root)
+    tree.dist[root] = 0
+    tree.parent[root] = None
+    tree.parent_port[root] = None
+    tree.order.append(root)
+    queue = deque([root])
+    while queue:
+        current = queue.popleft()
+        for port, neighbor, reverse_port in graph.ports(current):
+            if neighbor in tree.dist:
+                continue
+            tree.dist[neighbor] = tree.dist[current] + 1
+            tree.parent[neighbor] = current
+            tree.parent_port[neighbor] = reverse_port
+            tree.order.append(neighbor)
+            queue.append(neighbor)
+    return tree
+
+
+@dataclass
+class ShortestPathTree:
+    """Weighted distances plus a tree realizing them (Dijkstra output)."""
+
+    root: Node
+    dist: Dict[Node, int] = field(default_factory=dict)
+    parent: Dict[Node, Optional[Node]] = field(default_factory=dict)
+    parent_port: Dict[Node, Optional[int]] = field(default_factory=dict)
+
+
+def dijkstra(
+    graph: PortGraph,
+    root: Node,
+    weights: Dict[Node, Sequence[int]],
+) -> ShortestPathTree:
+    """Single-source shortest paths under non-negative per-port weights.
+
+    ``weights[v][i]`` is the weight of the edge on port ``i`` of ``v``; both
+    endpoints of an edge must agree on its weight (the symmetric ``weights``
+    state convention).  Ties are broken by visit order, which is
+    deterministic because the heap holds ``(dist, insertion counter)`` pairs.
+    """
+    tree = ShortestPathTree(root=root)
+    tree.dist[root] = 0
+    tree.parent[root] = None
+    tree.parent_port[root] = None
+    counter = 0
+    heap: List[Tuple[int, int, Node]] = [(0, counter, root)]
+    settled: Dict[Node, bool] = {}
+    while heap:
+        dist, _tiebreak, current = heapq.heappop(heap)
+        if settled.get(current):
+            continue
+        settled[current] = True
+        for port, neighbor, reverse_port in graph.ports(current):
+            weight = weights[current][port]
+            if weight < 0:
+                raise ValueError(f"negative weight {weight} at ({current!r}, port {port})")
+            candidate = dist + weight
+            if neighbor not in tree.dist or candidate < tree.dist[neighbor]:
+                tree.dist[neighbor] = candidate
+                tree.parent[neighbor] = current
+                tree.parent_port[neighbor] = reverse_port
+                counter += 1
+                heapq.heappush(heap, (candidate, counter, neighbor))
+    return tree
+
+
+def eccentricity(graph: PortGraph, node: Node) -> int:
+    """The maximum hop distance from ``node`` (graph must be connected)."""
+    tree = bfs_layers(graph, node)
+    if len(tree.dist) != graph.node_count:
+        raise ValueError("eccentricity requires a connected graph")
+    return max(tree.dist.values())
+
+
+def graph_diameter(graph: PortGraph) -> int:
+    """Exact diameter by all-sources BFS (quadratic; fine at test scale)."""
+    return max(eccentricity(graph, node) for node in graph.nodes)
+
+
+def is_bipartite(graph: PortGraph) -> Tuple[bool, Dict[Node, int]]:
+    """2-colorability check by BFS parity.
+
+    Returns ``(True, sides)`` with a witness 0/1 side per node, or
+    ``(False, partial)`` when an odd cycle makes 2-coloring impossible
+    (``partial`` is the coloring built before the conflict — useful for
+    locating the violated edge in tests).
+    """
+    sides: Dict[Node, int] = {}
+    for start in graph.nodes:
+        if start in sides:
+            continue
+        sides[start] = 0
+        queue = deque([start])
+        while queue:
+            current = queue.popleft()
+            for _port, neighbor, _reverse in graph.ports(current):
+                if neighbor not in sides:
+                    sides[neighbor] = sides[current] ^ 1
+                    queue.append(neighbor)
+                elif sides[neighbor] == sides[current]:
+                    return False, sides
+    return True, sides
+
+
+def odd_cycle(graph: PortGraph) -> Optional[List[Node]]:
+    """A witness odd cycle when the graph is not bipartite, else ``None``.
+
+    Found by BFS parity: the first edge joining two same-parity nodes closes
+    an odd cycle through their lowest common BFS ancestor.
+    """
+    bipartite, _sides = is_bipartite(graph)
+    if bipartite:
+        return None
+    for start in graph.nodes:
+        tree = bfs_layers(graph, start)
+        for u, _pu, v, _pv in graph.edges():
+            if u not in tree.dist or v not in tree.dist:
+                continue
+            if (tree.dist[u] + tree.dist[v]) % 2 == 0:
+                # Walk both endpoints up to their common ancestor.
+                path_u = _root_path(tree, u)
+                path_v = _root_path(tree, v)
+                common = 0
+                while (
+                    common < len(path_u)
+                    and common < len(path_v)
+                    and path_u[common] == path_v[common]
+                ):
+                    common += 1
+                cycle = path_u[common - 1 :] + list(reversed(path_v[common:]))
+                if len(cycle) % 2 == 1:
+                    return cycle
+    return None
+
+
+def _root_path(tree: BFSTree, node: Node) -> List[Node]:
+    """The root-to-node path along BFS parents."""
+    path = []
+    current: Optional[Node] = node
+    while current is not None:
+        path.append(current)
+        current = tree.parent[current]
+    path.reverse()
+    return path

@@ -1,0 +1,141 @@
+"""Two-party communication complexity — the substrate behind Lemma 3.2.
+
+The paper's upper bound (Theorem 3.1) and its matching lower bound
+(Theorem 3.5) both run through the equality problem ``EQ``: Alice holds a
+``lam``-bit string ``x``, Bob holds ``y``, and they must decide ``x == y``.
+
+- Randomized communication complexity of ``EQ`` is ``Theta(log lam)``
+  (Lemma 3.2, [33]); the protocol achieving it (Lemma A.1) is the polynomial
+  fingerprint exchange implemented by :class:`RandomizedEqualityProtocol`.
+- Deterministically ``EQ`` costs ``lam`` bits
+  (:class:`DeterministicEqualityProtocol` is the trivial upper bound).
+
+The framework is tiny but honest: protocols move :class:`BitString`
+messages through a :class:`Transcript` that accounts every bit, so benchmark
+E2's "communication vs input length" table measures real traffic.  The
+RPLS-to-EQ reductions of Lemmas C.1 and C.3 (benchmark E5) reuse the same
+transcript type to price the certificates crossing the Alice/Bob cut.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from repro.core.bitstrings import BitReader, BitString, BitWriter
+from repro.core.fingerprint import Fingerprinter
+
+
+@dataclass
+class Transcript:
+    """A record of every message exchanged by a two-party protocol."""
+
+    messages: List[Tuple[str, BitString]] = field(default_factory=list)
+
+    def send(self, sender: str, message: BitString) -> BitString:
+        if sender not in ("alice", "bob"):
+            raise ValueError("sender must be 'alice' or 'bob'")
+        self.messages.append((sender, message))
+        return message
+
+    @property
+    def total_bits(self) -> int:
+        return sum(message.length for _sender, message in self.messages)
+
+    def bits_from(self, sender: str) -> int:
+        return sum(
+            message.length for who, message in self.messages if who == sender
+        )
+
+
+class TwoPartyProtocol(ABC):
+    """A protocol computing a boolean function of ``(x, y)``."""
+
+    name: str = "protocol"
+
+    @abstractmethod
+    def run(
+        self, x: BitString, y: BitString, rng: random.Random
+    ) -> Tuple[bool, Transcript]:
+        """Execute once; returns (output, transcript)."""
+
+
+class DeterministicEqualityProtocol(TwoPartyProtocol):
+    """The trivial EQ protocol: Alice ships her whole input (``lam`` bits).
+
+    This is also optimal: deterministic EQ needs ``lam`` bits (fooling-set
+    argument), which is the gap Lemma 3.2 randomizes away.
+    """
+
+    name = "eq-deterministic"
+
+    def run(
+        self, x: BitString, y: BitString, rng: random.Random
+    ) -> Tuple[bool, Transcript]:
+        transcript = Transcript()
+        received = transcript.send("alice", x)
+        return received == y, transcript
+
+
+class RandomizedEqualityProtocol(TwoPartyProtocol):
+    """Lemma A.1: fingerprint exchange deciding EQ in ``O(log lam)`` bits.
+
+    One-sided: equal inputs are always accepted; unequal inputs are accepted
+    with probability below ``(1/3)^repetitions``.
+    """
+
+    name = "eq-randomized"
+
+    def __init__(self, lam: int, repetitions: int = 1):
+        self.lam = lam
+        self.fingerprinter = Fingerprinter(lam, repetitions=repetitions)
+
+    def run(
+        self, x: BitString, y: BitString, rng: random.Random
+    ) -> Tuple[bool, Transcript]:
+        if x.length != self.lam or y.length != self.lam:
+            raise ValueError(f"inputs must be {self.lam}-bit strings")
+        transcript = Transcript()
+        fingerprint = transcript.send("alice", self.fingerprinter.make(x, rng))
+        return self.fingerprinter.check(y, fingerprint), transcript
+
+    @property
+    def communication_bits(self) -> int:
+        """Exact cost per run — ``2 * ceil(log2 p) * repetitions``."""
+        return self.fingerprinter.certificate_bits
+
+
+def estimate_error(
+    protocol: TwoPartyProtocol,
+    x: BitString,
+    y: BitString,
+    trials: int,
+    seed: int = 0,
+) -> float:
+    """Fraction of trials on which the protocol answers ``EQ(x, y)`` wrongly."""
+    truth = x == y
+    wrong = 0
+    for trial in range(trials):
+        output, _transcript = protocol.run(x, y, random.Random(hash((seed, trial))))
+        if output != truth:
+            wrong += 1
+    return wrong / trials
+
+
+def random_bitstring(lam: int, rng: random.Random) -> BitString:
+    """A uniformly random ``lam``-bit string."""
+    return BitString(rng.getrandbits(lam) if lam else 0, lam)
+
+
+def flip_one_bit(data: BitString, position: int) -> BitString:
+    """``data`` with the bit at ``position`` flipped — worst-case EQ inputs.
+
+    Strings at Hamming distance 1 are the hardest to distinguish for hashing
+    protocols, so error-rate experiments use them rather than random pairs.
+    """
+    if not 0 <= position < data.length:
+        raise ValueError("position out of range")
+    mask = 1 << (data.length - 1 - position)
+    return BitString(data.value ^ mask, data.length)

@@ -1,0 +1,136 @@
+"""Simple-cycle search for the cycle-length predicates of Section 5.3.
+
+``cycle-at-least-c`` asks whether a graph contains a simple cycle with at
+least ``c`` nodes; ``cycle-at-most-c`` is its complement shifted by one.
+Deciding them is NP-hard in general (the paper notes cycle-at-most-(n-1) is
+co-Hamiltonicity), so:
+
+- generators *plant* witnesses and hand them to provers;
+- the centralized predicate evaluation here uses exact backtracking with a
+  step budget — exact on the gadget families and test sizes this library
+  uses, and failing loudly (:class:`SearchBudgetExceeded`) rather than
+  silently wrong if pointed at something huge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from repro.graphs.port_graph import Node, PortGraph
+
+
+class SearchBudgetExceeded(RuntimeError):
+    """Raised when the exact cycle search exceeds its step budget."""
+
+
+def find_cycle_at_least(
+    graph: PortGraph, length: int, step_budget: int = 2_000_000
+) -> Optional[List[Node]]:
+    """Return a simple cycle with ``>= length`` nodes, or None if none exists.
+
+    Exact backtracking over simple paths, anchored at each node in turn; a
+    path may only close back to its anchor, and anchors are retired after
+    exploration (any cycle has a unique lowest-ordered node, which serves as
+    its anchor).  The step budget bounds worst-case blow-up.
+    """
+    if length < 3:
+        raise ValueError("simple cycles have at least 3 nodes")
+    order = {node: index for index, node in enumerate(graph.nodes)}
+    steps = 0
+
+    for anchor in graph.nodes:
+        path: List[Node] = [anchor]
+        on_path: Set[Node] = {anchor}
+        # Each stack frame mirrors path: the next port to try at that node.
+        stack: List[int] = [0]
+        while stack:
+            steps += 1
+            if steps > step_budget:
+                raise SearchBudgetExceeded(
+                    f"cycle search exceeded {step_budget} steps"
+                )
+            node = path[-1]
+            port = stack[-1]
+            if port >= graph.degree(node):
+                stack.pop()
+                on_path.discard(path.pop())
+                continue
+            stack[-1] += 1
+            neighbor = graph.neighbor(node, port)
+            if order[neighbor] < order[anchor]:
+                continue  # cycles through earlier nodes were already explored
+            if neighbor == anchor:
+                if len(path) >= length and len(path) >= 3:
+                    return list(path)
+                continue
+            if neighbor in on_path:
+                continue
+            path.append(neighbor)
+            on_path.add(neighbor)
+            stack.append(0)
+    return None
+
+
+def has_cycle_at_least(
+    graph: PortGraph, length: int, step_budget: int = 2_000_000
+) -> bool:
+    """``cycle-at-least-c``: does a simple cycle with >= ``length`` nodes exist?"""
+    return find_cycle_at_least(graph, length, step_budget) is not None
+
+
+def has_cycle_at_most(
+    graph: PortGraph, length: int, step_budget: int = 2_000_000
+) -> bool:
+    """``cycle-at-most-c``: no simple cycle has more than ``length`` nodes."""
+    return not has_cycle_at_least(graph, length + 1, step_budget)
+
+
+def girth_and_circumference(
+    graph: PortGraph, step_budget: int = 2_000_000
+) -> Dict[str, Optional[int]]:
+    """Shortest and longest simple cycle lengths (None if acyclic).
+
+    Exhaustive; intended for tests on small graphs.
+    """
+    longest: Optional[int] = None
+    for candidate in range(3, graph.node_count + 1):
+        if has_cycle_at_least(graph, candidate, step_budget):
+            longest = candidate
+        else:
+            break
+    if longest is None:
+        return {"girth": None, "circumference": None}
+    return {"girth": _girth_bfs(graph), "circumference": longest}
+
+
+def girth(graph: PortGraph) -> Optional[int]:
+    """The length of a shortest simple cycle, or ``None`` if acyclic.
+
+    BFS from every root; the minimum over non-tree edges of
+    ``dist(u) + dist(v) + 1`` is exact once all roots are tried (validated
+    against networkx in the test suite).
+    """
+    return _girth_bfs(graph)
+
+
+def _girth_bfs(graph: PortGraph) -> Optional[int]:
+    """Shortest cycle length via BFS from every node (simple graphs)."""
+    from collections import deque
+
+    best: Optional[int] = None
+    for root in graph.nodes:
+        distance = {root: 0}
+        parent = {root: None}
+        queue = deque([root])
+        while queue:
+            current = queue.popleft()
+            for neighbor in graph.neighbors(current):
+                if neighbor not in distance:
+                    distance[neighbor] = distance[current] + 1
+                    parent[neighbor] = current
+                    queue.append(neighbor)
+                elif parent[current] != neighbor:
+                    cycle_length = distance[current] + distance[neighbor] + 1
+                    if best is None or cycle_length < best:
+                        best = cycle_length
+    return best

@@ -1,0 +1,175 @@
+"""DFS trees with preorder numbers, subtree spans and lowpoints.
+
+The biconnectivity scheme of Theorem 5.2 (Appendix E) labels every node with
+data from a depth-first search tree, following Hopcroft–Tarjan [22] and
+Tarjan's analysis [37]:
+
+- ``preorder(v)`` — visit number of ``v`` in the DFS traversal;
+- ``span(v)`` — the (contiguous) interval of preorder numbers of the subtree
+  rooted at ``v``, *including* ``v`` itself;
+- ``lowpoint(v)`` — per the paper's predicate P7:
+  ``min(childmin(v), neighbormin(v))`` where ``childmin`` is the minimum
+  lowpoint among the children of ``v`` and ``neighbormin`` the minimum
+  preorder among *all* neighbors of ``v`` (including its parent — see the
+  note in :func:`articulation_points` for why that convention still yields
+  the correct articulation test).
+
+The implementation is iterative (no recursion limits on large graphs) and
+deterministic: neighbors are explored in port order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.graphs.port_graph import Node, PortGraph
+
+
+@dataclass
+class DFSTree:
+    """The annotated result of one depth-first search."""
+
+    root: Node
+    parent: Dict[Node, Optional[Node]] = field(default_factory=dict)
+    parent_port: Dict[Node, Optional[int]] = field(default_factory=dict)
+    depth: Dict[Node, int] = field(default_factory=dict)
+    preorder: Dict[Node, int] = field(default_factory=dict)
+    span: Dict[Node, Tuple[int, int]] = field(default_factory=dict)
+    lowpoint: Dict[Node, int] = field(default_factory=dict)
+    children: Dict[Node, List[Node]] = field(default_factory=dict)
+    order: List[Node] = field(default_factory=list)
+
+    def subtree_size(self, node: Node) -> int:
+        low, high = self.span[node]
+        return high - low + 1
+
+    def is_ancestor(self, ancestor: Node, descendant: Node) -> bool:
+        """True if ``descendant`` lies in the subtree of ``ancestor``."""
+        low, high = self.span[ancestor]
+        return low <= self.preorder[descendant] <= high
+
+
+def dfs_tree(graph: PortGraph, root: Node) -> DFSTree:
+    """Run an iterative DFS from ``root`` over the component containing it."""
+    tree = DFSTree(root=root)
+    tree.parent[root] = None
+    tree.parent_port[root] = None
+    tree.depth[root] = 0
+    tree.children[root] = []
+
+    counter = 0
+    # Stack holds (node, iterator position over ports).
+    stack: List[Tuple[Node, int]] = [(root, 0)]
+    tree.preorder[root] = counter
+    tree.order.append(root)
+    counter += 1
+
+    while stack:
+        node, next_port = stack[-1]
+        if next_port < graph.degree(node):
+            stack[-1] = (node, next_port + 1)
+            neighbor = graph.neighbor(node, next_port)
+            if neighbor in tree.preorder:
+                continue
+            tree.parent[neighbor] = node
+            tree.parent_port[neighbor] = graph.reverse_port(node, next_port)
+            tree.depth[neighbor] = tree.depth[node] + 1
+            tree.children.setdefault(node, []).append(neighbor)
+            tree.children.setdefault(neighbor, [])
+            tree.preorder[neighbor] = counter
+            tree.order.append(neighbor)
+            counter += 1
+            stack.append((neighbor, 0))
+        else:
+            stack.pop()
+
+    # Subtree spans and lowpoints in reverse preorder (children before parents).
+    max_pre: Dict[Node, int] = {}
+    for node in reversed(tree.order):
+        high = tree.preorder[node]
+        for child in tree.children[node]:
+            high = max(high, max_pre[child])
+        max_pre[node] = high
+        tree.span[node] = (tree.preorder[node], high)
+
+        neighbor_min = min(
+            (tree.preorder[neighbor] for neighbor in graph.neighbors(node)
+             if neighbor in tree.preorder),
+            default=tree.preorder[node],
+        )
+        child_min = min(
+            (tree.lowpoint[child] for child in tree.children[node]),
+            default=neighbor_min,
+        )
+        tree.lowpoint[node] = min(neighbor_min, child_min)
+
+    return tree
+
+
+def articulation_points(graph: PortGraph) -> Set[Node]:
+    """Articulation points of a connected graph, via the lowpoint test.
+
+    With the paper's lowpoint convention (``neighbormin`` ranges over *all*
+    neighbors, parent included) the classical conditions still hold:
+
+    - the root is an articulation point iff it has >= 2 DFS children;
+    - a non-root ``v`` is an articulation point iff some child ``u`` has
+      ``lowpoint(u) >= preorder(v)``.  A back edge from ``u``'s subtree to
+      ``v`` itself, or the tree edge to the parent ``v``, contributes exactly
+      ``preorder(v)`` — which does *not* satisfy the strict inequality of the
+      escape condition, so it correctly fails to clear ``v``.
+    """
+    if graph.node_count == 0:
+        return set()
+    root = graph.nodes[0]
+    tree = dfs_tree(graph, root)
+    if len(tree.preorder) != graph.node_count:
+        raise ValueError("articulation_points requires a connected graph")
+    cut_vertices: Set[Node] = set()
+    if len(tree.children[root]) >= 2:
+        cut_vertices.add(root)
+    for node in tree.order:
+        if node == root:
+            continue
+        for child in tree.children[node]:
+            if tree.lowpoint[child] >= tree.preorder[node]:
+                cut_vertices.add(node)
+                break
+    return cut_vertices
+
+
+def is_biconnected(graph: PortGraph) -> bool:
+    """The paper's ``v2con``: removing any single node leaves the graph connected.
+
+    Equivalent, for a connected graph, to having no articulation points.
+    (Under this definition the single edge ``K2`` *is* biconnected: deleting
+    either endpoint leaves a one-node graph, which is connected.)
+    """
+    if not graph.is_connected():
+        return False
+    if graph.node_count <= 2:
+        return True
+    return not articulation_points(graph)
+
+
+def brute_force_articulation_points(graph: PortGraph) -> Set[Node]:
+    """Reference implementation: delete each node and test connectivity.
+
+    Quadratic; used by tests to validate :func:`articulation_points`.
+    """
+    cut_vertices: Set[Node] = set()
+    all_nodes = graph.nodes
+    if len(all_nodes) <= 2:
+        return cut_vertices
+    for candidate in all_nodes:
+        remaining = [node for node in all_nodes if node != candidate]
+        survivor_edges = [
+            (u, v)
+            for u, _pu, v, _pv in graph.edges()
+            if u != candidate and v != candidate
+        ]
+        reduced = PortGraph.from_edges(survivor_edges, nodes=remaining)
+        if not reduced.is_connected():
+            cut_vertices.add(candidate)
+    return cut_vertices

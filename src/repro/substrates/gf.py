@@ -1,0 +1,119 @@
+"""Arithmetic over the prime field ``GF(p)``.
+
+The fingerprint protocol of Lemma A.1 interprets a bit string
+``a = a_0 a_1 ... a_{lam-1}`` as the polynomial
+
+    A(x) = a_0 + a_1 * x + ... + a_{lam-1} * x^{lam-1}  (mod p)
+
+and exchanges ``(x, A(x))`` for a uniformly random ``x in GF(p)``.  Two
+distinct polynomials of degree ``< lam`` agree on at most ``lam - 1`` points,
+which is the entire soundness argument.  This module provides the small,
+carefully tested field layer those statements rest on.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.substrates.primes import is_prime
+
+
+class PrimeField:
+    """The field ``GF(p)`` for a prime ``p``.
+
+    Instances are tiny and immutable; they exist so schemes can pass a single
+    object around rather than a bare modulus, and so that the modulus is
+    validated exactly once.
+
+    >>> field = PrimeField(7)
+    >>> field.add(5, 4)
+    2
+    >>> field.mul(3, 5)
+    1
+    >>> field.inv(3)
+    5
+    """
+
+    __slots__ = ("p",)
+
+    def __init__(self, p: int):
+        if not is_prime(p):
+            raise ValueError(f"{p} is not prime")
+        self.p = p
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.p})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.p == self.p
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.p))
+
+    @property
+    def order(self) -> int:
+        """Number of field elements."""
+        return self.p
+
+    def element(self, value: int) -> int:
+        """Reduce an arbitrary integer into ``[0, p)``."""
+        return value % self.p
+
+    def add(self, a: int, b: int) -> int:
+        return (a + b) % self.p
+
+    def sub(self, a: int, b: int) -> int:
+        return (a - b) % self.p
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.p
+
+    def neg(self, a: int) -> int:
+        return (-a) % self.p
+
+    def inv(self, a: int) -> int:
+        """Multiplicative inverse via Fermat's little theorem."""
+        a %= self.p
+        if a == 0:
+            raise ZeroDivisionError("0 has no inverse in GF(p)")
+        return pow(a, self.p - 2, self.p)
+
+    def div(self, a: int, b: int) -> int:
+        return self.mul(a, self.inv(b))
+
+    def pow(self, a: int, e: int) -> int:
+        return pow(a % self.p, e, self.p)
+
+    def poly_eval(self, coefficients: Sequence[int], x: int) -> int:
+        """Evaluate ``sum(c_i * x^i)`` by Horner's rule.
+
+        Coefficients are in *ascending* degree order, matching the paper's
+        ``A(x) = a_0 + a_1 x + ...`` convention.
+
+        >>> PrimeField(7).poly_eval([1, 2, 3], 2)  # 1 + 4 + 12 = 17 = 3 mod 7
+        3
+        """
+        accumulator = 0
+        for coefficient in reversed(coefficients):
+            accumulator = (accumulator * x + coefficient) % self.p
+        return accumulator
+
+    def poly_from_bits(self, bits: Iterable[int]) -> List[int]:
+        """Coefficients (ascending) of the polynomial encoding a bit string."""
+        coefficients = []
+        for bit in bits:
+            if bit not in (0, 1):
+                raise ValueError(f"bit string may only contain 0/1, got {bit}")
+            coefficients.append(bit)
+        return coefficients
+
+
+def poly_equal_points(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:
+    """Count points of ``GF(p)`` where polynomials ``a`` and ``b`` agree.
+
+    Brute force — used only by tests to validate the ``(lam-1)/p`` collision
+    bound on small fields.
+    """
+    return sum(
+        1 for x in range(field.p) if field.poly_eval(a, x) == field.poly_eval(b, x)
+    )

@@ -1,0 +1,239 @@
+"""Minimum spanning trees: Kruskal, Prim, and a trace-recording Borůvka.
+
+The MST proof-labeling scheme of Theorem 5.1 (the ``O(log^2 n)`` upper bound
+of Korman–Kutten–Peleg [31]) certifies a Borůvka execution: the label of a
+node describes, for each of the ``<= ceil(log2 n)`` merge phases, the node's
+fragment, its position inside the fragment tree, and the fragment's
+minimum-weight outgoing edge (MWOE).  :func:`boruvka` therefore records the
+*entire* phase history, not just the final tree.
+
+Edge weights are compared through a caller-supplied total order
+``weight_key(node, port) -> key`` (by convention the tie-broken triple
+``(w, min_id, max_id)`` from :meth:`repro.core.configuration.Configuration.weight_key`);
+distinct keys make the MST unique, so Kruskal, Prim and Borůvka must agree
+exactly — a property the test suite checks, alongside agreement with
+networkx.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+from repro.graphs.port_graph import Node, PortGraph
+from repro.substrates.union_find import UnionFind
+
+WeightKey = Tuple[int, int, int]
+WeightFunction = Callable[[Node, int], WeightKey]
+EdgeKey = FrozenSet[Node]
+
+
+def _edge_key(u: Node, v: Node) -> EdgeKey:
+    return frozenset((u, v))
+
+
+def kruskal(graph: PortGraph, weight_key: WeightFunction) -> Set[EdgeKey]:
+    """The unique MST under a strict weight order, as a set of node pairs."""
+    edges = sorted(
+        ((weight_key(u, pu), u, v) for u, pu, v, _pv in graph.edges()),
+    )
+    forest = UnionFind(graph.nodes)
+    tree: Set[EdgeKey] = set()
+    for _key, u, v in edges:
+        if forest.union(u, v):
+            tree.add(_edge_key(u, v))
+    return tree
+
+
+def prim(graph: PortGraph, weight_key: WeightFunction) -> Set[EdgeKey]:
+    """Prim's algorithm from an arbitrary start node (same unique MST)."""
+    import heapq
+
+    if graph.node_count == 0:
+        return set()
+    start = graph.nodes[0]
+    visited: Set[Node] = {start}
+    tree: Set[EdgeKey] = set()
+    heap: List[Tuple[WeightKey, Node, Node]] = []
+    for port, neighbor, _reverse in graph.ports(start):
+        heapq.heappush(heap, (weight_key(start, port), start, neighbor))
+    while heap and len(visited) < graph.node_count:
+        key, u, v = heapq.heappop(heap)
+        if v in visited:
+            continue
+        visited.add(v)
+        tree.add(_edge_key(u, v))
+        for port, neighbor, _reverse in graph.ports(v):
+            if neighbor not in visited:
+                heapq.heappush(heap, (weight_key(v, port), v, neighbor))
+    return tree
+
+
+def total_weight(
+    graph: PortGraph, weight_key: WeightFunction, tree: Set[EdgeKey]
+) -> int:
+    """Sum of the raw weights of a set of edges (first key component)."""
+    weight = 0
+    for u, pu, v, _pv in graph.edges():
+        if _edge_key(u, v) in tree:
+            weight += weight_key(u, pu)[0]
+    return weight
+
+
+@dataclass
+class FragmentStructure:
+    """One phase's fragment forest: a rooted spanning tree per fragment."""
+
+    root: Dict[Node, Node] = field(default_factory=dict)
+    parent: Dict[Node, Optional[Node]] = field(default_factory=dict)
+    depth: Dict[Node, int] = field(default_factory=dict)
+
+
+@dataclass
+class BoruvkaPhase:
+    """Everything the MST scheme needs to certify one merge round.
+
+    ``subtree_min[v]`` is the minimum weight key among *outgoing* edges (to
+    other fragments) incident to the fragment-subtree rooted at ``v`` — the
+    convergecast value the verifier checks bottom-up.  ``chosen[r]`` is the
+    MWOE of the fragment rooted at ``r``: by construction
+    ``chosen[r] == subtree_min[r]``.
+    """
+
+    structure: FragmentStructure
+    subtree_min: Dict[Node, Optional[WeightKey]] = field(default_factory=dict)
+    chosen: Dict[Node, WeightKey] = field(default_factory=dict)
+
+
+@dataclass
+class BoruvkaTrace:
+    """The full phase history of one Borůvka run."""
+
+    phases: List[BoruvkaPhase]
+    final_structure: FragmentStructure
+    tree_edges: Set[EdgeKey]
+    merge_phase: Dict[EdgeKey, int]
+
+    @property
+    def phase_count(self) -> int:
+        return len(self.phases)
+
+
+def _fragment_structure(
+    graph: PortGraph,
+    tree_adjacency: Dict[Node, List[Node]],
+    forest: UnionFind,
+) -> FragmentStructure:
+    """Root every fragment at its minimum node and BFS the fragment tree."""
+    structure = FragmentStructure()
+    groups: Dict[Node, List[Node]] = {}
+    for node in graph.nodes:
+        groups.setdefault(forest.find(node), []).append(node)
+    for members in groups.values():
+        root = min(members)  # node keys double as identities in this library
+        structure.root.update({member: root for member in members})
+        structure.parent[root] = None
+        structure.depth[root] = 0
+        queue = deque([root])
+        seen = {root}
+        while queue:
+            current = queue.popleft()
+            for neighbor in tree_adjacency.get(current, ()):
+                if neighbor in seen:
+                    continue
+                seen.add(neighbor)
+                structure.parent[neighbor] = current
+                structure.depth[neighbor] = structure.depth[current] + 1
+                queue.append(neighbor)
+        if len(seen) != len(members):
+            raise AssertionError("fragment tree does not span its fragment")
+    return structure
+
+
+def boruvka(graph: PortGraph, weight_key: WeightFunction) -> BoruvkaTrace:
+    """Run Borůvka's algorithm, recording every phase.
+
+    Requires a connected graph and a strict total order on edge weights.
+    Each phase: every fragment selects its minimum-weight outgoing edge; all
+    selected edges join the tree; fragments merge.  With ``n`` nodes the
+    number of phases is at most ``ceil(log2 n)`` because every fragment at
+    least doubles.
+    """
+    if not graph.is_connected():
+        raise ValueError("boruvka requires a connected graph")
+
+    forest = UnionFind(graph.nodes)
+    tree_adjacency: Dict[Node, List[Node]] = {node: [] for node in graph.nodes}
+    tree_edges: Set[EdgeKey] = set()
+    merge_phase: Dict[EdgeKey, int] = {}
+    phases: List[BoruvkaPhase] = []
+
+    phase_index = 0
+    while forest.component_count() > 1:
+        structure = _fragment_structure(graph, tree_adjacency, forest)
+
+        # Convergecast of minimum outgoing weight keys, leaves to roots.
+        children: Dict[Node, List[Node]] = {node: [] for node in graph.nodes}
+        for node, parent in structure.parent.items():
+            if parent is not None:
+                children[parent].append(node)
+        order = sorted(graph.nodes, key=lambda v: -structure.depth[v])
+        subtree_min: Dict[Node, Optional[WeightKey]] = {}
+        for node in order:
+            best: Optional[WeightKey] = None
+            for port, neighbor, _reverse in graph.ports(node):
+                if forest.find(neighbor) != forest.find(node):
+                    key = weight_key(node, port)
+                    if best is None or key < best:
+                        best = key
+            for child in children[node]:
+                child_best = subtree_min[child]
+                if child_best is not None and (best is None or child_best < best):
+                    best = child_best
+            subtree_min[node] = best
+
+        chosen: Dict[Node, WeightKey] = {}
+        for node in graph.nodes:
+            if structure.parent[node] is None:
+                mwoe = subtree_min[node]
+                if mwoe is None:
+                    raise AssertionError(
+                        "a non-final fragment must have an outgoing edge"
+                    )
+                chosen[structure.root[node]] = mwoe
+
+        phases.append(
+            BoruvkaPhase(structure=structure, subtree_min=subtree_min, chosen=chosen)
+        )
+
+        # Materialize the chosen MWOEs (dedup: two fragments may pick the
+        # same edge) and merge.
+        selected: Dict[WeightKey, Tuple[Node, Node]] = {}
+        chosen_keys = set(chosen.values())
+        for u, pu, v, _pv in graph.edges():
+            key = weight_key(u, pu)
+            if key in chosen_keys:
+                selected[key] = (u, v)
+        if len(selected) != len(chosen_keys):
+            raise AssertionError("a chosen MWOE key matched no edge")
+        for key, (u, v) in sorted(selected.items()):
+            edge = _edge_key(u, v)
+            if edge in tree_edges:
+                continue
+            tree_edges.add(edge)
+            merge_phase[edge] = phase_index
+            tree_adjacency[u].append(v)
+            tree_adjacency[v].append(u)
+            forest.union(u, v)
+        phase_index += 1
+        if phase_index > graph.node_count:
+            raise AssertionError("boruvka failed to converge")
+
+    final_structure = _fragment_structure(graph, tree_adjacency, forest)
+    return BoruvkaTrace(
+        phases=phases,
+        final_structure=final_structure,
+        tree_edges=tree_edges,
+        merge_phase=merge_phase,
+    )

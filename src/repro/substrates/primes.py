@@ -1,0 +1,137 @@
+"""Primality testing and prime selection.
+
+The fingerprint construction of Lemma A.1 views a ``lam``-bit label as a
+polynomial over ``GF(p)`` for a prime ``3*lam < p < 6*lam``.  Such a prime
+always exists by Bertrand's postulate (the interval ``(x, 2x)`` contains a
+prime for every ``x >= 1``, and ``(3*lam, 6*lam)`` is exactly such an
+interval).  This module supplies the machinery to find it:
+
+- :func:`primes_up_to` — a plain sieve of Eratosthenes for small ranges.
+- :func:`is_prime` — deterministic Miller–Rabin, exact for every integer
+  below 3.3 * 10**24 (and therefore for every input this library ever
+  produces; label lengths are far below 2**64).
+- :func:`prime_in_range` / :func:`next_prime` — prime selection helpers.
+
+Everything here is pure Python with no dependencies; determinism matters
+because the prime choice is part of a scheme's public description, not of its
+randomness.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+# Witnesses that make Miller-Rabin deterministic for all n < 3,317,044,064,679,887,385,961,981.
+_MILLER_RABIN_WITNESSES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41)
+
+_SMALL_PRIMES = (2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37)
+
+
+def primes_up_to(limit: int) -> List[int]:
+    """Return all primes ``<= limit`` via the sieve of Eratosthenes.
+
+    >>> primes_up_to(20)
+    [2, 3, 5, 7, 11, 13, 17, 19]
+    """
+    if limit < 2:
+        return []
+    sieve = bytearray([1]) * (limit + 1)
+    sieve[0] = sieve[1] = 0
+    p = 2
+    while p * p <= limit:
+        if sieve[p]:
+            sieve[p * p :: p] = bytearray(len(sieve[p * p :: p]))
+        p += 1
+    return [i for i, flag in enumerate(sieve) if flag]
+
+
+def _miller_rabin_round(n: int, d: int, r: int, witness: int) -> bool:
+    """One Miller-Rabin round: return True if ``witness`` certifies n composite."""
+    x = pow(witness, d, n)
+    if x == 1 or x == n - 1:
+        return False
+    for _ in range(r - 1):
+        x = (x * x) % n
+        if x == n - 1:
+            return False
+    return True
+
+
+def is_prime(n: int) -> bool:
+    """Deterministic primality test.
+
+    Uses trial division by small primes, then Miller-Rabin with a witness set
+    that is provably exact for every ``n < 3.3e24``.
+
+    >>> is_prime(97)
+    True
+    >>> is_prime(91)
+    False
+    """
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    # Write n - 1 = d * 2^r with d odd.
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for witness in _MILLER_RABIN_WITNESSES:
+        if witness % n == 0:
+            continue
+        if _miller_rabin_round(n, d, r, witness):
+            return False
+    return True
+
+
+def next_prime(n: int) -> int:
+    """Return the smallest prime strictly greater than ``n``.
+
+    >>> next_prime(10)
+    11
+    """
+    candidate = max(n + 1, 2)
+    while not is_prime(candidate):
+        candidate += 1
+    return candidate
+
+
+def prime_in_range(lo: int, hi: int) -> int:
+    """Return the smallest prime ``p`` with ``lo <= p <= hi``.
+
+    Raises :class:`ValueError` if the interval contains no prime.  The
+    fingerprint module calls this with ``(3*lam + 1, 6*lam - 1)``, an interval
+    guaranteed non-empty by Bertrand's postulate for ``lam >= 1``.
+
+    >>> prime_in_range(4, 6)
+    5
+    """
+    if lo > hi:
+        raise ValueError(f"empty interval [{lo}, {hi}]")
+    candidate = next_prime(lo - 1)
+    if candidate > hi:
+        raise ValueError(f"no prime in [{lo}, {hi}]")
+    return candidate
+
+
+def fingerprint_prime(lam: int) -> int:
+    """Return the canonical fingerprint prime for a ``lam``-bit string.
+
+    Lemma A.1 requires ``3*lam < p < 6*lam``.  For degenerate ``lam`` (0 or 1)
+    the open interval is empty or too small, so we clamp to the smallest field
+    that still satisfies the soundness computation ``(lam - 1) / p < 1/3``:
+    ``p = 5`` suffices for ``lam <= 1``.
+
+    >>> fingerprint_prime(10)
+    31
+    >>> 3 * 100 < fingerprint_prime(100) < 6 * 100
+    True
+    """
+    if lam <= 1:
+        return 5
+    return prime_in_range(3 * lam + 1, 6 * lam - 1)

@@ -1,0 +1,89 @@
+"""Disjoint-set union (union-find) with union by rank and path compression.
+
+Used by Kruskal and Borůvka (:mod:`repro.substrates.mst`), by connectivity
+predicates, and by the crossing machinery when it needs component counts of a
+crossed graph without going through a full graph object.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Set
+
+
+class UnionFind:
+    """Classic DSU over arbitrary hashable elements.
+
+    Elements are registered lazily on first use, or eagerly via the
+    constructor / :meth:`add`.
+
+    >>> uf = UnionFind([1, 2, 3])
+    >>> uf.union(1, 2)
+    True
+    >>> uf.connected(1, 2)
+    True
+    >>> uf.connected(1, 3)
+    False
+    >>> uf.component_count()
+    2
+    """
+
+    def __init__(self, elements: Iterable[Hashable] = ()):
+        self._parent: Dict[Hashable, Hashable] = {}
+        self._rank: Dict[Hashable, int] = {}
+        self._components = 0
+        for element in elements:
+            self.add(element)
+
+    def add(self, element: Hashable) -> None:
+        """Register ``element`` as its own singleton component (idempotent)."""
+        if element not in self._parent:
+            self._parent[element] = element
+            self._rank[element] = 0
+            self._components += 1
+
+    def __contains__(self, element: Hashable) -> bool:
+        return element in self._parent
+
+    def __len__(self) -> int:
+        return len(self._parent)
+
+    def find(self, element: Hashable) -> Hashable:
+        """Return the canonical representative, compressing the path."""
+        self.add(element)
+        root = element
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[element] != root:
+            self._parent[element], element = root, self._parent[element]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> bool:
+        """Merge the components of ``a`` and ``b``.
+
+        Returns True if a merge happened, False if they were already joined.
+        """
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a == root_b:
+            return False
+        if self._rank[root_a] < self._rank[root_b]:
+            root_a, root_b = root_b, root_a
+        self._parent[root_b] = root_a
+        if self._rank[root_a] == self._rank[root_b]:
+            self._rank[root_a] += 1
+        self._components -= 1
+        return True
+
+    def connected(self, a: Hashable, b: Hashable) -> bool:
+        """True if ``a`` and ``b`` are in the same component."""
+        return self.find(a) == self.find(b)
+
+    def component_count(self) -> int:
+        """Number of distinct components among registered elements."""
+        return self._components
+
+    def components(self) -> List[Set[Hashable]]:
+        """Materialize the partition as a list of sets (sorted by repr for determinism)."""
+        groups: Dict[Hashable, Set[Hashable]] = {}
+        for element in self._parent:
+            groups.setdefault(self.find(element), set()).add(element)
+        return [groups[key] for key in sorted(groups, key=repr)]

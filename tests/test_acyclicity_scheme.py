@@ -1,0 +1,109 @@
+"""Tests for the acyclicity scheme ([31]; anchor of the Thm 5.1 lower bound)."""
+
+import pytest
+
+from repro.core.bitstrings import BitString, BitWriter
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    cycle_configuration,
+    line_configuration,
+    tree_only_configuration,
+)
+from repro.schemes.acyclicity import AcyclicityPLS, AcyclicityPredicate
+from repro.simulation.adversary import exhaustive_forgery_search, random_labels
+
+
+def depth_label(depth: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(depth)
+    return writer.finish()
+
+
+class TestPredicate:
+    def test_line_and_tree(self):
+        assert AcyclicityPredicate().holds(line_configuration(7))
+        assert AcyclicityPredicate().holds(tree_only_configuration(15, seed=1))
+
+    def test_cycle(self):
+        assert not AcyclicityPredicate().holds(cycle_configuration(7))
+
+
+class TestScheme:
+    @pytest.mark.parametrize("n", [2, 3, 7, 40])
+    def test_completeness_on_lines(self, n):
+        assert verify_deterministic(AcyclicityPLS(), line_configuration(n)).accepted
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_completeness_on_trees(self, seed):
+        config = tree_only_configuration(25, seed=seed)
+        assert verify_deterministic(AcyclicityPLS(), config).accepted
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 13])
+    def test_honest_labels_on_cycles_rejected(self, n):
+        config = cycle_configuration(n)
+        scheme = AcyclicityPLS()
+        run = verify_deterministic(scheme, config, labels=scheme.prover(config))
+        assert not run.accepted
+
+    @pytest.mark.parametrize("n", [4, 6, 8])
+    def test_alternating_distance_forgery_rejected(self, n):
+        """The classic even-cycle forgery 0,1,0,1,... must fail."""
+        config = cycle_configuration(n)
+        labels = {node: depth_label(node % 2) for node in config.graph.nodes}
+        assert not verify_deterministic(AcyclicityPLS(), config, labels=labels).accepted
+
+    @pytest.mark.parametrize("n", [4, 5, 6])
+    def test_hill_forgery_rejected(self, n):
+        """Distances rising then falling around a cycle: local max rejects."""
+        config = cycle_configuration(n)
+        labels = {
+            node: depth_label(min(node, n - node)) for node in config.graph.nodes
+        }
+        assert not verify_deterministic(AcyclicityPLS(), config, labels=labels).accepted
+
+    def test_exhaustive_soundness_on_triangle(self):
+        """Every labeling with <= 2-bit labels rejects the triangle —
+        the 'for every label assignment' quantifier made literal."""
+        config = cycle_configuration(3)
+        counterexample = exhaustive_forgery_search(
+            AcyclicityPLS(), config, max_bits=2
+        )
+        assert counterexample is None
+
+    def test_random_forgeries_on_cycle(self):
+        config = cycle_configuration(9)
+        scheme = AcyclicityPLS()
+        for seed in range(30):
+            labels = random_labels(config, bits=8, seed=seed)
+            assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_label_size(self):
+        import math
+
+        for n in (16, 64, 256):
+            config = line_configuration(n)
+            bits = AcyclicityPLS().verification_complexity(config)
+            assert bits <= 4 * math.ceil(math.log2(n) / 3 + 1) + 4  # varuint of dist
+
+
+class TestCompiled:
+    def test_randomized(self):
+        config = line_configuration(40)
+        compiled = FingerprintCompiledRPLS(AcyclicityPLS())
+        assert verify_randomized(compiled, config, seed=0).accepted
+        cyc = cycle_configuration(40)
+        estimate = estimate_acceptance(
+            compiled, cyc, trials=20, labels=compiled.prover(cyc)
+        )
+        assert estimate.probability < 0.3
+
+    def test_certificate_loglog(self):
+        """MST's Theta(log log n) upper bound via acyclicity's compiled certs."""
+        sizes = []
+        for n in (16, 256, 4096):
+            config = line_configuration(n)
+            compiled = FingerprintCompiledRPLS(AcyclicityPLS())
+            sizes.append(compiled.verification_complexity(config))
+        # 256x growth in n, near-flat certificate size.
+        assert sizes[-1] - sizes[0] <= 10

@@ -1,0 +1,130 @@
+"""Edge cases: anonymous networks, tiny graphs, degenerate parameters.
+
+The paper notes that "the definition of proof-labeling scheme does not need
+the presence of identities" (Section 2.1) — ``Unif`` and coloring work on
+anonymous networks, while identity-based schemes (spanning tree, MST) must
+reject or fail loudly, never silently accept.
+"""
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration, NodeState
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+from repro.schemes.coloring import ColoringPLS
+from repro.schemes.uniformity import DirectUnifRPLS, UnifPLS
+
+
+def anonymous_cycle(n: int, payload: BitString) -> Configuration:
+    graph = cycle_graph(n)
+    states = {
+        node: NodeState(0, {"payload": payload, "color": node % 2})
+        for node in graph.nodes
+    }
+    return Configuration(graph, states, anonymous=True)
+
+
+class TestAnonymousNetworks:
+    def test_unif_pls_works_without_ids(self):
+        config = anonymous_cycle(6, BitString.from_int(9, 6))
+        assert verify_deterministic(UnifPLS(), config).accepted
+
+    def test_unif_rpls_works_without_ids(self):
+        config = anonymous_cycle(6, BitString.from_int(9, 6))
+        assert verify_randomized(DirectUnifRPLS(), config, seed=0).accepted
+
+    def test_coloring_works_without_ids(self):
+        # Even cycle, 2-coloring by parity — proper, and id-free.
+        config = anonymous_cycle(6, BitString.empty())
+        assert verify_deterministic(ColoringPLS(), config).accepted
+
+    def test_coloring_rejects_odd_anonymous_cycle(self):
+        config = anonymous_cycle(5, BitString.empty())
+        scheme = ColoringPLS()
+        # Parity coloring of an odd cycle is improper at the seam.
+        assert not scheme.predicate.holds(config)
+        assert not verify_deterministic(scheme, config).accepted
+
+
+class TestTinyGraphs:
+    def test_single_node_configurations(self):
+        graph = PortGraph()
+        graph.add_node(0)
+        config = Configuration(graph, {0: NodeState(0, {"payload": BitString.empty()})})
+        assert verify_deterministic(UnifPLS(), config).accepted
+        assert verify_randomized(DirectUnifRPLS(), config, seed=0).accepted
+
+    def test_single_edge_mst(self):
+        from repro.schemes.mst import MSTPLS
+
+        graph = path_graph(2)
+        states = {
+            0: NodeState(0, {"weights": (3,), "tree": (1,)}),
+            1: NodeState(1, {"weights": (3,), "tree": (1,)}),
+        }
+        config = Configuration(graph, states)
+        scheme = MSTPLS()
+        assert scheme.predicate.holds(config)
+        run = verify_deterministic(scheme, config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_single_edge_unmarked_mst_rejected(self):
+        from repro.schemes.mst import MSTPLS
+
+        graph = path_graph(2)
+        states = {
+            0: NodeState(0, {"weights": (3,), "tree": (0,)}),
+            1: NodeState(1, {"weights": (3,), "tree": (0,)}),
+        }
+        config = Configuration(graph, states)
+        scheme = MSTPLS()
+        assert not scheme.predicate.holds(config)
+        assert not verify_deterministic(
+            scheme, config, labels=scheme.prover(config)
+        ).accepted
+
+    def test_two_node_spanning_tree(self):
+        from repro.schemes.spanning_tree import SpanningTreePLS
+
+        graph = path_graph(2)
+        states = {
+            0: NodeState(0, {"parent_port": None, "tree": (1,)}),
+            1: NodeState(1, {"parent_port": 0, "tree": (1,)}),
+        }
+        config = Configuration(graph, states)
+        assert verify_deterministic(SpanningTreePLS(), config).accepted
+
+
+class TestDegenerateParameters:
+    def test_empty_payload_unif(self):
+        graph = path_graph(3)
+        states = {
+            node: NodeState(node, {"payload": BitString.empty()})
+            for node in graph.nodes
+        }
+        config = Configuration(graph, states)
+        assert verify_deterministic(UnifPLS(), config).accepted
+        assert verify_randomized(DirectUnifRPLS(), config, seed=1).accepted
+
+    def test_mixed_payload_widths_rejected(self):
+        graph = path_graph(2)
+        states = {
+            0: NodeState(0, {"payload": BitString.from_int(0, 3)}),
+            1: NodeState(1, {"payload": BitString.from_int(0, 5)}),
+        }
+        config = Configuration(graph, states)
+        assert not UnifPLS().predicate.holds(config)
+        assert not verify_deterministic(
+            UnifPLS(), config, labels=UnifPLS().prover(config)
+        ).accepted
+
+    def test_missing_payload_raises_and_rejects(self):
+        graph = path_graph(2)
+        states = {0: NodeState(0), 1: NodeState(1)}
+        config = Configuration(graph, states)
+        with pytest.raises(ValueError):
+            UnifPLS().predicate.holds(config)
+        # The engine maps the verifier's ValueError to rejection.
+        labels = {0: BitString.empty(), 1: BitString.empty()}
+        assert not verify_deterministic(UnifPLS(), config, labels=labels).accepted

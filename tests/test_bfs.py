@@ -1,0 +1,210 @@
+"""Tests for the BFS / shortest-path substrate."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.generators import random_connected_graph
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+from repro.substrates.bfs import (
+    bfs_layers,
+    dijkstra,
+    eccentricity,
+    graph_diameter,
+    is_bipartite,
+    odd_cycle,
+)
+
+
+def _to_networkx(graph: PortGraph) -> nx.Graph:
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes)
+    for u, _pu, v, _pv in graph.edges():
+        result.add_edge(u, v)
+    return result
+
+
+class TestBFSLayers:
+    def test_path_distances(self):
+        graph = path_graph(6)
+        tree = bfs_layers(graph, 0)
+        assert tree.dist == {i: i for i in range(6)}
+
+    def test_cycle_distances(self):
+        graph = cycle_graph(8)
+        tree = bfs_layers(graph, 0)
+        assert tree.dist[4] == 4
+        assert tree.dist[7] == 1
+
+    def test_root_has_no_parent(self):
+        graph = cycle_graph(5)
+        tree = bfs_layers(graph, 0)
+        assert tree.parent[0] is None
+        assert tree.parent_port[0] is None
+
+    def test_parent_port_points_to_parent(self):
+        graph = random_connected_graph(30, 10, random.Random(3))
+        tree = bfs_layers(graph, 0)
+        for node in graph.nodes:
+            if node == 0:
+                continue
+            parent = tree.parent[node]
+            port = tree.parent_port[node]
+            assert graph.neighbor(node, port) == parent
+            assert tree.dist[node] == tree.dist[parent] + 1
+
+    def test_layer_accessor(self):
+        graph = path_graph(4)
+        tree = bfs_layers(graph, 0)
+        assert tree.layer(0) == [0]
+        assert tree.layer(2) == [2]
+        assert tree.layer(9) == []
+
+    def test_disconnected_component_unreached(self):
+        graph = PortGraph.from_edges([(0, 1)], nodes=[0, 1, 2])
+        tree = bfs_layers(graph, 0)
+        assert 2 not in tree.dist
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 40))
+    def test_matches_networkx(self, seed, n):
+        graph = random_connected_graph(n, n // 2, random.Random(seed))
+        tree = bfs_layers(graph, 0)
+        reference = nx.single_source_shortest_path_length(_to_networkx(graph), 0)
+        assert tree.dist == dict(reference)
+
+
+class TestDijkstra:
+    def _uniform_weights(self, graph: PortGraph, value: int = 1):
+        return {
+            node: [value] * graph.degree(node) for node in graph.nodes
+        }
+
+    def test_unit_weights_match_bfs(self):
+        graph = random_connected_graph(25, 8, random.Random(1))
+        weights = self._uniform_weights(graph)
+        spt = dijkstra(graph, 0, weights)
+        bfs = bfs_layers(graph, 0)
+        assert spt.dist == bfs.dist
+
+    def test_weighted_shortcut(self):
+        # Triangle: direct edge 0-2 has weight 10, path via 1 costs 2.
+        graph = PortGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        weights = {0: [1, 10], 1: [1, 1], 2: [1, 10]}
+        spt = dijkstra(graph, 0, weights)
+        assert spt.dist[2] == 2
+        assert spt.parent[2] == 1
+
+    def test_rejects_negative_weight(self):
+        graph = PortGraph.from_edges([(0, 1)])
+        with pytest.raises(ValueError):
+            dijkstra(graph, 0, {0: [-1], 1: [-1]})
+
+    def test_tree_edges_realize_distances(self):
+        rng = random.Random(7)
+        graph = random_connected_graph(40, 20, rng)
+        # Symmetric random weights per edge.
+        weights = {node: [0] * graph.degree(node) for node in graph.nodes}
+        for u, pu, v, pv in graph.edges():
+            w = rng.randint(1, 9)
+            weights[u][pu] = w
+            weights[v][pv] = w
+        spt = dijkstra(graph, 0, weights)
+        for node in graph.nodes:
+            if node == 0:
+                continue
+            parent = spt.parent[node]
+            port = spt.parent_port[node]
+            assert graph.neighbor(node, port) == parent
+            edge_weight = weights[node][port]
+            assert spt.dist[node] == spt.dist[parent] + edge_weight
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 10_000))
+    def test_matches_networkx_dijkstra(self, seed):
+        rng = random.Random(seed)
+        graph = random_connected_graph(20, 10, rng)
+        weights = {node: [0] * graph.degree(node) for node in graph.nodes}
+        reference = _to_networkx(graph)
+        for u, pu, v, pv in graph.edges():
+            w = rng.randint(1, 20)
+            weights[u][pu] = w
+            weights[v][pv] = w
+            reference[u][v]["weight"] = w
+        spt = dijkstra(graph, 0, weights)
+        expected = nx.single_source_dijkstra_path_length(reference, 0)
+        assert spt.dist == dict(expected)
+
+
+class TestMetrics:
+    def test_path_eccentricity(self):
+        graph = path_graph(5)
+        assert eccentricity(graph, 0) == 4
+        assert eccentricity(graph, 2) == 2
+
+    def test_path_diameter(self):
+        assert graph_diameter(path_graph(7)) == 6
+
+    def test_cycle_diameter(self):
+        assert graph_diameter(cycle_graph(8)) == 4
+        assert graph_diameter(cycle_graph(9)) == 4
+
+    def test_eccentricity_requires_connected(self):
+        graph = PortGraph.from_edges([(0, 1)], nodes=[0, 1, 2])
+        with pytest.raises(ValueError):
+            eccentricity(graph, 0)
+
+
+class TestBipartiteness:
+    def test_even_cycle_bipartite(self):
+        bipartite, sides = is_bipartite(cycle_graph(6))
+        assert bipartite
+        for u, _pu, v, _pv in cycle_graph(6).edges():
+            assert sides[u] != sides[v]
+
+    def test_odd_cycle_not_bipartite(self):
+        bipartite, _sides = is_bipartite(cycle_graph(5))
+        assert not bipartite
+
+    def test_path_bipartite(self):
+        bipartite, sides = is_bipartite(path_graph(9))
+        assert bipartite
+        assert sides[0] != sides[1]
+
+    def test_odd_cycle_witness_none_on_bipartite(self):
+        assert odd_cycle(cycle_graph(4)) is None
+
+    def test_odd_cycle_witness_is_odd_cycle(self):
+        witness = odd_cycle(cycle_graph(7))
+        assert witness is not None
+        assert len(witness) % 2 == 1
+        assert len(witness) >= 3
+        graph = cycle_graph(7)
+        for position, node in enumerate(witness):
+            successor = witness[(position + 1) % len(witness)]
+            assert graph.has_edge(node, successor)
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(2, 30))
+    def test_matches_networkx(self, seed, n):
+        graph = random_connected_graph(n, n // 3, random.Random(seed))
+        bipartite, _ = is_bipartite(graph)
+        assert bipartite == nx.is_bipartite(_to_networkx(graph))
+
+    @settings(max_examples=30, deadline=None)
+    @given(seed=st.integers(0, 10_000), n=st.integers(3, 30))
+    def test_witness_on_random_graphs(self, seed, n):
+        graph = random_connected_graph(n, n, random.Random(seed))
+        witness = odd_cycle(graph)
+        bipartite, _ = is_bipartite(graph)
+        if bipartite:
+            assert witness is None
+        else:
+            assert witness is not None and len(witness) % 2 == 1
+            for position, node in enumerate(witness):
+                successor = witness[(position + 1) % len(witness)]
+                assert graph.has_edge(node, successor)
+            assert len(set(witness)) == len(witness)

@@ -1,0 +1,137 @@
+"""Tests for the v2con scheme (Theorem 5.2 / Appendix E, predicates P1-P8)."""
+
+import pytest
+
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    cycle_configuration,
+    cycle_with_chords_configuration,
+    line_configuration,
+    random_biconnected_configuration,
+    two_blocks_configuration,
+)
+from repro.graphs.port_graph import PortGraph
+from repro.core.configuration import Configuration, simple_states
+from repro.schemes.biconnectivity import BiconnectivityPLS, BiconnectivityPredicate
+from repro.simulation.adversary import perturb_labels, random_labels
+from repro.substrates.dfs import is_biconnected
+
+
+def wheel_configuration(n: int) -> Configuration:
+    graph = PortGraph()
+    for i in range(n):
+        graph.add_edge(i, (i + 1) % n) if i < n - 1 else None
+    graph = PortGraph.from_edges(
+        [(i, (i + 1) % n) for i in range(n)] + [(n, i) for i in range(n)]
+    )
+    return Configuration(graph, simple_states(graph))
+
+
+class TestPredicate:
+    def test_cycles_are_biconnected(self):
+        assert BiconnectivityPredicate().holds(cycle_configuration(8))
+
+    def test_lines_are_not(self):
+        assert not BiconnectivityPredicate().holds(line_configuration(8))
+
+    def test_blocks(self):
+        assert not BiconnectivityPredicate().holds(two_blocks_configuration(5))
+
+    def test_chords(self):
+        assert BiconnectivityPredicate().holds(cycle_with_chords_configuration(10))
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("n", [3, 5, 8, 20])
+    def test_cycles(self, n):
+        run = verify_deterministic(BiconnectivityPLS(), cycle_configuration(n))
+        assert run.accepted, run.rejecting_nodes
+
+    @pytest.mark.parametrize("n", [6, 11, 25])
+    def test_chord_gadget(self, n):
+        config = cycle_with_chords_configuration(max(n, 5))
+        run = verify_deterministic(BiconnectivityPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_wheel(self):
+        config = wheel_configuration(7)
+        assert is_biconnected(config.graph)
+        run = verify_deterministic(BiconnectivityPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_biconnected(self, seed):
+        config = random_biconnected_configuration(16, seed=seed)
+        assert is_biconnected(config.graph)
+        run = verify_deterministic(BiconnectivityPLS(), config)
+        assert run.accepted, (seed, run.rejecting_nodes)
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("size", [3, 5, 7])
+    def test_two_blocks_honest_prover(self, size):
+        """The honest DFS labels of a non-biconnected graph trip P8."""
+        config = two_blocks_configuration(size)
+        scheme = BiconnectivityPLS()
+        run = verify_deterministic(scheme, config, labels=scheme.prover(config))
+        assert not run.accepted
+
+    def test_line_honest_prover(self):
+        config = line_configuration(9)
+        scheme = BiconnectivityPLS()
+        assert not verify_deterministic(
+            scheme, config, labels=scheme.prover(config)
+        ).accepted
+
+    def test_lowpoint_inflation_rejected(self):
+        """Inflating a child's lowpoint to fake an escape edge breaks P7
+        somewhere along the convergecast."""
+        config = two_blocks_configuration(5)
+        scheme = BiconnectivityPLS()
+        for attempt in range(12):
+            labels = perturb_labels(scheme.prover(config), flips=1 + attempt % 3, seed=attempt)
+            assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_random_forgeries(self):
+        config = two_blocks_configuration(4)
+        scheme = BiconnectivityPLS()
+        for seed in range(25):
+            labels = random_labels(config, bits=30, seed=seed)
+            assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_prover_requires_connected(self):
+        graph = PortGraph.from_edges([(0, 1)], nodes=[2])
+        config = Configuration(graph, simple_states(graph))
+        with pytest.raises(ValueError):
+            BiconnectivityPLS().prover(config)
+
+
+class TestSizes:
+    def test_deterministic_logarithmic(self):
+        import math
+
+        for n in (8, 32, 128):
+            config = cycle_with_chords_configuration(n)
+            bits = BiconnectivityPLS().verification_complexity(config)
+            assert bits <= 12 * math.ceil(math.log2(n)) + 30
+
+    def test_randomized_loglog(self):
+        sizes = []
+        for n in (8, 64, 512):
+            config = cycle_with_chords_configuration(n)
+            compiled = FingerprintCompiledRPLS(BiconnectivityPLS())
+            sizes.append(compiled.verification_complexity(config))
+        assert sizes[-1] - sizes[0] <= 10
+
+
+class TestCompiled:
+    def test_end_to_end(self):
+        config = cycle_with_chords_configuration(14)
+        compiled = FingerprintCompiledRPLS(BiconnectivityPLS())
+        assert verify_randomized(compiled, config, seed=0).accepted
+        bad = two_blocks_configuration(5)
+        estimate = estimate_acceptance(
+            compiled, bad, trials=20, labels=compiled.prover(bad)
+        )
+        assert estimate.probability < 0.3

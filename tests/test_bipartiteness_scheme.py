@@ -1,0 +1,93 @@
+"""Tests for the one-bit bipartiteness scheme (schemes.bipartiteness)."""
+
+import itertools
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import cycle_configuration, line_configuration
+from repro.graphs.workloads import (
+    odd_cycle_configuration,
+    random_bipartite_configuration,
+)
+from repro.schemes.bipartiteness import (
+    BipartitenessPLS,
+    BipartitenessPredicate,
+    bipartiteness_rpls,
+)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_accepts_random_bipartite(self, seed):
+        config = random_bipartite_configuration(10, 12, extra_edges=8, seed=seed)
+        run = verify_deterministic(BipartitenessPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_accepts_even_cycle(self):
+        assert verify_deterministic(BipartitenessPLS(), cycle_configuration(8)).accepted
+
+    def test_accepts_path(self):
+        assert verify_deterministic(BipartitenessPLS(), line_configuration(9)).accepted
+
+    def test_exactly_one_bit(self):
+        for n in (8, 64, 256):
+            config = random_bipartite_configuration(n // 2, n // 2, seed=n)
+            assert BipartitenessPLS().verification_complexity(config) == 1
+
+
+class TestSoundness:
+    def test_prover_refuses_odd_cycle(self):
+        with pytest.raises(ValueError):
+            BipartitenessPLS().prover(cycle_configuration(5))
+
+    @pytest.mark.parametrize("n", [3, 5, 7])
+    def test_exhaustive_forgery_on_odd_cycle(self, n):
+        """Information-theoretic soundness: every one of the 2^n possible
+        side assignments on an odd cycle is rejected somewhere."""
+        config = cycle_configuration(n)
+        scheme = BipartitenessPLS()
+        nodes = config.graph.nodes
+        for assignment in itertools.product((0, 1), repeat=n):
+            labels = {
+                node: BitString.from_int(bit, 1)
+                for node, bit in zip(nodes, assignment)
+            }
+            assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_oversized_labels_rejected(self):
+        config = cycle_configuration(4)
+        scheme = BipartitenessPLS()
+        labels = {node: BitString.from_int(0, 2) for node in config.graph.nodes}
+        assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_odd_cycle_with_trees_rejected(self):
+        config = odd_cycle_configuration(15, seed=3)
+        scheme = BipartitenessPLS()
+        # Forge: BFS-parity labels (the best the adversary can do).
+        from repro.substrates.bfs import bfs_layers
+
+        tree = bfs_layers(config.graph, config.graph.nodes[0])
+        labels = {
+            node: BitString.from_int(tree.dist[node] % 2, 1)
+            for node in config.graph.nodes
+        }
+        assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+
+class TestPredicate:
+    def test_even_cycle(self):
+        assert BipartitenessPredicate().holds(cycle_configuration(6))
+
+    def test_odd_cycle(self):
+        assert not BipartitenessPredicate().holds(cycle_configuration(7))
+
+
+class TestCompiledIsWorse:
+    def test_compiler_cannot_beat_one_bit(self):
+        """The regime where Theorem 3.1 buys nothing: log of a constant."""
+        config = random_bipartite_configuration(32, 32, extra_edges=20, seed=1)
+        compiled = bipartiteness_rpls()
+        assert verify_randomized(compiled, config, seed=0).accepted
+        assert compiled.verification_complexity(config) > 1

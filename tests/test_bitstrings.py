@@ -1,0 +1,215 @@
+"""Tests for repro.core.bitstrings — the bit-accounting foundation."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitstrings import (
+    BitReader,
+    BitString,
+    BitWriter,
+    bits_for,
+    bits_for_max,
+)
+
+
+class TestBitString:
+    def test_empty(self):
+        empty = BitString.empty()
+        assert empty.length == 0
+        assert empty.bits() == []
+
+    def test_from_int_roundtrip(self):
+        bs = BitString.from_int(0b1011, 4)
+        assert bs.bits() == [1, 0, 1, 1]
+        assert bs.value == 11
+
+    def test_leading_zeros_count(self):
+        bs = BitString.from_int(1, 8)
+        assert bs.length == 8
+        assert bs.bits() == [0] * 7 + [1]
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            BitString.from_int(16, 4)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            BitString(-1, 4)
+        with pytest.raises(ValueError):
+            BitString(0, -1)
+
+    def test_from_bits(self):
+        assert BitString.from_bits([1, 0, 1]).value == 5
+        assert BitString.from_bits([]).length == 0
+
+    def test_from_bits_rejects_non_binary(self):
+        with pytest.raises(ValueError):
+            BitString.from_bits([0, 2])
+
+    def test_concat(self):
+        joined = BitString.concat(
+            [BitString.from_int(1, 2), BitString.from_int(3, 2), BitString.empty()]
+        )
+        assert joined.bits() == [0, 1, 1, 1]
+        assert joined.length == 4
+
+    def test_add_operator(self):
+        assert (BitString.from_int(1, 1) + BitString.from_int(0, 1)).bits() == [1, 0]
+
+    def test_slice(self):
+        bs = BitString.from_bits([1, 0, 1, 1, 0])
+        assert bs.slice(1, 3).bits() == [0, 1, 1]
+        assert bs.slice(0, 0).length == 0
+        assert bs.slice(5, 0).length == 0
+
+    def test_slice_out_of_range(self):
+        bs = BitString.from_int(3, 4)
+        with pytest.raises(ValueError):
+            bs.slice(2, 3)
+        with pytest.raises(ValueError):
+            bs.slice(-1, 2)
+
+    def test_equality_includes_length(self):
+        assert BitString.from_int(1, 2) != BitString.from_int(1, 3)
+        assert BitString.from_int(1, 2) == BitString.from_int(1, 2)
+
+    def test_hashable(self):
+        assert len({BitString.from_int(1, 2), BitString.from_int(1, 2)}) == 1
+
+    def test_iteration_and_len(self):
+        bs = BitString.from_bits([1, 1, 0])
+        assert list(bs) == [1, 1, 0]
+        assert len(bs) == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=1), max_size=200))
+    def test_bits_roundtrip_property(self, bits):
+        assert BitString.from_bits(bits).bits() == bits
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=1), max_size=64),
+        st.lists(st.integers(min_value=0, max_value=1), max_size=64),
+    )
+    def test_concat_is_list_concat(self, left, right):
+        joined = BitString.from_bits(left) + BitString.from_bits(right)
+        assert joined.bits() == left + right
+
+    @given(st.data())
+    def test_slice_matches_list_slice(self, data):
+        bits = data.draw(st.lists(st.integers(0, 1), min_size=1, max_size=64))
+        bs = BitString.from_bits(bits)
+        start = data.draw(st.integers(0, len(bits)))
+        width = data.draw(st.integers(0, len(bits) - start))
+        assert bs.slice(start, width).bits() == bits[start : start + width]
+
+
+class TestWidthHelpers:
+    def test_bits_for(self):
+        assert bits_for(1) == 0
+        assert bits_for(2) == 1
+        assert bits_for(3) == 2
+        assert bits_for(256) == 8
+        assert bits_for(257) == 9
+
+    def test_bits_for_max(self):
+        assert bits_for_max(0) == 0
+        assert bits_for_max(1) == 1
+        assert bits_for_max(255) == 8
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            bits_for(0)
+        with pytest.raises(ValueError):
+            bits_for_max(-1)
+
+    @given(st.integers(min_value=0, max_value=10**9))
+    def test_width_is_sufficient_and_tight(self, value):
+        width = bits_for_max(value)
+        assert value < 2**width or value == 0
+        if width > 0:
+            assert 2 ** (width - 1) <= max(value, 1)
+
+
+class TestWriterReader:
+    def test_uint_roundtrip(self):
+        writer = BitWriter()
+        writer.write_uint(5, 4)
+        writer.write_uint(0, 3)
+        writer.write_uint(1, 1)
+        reader = BitReader(writer.finish())
+        assert reader.read_uint(4) == 5
+        assert reader.read_uint(3) == 0
+        assert reader.read_uint(1) == 1
+        reader.expect_exhausted()
+
+    def test_flag_roundtrip(self):
+        writer = BitWriter()
+        writer.write_flag(True)
+        writer.write_flag(False)
+        reader = BitReader(writer.finish())
+        assert reader.read_flag() is True
+        assert reader.read_flag() is False
+
+    def test_uint_overflow_rejected(self):
+        writer = BitWriter()
+        with pytest.raises(ValueError):
+            writer.write_uint(8, 3)
+        with pytest.raises(ValueError):
+            writer.write_uint(-1, 3)
+
+    def test_bitstring_embedding(self):
+        inner = BitString.from_bits([1, 0, 1])
+        writer = BitWriter()
+        writer.write_uint(2, 2)
+        writer.write_bitstring(inner)
+        reader = BitReader(writer.finish())
+        assert reader.read_uint(2) == 2
+        assert reader.read_bitstring(3) == inner
+
+    def test_over_read_raises(self):
+        reader = BitReader(BitString.from_int(1, 1))
+        reader.read_uint(1)
+        with pytest.raises(ValueError):
+            reader.read_uint(1)
+
+    def test_expect_exhausted_raises_on_leftover(self):
+        reader = BitReader(BitString.from_int(1, 2))
+        reader.read_uint(1)
+        with pytest.raises(ValueError):
+            reader.expect_exhausted()
+
+    def test_remaining(self):
+        reader = BitReader(BitString.from_int(0, 5))
+        assert reader.remaining == 5
+        reader.read_uint(2)
+        assert reader.remaining == 3
+
+    @given(st.lists(st.integers(min_value=0, max_value=2**40), max_size=20))
+    def test_varuint_roundtrip(self, values):
+        writer = BitWriter()
+        for value in values:
+            writer.write_varuint(value)
+        reader = BitReader(writer.finish())
+        assert [reader.read_varuint() for _ in values] == values
+        reader.expect_exhausted()
+
+    def test_varuint_small_values_are_small(self):
+        writer = BitWriter()
+        writer.write_varuint(7)
+        assert writer.length == 4  # one 4-bit group
+
+    def test_varuint_rejects_negative(self):
+        with pytest.raises(ValueError):
+            BitWriter().write_varuint(-1)
+
+    def test_writer_length_tracks(self):
+        writer = BitWriter()
+        assert writer.length == 0
+        writer.write_uint(0, 9)
+        assert writer.length == 9
+
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_varuint_length_is_logarithmic(self, value):
+        writer = BitWriter()
+        writer.write_varuint(value)
+        groups = max(1, (value.bit_length() + 2) // 3)
+        assert writer.length == 4 * groups

@@ -1,0 +1,97 @@
+"""Tests for repro.core.boosting (footnote 1)."""
+
+import pytest
+
+from repro.core.boosting import BoostedRPLS, majority_decision, repetitions_for_delta
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import estimate_acceptance, verify_randomized
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+    uniform_configuration,
+)
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.schemes.uniformity import DirectUnifRPLS
+
+
+class TestBoostedRPLS:
+    def make(self, repetitions=2):
+        return BoostedRPLS(DirectUnifRPLS(), repetitions=repetitions)
+
+    def test_completeness_preserved(self):
+        config = uniform_configuration(12, 100, equal=True, seed=1)
+        boosted = self.make(3)
+        for seed in range(4):
+            assert verify_randomized(boosted, config, seed=seed).accepted
+
+    def test_error_shrinks_with_repetitions(self):
+        illegal = uniform_configuration(12, 6, equal=False, seed=2)
+        # A tiny payload makes single-round fingerprint collisions common
+        # enough to measure.
+        single = estimate_acceptance(self.make(1), illegal, trials=200, seed=3)
+        boosted = estimate_acceptance(self.make(4), illegal, trials=200, seed=3)
+        assert boosted.probability <= single.probability
+        assert boosted.probability <= 0.5**4 + 0.1
+
+    def test_certificate_bits_linear(self):
+        config = uniform_configuration(8, 64, equal=True, seed=4)
+        one = self.make(1).verification_complexity(config)
+        four = self.make(4).verification_complexity(config)
+        assert one < four <= 4 * one + 32  # framing overhead allowed
+
+    def test_error_upper_bound(self):
+        assert self.make(5).error_upper_bound() == 0.5**5
+
+    def test_rejects_two_sided_base(self):
+        scheme = DirectUnifRPLS()
+        scheme.one_sided = False
+        with pytest.raises(ValueError):
+            BoostedRPLS(scheme, repetitions=2)
+        scheme.one_sided = True
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            BoostedRPLS(DirectUnifRPLS(), repetitions=0)
+
+    def test_prover_passthrough(self):
+        config = uniform_configuration(6, 16, equal=True, seed=5)
+        boosted = self.make(2)
+        assert boosted.prover(config) == DirectUnifRPLS().prover(config)
+
+
+class TestMajorityDecision:
+    def test_accepts_legal(self):
+        config = spanning_tree_configuration(20, 8, seed=1)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        assert majority_decision(scheme, config, repetitions=5, seed=1)
+
+    def test_rejects_corrupted(self):
+        config = spanning_tree_configuration(20, 8, seed=2)
+        corrupted = corrupt_spanning_tree(config, seed=3)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        assert not majority_decision(
+            scheme, corrupted, repetitions=5, seed=1, labels=labels
+        )
+
+    def test_invalid_repetitions(self):
+        config = spanning_tree_configuration(10, 4, seed=4)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        with pytest.raises(ValueError):
+            majority_decision(scheme, config, repetitions=0)
+
+
+class TestRepetitionsForDelta:
+    def test_values(self):
+        assert repetitions_for_delta(0.5) == 1
+        assert repetitions_for_delta(0.25) == 2
+        assert repetitions_for_delta(1e-3) == 10
+
+    def test_custom_per_round(self):
+        assert repetitions_for_delta(1e-3, per_round_error=1 / 3) == 7
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            repetitions_for_delta(0)
+        with pytest.raises(ValueError):
+            repetitions_for_delta(0.1, per_round_error=1.0)

@@ -1,0 +1,59 @@
+"""Tests for the coloring scheme (intro warm-up)."""
+
+import pytest
+
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import colored_configuration
+from repro.schemes.coloring import ColoringPLS, ProperColoringPredicate
+from repro.simulation.adversary import random_labels
+
+
+class TestColoringPLS:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_completeness(self, seed):
+        config = colored_configuration(25, 5, proper=True, seed=seed)
+        assert verify_deterministic(ColoringPLS(), config).accepted
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_soundness_honest_prover(self, seed):
+        config = colored_configuration(25, 5, proper=False, seed=seed)
+        run = verify_deterministic(ColoringPLS(), config)
+        assert not run.accepted
+        # The conflicting edge's endpoints are among the rejecting nodes.
+        assert len(run.rejecting_nodes) >= 1
+
+    def test_soundness_label_lies(self):
+        """A node cannot hide a conflict by lying about its color: the label
+        must match the state."""
+        config = colored_configuration(20, 5, proper=False, seed=1)
+        scheme = ColoringPLS()
+        labels = scheme.prover(config)
+        # Find a conflicting edge and make one endpoint lie.
+        for u, _pu, v, _pv in config.graph.edges():
+            if config.state(u).get("color") == config.state(v).get("color"):
+                donor = colored_configuration(20, 5, proper=True, seed=1)
+                labels[u] = scheme.prover(donor)[u]
+                break
+        run = verify_deterministic(scheme, config, labels=labels)
+        assert not run.accepted
+
+    def test_random_forgeries_rejected(self):
+        config = colored_configuration(15, 4, proper=False, seed=2)
+        scheme = ColoringPLS()
+        rejected = 0
+        for seed in range(20):
+            labels = random_labels(config, bits=8, seed=seed)
+            if not verify_deterministic(scheme, config, labels=labels).accepted:
+                rejected += 1
+        assert rejected == 20
+
+    def test_label_size_tracks_colors(self):
+        small = colored_configuration(20, 3, proper=True, seed=3)
+        scheme = ColoringPLS()
+        assert scheme.verification_complexity(small) <= 12
+
+    def test_compiled_rpls(self):
+        config = colored_configuration(20, 5, proper=True, seed=4)
+        compiled = FingerprintCompiledRPLS(ColoringPLS())
+        assert verify_randomized(compiled, config, seed=0).accepted

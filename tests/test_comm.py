@@ -1,0 +1,122 @@
+"""Tests for repro.substrates.comm — 2-party EQ protocols (Lemma 3.2)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstrings import BitString
+from repro.substrates.comm import (
+    DeterministicEqualityProtocol,
+    RandomizedEqualityProtocol,
+    Transcript,
+    estimate_error,
+    flip_one_bit,
+    random_bitstring,
+)
+
+
+class TestTranscript:
+    def test_accounting(self):
+        transcript = Transcript()
+        transcript.send("alice", BitString.from_int(3, 5))
+        transcript.send("bob", BitString.from_int(1, 2))
+        assert transcript.total_bits == 7
+        assert transcript.bits_from("alice") == 5
+        assert transcript.bits_from("bob") == 2
+
+    def test_unknown_sender(self):
+        with pytest.raises(ValueError):
+            Transcript().send("eve", BitString.empty())
+
+
+class TestDeterministicEQ:
+    @given(st.integers(1, 64), st.integers(0, 999))
+    def test_always_correct(self, lam, seed):
+        rng = random.Random(seed)
+        protocol = DeterministicEqualityProtocol()
+        x = random_bitstring(lam, rng)
+        y = random_bitstring(lam, rng)
+        output, transcript = protocol.run(x, y, rng)
+        assert output == (x == y)
+        assert transcript.total_bits == lam  # linear cost — the baseline
+
+
+class TestRandomizedEQ:
+    @given(st.integers(1, 128), st.integers(0, 999))
+    def test_one_sided_completeness(self, lam, seed):
+        """Equal inputs are accepted with probability 1 (any randomness)."""
+        rng = random.Random(seed)
+        x = random_bitstring(lam, rng)
+        protocol = RandomizedEqualityProtocol(lam)
+        output, _transcript = protocol.run(x, x, rng)
+        assert output is True
+
+    @pytest.mark.parametrize("lam", [8, 64, 256])
+    def test_soundness_error_below_third(self, lam):
+        rng = random.Random(7)
+        x = random_bitstring(lam, rng)
+        y = flip_one_bit(x, lam // 2)  # hardest case: Hamming distance 1
+        protocol = RandomizedEqualityProtocol(lam)
+        error = estimate_error(protocol, x, y, trials=400, seed=1)
+        assert error < 1 / 3 + 0.05
+
+    def test_communication_is_logarithmic(self):
+        costs = []
+        for lam in (16, 256, 4096, 65536):
+            protocol = RandomizedEqualityProtocol(lam)
+            costs.append(protocol.communication_bits)
+            # 2 * ceil(log2 p) with p < 6 lam:
+            assert protocol.communication_bits <= 2 * math.ceil(
+                math.log2(6 * lam)
+            )
+        # Exponentially growing inputs, additively growing cost.
+        deltas = [b - a for a, b in zip(costs, costs[1:])]
+        assert all(delta <= 10 for delta in deltas)
+
+    def test_transcript_matches_declared_cost(self):
+        lam = 100
+        rng = random.Random(3)
+        protocol = RandomizedEqualityProtocol(lam)
+        x = random_bitstring(lam, rng)
+        _output, transcript = protocol.run(x, x, rng)
+        assert transcript.total_bits == protocol.communication_bits
+
+    def test_repetitions_reduce_error(self):
+        lam = 32
+        rng = random.Random(5)
+        x = random_bitstring(lam, rng)
+        y = flip_one_bit(x, 0)
+        single = estimate_error(
+            RandomizedEqualityProtocol(lam, repetitions=1), x, y, trials=300, seed=2
+        )
+        triple = estimate_error(
+            RandomizedEqualityProtocol(lam, repetitions=3), x, y, trials=300, seed=2
+        )
+        assert triple <= single
+        assert triple < 0.05
+
+    def test_wrong_length_rejected(self):
+        protocol = RandomizedEqualityProtocol(8)
+        with pytest.raises(ValueError):
+            protocol.run(BitString.from_int(1, 4), BitString.from_int(1, 8), random.Random(0))
+
+
+class TestHelpers:
+    @given(st.integers(1, 64), st.integers(0, 999))
+    def test_flip_one_bit(self, lam, seed):
+        rng = random.Random(seed)
+        x = random_bitstring(lam, rng)
+        position = rng.randrange(lam)
+        flipped = flip_one_bit(x, position)
+        assert flipped != x
+        assert flip_one_bit(flipped, position) == x
+
+    def test_flip_out_of_range(self):
+        with pytest.raises(ValueError):
+            flip_one_bit(BitString.from_int(0, 4), 4)
+
+    def test_random_bitstring_length(self):
+        assert random_bitstring(0, random.Random(0)).length == 0
+        assert random_bitstring(17, random.Random(0)).length == 17

@@ -1,0 +1,162 @@
+"""Tests for the Theorem 3.1 compiler (PLS -> RPLS)."""
+
+import math
+import random
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.configuration import Configuration, simple_states
+from repro.core.predicate import FunctionPredicate
+from repro.core.scheme import ProofLabelingScheme
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    line_configuration,
+    mst_configuration,
+    spanning_tree_configuration,
+    uniform_configuration,
+)
+from repro.graphs.port_graph import cycle_graph
+from repro.schemes.acyclicity import AcyclicityPLS
+from repro.schemes.mst import MSTPLS
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.schemes.uniformity import UnifPLS
+from repro.simulation.adversary import perturb_labels
+
+
+class WidthKPLS(ProofLabelingScheme):
+    """Synthetic scheme with exactly kappa-bit labels (for size sweeps)."""
+
+    def __init__(self, kappa: int):
+        super().__init__(FunctionPredicate("always", lambda config: True))
+        self.kappa = kappa
+        self.name = f"width-{kappa}"
+
+    def prover(self, configuration):
+        return {
+            node: BitString.from_int(0, self.kappa)
+            for node in configuration.graph.nodes
+        }
+
+    def verify_at(self, view):
+        return all(message.length == self.kappa for message in view.messages)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize(
+        "scheme_factory,config_factory",
+        [
+            (SpanningTreePLS, lambda: spanning_tree_configuration(30, 12, seed=1)),
+            (AcyclicityPLS, lambda: line_configuration(25)),
+            (MSTPLS, lambda: mst_configuration(20, seed=2)),
+            (UnifPLS, lambda: uniform_configuration(15, 80, equal=True, seed=3)),
+        ],
+    )
+    def test_compiled_accepts_legal(self, scheme_factory, config_factory):
+        configuration = config_factory()
+        compiled = FingerprintCompiledRPLS(scheme_factory())
+        for seed in range(5):
+            run = verify_randomized(compiled, configuration, seed=seed)
+            assert run.accepted, (scheme_factory.__name__, run.rejecting_nodes)
+
+    def test_one_sided_flag(self):
+        compiled = FingerprintCompiledRPLS(SpanningTreePLS())
+        assert compiled.one_sided
+        assert compiled.edge_independent
+
+
+class TestSoundness:
+    def test_rejects_corrupted_configuration(self):
+        configuration = spanning_tree_configuration(30, 12, seed=4)
+        corrupted = corrupt_spanning_tree(configuration, seed=5)
+        compiled = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = compiled.prover(configuration)  # labels for the *legal* one
+        estimate = estimate_acceptance(
+            compiled, corrupted, trials=40, labels=labels
+        )
+        assert estimate.probability < 0.4
+
+    def test_detects_inconsistent_replicas(self):
+        """Tampering with a stored neighbor-copy must be caught probabilistically."""
+        configuration = line_configuration(12)
+        compiled = FingerprintCompiledRPLS(AcyclicityPLS())
+        labels = compiled.prover(configuration)
+        tampered = perturb_labels(labels, flips=3, seed=7)
+        if tampered == labels:  # extremely unlikely; keep the test honest
+            pytest.skip("perturbation was a no-op")
+        accepts = sum(
+            1
+            for seed in range(60)
+            if verify_randomized(
+                compiled, configuration, seed=seed, labels=tampered
+            ).accepted
+        )
+        assert accepts / 60 < 0.75  # a single flipped bit is caught w.p. >= 2/3 at one edge
+
+    def test_base_verifier_still_consulted(self):
+        """Consistent replicas of *wrong* base labels must be rejected deterministically."""
+        configuration = line_configuration(8)
+        base = AcyclicityPLS()
+        compiled = FingerprintCompiledRPLS(base)
+        # Build compiled labels from forged base labels (all-zero distances).
+        forged_base = {
+            node: BitString.from_int(0, 4) for node in configuration.graph.nodes
+        }
+
+        class ForgingBase(AcyclicityPLS):
+            def prover(self, config):
+                return forged_base
+
+        forged_compiled = FingerprintCompiledRPLS(ForgingBase()).prover(configuration)
+        run = verify_randomized(
+            compiled, configuration, seed=0, labels=forged_compiled
+        )
+        assert not run.accepted
+
+
+class TestSizes:
+    @pytest.mark.parametrize("kappa", [1, 8, 64, 512, 4096])
+    def test_logarithmic_certificates(self, kappa):
+        graph = cycle_graph(6)
+        configuration = Configuration(graph, simple_states(graph))
+        compiled = FingerprintCompiledRPLS(WidthKPLS(kappa))
+        bits = compiled.verification_complexity(configuration)
+        # 2 * ceil(log2 p) with p < 6 * (kappa + len field)
+        assert bits <= 2 * math.ceil(math.log2(6 * (kappa + math.ceil(math.log2(kappa + 1)) + 1)))
+        run = verify_randomized(compiled, configuration, seed=1)
+        assert run.accepted
+
+    def test_exponential_gap(self):
+        graph = cycle_graph(8)
+        configuration = Configuration(graph, simple_states(graph))
+        for kappa in (64, 1024, 16384):
+            compiled = FingerprintCompiledRPLS(WidthKPLS(kappa))
+            assert compiled.verification_complexity(configuration) < kappa / 2
+
+    def test_label_complexity_reported(self):
+        configuration = line_configuration(10)
+        compiled = FingerprintCompiledRPLS(AcyclicityPLS())
+        base_bits = AcyclicityPLS().verification_complexity(configuration)
+        # Compiled labels replicate deg+1 base labels (plus framing).
+        assert compiled.label_complexity(configuration) >= 3 * base_bits
+
+    def test_repetitions_scale_certificates(self):
+        configuration = line_configuration(10)
+        single = FingerprintCompiledRPLS(AcyclicityPLS(), repetitions=1)
+        triple = FingerprintCompiledRPLS(AcyclicityPLS(), repetitions=3)
+        assert (
+            triple.verification_complexity(configuration)
+            == 3 * single.verification_complexity(configuration)
+        )
+
+    def test_soundness_error_decreases_with_repetitions(self):
+        configuration = line_configuration(10)
+        single = FingerprintCompiledRPLS(AcyclicityPLS(), repetitions=1)
+        triple = FingerprintCompiledRPLS(AcyclicityPLS(), repetitions=3)
+        assert triple.soundness_error(configuration) < single.soundness_error(configuration)
+
+    def test_invalid_repetitions(self):
+        with pytest.raises(ValueError):
+            FingerprintCompiledRPLS(AcyclicityPLS(), repetitions=0)

@@ -1,0 +1,134 @@
+"""Tests for repro.core.configuration."""
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration, NodeState, simple_states
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+
+
+class TestNodeState:
+    def test_immutability(self):
+        state = NodeState(1, {"color": 3})
+        with pytest.raises(TypeError):
+            state.fields["color"] = 4
+
+    def test_with_fields(self):
+        state = NodeState(1, {"a": 1})
+        updated = state.with_fields(b=2)
+        assert updated.get("a") == 1
+        assert updated.get("b") == 2
+        assert state.get("b") is None
+
+    def test_get_default(self):
+        assert NodeState(1).get("missing", 42) == 42
+
+    def test_encoded_bits_grows_with_content(self):
+        small = NodeState(1, {"payload": BitString.from_int(0, 4)})
+        large = NodeState(1, {"payload": BitString.from_int(0, 400)})
+        assert large.encoded_bits() > small.encoded_bits()
+
+    def test_canonical_value_sorted_keys(self):
+        a = NodeState(1, {"x": 1, "a": 2})
+        _id, fields = a.canonical_value()
+        assert list(fields) == ["a", "x"]
+
+
+class TestConfiguration:
+    def test_state_coverage_enforced(self):
+        graph = path_graph(3)
+        with pytest.raises(ValueError):
+            Configuration(graph, {0: NodeState(0)})
+
+    def test_distinct_ids_enforced(self):
+        graph = path_graph(2)
+        with pytest.raises(ValueError):
+            Configuration(graph, {0: NodeState(7), 1: NodeState(7)})
+
+    def test_anonymous_allows_duplicate_ids(self):
+        graph = path_graph(2)
+        config = Configuration(
+            graph, {0: NodeState(7), 1: NodeState(7)}, anonymous=True
+        )
+        assert config.node_count == 2
+
+    def test_sizes(self):
+        graph = cycle_graph(5)
+        config = Configuration(graph, simple_states(graph))
+        assert config.node_count == 5
+        assert config.edge_count == 5
+        assert config.id_bits >= 3
+        assert config.port_bits >= 1
+        assert config.state_bits > 0
+
+    def test_node_lookup(self):
+        graph = path_graph(3)
+        config = Configuration(graph, simple_states(graph, ids={0: 10, 1: 20, 2: 30}))
+        assert config.node_id(1) == 20
+        assert config.node_by_id(30) == 2
+        with pytest.raises(KeyError):
+            config.node_by_id(99)
+
+    def test_default_weight_is_one(self):
+        graph = path_graph(2)
+        config = Configuration(graph, simple_states(graph))
+        assert config.edge_weight(0, 0) == 1
+
+    def test_weight_key_symmetric_and_distinct(self):
+        graph = PortGraph.from_edges([(0, 1), (1, 2)])
+        states = {
+            0: NodeState(0, {"weights": (5,)}),
+            1: NodeState(1, {"weights": (5, 5)}),
+            2: NodeState(2, {"weights": (5,)}),
+        }
+        config = Configuration(graph, states)
+        key_a = config.weight_key(0, 0)
+        key_b = config.weight_key(1, 0)
+        assert key_a == key_b  # same edge, both directions
+        assert config.weight_key(1, 1) != key_a  # equal weight, different edge
+
+    def test_tree_edges_symmetric_check(self):
+        graph = path_graph(2)
+        states = {
+            0: NodeState(0, {"tree": (1,)}),
+            1: NodeState(1, {"tree": (0,)}),
+        }
+        config = Configuration(graph, states)
+        with pytest.raises(ValueError):
+            list(config.tree_edges())
+
+    def test_tree_edges_listing(self):
+        graph = path_graph(3)
+        states = {
+            0: NodeState(0, {"tree": (1,)}),
+            1: NodeState(1, {"tree": (1, 0)}),
+            2: NodeState(2, {"tree": (0,)}),
+        }
+        config = Configuration(graph, states)
+        edges = [(u, v) for u, _pu, v, _pv in config.tree_edges()]
+        assert edges == [(0, 1)]
+
+    def test_with_state_copy_semantics(self):
+        graph = path_graph(2)
+        config = Configuration(graph, simple_states(graph))
+        updated = config.with_state(0, config.state(0).with_fields(mark=1))
+        assert updated.state(0).get("mark") == 1
+        assert config.state(0).get("mark") is None
+
+    def test_with_graph_keeps_states(self):
+        graph = cycle_graph(6)
+        config = Configuration(graph, simple_states(graph))
+        other = config.with_graph(graph.copy())
+        assert other.states == config.states
+
+
+class TestSimpleStates:
+    def test_sequential_ids(self):
+        graph = path_graph(4)
+        states = simple_states(graph)
+        assert sorted(s.node_id for s in states.values()) == [0, 1, 2, 3]
+
+    def test_common_fields(self):
+        graph = path_graph(2)
+        states = simple_states(graph, flag=True)
+        assert all(s.get("flag") for s in states.values())

@@ -1,0 +1,106 @@
+"""Tests for repro.graphs.crossing — Definition 4.2 surgery."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.crossing import (
+    cross_edge_pairs,
+    cross_subgraphs,
+    crossing_is_involution,
+    subgraphs_independent,
+)
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+
+
+class TestIndependence:
+    def test_disjoint_non_adjacent(self):
+        graph = path_graph(10)
+        assert subgraphs_independent(graph, {0, 1}, {5, 6})
+
+    def test_overlapping_sets(self):
+        graph = path_graph(10)
+        assert not subgraphs_independent(graph, {0, 1}, {1, 2})
+
+    def test_adjacent_sets(self):
+        graph = path_graph(10)
+        assert not subgraphs_independent(graph, {0, 1}, {2, 3})
+
+
+class TestCrossing:
+    def test_path_cross_creates_cycle(self):
+        # Crossing edges (3,4) and (6,7) of a path: 4..6 closes into a cycle.
+        graph = path_graph(10)
+        crossed = cross_subgraphs(graph, {3: 6, 4: 7}, [(3, 4)])
+        crossed.validate()
+        components = crossed.connected_components()
+        assert len(components) == 2
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [3, 7]  # cycle {4,5,6} and path 0-3 + 7-9
+
+    def test_ports_preserved(self):
+        graph = path_graph(10)
+        port_at_3 = graph.port_to(3, 4)
+        port_at_7 = graph.port_to(7, 6)
+        crossed = cross_subgraphs(graph, {3: 6, 4: 7}, [(3, 4)])
+        # Node 3 talks on the same port, now to node 7.
+        assert crossed.neighbor(3, port_at_3) == 7
+        assert crossed.neighbor(7, port_at_7) == 3
+
+    def test_degrees_preserved(self):
+        graph = cycle_graph(12)
+        crossed = cross_subgraphs(graph, {3: 9, 4: 10}, [(3, 4)])
+        for node in graph.nodes:
+            assert crossed.degree(node) == graph.degree(node)
+
+    def test_cycle_cross_splits_into_two(self):
+        graph = cycle_graph(12)
+        crossed = cross_subgraphs(graph, {0: 6, 1: 7}, [(0, 1)])
+        crossed.validate()
+        components = crossed.connected_components()
+        assert sorted(len(c) for c in components) == [6, 6]
+
+    def test_missing_edge_rejected(self):
+        graph = path_graph(10)
+        with pytest.raises(ValueError):
+            cross_edge_pairs(graph, [(((0, 2)), ((5, 6)))])
+
+    def test_original_untouched(self):
+        graph = path_graph(10)
+        cross_subgraphs(graph, {3: 6, 4: 7}, [(3, 4)])
+        graph.validate()
+        assert graph.edge_count == 9
+        assert graph.has_edge(3, 4)
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=12, max_value=60), st.data())
+    def test_involution_property(self, n, data):
+        graph = path_graph(n)
+        max_i = n // 3 - 1
+        i = data.draw(st.integers(min_value=1, max_value=max_i - 1))
+        j = data.draw(st.integers(min_value=i + 1, max_value=max_i))
+        sigma = {3 * i: 3 * j, 3 * i + 1: 3 * j + 1}
+        assert crossing_is_involution(graph, sigma, [(3 * i, 3 * i + 1)])
+
+    @settings(max_examples=40)
+    @given(st.integers(min_value=12, max_value=60), st.data())
+    def test_edge_count_preserved(self, n, data):
+        graph = cycle_graph(n)
+        max_i = n // 3 - 1
+        i = data.draw(st.integers(min_value=0, max_value=max_i - 1))
+        j = data.draw(st.integers(min_value=i + 1, max_value=max_i))
+        sigma = {3 * i: 3 * j, 3 * i + 1: 3 * j + 1}
+        crossed = cross_subgraphs(graph, sigma, [(3 * i, 3 * i + 1)])
+        crossed.validate(allow_multi_edges=True)
+        assert crossed.edge_count == graph.edge_count
+
+    def test_two_edge_gadget_cross(self):
+        # Cross a 2-edge gadget (paths of length 2) in one operation.
+        graph = path_graph(14)
+        sigma = {1: 8, 2: 9, 3: 10}
+        crossed = cross_subgraphs(graph, sigma, [(1, 2), (2, 3)])
+        crossed.validate()
+        # Middle nodes swap their incident path edges pairwise.
+        assert crossed.has_edge(1, 9)
+        assert crossed.has_edge(8, 2)
+        assert crossed.has_edge(2, 10)
+        assert crossed.has_edge(9, 3)

@@ -1,0 +1,161 @@
+"""Tests for the executed crossing attacks (Props 4.3 / 4.8, Thm 5.5)."""
+
+import pytest
+
+from repro.core.verifier import verify_deterministic
+from repro.graphs.generators import (
+    chain_of_cycles_configuration,
+    cycle_with_chords_configuration,
+    line_configuration,
+    long_cycle_with_spokes_configuration,
+)
+from repro.lowerbounds.bounds import deterministic_crossing_threshold
+from repro.lowerbounds.crossing_attack import (
+    chain_cycle_gadgets,
+    cycle_gadgets,
+    deterministic_crossing_attack,
+    find_label_collision,
+    iterated_crossing_attack,
+    one_sided_support_attack,
+    path_gadgets,
+)
+from repro.lowerbounds.truncation import (
+    ModularAcyclicityPLS,
+    ModularCycleIndexPLS,
+    modular_acyclicity_rpls,
+)
+from repro.schemes.acyclicity import AcyclicityPLS, AcyclicityPredicate
+from repro.schemes.cycle_length import CycleAtLeastPredicate, CycleAtMostPredicate
+from repro.substrates.cycles import has_cycle_at_least
+
+
+class TestGadgetFamilies:
+    def test_path_gadgets_valid(self):
+        gadgets = path_gadgets(line_configuration(60))
+        gadgets.validate()
+        assert gadgets.s == 1
+        assert gadgets.r >= 17
+
+    def test_cycle_gadgets_valid(self):
+        config = cycle_with_chords_configuration(40)
+        gadgets = cycle_gadgets(config, 40)
+        gadgets.validate()
+
+    def test_spokes_gadgets_valid(self):
+        config, _cycle = long_cycle_with_spokes_configuration(40, 30)
+        gadgets = cycle_gadgets(config, 30)
+        gadgets.validate()
+
+    def test_chain_gadgets_valid(self):
+        config = chain_of_cycles_configuration(40, 8)
+        gadgets = chain_cycle_gadgets(config, 8)
+        gadgets.validate()
+        assert gadgets.r == 5
+
+    def test_sigma_positional(self):
+        gadgets = path_gadgets(line_configuration(30))
+        sigma = gadgets.sigma(0, 1)
+        assert sigma == {3: 6, 4: 7}
+
+
+class TestDeterministicAttack:
+    def test_fooled_below_threshold(self):
+        config = line_configuration(300)
+        gadgets = path_gadgets(config)
+        threshold = deterministic_crossing_threshold(gadgets.r, gadgets.s)
+        scheme = ModularAcyclicityPLS(int(threshold))  # strictly below
+        result = deterministic_crossing_attack(scheme, gadgets)
+        assert result.fooled
+        assert not AcyclicityPredicate().holds(result.crossed_configuration)
+
+    def test_crossed_graph_has_a_cycle(self):
+        config = line_configuration(120)
+        result = deterministic_crossing_attack(
+            ModularAcyclicityPLS(2), path_gadgets(config)
+        )
+        assert result.fooled
+        assert has_cycle_at_least(result.crossed_configuration.graph, 3)
+
+    def test_full_scheme_has_no_collision(self):
+        config = line_configuration(120)
+        result = deterministic_crossing_attack(AcyclicityPLS(), path_gadgets(config))
+        assert not result.collision_found
+        assert result.original_accepted
+
+    def test_collision_scales_with_bits(self):
+        """More label bits -> the same family stops colliding."""
+        config = line_configuration(90)
+        gadgets = path_gadgets(config)
+        fooled_bits = []
+        for bits in (2, 3, 4, 5, 6, 7):
+            result = deterministic_crossing_attack(
+                ModularAcyclicityPLS(bits), gadgets
+            )
+            if result.fooled:
+                fooled_bits.append(bits)
+        assert 2 in fooled_bits
+        assert 7 not in fooled_bits
+
+    def test_find_label_collision_none_when_distinct(self):
+        config = line_configuration(30)
+        gadgets = path_gadgets(config)
+        labels = AcyclicityPLS().prover(config)
+        assert find_label_collision(labels, gadgets) is None
+
+
+class TestSupportAttack:
+    def test_fooled_below_threshold(self):
+        config = line_configuration(200)
+        gadgets = path_gadgets(config)
+        scheme = modular_acyclicity_rpls(3)
+        result = one_sided_support_attack(
+            scheme, gadgets, trials=400, acceptance_trials=8
+        )
+        assert result.fooled
+        assert not AcyclicityPredicate().holds(result.crossed_configuration)
+
+    def test_distinct_supports_no_collision(self):
+        config = line_configuration(60)
+        gadgets = path_gadgets(config)
+        from repro.core.compiler import FingerprintCompiledRPLS
+
+        scheme = FingerprintCompiledRPLS(AcyclicityPLS())
+        result = one_sided_support_attack(
+            scheme, gadgets, trials=120, acceptance_trials=4
+        )
+        assert not result.collision_found
+
+
+class TestFigureFiveAttack:
+    def test_chain_crossing_breaks_cycle_at_most(self):
+        config = chain_of_cycles_configuration(64, 8)
+        cycles = [list(range(i * 8, (i + 1) * 8)) for i in range(8)]
+        scheme = ModularCycleIndexPLS(3, CycleAtMostPredicate(8), cycles)
+        gadgets = chain_cycle_gadgets(config, 8)
+        gadgets.validate()
+        result = deterministic_crossing_attack(scheme, gadgets)
+        assert result.fooled
+        assert not CycleAtMostPredicate(8).holds(result.crossed_configuration)
+
+
+class TestIteratedAttack:
+    def test_theorem_5_5(self):
+        n, c = 96, 24
+        config = cycle_with_chords_configuration(n)
+        scheme = ModularCycleIndexPLS(
+            3, CycleAtLeastPredicate(c), [list(range(n))]
+        )
+        assert verify_deterministic(scheme, config).accepted
+        result = iterated_crossing_attack(
+            scheme, config, list(range(n)), target_length=c
+        )
+        assert result.iterations >= 1
+        assert result.all_rounds_accepted
+        assert all(length < c - 1 for length in result.final_cycle_lengths)
+        # The final graph is still accepted but no longer satisfies the
+        # predicate: no simple cycle reaches c.
+        assert not CycleAtLeastPredicate(c).holds(result.final_configuration)
+
+    def test_modulus_divides_requirement(self):
+        with pytest.raises(ValueError):
+            ModularCycleIndexPLS(3, CycleAtLeastPredicate(10), [list(range(10))])

@@ -1,0 +1,155 @@
+"""Tests for the cycle-length schemes (Theorems 5.3-5.6)."""
+
+import pytest
+
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    chain_of_cycles_configuration,
+    cycle_configuration,
+    long_cycle_with_spokes_configuration,
+    planted_cycle_configuration,
+    tree_only_configuration,
+)
+from repro.schemes.cycle_length import (
+    CycleAtLeastPLS,
+    CycleAtLeastPredicate,
+    CycleAtMostPredicate,
+    cycle_at_least_rpls,
+    cycle_at_most_universal_rpls,
+    cycle_at_most_universal_scheme,
+)
+from repro.simulation.adversary import random_labels
+
+
+class TestPredicates:
+    def test_cycle_at_least(self):
+        config, _cycle = planted_cycle_configuration(20, 8, seed=1)
+        assert CycleAtLeastPredicate(8).holds(config)
+        assert not CycleAtLeastPredicate(9).holds(config)
+
+    def test_cycle_at_most(self):
+        config = chain_of_cycles_configuration(24, 6)
+        assert CycleAtMostPredicate(6).holds(config)
+        assert not CycleAtMostPredicate(5).holds(config)
+
+    def test_trees(self):
+        config = tree_only_configuration(15, seed=2)
+        assert not CycleAtLeastPredicate(3).holds(config)
+        assert CycleAtMostPredicate(3).holds(config)
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            CycleAtLeastPredicate(2)
+        with pytest.raises(ValueError):
+            CycleAtMostPredicate(1)
+
+
+class TestCycleAtLeastPLS:
+    @pytest.mark.parametrize("n,c", [(12, 5), (30, 10), (50, 20)])
+    def test_completeness_planted(self, n, c):
+        config, witness = planted_cycle_configuration(n, c, seed=n)
+        scheme = CycleAtLeastPLS(c, witness=witness)
+        run = verify_deterministic(scheme, config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_completeness_bare_cycle(self):
+        config = cycle_configuration(12)
+        scheme = CycleAtLeastPLS(12, witness=list(range(12)))
+        assert verify_deterministic(scheme, config).accepted
+
+    def test_longer_cycle_than_c(self):
+        """A witness longer than c is fine (index wraps above c-1)."""
+        config = cycle_configuration(15)
+        scheme = CycleAtLeastPLS(10, witness=list(range(15)))
+        assert verify_deterministic(scheme, config).accepted
+
+    def test_prover_searches_when_no_witness(self):
+        config, _ = planted_cycle_configuration(16, 6, seed=3)
+        scheme = CycleAtLeastPLS(6)
+        assert verify_deterministic(scheme, config).accepted
+
+    def test_prover_rejects_short_witness(self):
+        config, witness = planted_cycle_configuration(16, 6, seed=4)
+        with pytest.raises(ValueError):
+            CycleAtLeastPLS(8, witness=witness).prover(config)
+
+    def test_prover_rejects_fake_witness(self):
+        config = tree_only_configuration(12, seed=5)
+        scheme = CycleAtLeastPLS(4, witness=[0, 1, 2, 3])
+        with pytest.raises(ValueError):
+            scheme.prover(config)
+
+    def test_soundness_on_trees(self):
+        """Forged cycle-marking labels on a tree must be rejected."""
+        config = tree_only_configuration(14, seed=6)
+        scheme = CycleAtLeastPLS(5)
+        # Steal labels from a configuration that has a cycle (same node set).
+        donor, witness = planted_cycle_configuration(14, 5, seed=7)
+        stolen = CycleAtLeastPLS(5, witness=witness).prover(donor)
+        run = verify_deterministic(scheme, config, labels=stolen)
+        assert not run.accepted
+
+    def test_soundness_random(self):
+        config = tree_only_configuration(12, seed=8)
+        scheme = CycleAtLeastPLS(5)
+        for seed in range(25):
+            labels = random_labels(config, bits=10, seed=seed)
+            assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_wraparound_forgery_rejected(self):
+        """Indices wrapping early (cycle shorter than c) must be rejected."""
+        config = cycle_configuration(8)
+        scheme = CycleAtLeastPLS(10, witness=list(range(8)))
+        with pytest.raises(ValueError):
+            scheme.prover(config)  # witness shorter than c
+
+    def test_label_size(self):
+        import math
+
+        config, witness = planted_cycle_configuration(200, 50, seed=9)
+        bits = CycleAtLeastPLS(50, witness=witness).verification_complexity(config)
+        assert bits <= 8 * math.ceil(math.log2(200)) + 16
+
+
+class TestRandomized:
+    def test_compiled_completeness(self):
+        config, witness = planted_cycle_configuration(30, 10, seed=10)
+        scheme = cycle_at_least_rpls(10, witness=witness)
+        assert verify_randomized(scheme, config, seed=0).accepted
+
+    def test_compiled_soundness(self):
+        config = tree_only_configuration(14, seed=11)
+        donor, witness = planted_cycle_configuration(14, 5, seed=12)
+        scheme = cycle_at_least_rpls(5, witness=witness)
+        stolen = scheme.prover(donor)
+        estimate = estimate_acceptance(scheme, config, trials=20, labels=stolen)
+        assert estimate.probability < 0.3
+
+    def test_loglog_certificates(self):
+        sizes = []
+        for n in (32, 256, 2048):
+            config, witness = planted_cycle_configuration(n, 10, seed=n)
+            scheme = cycle_at_least_rpls(10, witness=witness)
+            sizes.append(scheme.verification_complexity(config))
+        assert sizes[-1] - sizes[0] <= 10
+
+
+class TestCycleAtMost:
+    def test_universal_scheme_accepts(self):
+        config = chain_of_cycles_configuration(12, 4)
+        scheme = cycle_at_most_universal_scheme(4)
+        assert verify_deterministic(scheme, config).accepted
+
+    def test_universal_scheme_rejects(self):
+        config = cycle_configuration(8)
+        scheme = cycle_at_most_universal_scheme(5)
+        assert not verify_deterministic(scheme, config).accepted
+
+    def test_universal_rpls(self):
+        config = chain_of_cycles_configuration(12, 4)
+        scheme = cycle_at_most_universal_rpls(4)
+        assert verify_randomized(scheme, config, seed=1).accepted
+
+    def test_spokes_gadget_satisfies_at_least(self):
+        config, witness = long_cycle_with_spokes_configuration(18, 9)
+        assert CycleAtLeastPredicate(9).holds(config)

@@ -1,0 +1,110 @@
+"""Tests for repro.substrates.cycles — exact simple-cycle search."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+from repro.substrates.cycles import (
+    SearchBudgetExceeded,
+    find_cycle_at_least,
+    girth_and_circumference,
+    has_cycle_at_least,
+    has_cycle_at_most,
+)
+
+
+def random_graph(n: int, extra: int, seed: int) -> PortGraph:
+    rng = random.Random(seed)
+    graph = PortGraph()
+    graph.add_node(0)
+    for node in range(1, n):
+        graph.add_edge(node, rng.randrange(node))
+    added = 0
+    attempts = 0
+    # Small n may not have `extra` free slots; bound the attempts so the
+    # helper terminates on (n=3, extra=4)-style draws.
+    while added < extra and attempts < 50 * (extra + 1):
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+def nx_circumference(graph: PortGraph):
+    nx_graph = nx.Graph()
+    nx_graph.add_nodes_from(graph.nodes)
+    nx_graph.add_edges_from((u, v) for u, _pu, v, _pv in graph.edges())
+    longest = 0
+    for cycle in nx.simple_cycles(nx_graph):
+        longest = max(longest, len(cycle))
+    return longest if longest >= 3 else None
+
+
+class TestSearch:
+    def test_tree_has_no_cycle(self):
+        assert not has_cycle_at_least(path_graph(10), 3)
+
+    def test_cycle_found(self):
+        graph = cycle_graph(9)
+        assert has_cycle_at_least(graph, 9)
+        assert not has_cycle_at_least(graph, 10)
+        witness = find_cycle_at_least(graph, 9)
+        assert witness is not None and len(witness) == 9
+
+    def test_witness_is_a_real_cycle(self):
+        graph = cycle_graph(7)
+        graph.add_edge(0, 3)
+        witness = find_cycle_at_least(graph, 5)
+        assert witness is not None
+        for a, b in zip(witness, witness[1:] + witness[:1]):
+            assert graph.has_edge(a, b)
+        assert len(set(witness)) == len(witness)
+
+    def test_minimum_length_guard(self):
+        with pytest.raises(ValueError):
+            has_cycle_at_least(cycle_graph(5), 2)
+
+    def test_budget_enforced(self):
+        # A dense graph with a tiny budget must fail loudly, never silently.
+        graph = PortGraph.from_edges(
+            [(u, v) for u in range(12) for v in range(u + 1, 12)]
+        )
+        with pytest.raises(SearchBudgetExceeded):
+            has_cycle_at_least(graph, 12, step_budget=50)
+
+    def test_at_most_complement(self):
+        graph = cycle_graph(6)
+        assert has_cycle_at_most(graph, 6)
+        assert not has_cycle_at_most(graph, 5)
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(3, 10), st.integers(0, 4), st.integers(0, 999))
+    def test_against_networkx_circumference(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        expected = nx_circumference(graph)
+        stats = girth_and_circumference(graph)
+        assert stats["circumference"] == expected
+
+    @settings(max_examples=12, deadline=None)
+    @given(st.integers(3, 10), st.integers(1, 4), st.integers(0, 999))
+    def test_girth_against_networkx(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes)
+        nx_graph.add_edges_from((u, v) for u, _pu, v, _pv in graph.edges())
+        try:
+            expected = nx.girth(nx_graph)
+            expected = None if expected == float("inf") else expected
+        except AttributeError:  # older networkx
+            cycles = [len(c) for c in nx.simple_cycles(nx_graph) if len(c) >= 3]
+            expected = min(cycles) if cycles else None
+        assert girth_and_circumference(graph)["girth"] == expected
+
+    def test_acyclic_stats(self):
+        stats = girth_and_circumference(path_graph(6))
+        assert stats == {"girth": None, "circumference": None}

@@ -1,0 +1,167 @@
+"""Tests for repro.substrates.dfs — DFS trees, spans, lowpoints."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+from repro.substrates.dfs import (
+    articulation_points,
+    brute_force_articulation_points,
+    dfs_tree,
+    is_biconnected,
+)
+
+
+def random_connected(n: int, extra: int, seed: int) -> PortGraph:
+    rng = random.Random(seed)
+    graph = PortGraph()
+    graph.add_node(0)
+    for node in range(1, n):
+        graph.add_edge(node, rng.randrange(node))
+    added = 0
+    attempts = 0
+    while attempts < 50 * (extra + 1) and added < extra:
+        u, v = rng.randrange(n), rng.randrange(n)
+        attempts += 1
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+class TestDFSTreeStructure:
+    def test_path(self):
+        graph = path_graph(6)
+        tree = dfs_tree(graph, 0)
+        assert tree.order == list(range(6))
+        assert tree.preorder == {i: i for i in range(6)}
+        assert tree.depth == {i: i for i in range(6)}
+        assert tree.span[0] == (0, 5)
+        assert tree.span[5] == (5, 5)
+
+    def test_parent_ports(self):
+        graph = path_graph(4)
+        tree = dfs_tree(graph, 0)
+        for node in range(1, 4):
+            port = tree.parent_port[node]
+            assert graph.neighbor(node, port) == tree.parent[node]
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(4, 30), st.integers(0, 10), st.integers(0, 999))
+    def test_invariants_random(self, n, extra, seed):
+        graph = random_connected(n, extra, seed)
+        tree = dfs_tree(graph, 0)
+        # Preorders are a permutation of 0..n-1.
+        assert sorted(tree.preorder.values()) == list(range(n))
+        for node in graph.nodes:
+            low, high = tree.span[node]
+            # Span starts at own preorder and covers the subtree exactly.
+            assert low == tree.preorder[node]
+            subtree = [
+                v for v in graph.nodes if low <= tree.preorder[v] <= high
+            ]
+            descendants = _descendants(tree, node)
+            assert set(subtree) == descendants
+            # Children spans partition span minus own preorder (paper's P4).
+            cursor = low + 1
+            for child in sorted(
+                tree.children[node], key=lambda c: tree.preorder[c]
+            ):
+                child_low, child_high = tree.span[child]
+                assert child_low == cursor
+                cursor = child_high + 1
+            assert cursor == high + 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(4, 25), st.integers(0, 10), st.integers(0, 999))
+    def test_no_cross_edges(self, n, extra, seed):
+        """Undirected DFS: every non-tree edge joins an ancestor/descendant pair."""
+        graph = random_connected(n, extra, seed)
+        tree = dfs_tree(graph, 0)
+        for u, _pu, v, _pv in graph.edges():
+            if tree.parent[u] == v or tree.parent[v] == u:
+                continue
+            assert tree.is_ancestor(u, v) or tree.is_ancestor(v, u)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(4, 25), st.integers(0, 10), st.integers(0, 999))
+    def test_lowpoint_definition(self, n, extra, seed):
+        """lowpt(v) == min(childmin, neighbormin) — the paper's P7, recomputed."""
+        graph = random_connected(n, extra, seed)
+        tree = dfs_tree(graph, 0)
+        for node in graph.nodes:
+            neighbor_min = min(tree.preorder[w] for w in graph.neighbors(node))
+            child_min = min(
+                (tree.lowpoint[c] for c in tree.children[node]),
+                default=neighbor_min,
+            )
+            assert tree.lowpoint[node] == min(neighbor_min, child_min)
+
+
+def _descendants(tree, node):
+    result = {node}
+    frontier = [node]
+    while frontier:
+        current = frontier.pop()
+        for child in tree.children[current]:
+            result.add(child)
+            frontier.append(child)
+    return result
+
+
+class TestArticulation:
+    def test_path_interior_nodes_cut(self):
+        graph = path_graph(5)
+        assert articulation_points(graph) == {1, 2, 3}
+
+    def test_cycle_has_none(self):
+        assert articulation_points(cycle_graph(6)) == set()
+
+    def test_two_triangles_sharing_a_node(self):
+        graph = PortGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (0, 3), (3, 4), (4, 0)]
+        )
+        assert articulation_points(graph) == {0}
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(3, 18), st.integers(0, 8), st.integers(0, 999))
+    def test_against_brute_force(self, n, extra, seed):
+        graph = random_connected(n, extra, seed)
+        assert articulation_points(graph) == brute_force_articulation_points(graph)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 18), st.integers(0, 8), st.integers(0, 999))
+    def test_against_networkx(self, n, extra, seed):
+        graph = random_connected(n, extra, seed)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes)
+        nx_graph.add_edges_from((u, v) for u, _pu, v, _pv in graph.edges())
+        assert articulation_points(graph) == set(nx.articulation_points(nx_graph))
+
+    def test_disconnected_rejected(self):
+        graph = PortGraph.from_edges([(0, 1)], nodes=[2])
+        with pytest.raises(ValueError):
+            articulation_points(graph)
+
+
+class TestBiconnected:
+    def test_cycle(self):
+        assert is_biconnected(cycle_graph(5))
+
+    def test_path(self):
+        assert not is_biconnected(path_graph(4))
+
+    def test_k2_is_biconnected_under_paper_definition(self):
+        # Removing either endpoint leaves a single connected node.
+        assert is_biconnected(PortGraph.from_edges([(0, 1)]))
+
+    def test_single_node(self):
+        graph = PortGraph()
+        graph.add_node(0)
+        assert is_biconnected(graph)
+
+    def test_disconnected(self):
+        assert not is_biconnected(PortGraph.from_edges([(0, 1)], nodes=[2]))

@@ -1,0 +1,124 @@
+"""Tests for repro.core.encoding — the canonical structured-value codec."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitstrings import BitString
+from repro.core.encoding import decode_value, encode_value, encoded_bits
+
+
+def value_strategy():
+    scalar = st.one_of(
+        st.none(),
+        st.booleans(),
+        st.integers(min_value=-(2**40), max_value=2**40),
+        st.text(max_size=8),
+        st.builds(
+            lambda bits: BitString.from_bits(bits),
+            st.lists(st.integers(0, 1), max_size=24),
+        ),
+    )
+    return st.recursive(
+        scalar,
+        lambda children: st.one_of(
+            st.lists(children, max_size=4).map(tuple),
+            st.dictionaries(st.text(max_size=4), children, max_size=3),
+        ),
+        max_leaves=12,
+    )
+
+
+def normalize(value):
+    """Lists decode as tuples; normalize for comparison."""
+    if isinstance(value, list):
+        return tuple(normalize(item) for item in value)
+    if isinstance(value, tuple):
+        return tuple(normalize(item) for item in value)
+    if isinstance(value, dict):
+        return {key: normalize(inner) for key, inner in value.items()}
+    return value
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize(
+        "value",
+        [
+            None,
+            True,
+            False,
+            0,
+            1,
+            -1,
+            2**50,
+            -(2**50),
+            "",
+            "hello",
+            "unicodé",
+            (),
+            (1, 2, 3),
+            ((1,), (2, (3,))),
+            {"a": 1},
+            {"nested": {"x": (None, True)}},
+            BitString.empty(),
+            BitString.from_int(0xABC, 12),
+        ],
+    )
+    def test_specific_values(self, value):
+        assert decode_value(encode_value(value)) == normalize(value)
+
+    @given(value_strategy())
+    def test_roundtrip_property(self, value):
+        assert decode_value(encode_value(value)) == normalize(value)
+
+    @given(value_strategy())
+    def test_canonical_determinism(self, value):
+        assert encode_value(value) == encode_value(value)
+
+    def test_dict_key_order_canonical(self):
+        assert encode_value({"b": 1, "a": 2}) == encode_value({"a": 2, "b": 1})
+
+    def test_list_encodes_like_tuple(self):
+        assert encode_value([1, 2]) == encode_value((1, 2))
+
+
+class TestErrors:
+    def test_unencodable_type(self):
+        with pytest.raises(TypeError):
+            encode_value(object())
+
+    def test_non_string_dict_key(self):
+        with pytest.raises(TypeError):
+            encode_value({1: "x"})
+
+    def test_decode_rejects_trailing_garbage(self):
+        encoded = encode_value(5)
+        padded = encoded + BitString.from_int(0, 3)
+        with pytest.raises(ValueError):
+            decode_value(padded)
+
+    def test_decode_rejects_truncation(self):
+        encoded = encode_value("hello")
+        truncated = encoded.slice(0, encoded.length - 4)
+        with pytest.raises(ValueError):
+            decode_value(truncated)
+
+
+class TestSizes:
+    def test_encoded_bits_matches(self):
+        value = (1, "ab", None)
+        assert encoded_bits(value) == encode_value(value).length
+
+    def test_small_ints_are_small(self):
+        assert encoded_bits(0) <= 8
+        assert encoded_bits(7) <= 8
+
+    @given(st.integers(min_value=0, max_value=2**60))
+    def test_int_size_logarithmic(self, value):
+        # tag (4) + varuint groups (4 bits per 3 payload bits)
+        expected_groups = max(1, (value.bit_length() + 2) // 3)
+        assert encoded_bits(value) == 4 + 4 * expected_groups
+
+    def test_distinct_values_distinct_encodings(self):
+        samples = [None, True, False, 0, 1, -1, "", "a", (), (0,), {}]
+        encodings = {encode_value(v) for v in samples}
+        assert len(encodings) == len(samples)

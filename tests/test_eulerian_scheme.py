@@ -1,0 +1,72 @@
+"""Tests for the zero-bit Eulerian scheme (schemes.eulerian)."""
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import cycle_configuration, line_configuration
+from repro.graphs.workloads import eulerian_configuration, non_eulerian_configuration
+from repro.schemes.eulerian import EulerianPLS, EulerianPredicate
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_accepts_eulerian(self, seed):
+        config = eulerian_configuration(16, seed=seed)
+        run = verify_deterministic(EulerianPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_cycle_is_eulerian(self):
+        assert verify_deterministic(EulerianPLS(), cycle_configuration(7)).accepted
+
+    def test_zero_bits(self):
+        config = eulerian_configuration(20, seed=1)
+        assert EulerianPLS().verification_complexity(config) == 0
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_rejects_odd_degree(self, seed):
+        config = non_eulerian_configuration(16, seed=seed)
+        scheme = EulerianPLS()
+        run = verify_deterministic(scheme, config, labels=scheme.prover(config))
+        assert not run.accepted
+
+    def test_rejects_path(self):
+        scheme = EulerianPLS()
+        config = line_configuration(6)
+        run = verify_deterministic(scheme, config, labels=scheme.prover(config))
+        assert not run.accepted
+
+    def test_nonempty_labels_rejected(self):
+        """The verifier pins the protocol: labels must be empty."""
+        config = cycle_configuration(5)
+        scheme = EulerianPLS()
+        labels = {node: BitString.from_int(1, 1) for node in config.graph.nodes}
+        assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+
+class TestPredicate:
+    def test_cycle(self):
+        assert EulerianPredicate().holds(cycle_configuration(5))
+
+    def test_path(self):
+        assert not EulerianPredicate().holds(line_configuration(4))
+
+
+class TestCompilerDegenerateCase:
+    def test_kappa_zero_compiles_and_verifies(self):
+        """Theorem 3.1 at kappa = 0: fingerprinting zero-length replicas
+        must still round-trip (the boundary the arithmetic has to survive)."""
+        config = eulerian_configuration(12, seed=2)
+        compiled = FingerprintCompiledRPLS(EulerianPLS())
+        assert verify_randomized(compiled, config, seed=0).accepted
+
+    def test_kappa_zero_soundness(self):
+        config = non_eulerian_configuration(12, seed=3)
+        compiled = FingerprintCompiledRPLS(EulerianPLS())
+        base_labels = EulerianPLS().prover(config)
+        labels = compiled.prover(config) if base_labels else None
+        run = verify_randomized(compiled, config, seed=1, labels=labels)
+        assert not run.accepted

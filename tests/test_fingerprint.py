@@ -1,0 +1,127 @@
+"""Tests for repro.core.fingerprint — Lemma A.1's machinery."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitstrings import BitString
+from repro.core.fingerprint import Fingerprinter, repetitions_for_error
+
+
+def random_bits(lam: int, rng: random.Random) -> BitString:
+    return BitString(rng.getrandbits(lam) if lam else 0, lam)
+
+
+class TestCompleteness:
+    @given(st.integers(0, 300), st.integers(0, 999))
+    def test_equal_strings_always_match(self, lam, seed):
+        rng = random.Random(seed)
+        data = random_bits(lam, rng)
+        fingerprinter = Fingerprinter(lam)
+        certificate = fingerprinter.make(data, rng)
+        assert fingerprinter.check(data, certificate)
+
+    @given(st.integers(1, 100), st.integers(1, 4), st.integers(0, 999))
+    def test_completeness_with_repetitions(self, lam, repetitions, seed):
+        rng = random.Random(seed)
+        data = random_bits(lam, rng)
+        fingerprinter = Fingerprinter(lam, repetitions=repetitions)
+        assert fingerprinter.check(data, fingerprinter.make(data, rng))
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("lam", [8, 32, 128])
+    def test_empirical_error_below_third(self, lam):
+        rng = random.Random(1)
+        data = random_bits(lam, rng)
+        other = BitString(data.value ^ 1, lam)  # Hamming distance 1
+        fingerprinter = Fingerprinter(lam)
+        false_accepts = sum(
+            1
+            for trial in range(600)
+            if fingerprinter.check(other, fingerprinter.make(data, random.Random(trial)))
+        )
+        assert false_accepts / 600 < 1 / 3 + 0.05
+
+    def test_exact_error_by_exhausting_field(self):
+        """Count collisions over all field points — must be <= lam - 1."""
+        lam = 12
+        rng = random.Random(2)
+        data = random_bits(lam, rng)
+        other = BitString(data.value ^ 0b101, lam)
+        fingerprinter = Fingerprinter(lam)
+        prime = fingerprinter.params.prime
+        field = fingerprinter.field
+        a = data.bits()
+        b = other.bits()
+        collisions = sum(
+            1 for x in range(prime) if field.poly_eval(a, x) == field.poly_eval(b, x)
+        )
+        assert collisions <= lam - 1
+        assert collisions / prime < 1 / 3
+
+    @given(st.integers(2, 200))
+    def test_soundness_error_bound_formula(self, lam):
+        fingerprinter = Fingerprinter(lam)
+        assert 0 <= fingerprinter.soundness_error() < 1 / 3
+
+    def test_repetitions_compound(self):
+        single = Fingerprinter(64, repetitions=1).soundness_error()
+        triple = Fingerprinter(64, repetitions=3).soundness_error()
+        assert abs(triple - single**3) < 1e-12
+
+
+class TestSizesAndRobustness:
+    @given(st.integers(1, 10_000))
+    def test_certificate_size_logarithmic(self, lam):
+        import math
+
+        fingerprinter = Fingerprinter(lam)
+        assert fingerprinter.certificate_bits <= 2 * math.ceil(math.log2(6 * max(lam, 1)))
+
+    def test_size_linear_in_repetitions(self):
+        base = Fingerprinter(100, repetitions=1).certificate_bits
+        assert Fingerprinter(100, repetitions=5).certificate_bits == 5 * base
+
+    def test_wrong_length_input_rejected(self):
+        fingerprinter = Fingerprinter(8)
+        with pytest.raises(ValueError):
+            fingerprinter.make(BitString.from_int(0, 4), random.Random(0))
+
+    def test_malformed_certificate_rejected_not_crash(self):
+        fingerprinter = Fingerprinter(16)
+        data = BitString.from_int(99, 16)
+        # Wrong length.
+        assert not fingerprinter.check(data, BitString.from_int(0, 3))
+        # Right length, out-of-field coordinates.
+        width = fingerprinter.params.coordinate_bits
+        bogus = BitString.from_int((2**width - 1) << width, 2 * width)
+        assert not fingerprinter.check(data, bogus)
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            Fingerprinter(-1)
+        with pytest.raises(ValueError):
+            Fingerprinter(4, repetitions=0)
+
+
+class TestRepetitionsForError:
+    def test_values(self):
+        assert repetitions_for_error(0.3) == 2
+        assert repetitions_for_error(1e-6) == 13
+
+    def test_monotone(self):
+        values = [repetitions_for_error(10**-k) for k in range(1, 8)]
+        assert values == sorted(values)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            repetitions_for_error(0.0)
+        with pytest.raises(ValueError):
+            repetitions_for_error(1.0)
+
+    @given(st.floats(min_value=1e-9, max_value=0.5))
+    def test_bound_achieved(self, delta):
+        t = repetitions_for_error(delta)
+        assert (1 / 3) ** t < delta

@@ -1,0 +1,124 @@
+"""Tests for the k-flow scheme (Section 5.2)."""
+
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import flow_configuration
+from repro.schemes.flow import KFlowPLS, KFlowPredicate, k_flow_rpls
+from repro.simulation.adversary import perturb_labels, random_labels
+
+
+def with_k(configuration: Configuration, k: int) -> Configuration:
+    states = {
+        node: configuration.state(node).with_fields(k=k)
+        for node in configuration.graph.nodes
+    }
+    return Configuration(configuration.graph, states)
+
+
+class TestPredicate:
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_exact_k(self, k):
+        config = flow_configuration(k, path_length=2, decoy_edges=3, seed=k)
+        assert KFlowPredicate().holds(config)
+        assert not KFlowPredicate().holds(with_k(config, k + 1))
+        if k > 1:
+            assert not KFlowPredicate().holds(with_k(config, k - 1))
+
+    def test_missing_fields(self):
+        from repro.graphs.generators import line_configuration
+
+        with pytest.raises(ValueError):
+            KFlowPredicate().holds(line_configuration(4))
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("k,length,decoys", [(1, 1, 0), (2, 3, 4), (4, 2, 8), (3, 5, 10)])
+    def test_accepts_legal(self, k, length, decoys):
+        config = flow_configuration(k, path_length=length, decoy_edges=decoys, seed=k)
+        run = verify_deterministic(KFlowPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+
+class TestSoundness:
+    def test_overclaimed_k(self):
+        """Claiming k+1 when max flow is k: the source cannot exhibit k+1 paths."""
+        config = flow_configuration(3, path_length=2, decoy_edges=4, seed=1)
+        overclaimed = with_k(config, 4)
+        scheme = KFlowPLS()
+        honest_for_3 = scheme.prover(config)
+        run = verify_deterministic(scheme, overclaimed, labels=honest_for_3)
+        assert not run.accepted
+
+    def test_underclaimed_k(self):
+        """Claiming k-1: the residual flag must reach the target and fire."""
+        config = flow_configuration(3, path_length=2, decoy_edges=4, seed=2)
+        underclaimed = with_k(config, 2)
+        scheme = KFlowPLS()
+        # Honest-looking labels for the underclaim: 2 of the 3 paths plus
+        # truthful reachability — build from a 2-path sub-certificate by
+        # running the prover machinery on the underclaimed configuration.
+        run = verify_deterministic(
+            scheme, underclaimed, labels=scheme.prover(underclaimed)
+        )
+        assert not run.accepted
+
+    def test_bit_flips_caught(self):
+        config = flow_configuration(2, path_length=3, decoy_edges=2, seed=3)
+        scheme = KFlowPLS()
+        honest = scheme.prover(config)
+        rejected = 0
+        total = 0
+        for seed in range(15):
+            labels = perturb_labels(honest, flips=1, seed=seed)
+            if labels == honest:
+                continue
+            total += 1
+            if not verify_deterministic(scheme, config, labels=labels).accepted:
+                rejected += 1
+        assert rejected >= total - 1
+
+    def test_random_labels_rejected(self):
+        config = flow_configuration(2, path_length=2, seed=4)
+        bad = with_k(config, 3)
+        scheme = KFlowPLS()
+        for seed in range(20):
+            labels = random_labels(bad, bits=30, seed=seed)
+            assert not verify_deterministic(scheme, bad, labels=labels).accepted
+
+
+class TestSizes:
+    def test_label_bits_scale_with_k(self):
+        import math
+
+        rows = []
+        for k in (1, 2, 4, 8):
+            config = flow_configuration(k, path_length=2, seed=k)
+            rows.append((k, KFlowPLS().verification_complexity(config)))
+        # O(k log n): roughly linear growth in k.
+        for (k1, b1), (k2, b2) in zip(rows, rows[1:]):
+            assert b2 > b1
+        assert rows[-1][1] <= 8 * rows[0][1] * 4
+
+    def test_randomized_log_k_loglog_n(self):
+        config = flow_configuration(6, path_length=2, decoy_edges=5, seed=5)
+        det = KFlowPLS().verification_complexity(config)
+        rand = k_flow_rpls().verification_complexity(config)
+        assert rand < det / 3
+
+
+class TestRandomized:
+    def test_completeness(self):
+        config = flow_configuration(3, path_length=3, decoy_edges=4, seed=6)
+        scheme = k_flow_rpls()
+        assert verify_randomized(scheme, config, seed=0).accepted
+
+    def test_soundness(self):
+        config = flow_configuration(3, path_length=2, decoy_edges=2, seed=7)
+        bad = with_k(config, 4)
+        scheme = k_flow_rpls()
+        estimate = estimate_acceptance(
+            scheme, bad, trials=20, labels=scheme.prover(config)
+        )
+        assert estimate.probability < 0.3

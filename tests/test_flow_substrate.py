@@ -1,0 +1,148 @@
+"""Tests for repro.substrates.flow, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+from repro.substrates.flow import (
+    edge_disjoint_paths,
+    max_flow,
+    net_unit_flow,
+    residual_reachable,
+    unit_capacity_arcs,
+    vertex_disjoint_paths,
+)
+
+
+def random_graph(n: int, extra: int, seed: int) -> PortGraph:
+    rng = random.Random(seed)
+    graph = PortGraph()
+    graph.add_node(0)
+    for node in range(1, n):
+        graph.add_edge(node, rng.randrange(node))
+    added = 0
+    attempts = 0
+    while attempts < 50 * (extra + 1) and added < extra:
+        u, v = rng.randrange(n), rng.randrange(n)
+        attempts += 1
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+class TestMaxFlow:
+    def test_single_path(self):
+        arcs = {0: {1: 3}, 1: {2: 2}, 2: {}}
+        value, _flow = max_flow(arcs, 0, 2)
+        assert value == 2
+
+    def test_parallel_paths(self):
+        arcs = {0: {1: 1, 2: 1}, 1: {3: 1}, 2: {3: 1}, 3: {}}
+        value, _flow = max_flow(arcs, 0, 3)
+        assert value == 2
+
+    def test_backward_augmentation_needed(self):
+        # The classic "crossing diagonal" example.
+        arcs = {
+            "s": {"a": 1, "b": 1},
+            "a": {"b": 1, "t": 1},
+            "b": {"t": 1},
+            "t": {},
+        }
+        value, _flow = max_flow(arcs, "s", "t")
+        assert value == 2
+
+    def test_same_terminals_rejected(self):
+        with pytest.raises(ValueError):
+            max_flow({}, 0, 0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 20), st.integers(0, 20), st.integers(0, 999))
+    def test_matches_networkx_unit(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        source, sink = 0, n - 1
+        value, _flow = max_flow(unit_capacity_arcs(graph), source, sink)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes)
+        for u, _pu, v, _pv in graph.edges():
+            nx_graph.add_edge(u, v, capacity=1)
+        expected, _ = nx.maximum_flow(nx_graph, source, sink)
+        assert value == expected
+
+
+class TestEdgeDisjointPaths:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 18), st.integers(0, 18), st.integers(0, 999))
+    def test_count_and_disjointness(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        source, sink = 0, n - 1
+        paths = edge_disjoint_paths(graph, source, sink)
+        value, _ = max_flow(unit_capacity_arcs(graph), source, sink)
+        assert len(paths) == value
+        used = set()
+        for path in paths:
+            assert path[0] == source and path[-1] == sink
+            assert len(set(path)) == len(path)  # simple
+            for a, b in zip(path, path[1:]):
+                assert graph.has_edge(a, b)
+                edge = frozenset((a, b))
+                assert edge not in used
+                used.add(edge)
+
+    def test_cycle_gives_two_paths(self):
+        graph = cycle_graph(8)
+        paths = edge_disjoint_paths(graph, 0, 4)
+        assert len(paths) == 2
+
+    def test_path_graph_gives_one(self):
+        graph = path_graph(5)
+        assert len(edge_disjoint_paths(graph, 0, 4)) == 1
+
+
+class TestVertexDisjointPaths:
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 14), st.integers(0, 14), st.integers(0, 999))
+    def test_count_matches_networkx_connectivity(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        source, sink = 0, n - 1
+        if graph.has_edge(source, sink):
+            return  # node connectivity with adjacent terminals is a corner case
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(graph.nodes)
+        nx_graph.add_edges_from((u, v) for u, _pu, v, _pv in graph.edges())
+        expected = nx.node_connectivity(nx_graph, source, sink)
+        paths = vertex_disjoint_paths(graph, source, sink)
+        assert len(paths) == expected
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(4, 14), st.integers(0, 12), st.integers(0, 999))
+    def test_internal_disjointness(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        source, sink = 0, n - 1
+        paths = vertex_disjoint_paths(graph, source, sink)
+        interior_nodes = []
+        for path in paths:
+            assert path[0] == source and path[-1] == sink
+            interior_nodes.extend(path[1:-1])
+        assert len(interior_nodes) == len(set(interior_nodes))
+
+
+class TestResidual:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(3, 18), st.integers(0, 15), st.integers(0, 999))
+    def test_sink_unreachable_in_max_flow(self, n, extra, seed):
+        graph = random_graph(n, extra, seed)
+        source, sink = 0, n - 1
+        _value, flow = max_flow(unit_capacity_arcs(graph), source, sink)
+        layers = residual_reachable(graph, net_unit_flow(graph, flow), source)
+        assert sink not in layers
+        assert layers[source] == 0
+
+    def test_zero_flow_reaches_everything(self):
+        graph = cycle_graph(6)
+        layers = residual_reachable(graph, {}, 0)
+        assert set(layers) == set(graph.nodes)

@@ -1,0 +1,230 @@
+"""Structural tests for the gadget/workload generators."""
+
+import networkx as nx
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.graphs.generators import (
+    chain_of_cycles_configuration,
+    colored_configuration,
+    corrupt_mst_swap,
+    corrupt_spanning_tree,
+    cycle_configuration,
+    cycle_with_chords_configuration,
+    flow_configuration,
+    line_configuration,
+    long_cycle_with_spokes_configuration,
+    mst_configuration,
+    planted_cycle_configuration,
+    random_biconnected_configuration,
+    random_connected_configuration,
+    reindex_ids,
+    spanning_tree_configuration,
+    sym_gadget_edges,
+    sym_pair_configuration,
+    tree_only_configuration,
+    two_blocks_configuration,
+    two_node_configuration,
+    uniform_configuration,
+    unmark_tree_edge,
+)
+from repro.schemes.acyclicity import AcyclicityPredicate
+from repro.schemes.coloring import ProperColoringPredicate
+from repro.schemes.mst import MSTPredicate
+from repro.schemes.spanning_tree import SpanningTreePredicate
+from repro.schemes.uniformity import UnifPredicate
+from repro.substrates.cycles import girth_and_circumference, has_cycle_at_least
+from repro.substrates.dfs import is_biconnected
+
+
+class TestBasicFamilies:
+    def test_line_and_cycle(self):
+        line = line_configuration(9)
+        cyc = cycle_configuration(9)
+        assert AcyclicityPredicate().holds(line)
+        assert not AcyclicityPredicate().holds(cyc)
+        line.graph.validate()
+        cyc.graph.validate()
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_connected(self, seed):
+        config = random_connected_configuration(25, extra_edges=8, seed=seed)
+        config.graph.validate()
+        assert config.graph.is_connected()
+        assert config.graph.edge_count == 24 + 8
+
+    def test_reindex_ids(self):
+        config = line_configuration(5)
+        shifted = reindex_ids(config, 100)
+        assert sorted(s.node_id for s in shifted.states.values()) == list(
+            range(100, 105)
+        )
+
+
+class TestSpanningTreeFamily:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_legal(self, seed):
+        config = spanning_tree_configuration(30, extra_edges=10, seed=seed)
+        assert SpanningTreePredicate().holds(config)
+        # Tree marks agree with parent pointers.
+        marked = sum(
+            1 for _ in config.tree_edges()
+        )
+        assert marked == 29
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_corruption_breaks_predicate(self, seed):
+        config = spanning_tree_configuration(30, extra_edges=10, seed=seed)
+        corrupted = corrupt_spanning_tree(config, seed=seed + 1)
+        assert not SpanningTreePredicate().holds(corrupted)
+
+
+class TestMSTFamily:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_legal_matches_networkx(self, seed):
+        config = mst_configuration(24, seed=seed)
+        assert MSTPredicate().holds(config)
+        graph = nx.Graph()
+        big = 10**6
+        for u, pu, v, _pv in config.graph.edges():
+            w, a, b = config.weight_key(u, pu)
+            graph.add_edge(u, v, weight=(w * big + a) * big + b)
+        nx_tree = {
+            frozenset((u, v))
+            for u, v in nx.minimum_spanning_tree(graph).edges()
+        }
+        ours = {frozenset((u, v)) for u, _pu, v, _pv in config.tree_edges()}
+        assert ours == nx_tree
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_swap_corruption(self, seed):
+        config = mst_configuration(24, seed=seed)
+        corrupted = corrupt_mst_swap(config, seed=seed)
+        assert not MSTPredicate().holds(corrupted)
+        # Still a spanning tree though — that is the point of the corruption.
+        marked = {frozenset((u, v)) for u, _pu, v, _pv in corrupted.tree_edges()}
+        assert len(marked) == 23
+
+    def test_unmark_corruption(self):
+        config = mst_configuration(20, seed=1)
+        corrupted = unmark_tree_edge(config, seed=2)
+        assert not MSTPredicate().holds(corrupted)
+
+    def test_weights_symmetric(self):
+        config = mst_configuration(20, seed=3)
+        for u, pu, v, pv in config.graph.edges():
+            assert config.edge_weight(u, pu) == config.edge_weight(v, pv)
+            assert config.weight_key(u, pu) == config.weight_key(v, pv)
+
+
+class TestFigureGadgets:
+    def test_cycle_with_chords_biconnected(self):
+        config = cycle_with_chords_configuration(15)
+        assert is_biconnected(config.graph)
+        assert config.graph.degree(0) == 2 + 12  # cycle + chords to 2..13
+
+    def test_two_blocks_not_biconnected(self):
+        config = two_blocks_configuration(5)
+        assert config.graph.is_connected()
+        assert not is_biconnected(config.graph)
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_biconnected(self, seed):
+        config = random_biconnected_configuration(14, seed=seed)
+        assert is_biconnected(config.graph)
+
+    def test_spokes_gadget(self):
+        config, cycle = long_cycle_with_spokes_configuration(20, 8)
+        assert cycle == list(range(8))
+        assert has_cycle_at_least(config.graph, 8)
+        assert config.graph.is_connected()
+        # v0 has no chord to v_{c-1} (the E0 exclusion).
+        assert config.graph.port_to(0, 7) is not None  # cycle edge exists...
+        chord_targets = set(config.graph.neighbors(0))
+        assert 7 in chord_targets  # via cycle edge only
+
+    def test_chain_of_cycles(self):
+        config = chain_of_cycles_configuration(30, 6)
+        stats = girth_and_circumference(config.graph)
+        assert stats["girth"] == 6
+        assert stats["circumference"] == 6
+        assert config.graph.is_connected()
+
+    @pytest.mark.parametrize("n,c", [(20, 5), (30, 9)])
+    def test_planted_cycle_is_max(self, n, c):
+        config, cycle = planted_cycle_configuration(n, c, seed=1)
+        assert len(cycle) == c
+        assert has_cycle_at_least(config.graph, c)
+        assert not has_cycle_at_least(config.graph, c + 1)
+
+    def test_tree_only(self):
+        config = tree_only_configuration(20, seed=2)
+        assert AcyclicityPredicate().holds(config)
+
+
+class TestSymGadgets:
+    def test_gadget_size(self):
+        z = BitString.from_int(0b1010, 4)
+        nodes, edges = sym_gadget_edges(z, side=0)
+        assert len(nodes) == 2 * 4 + 3  # the nu = 2*lam + 3 of Appendix C
+        # Eu (lam-1) + triangle (3) + anchor (1) + Ew (lam)
+        assert len(edges) == (4 - 1) + 3 + 1 + 4
+
+    def test_pair_structure(self):
+        x = BitString.from_int(0b101, 3)
+        config, cut, alice, bob = sym_pair_configuration(x, x)
+        assert config.graph.is_connected()
+        assert len(alice) == len(bob) == 9
+        assert config.graph.has_edge(*cut)
+        # The cut is the only Alice-Bob edge.
+        crossing_edges = [
+            (u, v)
+            for u, _pu, v, _pv in config.graph.edges()
+            if (u in alice) != (v in alice)
+        ]
+        assert len(crossing_edges) == 1
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            sym_pair_configuration(
+                BitString.from_int(1, 2), BitString.from_int(1, 3)
+            )
+
+
+class TestStateFamilies:
+    def test_uniform_equal(self):
+        config = uniform_configuration(12, 64, equal=True, seed=1)
+        assert UnifPredicate().holds(config)
+
+    def test_uniform_unequal(self):
+        config = uniform_configuration(12, 64, equal=False, seed=1)
+        assert not UnifPredicate().holds(config)
+
+    def test_two_node(self):
+        x = BitString.from_int(5, 4)
+        y = BitString.from_int(6, 4)
+        assert UnifPredicate().holds(two_node_configuration(x, x))
+        assert not UnifPredicate().holds(two_node_configuration(x, y))
+
+    def test_coloring(self):
+        good = colored_configuration(20, 4, proper=True, seed=2)
+        bad = colored_configuration(20, 4, proper=False, seed=2)
+        assert ProperColoringPredicate().holds(good)
+        assert not ProperColoringPredicate().holds(bad)
+
+
+class TestFlowFamily:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_max_flow_is_exactly_k(self, k):
+        config = flow_configuration(k, path_length=3, decoy_edges=6, seed=k)
+        graph = nx.Graph()
+        for u, _pu, v, _pv in config.graph.edges():
+            graph.add_edge(u, v, capacity=1)
+        value, _ = nx.maximum_flow(graph, 0, 1)
+        assert value == k
+
+    def test_state_fields(self):
+        config = flow_configuration(2, seed=0)
+        assert config.state(0).get("source")
+        assert config.state(1).get("target")
+        assert config.state(0).get("k") == 2

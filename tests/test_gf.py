@@ -1,0 +1,91 @@
+"""Tests for repro.substrates.gf — GF(p) arithmetic under the fingerprints."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.substrates.gf import PrimeField, poly_equal_points
+
+
+class TestFieldAxioms:
+    def test_rejects_composite_modulus(self):
+        with pytest.raises(ValueError):
+            PrimeField(10)
+
+    def test_equality_and_hash(self):
+        assert PrimeField(7) == PrimeField(7)
+        assert PrimeField(7) != PrimeField(11)
+        assert hash(PrimeField(7)) == hash(PrimeField(7))
+
+    @given(st.integers(), st.integers())
+    def test_add_commutative(self, a, b):
+        field = PrimeField(101)
+        assert field.add(a, b) == field.add(b, a)
+
+    @given(st.integers(), st.integers(), st.integers())
+    def test_mul_distributes(self, a, b, c):
+        field = PrimeField(101)
+        assert field.mul(a, field.add(b, c)) == field.add(
+            field.mul(a, b), field.mul(a, c)
+        )
+
+    @given(st.integers(min_value=1, max_value=100))
+    def test_inverse(self, a):
+        field = PrimeField(101)
+        assert field.mul(a, field.inv(a)) == 1
+
+    def test_zero_has_no_inverse(self):
+        with pytest.raises(ZeroDivisionError):
+            PrimeField(7).inv(0)
+
+    def test_sub_neg_div_pow(self):
+        field = PrimeField(13)
+        assert field.sub(3, 5) == 11
+        assert field.neg(4) == 9
+        assert field.div(6, 3) == 2
+        assert field.pow(2, 100) == pow(2, 100, 13)
+
+    def test_element_reduces(self):
+        assert PrimeField(7).element(15) == 1
+        assert PrimeField(7).element(-1) == 6
+
+
+class TestPolynomials:
+    def test_horner_matches_naive(self):
+        field = PrimeField(97)
+        coefficients = [3, 0, 5, 1]
+        for x in range(97):
+            naive = sum(c * x**i for i, c in enumerate(coefficients)) % 97
+            assert field.poly_eval(coefficients, x) == naive
+
+    def test_empty_polynomial_is_zero(self):
+        assert PrimeField(7).poly_eval([], 3) == 0
+
+    @given(
+        st.lists(st.integers(0, 96), max_size=10),
+        st.lists(st.integers(0, 96), max_size=10),
+    )
+    def test_distinct_polynomials_agreement_bound(self, a, b):
+        """Two distinct degree-<lam polynomials agree on <= lam-1 points."""
+        field = PrimeField(97)
+
+        def trimmed(coefficients):
+            result = list(coefficients)
+            while result and result[-1] == 0:
+                result.pop()
+            return result
+
+        if trimmed(a) == trimmed(b):
+            return
+        agreement = poly_equal_points(field, a, b)
+        assert agreement <= max(len(a), len(b)) - 1
+
+    def test_poly_from_bits(self):
+        field = PrimeField(7)
+        assert field.poly_from_bits([1, 0, 1]) == [1, 0, 1]
+        with pytest.raises(ValueError):
+            field.poly_from_bits([2])
+
+    def test_equal_polynomials_agree_everywhere(self):
+        field = PrimeField(31)
+        coefficients = [1, 2, 3, 4]
+        assert poly_equal_points(field, coefficients, list(coefficients)) == 31

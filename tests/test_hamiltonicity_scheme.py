@@ -1,0 +1,136 @@
+"""Tests for Hamiltonicity certification (schemes.hamiltonicity)."""
+
+import math
+
+import pytest
+
+from repro.core.bitstrings import BitString, BitWriter
+from repro.core.verifier import (
+    estimate_acceptance,
+    verify_deterministic,
+    verify_randomized,
+)
+from repro.graphs.generators import cycle_configuration, line_configuration
+from repro.graphs.workloads import hamiltonian_configuration
+from repro.schemes.hamiltonicity import (
+    HamiltonicityPLS,
+    HamiltonicityPredicate,
+    hamiltonicity_rpls,
+)
+from repro.simulation.adversary import random_labels
+
+
+def pack_index(index: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(index)
+    return writer.finish()
+
+
+class TestPredicate:
+    def test_cycle_is_hamiltonian(self):
+        assert HamiltonicityPredicate().holds(cycle_configuration(8))
+
+    def test_path_is_not(self):
+        assert not HamiltonicityPredicate().holds(line_configuration(8))
+
+    def test_cycle_plus_pendant_is_not(self):
+        config, _ = hamiltonian_configuration(6, seed=0)
+        graph = config.graph.copy()
+        graph.add_edge(99, 0)
+        from repro.core.configuration import Configuration
+        from repro.core.configuration import simple_states
+
+        assert not HamiltonicityPredicate().holds(
+            Configuration(graph, simple_states(graph))
+        )
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_planted(self, seed):
+        config, _ = hamiltonian_configuration(10, extra_edges=5, seed=seed)
+        assert HamiltonicityPredicate().holds(config)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_accepts_with_witness(self, seed):
+        config, witness = hamiltonian_configuration(14, extra_edges=6, seed=seed)
+        scheme = HamiltonicityPLS(witness=witness)
+        run = verify_deterministic(scheme, config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_accepts_without_witness_via_search(self):
+        config = cycle_configuration(9)
+        run = verify_deterministic(HamiltonicityPLS(), config)
+        assert run.accepted
+
+    def test_label_size_logarithmic(self):
+        for n in (16, 64, 256):
+            config, witness = hamiltonian_configuration(n, extra_edges=n // 4, seed=n)
+            bits = HamiltonicityPLS(witness=witness).verification_complexity(config)
+            assert bits <= 4 * math.ceil(math.log2(n)) + 12
+
+
+class TestSoundness:
+    def test_prover_rejects_bad_witness(self):
+        config, witness = hamiltonian_configuration(10, seed=1)
+        broken = witness[:-1]  # misses a node
+        with pytest.raises(ValueError):
+            HamiltonicityPLS(witness=broken).prover(config)
+
+    def test_prover_rejects_nonedge_witness(self):
+        config, witness = hamiltonian_configuration(10, seed=2)
+        swapped = list(witness)
+        swapped[0], swapped[5] = swapped[5], swapped[0]
+        # After the swap some consecutive pair is almost surely a non-edge.
+        scheme = HamiltonicityPLS(witness=swapped)
+        with pytest.raises(ValueError):
+            scheme.prover(config)
+
+    def test_duplicate_index_rejected(self):
+        """Indices must be a permutation: a duplicated index starves another,
+        and the starved predecessor rejects."""
+        config = cycle_configuration(8)
+        scheme = HamiltonicityPLS()
+        labels = scheme.prover(config)
+        nodes = config.graph.nodes
+        labels = dict(labels)
+        labels[nodes[3]] = labels[nodes[5]]
+        assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_path_rejected_under_any_of_many_forgeries(self):
+        config = line_configuration(9)
+        scheme = HamiltonicityPLS(witness=list(range(9)))  # lie: not a cycle
+        for seed in range(20):
+            labels = random_labels(config, bits=8, seed=seed)
+            assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+    def test_sequential_indices_on_path_rejected(self):
+        """The natural forgery on a path: index nodes 0..n-1 in order.  The
+        endpoints lack their cyclic neighbors."""
+        config = line_configuration(7)
+        scheme = HamiltonicityPLS(witness=list(range(7)))
+        labels = {node: pack_index(node) for node in config.graph.nodes}
+        run = verify_deterministic(scheme, config, labels=labels)
+        assert not run.accepted
+
+    def test_out_of_range_index_rejected(self):
+        config = cycle_configuration(5)
+        scheme = HamiltonicityPLS()
+        labels = scheme.prover(config)
+        labels = dict(labels)
+        labels[config.graph.nodes[0]] = pack_index(97)
+        assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+
+class TestCompiled:
+    def test_randomized_end_to_end(self):
+        config, witness = hamiltonian_configuration(20, extra_edges=8, seed=3)
+        compiled = hamiltonicity_rpls(witness=witness)
+        assert verify_randomized(compiled, config, seed=0).accepted
+
+    def test_randomized_certificates_are_small(self):
+        config, witness = hamiltonian_configuration(64, extra_edges=10, seed=4)
+        compiled = hamiltonicity_rpls(witness=witness)
+        det_bits = HamiltonicityPLS(witness=witness).verification_complexity(config)
+        rand_bits = compiled.verification_complexity(config)
+        assert rand_bits <= 4 * math.ceil(math.log2(max(det_bits, 2))) + 16

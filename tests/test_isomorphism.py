@@ -1,0 +1,133 @@
+"""Tests for repro.graphs.isomorphism, cross-checked against networkx."""
+
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.isomorphism import (
+    edge_ports,
+    find_port_preserving_isomorphisms,
+    graphs_isomorphic,
+    is_port_preserving_isomorphism,
+    translation_isomorphism,
+)
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+
+
+def to_networkx(graph: PortGraph) -> nx.Graph:
+    result = nx.Graph()
+    result.add_nodes_from(graph.nodes)
+    result.add_edges_from((u, v) for u, _pu, v, _pv in graph.edges())
+    return result
+
+
+def random_port_graph(n: int, m: int, seed: int) -> PortGraph:
+    rng = random.Random(seed)
+    graph = PortGraph()
+    graph.add_node(0)
+    for node in range(1, n):
+        graph.add_edge(node, rng.randrange(node))
+    added = 0
+    attempts = 0
+    while attempts < 50 * (m + 1) and added < m:
+        u, v = rng.randrange(n), rng.randrange(n)
+        attempts += 1
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    return graph
+
+
+class TestPortPreserving:
+    def test_path_interior_edges(self):
+        graph = path_graph(12)
+        sigma = translation_isomorphism([3, 4], [6, 7])
+        assert is_port_preserving_isomorphism(graph, [(3, 4)], sigma)
+
+    def test_path_endpoint_edge_not_isomorphic_to_interior(self):
+        graph = path_graph(12)
+        sigma = translation_isomorphism([0, 1], [3, 4])
+        assert not is_port_preserving_isomorphism(graph, [(0, 1)], sigma)
+
+    def test_cycle_edges_all_isomorphic(self):
+        graph = cycle_graph(12)
+        for shift in range(1, 12):
+            sigma = {0: shift % 12, 1: (1 + shift) % 12}
+            assert is_port_preserving_isomorphism(graph, [(0, 1)], sigma)
+
+    def test_non_injective_rejected(self):
+        graph = cycle_graph(6)
+        assert not is_port_preserving_isomorphism(graph, [(0, 1)], {0: 3, 1: 3})
+
+    def test_missing_image_edge(self):
+        graph = path_graph(6)
+        assert not is_port_preserving_isomorphism(graph, [(1, 2)], {1: 1, 2: 4})
+
+    def test_edge_ports(self):
+        graph = cycle_graph(5)
+        assert edge_ports(graph, 1, 2) == (1, 0)
+        with pytest.raises(ValueError):
+            edge_ports(graph, 0, 2)
+
+    def test_enumeration_on_cycle(self):
+        graph = cycle_graph(6)
+        isos = list(
+            find_port_preserving_isomorphisms(graph, [0, 1], [3, 4], [(0, 1)])
+        )
+        assert {(iso[0], iso[1]) for iso in isos} == {(3, 4)}
+
+    def test_translation_isomorphism_validation(self):
+        with pytest.raises(ValueError):
+            translation_isomorphism([1, 2], [3])
+
+
+class TestUnlabeledIsomorphism:
+    def test_same_cycle(self):
+        assert graphs_isomorphic(cycle_graph(9), cycle_graph(9, offset=50))
+
+    def test_cycle_vs_path(self):
+        assert not graphs_isomorphic(cycle_graph(7), path_graph(7))
+
+    def test_different_sizes(self):
+        assert not graphs_isomorphic(cycle_graph(5), cycle_graph(6))
+
+    def test_regular_non_isomorphic(self):
+        # Two 3-regular graphs on 6 nodes: K_{3,3} vs the prism.
+        k33 = PortGraph.from_edges(
+            [(a, b) for a in (0, 1, 2) for b in (3, 4, 5)]
+        )
+        prism = PortGraph.from_edges(
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3), (1, 4), (2, 5)]
+        )
+        assert not graphs_isomorphic(k33, prism)
+        assert graphs_isomorphic(k33, k33.copy())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=4, max_value=14), st.integers(0, 1000))
+    def test_relabeled_graphs_isomorphic(self, n, seed):
+        graph = random_port_graph(n, n // 2, seed)
+        rng = random.Random(seed + 1)
+        permutation = list(range(n))
+        rng.shuffle(permutation)
+        relabeled_edges = [
+            (permutation[u] + 100, permutation[v] + 100)
+            for u, _pu, v, _pv in graph.edges()
+        ]
+        relabeled = PortGraph.from_edges(
+            relabeled_edges, nodes=[permutation[v] + 100 for v in range(n)]
+        )
+        assert graphs_isomorphic(graph, relabeled)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=4, max_value=12),
+        st.integers(0, 500),
+        st.integers(0, 500),
+    )
+    def test_agrees_with_networkx(self, n, seed_a, seed_b):
+        a = random_port_graph(n, n // 3, seed_a)
+        b = random_port_graph(n, n // 3, seed_b)
+        expected = nx.is_isomorphic(to_networkx(a), to_networkx(b))
+        assert graphs_isomorphic(a, b) == expected

@@ -1,0 +1,96 @@
+"""Tests for leader-agreement certification (schemes.leader)."""
+
+import math
+
+import pytest
+
+from repro.core.verifier import (
+    estimate_acceptance,
+    verify_deterministic,
+    verify_randomized,
+)
+from repro.graphs.workloads import (
+    corrupt_leader_disagreement,
+    corrupt_leader_phantom,
+    leader_configuration,
+)
+from repro.schemes.leader import LeaderAgreementPLS, leader_rpls
+from repro.simulation.adversary import random_labels
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_accepts_legal(self, seed):
+        config = leader_configuration(30, 10, seed=seed)
+        run = verify_deterministic(LeaderAgreementPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_label_size_logarithmic(self):
+        for n in (16, 64, 256):
+            config = leader_configuration(n, n // 3, seed=n)
+            bits = LeaderAgreementPLS().verification_complexity(config)
+            assert bits <= 8 * math.ceil(math.log2(n)) + 16
+
+
+class TestSoundness:
+    def test_disagreement_rejected(self):
+        config = leader_configuration(25, 8, seed=0)
+        corrupted = corrupt_leader_disagreement(config, seed=1)
+        scheme = LeaderAgreementPLS()
+        # Honest relabeling of the corrupted configuration still fails: the
+        # disagreeing node's state contradicts its label.
+        run = verify_deterministic(scheme, corrupted, labels=scheme.prover(corrupted))
+        assert not run.accepted
+
+    def test_phantom_leader_prover_refuses(self):
+        """The locally invisible violation: everyone agrees on a phantom id.
+        No honest labeling exists — the prover cannot find the leader."""
+        config = leader_configuration(25, 8, seed=2)
+        phantom = corrupt_leader_phantom(config)
+        with pytest.raises(ValueError):
+            LeaderAgreementPLS().prover(phantom)
+
+    def test_phantom_leader_forged_distances_rejected(self):
+        """Adversarial labels for the phantom: any distance assignment has a
+        local minimum, whose node must then *be* the leader — it is not."""
+        config = leader_configuration(12, 4, seed=3)
+        phantom = corrupt_leader_phantom(config)
+        scheme = LeaderAgreementPLS()
+        legal_labels = scheme.prover(config)
+        phantom_id = phantom.state(phantom.graph.nodes[0]).get("leader")
+        from repro.core.bitstrings import BitReader, BitWriter
+
+        forged = {}
+        for node, label in legal_labels.items():
+            reader = BitReader(label)
+            reader.read_varuint()
+            dist = reader.read_varuint()
+            writer = BitWriter()
+            writer.write_varuint(phantom_id)
+            writer.write_varuint(dist)
+            forged[node] = writer.finish()
+        assert not verify_deterministic(scheme, phantom, labels=forged).accepted
+
+    def test_random_labels_rejected(self):
+        config = leader_configuration(15, 5, seed=4)
+        corrupted = corrupt_leader_disagreement(config, seed=5)
+        scheme = LeaderAgreementPLS()
+        for seed in range(20):
+            labels = random_labels(corrupted, bits=12, seed=seed)
+            assert not verify_deterministic(scheme, corrupted, labels=labels).accepted
+
+
+class TestCompiled:
+    def test_randomized_end_to_end(self):
+        config = leader_configuration(40, 15, seed=6)
+        compiled = leader_rpls()
+        assert verify_randomized(compiled, config, seed=0).accepted
+
+    def test_randomized_soundness(self):
+        config = leader_configuration(40, 15, seed=7)
+        corrupted = corrupt_leader_disagreement(config, seed=8)
+        compiled = leader_rpls()
+        estimate = estimate_acceptance(
+            compiled, corrupted, trials=30, labels=compiled.prover(corrupted)
+        )
+        assert estimate.probability < 0.4

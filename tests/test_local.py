@@ -1,0 +1,277 @@
+"""Tests for radius-t local checking (core.local)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.local import (
+    BallChecker,
+    GirthAtLeastChecker,
+    LocallyCheckedPredicate,
+    MISChecker,
+    MaxDegreeChecker,
+    ProperColoringChecker,
+    extract_ball,
+    verify_locally,
+)
+from repro.graphs.generators import (
+    colored_configuration,
+    cycle_configuration,
+    line_configuration,
+)
+from repro.graphs.workloads import (
+    corrupt_girth,
+    corrupt_mis_independence,
+    corrupt_mis_maximality,
+    high_girth_configuration,
+    mis_configuration,
+)
+from repro.schemes.coloring import ProperColoringPredicate
+from repro.schemes.mis import MISPredicate
+from repro.substrates.cycles import girth
+
+
+class TestExtractBall:
+    def test_radius_zero_is_just_the_center(self):
+        config = cycle_configuration(6)
+        ball = extract_ball(config, 0, 0)
+        assert set(ball.graph.nodes) == {0}
+        assert ball.graph.edge_count == 0
+        assert ball.true_degree == 2
+
+    def test_radius_one_on_cycle(self):
+        config = cycle_configuration(6)
+        ball = extract_ball(config, 0, 1)
+        assert set(ball.graph.nodes) == {0, 1, 5}
+        # Only edges incident to the center (interior) are visible.
+        assert ball.graph.edge_count == 2
+
+    def test_boundary_edges_invisible(self):
+        """An edge between two distance-t nodes is not in the view."""
+        config = cycle_configuration(4)
+        ball = extract_ball(config, 0, 1)
+        # Nodes 1 and 3 are both at distance 1; edge (1,2),(2,3) invisible,
+        # and 2 itself is outside.
+        assert 2 not in ball.graph
+        assert not ball.graph.has_edge(1, 3)
+
+    def test_radius_covers_cycle(self):
+        config = cycle_configuration(5)
+        # At radius 2 the antipodal edge joins two boundary nodes: invisible.
+        ball = extract_ball(config, 0, 2)
+        assert ball.graph.node_count == 5
+        assert ball.graph.edge_count == 4
+        # One more hop of radius makes the whole 5-cycle visible.
+        ball = extract_ball(config, 0, 3)
+        assert ball.graph.edge_count == 5
+
+    def test_distances_recorded(self):
+        config = line_configuration(7)
+        ball = extract_ball(config, 3, 2)
+        assert ball.distances == {1: 2, 2: 1, 3: 0, 4: 1, 5: 2}
+
+    def test_states_visible(self):
+        config = colored_configuration(10, 4, seed=1)
+        ball = extract_ball(config, config.graph.nodes[0], 1)
+        for node in ball.graph.nodes:
+            assert ball.state_of(node).get("color") is not None
+
+    def test_negative_radius_rejected(self):
+        with pytest.raises(ValueError):
+            extract_ball(cycle_configuration(4), 0, -1)
+
+
+class TestColoringChecker:
+    def test_accepts_proper(self):
+        config = colored_configuration(20, 5, proper=True, seed=2)
+        accepted, rejecting = verify_locally(config, ProperColoringChecker())
+        assert accepted, rejecting
+
+    def test_rejects_conflict(self):
+        config = colored_configuration(20, 5, proper=False, seed=3)
+        accepted, rejecting = verify_locally(config, ProperColoringChecker())
+        assert not accepted
+        assert len(rejecting) >= 2  # both endpoints of the conflict see it
+
+    def test_matches_label_model_predicate(self):
+        for seed in range(4):
+            config = colored_configuration(15, 4, proper=seed % 2 == 0, seed=seed)
+            local = LocallyCheckedPredicate(ProperColoringChecker())
+            assert local.holds(config) == ProperColoringPredicate().holds(config)
+
+
+class TestMISChecker:
+    def test_accepts_greedy(self):
+        config = mis_configuration(25, 12, seed=4)
+        accepted, rejecting = verify_locally(config, MISChecker())
+        assert accepted, rejecting
+
+    def test_rejects_independence_violation(self):
+        config = corrupt_mis_independence(mis_configuration(25, 12, seed=5), seed=5)
+        accepted, _ = verify_locally(config, MISChecker())
+        assert not accepted
+
+    def test_rejects_maximality_violation(self):
+        config = corrupt_mis_maximality(mis_configuration(25, 12, seed=6), seed=6)
+        accepted, _ = verify_locally(config, MISChecker())
+        assert not accepted
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000))
+    def test_matches_label_model_predicate(self, seed):
+        config = mis_configuration(15, 7, seed=seed)
+        assert LocallyCheckedPredicate(MISChecker()).holds(config) == MISPredicate().holds(config)
+
+
+class TestMaxDegreeChecker:
+    def test_radius_zero(self):
+        assert MaxDegreeChecker(2).radius == 0
+
+    def test_cycle_degrees(self):
+        config = cycle_configuration(8)
+        assert verify_locally(config, MaxDegreeChecker(2))[0]
+        assert not verify_locally(config, MaxDegreeChecker(1))[0]
+
+    def test_negative_bound_rejected(self):
+        with pytest.raises(ValueError):
+            MaxDegreeChecker(-1)
+
+
+class TestGirthChecker:
+    @pytest.mark.parametrize("g", [4, 5, 6, 7])
+    def test_accepts_high_girth(self, g):
+        config = high_girth_configuration(40, g, extra_edges=6, seed=g)
+        assert girth(config.graph) is None or girth(config.graph) >= g
+        accepted, rejecting = verify_locally(config, GirthAtLeastChecker(g))
+        assert accepted, rejecting
+
+    @pytest.mark.parametrize("g", [4, 5, 6])
+    def test_rejects_short_cycle(self, g):
+        config = high_girth_configuration(40, g, extra_edges=6, seed=g + 10)
+        broken = corrupt_girth(config, g, seed=g)
+        assert girth(broken.graph) < g
+        accepted, rejecting = verify_locally(broken, GirthAtLeastChecker(g))
+        assert not accepted
+        # Every member of the short cycle sees it.
+        assert len(rejecting) >= 3
+
+    def test_radius_is_half_girth(self):
+        assert GirthAtLeastChecker(6).radius == 3
+        assert GirthAtLeastChecker(7).radius == 3
+
+    def test_long_cycle_passes(self):
+        config = cycle_configuration(12)
+        assert verify_locally(config, GirthAtLeastChecker(6))[0]
+
+    def test_exact_boundary(self):
+        """A g-cycle satisfies girth >= g but not girth >= g+1."""
+        config = cycle_configuration(6)
+        assert verify_locally(config, GirthAtLeastChecker(6))[0]
+        assert not verify_locally(config, GirthAtLeastChecker(7))[0]
+
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), g=st.integers(4, 7))
+    def test_matches_centralized_girth(self, seed, g):
+        config = high_girth_configuration(20, 3, extra_edges=6, seed=seed)
+        true_girth = girth(config.graph)
+        accepted, _ = verify_locally(config, GirthAtLeastChecker(g))
+        expected = true_girth is None or true_girth >= g
+        assert accepted == expected
+
+
+class TestBallInvariants:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2000), n=st.integers(2, 25), radius=st.integers(0, 4))
+    def test_ball_membership_matches_bfs(self, seed, n, radius):
+        import random as stdlib_random
+
+        from repro.graphs.generators import random_connected_graph
+        from repro.core.configuration import simple_states
+        from repro.core.configuration import Configuration
+        from repro.substrates.bfs import bfs_layers
+
+        graph = random_connected_graph(n, n // 3, stdlib_random.Random(seed))
+        config = Configuration(graph, simple_states(graph))
+        center = graph.nodes[seed % n]
+        ball = extract_ball(config, center, radius)
+        truth = bfs_layers(graph, center).dist
+        expected = {node for node, dist in truth.items() if dist <= radius}
+        assert set(ball.graph.nodes) == expected
+        for node in ball.graph.nodes:
+            assert ball.distances[node] == truth[node]
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2000), n=st.integers(2, 25), radius=st.integers(0, 3))
+    def test_balls_grow_monotonically(self, seed, n, radius):
+        import random as stdlib_random
+
+        from repro.graphs.generators import random_connected_graph
+        from repro.core.configuration import Configuration, simple_states
+
+        graph = random_connected_graph(n, n // 3, stdlib_random.Random(seed))
+        config = Configuration(graph, simple_states(graph))
+        center = graph.nodes[seed % n]
+        small = extract_ball(config, center, radius)
+        large = extract_ball(config, center, radius + 1)
+        assert set(small.graph.nodes) <= set(large.graph.nodes)
+        small_edges = {
+            frozenset((u, v)) for u, _pu, v, _pv in small.graph.edges()
+        }
+        large_edges = {
+            frozenset((u, v)) for u, _pu, v, _pv in large.graph.edges()
+        }
+        assert small_edges <= large_edges
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 2000), n=st.integers(2, 20))
+    def test_big_radius_sees_everything(self, seed, n):
+        import random as stdlib_random
+
+        from repro.graphs.generators import random_connected_graph
+        from repro.core.configuration import Configuration, simple_states
+
+        graph = random_connected_graph(n, n // 2, stdlib_random.Random(seed))
+        config = Configuration(graph, simple_states(graph))
+        ball = extract_ball(config, graph.nodes[0], n)
+        assert ball.graph.node_count == n
+        assert ball.graph.edge_count == graph.edge_count
+
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 2000), n=st.integers(2, 25))
+    def test_visible_edges_are_real(self, seed, n):
+        import random as stdlib_random
+
+        from repro.graphs.generators import random_connected_graph
+        from repro.core.configuration import Configuration, simple_states
+
+        graph = random_connected_graph(n, n // 2, stdlib_random.Random(seed))
+        config = Configuration(graph, simple_states(graph))
+        ball = extract_ball(config, graph.nodes[seed % n], 2)
+        for u, _pu, v, _pv in ball.graph.edges():
+            assert graph.has_edge(u, v)
+
+
+class TestZeroLabelContrast:
+    def test_existential_predicates_not_expressible(self):
+        """A ball checker accepting a legal spanning-tree configuration must
+        accept some illegal one too — the classic locality argument the
+        paper's introduction makes (path vs cycle).  Demonstrated with the
+        acyclicity predicate at radius 1: a big cycle's balls look exactly
+        like a big path's interior balls."""
+
+        class AcyclicBall(BallChecker):
+            name = "acyclic-ball"
+            radius = 1
+
+            def check_ball(self, ball):
+                return girth(ball.graph) is None
+
+        checker = AcyclicBall()
+        path = line_configuration(20)
+        cycle = cycle_configuration(20)
+        accepted_path, _ = verify_locally(path, checker)
+        accepted_cycle, _ = verify_locally(cycle, checker)
+        # The checker accepts the legal path — and is fooled by the cycle:
+        # no ball of radius 1 contains the (global) cycle.
+        assert accepted_path
+        assert accepted_cycle  # FALSE predicate, accepted: labels are needed

@@ -1,0 +1,140 @@
+"""Tests for the lower-bound thresholds, counting, and truncated schemes."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.verifier import verify_deterministic
+from repro.graphs.generators import line_configuration, tree_only_configuration
+from repro.lowerbounds.bounds import (
+    deterministic_crossing_threshold,
+    epsilon_for_two_sided,
+    gadget_copies_needed_deterministic,
+    gadget_copies_needed_one_sided,
+    one_sided_crossing_threshold,
+    two_sided_crossing_threshold,
+)
+from repro.lowerbounds.counting import (
+    count_rounded_distributions,
+    empirical_distribution,
+    round_distribution,
+    round_down,
+    rounded_signature,
+    total_variation_bound,
+)
+from repro.lowerbounds.truncation import ModularAcyclicityPLS
+
+
+class TestThresholds:
+    def test_deterministic_values(self):
+        assert deterministic_crossing_threshold(1024, 1) == 5.0
+        assert deterministic_crossing_threshold(1024, 2) == 2.5
+
+    def test_one_sided_values(self):
+        assert one_sided_crossing_threshold(2**16, 1) == 2.0
+        assert one_sided_crossing_threshold(2, 1) == 0.0
+
+    def test_two_sided_exact_inequality(self):
+        # kappa accepted iff (2^{4s} 2^{2s kappa})^{2^{2s kappa}} < r.
+        for r_log in (10, 100, 1000):
+            r = 2**r_log
+            kappa = two_sided_crossing_threshold(r, 1)
+            if kappa >= 0:
+                exponent = 2 ** (2 * kappa)
+                assert exponent * (4 + 2 * kappa) < r_log
+            exponent_next = 2 ** (2 * (kappa + 1))
+            assert exponent_next * (4 + 2 * (kappa + 1)) >= r_log
+
+    def test_two_sided_grows_like_loglog(self):
+        small = two_sided_crossing_threshold(2**64, 1)
+        large = two_sided_crossing_threshold(2**4096, 1)
+        assert small <= large <= small + 4
+
+    def test_copies_needed_inverse(self):
+        for kappa in (1, 2, 4):
+            r = gadget_copies_needed_deterministic(kappa, 1)
+            assert deterministic_crossing_threshold(r, 1) > kappa
+        for kappa in (1, 2):
+            r = gadget_copies_needed_one_sided(kappa, 1)
+            assert one_sided_crossing_threshold(r, 1) > kappa
+            assert one_sided_crossing_threshold(r - 1, 1) <= kappa + 0.01
+
+    def test_epsilon_formula(self):
+        assert epsilon_for_two_sided(0, 1) == 1 / 12
+        assert epsilon_for_two_sided(1, 1) == 1 / (12 * 4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            deterministic_crossing_threshold(1, 1)
+        with pytest.raises(ValueError):
+            one_sided_crossing_threshold(4, 0)
+        with pytest.raises(ValueError):
+            gadget_copies_needed_deterministic(-1, 1)
+
+
+class TestCounting:
+    @given(st.floats(0, 1), st.sampled_from([0.5, 0.1, 0.01]))
+    def test_round_down(self, value, epsilon):
+        rounded = round_down(value, epsilon)
+        assert rounded <= value < rounded + epsilon + 1e-12
+        assert abs(rounded / epsilon - round(rounded / epsilon)) < 1e-6
+
+    def test_round_distribution(self):
+        distribution = {"a": 0.26, "b": 0.74}
+        rounded = round_distribution(distribution, 0.25)
+        assert rounded == {"a": 0.25, "b": 0.5}
+
+    def test_signature_groups_equal_roundings(self):
+        a = {"x": 0.26, "y": 0.74}
+        b = {"x": 0.27, "y": 0.70}
+        c = {"x": 0.60, "y": 0.40}
+        eps = 0.25
+        assert rounded_signature(a, eps) == rounded_signature(b, eps)
+        assert rounded_signature(a, eps) != rounded_signature(c, eps)
+
+    def test_counting_bound(self):
+        # log2((2/eps)^|X|)
+        assert count_rounded_distributions(3, 0.5) == pytest.approx(6.0)
+
+    def test_total_variation(self):
+        assert total_variation_bound(10, 0.01) == pytest.approx(0.1)
+
+    def test_empirical_distribution(self):
+        rng = random.Random(0)
+        distribution = empirical_distribution(
+            lambda r: r.randrange(2), trials=2000, rng=rng
+        )
+        assert set(distribution) == {0, 1}
+        assert abs(distribution[0] - 0.5) < 0.05
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            round_down(0.5, 0)
+        with pytest.raises(ValueError):
+            count_rounded_distributions(0, 0.5)
+        with pytest.raises(ValueError):
+            empirical_distribution(lambda r: 0, trials=0, rng=random.Random(0))
+
+
+class TestModularAcyclicity:
+    @pytest.mark.parametrize("bits", [2, 3, 5])
+    def test_complete_on_paths(self, bits):
+        config = line_configuration(40)
+        scheme = ModularAcyclicityPLS(bits)
+        assert verify_deterministic(scheme, config).accepted
+
+    @pytest.mark.parametrize("bits", [2, 3])
+    def test_complete_on_trees(self, bits):
+        config = tree_only_configuration(30, seed=1)
+        scheme = ModularAcyclicityPLS(bits)
+        assert verify_deterministic(scheme, config).accepted
+
+    def test_verification_complexity_is_bits(self):
+        config = line_configuration(100)
+        assert ModularAcyclicityPLS(3).verification_complexity(config) == 3
+
+    def test_minimum_bits(self):
+        with pytest.raises(ValueError):
+            ModularAcyclicityPLS(1)

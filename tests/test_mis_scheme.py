@@ -1,0 +1,82 @@
+"""Tests for the one-bit MIS scheme (schemes.mis)."""
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.verifier import verify_deterministic
+from repro.graphs.workloads import (
+    corrupt_mis_independence,
+    corrupt_mis_maximality,
+    mis_configuration,
+)
+from repro.schemes.mis import MISPLS, MISPredicate
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_accepts_greedy_mis(self, seed):
+        config = mis_configuration(30, 15, seed=seed)
+        run = verify_deterministic(MISPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_exactly_one_bit(self):
+        for n in (8, 64, 256):
+            config = mis_configuration(n, n // 2, seed=n)
+            assert MISPLS().verification_complexity(config) == 1
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_independence_violation_rejected(self, seed):
+        config = mis_configuration(30, 15, seed=seed)
+        corrupted = corrupt_mis_independence(config, seed=seed)
+        scheme = MISPLS()
+        run = verify_deterministic(scheme, corrupted, labels=scheme.prover(corrupted))
+        assert not run.accepted
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_maximality_violation_rejected(self, seed):
+        config = mis_configuration(30, 15, seed=seed)
+        corrupted = corrupt_mis_maximality(config, seed=seed)
+        scheme = MISPLS()
+        run = verify_deterministic(scheme, corrupted, labels=scheme.prover(corrupted))
+        assert not run.accepted
+
+    def test_lying_labels_rejected(self):
+        """A marked node advertising 'unmarked' is caught by the own-state
+        check — the heart of republishing soundness."""
+        config = mis_configuration(20, 10, seed=4)
+        corrupted = corrupt_mis_independence(config, seed=4)
+        scheme = MISPLS()
+        # Adversary: labels claim the original (legal) marking.
+        stale = scheme.prover(config)
+        run = verify_deterministic(scheme, corrupted, labels=stale)
+        assert not run.accepted
+
+    def test_wrong_width_labels_rejected(self):
+        config = mis_configuration(10, 5, seed=5)
+        scheme = MISPLS()
+        labels = {node: BitString.empty() for node in config.graph.nodes}
+        assert not verify_deterministic(scheme, config, labels=labels).accepted
+
+
+class TestPredicate:
+    def test_empty_marking_not_maximal(self):
+        config = mis_configuration(10, 5, seed=6)
+        from repro.core.configuration import Configuration
+
+        states = {
+            node: config.state(node).with_fields(in_mis=False)
+            for node in config.graph.nodes
+        }
+        assert not MISPredicate().holds(Configuration(config.graph, states))
+
+    def test_everything_marked_not_independent(self):
+        config = mis_configuration(10, 5, seed=7)
+        from repro.core.configuration import Configuration
+
+        states = {
+            node: config.state(node).with_fields(in_mis=True)
+            for node in config.graph.nodes
+        }
+        assert not MISPredicate().holds(Configuration(config.graph, states))

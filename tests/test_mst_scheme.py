@@ -1,0 +1,166 @@
+"""Tests for the Borůvka-trace MST scheme (Theorem 5.1)."""
+
+import pytest
+
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    corrupt_mst_swap,
+    mst_configuration,
+    unmark_tree_edge,
+)
+from repro.core.configuration import Configuration
+from repro.schemes.mst import MSTPLS, MSTPredicate, mst_rpls
+from repro.simulation.adversary import perturb_labels, random_labels
+
+
+class TestPredicate:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_legal(self, seed):
+        assert MSTPredicate().holds(mst_configuration(18, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_swap(self, seed):
+        config = mst_configuration(18, seed=seed)
+        assert not MSTPredicate().holds(corrupt_mst_swap(config, seed=seed))
+
+    def test_missing_edge(self):
+        config = mst_configuration(14, seed=9)
+        assert not MSTPredicate().holds(unmark_tree_edge(config, seed=1))
+
+    def test_extra_edge(self):
+        config = mst_configuration(14, seed=10)
+        graph = config.graph
+        # Mark one extra non-tree edge (creates a cycle in the marking).
+        tree = {frozenset((u, v)) for u, _pu, v, _pv in config.tree_edges()}
+        extra = next(
+            (u, pu, v, pv)
+            for u, pu, v, pv in graph.edges()
+            if frozenset((u, v)) not in tree
+        )
+        u, pu, v, pv = extra
+
+        def remark(node, port):
+            marks = list(config.state(node).get("tree"))
+            marks[port] = 1
+            return config.state(node).with_fields(tree=tuple(marks))
+
+        states = dict(config.states)
+        states[u] = remark(u, pu)
+        states[v] = remark(v, pv)
+        broken = Configuration(graph, states)
+        assert not MSTPredicate().holds(broken)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_instances(self, seed):
+        config = mst_configuration(20 + 5 * seed, seed=seed)
+        run = verify_deterministic(MSTPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_tree_graph(self):
+        """When the graph *is* a tree, the MST is everything."""
+        config = mst_configuration(15, extra_edges=0, seed=3)
+        assert verify_deterministic(MSTPLS(), config).accepted
+
+    def test_uniform_weights_tie_broken(self):
+        config = mst_configuration(16, max_weight=1, seed=4)
+        assert MSTPredicate().holds(config)
+        assert verify_deterministic(MSTPLS(), config).accepted
+
+
+class TestSoundness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_swap_with_honest_labels(self, seed):
+        """The prover's labels describe the true MST; the corrupted marking
+        disagrees with the certified Borůvka run and must be rejected."""
+        config = mst_configuration(22, seed=seed)
+        corrupted = corrupt_mst_swap(config, seed=seed + 1)
+        scheme = MSTPLS()
+        run = verify_deterministic(
+            scheme, corrupted, labels=scheme.prover(corrupted)
+        )
+        assert not run.accepted
+
+    def test_unmarked_tree_edge_detected(self):
+        config = mst_configuration(18, seed=6)
+        corrupted = unmark_tree_edge(config, seed=2)
+        scheme = MSTPLS()
+        assert not verify_deterministic(
+            scheme, corrupted, labels=scheme.prover(corrupted)
+        ).accepted
+
+    def test_stale_labels_detected(self):
+        """Labels stolen from a different weight assignment must fail."""
+        config = mst_configuration(18, seed=7)
+        other = mst_configuration(18, seed=8)
+        scheme = MSTPLS()
+        run = verify_deterministic(scheme, config, labels=scheme.prover(other))
+        # Either accepted (if by luck the MSTs coincide) — then trees equal —
+        # or rejected; with different random weights coincidence is absurdly
+        # unlikely.
+        assert not run.accepted
+
+    def test_bit_flips_detected(self):
+        config = mst_configuration(16, seed=9)
+        scheme = MSTPLS()
+        honest = scheme.prover(config)
+        rejected = 0
+        for seed in range(15):
+            labels = perturb_labels(honest, flips=1, seed=seed)
+            if labels == honest:
+                continue
+            if not verify_deterministic(scheme, config, labels=labels).accepted:
+                rejected += 1
+        assert rejected >= 13  # almost every flip must be caught
+
+    def test_random_labels_rejected(self):
+        config = mst_configuration(14, seed=11)
+        corrupted = corrupt_mst_swap(config, seed=3)
+        scheme = MSTPLS()
+        for seed in range(20):
+            labels = random_labels(corrupted, bits=40, seed=seed)
+            assert not verify_deterministic(
+                scheme, corrupted, labels=labels
+            ).accepted
+
+
+class TestSizes:
+    def test_deterministic_polylog(self):
+        import math
+
+        for n in (16, 64, 256):
+            config = mst_configuration(n, seed=n)
+            bits = MSTPLS().verification_complexity(config)
+            log_n = math.log2(n)
+            assert bits <= 16 * log_n * log_n + 64
+
+    def test_randomized_loglog(self):
+        sizes = []
+        for n in (16, 128, 1024):
+            config = mst_configuration(n, seed=n)
+            sizes.append(mst_rpls().verification_complexity(config))
+        assert sizes[-1] <= sizes[0] + 10
+
+    def test_exponential_compression(self):
+        config = mst_configuration(256, seed=1)
+        det = MSTPLS().verification_complexity(config)
+        rand = mst_rpls().verification_complexity(config)
+        assert det > 10 * rand
+
+
+class TestRandomized:
+    def test_completeness(self):
+        config = mst_configuration(40, seed=12)
+        scheme = mst_rpls()
+        for seed in range(3):
+            assert verify_randomized(scheme, config, seed=seed).accepted
+
+    def test_soundness(self):
+        config = mst_configuration(30, seed=13)
+        corrupted = corrupt_mst_swap(config, seed=4)
+        scheme = mst_rpls()
+        estimate = estimate_acceptance(
+            scheme, corrupted, trials=30, labels=scheme.prover(corrupted)
+        )
+        assert estimate.probability < 0.3

@@ -1,0 +1,165 @@
+"""Tests for repro.substrates.mst — Kruskal, Prim, trace-recording Borůvka."""
+
+import math
+import random
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.port_graph import PortGraph
+from repro.substrates.mst import boruvka, kruskal, prim, total_weight
+from repro.substrates.union_find import UnionFind
+
+
+def random_weighted(n: int, extra: int, seed: int):
+    rng = random.Random(seed)
+    graph = PortGraph()
+    graph.add_node(0)
+    for node in range(1, n):
+        graph.add_edge(node, rng.randrange(node))
+    added = 0
+    attempts = 0
+    while attempts < 50 * (extra + 1) and added < extra:
+        u, v = rng.randrange(n), rng.randrange(n)
+        attempts += 1
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+            added += 1
+    weights = {
+        frozenset((u, v)): rng.randrange(1, 40)
+        for u, _pu, v, _pv in graph.edges()
+    }
+
+    def weight_key(node, port):
+        neighbor = graph.neighbor(node, port)
+        return (
+            weights[frozenset((node, neighbor))],
+            min(node, neighbor),
+            max(node, neighbor),
+        )
+
+    return graph, weight_key
+
+
+class TestAlgorithmsAgree:
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 15), st.integers(0, 999))
+    def test_kruskal_prim_boruvka_identical(self, n, extra, seed):
+        graph, weight_key = random_weighted(n, extra, seed)
+        tree_k = kruskal(graph, weight_key)
+        tree_p = prim(graph, weight_key)
+        trace = boruvka(graph, weight_key)
+        assert tree_k == tree_p == trace.tree_edges
+        assert len(tree_k) == n - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(2, 25), st.integers(0, 12), st.integers(0, 999))
+    def test_matches_networkx_weight(self, n, extra, seed):
+        graph, weight_key = random_weighted(n, extra, seed)
+        nx_graph = nx.Graph()
+        big = 10**6
+        for u, pu, v, _pv in graph.edges():
+            w, a, b = weight_key(u, pu)
+            nx_graph.add_edge(u, v, weight=(w * big + a) * big + b)
+        nx_tree = {
+            frozenset((u, v)) for u, v in nx.minimum_spanning_tree(nx_graph).edges()
+        }
+        assert kruskal(graph, weight_key) == nx_tree
+
+    def test_single_node(self):
+        graph = PortGraph()
+        graph.add_node(0)
+        assert kruskal(graph, lambda n, p: (1, 0, 0)) == set()
+        trace = boruvka(graph, lambda n, p: (1, 0, 0))
+        assert trace.phase_count == 0
+        assert trace.tree_edges == set()
+
+
+class TestBoruvkaTrace:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(2, 30), st.integers(0, 15), st.integers(0, 999))
+    def test_phase_count_logarithmic(self, n, extra, seed):
+        graph, weight_key = random_weighted(n, extra, seed)
+        trace = boruvka(graph, weight_key)
+        assert trace.phase_count <= math.ceil(math.log2(n)) + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 24), st.integers(0, 12), st.integers(0, 999))
+    def test_phase_invariants(self, n, extra, seed):
+        graph, weight_key = random_weighted(n, extra, seed)
+        trace = boruvka(graph, weight_key)
+        # Phase 0: singletons.
+        first = trace.phases[0].structure
+        for node in graph.nodes:
+            assert first.root[node] == node
+            assert first.parent[node] is None
+            assert first.depth[node] == 0
+        # Fragments only merge: root-equality classes refine over phases.
+        structures = [phase.structure for phase in trace.phases] + [
+            trace.final_structure
+        ]
+        for earlier, later in zip(structures, structures[1:]):
+            for u in graph.nodes:
+                for v in graph.nodes:
+                    if earlier.root[u] == earlier.root[v]:
+                        assert later.root[u] == later.root[v]
+        # Final: single fragment, spanning tree depths consistent.
+        final = trace.final_structure
+        roots = {final.root[node] for node in graph.nodes}
+        assert len(roots) == 1
+        for node in graph.nodes:
+            parent = final.parent[node]
+            if parent is None:
+                assert final.depth[node] == 0
+                assert final.root[node] == node
+            else:
+                assert final.depth[node] == final.depth[parent] + 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 20), st.integers(0, 10), st.integers(0, 999))
+    def test_chosen_is_true_mwoe(self, n, extra, seed):
+        graph, weight_key = random_weighted(n, extra, seed)
+        trace = boruvka(graph, weight_key)
+        for phase in trace.phases:
+            structure = phase.structure
+            fragments = {}
+            for node in graph.nodes:
+                fragments.setdefault(structure.root[node], set()).add(node)
+            for root, members in fragments.items():
+                outgoing = [
+                    weight_key(u, pu)
+                    for u in members
+                    for pu, neighbor, _r in graph.ports(u)
+                    if neighbor not in members
+                ]
+                assert phase.chosen[root] == min(outgoing)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(3, 20), st.integers(0, 10), st.integers(0, 999))
+    def test_merge_phase_covers_tree(self, n, extra, seed):
+        graph, weight_key = random_weighted(n, extra, seed)
+        trace = boruvka(graph, weight_key)
+        assert set(trace.merge_phase) == trace.tree_edges
+        for edge, phase in trace.merge_phase.items():
+            assert 0 <= phase < trace.phase_count
+
+    def test_disconnected_rejected(self):
+        graph = PortGraph.from_edges([(0, 1)], nodes=[2])
+        with pytest.raises(ValueError):
+            boruvka(graph, lambda n, p: (1, 0, 0))
+
+    def test_total_weight(self):
+        graph = PortGraph.from_edges([(0, 1), (1, 2), (0, 2)])
+        weights = {
+            frozenset((0, 1)): 1,
+            frozenset((1, 2)): 2,
+            frozenset((0, 2)): 5,
+        }
+
+        def weight_key(node, port):
+            neighbor = graph.neighbor(node, port)
+            return (weights[frozenset((node, neighbor))], min(node, neighbor), max(node, neighbor))
+
+        tree = kruskal(graph, weight_key)
+        assert total_weight(graph, weight_key, tree) == 3

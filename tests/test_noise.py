@@ -1,0 +1,142 @@
+"""Tests for the two-sided noisy-channel wrapper (core.noise)."""
+
+import pytest
+
+from repro.core.boosting import majority_decision
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.noise import NoisyChannelRPLS, flip_probability_for_completeness
+from repro.core.verifier import estimate_acceptance, verify_randomized
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+)
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.schemes.uniformity import DirectUnifRPLS
+from repro.graphs.generators import uniform_configuration
+
+
+def compiled_tree_scheme():
+    return FingerprintCompiledRPLS(SpanningTreePLS())
+
+
+class TestWrapperMechanics:
+    def test_zero_noise_is_transparent(self):
+        config = spanning_tree_configuration(20, 8, seed=0)
+        base = compiled_tree_scheme()
+        noisy = NoisyChannelRPLS(base, 0.0)
+        assert noisy.one_sided
+        assert verify_randomized(noisy, config, seed=0).accepted
+
+    def test_nonzero_noise_declares_two_sided(self):
+        noisy = NoisyChannelRPLS(compiled_tree_scheme(), 0.01)
+        assert not noisy.one_sided
+        assert noisy.edge_independent
+
+    def test_rejects_half_or_more(self):
+        with pytest.raises(ValueError):
+            NoisyChannelRPLS(compiled_tree_scheme(), 0.5)
+
+    def test_certificate_length_unchanged(self):
+        config = spanning_tree_configuration(20, 8, seed=1)
+        base = compiled_tree_scheme()
+        noisy = NoisyChannelRPLS(base, 0.05)
+        assert noisy.verification_complexity(config) == base.verification_complexity(
+            config
+        )
+
+    def test_round_bits_counts_both_directions(self):
+        config = spanning_tree_configuration(10, 0, seed=2)
+        noisy = NoisyChannelRPLS(compiled_tree_scheme(), 0.01)
+        bits = noisy.round_bits(config)
+        # 9 tree edges, two directions each, every certificate non-empty.
+        assert bits >= 2 * 9
+
+
+class TestTwoSidedBehaviour:
+    def test_completeness_degrades_with_noise(self):
+        config = spanning_tree_configuration(25, 10, seed=3)
+        base = compiled_tree_scheme()
+        quiet = NoisyChannelRPLS(base, 0.001)
+        loud = NoisyChannelRPLS(base, 0.2)
+        quiet_rate = estimate_acceptance(quiet, config, trials=60).probability
+        loud_rate = estimate_acceptance(loud, config, trials=60).probability
+        assert quiet_rate > loud_rate
+
+    def test_calibrated_noise_meets_two_thirds(self):
+        config = spanning_tree_configuration(25, 10, seed=4)
+        base = compiled_tree_scheme()
+        probe = NoisyChannelRPLS(base, 0.0)
+        p = flip_probability_for_completeness(2 / 3, probe.round_bits(config))
+        noisy = NoisyChannelRPLS(base, p)
+        assert noisy.completeness_lower_bound(config) >= 2 / 3 - 1e-9
+        rate = estimate_acceptance(noisy, config, trials=90).probability
+        assert rate >= 0.55  # 2/3 minus sampling slack
+
+    def test_soundness_survives_noise(self):
+        """Noise only garbles certificates further; forged instances must
+        still be rejected with good probability."""
+        config = spanning_tree_configuration(25, 10, seed=5)
+        corrupted = corrupt_spanning_tree(config, seed=6)
+        base = compiled_tree_scheme()
+        noisy = NoisyChannelRPLS(base, 0.02)
+        estimate = estimate_acceptance(
+            noisy, corrupted, trials=60, labels=base.prover(config)
+        )
+        assert estimate.probability < 0.4
+
+    def test_direct_unif_scheme_wraps_too(self):
+        config = uniform_configuration(16, payload_bits=64, seed=7)
+        base = DirectUnifRPLS()
+        probe = NoisyChannelRPLS(base, 0.0)
+        p = flip_probability_for_completeness(2 / 3, probe.round_bits(config))
+        noisy = NoisyChannelRPLS(base, p)
+        rate = estimate_acceptance(noisy, config, trials=60).probability
+        assert rate >= 0.55
+
+
+class TestMajorityAmplification:
+    def test_majority_restores_legal_acceptance(self):
+        """Footnote 1 end-to-end: a calibrated two-sided scheme plus
+        run-level majority accepts legal configurations reliably."""
+        config = spanning_tree_configuration(20, 8, seed=8)
+        base = compiled_tree_scheme()
+        p = flip_probability_for_completeness(
+            0.75, NoisyChannelRPLS(base, 0.0).round_bits(config)
+        )
+        noisy = NoisyChannelRPLS(base, p)
+        votes = [
+            majority_decision(noisy, config, repetitions=11, seed=seed)
+            for seed in range(10)
+        ]
+        assert sum(votes) >= 9
+
+    def test_majority_still_rejects_illegal(self):
+        config = spanning_tree_configuration(20, 8, seed=9)
+        corrupted = corrupt_spanning_tree(config, seed=10)
+        base = compiled_tree_scheme()
+        noisy = NoisyChannelRPLS(base, 0.01)
+        votes = [
+            majority_decision(
+                noisy,
+                corrupted,
+                repetitions=11,
+                seed=seed,
+                labels=base.prover(config),
+            )
+            for seed in range(10)
+        ]
+        assert sum(votes) <= 1
+
+
+class TestCalibration:
+    def test_monotone_in_bits(self):
+        assert flip_probability_for_completeness(
+            2 / 3, 1000
+        ) < flip_probability_for_completeness(2 / 3, 10)
+
+    def test_zero_bits_caps(self):
+        assert flip_probability_for_completeness(2 / 3, 0) == 0.49
+
+    def test_invalid_target(self):
+        with pytest.raises(ValueError):
+            flip_probability_for_completeness(1.5, 10)

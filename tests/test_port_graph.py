@@ -1,0 +1,188 @@
+"""Tests for repro.graphs.port_graph — the network substrate."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.port_graph import PortGraph, cycle_graph, path_graph
+
+
+class TestConstruction:
+    def test_add_edge_assigns_sequential_ports(self):
+        graph = PortGraph()
+        assert graph.add_edge(1, 2) == (0, 0)
+        assert graph.add_edge(1, 3) == (1, 0)
+        assert graph.add_edge(2, 3) == (1, 1)
+        graph.validate()
+
+    def test_self_loop_rejected(self):
+        graph = PortGraph()
+        with pytest.raises(ValueError):
+            graph.add_edge(1, 1)
+
+    def test_from_edges(self):
+        graph = PortGraph.from_edges([(1, 2), (2, 3)], nodes=[4])
+        assert graph.node_count == 4
+        assert graph.edge_count == 2
+        assert graph.degree(4) == 0
+
+    def test_from_port_spec_roundtrip(self):
+        original = cycle_graph(5)
+        spec = {
+            node: [original.half_edge(node, port) for port in range(original.degree(node))]
+            for node in original.nodes
+        }
+        rebuilt = PortGraph.from_port_spec(spec)
+        rebuilt.validate()
+        for node in original.nodes:
+            for port in range(original.degree(node)):
+                assert rebuilt.half_edge(node, port) == original.half_edge(node, port)
+
+    def test_from_port_spec_rejects_broken_reciprocity(self):
+        with pytest.raises(ValueError):
+            PortGraph.from_port_spec({1: [(2, 0)], 2: [(1, 5)]})
+
+    def test_graft_disjoint(self):
+        graph = cycle_graph(3)
+        graph.graft(cycle_graph(3, offset=10))
+        graph.validate()
+        assert graph.node_count == 6
+        assert not graph.is_connected()
+
+    def test_graft_rejects_overlap(self):
+        graph = cycle_graph(3)
+        with pytest.raises(ValueError):
+            graph.graft(cycle_graph(3))
+
+
+class TestQueries:
+    def test_neighbors_in_port_order(self):
+        graph = PortGraph.from_edges([(1, 2), (1, 3), (1, 4)])
+        assert graph.neighbors(1) == [2, 3, 4]
+        assert graph.degree(1) == 3
+        assert graph.max_degree == 3
+
+    def test_reverse_port_reciprocity(self):
+        graph = PortGraph.from_edges([(1, 2), (2, 3), (1, 3)])
+        for node in graph.nodes:
+            for port in range(graph.degree(node)):
+                neighbor = graph.neighbor(node, port)
+                reverse = graph.reverse_port(node, port)
+                assert graph.neighbor(neighbor, reverse) == node
+                assert graph.reverse_port(neighbor, reverse) == port
+
+    def test_port_to_and_has_edge(self):
+        graph = PortGraph.from_edges([(1, 2)])
+        assert graph.port_to(1, 2) == 0
+        assert graph.port_to(1, 3) is None
+        assert graph.has_edge(2, 1)
+        assert not graph.has_edge(1, 1)
+
+    def test_edges_each_once(self):
+        graph = cycle_graph(6)
+        edges = graph.edges()
+        assert len(edges) == 6
+        assert len({frozenset((u, v)) for u, _pu, v, _pv in edges}) == 6
+
+    def test_edge_set(self):
+        graph = PortGraph.from_edges([(1, 2), (2, 3)])
+        assert graph.edge_set() == {frozenset((1, 2)), frozenset((2, 3))}
+
+    def test_induced_and_boundary_edges(self):
+        graph = path_graph(5)
+        inside = {1, 2, 3}
+        induced = graph.induced_edges(inside)
+        boundary = graph.boundary_edges(inside)
+        assert {frozenset((u, v)) for u, _p, v, _q in induced} == {
+            frozenset((1, 2)),
+            frozenset((2, 3)),
+        }
+        assert {frozenset((u, v)) for u, _p, v, _q in boundary} == {
+            frozenset((0, 1)),
+            frozenset((3, 4)),
+        }
+
+
+class TestTraversal:
+    def test_bfs_distances_on_path(self):
+        graph = path_graph(6)
+        assert graph.bfs_distances(0) == {i: i for i in range(6)}
+
+    def test_connected_components(self):
+        graph = PortGraph.from_edges([(1, 2), (3, 4)], nodes=[5])
+        components = graph.connected_components()
+        assert {frozenset(c) for c in components} == {
+            frozenset({1, 2}),
+            frozenset({3, 4}),
+            frozenset({5}),
+        }
+
+    def test_is_connected(self):
+        assert PortGraph().is_connected()
+        assert cycle_graph(4).is_connected()
+        disconnected = PortGraph.from_edges([(1, 2)], nodes=[3])
+        assert not disconnected.is_connected()
+
+
+class TestCanonicalFamilies:
+    @pytest.mark.parametrize("length", [3, 4, 5, 9, 20])
+    def test_cycle_port_convention(self, length):
+        graph = cycle_graph(length)
+        graph.validate()
+        for i in range(length):
+            assert graph.neighbor(i, 0) == (i - 1) % length
+            assert graph.neighbor(i, 1) == (i + 1) % length
+
+    def test_cycle_too_short(self):
+        with pytest.raises(ValueError):
+            cycle_graph(2)
+
+    @pytest.mark.parametrize("length", [2, 5, 11])
+    def test_path_interior_port_convention(self, length):
+        graph = path_graph(length)
+        graph.validate()
+        for i in range(1, length - 1):
+            assert graph.neighbor(i, 0) == i - 1
+            assert graph.neighbor(i, 1) == i + 1
+
+    def test_offsets(self):
+        graph = cycle_graph(4, offset=100)
+        assert set(graph.nodes) == {100, 101, 102, 103}
+
+
+class TestValidation:
+    def test_detects_broken_reciprocity(self):
+        graph = path_graph(3)
+        graph.rewire(0, 0, 2, 0)  # deliberately inconsistent
+        with pytest.raises(ValueError):
+            graph.validate()
+
+    def test_multi_edge_policy(self):
+        spec = {
+            1: [(2, 0), (2, 1)],
+            2: [(1, 0), (1, 1)],
+        }
+        graph = PortGraph.from_port_spec(spec)  # allowed with multi flag
+        with pytest.raises(ValueError):
+            graph.validate(allow_multi_edges=False)
+        graph.validate(allow_multi_edges=True)
+
+    @settings(max_examples=30)
+    @given(st.integers(min_value=2, max_value=40), st.data())
+    def test_random_graphs_validate(self, n, data):
+        rng = random.Random(data.draw(st.integers(0, 10**6)))
+        graph = PortGraph()
+        graph.add_node(0)
+        for node in range(1, n):
+            graph.add_edge(node, rng.randrange(node))
+        graph.validate()
+        assert graph.is_connected()
+        assert graph.edge_count == n - 1
+
+    def test_copy_is_independent(self):
+        graph = path_graph(4)
+        clone = graph.copy()
+        clone.add_edge(0, 3)
+        assert graph.edge_count == 3
+        assert clone.edge_count == 4

@@ -1,0 +1,85 @@
+"""Tests for repro.substrates.primes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.substrates.primes import (
+    fingerprint_prime,
+    is_prime,
+    next_prime,
+    prime_in_range,
+    primes_up_to,
+)
+
+
+def trial_division(n: int) -> bool:
+    if n < 2:
+        return False
+    d = 2
+    while d * d <= n:
+        if n % d == 0:
+            return False
+        d += 1
+    return True
+
+
+class TestSieve:
+    def test_small(self):
+        assert primes_up_to(1) == []
+        assert primes_up_to(2) == [2]
+        assert primes_up_to(30) == [2, 3, 5, 7, 11, 13, 17, 19, 23, 29]
+
+    def test_against_trial_division(self):
+        assert primes_up_to(2000) == [n for n in range(2001) if trial_division(n)]
+
+
+class TestMillerRabin:
+    @pytest.mark.parametrize("n", [2, 3, 5, 7, 97, 7919, 104729, 2**31 - 1])
+    def test_known_primes(self, n):
+        assert is_prime(n)
+
+    @pytest.mark.parametrize(
+        "n", [0, 1, 4, 91, 561, 1105, 6601, 8911, 2**31, 2**61]
+    )  # includes Carmichael numbers
+    def test_known_composites(self, n):
+        assert not is_prime(n)
+
+    @given(st.integers(min_value=0, max_value=100_000))
+    def test_agrees_with_trial_division(self, n):
+        assert is_prime(n) == trial_division(n)
+
+    def test_large_prime(self):
+        assert is_prime(2**61 - 1)  # Mersenne prime
+        assert not is_prime((2**61 - 1) * 3)
+
+
+class TestSelection:
+    def test_next_prime(self):
+        assert next_prime(0) == 2
+        assert next_prime(2) == 3
+        assert next_prime(10) == 11
+        assert next_prime(7919) == 7927
+
+    def test_prime_in_range(self):
+        assert prime_in_range(4, 6) == 5
+        assert prime_in_range(7, 7) == 7
+        with pytest.raises(ValueError):
+            prime_in_range(8, 10)
+        with pytest.raises(ValueError):
+            prime_in_range(10, 8)
+
+    @given(st.integers(min_value=2, max_value=50_000))
+    def test_fingerprint_prime_in_lemma_window(self, lam):
+        p = fingerprint_prime(lam)
+        assert 3 * lam < p < 6 * lam
+        assert is_prime(p)
+
+    @pytest.mark.parametrize("lam", [0, 1])
+    def test_fingerprint_prime_degenerate(self, lam):
+        assert fingerprint_prime(lam) == 5
+
+    @given(st.integers(min_value=2, max_value=10_000))
+    def test_fingerprint_soundness_ratio(self, lam):
+        # The Lemma A.1 error (lam-1)/p must be < 1/3.
+        p = fingerprint_prime(lam)
+        assert (lam - 1) / p < 1 / 3

@@ -1,0 +1,188 @@
+"""Cross-scheme property tests: invariants every scheme must satisfy.
+
+These run the same model-level laws over the whole scheme zoo — the shape of
+Section 2.2's definitions, not any one scheme's logic:
+
+- completeness on the scheme's own legal workload, across random seeds;
+- the Theorem 3.1 compiler's certificate-size law ``2 * ceil(log2 p)`` with
+  ``3*kappa' < p < 6*kappa'``;
+- engine reproducibility (same seed, same run);
+- boosting multiplies certificate size by ~t while preserving completeness.
+"""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.boosting import BoostedRPLS
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    mst_configuration,
+    spanning_tree_configuration,
+    uniform_configuration,
+)
+from repro.graphs.workloads import (
+    distance_configuration,
+    hamiltonian_configuration,
+    leader_configuration,
+    mis_configuration,
+    random_bipartite_configuration,
+)
+from repro.schemes.bipartiteness import BipartitenessPLS
+from repro.schemes.distance import DistancePLS
+from repro.schemes.hamiltonicity import HamiltonicityPLS
+from repro.schemes.leader import LeaderAgreementPLS
+from repro.schemes.mis import MISPLS
+from repro.schemes.mst import MSTPLS
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.schemes.uniformity import UnifPLS
+
+# (name, scheme factory, legal-configuration factory) — the zoo.
+ZOO = [
+    (
+        "spanning-tree",
+        lambda config: SpanningTreePLS(),
+        lambda seed: spanning_tree_configuration(20, 7, seed=seed),
+    ),
+    (
+        "mst",
+        lambda config: MSTPLS(),
+        lambda seed: mst_configuration(18, seed=seed),
+    ),
+    (
+        "distance",
+        lambda config: DistancePLS(),
+        lambda seed: distance_configuration(20, 7, seed=seed),
+    ),
+    (
+        "leader",
+        lambda config: LeaderAgreementPLS(),
+        lambda seed: leader_configuration(20, 7, seed=seed),
+    ),
+    (
+        "mis",
+        lambda config: MISPLS(),
+        lambda seed: mis_configuration(20, 10, seed=seed),
+    ),
+    (
+        "bipartite",
+        lambda config: BipartitenessPLS(),
+        lambda seed: random_bipartite_configuration(10, 10, extra_edges=5, seed=seed),
+    ),
+    (
+        "unif",
+        lambda config: UnifPLS(),
+        lambda seed: uniform_configuration(14, payload_bits=32, seed=seed),
+    ),
+    (
+        "hamiltonian",
+        lambda config: HamiltonicityPLS(witness=config._witness),
+        lambda seed: _hamiltonian_with_witness(seed),
+    ),
+]
+
+
+def _hamiltonian_with_witness(seed):
+    config, witness = hamiltonian_configuration(14, extra_edges=5, seed=seed)
+    config._witness = witness  # stashed for the scheme factory above
+    return config
+
+
+@pytest.mark.parametrize("name,scheme_factory,config_factory", ZOO)
+class TestZooLaws:
+    def test_completeness_over_seeds(self, name, scheme_factory, config_factory):
+        for seed in range(6):
+            config = config_factory(seed)
+            scheme = scheme_factory(config)
+            run = verify_deterministic(scheme, config)
+            assert run.accepted, (name, seed, run.rejecting_nodes)
+
+    def test_compiled_certificate_law(self, name, scheme_factory, config_factory):
+        """Certificates of the compiled RPLS are exactly ``2*ceil(log2 p)``
+        bits for the prime the compiler picks — Lemma A.1's arithmetic."""
+        config = config_factory(0)
+        scheme = scheme_factory(config)
+        compiled = FingerprintCompiledRPLS(scheme)
+        kappa = scheme.verification_complexity(config)
+        cert = compiled.verification_complexity(config)
+        # p lives in (3*lam, 6*lam): certificates in [2*log2(3*lam), 2*log2(6*lam)].
+        lam = max(kappa, 1) + compiled._replica_width(kappa) - kappa
+        upper = 2 * math.ceil(math.log2(6 * max(lam, 2)))
+        assert cert <= upper + 8, (name, kappa, cert, upper)
+
+    def test_compiled_completeness(self, name, scheme_factory, config_factory):
+        config = config_factory(1)
+        scheme = scheme_factory(config)
+        compiled = FingerprintCompiledRPLS(scheme)
+        for seed in range(3):
+            assert verify_randomized(compiled, config, seed=seed).accepted
+
+    def test_engine_reproducibility(self, name, scheme_factory, config_factory):
+        config = config_factory(2)
+        scheme = scheme_factory(config)
+        compiled = FingerprintCompiledRPLS(scheme)
+        labels = compiled.prover(config)
+        first = verify_randomized(compiled, config, seed=42, labels=labels)
+        second = verify_randomized(compiled, config, seed=42, labels=labels)
+        assert first.accepted == second.accepted
+        assert first.rejecting_nodes == second.rejecting_nodes
+
+    def test_boosted_completeness_and_size(self, name, scheme_factory, config_factory):
+        config = config_factory(3)
+        scheme = scheme_factory(config)
+        compiled = FingerprintCompiledRPLS(scheme)
+        boosted = BoostedRPLS(compiled, repetitions=3)
+        assert verify_randomized(boosted, config, seed=0).accepted
+        single = compiled.verification_complexity(config)
+        tripled = boosted.verification_complexity(config)
+        assert tripled >= 3 * single
+        # Framing overhead is logarithmic per repetition.
+        assert tripled <= 3 * (single + 2 * math.ceil(math.log2(single + 2)) + 10)
+
+
+class TestProverDeterminism:
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_prover_is_a_function(self, seed):
+        """The prover is an oracle, not a sampler: calling it twice on the
+        same configuration must give identical labels."""
+        config = spanning_tree_configuration(15, 5, seed=seed)
+        scheme = SpanningTreePLS()
+        assert scheme.prover(config) == scheme.prover(config)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 1000))
+    def test_compiled_prover_is_a_function(self, seed):
+        config = distance_configuration(15, 5, seed=seed)
+        compiled = FingerprintCompiledRPLS(DistancePLS())
+        assert compiled.prover(config) == compiled.prover(config)
+
+
+class TestCertificateStability:
+    @settings(max_examples=10, deadline=None)
+    @given(seed=st.integers(0, 1000), port_seed=st.integers(0, 7))
+    def test_same_rng_same_certificate(self, seed, port_seed):
+        """Certificate generation is a pure function of (label, rng state)."""
+        from repro.core.scheme import LabelView, SchemeParams
+
+        config = leader_configuration(12, 4, seed=seed)
+        compiled = FingerprintCompiledRPLS(LeaderAgreementPLS())
+        labels = compiled.prover(config)
+        params = SchemeParams.from_configuration(config)
+        node = config.graph.nodes[seed % config.graph.node_count]
+        degree = config.graph.degree(node)
+        port = port_seed % degree
+        view = LabelView(
+            node=node,
+            state=config.state(node),
+            degree=degree,
+            params=params,
+            own_label=labels[node],
+        )
+        one = compiled.certificate(view, port, random.Random(99))
+        two = compiled.certificate(view, port, random.Random(99))
+        assert one == two

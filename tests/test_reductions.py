@@ -1,0 +1,97 @@
+"""Tests for the RPLS -> 2-party EQ reductions (Lemmas C.1 and C.3)."""
+
+import random
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.lowerbounds.reductions import (
+    reduction_error_rate,
+    sym_eq_protocol,
+    unif_eq_protocol,
+)
+from repro.schemes.symmetry import sym_universal_rpls
+from repro.schemes.uniformity import DirectUnifRPLS
+
+
+def word(value: int, lam: int) -> BitString:
+    return BitString.from_int(value, lam)
+
+
+class TestUnifReduction:
+    def test_equal_always_accepts(self):
+        scheme = DirectUnifRPLS()
+        x = word(0b101101, 6)
+        for seed in range(10):
+            run = unif_eq_protocol(scheme, x, x, seed=seed)
+            assert run.output is True and run.correct
+
+    def test_unequal_mostly_rejects(self):
+        scheme = DirectUnifRPLS()
+        x = word(0b101101, 6)
+        y = word(0b101100, 6)
+        error = reduction_error_rate(unif_eq_protocol, scheme, x, y, trials=200)
+        assert error < 1 / 3 + 0.1
+
+    def test_cut_bits_are_certificate_bits(self):
+        scheme = DirectUnifRPLS()
+        x = word(0, 64)
+        run = unif_eq_protocol(scheme, x, x, seed=1)
+        from repro.graphs.generators import two_node_configuration
+
+        expected = scheme.verification_complexity(two_node_configuration(x, x))
+        assert run.cut_bits == 2 * expected
+
+    def test_communication_logarithmic_in_k(self):
+        scheme = DirectUnifRPLS()
+        costs = []
+        for lam in (16, 256, 4096):
+            x = word(0, lam)
+            costs.append(unif_eq_protocol(scheme, x, x, seed=0).cut_bits)
+        assert costs[-1] - costs[0] <= 64  # k grew 256x
+
+    def test_repetitions_reduce_error(self):
+        x = word(0b1111, 4)
+        y = word(0b1110, 4)
+        loose = reduction_error_rate(
+            unif_eq_protocol, DirectUnifRPLS(1), x, y, trials=150
+        )
+        tight = reduction_error_rate(
+            unif_eq_protocol, DirectUnifRPLS(4), x, y, trials=150
+        )
+        assert tight <= loose
+
+
+class TestSymReduction:
+    def test_equal_accepts(self):
+        scheme = sym_universal_rpls()
+        z = word(0b101, 3)
+        for seed in range(5):
+            run = sym_eq_protocol(scheme, z, z, seed=seed)
+            assert run.output is True and run.correct
+
+    def test_unequal_rejects(self):
+        scheme = sym_universal_rpls()
+        z = word(0b101, 3)
+        other = word(0b100, 3)
+        error = reduction_error_rate(sym_eq_protocol, scheme, z, other, trials=30)
+        assert error < 1 / 3 + 0.15
+
+    def test_alice_and_bob_simulate_disjoint_halves(self):
+        scheme = sym_universal_rpls()
+        z = word(0b11, 2)
+        run = sym_eq_protocol(scheme, z, z, seed=3)
+        assert run.alice_accepts and run.bob_accepts
+
+    def test_unequal_inputs_break_on_the_other_side_too(self):
+        """With unequal inputs, the stitched labels disagree across the cut —
+        at least one side must reject with good probability."""
+        scheme = sym_universal_rpls(repetitions=2)
+        z = word(0b110, 3)
+        other = word(0b010, 3)
+        rejections = 0
+        for seed in range(20):
+            run = sym_eq_protocol(scheme, z, other, seed=seed)
+            if not run.output:
+                rejections += 1
+        assert rejections >= 15

@@ -1,0 +1,212 @@
+"""Tests for the scheme abstractions and the one-round engines."""
+
+import random
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration, simple_states
+from repro.core.predicate import FunctionPredicate
+from repro.core.scheme import (
+    LabelView,
+    ProofLabelingScheme,
+    RandomizedScheme,
+    SchemeParams,
+    VerifierView,
+    derive_rng,
+)
+from repro.core.verifier import (
+    estimate_acceptance,
+    verify_deterministic,
+    verify_randomized,
+)
+from repro.graphs.port_graph import cycle_graph, path_graph
+from repro.simulation.network import exchange_messages
+
+ALWAYS = FunctionPredicate("always", lambda config: True)
+
+
+class ConstantPLS(ProofLabelingScheme):
+    """Every node gets the same constant label; accepts iff all match."""
+
+    name = "constant"
+
+    def __init__(self, value: int = 5, width: int = 4):
+        super().__init__(ALWAYS)
+        self.value = value
+        self.width = width
+
+    def prover(self, configuration):
+        return {
+            node: BitString.from_int(self.value, self.width)
+            for node in configuration.graph.nodes
+        }
+
+    def verify_at(self, view):
+        return all(message == view.own_label for message in view.messages)
+
+
+class CrashingPLS(ProofLabelingScheme):
+    name = "crashing"
+
+    def __init__(self):
+        super().__init__(ALWAYS)
+
+    def prover(self, configuration):
+        return {node: BitString.empty() for node in configuration.graph.nodes}
+
+    def verify_at(self, view):
+        raise ValueError("malformed label")
+
+
+class EchoRPLS(RandomizedScheme):
+    """Certificates echo the (node-port) RNG's first draw — randomness probe."""
+
+    name = "echo"
+
+    def __init__(self):
+        super().__init__(ALWAYS)
+
+    def prover(self, configuration):
+        return {node: BitString.empty() for node in configuration.graph.nodes}
+
+    def certificate(self, view, port, rng):
+        return BitString.from_int(rng.randrange(256), 8)
+
+    def verify_at(self, view):
+        return True
+
+
+class TestNetworkRound:
+    def test_delivery_follows_ports(self):
+        graph = path_graph(3)
+        outbox = {
+            (node, port): BitString.from_int(node * 4 + port, 6)
+            for node in graph.nodes
+            for port in range(graph.degree(node))
+        }
+        inbox, stats = exchange_messages(graph, outbox)
+        # Node 1's port 0 leads to node 0 whose port 0 leads back.
+        assert inbox[(1, 0)] == outbox[(0, 0)]
+        assert inbox[(0, 0)] == outbox[(1, 0)]
+        assert stats.message_count == 4
+        assert stats.total_bits == 24
+
+    def test_missing_message_rejected(self):
+        graph = path_graph(2)
+        with pytest.raises(ValueError):
+            exchange_messages(graph, {})
+
+
+class TestDeterministicEngine:
+    def make_config(self, n=6):
+        graph = cycle_graph(n)
+        return Configuration(graph, simple_states(graph))
+
+    def test_accepts_consistent_labels(self):
+        config = self.make_config()
+        run = verify_deterministic(ConstantPLS(), config)
+        assert run.accepted
+        assert run.max_label_bits == 4
+        assert run.rejecting_nodes == ()
+
+    def test_rejects_forged_label(self):
+        config = self.make_config()
+        scheme = ConstantPLS()
+        labels = scheme.prover(config)
+        labels[0] = BitString.from_int(1, 4)
+        run = verify_deterministic(scheme, config, labels=labels)
+        assert not run.accepted
+        # Exactly the deviant's neighbors (and the deviant, comparing to its
+        # neighbors) reject.
+        assert 1 in run.rejecting_nodes or 5 in run.rejecting_nodes
+
+    def test_value_errors_mean_reject(self):
+        config = self.make_config()
+        run = verify_deterministic(CrashingPLS(), config)
+        assert not run.accepted
+        assert len(run.rejecting_nodes) == config.node_count
+
+    def test_traffic_accounting(self):
+        config = self.make_config(5)
+        run = verify_deterministic(ConstantPLS(), config)
+        # 5 nodes x degree 2 x 4-bit labels.
+        assert run.round_stats.total_bits == 5 * 2 * 4
+
+    def test_verification_complexity(self):
+        config = self.make_config()
+        assert ConstantPLS(width=9).verification_complexity(config) == 9
+
+
+class TestRandomizedEngine:
+    def make_config(self, n=6):
+        graph = cycle_graph(n)
+        return Configuration(graph, simple_states(graph))
+
+    def test_edge_randomness_differs_per_port(self):
+        config = self.make_config()
+        run = verify_randomized(EchoRPLS(), config, seed=1, randomness="edge")
+        values = {
+            (node, port): cert.value for (node, port), cert in run.certificates.items()
+        }
+        per_node = {}
+        for (node, _port), value in values.items():
+            per_node.setdefault(node, []).append(value)
+        # With independent 8-bit draws, at least one node should see its two
+        # ports disagree (probability of global agreement ~ (1/256)^6).
+        assert any(len(set(vals)) > 1 for vals in per_node.values())
+
+    def test_node_randomness_shared_across_ports(self):
+        config = self.make_config()
+        run = verify_randomized(EchoRPLS(), config, seed=1, randomness="node")
+        per_node = {}
+        for (node, _port), cert in run.certificates.items():
+            per_node.setdefault(node, set()).add(cert.value)
+        # One shared stream: the two sequential draws differ in general, so
+        # this mode is observably different from edge mode only through
+        # statistics; here we just assert the engine runs and delivers.
+        assert run.accepted
+
+    def test_determinism_per_seed(self):
+        config = self.make_config()
+        first = verify_randomized(EchoRPLS(), config, seed=42)
+        second = verify_randomized(EchoRPLS(), config, seed=42)
+        assert first.certificates == second.certificates
+        third = verify_randomized(EchoRPLS(), config, seed=43)
+        assert third.certificates != first.certificates
+
+    def test_estimate_acceptance_counts(self):
+        config = self.make_config()
+        estimate = estimate_acceptance(EchoRPLS(), config, trials=10, seed=0)
+        assert estimate.accepted == 10
+        assert estimate.probability == 1.0
+
+    def test_estimate_requires_positive_trials(self):
+        config = self.make_config()
+        with pytest.raises(ValueError):
+            estimate_acceptance(EchoRPLS(), config, trials=0)
+
+    def test_verification_complexity_measures_certificates(self):
+        config = self.make_config()
+        assert EchoRPLS().verification_complexity(config) == 8
+
+
+class TestSchemeParams:
+    def test_from_configuration(self):
+        graph = cycle_graph(5)
+        config = Configuration(graph, simple_states(graph))
+        params = SchemeParams.from_configuration(config)
+        assert params.node_count == 5
+        assert params.max_degree == 2
+
+    def test_derive_rng_stability(self):
+        a = derive_rng(1, "v", 0).random()
+        b = derive_rng(1, "v", 0).random()
+        c = derive_rng(1, "v", 1).random()
+        assert a == b
+        assert a != c
+
+    def test_derive_rng_node_mode(self):
+        a = derive_rng(1, "v", None).random()
+        b = derive_rng(1, "v", 0).random()
+        assert a != b

@@ -1,0 +1,170 @@
+"""Tests for the self-stabilization loop (simulation.self_stabilization)."""
+
+import pytest
+
+from repro.core.boosting import BoostedRPLS
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+)
+from repro.graphs.workloads import corrupt_distance, distance_configuration
+from repro.schemes.distance import DistancePLS
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.simulation.self_stabilization import (
+    periodic_faults,
+    run_self_stabilization,
+    seeded_injector,
+)
+
+
+def tree_scheme(repetitions=1):
+    base = FingerprintCompiledRPLS(SpanningTreePLS())
+    if repetitions > 1:
+        return BoostedRPLS(base, repetitions=repetitions)
+    return base
+
+
+def tree_recovery(configuration):
+    """Recompute a legal spanning tree on the same graph, fresh labels."""
+    from repro.core.configuration import Configuration
+    from repro.substrates.bfs import bfs_layers
+
+    graph = configuration.graph
+    root = graph.nodes[0]
+    tree = bfs_layers(graph, root)
+    states = {
+        node: configuration.state(node).with_fields(
+            parent_port=tree.parent_port[node]
+        )
+        for node in graph.nodes
+    }
+    repaired = Configuration(graph, states)
+    scheme = tree_scheme()
+    return repaired, scheme.prover(repaired)
+
+
+class TestQuietNetwork:
+    def test_no_faults_no_alarms(self):
+        """One-sided detector: a fault-free run never alarms (completeness=1)."""
+        config = spanning_tree_configuration(20, 8, seed=0)
+        trace = run_self_stabilization(
+            tree_scheme(), config, tree_recovery, fault_rounds={}, total_rounds=30
+        )
+        assert trace.false_alarms == 0
+        assert trace.availability == 1.0
+        assert trace.detection_latencies == []
+        assert all(not r.detected for r in trace.records)
+
+
+class TestFaultDetection:
+    def test_single_fault_detected_and_recovered(self):
+        config = spanning_tree_configuration(20, 8, seed=1)
+        injector = seeded_injector(corrupt_spanning_tree)
+        trace = run_self_stabilization(
+            tree_scheme(repetitions=4),
+            config,
+            tree_recovery,
+            fault_rounds={5: injector},
+            total_rounds=40,
+            seed=2,
+        )
+        assert len(trace.detection_latencies) == 1
+        assert trace.undetected_faults == 0
+        # After recovery the network goes back to all-green.
+        detection_round = 5 + trace.detection_latencies[0]
+        for record in trace.records[detection_round + 1 :]:
+            assert record.legal
+            assert not record.detected
+
+    def test_periodic_faults_all_detected(self):
+        config = spanning_tree_configuration(16, 6, seed=3)
+        injector = seeded_injector(corrupt_spanning_tree)
+        schedule = periodic_faults(injector, period=12, total_rounds=60)
+        trace = run_self_stabilization(
+            tree_scheme(repetitions=4),
+            config,
+            tree_recovery,
+            fault_rounds=schedule,
+            total_rounds=60,
+            seed=4,
+        )
+        assert len(trace.detection_latencies) == len(schedule)
+        assert trace.undetected_faults == 0
+        assert trace.false_alarms == 0
+
+    def test_boosting_shrinks_latency(self):
+        """More repetitions -> higher per-round detection probability ->
+        lower mean latency (the E19 trade, asserted qualitatively)."""
+        config = spanning_tree_configuration(16, 6, seed=5)
+        injector = seeded_injector(corrupt_spanning_tree)
+        schedule = periodic_faults(injector, period=15, total_rounds=150)
+        latencies = {}
+        for t in (1, 6):
+            trace = run_self_stabilization(
+                tree_scheme(repetitions=t),
+                config,
+                tree_recovery,
+                fault_rounds=schedule,
+                total_rounds=150,
+                seed=6,
+            )
+            assert trace.detection_latencies, t
+            latencies[t] = trace.mean_detection_latency
+        assert latencies[6] <= latencies[1] + 0.5
+
+    def test_availability_reflects_faults(self):
+        config = spanning_tree_configuration(16, 6, seed=7)
+        injector = seeded_injector(corrupt_spanning_tree)
+        trace = run_self_stabilization(
+            tree_scheme(repetitions=4),
+            config,
+            tree_recovery,
+            fault_rounds={10: injector},
+            total_rounds=50,
+            seed=8,
+        )
+        assert 0.5 < trace.availability < 1.0
+
+
+class TestOtherSchemes:
+    def test_distance_scheme_loop(self):
+        """The loop is scheme-agnostic: run it with the SSSP detector."""
+        from repro.core.configuration import Configuration
+        from repro.schemes.distance import distance_rpls
+        from repro.substrates.bfs import bfs_layers
+
+        config = distance_configuration(18, 6, seed=9)
+        scheme = distance_rpls()
+
+        def recovery(corrupted):
+            graph = corrupted.graph
+            truth = bfs_layers(graph, 0).dist
+            states = {
+                node: corrupted.state(node).with_fields(dist=truth[node])
+                for node in graph.nodes
+            }
+            repaired = Configuration(graph, states)
+            return repaired, scheme.prover(repaired)
+
+        trace = run_self_stabilization(
+            scheme,
+            config,
+            recovery,
+            fault_rounds={4: seeded_injector(corrupt_distance)},
+            total_rounds=30,
+            seed=10,
+        )
+        assert trace.false_alarms == 0
+        assert len(trace.detection_latencies) == 1
+        assert trace.records[-1].legal
+
+
+class TestScheduleHelpers:
+    def test_periodic_schedule(self):
+        schedule = periodic_faults(lambda c, r: c, period=10, total_rounds=35)
+        assert sorted(schedule) == [0, 10, 20, 30]
+
+    def test_period_validation(self):
+        with pytest.raises(ValueError):
+            periodic_faults(lambda c, r: c, period=0, total_rounds=10)

@@ -1,0 +1,136 @@
+"""Tests for the spanning-tree scheme (introduction)."""
+
+import pytest
+
+from repro.core.bitstrings import BitString, BitWriter
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+)
+from repro.schemes.spanning_tree import SpanningTreePLS, SpanningTreePredicate
+from repro.simulation.adversary import perturb_labels, random_labels
+
+
+def pack_label(root_id: int, dist: int) -> BitString:
+    writer = BitWriter()
+    writer.write_varuint(root_id)
+    writer.write_varuint(dist)
+    return writer.finish()
+
+
+class TestPredicate:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_legal(self, seed):
+        config = spanning_tree_configuration(25, 10, seed=seed)
+        assert SpanningTreePredicate().holds(config)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_corrupted(self, seed):
+        config = spanning_tree_configuration(25, 10, seed=seed)
+        assert not SpanningTreePredicate().holds(
+            corrupt_spanning_tree(config, seed=seed + 100)
+        )
+
+    def test_two_roots_rejected(self):
+        config = spanning_tree_configuration(10, 3, seed=0)
+        # Erase one non-root parent pointer: two roots now.
+        victim = next(
+            node
+            for node in config.graph.nodes
+            if config.state(node).get("parent_port") is not None
+        )
+        broken = config.with_state(
+            victim, config.state(victim).with_fields(parent_port=None)
+        )
+        assert not SpanningTreePredicate().holds(broken)
+
+
+class TestScheme:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_completeness(self, seed):
+        config = spanning_tree_configuration(30, 12, seed=seed)
+        run = verify_deterministic(SpanningTreePLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+    def test_label_size_logarithmic(self):
+        import math
+
+        for n in (16, 64, 256):
+            config = spanning_tree_configuration(n, n // 3, seed=n)
+            bits = SpanningTreePLS().verification_complexity(config)
+            assert bits <= 8 * math.ceil(math.log2(n)) + 16
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_soundness_stale_labels(self, seed):
+        config = spanning_tree_configuration(30, 12, seed=seed)
+        corrupted = corrupt_spanning_tree(config, seed=seed + 7)
+        scheme = SpanningTreePLS()
+        run = verify_deterministic(scheme, corrupted, labels=scheme.prover(config))
+        assert not run.accepted
+
+    def test_soundness_fake_distances(self):
+        """Classic attack: label a cycle as if it were a tree — the distance
+        decrement must fail somewhere around the cycle."""
+        config = spanning_tree_configuration(12, 5, seed=3)
+        corrupted = corrupt_spanning_tree(config, seed=11)
+        scheme = SpanningTreePLS()
+        root_id = 0
+        # Adversary: distances consistent with the corrupted parents as far
+        # as possible — a parent-pointer cycle cannot have decreasing dists.
+        for attempt in range(10):
+            labels = perturb_labels(scheme.prover(config), flips=attempt, seed=attempt)
+            assert not verify_deterministic(
+                scheme, corrupted, labels=labels
+            ).accepted
+
+    def test_soundness_random_labels(self):
+        config = spanning_tree_configuration(15, 6, seed=4)
+        corrupted = corrupt_spanning_tree(config, seed=5)
+        scheme = SpanningTreePLS()
+        for seed in range(25):
+            labels = random_labels(corrupted, bits=12, seed=seed)
+            assert not verify_deterministic(scheme, corrupted, labels=labels).accepted
+
+    def test_wrong_root_id_rejected(self):
+        config = spanning_tree_configuration(10, 4, seed=6)
+        scheme = SpanningTreePLS()
+        labels = scheme.prover(config)
+        # Claim a different root id consistently everywhere: the real root's
+        # "id(r) == Id(v)" check fires.
+        distances = {}
+        for node in config.graph.nodes:
+            from repro.core.bitstrings import BitReader
+
+            reader = BitReader(labels[node])
+            _root = reader.read_varuint()
+            distances[node] = reader.read_varuint()
+        forged = {
+            node: pack_label(999, distances[node]) for node in config.graph.nodes
+        }
+        assert not verify_deterministic(scheme, config, labels=forged).accepted
+
+    def test_prover_requires_a_root(self):
+        config = spanning_tree_configuration(8, 3, seed=7)
+        node = next(
+            v for v in config.graph.nodes
+            if config.state(v).get("parent_port") is None
+        )
+        rootless = config.with_state(
+            node, config.state(node).with_fields(parent_port=0)
+        )
+        with pytest.raises(ValueError):
+            SpanningTreePLS().prover(rootless)
+
+
+class TestCompiled:
+    def test_randomized_end_to_end(self):
+        config = spanning_tree_configuration(40, 15, seed=8)
+        compiled = FingerprintCompiledRPLS(SpanningTreePLS())
+        assert verify_randomized(compiled, config, seed=0).accepted
+        corrupted = corrupt_spanning_tree(config, seed=9)
+        estimate = estimate_acceptance(
+            compiled, corrupted, trials=30, labels=compiled.prover(config)
+        )
+        assert estimate.probability < 0.4

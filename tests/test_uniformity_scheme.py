@@ -1,0 +1,92 @@
+"""Tests for Unif (Lemma C.3) — deterministic baseline and direct RPLS."""
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import two_node_configuration, uniform_configuration
+from repro.schemes.uniformity import DirectUnifRPLS, UnifPLS, UnifPredicate
+
+
+class TestUnifPLS:
+    @pytest.mark.parametrize("bits", [1, 16, 200])
+    def test_completeness(self, bits):
+        config = uniform_configuration(10, bits, equal=True, seed=1)
+        assert verify_deterministic(UnifPLS(), config).accepted
+
+    def test_soundness_honest(self):
+        config = uniform_configuration(10, 64, equal=False, seed=2)
+        scheme = UnifPLS()
+        assert not verify_deterministic(
+            scheme, config, labels=scheme.prover(config)
+        ).accepted
+
+    def test_soundness_majority_forgery(self):
+        """Forge all labels to the majority payload: the deviant node's own
+        label/state check fires."""
+        config = uniform_configuration(10, 64, equal=False, seed=3)
+        scheme = UnifPLS()
+        donor = uniform_configuration(10, 64, equal=True, seed=3)
+        run = verify_deterministic(scheme, config, labels=scheme.prover(donor))
+        assert not run.accepted
+
+    def test_label_size_linear_in_k(self):
+        small = uniform_configuration(8, 16, equal=True, seed=4)
+        large = uniform_configuration(8, 1600, equal=True, seed=4)
+        scheme = UnifPLS()
+        assert scheme.verification_complexity(large) > 10 * scheme.verification_complexity(small)
+
+
+class TestDirectUnifRPLS:
+    @pytest.mark.parametrize("bits", [1, 8, 64, 512])
+    def test_one_sided_completeness(self, bits):
+        config = uniform_configuration(10, bits, equal=True, seed=5)
+        scheme = DirectUnifRPLS()
+        for seed in range(5):
+            assert verify_randomized(scheme, config, seed=seed).accepted
+
+    def test_labels_are_empty(self):
+        config = uniform_configuration(6, 64, equal=True, seed=6)
+        labels = DirectUnifRPLS().prover(config)
+        assert all(label.length == 0 for label in labels.values())
+
+    def test_soundness(self):
+        config = uniform_configuration(10, 64, equal=False, seed=7)
+        estimate = estimate_acceptance(DirectUnifRPLS(), config, trials=100)
+        assert estimate.probability < 1 / 3 + 0.1
+
+    def test_soundness_two_nodes_adjacent_payloads(self):
+        x = BitString.from_int(0b1010, 4)
+        y = BitString.from_int(0b1011, 4)
+        config = two_node_configuration(x, y)
+        estimate = estimate_acceptance(DirectUnifRPLS(), config, trials=300)
+        assert estimate.probability < 1 / 3 + 0.1
+
+    def test_repetitions_reduce_error(self):
+        config = uniform_configuration(8, 8, equal=False, seed=8)
+        single = estimate_acceptance(DirectUnifRPLS(1), config, trials=200)
+        triple = estimate_acceptance(DirectUnifRPLS(3), config, trials=200)
+        assert triple.probability <= single.probability
+
+    def test_certificate_logarithmic_in_k(self):
+        sizes = []
+        for bits in (16, 256, 4096):
+            config = uniform_configuration(6, bits, equal=True, seed=9)
+            sizes.append(DirectUnifRPLS().verification_complexity(config))
+        # k grew 256x (8 doublings); O(log k) certificates grow by ~3.3 bits
+        # per doubling (fingerprint coordinates + varuint length framing).
+        assert sizes[2] - sizes[0] <= 4 * 8
+
+    def test_exponential_separation_from_deterministic(self):
+        config = uniform_configuration(8, 4096, equal=True, seed=10)
+        deterministic = UnifPLS().verification_complexity(config)
+        randomized = DirectUnifRPLS().verification_complexity(config)
+        assert deterministic > 50 * randomized
+
+    def test_mismatched_length_certificates_rejected(self):
+        """A node with a shorter payload cannot satisfy longer-payload peers."""
+        x = BitString.from_int(3, 4)
+        y = BitString.from_int(3, 6)
+        config = two_node_configuration(x, y)
+        estimate = estimate_acceptance(DirectUnifRPLS(), config, trials=50)
+        assert estimate.probability == 0.0

@@ -1,0 +1,98 @@
+"""Tests for repro.substrates.union_find."""
+
+import random
+
+from hypothesis import given, strategies as st
+
+from repro.substrates.union_find import UnionFind
+
+
+class NaivePartition:
+    """Reference implementation: explicit set-of-sets."""
+
+    def __init__(self, elements):
+        self.sets = [{e} for e in elements]
+
+    def _find_set(self, element):
+        for group in self.sets:
+            if element in group:
+                return group
+        new = {element}
+        self.sets.append(new)
+        return new
+
+    def union(self, a, b):
+        set_a, set_b = self._find_set(a), self._find_set(b)
+        if set_a is set_b:
+            return False
+        set_a |= set_b
+        self.sets.remove(set_b)
+        return True
+
+    def connected(self, a, b):
+        return self._find_set(a) is self._find_set(b)
+
+
+class TestBasics:
+    def test_singletons(self):
+        uf = UnionFind([1, 2, 3])
+        assert uf.component_count() == 3
+        assert not uf.connected(1, 2)
+
+    def test_union_and_find(self):
+        uf = UnionFind(range(5))
+        assert uf.union(0, 1)
+        assert not uf.union(1, 0)
+        assert uf.connected(0, 1)
+        assert uf.component_count() == 4
+
+    def test_lazy_registration(self):
+        uf = UnionFind()
+        assert uf.find("x") == "x"
+        assert "x" in uf
+        assert len(uf) == 1
+
+    def test_transitivity(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        uf.union(2, 3)
+        uf.union(1, 2)
+        assert uf.connected(0, 3)
+        assert uf.component_count() == 1
+
+    def test_components_materialization(self):
+        uf = UnionFind(range(4))
+        uf.union(0, 1)
+        groups = uf.components()
+        assert sorted(len(g) for g in groups) == [1, 1, 2]
+        assert {frozenset(g) for g in groups} == {
+            frozenset({0, 1}),
+            frozenset({2}),
+            frozenset({3}),
+        }
+
+    def test_idempotent_add(self):
+        uf = UnionFind()
+        uf.add(1)
+        uf.add(1)
+        assert uf.component_count() == 1
+
+
+class TestAgainstNaive:
+    @given(st.lists(st.tuples(st.integers(0, 15), st.integers(0, 15)), max_size=60))
+    def test_random_union_sequences(self, operations):
+        uf = UnionFind(range(16))
+        naive = NaivePartition(range(16))
+        for a, b in operations:
+            assert uf.union(a, b) == naive.union(a, b)
+        for a in range(16):
+            for b in range(16):
+                assert uf.connected(a, b) == naive.connected(a, b)
+        assert uf.component_count() == len(naive.sets)
+
+    def test_long_chain_path_compression(self):
+        uf = UnionFind(range(1000))
+        for i in range(999):
+            uf.union(i, i + 1)
+        assert uf.component_count() == 1
+        assert uf.connected(0, 999)

@@ -1,0 +1,124 @@
+"""Tests for the s-t vertex-connectivity scheme (Section 5.2, vertex form)."""
+
+import networkx as nx
+import pytest
+
+from repro.core.configuration import Configuration
+from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.graphs.generators import vertex_connectivity_configuration
+from repro.schemes.vertex_connectivity import (
+    STVertexConnectivityPLS,
+    STVertexConnectivityPredicate,
+    st_vertex_connectivity_rpls,
+)
+from repro.simulation.adversary import perturb_labels, random_labels
+
+
+def with_k(configuration: Configuration, k: int) -> Configuration:
+    states = {
+        node: configuration.state(node).with_fields(k=k)
+        for node in configuration.graph.nodes
+    }
+    return Configuration(configuration.graph, states)
+
+
+class TestPredicate:
+    @pytest.mark.parametrize("k", [1, 2, 4])
+    def test_exact_k_matches_networkx(self, k):
+        config = vertex_connectivity_configuration(k, path_length=2, decoy_edges=k, seed=k)
+        nx_graph = nx.Graph()
+        nx_graph.add_nodes_from(config.graph.nodes)
+        nx_graph.add_edges_from((u, v) for u, _pu, v, _pv in config.graph.edges())
+        assert nx.node_connectivity(nx_graph, 0, 1) == k
+        assert STVertexConnectivityPredicate().holds(config)
+        assert not STVertexConnectivityPredicate().holds(with_k(config, k + 1))
+
+    def test_adjacent_terminals_rejected(self):
+        config = vertex_connectivity_configuration(2, seed=1)
+        graph = config.graph.copy()
+        graph.add_edge(0, 1)
+        adjacent = Configuration(graph=graph, states={
+            node: config.state(node) for node in graph.nodes
+        })
+        with pytest.raises(ValueError):
+            STVertexConnectivityPredicate().holds(adjacent)
+
+
+class TestCompleteness:
+    @pytest.mark.parametrize("k,length,decoys", [(1, 1, 0), (2, 3, 4), (4, 2, 6), (6, 2, 8)])
+    def test_accepts_legal(self, k, length, decoys):
+        config = vertex_connectivity_configuration(k, path_length=length, decoy_edges=decoys, seed=k)
+        run = verify_deterministic(STVertexConnectivityPLS(), config)
+        assert run.accepted, run.rejecting_nodes
+
+
+class TestSoundness:
+    def test_overclaim(self):
+        config = vertex_connectivity_configuration(3, path_length=2, decoy_edges=3, seed=2)
+        scheme = STVertexConnectivityPLS()
+        run = verify_deterministic(
+            scheme, with_k(config, 4), labels=scheme.prover(config)
+        )
+        assert not run.accepted
+
+    def test_underclaim_caught_by_residual_flags(self):
+        config = vertex_connectivity_configuration(3, path_length=2, decoy_edges=3, seed=3)
+        scheme = STVertexConnectivityPLS()
+        underclaimed = with_k(config, 2)
+        run = verify_deterministic(
+            scheme, underclaimed, labels=scheme.prover(underclaimed)
+        )
+        assert not run.accepted
+
+    def test_internal_disjointness_enforced(self):
+        """A non-terminal claiming two path entries is rejected outright."""
+        config = vertex_connectivity_configuration(2, path_length=2, seed=4)
+        scheme = STVertexConnectivityPLS()
+        honest = scheme.prover(config)
+        # Find two interior nodes on different paths and merge their entries.
+        rejected = 0
+        total = 0
+        for seed in range(12):
+            labels = perturb_labels(honest, flips=1, seed=seed)
+            if labels == honest:
+                continue
+            total += 1
+            if not verify_deterministic(scheme, config, labels=labels).accepted:
+                rejected += 1
+        assert rejected >= total - 1
+
+    def test_random_labels(self):
+        config = vertex_connectivity_configuration(2, path_length=2, seed=5)
+        bad = with_k(config, 3)
+        scheme = STVertexConnectivityPLS()
+        for seed in range(20):
+            labels = random_labels(bad, bits=25, seed=seed)
+            assert not verify_deterministic(scheme, bad, labels=labels).accepted
+
+
+class TestSizes:
+    def test_logarithmic_labels(self):
+        import math
+
+        for k in (2, 4, 8):
+            config = vertex_connectivity_configuration(k, path_length=3, seed=k)
+            n = config.node_count
+            bits = STVertexConnectivityPLS().verification_complexity(config)
+            # Unlike k-flow, a non-terminal stores at most ONE entry: O(log n).
+            assert bits <= 10 * math.log2(n) + 40 + 8 * k  # terminals hold k entries
+
+    def test_compiled_certificates(self):
+        config = vertex_connectivity_configuration(3, path_length=3, decoy_edges=3, seed=6)
+        randomized = st_vertex_connectivity_rpls()
+        assert verify_randomized(randomized, config, seed=0).accepted
+        det = STVertexConnectivityPLS().verification_complexity(config)
+        rand = randomized.verification_complexity(config)
+        assert rand < det
+
+    def test_compiled_soundness(self):
+        config = vertex_connectivity_configuration(3, path_length=2, decoy_edges=2, seed=7)
+        randomized = st_vertex_connectivity_rpls()
+        estimate = estimate_acceptance(
+            randomized, with_k(config, 4), trials=20, labels=randomized.prover(config)
+        )
+        assert estimate.probability < 0.3

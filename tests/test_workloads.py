@@ -1,0 +1,166 @@
+"""Tests for the extension workload generators (repro.graphs.workloads)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.workloads import (
+    corrupt_distance,
+    corrupt_distance_second_source,
+    corrupt_leader_disagreement,
+    corrupt_leader_phantom,
+    corrupt_mis_independence,
+    corrupt_mis_maximality,
+    distance_configuration,
+    eulerian_configuration,
+    hamiltonian_configuration,
+    leader_configuration,
+    mis_configuration,
+    non_eulerian_configuration,
+    odd_cycle_configuration,
+    random_bipartite_configuration,
+)
+from repro.schemes.bipartiteness import BipartitenessPredicate
+from repro.schemes.distance import DistancePredicate
+from repro.schemes.eulerian import EulerianPredicate
+from repro.schemes.hamiltonicity import HamiltonicityPredicate
+from repro.schemes.leader import LeaderAgreementPredicate
+from repro.schemes.mis import MISPredicate
+from repro.substrates.bfs import is_bipartite
+
+
+class TestDistanceWorkload:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_hop_legal(self, seed):
+        config = distance_configuration(30, 10, seed=seed)
+        assert DistancePredicate().holds(config)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_weighted_legal(self, seed):
+        config = distance_configuration(25, 8, seed=seed, weighted=True)
+        assert DistancePredicate(weighted=True).holds(config)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_corrupt_dist_illegal(self, seed):
+        config = distance_configuration(30, 10, seed=seed)
+        assert not DistancePredicate().holds(corrupt_distance(config, seed=seed))
+
+    def test_corrupt_second_source_illegal(self):
+        config = distance_configuration(20, 5, seed=1)
+        broken = corrupt_distance_second_source(config, seed=2)
+        assert not DistancePredicate().holds(broken)
+        sources = sum(
+            1 for node in broken.graph.nodes if broken.state(node).get("source")
+        )
+        assert sources == 2
+
+    def test_source_is_node_zero(self):
+        config = distance_configuration(10, 0, seed=0)
+        assert config.state(0).get("source")
+        assert config.state(0).get("dist") == 0
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(0, 5000), n=st.integers(2, 40))
+    def test_hop_distance_fields_nonnegative(self, seed, n):
+        config = distance_configuration(n, n // 4, seed=seed)
+        for node in config.graph.nodes:
+            assert config.state(node).get("dist") >= 0
+
+
+class TestLeaderWorkload:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_legal(self, seed):
+        assert LeaderAgreementPredicate().holds(leader_configuration(25, 6, seed=seed))
+
+    def test_disagreement_illegal(self):
+        config = leader_configuration(20, 5, seed=0)
+        assert not LeaderAgreementPredicate().holds(
+            corrupt_leader_disagreement(config, seed=1)
+        )
+
+    def test_phantom_illegal(self):
+        config = leader_configuration(20, 5, seed=0)
+        broken = corrupt_leader_phantom(config)
+        # Everyone still agrees...
+        claims = {broken.state(node).get("leader") for node in broken.graph.nodes}
+        assert len(claims) == 1
+        # ...but on a phantom id.
+        assert not LeaderAgreementPredicate().holds(broken)
+
+
+class TestBipartiteWorkload:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_bipartite_legal(self, seed):
+        config = random_bipartite_configuration(8, 11, extra_edges=6, seed=seed)
+        assert BipartitenessPredicate().holds(config)
+        assert config.graph.is_connected()
+
+    @pytest.mark.parametrize("n", [3, 4, 9, 20])
+    def test_odd_cycle_illegal(self, n):
+        config = odd_cycle_configuration(n, seed=n)
+        assert not BipartitenessPredicate().holds(config)
+
+    def test_rejects_empty_side(self):
+        with pytest.raises(ValueError):
+            random_bipartite_configuration(0, 5)
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        left=st.integers(1, 12),
+        right=st.integers(1, 12),
+        seed=st.integers(0, 5000),
+    )
+    def test_always_bipartite_and_connected(self, left, right, seed):
+        config = random_bipartite_configuration(left, right, extra_edges=3, seed=seed)
+        bipartite, _ = is_bipartite(config.graph)
+        assert bipartite
+        assert config.graph.is_connected()
+
+
+class TestMISWorkload:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_legal(self, seed):
+        assert MISPredicate().holds(mis_configuration(30, 15, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_independence_corruption(self, seed):
+        config = mis_configuration(30, 15, seed=seed)
+        assert not MISPredicate().holds(corrupt_mis_independence(config, seed=seed))
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_maximality_corruption(self, seed):
+        config = mis_configuration(30, 15, seed=seed)
+        assert not MISPredicate().holds(corrupt_mis_maximality(config, seed=seed))
+
+
+class TestEulerianWorkload:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_legal(self, seed):
+        config = eulerian_configuration(16, seed=seed)
+        assert EulerianPredicate().holds(config)
+        assert config.graph.is_connected()
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_spoiled(self, seed):
+        config = non_eulerian_configuration(16, seed=seed)
+        assert not EulerianPredicate().holds(config)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            eulerian_configuration(2)
+
+
+class TestHamiltonianWorkload:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_legal_with_witness(self, seed):
+        config, witness = hamiltonian_configuration(12, extra_edges=4, seed=seed)
+        assert len(witness) == 12
+        assert len(set(witness)) == 12
+        graph = config.graph
+        for position, node in enumerate(witness):
+            assert graph.has_edge(node, witness[(position + 1) % 12])
+        assert HamiltonicityPredicate().holds(config)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            hamiltonian_configuration(2)
