@@ -9,7 +9,8 @@ threshold cannot notice.
 
 import math
 
-from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.engine import estimate_acceptance_batched
 from repro.core.compiler import FingerprintCompiledRPLS
 from repro.graphs.generators import (
     cycle_with_chords_configuration,
@@ -39,7 +40,7 @@ def test_biconnectivity_bounds(benchmark, report):
 
     bad = two_blocks_configuration(8)
     randomized = FingerprintCompiledRPLS(BiconnectivityPLS())
-    reject = estimate_acceptance(
+    reject = estimate_acceptance_batched(
         randomized, bad, trials=15, labels=randomized.prover(bad)
     )
     assert reject.probability < 0.3

@@ -1,0 +1,170 @@
+"""E20 — the batched verification engine: trials/sec, legacy vs batched.
+
+Every soundness experiment in this repository is a Monte-Carlo loop over
+repeated verification rounds, so trials-per-second is the throughput metric
+that bounds how much statistical evidence any benchmark can gather.  This
+experiment measures it on a representative 200-node workload — the paper's
+headline construction, a Theorem 3.1 compiled spanning-tree scheme, plain
+and with footnote-1 certificate boosting (t=3) — for three execution paths:
+
+- **legacy** — the reference per-trial loop ``estimate_acceptance``;
+- **engine compat** — ``VerificationPlan`` + ``estimate_acceptance_fast``
+  with the legacy-identical RNG streams (bit-for-bit the same accept/reject
+  decisions, asserted below);
+- **engine fast** — the same plan with SplitMix64 integer-mix RNG
+  derivation (statistically equivalent streams).
+
+Results are persisted machine-readably to ``BENCH_engine.json`` at the
+repository root so future PRs can track the perf trajectory.
+"""
+
+import json
+import pathlib
+import sys
+import time
+
+from repro.core.boosting import BoostedRPLS
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.seeding import derive_trial_seed
+from repro.core.verifier import estimate_acceptance, verify_randomized
+from repro.engine import VerificationPlan, estimate_acceptance_fast
+from repro.graphs.generators import spanning_tree_configuration
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.simulation.runner import format_table
+
+TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
+
+NODE_COUNT = 200
+EXTRA_EDGES = 60
+REQUIRED_SPEEDUP = 5.0
+
+
+def _throughput(run, trials, repeats=3):
+    """Best-of-``repeats`` trials/sec (best-of defeats scheduler noise)."""
+    best = 0.0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        run(trials)
+        elapsed = time.perf_counter() - start
+        best = max(best, trials / elapsed)
+    return best
+
+
+def _measure(scheme, configuration, labels, legacy_trials, engine_trials):
+    plan = VerificationPlan.compile(scheme, configuration, labels=labels)
+    legacy = _throughput(
+        lambda n: estimate_acceptance(
+            scheme, configuration, trials=n, seed=0, labels=labels
+        ),
+        legacy_trials,
+    )
+    compat = _throughput(
+        lambda n: estimate_acceptance_fast(plan, n, seed=0), engine_trials
+    )
+    fast = _throughput(
+        lambda n: estimate_acceptance_fast(plan, n, seed=0, rng_mode="fast"),
+        engine_trials,
+    )
+    return plan, legacy, compat, fast
+
+
+def _assert_bit_identical(scheme, configuration, labels, plan, trials=25, seed=0):
+    """Per-trial accept/reject equality between the two paths."""
+    for trial in range(trials):
+        trial_seed = derive_trial_seed(seed, trial)
+        reference = verify_randomized(
+            scheme, configuration, seed=trial_seed, labels=labels
+        ).accepted
+        assert plan.run_trial(trial_seed) == reference, trial
+    return True
+
+
+def test_engine_throughput(benchmark, report):
+    configuration = spanning_tree_configuration(NODE_COUNT, EXTRA_EDGES, seed=1)
+    rows = []
+    results = []
+
+    workloads = [
+        ("compiled(spanning-tree)", FingerprintCompiledRPLS(SpanningTreePLS()), 20, 200),
+        (
+            "boosted(compiled, t=3)",
+            BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 3),
+            12,
+            120,
+        ),
+    ]
+    for name, scheme, legacy_trials, engine_trials in workloads:
+        labels = scheme.prover(configuration)
+        plan, legacy, compat, fast = _measure(
+            scheme, configuration, labels, legacy_trials, engine_trials
+        )
+        identical = _assert_bit_identical(scheme, configuration, labels, plan)
+        rows.append(
+            [
+                name,
+                plan.half_edge_count,
+                f"{legacy:.1f}",
+                f"{compat:.1f}",
+                f"{fast:.1f}",
+                f"{compat / legacy:.1f}x",
+                f"{fast / legacy:.1f}x",
+            ]
+        )
+        results.append(
+            {
+                "scheme": name,
+                "half_edges": plan.half_edge_count,
+                "legacy_trials_per_sec": round(legacy, 1),
+                "engine_compat_trials_per_sec": round(compat, 1),
+                "engine_fast_trials_per_sec": round(fast, 1),
+                "speedup_compat": round(compat / legacy, 2),
+                "speedup_fast": round(fast / legacy, 2),
+                "bit_identical": identical,
+            }
+        )
+
+    report(
+        "E20_engine",
+        format_table(
+            [
+                "scheme",
+                "half-edges",
+                "legacy/s",
+                "compat/s",
+                "fast/s",
+                "compat",
+                "fast",
+            ],
+            rows,
+        ),
+    )
+
+    TRAJECTORY_PATH.write_text(
+        json.dumps(
+            {
+                "experiment": "engine_throughput",
+                "workload": {
+                    "node_count": NODE_COUNT,
+                    "extra_edges": EXTRA_EDGES,
+                    "generator": "spanning_tree_configuration(seed=1)",
+                },
+                "python": sys.version.split()[0],
+                "required_speedup": REQUIRED_SPEEDUP,
+                "results": results,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+
+    # The acceptance bar: the bit-identical batched path clears 5x on at
+    # least the headline (boosted) workload, and both workloads agree with
+    # the reference oracle decision-for-decision.
+    assert all(result["bit_identical"] for result in results)
+    assert max(result["speedup_compat"] for result in results) >= REQUIRED_SPEEDUP
+
+    # pytest-benchmark row: one engine chunk on the plain compiled scheme.
+    scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+    labels = scheme.prover(configuration)
+    plan = VerificationPlan.compile(scheme, configuration, labels=labels)
+    benchmark(lambda: estimate_acceptance_fast(plan, 10, seed=2))

@@ -8,7 +8,8 @@ and rejection of over-claimed k.
 import math
 
 from repro.core.configuration import Configuration
-from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.engine import estimate_acceptance_batched
 from repro.graphs.generators import flow_configuration
 from repro.schemes.flow import KFlowPLS, k_flow_rpls
 from repro.simulation.runner import format_table
@@ -35,7 +36,7 @@ def test_k_flow_bounds(benchmark, report):
         assert verify_randomized(randomized, configuration, seed=0).accepted
 
         bad = overclaim(configuration, k + 1)
-        reject = estimate_acceptance(
+        reject = estimate_acceptance_batched(
             randomized, bad, trials=10, labels=randomized.prover(configuration)
         )
         rows.append([k, n, det_bits, rand_bits, f"{1 - reject.probability:.2f}"])

@@ -9,7 +9,8 @@ shape and the soundness the theorem promises.
 
 import math
 
-from repro.core.verifier import estimate_acceptance, verify_deterministic, verify_randomized
+from repro.core.verifier import verify_deterministic, verify_randomized
+from repro.engine import estimate_acceptance_batched
 from repro.graphs.generators import corrupt_mst_swap, mst_configuration
 from repro.schemes.mst import MSTPLS, mst_rpls
 from repro.simulation.runner import format_table
@@ -35,7 +36,7 @@ def test_mst_verification_complexity(benchmark, report):
         det_reject = not verify_deterministic(
             deterministic, corrupted, labels=deterministic.prover(corrupted)
         ).accepted
-        rand_estimate = estimate_acceptance(
+        rand_estimate = estimate_acceptance_batched(
             randomized, corrupted, trials=12, labels=randomized.prover(corrupted)
         )
         rows.append(

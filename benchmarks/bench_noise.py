@@ -16,7 +16,7 @@ binary symmetric channel (:mod:`repro.core.noise`) and measures:
 from repro.core.boosting import majority_decision
 from repro.core.compiler import FingerprintCompiledRPLS
 from repro.core.noise import NoisyChannelRPLS, flip_probability_for_completeness
-from repro.core.verifier import estimate_acceptance
+from repro.engine import estimate_acceptance_batched
 from repro.graphs.generators import (
     corrupt_spanning_tree,
     spanning_tree_configuration,
@@ -36,7 +36,7 @@ def test_noise_completeness_decay(benchmark, report):
     rates = []
     for p in (0.0, 0.0005, 0.002, 0.01, 0.05):
         noisy = NoisyChannelRPLS(base, p)
-        rate = estimate_acceptance(noisy, config, trials=TRIALS).probability
+        rate = estimate_acceptance_batched(noisy, config, trials=TRIALS).probability
         floor = (1.0 - p) ** bits
         rows.append([p, f"{rate:.3f}", f"{floor:.3f}"])
         rates.append(rate)
@@ -54,7 +54,7 @@ def test_noise_completeness_decay(benchmark, report):
 
     noisy = NoisyChannelRPLS(base, 0.002)
     labels = noisy.prover(config)
-    benchmark(lambda: estimate_acceptance(noisy, config, trials=5, labels=labels))
+    benchmark(lambda: estimate_acceptance_batched(noisy, config, trials=5, labels=labels))
 
 
 def test_noise_calibration_and_majority(benchmark, report):
@@ -65,7 +65,7 @@ def test_noise_calibration_and_majority(benchmark, report):
     p = flip_probability_for_completeness(0.75, bits)
     noisy = NoisyChannelRPLS(base, p)
 
-    legal_rate = estimate_acceptance(noisy, config, trials=TRIALS).probability
+    legal_rate = estimate_acceptance_batched(noisy, config, trials=TRIALS).probability
     assert legal_rate >= 0.6  # calibrated to 0.75, minus sampling slack
 
     rows = []

@@ -18,7 +18,8 @@ import math
 
 from repro.core.compiler import FingerprintCompiledRPLS
 from repro.core.shared import SharedCoinsCompiledRPLS
-from repro.core.verifier import estimate_acceptance, verify_randomized
+from repro.core.verifier import verify_randomized
+from repro.engine import estimate_acceptance_batched
 from repro.graphs.generators import corrupt_mst_swap, mst_configuration
 from repro.schemes.mst import MSTPLS
 from repro.simulation.runner import format_table
@@ -43,7 +44,7 @@ def test_shared_coins_beat_the_edge_independent_floor(benchmark, report):
         ).accepted
 
         corrupted = corrupt_mst_swap(configuration, seed=n + 1)
-        forged = estimate_acceptance(
+        forged = estimate_acceptance_batched(
             shared_scheme,
             corrupted,
             trials=40,

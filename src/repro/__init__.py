@@ -17,7 +17,11 @@ full system the paper describes:
   cycle length, flow, symmetry, uniformity (:mod:`repro.schemes`);
 - the classical substrates these need, from scratch
   (:mod:`repro.substrates`), and a Monte-Carlo simulation harness
-  (:mod:`repro.simulation`).
+  (:mod:`repro.simulation`);
+- a batched verification engine for repeated (Monte-Carlo) verification of
+  one ``(scheme, configuration)`` pair — precompiled plans, multi-point
+  fingerprint evaluation, and a fast acceptance estimator, decision-exact
+  against the one-shot engine (:mod:`repro.engine`).
 
 Quickstart::
 
@@ -38,6 +42,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "core",
+    "engine",
     "graphs",
     "lowerbounds",
     "schemes",

@@ -16,7 +16,15 @@ small codecs without bit-twiddling.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Iterator, List, Sequence
+from typing import Iterable, Iterator, List, Sequence, Tuple
+
+# Bit expansions of every byte value, most-significant bit first.  One table
+# lookup per byte turns bit extraction into an O(length) pass instead of the
+# O(length) big-int shifts (each itself O(length / 64) word operations) that a
+# per-index ``value >> i`` loop costs.
+_BYTE_BITS: Tuple[Tuple[int, ...], ...] = tuple(
+    tuple((byte >> (7 - i)) & 1 for i in range(8)) for byte in range(256)
+)
 
 
 @dataclass(frozen=True)
@@ -85,12 +93,35 @@ class BitString:
 
     # -- views -------------------------------------------------------------
 
+    def bit_tuple(self) -> Tuple[int, ...]:
+        """The bits as an immutable tuple, first bit first — memoized.
+
+        Extraction runs once per instance via a single ``int.to_bytes`` pass
+        and a 256-entry expansion table; repeated callers (the fingerprint
+        layer evaluates label polynomials on every verification trial) hit
+        the cache.  The cache lives outside the dataclass fields, so
+        equality and hashing are untouched.
+        """
+        cached = getattr(self, "_bit_cache", None)
+        if cached is None:
+            if self.length == 0:
+                cached = ()
+            else:
+                nbytes = (self.length + 7) // 8
+                expansions = _BYTE_BITS
+                flat: List[int] = []
+                for byte in self.value.to_bytes(nbytes, "big"):
+                    flat.extend(expansions[byte])
+                cached = tuple(flat[8 * nbytes - self.length :])
+            object.__setattr__(self, "_bit_cache", cached)
+        return cached
+
     def bits(self) -> List[int]:
         """The bits as a list, first bit first."""
-        return [(self.value >> (self.length - 1 - i)) & 1 for i in range(self.length)]
+        return list(self.bit_tuple())
 
     def __iter__(self) -> Iterator[int]:
-        return iter(self.bits())
+        return iter(self.bit_tuple())
 
     def __len__(self) -> int:
         return self.length

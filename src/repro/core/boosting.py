@@ -29,7 +29,13 @@ from typing import Dict, Optional
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter
 from repro.core.configuration import Configuration
-from repro.core.scheme import LabelView, RandomizedScheme, VerifierView
+from repro.core.scheme import (
+    LabelView,
+    RandomizedScheme,
+    VerifierView,
+    engine_hooks_available,
+)
+from repro.core.seeding import derive_trial_seed
 from repro.graphs.port_graph import Node
 
 
@@ -96,6 +102,35 @@ class BoostedRPLS(RandomizedScheme):
         """``Pr[accept an illegal configuration] <= (1/2)^t``."""
         return 0.5**self.repetitions
 
+    # -- batched-engine fast path ------------------------------------------------
+    #
+    # Boosting is pure repetition, so the wrapper's fast path exists exactly
+    # when the base scheme has one: the context is the base context, and a
+    # certificate is the tuple of ``t`` base certificates drawn from one
+    # stream (the same rng consumption order as the packed path).
+
+    def engine_ready(self) -> bool:
+        return engine_hooks_available(self.base)
+
+    def engine_node_context(self, view: LabelView):
+        return self.base.engine_node_context(view)
+
+    def engine_certificate(self, context, port: int, rng: random.Random):
+        base_certificate = self.base.engine_certificate
+        return tuple(
+            base_certificate(context, port, rng) for _ in range(self.repetitions)
+        )
+
+    def engine_verify(self, context, messages, shared_rng) -> bool:
+        base_verify = self.base.engine_verify
+        for repetition in range(self.repetitions):
+            # The packed path rebuilds each repetition's view without the
+            # public-coin stream, so the base verifier sees None there too.
+            round_messages = tuple(message[repetition] for message in messages)
+            if not base_verify(context, round_messages, None):
+                return False
+        return True
+
 
 def repetitions_for_delta(delta: float, per_round_error: float = 0.5) -> int:
     """Smallest ``t`` with ``per_round_error^t <= delta`` — the footnote's
@@ -133,7 +168,10 @@ def majority_decision(
     accepts = 0
     for repetition in range(repetitions):
         run = verify_randomized(
-            scheme, configuration, seed=hash((seed, repetition)), labels=labels
+            scheme,
+            configuration,
+            seed=derive_trial_seed(seed, repetition),
+            labels=labels,
         )
         if run.accepted:
             accepts += 1

@@ -32,6 +32,7 @@ bits, which Definition 2.1 does not charge for — only certificates travel.
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter, bits_for_max
@@ -44,6 +45,21 @@ from repro.core.scheme import (
     VerifierView,
 )
 from repro.graphs.port_graph import Node
+
+
+@dataclass(frozen=True)
+class _CompiledNodeContext:
+    """Per-node trial-invariant state for the engine fast path.
+
+    Coefficients are stored highest-degree-first — the shape the Horner
+    loops of :meth:`Fingerprinter.sample_raw` / :meth:`~Fingerprinter.check_raw`
+    consume directly.
+    """
+
+    fingerprinter: Fingerprinter
+    own_coefficients: Tuple[int, ...]
+    stored_coefficients: Tuple[Tuple[int, ...], ...]
+    base_accepts: bool
 
 
 class FingerprintCompiledRPLS(RandomizedScheme):
@@ -124,7 +140,9 @@ class FingerprintCompiledRPLS(RandomizedScheme):
         return compiled
 
     def _fingerprinter(self, kappa: int) -> Fingerprinter:
-        return Fingerprinter(self._replica_width(kappa), repetitions=self.repetitions)
+        return Fingerprinter.shared(
+            self._replica_width(kappa), repetitions=self.repetitions
+        )
 
     def certificate(self, view: LabelView, port: int, rng: random.Random) -> BitString:
         kappa, replicas = self._parse_label(view)
@@ -150,6 +168,70 @@ class FingerprintCompiledRPLS(RandomizedScheme):
             messages=neighbor_base_labels,
         )
         return self.base.verify_at(base_view)
+
+    # -- batched-engine fast path ------------------------------------------------
+    #
+    # The compiled verifier re-parses its label on every certificate call and
+    # every verification — all trial-invariant work.  The engine hooks parse
+    # once per plan: the context caches the replicas, the fingerprinter, and
+    # the *base verifier's verdict on the stored copies*, which is a pure
+    # function of the label (only the fingerprint exchange is randomized).
+    # See repro.engine.plan for the protocol contract.
+
+    def _engine_parse(self, view: LabelView) -> Tuple[int, List[BitString], bool]:
+        """Parse once and settle the trial-invariant base verdict.
+
+        Shared by this class's hooks and the shared-coins subclass's.
+        Raises :class:`ValueError` (from :meth:`_parse_label`) for labels
+        the node cannot parse at all.
+        """
+        kappa, replicas = self._parse_label(view)
+        try:
+            own_base_label = self._unreplica(replicas[0], kappa)
+            neighbor_base_labels = tuple(
+                self._unreplica(replicas[port + 1], kappa)
+                for port in range(view.degree)
+            )
+            base_view = VerifierView(
+                node=view.node,
+                state=view.state,
+                degree=view.degree,
+                params=view.params,
+                own_label=own_base_label,
+                messages=neighbor_base_labels,
+            )
+            base_accepts = bool(self.base.verify_at(base_view))
+        except ValueError:
+            # The one-shot verifier hits this after the fingerprint checks
+            # and rejects; with or without matching fingerprints the node's
+            # output is False, so a constant False verdict is equivalent.
+            base_accepts = False
+        return kappa, replicas, base_accepts
+
+    def engine_node_context(self, view: LabelView) -> "_CompiledNodeContext":
+        kappa, replicas, base_accepts = self._engine_parse(view)
+        fingerprinter = self._fingerprinter(kappa)
+        return _CompiledNodeContext(
+            fingerprinter=fingerprinter,
+            own_coefficients=fingerprinter.reversed_coefficients(replicas[0]),
+            stored_coefficients=tuple(
+                fingerprinter.reversed_coefficients(replica)
+                for replica in replicas[1:]
+            ),
+            base_accepts=base_accepts,
+        )
+
+    def engine_certificate(
+        self, context: "_CompiledNodeContext", port: int, rng: random.Random
+    ):
+        return context.fingerprinter.sample_raw(context.own_coefficients, rng)
+
+    def engine_verify(self, context: "_CompiledNodeContext", messages, shared_rng) -> bool:
+        check_raw = context.fingerprinter.check_raw
+        for stored_copy, message in zip(context.stored_coefficients, messages):
+            if not check_raw(stored_copy, message):
+                return False
+        return context.base_accepts
 
     # -- reporting -------------------------------------------------------------------
 

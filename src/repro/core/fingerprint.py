@@ -25,10 +25,20 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
+from functools import lru_cache
+from typing import Tuple
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter, bits_for_max
 from repro.substrates.gf import PrimeField
 from repro.substrates.primes import fingerprint_prime
+
+# A fingerprint stripped of its bit packing: the total packed width plus the
+# ``(x, A(x))`` point list.  The batched engine ships these between co-located
+# verifier contexts instead of real bit strings — the packing is lossless and
+# both ends share one scheme instance, so accept/reject decisions are
+# unchanged while the BitWriter/BitReader round-trip disappears from the
+# per-trial cost.
+RawFingerprint = Tuple[int, Tuple[Tuple[int, int], ...]]
 
 
 @dataclass(frozen=True)
@@ -73,13 +83,28 @@ class Fingerprinter:
             prime=prime,
             coordinate_bits=bits_for_max(prime - 1),
         )
+        # Total fingerprint size, 2 * ceil(log2 p) * repetitions bits — a
+        # plain attribute because the batched engine reads it per message.
+        self.certificate_bits = self.params.certificate_bits * repetitions
+        # Coefficient extraction per distinct input string.  Verification
+        # loops fingerprint the same handful of label replicas thousands of
+        # times (and re-parse them into fresh-but-equal BitString objects),
+        # so the cache is keyed by value, not identity.
+        self._coefficients = lru_cache(maxsize=1024)(self._extract_coefficients)
+
+    @staticmethod
+    @lru_cache(maxsize=256)
+    def shared(lam: int, repetitions: int = 1) -> "Fingerprinter":
+        """A process-wide memoized instance for ``(lam, repetitions)``.
+
+        Instances are deterministic public objects, so sharing them is safe;
+        schemes that used to build a fingerprinter per node (or per
+        certificate call) route through here and pay the prime search and
+        field construction once per parameter pair.
+        """
+        return Fingerprinter(lam, repetitions=repetitions)
 
     # -- sizes ---------------------------------------------------------------
-
-    @property
-    def certificate_bits(self) -> int:
-        """Total fingerprint size: ``2 * ceil(log2 p) * repetitions`` bits."""
-        return self.params.certificate_bits * self.repetitions
 
     def soundness_error(self) -> float:
         """Upper bound on ``Pr[check passes | strings differ]``.
@@ -94,23 +119,103 @@ class Fingerprinter:
 
     # -- operations ------------------------------------------------------------
 
-    def _coefficients(self, data: BitString) -> list:
+    def _extract_coefficients(self, data: BitString) -> Tuple[int, ...]:
         if data.length != self.lam:
             raise ValueError(
                 f"fingerprinter for {self.lam}-bit strings got {data.length} bits"
             )
-        return data.bits()
+        return data.bit_tuple()
+
+    def sample_points(self, data: BitString, rng: random.Random) -> Tuple[Tuple[int, int], ...]:
+        """Draw ``repetitions`` fingerprint points ``(x, A(x))`` of ``data``.
+
+        The evaluation points are drawn first (the same ``rng`` consumption
+        order as interleaved draw-evaluate loops) and the polynomial is then
+        evaluated at all of them in one multi-point pass.
+        """
+        coefficients = self._coefficients(data)
+        prime = self.params.prime
+        xs = [rng.randrange(prime) for _ in range(self.repetitions)]
+        values = self.field.poly_eval_many(coefficients, xs)
+        return tuple(zip(xs, values))
 
     def make(self, data: BitString, rng: random.Random) -> BitString:
         """Fingerprint ``data``: ``repetitions`` pairs ``(x, A(x))``."""
-        coefficients = self._coefficients(data)
         writer = BitWriter()
-        for _ in range(self.repetitions):
-            x = rng.randrange(self.params.prime)
-            value = self.field.poly_eval(coefficients, x)
-            writer.write_uint(x, self.params.coordinate_bits)
-            writer.write_uint(value, self.params.coordinate_bits)
+        width = self.params.coordinate_bits
+        for x, value in self.sample_points(data, rng):
+            writer.write_uint(x, width)
+            writer.write_uint(value, width)
         return writer.finish()
+
+    # -- unpacked (engine) operations ------------------------------------------
+    #
+    # The batched engine never ships certificates over a wire, so it works
+    # on RawFingerprint objects and on *reversed* coefficient tuples cached
+    # in per-node contexts — the Horner loops below run on locals with no
+    # cache lookups or packing in the per-trial path.  The recurrence is
+    # deliberately inlined here rather than shared with PrimeField.poly_eval:
+    # these two loops are the hottest code in the repository (one execution
+    # per fingerprint point per trial), and a shared kernel would add a
+    # function call per point.
+
+    def reversed_coefficients(self, data: BitString) -> Tuple[int, ...]:
+        """``data``'s polynomial coefficients, highest degree first.
+
+        The shape the Horner evaluations of :meth:`sample_raw` /
+        :meth:`check_raw` consume; engine contexts compute this once per
+        label replica at plan-compile time.
+        """
+        return tuple(reversed(self._coefficients(data)))
+
+    def make_raw(self, data: BitString, rng: random.Random) -> RawFingerprint:
+        """The unpacked form of :meth:`make`: ``(packed width, points)``.
+
+        The drawn points are identical to what :meth:`make` would pack for
+        the same ``rng`` state.
+        """
+        return self.sample_raw(self.reversed_coefficients(data), rng)
+
+    def sample_raw(
+        self, reversed_coefficients: Tuple[int, ...], rng: random.Random
+    ) -> RawFingerprint:
+        """Draw an unpacked fingerprint from precomputed coefficients."""
+        prime = self.params.prime
+        randrange = rng.randrange
+        points = []
+        for _ in range(self.repetitions):
+            x = randrange(prime)
+            accumulator = 0
+            for coefficient in reversed_coefficients:
+                accumulator = (accumulator * x + coefficient) % prime
+            points.append((x, accumulator))
+        return (self.certificate_bits, tuple(points))
+
+    def check_raw(
+        self, reversed_coefficients: Tuple[int, ...], certificate: RawFingerprint
+    ) -> bool:
+        """:meth:`check` for an unpacked certificate.
+
+        Decision-identical to packing the points with the *sender's*
+        fingerprinter and running :meth:`check`, provided sender and
+        receiver use the same ``repetitions`` (always true when both ends
+        run one scheme instance): equal packed widths then imply equal
+        coordinate widths, so the unpacking this method skips would have
+        recovered exactly ``points``.
+        """
+        packed_bits, points = certificate
+        if packed_bits != self.certificate_bits or len(points) != self.repetitions:
+            return False
+        prime = self.params.prime
+        for x, claimed in points:
+            if x >= prime or claimed >= prime:
+                return False
+            accumulator = 0
+            for coefficient in reversed_coefficients:
+                accumulator = (accumulator * x + coefficient) % prime
+            if accumulator != claimed:
+                return False
+        return True
 
     def check(self, data: BitString, certificate: BitString) -> bool:
         """Evaluate ``data``'s polynomial at the certificate's points.
@@ -120,16 +225,18 @@ class Fingerprinter:
         """
         if certificate.length != self.certificate_bits:
             return False
-        coefficients = self._coefficients(data)
+        width = self.params.coordinate_bits
         reader = BitReader(certificate)
-        for _ in range(self.repetitions):
-            x = reader.read_uint(self.params.coordinate_bits)
-            claimed = reader.read_uint(self.params.coordinate_bits)
-            if x >= self.params.prime or claimed >= self.params.prime:
-                return False
-            if self.field.poly_eval(coefficients, x) != claimed:
-                return False
-        return True
+        points = tuple(
+            (reader.read_uint(width), reader.read_uint(width))
+            for _ in range(self.repetitions)
+        )
+        return self._check_points(data, points)
+
+    def _check_points(self, data: BitString, points) -> bool:
+        return self.check_raw(
+            self.reversed_coefficients(data), (self.certificate_bits, points)
+        )
 
 
 def repetitions_for_error(target_error: float) -> int:

@@ -182,6 +182,40 @@ class RandomizedScheme(ABC):
         return f"<{type(self).__name__} {self.name!r} ({sided}) for {self.predicate.name!r}>"
 
 
+def engine_hooks_available(scheme: "RandomizedScheme") -> bool:
+    """True when ``scheme`` offers the batched-engine fast-path hooks.
+
+    The single definition of engine readiness: a scheme is hook-capable when
+    it defines ``engine_node_context`` and its optional ``engine_ready()``
+    gate (used by wrappers whose support depends on the wrapped scheme)
+    agrees.  Both :class:`repro.engine.plan.VerificationPlan` and wrapper
+    schemes delegating readiness to their base consult this helper.
+    """
+    if getattr(scheme, "engine_node_context", None) is None:
+        return False
+    ready = getattr(scheme, "engine_ready", None)
+    return True if ready is None else bool(ready())
+
+
+# The stream-key format below is the definition of every RNG stream in the
+# system.  The batched engine (repro.engine.plan) rebuilds the same keys from
+# a per-trial prefix plus these suffixes to honour its bit-identical compat
+# guarantee — change the format only through these helpers.
+
+SHARED_RNG_SUFFIX = "|shared"
+
+
+def rng_stream_suffix(node: Node, port: Optional[int]) -> str:
+    """The seed-independent tail of a (node, port) stream key.
+
+    The full key is ``f"{seed}{rng_stream_suffix(node, port)}"``;
+    ``port=None`` addresses the node-shared stream.
+    """
+    if port is None:
+        return f"|{node!r}|node"
+    return f"|{node!r}|{port}"
+
+
 def derive_rng(seed: int, node: Node, port: Optional[int]) -> random.Random:
     """A deterministic child RNG for a (node, port) pair.
 
@@ -189,9 +223,7 @@ def derive_rng(seed: int, node: Node, port: Optional[int]) -> random.Random:
     its own stream.  Passing ``port=None`` yields the node-shared stream used
     by the non-edge-independent mode the paper's open questions mention.
     """
-    if port is None:
-        return random.Random(f"{seed}|{node!r}|node")
-    return random.Random(f"{seed}|{node!r}|{port}")
+    return random.Random(f"{seed}{rng_stream_suffix(node, port)}")
 
 
 def derive_shared_rng(seed: int) -> random.Random:
@@ -201,4 +233,4 @@ def derive_shared_rng(seed: int) -> random.Random:
     nodes (senders and verifiers alike) observe exactly the same coins —
     the shared-randomness model of the paper's Section 6 open questions.
     """
-    return random.Random(f"{seed}|shared")
+    return random.Random(f"{seed}{SHARED_RNG_SUFFIX}")

@@ -29,13 +29,24 @@ marks out exactly where Definition 4.5 does work in the lower bounds.
 from __future__ import annotations
 
 import random
-from typing import Dict
+from dataclasses import dataclass
+from typing import Dict, Tuple
 
 from repro.core.bitstrings import BitString
 from repro.core.compiler import FingerprintCompiledRPLS
 from repro.core.configuration import Configuration
 from repro.core.scheme import LabelView, ProofLabelingScheme, VerifierView
 from repro.graphs.port_graph import Node
+
+
+@dataclass(frozen=True)
+class _SharedCoinsNodeContext:
+    """Per-node trial-invariant state for the engine fast path."""
+
+    width: int
+    own_value: int
+    stored_values: Tuple[int, ...]
+    base_accepts: bool
 
 
 def _parity(value: int) -> int:
@@ -100,6 +111,41 @@ class SharedCoinsCompiledRPLS(FingerprintCompiledRPLS):
             messages=neighbor_base_labels,
         )
         return self.base.verify_at(base_view)
+
+    # -- batched-engine fast path ------------------------------------------------
+    #
+    # Overrides the fingerprint compiler's hooks: certificates here are
+    # GF(2) parities, not polynomial fingerprints.  The parent hook already
+    # parses the label and precomputes the base verdict, so only the replica
+    # values are retained.
+
+    def engine_node_context(self, view: LabelView) -> _SharedCoinsNodeContext:
+        kappa, replicas, base_accepts = self._engine_parse(view)
+        return _SharedCoinsNodeContext(
+            width=self._replica_width(kappa),
+            own_value=replicas[0].value,
+            stored_values=tuple(replica.value for replica in replicas[1:]),
+            base_accepts=base_accepts,
+        )
+
+    def engine_certificate(
+        self, context: _SharedCoinsNodeContext, port: int, rng: random.Random
+    ) -> Tuple[int, ...]:
+        masks = self._masks(rng, context.width)
+        own_value = context.own_value
+        return tuple(_parity(own_value & mask) for mask in masks)
+
+    def engine_verify(self, context: _SharedCoinsNodeContext, messages, shared_rng) -> bool:
+        if shared_rng is None:
+            # Model mismatch: the one-shot verifier raises (and therefore
+            # rejects) when run without public coins.
+            return False
+        masks = self._masks(shared_rng, context.width)
+        for stored_value, message in zip(context.stored_values, messages):
+            expected = tuple(_parity(stored_value & mask) for mask in masks)
+            if message != expected:
+                return False
+        return context.base_accepts
 
     def verification_complexity(
         self, configuration: Configuration, seed: int = 0

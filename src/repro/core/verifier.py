@@ -227,17 +227,32 @@ def estimate_acceptance(
     seed: int = 0,
     labels: Optional[Dict[Node, BitString]] = None,
     randomness: RandomnessMode = "edge",
+    seed_mode: Literal["mix", "legacy"] = "mix",
 ) -> "AcceptanceEstimate":
-    """Monte-Carlo estimate of the acceptance probability.
+    """Monte-Carlo estimate of the acceptance probability — reference path.
 
     The prover runs once (labels are deterministic); each trial re-randomizes
     only the certificates, which is exactly the probability space of
     Section 2.2.
+
+    Trial ``i`` runs with seed ``derive_trial_seed(seed, i)`` — the explicit
+    SplitMix64 mix of :mod:`repro.core.seeding`, shared with the batched
+    engine so both paths sample identical trial sequences.  The historical
+    derivation ``hash((seed, trial))`` (an accidental mixing function) is
+    available as ``seed_mode="legacy"`` for reproducing old results.
+
+    This loop deliberately stays unoptimized: it is the reference oracle the
+    batched engine (:mod:`repro.engine`) is tested against.  For hot
+    Monte-Carlo loops, compile a :class:`~repro.engine.plan.VerificationPlan`
+    and use :func:`~repro.engine.montecarlo.estimate_acceptance_fast`, which
+    produces identical per-trial decisions at a fraction of the cost.
     """
+    from repro.core.seeding import resolve_trial_seed
     from repro.simulation.metrics import AcceptanceEstimate  # lazy: import cycle
 
     if trials <= 0:
         raise ValueError("trials must be positive")
+    trial_seed = resolve_trial_seed(seed_mode)
     if labels is None:
         labels = scheme.prover(configuration)
     accepted = 0
@@ -245,7 +260,7 @@ def estimate_acceptance(
         run = verify_randomized(
             scheme,
             configuration,
-            seed=hash((seed, trial)),
+            seed=trial_seed(seed, trial),
             labels=labels,
             randomness=randomness,
         )

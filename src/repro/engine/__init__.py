@@ -1,0 +1,61 @@
+"""The batched verification engine — repeated verification, made cheap.
+
+Why this package exists
+-----------------------
+
+The paper's randomized schemes carry *statistical* guarantees, so nearly
+every experiment in this repository is a Monte-Carlo loop: run the same
+``(scheme, configuration)`` verification round hundreds of times and count
+acceptances.  The one-shot engine
+(:func:`repro.core.verifier.verify_randomized`) is the faithful reference
+implementation of one round, but it rebuilds everything from scratch per
+call — prover labels, :class:`SchemeParams` (which re-encodes every node
+state), per-node views, the message wiring, and each scheme's label parsing.
+This package hoists all of that out of the trial loop.
+
+When to use what
+----------------
+
+- ``verify_randomized(scheme, config, seed)`` — one round, full
+  :class:`~repro.core.verifier.RandomizedRun` introspection (per-node
+  outputs, certificates, bit accounting).  Use for single verifications,
+  debugging, and anywhere certificates themselves are inspected.
+- ``estimate_acceptance(scheme, config, trials, seed)`` — the legacy
+  per-trial loop in :mod:`repro.core.verifier`.  It is the *reference
+  oracle*: simple, obviously faithful, and kept unoptimized on purpose so
+  the engine can be tested against it decision-for-decision.
+- ``VerificationPlan.compile(...)`` + ``estimate_acceptance_fast(plan, ...)``
+  — repeated verification of one ``(scheme, configuration, labels)`` pair.
+  Same probability space and per-trial decisions as the reference oracle
+  (default modes), an order of magnitude more trials per second; see
+  ``BENCH_engine.json`` at the repository root for the measured trajectory.
+  Schemes with engine hooks (the fingerprint compiler, ``DirectUnifRPLS``,
+  ``BoostedRPLS`` over either, the shared-coins compiler) additionally
+  parse labels once per plan instead of once per certificate call.
+
+Knobs
+-----
+
+- ``rng_mode="compat"`` (default) reproduces the legacy string-seeded RNG
+  streams bit-for-bit; ``rng_mode="fast"`` derives streams through the
+  SplitMix64 integer mix of :mod:`repro.core.seeding` — statistically
+  equivalent, measurably faster, but a different point of the probability
+  space for the same seed.
+- ``seed_mode="mix"`` (default) derives per-trial seeds with the shared
+  SplitMix64 mix; ``"legacy"`` reproduces the historical
+  ``hash((seed, trial))`` derivation.
+- ``stop_halfwidth=...`` enables the confidence-interval early exit of
+  :func:`estimate_acceptance_fast`.
+"""
+
+from repro.engine.montecarlo import (
+    estimate_acceptance_batched,
+    estimate_acceptance_fast,
+)
+from repro.engine.plan import VerificationPlan
+
+__all__ = [
+    "VerificationPlan",
+    "estimate_acceptance_batched",
+    "estimate_acceptance_fast",
+]

@@ -1,0 +1,447 @@
+"""Compiled verification plans: everything trial-invariant, computed once.
+
+One randomized verification round (:func:`repro.core.verifier.verify_randomized`)
+mixes two kinds of work:
+
+- **trial-invariant** — running the prover, deriving :class:`SchemeParams`
+  (which encodes every node state), building per-node label views, resolving
+  the port-to-port wiring of :func:`repro.simulation.network.exchange_messages`,
+  and parsing labels inside scheme verifiers;
+- **per-trial** — deriving RNG streams, generating certificates, and
+  evaluating the randomized checks.
+
+Monte-Carlo drivers repeat the round hundreds of times with only the
+randomness changing, so :class:`VerificationPlan` hoists the first kind of
+work out of the loop.  ``plan.run_trial(trial_seed)`` then performs exactly
+the per-trial work and returns the round's accept/reject decision —
+bit-identical (same decision for the same ``trial_seed``) to
+``verify_randomized(scheme, configuration, seed=trial_seed, ...)`` in the
+default ``rng_mode="compat"``.
+
+Scheme fast paths (the hook protocol)
+-------------------------------------
+
+A scheme may additionally expose three optional methods; when present the
+plan parses every label **once at compile time** and ships unpacked
+certificate objects between verifier contexts instead of bit strings:
+
+``engine_node_context(view: LabelView) -> ctx``
+    Called once per node at compile time.  Returns an opaque per-node
+    context holding whatever the scheme's ``certificate`` / ``verify_at``
+    would otherwise re-derive from the label on every call (parsed
+    replicas, fingerprinters, precomputed sub-verdicts).  Must raise
+    :class:`ValueError` for labels the node cannot parse — the plan then
+    treats the node exactly as the one-shot engine does: its certificates
+    are malformed and the node itself rejects.
+
+``engine_certificate(ctx, port, rng) -> message``
+    Per trial, per port.  Must consume ``rng`` in the same order as
+    ``certificate`` so compat mode reproduces the legacy coin sequence,
+    and must return an object that ``engine_verify`` decides on exactly as
+    ``verify_at`` would decide on the packed equivalent.  May raise
+    :class:`ValueError` for certificates the node cannot produce; the plan
+    then delivers ``None``, which receivers reject — the hook analogue of
+    the one-shot engine's raise-to-empty-bit-string rule.  ``rng`` is only
+    valid for the duration of the call — the plan reuses one re-seeded
+    generator across calls, so hooks must not retain it.
+
+``engine_verify(ctx, messages, shared_rng) -> bool``
+    Per trial, per node.  ``messages`` are the objects the port neighbors
+    produced, indexed by port.  ``shared_rng`` is a fresh public-coin
+    stream under ``randomness="shared"`` and ``None`` otherwise.
+
+A scheme whose support is conditional (wrappers like
+:class:`~repro.core.boosting.BoostedRPLS`, whose fast path exists only if
+the wrapped scheme has one) additionally defines ``engine_ready() -> bool``.
+Schemes without hooks run through a generic path that still skips the
+prover, params, views, and wiring work — and is certificate-exact, not just
+decision-exact, with respect to the legacy engine.
+
+The contract every hook implementation must honour: **for each node, the
+accept/reject output must equal the legacy output for the same coins.**
+The test suite enforces this property against the reference oracle for all
+hook-bearing schemes and all three randomness modes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bitstrings import BitString
+from repro.core.configuration import Configuration
+from repro.core.scheme import (
+    SHARED_RNG_SUFFIX,
+    LabelView,
+    RandomizedScheme,
+    SchemeParams,
+    VerifierView,
+    engine_hooks_available,
+    rng_stream_suffix,
+)
+from repro.core.seeding import derive_stream_seed
+from repro.core.verifier import RandomnessMode
+from repro.graphs.port_graph import Node
+
+RngMode = str  # "compat" (legacy string-seeded streams) or "fast" (integer mix)
+
+_EMPTY = BitString.empty()
+
+
+def _certificate(engine_certificate, context, port, rng):
+    """One hook certificate call with the legacy ValueError contract.
+
+    The one-shot engine maps a raising ``certificate()`` to an empty (hence
+    rejected) message; the hook path mirrors that by mapping a raising
+    ``engine_certificate`` to ``None``, which every receiver rejects.
+    """
+    try:
+        return engine_certificate(context, port, rng)
+    except ValueError:
+        return None
+
+
+class VerificationPlan:
+    """A ``(scheme, configuration, labels, randomness)`` tuple, precompiled.
+
+    Build with :meth:`compile`; reuse across as many trials as needed.  The
+    plan is read-only after compilation and holds no per-trial state, so a
+    single plan may be shared by concurrent estimators.
+    """
+
+    def __init__(
+        self,
+        scheme: RandomizedScheme,
+        configuration: Configuration,
+        labels: Dict[Node, BitString],
+        randomness: RandomnessMode,
+    ):
+        self.scheme = scheme
+        self.configuration = configuration
+        self.labels = labels
+        self.randomness = randomness
+        self.params = SchemeParams.from_configuration(configuration)
+
+        graph = configuration.graph
+        self.nodes: Tuple[Node, ...] = tuple(graph.nodes)
+        node_index = {node: i for i, node in enumerate(self.nodes)}
+        self.degrees: Tuple[int, ...] = tuple(graph.degree(node) for node in self.nodes)
+
+        self.label_views: Tuple[LabelView, ...] = tuple(
+            LabelView(
+                node=node,
+                state=configuration.state(node),
+                degree=self.degrees[i],
+                params=self.params,
+                own_label=labels[node],
+            )
+            for i, node in enumerate(self.nodes)
+        )
+
+        # Half-edge layout: certificates are generated in the same order the
+        # one-shot engine uses (nodes in graph order, ports ascending), and
+        # half-edge (node i, port q) lives at flat index offset[i] + q.
+        offsets: List[int] = []
+        total = 0
+        for degree in self.degrees:
+            offsets.append(total)
+            total += degree
+        self.half_edge_count = total
+
+        # incoming[i][q] = flat index of the half-edge whose message arrives
+        # on port q of node i — the entire exchange_messages round resolved
+        # to index arithmetic.
+        incoming: List[List[int]] = [[0] * degree for degree in self.degrees]
+        for i, node in enumerate(self.nodes):
+            for port, neighbor, reverse_port in graph.ports(node):
+                incoming[node_index[neighbor]][reverse_port] = offsets[i] + port
+        self.incoming: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(ports) for ports in incoming
+        )
+
+        # Compat-mode RNG seed strings: derive_rng seeds with the trial seed
+        # followed by a per-stream suffix and re-hashes the whole string
+        # through SHA-512 per construction; at least the invariant suffixes
+        # (format owned by repro.core.scheme) are built once.
+        self.port_suffixes: Tuple[Tuple[str, ...], ...] = tuple(
+            tuple(
+                rng_stream_suffix(node, port) for port in range(self.degrees[i])
+            )
+            for i, node in enumerate(self.nodes)
+        )
+        self.node_suffixes: Tuple[str, ...] = tuple(
+            rng_stream_suffix(node, None) for node in self.nodes
+        )
+
+        # Scheme fast path: parse every label exactly once.
+        self.contexts: Optional[Tuple[object, ...]] = None
+        if engine_hooks_available(scheme):
+            contexts: List[object] = []
+            for view in self.label_views:
+                try:
+                    contexts.append(scheme.engine_node_context(view))
+                except ValueError:
+                    # Unparseable (forged) label: certificates are malformed
+                    # and the node itself rejects — see run_trial.
+                    contexts.append(None)
+            self.contexts = tuple(contexts)
+
+    # -- construction ---------------------------------------------------------
+
+    @staticmethod
+    def compile(
+        scheme: RandomizedScheme,
+        configuration: Configuration,
+        labels: Optional[Dict[Node, BitString]] = None,
+        randomness: RandomnessMode = "edge",
+    ) -> "VerificationPlan":
+        """Precompute the trial-invariant half of repeated verification.
+
+        ``labels`` defaults to the honest prover's assignment, mirroring
+        :func:`~repro.core.verifier.verify_randomized`.
+        """
+        if labels is None:
+            labels = scheme.prover(configuration)
+        return VerificationPlan(scheme, configuration, labels, randomness)
+
+    @property
+    def uses_fast_path(self) -> bool:
+        """True when the scheme supplied engine hooks (labels parsed once)."""
+        return self.contexts is not None
+
+    # -- per-trial RNG derivation ---------------------------------------------
+
+    def _edge_rngs(self, trial_seed: int, rng_mode: RngMode) -> List[random.Random]:
+        """One generator per half-edge, flat-indexed, for the current mode."""
+        Random = random.Random
+        randomness = self.randomness
+        rngs: List[random.Random] = []
+        if rng_mode == "compat":
+            prefix = str(trial_seed)
+            if randomness == "edge":
+                for suffixes in self.port_suffixes:
+                    rngs.extend(Random(prefix + suffix) for suffix in suffixes)
+            elif randomness == "node":
+                for i, degree in enumerate(self.degrees):
+                    rng = Random(prefix + self.node_suffixes[i])
+                    rngs.extend(rng for _ in range(degree))
+            elif randomness == "shared":
+                shared_key = prefix + SHARED_RNG_SUFFIX
+                rngs.extend(
+                    Random(shared_key) for _ in range(self.half_edge_count)
+                )
+            else:  # pragma: no cover - guarded upstream
+                raise ValueError(f"unknown randomness mode {randomness!r}")
+        elif rng_mode == "fast":
+            if randomness == "edge":
+                for i, degree in enumerate(self.degrees):
+                    rngs.extend(
+                        Random(derive_stream_seed(trial_seed, i, port))
+                        for port in range(degree)
+                    )
+            elif randomness == "node":
+                for i, degree in enumerate(self.degrees):
+                    rng = Random(derive_stream_seed(trial_seed, i, -1))
+                    rngs.extend(rng for _ in range(degree))
+            elif randomness == "shared":
+                shared_seed = derive_stream_seed(trial_seed, -1, -1)
+                rngs.extend(
+                    Random(shared_seed) for _ in range(self.half_edge_count)
+                )
+            else:  # pragma: no cover - guarded upstream
+                raise ValueError(f"unknown randomness mode {randomness!r}")
+        else:
+            raise ValueError(f"unknown rng_mode {rng_mode!r}")
+        return rngs
+
+    def _shared_verifier_rng(
+        self, trial_seed: int, rng_mode: RngMode
+    ) -> Optional[random.Random]:
+        if self.randomness != "shared":
+            return None
+        if rng_mode == "compat":
+            return random.Random(f"{trial_seed}{SHARED_RNG_SUFFIX}")
+        return random.Random(derive_stream_seed(trial_seed, -1, -1))
+
+    # -- execution -------------------------------------------------------------
+
+    def run_trial(self, trial_seed: int, rng_mode: RngMode = "compat") -> bool:
+        """One verification round; True iff every node accepts.
+
+        ``rng_mode="compat"`` (default) derives the exact RNG streams of
+        :func:`~repro.core.verifier.verify_randomized`, so the decision is
+        bit-identical to ``verify_randomized(..., seed=trial_seed)``.
+        ``rng_mode="fast"`` swaps the string-seeded derivation for the
+        SplitMix64 integer mix of :mod:`repro.core.seeding` — statistically
+        equivalent streams at a fraction of the derivation cost, but a
+        *different* probability-space point for the same seed.
+        """
+        if self.contexts is not None:
+            return self._run_trial_hooks(trial_seed, rng_mode)
+        return self._run_trial_generic(trial_seed, rng_mode)
+
+    def _run_trial_hooks(self, trial_seed: int, rng_mode: RngMode) -> bool:
+        # Hook contracts allow the plan to reuse one Random instance,
+        # re-seeded per stream: hook certificate generators may not retain
+        # the rng beyond the call.  Re-seeding skips ~half a microsecond of
+        # object construction per half-edge, which is material at thousands
+        # of derivations per trial.
+        scheme = self.scheme
+        contexts = self.contexts
+        engine_certificate = scheme.engine_certificate
+        randomness = self.randomness
+        certificates: List[object] = [None] * self.half_edge_count
+        rng = random.Random()
+        reseed = rng.seed
+        shared_key: object = None
+
+        if rng_mode == "compat":
+            prefix = str(trial_seed)
+            if randomness == "edge":
+                flat = 0
+                for context, suffixes in zip(contexts, self.port_suffixes):
+                    if context is None:
+                        flat += len(suffixes)  # malformed label: stays None
+                        continue
+                    port = 0
+                    for suffix in suffixes:
+                        reseed(prefix + suffix)
+                        certificates[flat] = _certificate(engine_certificate, context, port, rng)
+                        flat += 1
+                        port += 1
+            elif randomness == "node":
+                flat = 0
+                for i, context in enumerate(contexts):
+                    degree = self.degrees[i]
+                    if context is None:
+                        flat += degree
+                        continue
+                    reseed(prefix + self.node_suffixes[i])
+                    for port in range(degree):
+                        certificates[flat] = _certificate(engine_certificate, context, port, rng)
+                        flat += 1
+            elif randomness == "shared":
+                shared_key = prefix + SHARED_RNG_SUFFIX
+                flat = 0
+                for context, degree in zip(contexts, self.degrees):
+                    if context is None:
+                        flat += degree
+                        continue
+                    for port in range(degree):
+                        reseed(shared_key)  # every sender sees the same coins
+                        certificates[flat] = _certificate(engine_certificate, context, port, rng)
+                        flat += 1
+            else:  # pragma: no cover - guarded upstream
+                raise ValueError(f"unknown randomness mode {randomness!r}")
+        elif rng_mode == "fast":
+            if randomness in ("edge", "node"):
+                # One SplitMix64-seeded stream feeds every certificate in
+                # sequence.  Consecutive draws of one stream are as
+                # independent as draws of derived per-port streams, so the
+                # round's acceptance distribution is unchanged — only the
+                # (seed -> coins) mapping differs from compat mode.
+                reseed(derive_stream_seed(trial_seed, 0, 0))
+                flat = 0
+                for context, degree in zip(contexts, self.degrees):
+                    if context is None:
+                        flat += degree
+                        continue
+                    for port in range(degree):
+                        certificates[flat] = _certificate(engine_certificate, context, port, rng)
+                        flat += 1
+            elif randomness == "shared":
+                shared_key = derive_stream_seed(trial_seed, -1, -1)
+                flat = 0
+                for context, degree in zip(contexts, self.degrees):
+                    if context is None:
+                        flat += degree
+                        continue
+                    for port in range(degree):
+                        reseed(shared_key)
+                        certificates[flat] = _certificate(engine_certificate, context, port, rng)
+                        flat += 1
+            else:  # pragma: no cover - guarded upstream
+                raise ValueError(f"unknown randomness mode {randomness!r}")
+        else:
+            raise ValueError(f"unknown rng_mode {rng_mode!r}")
+
+        engine_verify = scheme.engine_verify
+        shared = randomness == "shared"
+        incoming = self.incoming
+        for i, context in enumerate(contexts):
+            if context is None:
+                return False  # the node cannot parse its own label: rejects
+            messages = [certificates[j] for j in incoming[i]]
+            if None in messages:
+                # A neighbor's certificate call raised: the legacy engine
+                # delivers an empty bit string, which every hook-bearing
+                # scheme's verifier rejects.
+                return False
+            if shared:
+                reseed(shared_key)  # a fresh view over the round's coins
+                shared_rng = rng
+            else:
+                shared_rng = None
+            if not engine_verify(context, messages, shared_rng):
+                return False
+        return True
+
+    def _run_trial_generic(self, trial_seed: int, rng_mode: RngMode) -> bool:
+        scheme = self.scheme
+        rngs = self._edge_rngs(trial_seed, rng_mode)
+        certificate = scheme.certificate
+
+        certificates: List[BitString] = [_EMPTY] * self.half_edge_count
+        flat = 0
+        for view, degree in zip(self.label_views, self.degrees):
+            for port in range(degree):
+                try:
+                    certificates[flat] = certificate(view, port, rngs[flat])
+                except ValueError:
+                    certificates[flat] = _EMPTY
+                flat += 1
+
+        verify_at = scheme.verify_at
+        shared = self.randomness == "shared"
+        params = self.params
+        for i, view in enumerate(self.label_views):
+            verifier_view = VerifierView(
+                node=view.node,
+                state=view.state,
+                degree=view.degree,
+                params=params,
+                own_label=view.own_label,
+                messages=tuple(certificates[j] for j in self.incoming[i]),
+                shared_rng=(
+                    self._shared_verifier_rng(trial_seed, rng_mode)
+                    if shared
+                    else None
+                ),
+            )
+            try:
+                accepted = bool(verify_at(verifier_view))
+            except ValueError:
+                accepted = False
+            if not accepted:
+                return False
+        return True
+
+    def run_trials(
+        self,
+        trial_seeds: Sequence[int],
+        rng_mode: RngMode = "compat",
+    ) -> int:
+        """Run a chunk of trials; returns how many rounds accepted."""
+        run_trial = (
+            self._run_trial_hooks
+            if self.contexts is not None
+            else self._run_trial_generic
+        )
+        return sum(1 for seed in trial_seeds if run_trial(seed, rng_mode))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        path = "fast-path" if self.uses_fast_path else "generic"
+        return (
+            f"<VerificationPlan {self.scheme.name!r} n={len(self.nodes)} "
+            f"half_edges={self.half_edge_count} randomness={self.randomness!r} {path}>"
+        )

@@ -28,6 +28,7 @@ from typing import Dict
 
 from repro.core.bitstrings import BitString
 from repro.core.scheme import RandomizedScheme
+from repro.core.seeding import derive_trial_seed
 from repro.core.verifier import verify_randomized
 from repro.graphs.generators import sym_pair_configuration, two_node_configuration
 from repro.graphs.port_graph import Node
@@ -141,7 +142,7 @@ def reduction_error_rate(
     """Fraction of wrong EQ verdicts over ``trials`` independent runs."""
     wrong = 0
     for trial in range(trials):
-        run = protocol(scheme, x, y, seed=hash((seed, trial)))
+        run = protocol(scheme, x, y, seed=derive_trial_seed(seed, trial))
         if not run.correct:
             wrong += 1
     return wrong / trials

@@ -18,6 +18,7 @@ This predicate is the cleanest showcase of what randomization buys:
 from __future__ import annotations
 
 import random
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter
@@ -90,6 +91,15 @@ class UnifPLS(ProofLabelingScheme):
         return all(self._unpack(message) == own for message in view.messages)
 
 
+@dataclass(frozen=True)
+class _UnifNodeContext:
+    """Per-node trial-invariant state for the engine fast path."""
+
+    payload_length: int
+    coefficients: tuple  # payload polynomial, highest degree first
+    fingerprinter: Fingerprinter
+
+
 class DirectUnifRPLS(RandomizedScheme):
     """Labels empty; certificates are fingerprints of the sender's payload.
 
@@ -116,7 +126,7 @@ class DirectUnifRPLS(RandomizedScheme):
         writer = BitWriter()
         writer.write_varuint(payload.length)
         writer.write_bitstring(
-            Fingerprinter(payload.length, repetitions=self.repetitions).make(
+            Fingerprinter.shared(payload.length, repetitions=self.repetitions).make(
                 payload, rng
             )
         )
@@ -124,7 +134,9 @@ class DirectUnifRPLS(RandomizedScheme):
 
     def verify_at(self, view: VerifierView) -> bool:
         payload = _payload(view.state)
-        fingerprinter = Fingerprinter(payload.length, repetitions=self.repetitions)
+        fingerprinter = Fingerprinter.shared(
+            payload.length, repetitions=self.repetitions
+        )
         for message in view.messages:
             reader = BitReader(message)
             claimed_length = reader.read_varuint()
@@ -132,5 +144,39 @@ class DirectUnifRPLS(RandomizedScheme):
                 return False
             fingerprint = reader.read_bitstring(reader.remaining)
             if not fingerprinter.check(payload, fingerprint):
+                return False
+        return True
+
+    # -- batched-engine fast path ------------------------------------------------
+    #
+    # The payload and its fingerprinter are functions of the node state, so
+    # the engine context pins them once per plan and certificates travel as
+    # (claimed length, raw fingerprint) pairs.  See repro.engine.plan.
+
+    def engine_node_context(self, view: LabelView) -> "_UnifNodeContext":
+        payload = _payload(view.state)
+        fingerprinter = Fingerprinter.shared(
+            payload.length, repetitions=self.repetitions
+        )
+        return _UnifNodeContext(
+            payload_length=payload.length,
+            coefficients=fingerprinter.reversed_coefficients(payload),
+            fingerprinter=fingerprinter,
+        )
+
+    def engine_certificate(self, context: "_UnifNodeContext", port: int, rng: random.Random):
+        return (
+            context.payload_length,
+            context.fingerprinter.sample_raw(context.coefficients, rng),
+        )
+
+    def engine_verify(self, context: "_UnifNodeContext", messages, shared_rng) -> bool:
+        length = context.payload_length
+        coefficients = context.coefficients
+        check_raw = context.fingerprinter.check_raw
+        for claimed_length, raw_fingerprint in messages:
+            if claimed_length != length:
+                return False
+            if not check_raw(coefficients, raw_fingerprint):
                 return False
         return True

@@ -102,19 +102,29 @@ def run_self_stabilization(
       consistency checks (fingerprint/parity mismatches), so detection is
       probabilistic per round — the latency-vs-boosting trade lives here.
 
-    Every round runs one randomized verification with a fresh seed.  On a
+    Every round runs one randomized verification with a fresh seed (the
+    SplitMix64 per-round derivation of :mod:`repro.core.seeding`).  On a
     FALSE at any node, recovery runs immediately (the repaired state is in
     force from the next round on).
+
+    Verification rounds run over a compiled
+    :class:`~repro.engine.plan.VerificationPlan`, recompiled only when a
+    fault or recovery actually changes the configuration or the labels —
+    between faults the loop pays just the per-round randomized work.
     """
-    # Local import: repro.core.verifier pulls in repro.simulation.metrics,
-    # so a module-level import here would close an import cycle.
-    from repro.core.verifier import verify_randomized
+    # Local imports: repro.core.verifier / repro.engine pull in
+    # repro.simulation.metrics, so module-level imports here would close an
+    # import cycle.
+    from repro.core.seeding import derive_trial_seed
+    from repro.engine.plan import VerificationPlan
 
     trace = StabilizationTrace()
     current = configuration
     labels = scheme.prover(configuration)
     fault_pending_since: Optional[int] = None
     label_fault_rounds = label_fault_rounds or {}
+    plan: Optional[VerificationPlan] = None
+    plan_stale = True
 
     for round_index in range(total_rounds):
         injected = False
@@ -130,14 +140,16 @@ def run_self_stabilization(
             injected = True
 
         legal = scheme.predicate.holds(current)
-        run = verify_randomized(
-            scheme,
-            current,
-            seed=hash((seed, round_index)),
-            labels=labels,
-            randomness=randomness,
-        )
-        detected = not run.accepted
+        # Any injector or recovery run marks the plan stale — injectors and
+        # recovery procedures are user-supplied callables with no purity
+        # contract, so even one that mutates in place and returns the same
+        # object triggers a recompile.
+        if plan is None or plan_stale or injected:
+            plan = VerificationPlan.compile(
+                scheme, current, labels=labels, randomness=randomness
+            )
+            plan_stale = False
+        detected = not plan.run_trial(derive_trial_seed(seed, round_index))
 
         recovered = False
         if detected:
@@ -147,6 +159,7 @@ def run_self_stabilization(
                 trace.detection_latencies.append(round_index - fault_pending_since)
                 fault_pending_since = None
             current, labels = recovery(current)
+            plan_stale = True
             recovered = True
 
         trace.records.append(

@@ -26,6 +26,7 @@ from typing import List, Tuple
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter
 from repro.core.fingerprint import Fingerprinter
+from repro.core.seeding import derive_trial_seed
 
 
 @dataclass
@@ -118,7 +119,9 @@ def estimate_error(
     truth = x == y
     wrong = 0
     for trial in range(trials):
-        output, _transcript = protocol.run(x, y, random.Random(hash((seed, trial))))
+        output, _transcript = protocol.run(
+            x, y, random.Random(derive_trial_seed(seed, trial))
+        )
         if output != truth:
             wrong += 1
     return wrong / trials

@@ -98,6 +98,30 @@ class PrimeField:
             accumulator = (accumulator * x + coefficient) % self.p
         return accumulator
 
+    def poly_eval_many(self, coefficients: Sequence[int], xs: Iterable[int]) -> List[int]:
+        """Evaluate one polynomial at many points.
+
+        Semantically ``[self.poly_eval(coefficients, x) for x in xs]``, but
+        the coefficient sequence is reversed once for all evaluations and the
+        Horner recurrence runs over locals — the shape the fingerprint layer
+        needs when a ``t``-repetition certificate (or a whole batch of
+        Monte-Carlo trials) evaluates the same label polynomial at many
+        random points.
+
+        >>> PrimeField(7).poly_eval_many([1, 2, 3], [2, 0])
+        [3, 1]
+        """
+        p = self.p
+        highest_first = tuple(reversed(coefficients))
+        results = []
+        append = results.append
+        for x in xs:
+            accumulator = 0
+            for coefficient in highest_first:
+                accumulator = (accumulator * x + coefficient) % p
+            append(accumulator)
+        return results
+
     def poly_from_bits(self, bits: Iterable[int]) -> List[int]:
         """Coefficients (ascending) of the polynomial encoding a bit string."""
         coefficients = []

@@ -19,6 +19,7 @@ randomness.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List
 
 # Witnesses that make Miller-Rabin deterministic for all n < 3,317,044,064,679,887,385,961,981.
@@ -119,6 +120,7 @@ def prime_in_range(lo: int, hi: int) -> int:
     return candidate
 
 
+@lru_cache(maxsize=4096)
 def fingerprint_prime(lam: int) -> int:
     """Return the canonical fingerprint prime for a ``lam``-bit string.
 
@@ -126,6 +128,10 @@ def fingerprint_prime(lam: int) -> int:
     the open interval is empty or too small, so we clamp to the smallest field
     that still satisfies the soundness computation ``(lam - 1) / p < 1/3``:
     ``p = 5`` suffices for ``lam <= 1``.
+
+    The result is memoized: the prime is a pure function of ``lam``, and
+    schemes that build a fingerprinter per node (or per verification trial)
+    must not re-run the Miller-Rabin search each time.
 
     >>> fingerprint_prime(10)
     31

@@ -1,0 +1,386 @@
+"""Tests for the batched verification engine (repro.engine).
+
+The engine's load-bearing promise is *decision equivalence*: in the default
+compat/mix modes, ``VerificationPlan.run_trial`` must reproduce the exact
+accept/reject decision of the one-shot reference engine for every trial
+seed, scheme, randomness mode, and label assignment — including forged and
+outright malformed labels.  The property tests here drive that promise per
+trial (not just on aggregate counts) across hook-bearing and generic-path
+schemes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.bitstrings import BitString
+from repro.core.boosting import BoostedRPLS
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.noise import NoisyChannelRPLS
+from repro.core.seeding import (
+    derive_stream_seed,
+    derive_trial_seed,
+    legacy_trial_seed,
+    splitmix64,
+)
+from repro.core.shared import SharedCoinsCompiledRPLS
+from repro.core.verifier import estimate_acceptance, verify_randomized
+from repro.engine import (
+    VerificationPlan,
+    estimate_acceptance_batched,
+    estimate_acceptance_fast,
+)
+from repro.graphs.generators import (
+    corrupt_spanning_tree,
+    spanning_tree_configuration,
+    uniform_configuration,
+)
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.schemes.uniformity import DirectUnifRPLS
+
+TRIALS = 30
+MASTER_SEEDS = (0, 7)
+ALL_MODES = ("edge", "node", "shared")
+
+
+def _assert_trialwise_identical(scheme, configuration, labels, randomness, trials=TRIALS):
+    """Every individual trial decision matches the reference oracle."""
+    plan = VerificationPlan.compile(
+        scheme, configuration, labels=labels, randomness=randomness
+    )
+    for master in MASTER_SEEDS:
+        for trial in range(trials):
+            trial_seed = derive_trial_seed(master, trial)
+            reference = verify_randomized(
+                scheme,
+                configuration,
+                seed=trial_seed,
+                labels=labels,
+                randomness=randomness,
+            ).accepted
+            assert plan.run_trial(trial_seed) == reference, (
+                scheme.name,
+                randomness,
+                master,
+                trial,
+            )
+
+
+class TestDecisionEquivalence:
+    """Bit-identical accept/reject versus the legacy per-trial path."""
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_compiled_scheme_legal(self, randomness):
+        config = spanning_tree_configuration(18, 6, seed=1)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, config, labels, randomness)
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_compiled_scheme_stale_labels(self, randomness):
+        """Legal labels on a corrupted configuration — the soundness side."""
+        config = spanning_tree_configuration(18, 6, seed=2)
+        corrupted = corrupt_spanning_tree(config, seed=3)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, corrupted, labels, randomness)
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_unif_scheme_unequal_payloads(self, randomness):
+        config = uniform_configuration(12, 6, equal=False, seed=4)
+        scheme = DirectUnifRPLS()
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, config, labels, randomness)
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_boosted_scheme(self, randomness):
+        config = uniform_configuration(10, 6, equal=False, seed=5)
+        scheme = BoostedRPLS(DirectUnifRPLS(), repetitions=3)
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, config, labels, randomness)
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_boosted_compiled_scheme(self, randomness):
+        config = spanning_tree_configuration(14, 4, seed=6)
+        scheme = BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 2)
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, config, labels, randomness)
+
+    def test_shared_coins_scheme(self):
+        config = spanning_tree_configuration(16, 5, seed=7)
+        scheme = SharedCoinsCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, config, labels, "shared")
+
+    def test_shared_coins_scheme_wrong_mode_rejects(self):
+        """Model mismatch rejects identically through both paths."""
+        config = spanning_tree_configuration(10, 3, seed=8)
+        scheme = SharedCoinsCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(scheme, config, labels=labels, randomness="edge")
+        trial_seed = derive_trial_seed(0, 0)
+        assert plan.run_trial(trial_seed) is False
+        assert not verify_randomized(
+            scheme, config, seed=trial_seed, labels=labels, randomness="edge"
+        ).accepted
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_generic_path_scheme(self, randomness):
+        """A scheme without hooks exercises the generic (certificate-exact)
+        path: the noisy-channel wrapper has no fast path by design."""
+        config = uniform_configuration(10, 16, equal=True, seed=9)
+        scheme = NoisyChannelRPLS(DirectUnifRPLS(), flip_probability=0.02)
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=labels, randomness=randomness
+        )
+        assert not plan.uses_fast_path
+        _assert_trialwise_identical(scheme, config, labels, randomness)
+
+    def test_fast_path_flags(self):
+        config = uniform_configuration(6, 8, equal=True, seed=10)
+        compiled = DirectUnifRPLS()
+        assert VerificationPlan.compile(compiled, config).uses_fast_path
+        noisy = NoisyChannelRPLS(compiled, 0.0)  # noiseless: one-sided, hook-less
+        assert not VerificationPlan.compile(noisy, config).uses_fast_path
+        # A wrapper is only as fast as what it wraps.
+        boosted_noisy = BoostedRPLS(noisy, 2)
+        assert not VerificationPlan.compile(boosted_noisy, config).uses_fast_path
+        boosted = BoostedRPLS(compiled, 2)
+        assert VerificationPlan.compile(boosted, config).uses_fast_path
+
+
+class TestMalformedLabels:
+    """Forged labels that do not even parse must reject, not crash."""
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_garbage_labels_rejected_identically(self, randomness):
+        config = spanning_tree_configuration(12, 4, seed=11)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        rng = random.Random(12)
+        victim = config.graph.nodes[rng.randrange(config.node_count)]
+        forged = dict(labels)
+        forged[victim] = BitString.from_int(rng.getrandbits(11), 17)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=forged, randomness=randomness
+        )
+        for trial in range(10):
+            trial_seed = derive_trial_seed(13, trial)
+            reference = verify_randomized(
+                scheme, config, seed=trial_seed, labels=forged, randomness=randomness
+            )
+            assert plan.run_trial(trial_seed) == reference.accepted
+            assert not reference.accepted
+
+    def test_malformed_certificate_rejects_through_engine(self):
+        """Regression: a node whose label cannot produce certificates makes
+        the engine reject the round (legacy semantics: the node ships empty
+        certificates, neighbors reject them, and the node rejects itself)."""
+        config = uniform_configuration(8, 8, equal=True, seed=14)
+        scheme = DirectUnifRPLS()
+        labels = scheme.prover(config)
+        # A payload that is not a BitString breaks both the certificate
+        # generator and the node's own verifier.
+        victim = config.graph.nodes[0]
+        broken = config.with_state(
+            victim, config.state(victim).with_fields(payload="not-bits")
+        )
+        plan = VerificationPlan.compile(scheme, broken, labels=labels)
+        assert plan.uses_fast_path
+        for trial in range(5):
+            trial_seed = derive_trial_seed(15, trial)
+            assert plan.run_trial(trial_seed) is False
+            assert not verify_randomized(
+                scheme, broken, seed=trial_seed, labels=labels
+            ).accepted
+
+
+class TestEstimators:
+    def test_estimate_matches_reference_counts(self):
+        config = uniform_configuration(10, 6, equal=False, seed=16)
+        scheme = DirectUnifRPLS()
+        labels = scheme.prover(config)
+        reference = estimate_acceptance(
+            scheme, config, trials=60, seed=17, labels=labels
+        )
+        batched = estimate_acceptance_batched(
+            scheme, config, trials=60, seed=17, labels=labels
+        )
+        assert (batched.accepted, batched.trials) == (
+            reference.accepted,
+            reference.trials,
+        )
+
+    def test_legacy_seed_mode_matches_legacy_derivation(self):
+        config = uniform_configuration(8, 6, equal=False, seed=18)
+        scheme = DirectUnifRPLS()
+        labels = scheme.prover(config)
+        reference = estimate_acceptance(
+            scheme, config, trials=40, seed=19, labels=labels, seed_mode="legacy"
+        )
+        plan = VerificationPlan.compile(scheme, config, labels=labels)
+        batched = estimate_acceptance_fast(plan, 40, seed=19, seed_mode="legacy")
+        assert batched.accepted == reference.accepted
+
+    def test_chunking_is_invisible(self):
+        config = uniform_configuration(8, 6, equal=False, seed=20)
+        scheme = DirectUnifRPLS()
+        plan = VerificationPlan.compile(scheme, config)
+        coarse = estimate_acceptance_fast(plan, 50, seed=21, chunk_size=50)
+        fine = estimate_acceptance_fast(plan, 50, seed=21, chunk_size=7)
+        assert (coarse.accepted, coarse.trials) == (fine.accepted, fine.trials)
+
+    def test_early_exit_stops_on_tight_interval(self):
+        # Completeness of a one-sided scheme: every trial accepts, the
+        # Wilson interval collapses quickly, and the estimator stops at the
+        # first eligible checkpoint.
+        config = uniform_configuration(10, 32, equal=True, seed=22)
+        scheme = DirectUnifRPLS()
+        plan = VerificationPlan.compile(scheme, config)
+        estimate = estimate_acceptance_fast(
+            plan,
+            10_000,
+            seed=23,
+            chunk_size=25,
+            min_trials=50,
+            stop_halfwidth=0.1,
+        )
+        assert estimate.trials == 50
+        assert estimate.probability == 1.0
+
+    def test_early_exit_decisions_are_a_prefix(self):
+        config = uniform_configuration(10, 6, equal=False, seed=24)
+        scheme = DirectUnifRPLS()
+        plan = VerificationPlan.compile(scheme, config)
+        full = estimate_acceptance_fast(plan, 200, seed=25, chunk_size=50)
+        stopped = estimate_acceptance_fast(
+            plan, 200, seed=25, chunk_size=50, min_trials=50, stop_halfwidth=0.2
+        )
+        assert stopped.trials <= full.trials
+        # Re-running exactly stopped.trials trials reproduces the count.
+        again = estimate_acceptance_fast(plan, stopped.trials, seed=25, chunk_size=50)
+        assert again.accepted == stopped.accepted
+
+    def test_validation(self):
+        config = uniform_configuration(6, 4, equal=True, seed=26)
+        plan = VerificationPlan.compile(DirectUnifRPLS(), config)
+        with pytest.raises(ValueError):
+            estimate_acceptance_fast(plan, 0)
+        with pytest.raises(ValueError):
+            estimate_acceptance_fast(plan, 10, chunk_size=0)
+        with pytest.raises(ValueError):
+            estimate_acceptance_fast(plan, 10, seed_mode="nope")
+        with pytest.raises(ValueError):
+            plan.run_trial(0, rng_mode="nope")
+        with pytest.raises(ValueError):
+            estimate_acceptance(DirectUnifRPLS(), config, trials=10, seed_mode="nope")
+
+
+class TestFastRngMode:
+    """The integer-mix mode trades bit-compat for speed, not correctness."""
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_one_sided_completeness_preserved(self, randomness):
+        config = spanning_tree_configuration(16, 5, seed=27)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        plan = VerificationPlan.compile(scheme, config, randomness=randomness)
+        estimate = estimate_acceptance_fast(plan, 40, seed=28, rng_mode="fast")
+        assert estimate.probability == 1.0
+
+    def test_soundness_statistics_preserved(self):
+        config = uniform_configuration(10, 64, equal=False, seed=29)
+        scheme = DirectUnifRPLS()
+        plan = VerificationPlan.compile(scheme, config)
+        estimate = estimate_acceptance_fast(plan, 150, seed=30, rng_mode="fast")
+        assert estimate.probability < 1 / 3 + 0.1
+
+
+class TestRawFingerprints:
+    """The unpacked fingerprint forms the engine ships between contexts."""
+
+    def test_make_raw_matches_make(self):
+        from repro.core.fingerprint import Fingerprinter
+
+        fingerprinter = Fingerprinter(24, repetitions=3)
+        data = BitString.from_int(0xABCDE5, 24)
+        packed = fingerprinter.make(data, random.Random(9))
+        packed_bits, points = fingerprinter.make_raw(data, random.Random(9))
+        assert packed_bits == packed.length == fingerprinter.certificate_bits
+        # Repacking the raw points reproduces make()'s output exactly.
+        width = fingerprinter.params.coordinate_bits
+        repacked = BitString.concat(
+            [
+                BitString.from_int(x, width) + BitString.from_int(value, width)
+                for x, value in points
+            ]
+        )
+        assert repacked == packed
+        assert fingerprinter.check(data, packed)
+        assert fingerprinter.check_raw(
+            fingerprinter.reversed_coefficients(data), (packed_bits, points)
+        )
+
+    def test_check_raw_rejects_wrong_point_count(self):
+        from repro.core.fingerprint import Fingerprinter
+
+        fingerprinter = Fingerprinter(16, repetitions=2)
+        data = BitString.from_int(0xBEEF, 16)
+        coefficients = fingerprinter.reversed_coefficients(data)
+        _bits, points = fingerprinter.make_raw(data, random.Random(3))
+        assert fingerprinter.check_raw(coefficients, (fingerprinter.certificate_bits, points))
+        # A certificate claiming the right packed width but carrying the
+        # wrong number of points must not pass vacuously.
+        assert not fingerprinter.check_raw(coefficients, (fingerprinter.certificate_bits, ()))
+        assert not fingerprinter.check_raw(
+            coefficients, (fingerprinter.certificate_bits, points[:1])
+        )
+
+    def test_raising_engine_certificate_is_a_rejection(self):
+        """A hook whose certificate generator raises ValueError mid-trial is
+        treated like the legacy raise-to-empty-message rule, not a crash."""
+        config = uniform_configuration(6, 8, equal=True, seed=31)
+        scheme = DirectUnifRPLS()
+
+        class RaisingCertificates(DirectUnifRPLS):
+            def engine_certificate(self, context, port, rng):
+                raise ValueError("cannot produce a certificate")
+
+        plan = VerificationPlan.compile(RaisingCertificates(), config,
+                                        labels=scheme.prover(config))
+        assert plan.uses_fast_path
+        assert plan.run_trial(derive_trial_seed(0, 0)) is False
+
+
+class TestSeeding:
+    def test_splitmix64_reference_vector(self):
+        # First outputs of the SplitMix64 stream seeded with 0 — the
+        # published reference sequence (e.g. the xoshiro seeding test
+        # vectors): mixing state 0, gamma, 2*gamma...
+        assert splitmix64(0) == 0xE220A8397B1DCDAF
+
+    def test_splitmix64_range_and_determinism(self):
+        for x in (0, 1, 2**63, 2**64 - 1, 12345):
+            value = splitmix64(x)
+            assert 0 <= value < 2**64
+            assert splitmix64(x) == value
+
+    def test_trial_seeds_distinct(self):
+        seeds = {derive_trial_seed(seed, trial) for seed in range(8) for trial in range(200)}
+        assert len(seeds) == 8 * 200
+
+    def test_trial_seed_negative_master(self):
+        assert derive_trial_seed(-5, 3) == derive_trial_seed(-5, 3)
+        assert derive_trial_seed(-5, 3) != derive_trial_seed(-5, 4)
+
+    def test_stream_seeds_distinct_across_address_spaces(self):
+        trial = derive_trial_seed(0, 0)
+        seeds = {derive_stream_seed(trial, -1, -1)}
+        for node_index in range(10):
+            seeds.add(derive_stream_seed(trial, node_index, -1))
+            for port in range(6):
+                seeds.add(derive_stream_seed(trial, node_index, port))
+        assert len(seeds) == 1 + 10 + 60
+
+    def test_legacy_trial_seed_is_the_old_expression(self):
+        assert legacy_trial_seed(3, 9) == hash((3, 9))
