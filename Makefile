@@ -1,0 +1,22 @@
+# Convenience targets; everything runs from the repository root with the
+# in-tree package on PYTHONPATH (no install required).
+
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test bench bench-smoke
+
+# Tier-1: the full test suite (includes the benchmark smoke harness).
+test:
+	$(PYTHON) -m pytest -x -q
+
+# All experiments: regenerates benchmarks/results/*.txt and BENCH_engine.json.
+# (bench_*.py does not match pytest's default test-file pattern, so the
+# files are passed explicitly.)
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+# Fast wiring check for every engine-hooked benchmark workload (~seconds):
+# fast-path compilation, oracle bit-identity, vectorized-kernel identity.
+bench-smoke:
+	$(PYTHON) benchmarks/smoke.py

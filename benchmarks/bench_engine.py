@@ -3,16 +3,22 @@
 Every soundness experiment in this repository is a Monte-Carlo loop over
 repeated verification rounds, so trials-per-second is the throughput metric
 that bounds how much statistical evidence any benchmark can gather.  This
-experiment measures it on a representative 200-node workload — the paper's
-headline construction, a Theorem 3.1 compiled spanning-tree scheme, plain
-and with footnote-1 certificate boosting (t=3) — for three execution paths:
+experiment measures it on three workloads — the paper's headline Theorem 3.1
+compiled spanning-tree scheme (200 nodes), the same with footnote-1
+certificate boosting (t=3), and the compiled Borůvka-trace MST scheme
+(96 nodes, the largest-label workload in the library) — for four execution
+paths:
 
 - **legacy** — the reference per-trial loop ``estimate_acceptance``;
 - **engine compat** — ``VerificationPlan`` + ``estimate_acceptance_fast``
   with the legacy-identical RNG streams (bit-for-bit the same accept/reject
   decisions, asserted below);
 - **engine fast** — the same plan with SplitMix64 integer-mix RNG
-  derivation (statistically equivalent streams).
+  derivation (statistically equivalent streams), scalar Horner kernels;
+- **engine fast+numpy** — the same probability-space point as engine fast,
+  with the trial chunks executed by the vectorized Horner kernels of
+  :mod:`repro.engine.kernels` (decision-identical to engine fast per trial,
+  asserted below).
 
 Results are persisted machine-readably to ``BENCH_engine.json`` at the
 repository root so future PRs can track the perf trajectory.
@@ -28,7 +34,8 @@ from repro.core.compiler import FingerprintCompiledRPLS
 from repro.core.seeding import derive_trial_seed
 from repro.core.verifier import estimate_acceptance, verify_randomized
 from repro.engine import VerificationPlan, estimate_acceptance_fast
-from repro.graphs.generators import spanning_tree_configuration
+from repro.graphs.generators import mst_configuration, spanning_tree_configuration
+from repro.schemes.mst import mst_rpls
 from repro.schemes.spanning_tree import SpanningTreePLS
 from repro.simulation.runner import format_table
 
@@ -36,7 +43,11 @@ TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
 
 NODE_COUNT = 200
 EXTRA_EDGES = 60
+MST_NODE_COUNT = 96
 REQUIRED_SPEEDUP = 5.0
+# The numpy chunk kernel must beat PR 1's scalar fast mode on at least one
+# workload by this factor (measured ~5-10x; the bar is low to absorb noise).
+REQUIRED_VECTOR_SPEEDUP = 1.5
 
 
 def _throughput(run, trials, repeats=3):
@@ -62,42 +73,71 @@ def _measure(scheme, configuration, labels, legacy_trials, engine_trials):
         lambda n: estimate_acceptance_fast(plan, n, seed=0), engine_trials
     )
     fast = _throughput(
-        lambda n: estimate_acceptance_fast(plan, n, seed=0, rng_mode="fast"),
+        lambda n: estimate_acceptance_fast(
+            plan, n, seed=0, rng_mode="fast", vectorize=False
+        ),
         engine_trials,
     )
-    return plan, legacy, compat, fast
+    vector = _throughput(
+        lambda n: estimate_acceptance_fast(
+            plan, n, seed=0, rng_mode="fast", vectorize=True
+        ),
+        engine_trials,
+    )
+    return plan, legacy, compat, fast, vector
 
 
 def _assert_bit_identical(scheme, configuration, labels, plan, trials=25, seed=0):
-    """Per-trial accept/reject equality between the two paths."""
+    """Per-trial accept/reject equality across every execution path.
+
+    Compat mode (scalar and vectorized) must match the one-shot reference
+    oracle; fast mode's vectorized kernel must match fast mode's scalar
+    kernel (they share a probability-space point distinct from compat's).
+    """
     for trial in range(trials):
         trial_seed = derive_trial_seed(seed, trial)
         reference = verify_randomized(
             scheme, configuration, seed=trial_seed, labels=labels
         ).accepted
         assert plan.run_trial(trial_seed) == reference, trial
+        assert bool(plan.run_trials([trial_seed], vectorize=True)) == reference, trial
+        scalar_fast = plan.run_trial(trial_seed, rng_mode="fast")
+        vector_fast = bool(
+            plan.run_trials([trial_seed], rng_mode="fast", vectorize=True)
+        )
+        assert vector_fast == scalar_fast, trial
     return True
 
 
 def test_engine_throughput(benchmark, report):
-    configuration = spanning_tree_configuration(NODE_COUNT, EXTRA_EDGES, seed=1)
+    spanning = spanning_tree_configuration(NODE_COUNT, EXTRA_EDGES, seed=1)
+    mst = mst_configuration(MST_NODE_COUNT, seed=1)
     rows = []
     results = []
 
     workloads = [
-        ("compiled(spanning-tree)", FingerprintCompiledRPLS(SpanningTreePLS()), 20, 200),
+        (
+            "compiled(spanning-tree)",
+            FingerprintCompiledRPLS(SpanningTreePLS()),
+            spanning,
+            20,
+            200,
+        ),
         (
             "boosted(compiled, t=3)",
             BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 3),
+            spanning,
             12,
             120,
         ),
+        ("compiled(mst)", mst_rpls(), mst, 6, 60),
     ]
-    for name, scheme, legacy_trials, engine_trials in workloads:
+    for name, scheme, configuration, legacy_trials, engine_trials in workloads:
         labels = scheme.prover(configuration)
-        plan, legacy, compat, fast = _measure(
+        plan, legacy, compat, fast, vector = _measure(
             scheme, configuration, labels, legacy_trials, engine_trials
         )
+        assert plan.uses_fast_path and plan.vector_ready
         identical = _assert_bit_identical(scheme, configuration, labels, plan)
         rows.append(
             [
@@ -106,8 +146,9 @@ def test_engine_throughput(benchmark, report):
                 f"{legacy:.1f}",
                 f"{compat:.1f}",
                 f"{fast:.1f}",
-                f"{compat / legacy:.1f}x",
+                f"{vector:.1f}",
                 f"{fast / legacy:.1f}x",
+                f"{vector / fast:.1f}x",
             ]
         )
         results.append(
@@ -117,8 +158,11 @@ def test_engine_throughput(benchmark, report):
                 "legacy_trials_per_sec": round(legacy, 1),
                 "engine_compat_trials_per_sec": round(compat, 1),
                 "engine_fast_trials_per_sec": round(fast, 1),
+                "engine_vector_trials_per_sec": round(vector, 1),
                 "speedup_compat": round(compat / legacy, 2),
                 "speedup_fast": round(fast / legacy, 2),
+                "speedup_vector": round(vector / legacy, 2),
+                "vector_vs_fast": round(vector / fast, 2),
                 "bit_identical": identical,
             }
         )
@@ -132,8 +176,9 @@ def test_engine_throughput(benchmark, report):
                 "legacy/s",
                 "compat/s",
                 "fast/s",
-                "compat",
+                "fast+numpy/s",
                 "fast",
+                "numpy gain",
             ],
             rows,
         ),
@@ -147,9 +192,12 @@ def test_engine_throughput(benchmark, report):
                     "node_count": NODE_COUNT,
                     "extra_edges": EXTRA_EDGES,
                     "generator": "spanning_tree_configuration(seed=1)",
+                    "mst_node_count": MST_NODE_COUNT,
+                    "mst_generator": "mst_configuration(seed=1)",
                 },
                 "python": sys.version.split()[0],
                 "required_speedup": REQUIRED_SPEEDUP,
+                "required_vector_speedup": REQUIRED_VECTOR_SPEEDUP,
                 "results": results,
             },
             indent=2,
@@ -158,13 +206,23 @@ def test_engine_throughput(benchmark, report):
     )
 
     # The acceptance bar: the bit-identical batched path clears 5x on at
-    # least the headline (boosted) workload, and both workloads agree with
-    # the reference oracle decision-for-decision.
+    # least one workload, the numpy kernel path clears its margin over the
+    # scalar fast mode, and every workload agrees with the reference oracle
+    # decision-for-decision on every execution path.
     assert all(result["bit_identical"] for result in results)
     assert max(result["speedup_compat"] for result in results) >= REQUIRED_SPEEDUP
+    assert (
+        max(result["vector_vs_fast"] for result in results)
+        >= REQUIRED_VECTOR_SPEEDUP
+    )
 
-    # pytest-benchmark row: one engine chunk on the plain compiled scheme.
+    # pytest-benchmark row: one vectorized engine chunk on the plain
+    # compiled scheme.
     scheme = FingerprintCompiledRPLS(SpanningTreePLS())
-    labels = scheme.prover(configuration)
-    plan = VerificationPlan.compile(scheme, configuration, labels=labels)
-    benchmark(lambda: estimate_acceptance_fast(plan, 10, seed=2))
+    labels = scheme.prover(spanning)
+    plan = VerificationPlan.compile(scheme, spanning, labels=labels)
+    benchmark(
+        lambda: estimate_acceptance_fast(
+            plan, 10, seed=2, rng_mode="fast", vectorize=True
+        )
+    )

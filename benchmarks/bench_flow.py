@@ -9,9 +9,9 @@ import math
 
 from repro.core.configuration import Configuration
 from repro.core.verifier import verify_deterministic, verify_randomized
-from repro.engine import estimate_acceptance_batched
+from repro.engine import estimate_acceptance_fast
 from repro.graphs.generators import flow_configuration
-from repro.schemes.flow import KFlowPLS, k_flow_rpls
+from repro.schemes.flow import KFlowPLS, k_flow_engine_plan, k_flow_rpls
 from repro.simulation.runner import format_table
 
 
@@ -36,9 +36,10 @@ def test_k_flow_bounds(benchmark, report):
         assert verify_randomized(randomized, configuration, seed=0).accepted
 
         bad = overclaim(configuration, k + 1)
-        reject = estimate_acceptance_batched(
-            randomized, bad, trials=10, labels=randomized.prover(configuration)
-        )
+        # Engine path: compiled-scheme hooks, no legacy-oracle fallback.
+        plan = k_flow_engine_plan(bad, labels=randomized.prover(configuration))
+        assert plan.uses_fast_path
+        reject = estimate_acceptance_fast(plan, trials=10)
         rows.append([k, n, det_bits, rand_bits, f"{1 - reject.probability:.2f}"])
         assert reject.probability < 0.5
         assert det_bits <= 30 * k * math.log2(n) + 60
@@ -59,6 +60,6 @@ def test_k_flow_bounds(benchmark, report):
     assert rand_at_k[8] - rand_at_k[1] <= 8
 
     configuration = flow_configuration(4, path_length=4, decoy_edges=4, seed=9)
-    randomized = k_flow_rpls()
-    labels = randomized.prover(configuration)
-    benchmark(lambda: verify_randomized(randomized, configuration, seed=2, labels=labels))
+    plan = k_flow_engine_plan(configuration)
+    assert plan.uses_fast_path
+    benchmark(lambda: estimate_acceptance_fast(plan, 10, seed=2, rng_mode="fast"))

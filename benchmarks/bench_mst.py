@@ -9,10 +9,10 @@ shape and the soundness the theorem promises.
 
 import math
 
-from repro.core.verifier import verify_deterministic, verify_randomized
-from repro.engine import estimate_acceptance_batched
+from repro.core.verifier import verify_deterministic
+from repro.engine import estimate_acceptance_fast
 from repro.graphs.generators import corrupt_mst_swap, mst_configuration
-from repro.schemes.mst import MSTPLS, mst_rpls
+from repro.schemes.mst import MSTPLS, mst_engine_plan, mst_rpls
 from repro.simulation.runner import format_table
 
 SIZES = (16, 32, 64, 128, 256, 512)
@@ -36,9 +36,12 @@ def test_mst_verification_complexity(benchmark, report):
         det_reject = not verify_deterministic(
             deterministic, corrupted, labels=deterministic.prover(corrupted)
         ).accepted
-        rand_estimate = estimate_acceptance_batched(
-            randomized, corrupted, trials=12, labels=randomized.prover(corrupted)
-        )
+        # The randomized side runs through the batched engine: the compiled
+        # scheme's hooks parse every label at compile time, so no trial
+        # falls back to the legacy one-shot oracle.
+        plan = mst_engine_plan(corrupted, labels=randomized.prover(corrupted))
+        assert plan.uses_fast_path
+        rand_estimate = estimate_acceptance_fast(plan, trials=12)
         rows.append(
             [n, det_bits, rand_bits, det_reject, f"{1 - rand_estimate.probability:.2f}"]
         )
@@ -64,6 +67,6 @@ def test_mst_verification_complexity(benchmark, report):
     assert det_series[-1] > 15 * rand_bits_series[-1]
 
     configuration = mst_configuration(128, seed=0)
-    randomized = mst_rpls()
-    labels = randomized.prover(configuration)
-    benchmark(lambda: verify_randomized(randomized, configuration, seed=5, labels=labels))
+    plan = mst_engine_plan(configuration)
+    assert plan.uses_fast_path
+    benchmark(lambda: estimate_acceptance_fast(plan, 10, seed=5, rng_mode="fast"))

@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Smoke-run every engine-hooked benchmark workload in a few seconds.
+
+The full benchmarks gather statistical evidence; this harness only asserts
+the *wiring* they depend on, so a hook regression fails fast (it runs in
+tier-1 via ``tests/test_bench_smoke.py``, and standalone via
+``make bench-smoke``).  For each workload it checks that:
+
+- the compiled plan takes the engine fast path (labels parsed once; no
+  legacy-oracle fallback);
+- a handful of per-trial decisions are bit-identical to the one-shot
+  reference oracle in compat mode;
+- where the scheme supports the numpy chunk kernel, the vectorized
+  decisions match the scalar ones per trial (both rng modes);
+- a short :func:`~repro.engine.estimate_acceptance_fast` run completes and
+  one-sided completeness holds (every trial accepts on the legal state).
+
+Run:  python benchmarks/smoke.py      (or: make bench-smoke)
+"""
+
+import sys
+
+from repro.core.boosting import BoostedRPLS
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.seeding import derive_trial_seed
+from repro.core.shared import SharedCoinsCompiledRPLS
+from repro.core.verifier import verify_randomized
+from repro.engine import VerificationPlan, estimate_acceptance_fast
+from repro.graphs.generators import (
+    flow_configuration,
+    mst_configuration,
+    spanning_tree_configuration,
+)
+from repro.graphs.workloads import distance_configuration
+from repro.schemes.spanning_tree import SpanningTreePLS
+from repro.schemes.distance import distance_rpls
+from repro.schemes.flow import k_flow_rpls
+from repro.schemes.mst import mst_rpls
+from repro.simulation.runner import format_table
+
+SMOKE_TRIALS = 6
+ORACLE_TRIALS = 3
+
+
+def workloads():
+    """Every engine-hooked (scheme, configuration) pair the benchmarks use."""
+    spanning = spanning_tree_configuration(16, 5, seed=1)
+    yield ("compiled(spanning-tree)", FingerprintCompiledRPLS(SpanningTreePLS()), spanning, "edge")
+    yield (
+        "boosted(compiled, t=3)",
+        BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 3),
+        spanning,
+        "edge",
+    )
+    yield ("compiled(mst)", mst_rpls(), mst_configuration(14, seed=2), "edge")
+    yield (
+        "compiled(k-flow)",
+        k_flow_rpls(),
+        flow_configuration(2, path_length=3, decoy_edges=2, seed=3),
+        "edge",
+    )
+    yield (
+        "compiled(distance)",
+        distance_rpls(weighted=True),
+        distance_configuration(14, 5, seed=4, weighted=True),
+        "edge",
+    )
+    yield (
+        "shared-coins(spanning-tree)",
+        SharedCoinsCompiledRPLS(SpanningTreePLS()),
+        spanning,
+        "shared",
+    )
+
+
+def smoke_workload(name, scheme, configuration, randomness):
+    """Run one workload's checks; returns its report row."""
+    labels = scheme.prover(configuration)
+    plan = VerificationPlan.compile(
+        scheme, configuration, labels=labels, randomness=randomness
+    )
+    assert plan.uses_fast_path, f"{name}: plan fell back to the generic path"
+
+    for trial in range(ORACLE_TRIALS):
+        trial_seed = derive_trial_seed(0, trial)
+        reference = verify_randomized(
+            scheme, configuration, seed=trial_seed, labels=labels,
+            randomness=randomness,
+        ).accepted
+        assert plan.run_trial(trial_seed) == reference, (
+            f"{name}: trial {trial} diverged from the reference oracle"
+        )
+        if plan.vector_ready:
+            for rng_mode in ("compat", "fast"):
+                scalar = plan.run_trial(trial_seed, rng_mode)
+                vector = bool(
+                    plan.run_trials([trial_seed], rng_mode=rng_mode, vectorize=True)
+                )
+                assert vector == scalar, (
+                    f"{name}: vectorized {rng_mode} decision diverged on trial {trial}"
+                )
+
+    estimate = estimate_acceptance_fast(plan, SMOKE_TRIALS)
+    assert estimate.probability == 1.0, (
+        f"{name}: one-sided completeness violated ({estimate})"
+    )
+    return [name, plan.half_edge_count, "numpy" if plan.vector_ready else "scalar", "ok"]
+
+
+def main() -> int:
+    rows = [smoke_workload(*workload) for workload in workloads()]
+    print(format_table(["workload", "half-edges", "kernel", "status"], rows))
+    print(f"\n{len(rows)} engine-hooked workloads smoke-tested ok")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

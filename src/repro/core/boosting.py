@@ -25,6 +25,7 @@ from __future__ import annotations
 
 import math
 import random
+from dataclasses import replace
 from typing import Dict, Optional
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter
@@ -130,6 +131,20 @@ class BoostedRPLS(RandomizedScheme):
             if not base_verify(context, round_messages, None):
                 return False
         return True
+
+    def engine_vector_spec(self, context):
+        """Boosting is ``t``-fold repetition, so the vectorized description
+        is the base scheme's with ``t`` times the query-point draws per
+        half-edge: the boosted certificate call draws all ``t``
+        sub-certificates from one stream in sequence, and the boosted
+        verifier accepts exactly when every sub-certificate point checks."""
+        spec_hook = getattr(self.base, "engine_vector_spec", None)
+        if spec_hook is None:
+            return None
+        spec = spec_hook(context)
+        if spec is None:
+            return None
+        return replace(spec, draws=spec.draws * self.repetitions)
 
 
 def repetitions_for_delta(delta: float, per_round_error: float = 0.5) -> int:

@@ -37,7 +37,7 @@ from typing import Dict, List, Optional, Tuple
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter, bits_for_max
 from repro.core.configuration import Configuration
-from repro.core.fingerprint import Fingerprinter
+from repro.core.fingerprint import Fingerprinter, FingerprintVectorSpec
 from repro.core.scheme import (
     LabelView,
     ProofLabelingScheme,
@@ -232,6 +232,40 @@ class FingerprintCompiledRPLS(RandomizedScheme):
             if not check_raw(stored_copy, message):
                 return False
         return context.base_accepts
+
+    def engine_vector_spec(
+        self, context: "_CompiledNodeContext"
+    ) -> Optional[FingerprintVectorSpec]:
+        """Describe this context to the vectorized trial-chunk kernel.
+
+        Compiled certificates are pure polynomial fingerprints, so a node's
+        entire per-trial behaviour is captured by its coefficient arrays plus
+        the trial-invariant base verdict; :mod:`repro.engine.kernels` then
+        replays whole Monte-Carlo chunks through batched numpy Horner passes
+        with decisions identical to :meth:`engine_certificate` /
+        :meth:`engine_verify`.  Returns ``None`` (scalar fallback) when numpy
+        is unavailable or a subclass swapped the certificate format (the
+        shared-coins compiler).
+        """
+        if not isinstance(context, _CompiledNodeContext):
+            return None
+        fingerprinter = context.fingerprinter
+        if not fingerprinter.vectorizable():
+            return None
+        import numpy
+
+        return FingerprintVectorSpec(
+            prime=fingerprinter.params.prime,
+            sub_points=fingerprinter.repetitions,
+            certificate_bits=fingerprinter.certificate_bits,
+            draws=fingerprinter.repetitions,
+            own=numpy.asarray(context.own_coefficients, dtype=numpy.int64),
+            stored=tuple(
+                numpy.asarray(coefficients, dtype=numpy.int64)
+                for coefficients in context.stored_coefficients
+            ),
+            accepts_when_checks_pass=context.base_accepts,
+        )
 
     # -- reporting -------------------------------------------------------------------
 

@@ -135,6 +135,12 @@ class SharedCoinsCompiledRPLS(FingerprintCompiledRPLS):
         own_value = context.own_value
         return tuple(_parity(own_value & mask) for mask in masks)
 
+    def engine_vector_spec(self, context) -> None:
+        """Public-coin certificates are GF(2) parities, not polynomial
+        fingerprints — the vectorized fingerprint kernel does not apply, so
+        plans over this scheme always run the scalar hook path."""
+        return None
+
     def engine_verify(self, context: _SharedCoinsNodeContext, messages, shared_rng) -> bool:
         if shared_rng is None:
             # Model mismatch: the one-shot verifier raises (and therefore

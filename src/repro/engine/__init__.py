@@ -46,8 +46,21 @@ Knobs
   ``hash((seed, trial))`` derivation.
 - ``stop_halfwidth=...`` enables the confidence-interval early exit of
   :func:`estimate_acceptance_fast`.
+- ``vectorize=...`` selects the numpy trial-chunk kernel
+  (:mod:`repro.engine.kernels`): fingerprint-certificate schemes run whole
+  Monte-Carlo chunks as batched Horner passes, decision-identical to the
+  scalar path.  Auto-enabled under ``rng_mode="fast"`` when supported.
+- :class:`PlanCache` memoizes compiled plans by input *value* for drivers
+  that revisit the same ``(scheme, configuration, labels)`` states — e.g.
+  the self-stabilization loop's fault/recovery cycle.
+- Plans with an unparseable hook label carry a compile-time verdict
+  (``plan.constant_verdict is False``); estimators return the degenerate
+  0.0 estimate without running trials.
+
+See ``docs/engine.md`` for the full architecture and hook contract.
 """
 
+from repro.engine.cache import PlanCache
 from repro.engine.montecarlo import (
     estimate_acceptance_batched,
     estimate_acceptance_fast,
@@ -55,6 +68,7 @@ from repro.engine.montecarlo import (
 from repro.engine.plan import VerificationPlan
 
 __all__ = [
+    "PlanCache",
     "VerificationPlan",
     "estimate_acceptance_batched",
     "estimate_acceptance_fast",

@@ -1,0 +1,293 @@
+"""Vectorized trial-chunk execution — numpy Horner passes over whole chunks.
+
+The scalar hook path of :class:`~repro.engine.plan.VerificationPlan` spends
+almost all of its per-trial time in two interpreted Horner loops (sender-side
+fingerprint sampling, receiver-side checking): one multiply-add-mod step per
+label bit, per query point, per half-edge, per trial.  For a scheme whose
+certificates are *pure polynomial fingerprints* — the Theorem 3.1 compiler
+and its boosted wrapper — those loops share their coefficient vectors across
+every trial of a Monte-Carlo chunk, so the whole chunk collapses to a few
+batched :func:`repro.substrates.gf.poly_eval_rows` passes:
+
+1. **draw** — the chunk's query points are drawn with the *same*
+   ``random.Random`` calls, in the *same* order, as the scalar hook path
+   (Horner evaluation consumes no randomness, so deferring it cannot change
+   any draw).  This is what keeps the kernel decision-identical per trial:
+   in ``rng_mode="compat"`` to the legacy one-shot oracle, in
+   ``rng_mode="fast"`` to the scalar fast path.
+2. **evaluate** — every sender's label polynomial is evaluated at all of its
+   ``trials x draws`` points in one grouped Horner pass (rows grouped by
+   ``(prime, degree)``; the honest case is a single group).
+3. **check** — every receiver evaluates its stored replica at the points it
+   received, again as one grouped pass, and the per-trial accept bit is the
+   conjunction of the elementwise comparisons plus each node's
+   trial-invariant residual verdict.
+
+Eligibility is decided once per plan (:func:`vector_state`): the scheme must
+expose the optional ``engine_vector_spec`` hook
+(:class:`~repro.core.fingerprint.FingerprintVectorSpec`) and every node
+context must produce a spec — otherwise the plan runs the scalar hook path
+unchanged.  Trial-invariant rejections (a node whose residual verdict is
+False, or a sender/receiver fingerprint-format mismatch) make every trial of
+the plan reject; the kernel folds them into a constant-False chunk without
+touching the field arithmetic, mirroring the plan-level constant-False
+short-circuit for unparseable labels.
+
+Arithmetic is exact: coefficients and query points live below the
+fingerprint prime ``p < 6 * lam``, so every Horner step stays below
+``p**2 + p``, far inside int64 (enforced via
+:func:`repro.substrates.gf.vectorizable_prime`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.scheme import SHARED_RNG_SUFFIX
+from repro.core.seeding import derive_stream_seed
+from repro.substrates.gf import numpy_available, poly_eval_rows
+
+try:  # optional accelerator; vector_state() returns None without it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
+_UNSET = object()
+
+
+@dataclass
+class _VectorState:
+    """Per-plan immutable description consumed by :func:`run_chunk`."""
+
+    draws: int                       # query points drawn per half-edge call
+    primes: Tuple[int, ...]          # per node: its fingerprint field
+    constant_false: bool             # some node rejects every trial
+    # Sender groups: rows share (prime, degree); one row per half-edge.
+    # (prime, flat half-edge indices, coefficient matrix)
+    sender_groups: Tuple[Tuple[int, "object", "object"], ...]
+    # Receiver groups: one row per (receiver, port) pair; ``sources`` are the
+    # flat indices of the half-edges whose messages the rows check.
+    # (receiver prime, source flat indices, stored-coefficient matrix)
+    receiver_groups: Tuple[Tuple[int, "object", "object"], ...]
+
+
+def vector_state(plan) -> Optional[_VectorState]:
+    """Build (and cache on the plan) the vectorized description, if eligible.
+
+    Returns ``None`` when the plan cannot run vectorized: numpy missing, no
+    scheme hooks, a hook context without a vector spec (e.g. the shared-coins
+    compiler or a non-fingerprint scheme), or an unparseable-label context —
+    the latter is already a plan-level constant False and never reaches the
+    kernel.
+    """
+    cached = getattr(plan, "_vector_state", _UNSET)
+    if cached is not _UNSET:
+        return cached
+    state = _build_vector_state(plan)
+    plan._vector_state = state
+    return state
+
+
+def _build_vector_state(plan) -> Optional[_VectorState]:
+    if _np is None or not numpy_available():
+        return None
+    if plan.contexts is None:
+        return None
+    spec_hook = getattr(plan.scheme, "engine_vector_spec", None)
+    if spec_hook is None:
+        return None
+    specs = []
+    for context in plan.contexts:
+        if context is None:
+            return None  # plan.constant_verdict is False; nothing to run
+        spec = spec_hook(context)
+        if spec is None:
+            return None
+        specs.append(spec)
+    draws = {spec.draws for spec in specs}
+    if len(draws) != 1:  # pragma: no cover - one scheme, one draw count
+        return None
+    draw_count = draws.pop()
+
+    constant_false = any(not spec.accepts_when_checks_pass for spec in specs)
+
+    # Sender/receiver fingerprint-format mismatches (a forged label claiming
+    # a different kappa) are trial-invariant: the scalar check_raw rejects on
+    # packed width / point count before any arithmetic, every trial.
+    offsets: List[int] = []
+    total = 0
+    for degree in plan.degrees:
+        offsets.append(total)
+        total += degree
+    owner = [0] * total
+    for i, offset in enumerate(offsets):
+        for port in range(plan.degrees[i]):
+            owner[offset + port] = i
+    for i, incoming_ports in enumerate(plan.incoming):
+        for j in incoming_ports:
+            sender = specs[owner[j]]
+            receiver = specs[i]
+            if (
+                sender.certificate_bits != receiver.certificate_bits
+                or sender.sub_points != receiver.sub_points
+            ):
+                constant_false = True
+
+    if constant_false:
+        return _VectorState(
+            draws=draw_count,
+            primes=tuple(spec.prime for spec in specs),
+            constant_false=True,
+            sender_groups=(),
+            receiver_groups=(),
+        )
+
+    # Group sender rows (one per half-edge) by (prime, polynomial degree) so
+    # each group is a single poly_eval_rows pass.
+    sender_rows: Dict[Tuple[int, int], Tuple[List[int], List["object"]]] = {}
+    for i, spec in enumerate(specs):
+        key = (spec.prime, len(spec.own))
+        for port in range(plan.degrees[i]):
+            indices, rows = sender_rows.setdefault(key, ([], []))
+            indices.append(offsets[i] + port)
+            rows.append(spec.own)
+    sender_groups = tuple(
+        (prime, _np.asarray(indices, dtype=_np.intp), _np.vstack(rows))
+        for (prime, _), (indices, rows) in sender_rows.items()
+    )
+
+    # Group receiver rows (one per (receiver, port) pair) the same way; the
+    # row's points come from the half-edge delivering that port's message.
+    receiver_rows: Dict[Tuple[int, int], Tuple[List[int], List["object"]]] = {}
+    for i, spec in enumerate(specs):
+        for port, source in enumerate(plan.incoming[i]):
+            stored = spec.stored[port]
+            key = (spec.prime, len(stored))
+            sources, rows = receiver_rows.setdefault(key, ([], []))
+            sources.append(source)
+            rows.append(stored)
+    receiver_groups = tuple(
+        (prime, _np.asarray(sources, dtype=_np.intp), _np.vstack(rows))
+        for (prime, _), (sources, rows) in receiver_rows.items()
+    )
+
+    return _VectorState(
+        draws=draw_count,
+        primes=tuple(spec.prime for spec in specs),
+        constant_false=False,
+        sender_groups=sender_groups,
+        receiver_groups=receiver_groups,
+    )
+
+
+def run_chunk(plan, trial_seeds, rng_mode: str = "compat"):
+    """Run a chunk of trials vectorized; returns a per-trial bool array.
+
+    ``accepted[t]`` equals ``plan.run_trial(trial_seeds[t], rng_mode)`` for
+    every ``t`` — the kernel is a faithful re-execution of the scalar hook
+    path, not an approximation.  The plan must be vector-eligible
+    (:func:`vector_state` not ``None``); callers go through
+    ``plan.run_trials(..., vectorize=True)`` which enforces that.
+    """
+    state = vector_state(plan)
+    if state is None:
+        raise ValueError("plan has no vectorized kernel (see VerificationPlan.vector_ready)")
+    trials = len(trial_seeds)
+    if state.constant_false:
+        return _np.zeros(trials, dtype=bool)
+
+    xs = _draw_points(plan, state, trial_seeds, rng_mode)
+    half_edges = plan.half_edge_count
+    draws = state.draws
+
+    # Sender evaluation: values[t, j, d] = A_j(xs[t, j, d]) over the sender's
+    # field, where A_j is the label polynomial of half-edge j's owner.
+    values = _np.empty_like(xs)
+    for prime, indices, coefficients in state.sender_groups:
+        points = xs[:, indices, :].transpose(1, 0, 2).reshape(len(indices), -1)
+        evaluated = poly_eval_rows(coefficients, points, prime)
+        values[:, indices, :] = evaluated.reshape(
+            len(indices), trials, draws
+        ).transpose(1, 0, 2)
+
+    # Receiver checks: the stored replica's evaluation must equal the claimed
+    # value, and both coordinates must lie inside the receiver's field.
+    accept = _np.ones(trials, dtype=bool)
+    for prime, sources, coefficients in state.receiver_groups:
+        rows = len(sources)
+        points = xs[:, sources, :].transpose(1, 0, 2).reshape(rows, -1)
+        claimed = values[:, sources, :].transpose(1, 0, 2).reshape(rows, -1)
+        expected = poly_eval_rows(coefficients, points, prime)
+        ok = (points < prime) & (claimed < prime) & (expected == claimed)
+        per_trial = ok.reshape(rows, trials, draws).all(axis=2).all(axis=0)
+        accept &= per_trial
+    return accept
+
+
+# -- query-point derivation -----------------------------------------------------
+#
+# Each helper replays the exact rng consumption of the scalar hook path for
+# its (rng_mode, randomness) pair: same seeds, same reseed boundaries, same
+# randrange arguments, same order.  The only difference is that the Horner
+# evaluation between draws is deferred — it consumes no randomness.
+
+
+def _draw_points(plan, state: _VectorState, trial_seeds, rng_mode: str):
+    draws = state.draws
+    primes = state.primes
+    degrees = plan.degrees
+    randomness = plan.randomness
+    flat: List[int] = []
+    append = flat.append
+    rng = random.Random()
+    reseed = rng.seed
+    randrange = rng.randrange
+    draw_range = range(draws)
+
+    if rng_mode == "compat":
+        for trial_seed in trial_seeds:
+            prefix = str(trial_seed)
+            if randomness == "edge":
+                for suffixes, prime in zip(plan.port_suffixes, primes):
+                    for suffix in suffixes:
+                        reseed(prefix + suffix)
+                        for _ in draw_range:
+                            append(randrange(prime))
+            elif randomness == "node":
+                for i, prime in enumerate(primes):
+                    reseed(prefix + plan.node_suffixes[i])
+                    for _ in range(degrees[i] * draws):
+                        append(randrange(prime))
+            elif randomness == "shared":
+                shared_key = prefix + SHARED_RNG_SUFFIX
+                for i, prime in enumerate(primes):
+                    for _ in range(degrees[i]):
+                        reseed(shared_key)
+                        for _ in draw_range:
+                            append(randrange(prime))
+            else:  # pragma: no cover - guarded upstream
+                raise ValueError(f"unknown randomness mode {randomness!r}")
+    elif rng_mode == "fast":
+        for trial_seed in trial_seeds:
+            if randomness in ("edge", "node"):
+                reseed(derive_stream_seed(trial_seed, 0, 0))
+                for i, prime in enumerate(primes):
+                    for _ in range(degrees[i] * draws):
+                        append(randrange(prime))
+            elif randomness == "shared":
+                shared_seed = derive_stream_seed(trial_seed, -1, -1)
+                for i, prime in enumerate(primes):
+                    for _ in range(degrees[i]):
+                        reseed(shared_seed)
+                        for _ in draw_range:
+                            append(randrange(prime))
+            else:  # pragma: no cover - guarded upstream
+                raise ValueError(f"unknown randomness mode {randomness!r}")
+    else:
+        raise ValueError(f"unknown rng_mode {rng_mode!r}")
+
+    return _np.asarray(flat, dtype=_np.int64).reshape(
+        len(trial_seeds), plan.half_edge_count, draws
+    )

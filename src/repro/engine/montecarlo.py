@@ -5,14 +5,50 @@ of :func:`repro.core.verifier.estimate_acceptance`: same probability space,
 same per-trial seed derivation (the SplitMix64 mix of
 :mod:`repro.core.seeding`), same estimate — it just runs the trials over a
 :class:`~repro.engine.plan.VerificationPlan` in chunks, with an optional
-confidence-interval early exit.
+confidence-interval early exit and, where the scheme supports it, the
+vectorized numpy trial-chunk kernel of :mod:`repro.engine.kernels`.
 
-Bit-for-bit equivalence with the legacy loop (default modes): trial ``i``
-runs with seed ``derive_trial_seed(seed, i)`` in both paths, and
-``plan.run_trial`` in ``rng_mode="compat"`` reproduces the legacy RNG
-streams exactly, so the two paths agree on every individual accept/reject
-decision — the property tests assert this per trial, not just on the final
-counts.
+Bit-identical vs. statistically equivalent
+------------------------------------------
+
+- **Bit-identical** (default ``rng_mode="compat"``, ``seed_mode="mix"``):
+  trial ``i`` runs with seed ``derive_trial_seed(seed, i)`` in both paths,
+  and ``plan.run_trial`` reproduces the legacy RNG streams exactly, so the
+  two paths agree on every individual accept/reject decision — the property
+  tests assert this per trial, not just on the final counts.  The vectorized
+  kernel preserves this: it draws the same coins in the same order and only
+  batches the (randomness-free) field arithmetic.
+- **Statistically equivalent** (``rng_mode="fast"``): per-stream seeds come
+  from the SplitMix64 integer mix instead of string hashing, so the same
+  seed lands on a *different* point of the same probability space — every
+  distributional statement (acceptance probability, soundness error) is
+  unchanged, but individual decisions differ from compat mode.  Within fast
+  mode, the scalar and vectorized kernels are again decision-identical to
+  each other per trial.
+
+Wilson early exit
+-----------------
+
+When ``stop_halfwidth`` is given, the estimator checks the Wilson score
+interval of the running estimate after each chunk (once ``min_trials`` have
+run) and stops when the interval is narrower than ``2 * stop_halfwidth``.
+Two guarantees make this safe to use in experiments:
+
+- early exit changes *which prefix* of the deterministic trial sequence is
+  consumed, never any individual decision — re-running with ``trials`` set
+  to the reported count reproduces the estimate exactly;
+- the Wilson interval is valid at the extremes (0 and 1 acceptance), where
+  the one-sided schemes in this repository actually operate, so the stop
+  rule cannot fire on a degenerate normal-approximation interval.
+
+Constant-False short-circuit
+----------------------------
+
+A plan whose hook contexts contain an unparseable label has a compile-time
+verdict (``plan.constant_verdict is False``): the node that cannot parse its
+own label rejects every trial.  The estimator returns the exact degenerate
+estimate (``0.0`` over the requested trials) without running any — the same
+decisions the trial loop would have produced, minus the loop.
 """
 
 from __future__ import annotations
@@ -39,6 +75,7 @@ def estimate_acceptance_fast(
     chunk_size: int = DEFAULT_CHUNK,
     stop_halfwidth: Optional[float] = None,
     min_trials: int = 2 * DEFAULT_CHUNK,
+    vectorize: Optional[bool] = None,
 ) -> "AcceptanceEstimate":
     """Estimate ``Pr[verifier accepts]`` by running ``trials`` plan rounds.
 
@@ -51,6 +88,16 @@ def estimate_acceptance_fast(
 
     ``seed_mode="legacy"`` reproduces the pre-SplitMix64 per-trial seeds
     (``hash((seed, trial))``) for comparison against historical results.
+
+    ``vectorize`` selects the numpy trial-chunk kernel: ``None`` (default)
+    uses it automatically in ``rng_mode="fast"`` whenever the plan supports
+    it (``plan.vector_ready``), ``True`` requires it (raising
+    :class:`ValueError` on unsupported plans — useful in tests and
+    benchmarks that must not silently fall back), ``False`` forces the
+    scalar path.  The kernel never changes decisions, only throughput.
+
+    Plans with a compile-time verdict (``plan.constant_verdict``) return the
+    exact degenerate estimate immediately, with no trials executed.
     """
     from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
 
@@ -59,6 +106,21 @@ def estimate_acceptance_fast(
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
     trial_seed = resolve_trial_seed(seed_mode)
+    if vectorize is None:
+        use_vector = rng_mode == "fast" and plan.vector_ready
+    elif vectorize:
+        if not plan.vector_ready and plan.constant_verdict is None:
+            raise ValueError(
+                "vectorize=True but the plan has no vectorized kernel "
+                "(numpy missing, or the scheme has no engine_vector_spec hook)"
+            )
+        use_vector = True
+    else:
+        use_vector = False
+
+    if plan.constant_verdict is not None:
+        accepted = trials if plan.constant_verdict else 0
+        return AcceptanceEstimate(accepted=accepted, trials=trials)
 
     accepted = 0
     done = 0
@@ -67,6 +129,7 @@ def estimate_acceptance_fast(
         accepted += plan.run_trials(
             [trial_seed(seed, trial) for trial in range(done, done + chunk)],
             rng_mode=rng_mode,
+            vectorize=use_vector,
         )
         done += chunk
         if stop_halfwidth is not None and done >= min_trials:

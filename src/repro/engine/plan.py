@@ -61,6 +61,31 @@ The contract every hook implementation must honour: **for each node, the
 accept/reject output must equal the legacy output for the same coins.**
 The test suite enforces this property against the reference oracle for all
 hook-bearing schemes and all three randomness modes.
+
+Fourth, optional, for vectorization: ``engine_vector_spec(ctx)`` returns a
+:class:`~repro.core.fingerprint.FingerprintVectorSpec` (or ``None``) for
+schemes whose certificates are pure polynomial fingerprints; when every
+context yields one, whole trial chunks execute through the batched numpy
+Horner kernels of :mod:`repro.engine.kernels` with per-trial decisions
+identical to the scalar hook path (``plan.vector_ready`` /
+``run_trials(..., vectorize=True)``).
+
+Compile-time constant folding
+-----------------------------
+
+A hook context that fails to parse means its node rejects every trial, so
+the plan's verdict is settled before any trial runs:
+``plan.constant_verdict`` is ``False`` (and ``None`` for plans whose
+outcome actually depends on coins).  ``run_trial`` / ``run_trials`` return
+the folded verdict immediately, and
+:func:`~repro.engine.montecarlo.estimate_acceptance_fast` turns it into
+the exact degenerate estimate with zero trials executed.
+
+Plans are pure values of their inputs; drivers that repeatedly revisit the
+same ``(scheme, configuration, labels, randomness)`` states (the
+self-stabilization loop's fault/recovery cycle) should resolve them
+through the value-keyed :class:`~repro.engine.cache.PlanCache` instead of
+recompiling.
 """
 
 from __future__ import annotations
@@ -186,6 +211,16 @@ class VerificationPlan:
                     contexts.append(None)
             self.contexts = tuple(contexts)
 
+        # Compile-time constant folding: a node that cannot parse its own
+        # label rejects every trial, so the whole plan's verdict is already
+        # known — no trial of any seed or rng mode can accept.  Monte-Carlo
+        # drivers consult this before running anything.
+        self.constant_verdict: Optional[bool] = None
+        if self.contexts is not None and any(
+            context is None for context in self.contexts
+        ):
+            self.constant_verdict = False
+
     # -- construction ---------------------------------------------------------
 
     @staticmethod
@@ -208,6 +243,20 @@ class VerificationPlan:
     def uses_fast_path(self) -> bool:
         """True when the scheme supplied engine hooks (labels parsed once)."""
         return self.contexts is not None
+
+    @property
+    def vector_ready(self) -> bool:
+        """True when this plan can run trials through the numpy chunk kernel.
+
+        Requires numpy, the scheme's optional ``engine_vector_spec`` hook,
+        and a vector spec from every node context — see
+        :mod:`repro.engine.kernels`.  A plan that is not vector-ready simply
+        runs the scalar hook (or generic) path; decisions never depend on
+        which kernel executes them.
+        """
+        from repro.engine.kernels import vector_state
+
+        return self.constant_verdict is None and vector_state(self) is not None
 
     # -- per-trial RNG derivation ---------------------------------------------
 
@@ -276,6 +325,8 @@ class VerificationPlan:
         equivalent streams at a fraction of the derivation cost, but a
         *different* probability-space point for the same seed.
         """
+        if self.constant_verdict is not None:
+            return self.constant_verdict
         if self.contexts is not None:
             return self._run_trial_hooks(trial_seed, rng_mode)
         return self._run_trial_generic(trial_seed, rng_mode)
@@ -430,8 +481,21 @@ class VerificationPlan:
         self,
         trial_seeds: Sequence[int],
         rng_mode: RngMode = "compat",
+        vectorize: bool = False,
     ) -> int:
-        """Run a chunk of trials; returns how many rounds accepted."""
+        """Run a chunk of trials; returns how many rounds accepted.
+
+        ``vectorize=True`` executes the chunk through the numpy kernel of
+        :mod:`repro.engine.kernels` (requires :attr:`vector_ready`); the
+        per-trial decisions are identical to the scalar path in either
+        ``rng_mode``, only the arithmetic is batched.
+        """
+        if self.constant_verdict is not None:
+            return len(trial_seeds) if self.constant_verdict else 0
+        if vectorize:
+            from repro.engine.kernels import run_chunk
+
+            return int(run_chunk(self, trial_seeds, rng_mode).sum())
         run_trial = (
             self._run_trial_hooks
             if self.contexts is not None
@@ -445,3 +509,26 @@ class VerificationPlan:
             f"<VerificationPlan {self.scheme.name!r} n={len(self.nodes)} "
             f"half_edges={self.half_edge_count} randomness={self.randomness!r} {path}>"
         )
+
+
+def compile_fast_plan(
+    scheme: RandomizedScheme,
+    configuration: Configuration,
+    labels: Optional[Dict[Node, BitString]] = None,
+    randomness: RandomnessMode = "edge",
+) -> VerificationPlan:
+    """Compile a plan that is *guaranteed* to take the hook fast path.
+
+    The shared body of the per-scheme entry points (``mst_engine_plan``,
+    ``k_flow_engine_plan``, ``distance_engine_plan``): benchmarks route
+    through these so a scheme that silently loses its engine hooks fails
+    loudly instead of quietly dropping to the generic path.
+    """
+    plan = VerificationPlan.compile(
+        scheme, configuration, labels=labels, randomness=randomness
+    )
+    if not plan.uses_fast_path:
+        raise RuntimeError(
+            f"{scheme.name}: plan unexpectedly fell back to the generic path"
+        )
+    return plan

@@ -170,3 +170,29 @@ class DistancePLS(ProofLabelingScheme):
 def distance_rpls(weighted: bool = False, repetitions: int = 1) -> FingerprintCompiledRPLS:
     """The compiled ``O(log log n)``-bit randomized scheme (Theorem 3.1)."""
     return FingerprintCompiledRPLS(DistancePLS(weighted), repetitions=repetitions)
+
+
+def distance_engine_plan(
+    configuration: Configuration,
+    weighted: bool = False,
+    repetitions: int = 1,
+    labels: Optional[Dict[Node, "BitString"]] = None,
+    randomness: str = "edge",
+):
+    """A batched-engine :class:`~repro.engine.plan.VerificationPlan` for
+    the compiled SSSP-distance RPLS.
+
+    Label parsing and the Lipschitz/progress base checks run once at
+    compile time through the fingerprint compiler's engine hooks; per-trial
+    work is fingerprint arithmetic only, eligible for the numpy chunk
+    kernel.  Estimate with :func:`repro.engine.estimate_acceptance_fast`
+    on the returned plan instead of looping ``verify_randomized``.
+    """
+    from repro.engine.plan import compile_fast_plan
+
+    return compile_fast_plan(
+        distance_rpls(weighted, repetitions=repetitions),
+        configuration,
+        labels=labels,
+        randomness=randomness,
+    )

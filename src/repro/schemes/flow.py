@@ -274,3 +274,25 @@ def k_flow_rpls(repetitions: int = 1):
     from repro.core.compiler import FingerprintCompiledRPLS
 
     return FingerprintCompiledRPLS(KFlowPLS(), repetitions=repetitions)
+
+
+def k_flow_engine_plan(
+    configuration: Configuration,
+    repetitions: int = 1,
+    labels: Optional[Dict[Node, BitString]] = None,
+    randomness: str = "edge",
+):
+    """A batched-engine :class:`~repro.engine.plan.VerificationPlan` for
+    the Section 5.2 k-flow RPLS.
+
+    The path-chaining base verifier runs once per node at compile time
+    (through the fingerprint compiler's engine hooks); per-trial work is
+    fingerprint arithmetic only, eligible for the numpy chunk kernel.
+    Estimate with :func:`repro.engine.estimate_acceptance_fast` on the
+    returned plan instead of looping ``verify_randomized``.
+    """
+    from repro.engine.plan import compile_fast_plan
+
+    return compile_fast_plan(
+        k_flow_rpls(repetitions), configuration, labels=labels, randomness=randomness
+    )

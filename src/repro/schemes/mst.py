@@ -328,3 +328,28 @@ def mst_rpls(repetitions: int = 1):
     from repro.core.compiler import FingerprintCompiledRPLS
 
     return FingerprintCompiledRPLS(MSTPLS(), repetitions=repetitions)
+
+
+def mst_engine_plan(
+    configuration: Configuration,
+    repetitions: int = 1,
+    labels: Optional[Dict[Node, BitString]] = None,
+    randomness: str = "edge",
+):
+    """A batched-engine :class:`~repro.engine.plan.VerificationPlan` for
+    the Theorem 5.1 RPLS — the entry point Monte-Carlo drivers should use.
+
+    MST is the scheme where plan compilation buys the most: the Borůvka-
+    trace base verifier (phases × ports of structural checks per node) and
+    the ``O(log^2 n)``-bit replica parsing both run exactly once, at
+    compile time, through the fingerprint compiler's engine hooks.  The
+    per-trial residue is pure fingerprint arithmetic, which the numpy chunk
+    kernel batches across trials.  Estimate with
+    :func:`repro.engine.estimate_acceptance_fast` on the returned plan
+    instead of looping ``verify_randomized``.
+    """
+    from repro.engine.plan import compile_fast_plan
+
+    return compile_fast_plan(
+        mst_rpls(repetitions), configuration, labels=labels, randomness=randomness
+    )

@@ -88,6 +88,7 @@ def run_self_stabilization(
     seed: int = 0,
     label_fault_rounds: Optional[Dict[int, LabelFaultInjector]] = None,
     randomness: str = "edge",
+    plan_cache: Optional["PlanCache"] = None,
 ) -> StabilizationTrace:
     """Simulate ``total_rounds`` of the verify-detect-recover loop.
 
@@ -108,16 +109,24 @@ def run_self_stabilization(
     force from the next round on).
 
     Verification rounds run over a compiled
-    :class:`~repro.engine.plan.VerificationPlan`, recompiled only when a
-    fault or recovery actually changes the configuration or the labels —
-    between faults the loop pays just the per-round randomized work.
+    :class:`~repro.engine.plan.VerificationPlan`, resolved through a
+    value-keyed :class:`~repro.engine.cache.PlanCache` whenever a fault or
+    recovery may have changed the configuration or the labels.  The
+    fault/recovery cycle revisits the same handful of states (the legal
+    state, each recurring corruption, the repaired state), so after the
+    first cycle nearly every re-resolution is a cache hit and the loop pays
+    just the per-round randomized work plus one value-key computation.
+    Pass ``plan_cache`` to share compiled plans across runs (e.g. a
+    boosting sweep over one workload); by default each run gets its own.
     """
     # Local imports: repro.core.verifier / repro.engine pull in
     # repro.simulation.metrics, so module-level imports here would close an
     # import cycle.
     from repro.core.seeding import derive_trial_seed
+    from repro.engine.cache import PlanCache
     from repro.engine.plan import VerificationPlan
 
+    cache = plan_cache if plan_cache is not None else PlanCache(maxsize=8)
     trace = StabilizationTrace()
     current = configuration
     labels = scheme.prover(configuration)
@@ -143,9 +152,13 @@ def run_self_stabilization(
         # Any injector or recovery run marks the plan stale — injectors and
         # recovery procedures are user-supplied callables with no purity
         # contract, so even one that mutates in place and returns the same
-        # object triggers a recompile.
+        # object triggers a re-resolution.  The cache key is computed from
+        # the *current* values, so an in-place mutation changes the key and
+        # compiles, while a state the loop has seen before (recovery
+        # rebuilding the legal configuration, a recurring fault pattern)
+        # hits and skips the compile entirely.
         if plan is None or plan_stale or injected:
-            plan = VerificationPlan.compile(
+            plan = cache.get(
                 scheme, current, labels=labels, randomness=randomness
             )
             plan_stale = False

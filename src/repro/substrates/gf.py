@@ -17,6 +17,27 @@ from typing import Iterable, List, Sequence
 
 from repro.substrates.primes import is_prime
 
+try:  # numpy is an optional accelerator, never a hard dependency
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
+
+# The vectorized kernels run Horner steps ``acc * x + c`` on int64 lanes;
+# exactness requires ``p * p + p < 2**63``, which every fingerprint prime
+# (``p < 6 * lam``) satisfies by orders of magnitude.  The bound is still
+# enforced so a hypothetical giant field falls back to exact Python ints.
+_VECTOR_PRIME_LIMIT = 1 << 31
+
+
+def numpy_available() -> bool:
+    """True when the optional numpy backend can be used."""
+    return _np is not None
+
+
+def vectorizable_prime(p: int) -> bool:
+    """True when ``GF(p)`` arithmetic is exact on int64 numpy lanes."""
+    return p < _VECTOR_PRIME_LIMIT
+
 
 class PrimeField:
     """The field ``GF(p)`` for a prime ``p``.
@@ -122,6 +143,45 @@ class PrimeField:
             append(accumulator)
         return results
 
+    def poly_eval_chunk(
+        self, coefficients: Sequence[int], xs, descending: bool = False
+    ) -> "object":
+        """Evaluate one polynomial at a whole chunk of points, vectorized.
+
+        The numpy backend of :meth:`poly_eval_many`: ``xs`` may be any
+        array-like (including multi-dimensional arrays — e.g. a
+        ``(trials, repetitions)`` matrix of fingerprint query points), and
+        the result is an int64 array of the same shape holding
+        ``poly_eval(coefficients, x)`` for each entry.  One Horner pass runs
+        over the entire chunk: ``deg`` fused multiply-add-mod steps on numpy
+        lanes instead of ``deg * len(xs)`` interpreted steps.
+
+        Coefficients are ascending-degree like :meth:`poly_eval`; callers
+        that already hold the highest-degree-first shape (the fingerprint
+        layer's cached form) pass ``descending=True`` and skip the reversal.
+
+        Exact by construction — intermediate values stay below ``p**2 + p``,
+        within int64 for every :func:`vectorizable_prime` — and therefore
+        bit-identical to the scalar evaluation.  Raises :class:`RuntimeError`
+        when numpy is unavailable or the modulus is out of int64 range; use
+        :func:`numpy_available` / :func:`vectorizable_prime` to gate.
+
+        >>> PrimeField(7).poly_eval_chunk([1, 2, 3], [2, 0]).tolist()
+        [3, 1]
+        """
+        if _np is None:
+            raise RuntimeError("numpy backend requested but numpy is unavailable")
+        if not vectorizable_prime(self.p):
+            raise RuntimeError(f"modulus {self.p} exceeds the int64-exact range")
+        highest_first = (
+            coefficients if descending else tuple(reversed(coefficients))
+        )
+        return _poly_eval_chunk(
+            _np.asarray(highest_first, dtype=_np.int64),
+            _np.asarray(xs, dtype=_np.int64),
+            self.p,
+        )
+
     def poly_from_bits(self, bits: Iterable[int]) -> List[int]:
         """Coefficients (ascending) of the polynomial encoding a bit string."""
         coefficients = []
@@ -130,6 +190,38 @@ class PrimeField:
                 raise ValueError(f"bit string may only contain 0/1, got {bit}")
             coefficients.append(bit)
         return coefficients
+
+
+def _poly_eval_chunk(highest_first, xs, p: int):
+    """One polynomial over an arbitrary-shape chunk: a 1-row :func:`poly_eval_rows`."""
+    return poly_eval_rows(
+        highest_first.reshape(1, -1), xs.reshape(1, -1), p
+    ).reshape(xs.shape)
+
+
+def poly_eval_rows(highest_first_rows, xs_rows, p: int):
+    """Evaluate many polynomials, each at its own chunk of points, at once.
+
+    ``highest_first_rows`` is an int64 matrix whose row ``i`` holds the
+    (highest-degree-first) coefficients of polynomial ``i``; ``xs_rows`` is
+    an int64 matrix whose row ``i`` holds the query points for polynomial
+    ``i``.  Returns the matching matrix of evaluations over ``GF(p)``.
+
+    This is the batched-engine shape: one row per half-edge (or per
+    verifier-side stored replica), one column per (trial, repetition) query
+    point — the whole Monte-Carlo chunk's fingerprint arithmetic collapses
+    to ``deg`` numpy passes regardless of how many rows share the field.
+    Callers group rows by ``(p, degree)`` first; see
+    :mod:`repro.engine.kernels`.
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy_available
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    accumulator = _np.zeros_like(xs_rows)
+    for j in range(highest_first_rows.shape[1]):
+        accumulator *= xs_rows
+        accumulator += highest_first_rows[:, j : j + 1]
+        accumulator %= p
+    return accumulator
 
 
 def poly_equal_points(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:

@@ -1,0 +1,27 @@
+"""Tier-1 wrapper around the benchmark smoke harness.
+
+``benchmarks/smoke.py`` asserts the engine wiring every benchmark depends
+on (fast-path compilation, oracle bit-identity, vectorized-kernel identity,
+one-sided completeness) in a few seconds.  Running it from the test suite
+means a broken scheme hook fails ``pytest`` long before anyone re-runs the
+full benchmarks.
+"""
+
+import importlib.util
+import pathlib
+
+SMOKE_PATH = pathlib.Path(__file__).parent.parent / "benchmarks" / "smoke.py"
+
+
+def _load_smoke():
+    spec = importlib.util.spec_from_file_location("bench_smoke", SMOKE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def test_every_engine_hooked_workload_smokes(capsys):
+    smoke = _load_smoke()
+    assert smoke.main() == 0
+    output = capsys.readouterr().out
+    assert "workloads smoke-tested ok" in output

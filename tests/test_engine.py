@@ -26,17 +26,26 @@ from repro.core.seeding import (
 from repro.core.shared import SharedCoinsCompiledRPLS
 from repro.core.verifier import estimate_acceptance, verify_randomized
 from repro.engine import (
+    PlanCache,
     VerificationPlan,
     estimate_acceptance_batched,
     estimate_acceptance_fast,
 )
 from repro.graphs.generators import (
+    corrupt_mst_swap,
     corrupt_spanning_tree,
+    flow_configuration,
+    mst_configuration,
     spanning_tree_configuration,
     uniform_configuration,
 )
+from repro.graphs.workloads import corrupt_distance, distance_configuration
+from repro.schemes.distance import distance_engine_plan, distance_rpls
+from repro.schemes.flow import k_flow_engine_plan, k_flow_rpls
+from repro.schemes.mst import mst_engine_plan, mst_rpls
 from repro.schemes.spanning_tree import SpanningTreePLS
 from repro.schemes.uniformity import DirectUnifRPLS
+from repro.substrates.gf import numpy_available
 
 TRIALS = 30
 MASTER_SEEDS = (0, 7)
@@ -148,6 +157,75 @@ class TestDecisionEquivalence:
         assert not VerificationPlan.compile(boosted_noisy, config).uses_fast_path
         boosted = BoostedRPLS(compiled, 2)
         assert VerificationPlan.compile(boosted, config).uses_fast_path
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_mst_scheme_hooks(self, randomness):
+        """Theorem 5.1's compiled MST RPLS through the engine fast path."""
+        config = mst_configuration(12, seed=40)
+        scheme = mst_rpls()
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=labels, randomness=randomness
+        )
+        assert plan.uses_fast_path
+        _assert_trialwise_identical(scheme, config, labels, randomness, trials=10)
+
+    @pytest.mark.parametrize("randomness", ("edge", "shared"))
+    def test_mst_scheme_stale_labels(self, randomness):
+        """Soundness side: honest labels on a tree-swapped configuration."""
+        config = mst_configuration(12, seed=41)
+        corrupted = corrupt_mst_swap(config, seed=42)
+        scheme = mst_rpls()
+        labels = scheme.prover(config)
+        _assert_trialwise_identical(scheme, corrupted, labels, randomness, trials=10)
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_flow_scheme_hooks(self, randomness):
+        """Section 5.2's compiled k-flow RPLS through the engine fast path."""
+        config = flow_configuration(2, path_length=3, decoy_edges=2, seed=43)
+        scheme = k_flow_rpls()
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=labels, randomness=randomness
+        )
+        assert plan.uses_fast_path
+        _assert_trialwise_identical(scheme, config, labels, randomness, trials=10)
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_distance_scheme_hooks(self, randomness):
+        """The compiled SSSP-distance RPLS through the engine fast path."""
+        config = distance_configuration(14, 5, seed=44, weighted=True)
+        scheme = distance_rpls(weighted=True)
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=labels, randomness=randomness
+        )
+        assert plan.uses_fast_path
+        _assert_trialwise_identical(scheme, config, labels, randomness, trials=10)
+
+    @pytest.mark.parametrize("randomness", ("edge", "node"))
+    def test_distance_scheme_stale_labels(self, randomness):
+        """Honest relabeling of a corrupted distance claim — the engine must
+        reproduce the oracle's (deterministic-reject) decisions exactly."""
+        config = distance_configuration(14, 5, seed=45)
+        corrupted = corrupt_distance(config, seed=46)
+        scheme = distance_rpls()
+        labels = scheme.prover(corrupted)
+        _assert_trialwise_identical(scheme, corrupted, labels, randomness, trials=10)
+
+    def test_engine_plan_helpers_take_fast_path(self):
+        """The scheme-module plan helpers never fall back to the generic
+        path — this is what keeps the MST/flow/distance benchmarks off the
+        legacy oracle."""
+        mst_plan = mst_engine_plan(mst_configuration(10, seed=47))
+        flow_plan = k_flow_engine_plan(
+            flow_configuration(2, path_length=3, decoy_edges=1, seed=48)
+        )
+        dist_plan = distance_engine_plan(distance_configuration(10, 3, seed=49))
+        for plan in (mst_plan, flow_plan, dist_plan):
+            assert plan.uses_fast_path
+            assert plan.constant_verdict is None
+            assert plan.run_trial(derive_trial_seed(0, 0)) is True
 
 
 class TestMalformedLabels:
@@ -350,6 +428,329 @@ class TestRawFingerprints:
                                         labels=scheme.prover(config))
         assert plan.uses_fast_path
         assert plan.run_trial(derive_trial_seed(0, 0)) is False
+
+
+needs_numpy = pytest.mark.skipif(not numpy_available(), reason="numpy not installed")
+
+
+def _assert_vector_identical(plan, seeds, rng_modes=("compat", "fast")):
+    """The vectorized kernel reproduces the scalar path's decision per trial."""
+    for rng_mode in rng_modes:
+        scalar = [plan.run_trial(seed, rng_mode) for seed in seeds]
+        singles = [
+            bool(plan.run_trials([seed], rng_mode=rng_mode, vectorize=True))
+            for seed in seeds
+        ]
+        assert singles == scalar, rng_mode
+        # Chunking across the whole seed list is equally invisible.
+        assert plan.run_trials(seeds, rng_mode=rng_mode, vectorize=True) == sum(scalar)
+
+
+@needs_numpy
+class TestVectorizedKernels:
+    """The numpy trial-chunk kernel: pure speed, identical decisions."""
+
+    def test_vector_ready_flags(self):
+        config = spanning_tree_configuration(10, 3, seed=50)
+        compiled = FingerprintCompiledRPLS(SpanningTreePLS())
+        assert VerificationPlan.compile(compiled, config).vector_ready
+        boosted = BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 2)
+        assert VerificationPlan.compile(boosted, config).vector_ready
+        # Parity certificates are not polynomial fingerprints.
+        shared = SharedCoinsCompiledRPLS(SpanningTreePLS())
+        shared_plan = VerificationPlan.compile(
+            shared, config, randomness="shared"
+        )
+        assert shared_plan.uses_fast_path and not shared_plan.vector_ready
+        # Hooks without a vector spec stay scalar.
+        unif_config = uniform_configuration(6, 8, equal=True, seed=51)
+        unif_plan = VerificationPlan.compile(DirectUnifRPLS(), unif_config)
+        assert unif_plan.uses_fast_path and not unif_plan.vector_ready
+
+    @pytest.mark.parametrize("randomness", ALL_MODES)
+    def test_compiled_scheme_vectorized_matches_oracle(self, randomness):
+        config = spanning_tree_configuration(14, 5, seed=52)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=labels, randomness=randomness
+        )
+        assert plan.vector_ready
+        seeds = [derive_trial_seed(0, trial) for trial in range(15)]
+        # Compat + vectorized reproduces the one-shot oracle per trial.
+        for seed in seeds:
+            reference = verify_randomized(
+                scheme, config, seed=seed, labels=labels, randomness=randomness
+            ).accepted
+            assert bool(plan.run_trials([seed], vectorize=True)) == reference
+        # Fast mode: vectorized and scalar share their probability point.
+        _assert_vector_identical(plan, seeds)
+
+    @pytest.mark.parametrize("randomness", ("edge", "node"))
+    def test_boosted_scheme_vectorized(self, randomness):
+        config = spanning_tree_configuration(12, 4, seed=53)
+        scheme = BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 3)
+        labels = scheme.prover(config)
+        plan = VerificationPlan.compile(
+            scheme, config, labels=labels, randomness=randomness
+        )
+        assert plan.vector_ready
+        _assert_vector_identical(plan, [derive_trial_seed(1, t) for t in range(12)])
+
+    def test_scheme_plans_vectorized(self):
+        """MST, flow, and distance plans all run the numpy kernel with
+        decisions identical to the scalar hook path."""
+        plans = (
+            mst_engine_plan(mst_configuration(10, seed=54)),
+            k_flow_engine_plan(
+                flow_configuration(2, path_length=3, decoy_edges=1, seed=55)
+            ),
+            distance_engine_plan(distance_configuration(10, 3, seed=56)),
+        )
+        seeds = [derive_trial_seed(2, trial) for trial in range(8)]
+        for plan in plans:
+            assert plan.vector_ready
+            _assert_vector_identical(plan, seeds)
+
+    def test_proof_fault_vectorized_matches_oracle(self):
+        """A flipped stored-replica bit (the E19 proof-fault model) is only
+        caught by the fingerprint test, so decisions are genuinely random —
+        the vectorized kernel must reproduce every one of them."""
+        config = spanning_tree_configuration(12, 4, seed=57)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        victim = config.graph.nodes[3]
+        label = labels[victim]
+        flipped = dict(labels)
+        flipped[victim] = BitString(label.value ^ (1 << (label.length // 2)), label.length)
+        plan = VerificationPlan.compile(scheme, config, labels=flipped)
+        if plan.constant_verdict is not None:  # pragma: no cover - bit landed in framing
+            pytest.skip("flip corrupted the label framing; nothing randomized to test")
+        assert plan.vector_ready
+        seeds = [derive_trial_seed(3, trial) for trial in range(25)]
+        for seed in seeds:
+            reference = verify_randomized(
+                scheme, config, seed=seed, labels=flipped
+            ).accepted
+            assert bool(plan.run_trials([seed], vectorize=True)) == reference
+        _assert_vector_identical(plan, seeds)
+
+    def test_estimator_vectorize_knob(self):
+        config = spanning_tree_configuration(12, 4, seed=58)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        plan = VerificationPlan.compile(scheme, config)
+        scalar = estimate_acceptance_fast(plan, 30, seed=59, rng_mode="fast", vectorize=False)
+        vector = estimate_acceptance_fast(plan, 30, seed=59, rng_mode="fast", vectorize=True)
+        auto = estimate_acceptance_fast(plan, 30, seed=59, rng_mode="fast")
+        assert scalar.accepted == vector.accepted == auto.accepted
+        # Explicitly requesting the kernel on an unsupported plan fails loudly.
+        unif_plan = VerificationPlan.compile(
+            DirectUnifRPLS(), uniform_configuration(6, 8, equal=True, seed=60)
+        )
+        with pytest.raises(ValueError):
+            estimate_acceptance_fast(unif_plan, 10, vectorize=True)
+
+    def test_fingerprinter_eval_chunk_matches_scalar(self):
+        from repro.core.fingerprint import Fingerprinter
+
+        fingerprinter = Fingerprinter(24, repetitions=2)
+        data = BitString.from_int(0xF00DED, 24)
+        coefficients = fingerprinter.reversed_coefficients(data)
+        xs = [[1, 5, 19], [0, 7, fingerprinter.params.prime - 1]]
+        chunk = fingerprinter.eval_chunk(coefficients, xs)
+        expected = fingerprinter.field.poly_eval_many(
+            tuple(reversed(coefficients)), [x for row in xs for x in row]
+        )
+        assert chunk.reshape(-1).tolist() == expected
+
+
+class TestConstantFalseShortCircuit:
+    """Plans with an unparseable hook label have a compile-time verdict."""
+
+    def _garbage_plan(self):
+        config = spanning_tree_configuration(10, 3, seed=61)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = dict(scheme.prover(config))
+        victim = config.graph.nodes[2]
+        labels[victim] = BitString.from_int(0b1011, 13)  # unparseable forgery
+        return scheme, config, labels
+
+    def test_constant_verdict_is_compiled(self):
+        scheme, config, labels = self._garbage_plan()
+        plan = VerificationPlan.compile(scheme, config, labels=labels)
+        assert plan.constant_verdict is False
+        assert plan.run_trial(derive_trial_seed(0, 0)) is False
+        # A healthy plan has no compile-time verdict.
+        healthy = VerificationPlan.compile(scheme, config)
+        assert healthy.constant_verdict is None
+
+    def test_estimator_returns_zero_without_running_trials(self):
+        scheme, config, labels = self._garbage_plan()
+        plan = VerificationPlan.compile(scheme, config, labels=labels)
+        calls = []
+        scheme.engine_certificate = lambda *args, **kwargs: calls.append(1)  # type: ignore[method-assign]
+        plan._run_trial_hooks = None  # any trial execution would now crash
+        plan._run_trial_generic = None
+        estimate = estimate_acceptance_fast(plan, 200, seed=62)
+        assert (estimate.accepted, estimate.trials) == (0, 200)
+        assert estimate.probability == 0.0
+        assert not calls
+
+    def test_short_circuit_decisions_match_oracle(self):
+        scheme, config, labels = self._garbage_plan()
+        plan = VerificationPlan.compile(scheme, config, labels=labels)
+        for trial in range(5):
+            trial_seed = derive_trial_seed(63, trial)
+            assert not verify_randomized(
+                scheme, config, seed=trial_seed, labels=labels
+            ).accepted
+            assert plan.run_trial(trial_seed) is False
+        assert plan.run_trials([derive_trial_seed(63, t) for t in range(5)]) == 0
+
+
+class TestPlanCache:
+    def _workload(self, seed=64):
+        config = spanning_tree_configuration(10, 3, seed=seed)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+        labels = scheme.prover(config)
+        return scheme, config, labels
+
+    def test_same_inputs_hit(self):
+        scheme, config, labels = self._workload()
+        cache = PlanCache(maxsize=4)
+        first = cache.get(scheme, config, labels=labels)
+        second = cache.get(scheme, config, labels=labels)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_value_equal_configuration_hits(self):
+        """Recovery in the self-stabilization loop rebuilds an *equal* but
+        distinct configuration; the cache must treat it as the same state."""
+        from repro.core.configuration import Configuration
+
+        scheme, config, labels = self._workload()
+        rebuilt = Configuration(config.graph, dict(config.states))
+        relabeled = dict(labels)
+        cache = PlanCache(maxsize=4)
+        first = cache.get(scheme, config, labels=labels)
+        second = cache.get(scheme, rebuilt, labels=relabeled)
+        assert first is second
+        assert (cache.hits, cache.misses) == (1, 1)
+
+    def test_mutated_configuration_misses(self):
+        scheme, config, labels = self._workload()
+        cache = PlanCache(maxsize=4)
+        first = cache.get(scheme, config, labels=labels)
+        victim = config.graph.nodes[0]
+        mutated = config.with_state(
+            victim, config.state(victim).with_fields(corrupted_marker=1)
+        )
+        second = cache.get(scheme, mutated, labels=labels)
+        assert first is not second
+        assert (cache.hits, cache.misses) == (0, 2)
+
+    def test_mutated_labels_and_randomness_miss(self):
+        scheme, config, labels = self._workload()
+        cache = PlanCache(maxsize=8)
+        first = cache.get(scheme, config, labels=labels)
+        flipped = dict(labels)
+        victim = config.graph.nodes[1]
+        label = labels[victim]
+        flipped[victim] = BitString(label.value ^ 1, label.length)
+        assert cache.get(scheme, config, labels=flipped) is not first
+        assert cache.get(scheme, config, labels=labels, randomness="node") is not first
+        # The original is still cached.
+        assert cache.get(scheme, config, labels=labels) is first
+        assert cache.misses == 3
+
+    def test_distinct_scheme_instances_miss(self):
+        scheme, config, labels = self._workload()
+        other = FingerprintCompiledRPLS(SpanningTreePLS())
+        cache = PlanCache(maxsize=4)
+        assert cache.get(scheme, config, labels=labels) is not cache.get(
+            other, config, labels=labels
+        )
+
+    def test_lru_eviction(self):
+        scheme, config, labels = self._workload()
+        cache = PlanCache(maxsize=1)
+        cache.get(scheme, config, labels=labels)
+        cache.get(scheme, config, labels=labels, randomness="node")
+        assert len(cache) == 1
+        cache.get(scheme, config, labels=labels)  # evicted above: a miss
+        assert cache.misses == 3 and cache.hits == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PlanCache(maxsize=0)
+
+    def test_mutable_field_values_are_never_cached(self):
+        """A state field holding a shared mutable container could be mutated
+        in place after compilation, drifting a cached plan away from its
+        key — such configurations compile fresh on every call."""
+        scheme, config, labels = self._workload()
+        victim = config.graph.nodes[0]
+        mutable = config.with_state(
+            victim, config.state(victim).with_fields(audit_log=[1, 2])
+        )
+        cache = PlanCache(maxsize=4)
+        first = cache.get(scheme, mutable, labels=labels)
+        second = cache.get(scheme, mutable, labels=labels)
+        assert first is not second
+        assert len(cache) == 0
+        assert (cache.hits, cache.misses) == (0, 2)
+        # The returned plans still verify normally.
+        assert first.run_trial(derive_trial_seed(0, 0)) == second.run_trial(
+            derive_trial_seed(0, 0)
+        )
+
+    def test_self_stabilization_reuses_plans(self):
+        """The fault/recovery cycle hits the cache after the first cycle and
+        produces the exact trace of the uncached loop."""
+        from repro.graphs.generators import corrupt_spanning_tree as corrupt
+        from repro.simulation.self_stabilization import (
+            periodic_faults,
+            run_self_stabilization,
+        )
+        from repro.substrates.bfs import bfs_layers
+
+        config = spanning_tree_configuration(10, 3, seed=65)
+        scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+
+        def recovery(corrupted):
+            graph = corrupted.graph
+            tree = bfs_layers(graph, graph.nodes[0])
+            from repro.core.configuration import Configuration
+
+            states = {
+                node: corrupted.state(node).with_fields(
+                    parent_port=tree.parent_port[node]
+                )
+                for node in graph.nodes
+            }
+            repaired = Configuration(graph, states)
+            return repaired, scheme.prover(repaired)
+
+        def run(plan_cache=None):
+            return run_self_stabilization(
+                scheme,
+                config,
+                recovery,
+                fault_rounds=periodic_faults(
+                    lambda c, r: corrupt(c, seed=7), period=6, total_rounds=36
+                ),
+                total_rounds=36,
+                seed=66,
+                plan_cache=plan_cache,
+            )
+
+        cache = PlanCache(maxsize=8)
+        cached_trace = run(plan_cache=cache)
+        baseline = run()
+        assert cache.hits > 0
+        assert [r.__dict__ for r in cached_trace.records] == [
+            r.__dict__ for r in baseline.records
+        ]
 
 
 class TestSeeding:

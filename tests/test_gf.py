@@ -89,3 +89,62 @@ class TestPolynomials:
         field = PrimeField(31)
         coefficients = [1, 2, 3, 4]
         assert poly_equal_points(field, coefficients, list(coefficients)) == 31
+
+
+class TestVectorizedKernels:
+    """The numpy backend must agree with the scalar Horner loops exactly."""
+
+    def _require_numpy(self):
+        from repro.substrates.gf import numpy_available
+
+        if not numpy_available():
+            pytest.skip("numpy not installed")
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=100), max_size=12),
+        st.lists(st.integers(min_value=0, max_value=100), min_size=1, max_size=16),
+    )
+    def test_poly_eval_chunk_matches_many(self, coefficients, xs):
+        self._require_numpy()
+        field = PrimeField(101)
+        chunk = field.poly_eval_chunk(coefficients, xs)
+        assert chunk.tolist() == field.poly_eval_many(coefficients, xs)
+
+    def test_poly_eval_chunk_preserves_shape(self):
+        self._require_numpy()
+        field = PrimeField(31)
+        coefficients = [1, 2, 3]
+        matrix = [[0, 1, 2], [3, 4, 5]]
+        chunk = field.poly_eval_chunk(coefficients, matrix)
+        assert chunk.shape == (2, 3)
+        flat = [x for row in matrix for x in row]
+        assert chunk.reshape(-1).tolist() == field.poly_eval_many(coefficients, flat)
+
+    def test_poly_eval_rows_matches_per_row_evaluation(self):
+        self._require_numpy()
+        import numpy
+
+        from repro.substrates.gf import poly_eval_rows
+
+        field = PrimeField(103)
+        polynomials = [[5, 0, 7, 1], [2, 2, 2, 2], [0, 0, 0, 9]]
+        points = [[1, 2, 3], [4, 5, 6], [100, 101, 102]]
+        rows = numpy.asarray(
+            [list(reversed(p)) for p in polynomials], dtype=numpy.int64
+        )
+        xs = numpy.asarray(points, dtype=numpy.int64)
+        evaluated = poly_eval_rows(rows, xs, field.p)
+        for i, polynomial in enumerate(polynomials):
+            assert evaluated[i].tolist() == field.poly_eval_many(
+                polynomial, points[i]
+            )
+
+    def test_out_of_range_modulus_rejected(self):
+        self._require_numpy()
+        from repro.substrates.primes import next_prime
+        from repro.substrates.gf import vectorizable_prime
+
+        huge = next_prime(1 << 31)
+        assert not vectorizable_prime(huge)
+        with pytest.raises(RuntimeError):
+            PrimeField(huge).poly_eval_chunk([1, 2], [3])
