@@ -4,11 +4,20 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test bench bench-smoke
+.PHONY: test test-stats bench bench-smoke
 
 # Tier-1: the full test suite (includes the benchmark smoke harness).
+# Heavy statistical tests (marker: slow_stats) are skipped here; run them
+# with `make test-stats`.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The full statistical harness: RNG-quality chi-square / serial-correlation
+# sweeps and the deep cross-mode (compat/fast/vector) decision-consistency
+# comparisons, plus the engine wiring smoke run.
+test-stats:
+	$(PYTHON) -m pytest tests/test_rng_quality.py tests/test_cross_mode_consistency.py --slow-stats -q
+	$(PYTHON) benchmarks/smoke.py
 
 # All experiments: regenerates benchmarks/results/*.txt and BENCH_engine.json.
 # (bench_*.py does not match pytest's default test-file pattern, so the

@@ -3,22 +3,29 @@
 Every soundness experiment in this repository is a Monte-Carlo loop over
 repeated verification rounds, so trials-per-second is the throughput metric
 that bounds how much statistical evidence any benchmark can gather.  This
-experiment measures it on three workloads — the paper's headline Theorem 3.1
+experiment measures it on four workloads — the paper's headline Theorem 3.1
 compiled spanning-tree scheme (200 nodes), the same with footnote-1
-certificate boosting (t=3), and the compiled Borůvka-trace MST scheme
-(96 nodes, the largest-label workload in the library) — for four execution
-paths:
+certificate boosting (t=3), the compiled Borůvka-trace MST scheme (96 nodes,
+the largest-label workload in the library), and the Section 6 shared-coins
+compiler on the 200-node spanning tree (the packed-parity kernel workload)
+— for five execution paths:
 
 - **legacy** — the reference per-trial loop ``estimate_acceptance``;
 - **engine compat** — ``VerificationPlan`` + ``estimate_acceptance_fast``
   with the legacy-identical RNG streams (bit-for-bit the same accept/reject
   decisions, asserted below);
 - **engine fast** — the same plan with SplitMix64 integer-mix RNG
-  derivation (statistically equivalent streams), scalar Horner kernels;
+  derivation (statistically equivalent streams), scalar kernels;
 - **engine fast+numpy** — the same probability-space point as engine fast,
-  with the trial chunks executed by the vectorized Horner kernels of
-  :mod:`repro.engine.kernels` (decision-identical to engine fast per trial,
-  asserted below).
+  with the trial chunks executed by the vectorized kernels of
+  :mod:`repro.engine.kernels` (batched Horner passes for fingerprint
+  schemes, packed-``uint64`` GF(2) popcounts for the shared-coins scheme;
+  decision-identical to engine fast per trial, asserted below) — the draws
+  still replay ``random.Random`` scalar call by scalar call;
+- **engine vector** — ``rng_mode="vector"``: the counter-based SplitMix64
+  stream, where the *draws too* evaluate as one uint64 array op per chunk
+  (decision-identical to the scalar CounterRng path per trial, asserted
+  below) — the last per-trial Python loop gone.
 
 Results are persisted machine-readably to ``BENCH_engine.json`` at the
 repository root so future PRs can track the perf trajectory.
@@ -32,6 +39,7 @@ import time
 from repro.core.boosting import BoostedRPLS
 from repro.core.compiler import FingerprintCompiledRPLS
 from repro.core.seeding import derive_trial_seed
+from repro.core.shared import SharedCoinsCompiledRPLS
 from repro.core.verifier import estimate_acceptance, verify_randomized
 from repro.engine import VerificationPlan, estimate_acceptance_fast
 from repro.graphs.generators import mst_configuration, spanning_tree_configuration
@@ -48,6 +56,10 @@ REQUIRED_SPEEDUP = 5.0
 # The numpy chunk kernel must beat PR 1's scalar fast mode on at least one
 # workload by this factor (measured ~5-10x; the bar is low to absorb noise).
 REQUIRED_VECTOR_SPEEDUP = 1.5
+# The counter-based vector rng must beat the fast+numpy path (same kernels,
+# scalar draws) on at least one workload: the draw loop is the cost it
+# eliminates.  Measured ~2-4x on the fingerprint workloads; low bar again.
+REQUIRED_VECTOR_RNG_SPEEDUP = 1.2
 
 
 def _throughput(run, trials, repeats=3):
@@ -61,11 +73,14 @@ def _throughput(run, trials, repeats=3):
     return best
 
 
-def _measure(scheme, configuration, labels, legacy_trials, engine_trials):
-    plan = VerificationPlan.compile(scheme, configuration, labels=labels)
+def _measure(scheme, configuration, labels, randomness, legacy_trials, engine_trials):
+    plan = VerificationPlan.compile(
+        scheme, configuration, labels=labels, randomness=randomness
+    )
     legacy = _throughput(
         lambda n: estimate_acceptance(
-            scheme, configuration, trials=n, seed=0, labels=labels
+            scheme, configuration, trials=n, seed=0, labels=labels,
+            randomness=randomness,
         ),
         legacy_trials,
     )
@@ -84,28 +99,39 @@ def _measure(scheme, configuration, labels, legacy_trials, engine_trials):
         ),
         engine_trials,
     )
-    return plan, legacy, compat, fast, vector
+    vector_rng = _throughput(
+        lambda n: estimate_acceptance_fast(
+            plan, n, seed=0, rng_mode="vector", vectorize=True
+        ),
+        engine_trials,
+    )
+    return plan, legacy, compat, fast, vector, vector_rng
 
 
-def _assert_bit_identical(scheme, configuration, labels, plan, trials=25, seed=0):
+def _assert_bit_identical(
+    scheme, configuration, labels, plan, randomness, trials=25, seed=0
+):
     """Per-trial accept/reject equality across every execution path.
 
     Compat mode (scalar and vectorized) must match the one-shot reference
-    oracle; fast mode's vectorized kernel must match fast mode's scalar
-    kernel (they share a probability-space point distinct from compat's).
+    oracle; within fast and vector modes, the vectorized kernel must match
+    that mode's scalar kernel (each mode is its own probability-space
+    point, shared by its two kernels).
     """
     for trial in range(trials):
         trial_seed = derive_trial_seed(seed, trial)
         reference = verify_randomized(
-            scheme, configuration, seed=trial_seed, labels=labels
+            scheme, configuration, seed=trial_seed, labels=labels,
+            randomness=randomness,
         ).accepted
         assert plan.run_trial(trial_seed) == reference, trial
         assert bool(plan.run_trials([trial_seed], vectorize=True)) == reference, trial
-        scalar_fast = plan.run_trial(trial_seed, rng_mode="fast")
-        vector_fast = bool(
-            plan.run_trials([trial_seed], rng_mode="fast", vectorize=True)
-        )
-        assert vector_fast == scalar_fast, trial
+        for rng_mode in ("fast", "vector"):
+            scalar = plan.run_trial(trial_seed, rng_mode=rng_mode)
+            vectorized = bool(
+                plan.run_trials([trial_seed], rng_mode=rng_mode, vectorize=True)
+            )
+            assert vectorized == scalar, (rng_mode, trial)
     return True
 
 
@@ -120,6 +146,7 @@ def test_engine_throughput(benchmark, report):
             "compiled(spanning-tree)",
             FingerprintCompiledRPLS(SpanningTreePLS()),
             spanning,
+            "edge",
             20,
             200,
         ),
@@ -127,18 +154,29 @@ def test_engine_throughput(benchmark, report):
             "boosted(compiled, t=3)",
             BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 3),
             spanning,
+            "edge",
             12,
             120,
         ),
-        ("compiled(mst)", mst_rpls(), mst, 6, 60),
+        ("compiled(mst)", mst_rpls(), mst, "edge", 6, 60),
+        (
+            "shared-coins(spanning-tree)",
+            SharedCoinsCompiledRPLS(SpanningTreePLS()),
+            spanning,
+            "shared",
+            20,
+            400,
+        ),
     ]
-    for name, scheme, configuration, legacy_trials, engine_trials in workloads:
+    for name, scheme, configuration, randomness, legacy_trials, engine_trials in workloads:
         labels = scheme.prover(configuration)
-        plan, legacy, compat, fast, vector = _measure(
-            scheme, configuration, labels, legacy_trials, engine_trials
+        plan, legacy, compat, fast, vector, vector_rng = _measure(
+            scheme, configuration, labels, randomness, legacy_trials, engine_trials
         )
         assert plan.uses_fast_path and plan.vector_ready
-        identical = _assert_bit_identical(scheme, configuration, labels, plan)
+        identical = _assert_bit_identical(
+            scheme, configuration, labels, plan, randomness
+        )
         rows.append(
             [
                 name,
@@ -147,22 +185,29 @@ def test_engine_throughput(benchmark, report):
                 f"{compat:.1f}",
                 f"{fast:.1f}",
                 f"{vector:.1f}",
+                f"{vector_rng:.1f}",
                 f"{fast / legacy:.1f}x",
                 f"{vector / fast:.1f}x",
+                f"{vector_rng / vector:.1f}x",
             ]
         )
         results.append(
             {
                 "scheme": name,
+                "randomness": randomness,
                 "half_edges": plan.half_edge_count,
                 "legacy_trials_per_sec": round(legacy, 1),
                 "engine_compat_trials_per_sec": round(compat, 1),
                 "engine_fast_trials_per_sec": round(fast, 1),
                 "engine_vector_trials_per_sec": round(vector, 1),
+                "engine_vector_rng_trials_per_sec": round(vector_rng, 1),
                 "speedup_compat": round(compat / legacy, 2),
                 "speedup_fast": round(fast / legacy, 2),
                 "speedup_vector": round(vector / legacy, 2),
+                "speedup_vector_rng": round(vector_rng / legacy, 2),
                 "vector_vs_fast": round(vector / fast, 2),
+                "vector_rng_vs_fast": round(vector_rng / fast, 2),
+                "vector_rng_vs_fast_numpy": round(vector_rng / vector, 2),
                 "bit_identical": identical,
             }
         )
@@ -177,8 +222,10 @@ def test_engine_throughput(benchmark, report):
                 "compat/s",
                 "fast/s",
                 "fast+numpy/s",
+                "vector/s",
                 "fast",
                 "numpy gain",
+                "vector gain",
             ],
             rows,
         ),
@@ -198,6 +245,7 @@ def test_engine_throughput(benchmark, report):
                 "python": sys.version.split()[0],
                 "required_speedup": REQUIRED_SPEEDUP,
                 "required_vector_speedup": REQUIRED_VECTOR_SPEEDUP,
+                "required_vector_rng_speedup": REQUIRED_VECTOR_RNG_SPEEDUP,
                 "results": results,
             },
             indent=2,
@@ -207,22 +255,30 @@ def test_engine_throughput(benchmark, report):
 
     # The acceptance bar: the bit-identical batched path clears 5x on at
     # least one workload, the numpy kernel path clears its margin over the
-    # scalar fast mode, and every workload agrees with the reference oracle
-    # decision-for-decision on every execution path.
+    # scalar fast mode, the counter-based vector rng clears its margin over
+    # fast+numpy (the draw loop it eliminates), and every workload agrees
+    # with the reference oracle decision-for-decision on every path.
     assert all(result["bit_identical"] for result in results)
     assert max(result["speedup_compat"] for result in results) >= REQUIRED_SPEEDUP
     assert (
         max(result["vector_vs_fast"] for result in results)
         >= REQUIRED_VECTOR_SPEEDUP
     )
+    assert (
+        max(result["vector_rng_vs_fast_numpy"] for result in results)
+        >= REQUIRED_VECTOR_RNG_SPEEDUP
+    )
+    # The shared-coins popcount kernel must beat its scalar fast mode.
+    shared_result = next(r for r in results if r["randomness"] == "shared")
+    assert shared_result["vector_vs_fast"] >= REQUIRED_VECTOR_SPEEDUP
 
     # pytest-benchmark row: one vectorized engine chunk on the plain
-    # compiled scheme.
+    # compiled scheme, counter-based draws.
     scheme = FingerprintCompiledRPLS(SpanningTreePLS())
     labels = scheme.prover(spanning)
     plan = VerificationPlan.compile(scheme, spanning, labels=labels)
     benchmark(
         lambda: estimate_acceptance_fast(
-            plan, 10, seed=2, rng_mode="fast", vectorize=True
+            plan, 10, seed=2, rng_mode="vector", vectorize=True
         )
     )

@@ -10,8 +10,10 @@ tier-1 via ``tests/test_bench_smoke.py``, and standalone via
   legacy-oracle fallback);
 - a handful of per-trial decisions are bit-identical to the one-shot
   reference oracle in compat mode;
-- where the scheme supports the numpy chunk kernel, the vectorized
-  decisions match the scalar ones per trial (both rng modes);
+- where the scheme supports a numpy chunk kernel (fingerprint Horner or
+  shared-coins parity), the vectorized decisions match the scalar ones per
+  trial in every rng mode — including the counter-based ``vector`` mode,
+  whose scalar CounterRng path must agree with the batched draw kernel;
 - a short :func:`~repro.engine.estimate_acceptance_fast` run completes and
   one-sided completeness holds (every trial accepts on the legal state).
 
@@ -91,7 +93,7 @@ def smoke_workload(name, scheme, configuration, randomness):
             f"{name}: trial {trial} diverged from the reference oracle"
         )
         if plan.vector_ready:
-            for rng_mode in ("compat", "fast"):
+            for rng_mode in ("compat", "fast", "vector"):
                 scalar = plan.run_trial(trial_seed, rng_mode)
                 vector = bool(
                     plan.run_trials([trial_seed], rng_mode=rng_mode, vectorize=True)
@@ -104,6 +106,13 @@ def smoke_workload(name, scheme, configuration, randomness):
     assert estimate.probability == 1.0, (
         f"{name}: one-sided completeness violated ({estimate})"
     )
+    if plan.vector_ready:
+        vector_estimate = estimate_acceptance_fast(
+            plan, SMOKE_TRIALS, rng_mode="vector", vectorize=True
+        )
+        assert vector_estimate.probability == 1.0, (
+            f"{name}: vector-rng completeness violated ({vector_estimate})"
+        )
     return [name, plan.half_edge_count, "numpy" if plan.vector_ready else "scalar", "ok"]
 
 

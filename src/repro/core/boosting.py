@@ -30,6 +30,7 @@ from typing import Dict, Optional
 
 from repro.core.bitstrings import BitReader, BitString, BitWriter
 from repro.core.configuration import Configuration
+from repro.core.fingerprint import FingerprintVectorSpec
 from repro.core.scheme import (
     LabelView,
     RandomizedScheme,
@@ -137,12 +138,16 @@ class BoostedRPLS(RandomizedScheme):
         is the base scheme's with ``t`` times the query-point draws per
         half-edge: the boosted certificate call draws all ``t``
         sub-certificates from one stream in sequence, and the boosted
-        verifier accepts exactly when every sub-certificate point checks."""
+        verifier accepts exactly when every sub-certificate point checks.
+        Only fingerprint specs compose this way — a parity spec's coin
+        consumption is re-derived by the *verifier*, which boosting runs
+        without public coins (a degenerate always-reject); those plans stay
+        on the scalar path."""
         spec_hook = getattr(self.base, "engine_vector_spec", None)
         if spec_hook is None:
             return None
         spec = spec_hook(context)
-        if spec is None:
+        if not isinstance(spec, FingerprintVectorSpec):
             return None
         return replace(spec, draws=spec.draws * self.repetitions)
 

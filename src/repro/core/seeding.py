@@ -16,7 +16,7 @@ pseudorandom number generators", OOPSLA 2014) — the finalizer used by
 a bijection on 64-bit words whose output passes BigCrush, which makes it a
 sound way to turn a (seed, counter) pair into decorrelated child seeds.
 
-Two derivation layers live here:
+Three derivation layers live here:
 
 - :func:`derive_trial_seed` — the per-trial seed of a Monte-Carlo loop
   (trial ``i`` of a run with master seed ``s``);
@@ -26,9 +26,24 @@ Two derivation layers live here:
   whose SHA-512 seeding dominates tight trial loops.  The compatibility
   mode of the engine keeps the string construction so historical seeds
   reproduce bit-for-bit.
+- the **counter-based stream** (``rng_mode="vector"`` in
+  :mod:`repro.engine`): :func:`stream_word` maps a ``(stream_seed,
+  counter)`` pair straight to a 64-bit word through the SplitMix64 stream
+  step plus finalizer — a pure bijection per counter, with no sequential
+  generator state at all.  Because word ``k`` is a closed-form function of
+  ``k``, a whole Monte-Carlo chunk's draws evaluate as one numpy ``uint64``
+  array op (:func:`splitmix64_array` / :func:`stream_words`), and the
+  scalar adapter :class:`CounterRng` replays the exact same words one call
+  at a time — the two implementations are bit-identical by construction
+  and property-tested per trial.
 """
 
 from __future__ import annotations
+
+try:  # numpy backs the vectorized stream kernels; scalar paths never need it
+    import numpy as _np
+except ImportError:  # pragma: no cover - the image ships numpy
+    _np = None
 
 _MASK64 = (1 << 64) - 1
 
@@ -93,6 +108,126 @@ def legacy_trial_seed(seed: int, trial: int) -> int:
     recorded before the SplitMix64 fix.
     """
     return hash((seed, trial))
+
+
+def stream_word(stream_seed: int, index: int) -> int:
+    """Word ``index`` of the counter-based SplitMix64 stream ``stream_seed``.
+
+    The classic SplitMix64 generator steps its state by the golden gamma and
+    finalizes; here the state is *computed* instead of stepped, so any word
+    of the stream is addressable in O(1) — the property the vectorized RNG
+    mode is built on.  Bit-identical to :func:`splitmix64_array` applied to
+    ``stream_seed + index * gamma``.
+
+    >>> stream_word(7, 0) != stream_word(7, 1)
+    True
+    >>> stream_word(7, 3) == stream_word(7, 3)
+    True
+    """
+    return splitmix64((stream_seed + index * _GOLDEN_GAMMA) & _MASK64)
+
+
+def splitmix64_array(x: "object") -> "object":
+    """The numpy ``uint64`` kernel of :func:`splitmix64` — elementwise.
+
+    ``x`` is anything convertible to a ``uint64`` array (entries already
+    reduced mod ``2**64``); the result holds ``splitmix64(entry)`` for every
+    entry, bit-identical to the scalar mix (``uint64`` lanes wrap exactly
+    like the ``& _MASK64`` reductions above).
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy availability
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    u64 = _np.uint64
+    x = _np.asarray(x, dtype=u64) + u64(_GOLDEN_GAMMA)
+    x = (x ^ (x >> u64(30))) * u64(_MIX_1)
+    x = (x ^ (x >> u64(27))) * u64(_MIX_2)
+    return x ^ (x >> u64(31))
+
+
+def stream_words(stream_seeds: "object", counters: "object") -> "object":
+    """``words[i, j] = stream_word(stream_seeds[i], counters[j])``, batched.
+
+    One broadcasted array op per Monte-Carlo chunk: rows are trials (one
+    stream seed each), columns are the chunk's flat draw counters.  This is
+    the whole-chunk draw kernel of ``rng_mode="vector"``.
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy availability
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    u64 = _np.uint64
+    seeds = _np.asarray(stream_seeds, dtype=u64)
+    steps = _np.asarray(counters, dtype=u64) * u64(_GOLDEN_GAMMA)
+    return splitmix64_array(seeds[:, None] + steps[None, :])
+
+
+def derive_stream_seed_array(trial_seeds: "object", node_index: int, port: int) -> "object":
+    """Vectorized :func:`derive_stream_seed` over a chunk of trial seeds.
+
+    ``trial_seeds`` must already be reduced into ``[0, 2**64)`` (mask
+    negative legacy-mode seeds with ``& ((1 << 64) - 1)`` first); the result
+    is bit-identical to the scalar derivation per entry.
+    """
+    base = splitmix64_array(trial_seeds)
+    tag = ((node_index + 1) << 20) ^ (port + 1)
+    return splitmix64_array(base ^ _np.uint64(splitmix64(tag & _MASK64)))
+
+
+class CounterRng:
+    """Scalar adapter over the counter-based stream, ``random.Random``-shaped.
+
+    The engine's ``rng_mode="vector"`` draws whole chunks through
+    :func:`stream_words`; this class replays the identical word sequence one
+    call at a time so the *scalar* hook path can run the same probability
+    point (and so the bit-identity property tests have a per-trial oracle).
+    It deliberately implements only the two methods the engine hook
+    contract allows certificate generators to call — :meth:`randrange` and
+    :meth:`getrandbits` — because every other ``random.Random`` method has
+    data-dependent word consumption that a counter-addressed kernel cannot
+    replay.
+
+    :meth:`randrange` reduces a stream word modulo ``n``; the modulo bias is
+    below ``n / 2**64`` (< ``2**-33`` for every fingerprint field), orders
+    of magnitude under what any statistical test here could resolve, and —
+    unlike rejection sampling — keeps word consumption a pure function of
+    the call count.
+    """
+
+    __slots__ = ("stream_seed", "counter")
+
+    def __init__(self, stream_seed: int = 0):
+        self.seed(stream_seed)
+
+    def seed(self, stream_seed: int) -> None:
+        """Rebase the stream; the counter restarts at word 0."""
+        self.stream_seed = stream_seed & _MASK64
+        self.counter = 0
+
+    def randrange(self, n: int) -> int:
+        """A draw from ``[0, n)`` — one stream word, reduced modulo ``n``."""
+        if n <= 0:
+            raise ValueError("empty range for randrange()")
+        word = stream_word(self.stream_seed, self.counter)
+        self.counter += 1
+        return word % n
+
+    def getrandbits(self, k: int) -> int:
+        """``k`` random bits from ``ceil(k / 64)`` stream words.
+
+        Words assemble little-endian (word ``j`` holds bits ``64j`` and up)
+        and the top word is truncated to the remaining width — the exact
+        layout the packed-``uint64`` parity kernel reproduces per mask.
+        """
+        if k <= 0:
+            raise ValueError("number of bits must be greater than zero")
+        words = (k + 63) // 64
+        base = self.counter
+        value = 0
+        for j in range(words):
+            value |= stream_word(self.stream_seed, base + j) << (64 * j)
+        self.counter = base + words
+        return value & ((1 << k) - 1)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<CounterRng seed={self.stream_seed:#x} counter={self.counter}>"
 
 
 def derive_stream_seed(trial_seed: int, node_index: int, port: int) -> int:

@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.bitstrings import BitString
 from repro.core.compiler import FingerprintCompiledRPLS
@@ -47,6 +47,30 @@ class _SharedCoinsNodeContext:
     own_value: int
     stored_values: Tuple[int, ...]
     base_accepts: bool
+
+
+@dataclass(frozen=True)
+class ParityVectorSpec:
+    """One node's description for the packed-``uint64`` parity chunk kernel.
+
+    The GF(2) counterpart of
+    :class:`~repro.core.fingerprint.FingerprintVectorSpec`: shared-coins
+    certificates are inner products ``parity(value & mask)`` over the
+    round's public masks, so a node's entire per-trial behaviour is its
+    replica *values* (``own_value`` sent, ``stored_values[q]`` checked
+    against port ``q``'s message) plus the trial-invariant base verdict.
+    ``width`` is the replica bit-width the masks are drawn at and
+    ``repetitions`` the number of masks (= certificate bits) per trial —
+    the two quantities that fix the shared coin consumption.  See
+    :mod:`repro.engine.kernels` for how specs compile into packed XOR-diff
+    words.
+    """
+
+    width: int
+    repetitions: int
+    own_value: int
+    stored_values: Tuple[int, ...]
+    accepts_when_checks_pass: bool
 
 
 def _parity(value: int) -> int:
@@ -135,11 +159,26 @@ class SharedCoinsCompiledRPLS(FingerprintCompiledRPLS):
         own_value = context.own_value
         return tuple(_parity(own_value & mask) for mask in masks)
 
-    def engine_vector_spec(self, context) -> None:
-        """Public-coin certificates are GF(2) parities, not polynomial
-        fingerprints — the vectorized fingerprint kernel does not apply, so
-        plans over this scheme always run the scalar hook path."""
-        return None
+    def engine_vector_spec(self, context) -> Optional[ParityVectorSpec]:
+        """Describe this context to the packed-parity trial-chunk kernel.
+
+        Public-coin certificates are GF(2) inner products, so the
+        vectorized *fingerprint* kernel does not apply — instead the
+        :class:`ParityVectorSpec` feeds the packed-``uint64`` popcount
+        kernel of :mod:`repro.engine.kernels`, which batches every
+        ``parity((own ^ stored) & mask)`` check of a Monte-Carlo chunk into
+        a few array ops with per-trial verdicts identical to
+        :meth:`engine_verify`.  Returns ``None`` (scalar fallback) for
+        contexts another subclass produced."""
+        if not isinstance(context, _SharedCoinsNodeContext):
+            return None
+        return ParityVectorSpec(
+            width=context.width,
+            repetitions=self.repetitions,
+            own_value=context.own_value,
+            stored_values=context.stored_values,
+            accepts_when_checks_pass=context.base_accepts,
+        )
 
     def engine_verify(self, context: _SharedCoinsNodeContext, messages, shared_rng) -> bool:
         if shared_rng is None:

@@ -40,7 +40,11 @@ Knobs
   streams bit-for-bit; ``rng_mode="fast"`` derives streams through the
   SplitMix64 integer mix of :mod:`repro.core.seeding` — statistically
   equivalent, measurably faster, but a different point of the probability
-  space for the same seed.
+  space for the same seed; ``rng_mode="vector"`` draws through the
+  counter-based SplitMix64 stream, whose query points batch as one numpy
+  array op per Monte-Carlo chunk (scalar and vectorized executions
+  bit-identical per trial; hook-path schemes only).  A plan compiled with
+  ``rng_mode=...`` makes that mode its default for every run.
 - ``seed_mode="mix"`` (default) derives per-trial seeds with the shared
   SplitMix64 mix; ``"legacy"`` reproduces the historical
   ``hash((seed, trial))`` derivation.

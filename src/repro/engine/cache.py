@@ -16,9 +16,11 @@ the same labels produce the same key.  That is exactly the shape of the
 self-stabilization loop, where recovery constructs a *fresh* legal
 configuration each cycle that is equal to — but not the same object as —
 the previous one.  Mutating anything that feeds the key (a state field, a
-label bit, the port wiring, the randomness mode) changes the key and
-misses, so a cached plan can never be replayed against inputs it was not
-compiled for.  (State fields holding *mutable* containers — which a later
+label bit, the port wiring, the randomness mode, the plan's default
+``rng_mode``) changes the key and misses, so a cached plan can never be
+replayed against inputs it was not compiled for — in particular a plan
+compiled for counter-based vector draws is never served to a compat
+caller expecting the legacy coin streams.  (State fields holding *mutable* containers — which a later
 in-place mutation could drift out from under a cached plan — make a
 configuration uncacheable and simply compile fresh; see
 :class:`Uncacheable`.)  Schemes are the one exception: they are keyed by identity
@@ -129,12 +131,21 @@ class PlanCache:
         configuration: Configuration,
         labels: Dict[Node, BitString],
         randomness: RandomnessMode,
+        rng_mode: str = "compat",
     ) -> Tuple:
-        """The cache key for one compile request (see module docstring)."""
+        """The cache key for one compile request (see module docstring).
+
+        ``rng_mode`` is part of the key because it is part of the *plan*: a
+        plan's compiled default rng mode decides which probability-space
+        point ``plan.run_trial(seed)`` lands on, so a plan compiled for
+        vector draws must never be served to a compat caller (or vice
+        versa) — they would silently get each other's coin streams.
+        """
         nodes = configuration.graph.nodes
         return (
             id(scheme),
             randomness,
+            rng_mode,
             configuration_key(configuration),
             tuple((node, labels[node]) for node in nodes),
         )
@@ -145,6 +156,7 @@ class PlanCache:
         configuration: Configuration,
         labels: Optional[Dict[Node, BitString]] = None,
         randomness: RandomnessMode = "edge",
+        rng_mode: str = "compat",
     ) -> VerificationPlan:
         """Return a plan for the inputs, compiling only on a key miss.
 
@@ -156,19 +168,19 @@ class PlanCache:
         if labels is None:
             labels = scheme.prover(configuration)
         try:
-            key = self.key(scheme, configuration, labels, randomness)
+            key = self.key(scheme, configuration, labels, randomness, rng_mode)
         except Uncacheable:
             # See Uncacheable: a state field holds a shared mutable
             # container, so memoizing would risk replaying a stale plan.
             self.misses += 1
-            return VerificationPlan(scheme, configuration, labels, randomness)
+            return VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
         plan = self._plans.get(key)
         if plan is not None:
             self.hits += 1
             self._plans.move_to_end(key)
             return plan
         self.misses += 1
-        plan = VerificationPlan(scheme, configuration, labels, randomness)
+        plan = VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
         self._plans[key] = plan
         while len(self._plans) > self.maxsize:
             self._plans.popitem(last=False)

@@ -25,6 +25,13 @@ Bit-identical vs. statistically equivalent
   unchanged, but individual decisions differ from compat mode.  Within fast
   mode, the scalar and vectorized kernels are again decision-identical to
   each other per trial.
+- **Statistically equivalent, fully batched** (``rng_mode="vector"``): the
+  counter-based SplitMix64 stream of :mod:`repro.core.seeding` — yet
+  another point of the same space, chosen so the *draws themselves* (not
+  just the arithmetic) evaluate as one numpy array op per chunk.  The
+  scalar :class:`~repro.core.seeding.CounterRng` path and the numpy kernel
+  are bit-identical per trial; the cross-mode consistency suite pins all
+  three modes to the same acceptance probability within Wilson tolerance.
 
 Wilson early exit
 -----------------
@@ -70,7 +77,7 @@ def estimate_acceptance_fast(
     plan: VerificationPlan,
     trials: int,
     seed: int = 0,
-    rng_mode: RngMode = "compat",
+    rng_mode: Optional[RngMode] = None,
     seed_mode: str = "mix",
     chunk_size: int = DEFAULT_CHUNK,
     stop_halfwidth: Optional[float] = None,
@@ -86,12 +93,13 @@ def estimate_acceptance_fast(
     trials actually executed.  Early exit changes *which prefix* of the
     trial sequence is used, never the per-trial decisions.
 
+    ``rng_mode=None`` (default) uses the plan's compiled default mode.
     ``seed_mode="legacy"`` reproduces the pre-SplitMix64 per-trial seeds
     (``hash((seed, trial))``) for comparison against historical results.
 
     ``vectorize`` selects the numpy trial-chunk kernel: ``None`` (default)
-    uses it automatically in ``rng_mode="fast"`` whenever the plan supports
-    it (``plan.vector_ready``), ``True`` requires it (raising
+    uses it automatically in ``rng_mode="fast"`` / ``"vector"`` whenever
+    the plan supports it (``plan.vector_ready``), ``True`` requires it (raising
     :class:`ValueError` on unsupported plans — useful in tests and
     benchmarks that must not silently fall back), ``False`` forces the
     scalar path.  The kernel never changes decisions, only throughput.
@@ -105,9 +113,11 @@ def estimate_acceptance_fast(
         raise ValueError("trials must be positive")
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    if rng_mode is None:
+        rng_mode = plan.rng_mode
     trial_seed = resolve_trial_seed(seed_mode)
     if vectorize is None:
-        use_vector = rng_mode == "fast" and plan.vector_ready
+        use_vector = rng_mode in ("fast", "vector") and plan.vector_ready
     elif vectorize:
         if not plan.vector_ready and plan.constant_verdict is None:
             raise ValueError(

@@ -60,7 +60,12 @@ decision-exact, with respect to the legacy engine.
 The contract every hook implementation must honour: **for each node, the
 accept/reject output must equal the legacy output for the same coins.**
 The test suite enforces this property against the reference oracle for all
-hook-bearing schemes and all three randomness modes.
+hook-bearing schemes and all three randomness modes.  Certificate
+generators must additionally draw *only* through ``rng.randrange`` /
+``rng.getrandbits`` — the two calls whose word consumption is a pure
+function of the call sequence, which is what lets ``rng_mode="vector"``
+substitute the counter-based :class:`~repro.core.seeding.CounterRng` (and
+its whole-chunk numpy equivalent) for ``random.Random``.
 
 Fourth, optional, for vectorization: ``engine_vector_spec(ctx)`` returns a
 :class:`~repro.core.fingerprint.FingerprintVectorSpec` (or ``None``) for
@@ -104,11 +109,19 @@ from repro.core.scheme import (
     engine_hooks_available,
     rng_stream_suffix,
 )
-from repro.core.seeding import derive_stream_seed
+from repro.core.seeding import CounterRng, derive_stream_seed
 from repro.core.verifier import RandomnessMode
 from repro.graphs.port_graph import Node
 
-RngMode = str  # "compat" (legacy string-seeded streams) or "fast" (integer mix)
+# "compat": legacy string-seeded streams, bit-identical to the one-shot
+# oracle.  "fast": sequential SplitMix64-seeded random.Random streams.
+# "vector": the counter-based SplitMix64 stream (repro.core.seeding), whose
+# draws are a closed-form function of (stream seed, counter) — the only mode
+# whose query points batch as one numpy array op per chunk.  The scalar and
+# vectorized executions of any one mode are decision-identical per trial;
+# the three modes are distinct points of the same probability space.
+RngMode = str
+RNG_MODES = ("compat", "fast", "vector")
 
 _EMPTY = BitString.empty()
 
@@ -140,11 +153,19 @@ class VerificationPlan:
         configuration: Configuration,
         labels: Dict[Node, BitString],
         randomness: RandomnessMode,
+        rng_mode: RngMode = "compat",
     ):
+        if rng_mode not in RNG_MODES:
+            raise ValueError(f"unknown rng_mode {rng_mode!r}")
         self.scheme = scheme
         self.configuration = configuration
         self.labels = labels
         self.randomness = randomness
+        # The plan's *default* rng mode: run_trial / run_trials / the
+        # estimator use it when the caller passes none.  It is part of the
+        # plan's identity (PlanCache keys on it) so a plan compiled for
+        # vector draws is never served to a compat caller.
+        self.rng_mode = rng_mode
         self.params = SchemeParams.from_configuration(configuration)
 
         graph = configuration.graph
@@ -229,15 +250,18 @@ class VerificationPlan:
         configuration: Configuration,
         labels: Optional[Dict[Node, BitString]] = None,
         randomness: RandomnessMode = "edge",
+        rng_mode: RngMode = "compat",
     ) -> "VerificationPlan":
         """Precompute the trial-invariant half of repeated verification.
 
         ``labels`` defaults to the honest prover's assignment, mirroring
-        :func:`~repro.core.verifier.verify_randomized`.
+        :func:`~repro.core.verifier.verify_randomized`.  ``rng_mode`` sets
+        the plan's default randomness derivation (see :data:`RNG_MODES`);
+        callers may still override it per run_trial/run_trials call.
         """
         if labels is None:
             labels = scheme.prover(configuration)
-        return VerificationPlan(scheme, configuration, labels, randomness)
+        return VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
 
     @property
     def uses_fast_path(self) -> bool:
@@ -314,17 +338,26 @@ class VerificationPlan:
 
     # -- execution -------------------------------------------------------------
 
-    def run_trial(self, trial_seed: int, rng_mode: RngMode = "compat") -> bool:
+    def run_trial(self, trial_seed: int, rng_mode: Optional[RngMode] = None) -> bool:
         """One verification round; True iff every node accepts.
 
-        ``rng_mode="compat"`` (default) derives the exact RNG streams of
-        :func:`~repro.core.verifier.verify_randomized`, so the decision is
-        bit-identical to ``verify_randomized(..., seed=trial_seed)``.
-        ``rng_mode="fast"`` swaps the string-seeded derivation for the
-        SplitMix64 integer mix of :mod:`repro.core.seeding` — statistically
-        equivalent streams at a fraction of the derivation cost, but a
-        *different* probability-space point for the same seed.
+        ``rng_mode=None`` uses the plan's compiled default (``"compat"``
+        unless the plan was built otherwise).  ``"compat"`` derives the
+        exact RNG streams of :func:`~repro.core.verifier.verify_randomized`,
+        so the decision is bit-identical to
+        ``verify_randomized(..., seed=trial_seed)``.  ``"fast"`` swaps the
+        string-seeded derivation for the SplitMix64 integer mix of
+        :mod:`repro.core.seeding` — statistically equivalent streams at a
+        fraction of the derivation cost, but a *different* probability-space
+        point for the same seed.  ``"vector"`` draws through the
+        counter-based stream (:class:`~repro.core.seeding.CounterRng` here;
+        one numpy array op per chunk in the vectorized kernels) — again the
+        same probability space at yet another point; it requires the hook
+        fast path, whose certificate generators draw only via
+        ``randrange``/``getrandbits``.
         """
+        if rng_mode is None:
+            rng_mode = self.rng_mode
         if self.constant_verdict is not None:
             return self.constant_verdict
         if self.contexts is not None:
@@ -342,7 +375,10 @@ class VerificationPlan:
         engine_certificate = scheme.engine_certificate
         randomness = self.randomness
         certificates: List[object] = [None] * self.half_edge_count
-        rng = random.Random()
+        # Vector mode swaps the generator class, nothing else: CounterRng
+        # replays, word for word, the counter-based stream the numpy chunk
+        # kernels evaluate in one array op.
+        rng = CounterRng() if rng_mode == "vector" else random.Random()
         reseed = rng.seed
         shared_key: object = None
 
@@ -384,13 +420,16 @@ class VerificationPlan:
                         flat += 1
             else:  # pragma: no cover - guarded upstream
                 raise ValueError(f"unknown randomness mode {randomness!r}")
-        elif rng_mode == "fast":
+        elif rng_mode in ("fast", "vector"):
             if randomness in ("edge", "node"):
                 # One SplitMix64-seeded stream feeds every certificate in
                 # sequence.  Consecutive draws of one stream are as
                 # independent as draws of derived per-port streams, so the
                 # round's acceptance distribution is unchanged — only the
-                # (seed -> coins) mapping differs from compat mode.
+                # (seed -> coins) mapping differs from compat mode.  Vector
+                # mode keeps the identical seed addressing over the
+                # counter-based stream, so its kernel draws line up with
+                # this loop position for position.
                 reseed(derive_stream_seed(trial_seed, 0, 0))
                 flat = 0
                 for context, degree in zip(contexts, self.degrees):
@@ -438,6 +477,15 @@ class VerificationPlan:
         return True
 
     def _run_trial_generic(self, trial_seed: int, rng_mode: RngMode) -> bool:
+        if rng_mode == "vector":
+            # Generic-path schemes may draw through any random.Random
+            # method; the counter-based stream only guarantees replayable
+            # word consumption for randrange/getrandbits, which is what the
+            # hook contract restricts certificate generators to.
+            raise ValueError(
+                "rng_mode='vector' requires the engine hook fast path "
+                f"({self.scheme.name} has no engine hooks)"
+            )
         scheme = self.scheme
         rngs = self._edge_rngs(trial_seed, rng_mode)
         certificate = scheme.certificate
@@ -480,16 +528,20 @@ class VerificationPlan:
     def run_trials(
         self,
         trial_seeds: Sequence[int],
-        rng_mode: RngMode = "compat",
+        rng_mode: Optional[RngMode] = None,
         vectorize: bool = False,
     ) -> int:
         """Run a chunk of trials; returns how many rounds accepted.
 
+        ``rng_mode=None`` uses the plan's compiled default.
         ``vectorize=True`` executes the chunk through the numpy kernel of
         :mod:`repro.engine.kernels` (requires :attr:`vector_ready`); the
-        per-trial decisions are identical to the scalar path in either
-        ``rng_mode``, only the arithmetic is batched.
+        per-trial decisions are identical to the scalar path in every
+        ``rng_mode``, only the arithmetic (and, in vector mode, the query
+        point draws) is batched.
         """
+        if rng_mode is None:
+            rng_mode = self.rng_mode
         if self.constant_verdict is not None:
             return len(trial_seeds) if self.constant_verdict else 0
         if vectorize:
@@ -516,6 +568,7 @@ def compile_fast_plan(
     configuration: Configuration,
     labels: Optional[Dict[Node, BitString]] = None,
     randomness: RandomnessMode = "edge",
+    rng_mode: RngMode = "compat",
 ) -> VerificationPlan:
     """Compile a plan that is *guaranteed* to take the hook fast path.
 
@@ -525,7 +578,7 @@ def compile_fast_plan(
     loudly instead of quietly dropping to the generic path.
     """
     plan = VerificationPlan.compile(
-        scheme, configuration, labels=labels, randomness=randomness
+        scheme, configuration, labels=labels, randomness=randomness, rng_mode=rng_mode
     )
     if not plan.uses_fast_path:
         raise RuntimeError(

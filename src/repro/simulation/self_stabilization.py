@@ -88,6 +88,7 @@ def run_self_stabilization(
     seed: int = 0,
     label_fault_rounds: Optional[Dict[int, LabelFaultInjector]] = None,
     randomness: str = "edge",
+    rng_mode: str = "compat",
     plan_cache: Optional["PlanCache"] = None,
 ) -> StabilizationTrace:
     """Simulate ``total_rounds`` of the verify-detect-recover loop.
@@ -107,6 +108,12 @@ def run_self_stabilization(
     SplitMix64 per-round derivation of :mod:`repro.core.seeding`).  On a
     FALSE at any node, recovery runs immediately (the repaired state is in
     force from the next round on).
+
+    ``rng_mode`` selects the per-round coin derivation (``"compat"``,
+    ``"fast"``, or the counter-based ``"vector"`` — see
+    :mod:`repro.engine.plan`); it compiles into the plans this loop
+    resolves, and the cache keys on it, so runs sharing one ``plan_cache``
+    across modes can never serve each other's coin streams.
 
     Verification rounds run over a compiled
     :class:`~repro.engine.plan.VerificationPlan`, resolved through a
@@ -159,7 +166,11 @@ def run_self_stabilization(
         # hits and skips the compile entirely.
         if plan is None or plan_stale or injected:
             plan = cache.get(
-                scheme, current, labels=labels, randomness=randomness
+                scheme,
+                current,
+                labels=labels,
+                randomness=randomness,
+                rng_mode=rng_mode,
             )
             plan_stale = False
         detected = not plan.run_trial(derive_trial_seed(seed, round_index))

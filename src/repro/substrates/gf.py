@@ -224,6 +224,82 @@ def poly_eval_rows(highest_first_rows, xs_rows, p: int):
     return accumulator
 
 
+# -- GF(2) packed-word kernels ---------------------------------------------------
+#
+# The shared-coins compiler's certificates are random inner products over
+# GF(2): parity(value & mask).  Packed into 64-bit words, one inner product
+# is the XOR-fold of the per-word popcount parities, so a whole Monte-Carlo
+# chunk of parity checks collapses to a few uint64 array ops — the GF(2)
+# analogue of poly_eval_rows above.
+
+WORD_BITS = 64
+_WORD_MASK = (1 << WORD_BITS) - 1
+
+
+def pack_value_words(value: int, width: int) -> List[int]:
+    """Split a ``width``-bit integer into little-endian 64-bit words.
+
+    Word ``j`` holds bits ``[64j, 64j + 64)`` — the layout
+    :meth:`repro.core.seeding.CounterRng.getrandbits` assembles masks in,
+    so packed values and packed masks AND together positionally.
+
+    >>> pack_value_words(0b101, 3)
+    [5]
+    >>> pack_value_words((1 << 64) | 1, 65)
+    [1, 1]
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    if value < 0 or value >> width:
+        raise ValueError(f"value does not fit in {width} bits")
+    return [
+        (value >> (WORD_BITS * j)) & _WORD_MASK
+        for j in range((width + WORD_BITS - 1) // WORD_BITS)
+    ]
+
+
+def parity_words(words: "object") -> "object":
+    """Elementwise bit-parity (popcount mod 2) of a ``uint64`` array.
+
+    Uses the hardware popcount (``numpy.bitwise_count``) where the numpy
+    build ships it, else the log-depth XOR fold; both are exact, so the
+    choice never affects a decision.
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy_available
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    words = _np.asarray(words, dtype=_np.uint64)
+    count = getattr(_np, "bitwise_count", None)
+    if count is not None:
+        return (count(words) & _np.uint64(1)).astype(_np.uint64)
+    for shift in (32, 16, 8, 4, 2, 1):  # pragma: no cover - numpy >= 2 has bitwise_count
+        words = words ^ (words >> _np.uint64(shift))
+    return words & _np.uint64(1)  # pragma: no cover
+
+
+def gf2_inner_parities(value_words: "object", mask_words: "object") -> "object":
+    """Batched GF(2) inner products ``parity(value & mask)``.
+
+    ``value_words`` is a ``(rows, words)`` uint64 matrix of packed values;
+    ``mask_words`` any ``(..., words)`` stack of packed masks.  Returns a
+    ``(..., rows)`` array of 0/1 parities: entry ``[..., r]`` is the inner
+    product of value row ``r`` with the corresponding mask — each result a
+    single AND + XOR-reduce + popcount-parity over uint64 lanes.
+
+    >>> import numpy
+    >>> gf2_inner_parities(
+    ...     numpy.asarray([[0b110], [0b011]], dtype=numpy.uint64),
+    ...     numpy.asarray([[0b010], [0b111]], dtype=numpy.uint64),
+    ... ).tolist()
+    [[1, 1], [0, 0]]
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy_available
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    values = _np.asarray(value_words, dtype=_np.uint64)
+    masks = _np.asarray(mask_words, dtype=_np.uint64)
+    anded = values & masks[..., None, :]
+    return parity_words(_np.bitwise_xor.reduce(anded, axis=-1))
+
+
 def poly_equal_points(field: PrimeField, a: Sequence[int], b: Sequence[int]) -> int:
     """Count points of ``GF(p)`` where polynomials ``a`` and ``b`` agree.
 

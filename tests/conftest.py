@@ -1,0 +1,36 @@
+"""Tier-1 test configuration: the ``slow_stats`` marker.
+
+The statistical RNG-quality / cross-mode harness has two depths: a quick
+deterministic core that always runs (tier-1 must stay fast), and heavier
+sweeps — more samples, more workloads, more trials — marked ``slow_stats``.
+The heavy tier is skipped by default and enabled with ``--slow-stats``,
+which is what ``make test-stats`` passes.
+"""
+
+import pytest
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--slow-stats",
+        action="store_true",
+        default=False,
+        help="run the full statistical RNG-quality / cross-mode harness",
+    )
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "slow_stats: heavy statistical tests, skipped unless --slow-stats "
+        "(run them via `make test-stats`)",
+    )
+
+
+def pytest_collection_modifyitems(config, items):
+    if config.getoption("--slow-stats"):
+        return
+    skip = pytest.mark.skip(reason="needs --slow-stats (make test-stats)")
+    for item in items:
+        if "slow_stats" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,152 @@
+"""Statistical quality checks on the seed-derivation and vector RNG streams.
+
+The engine's fast paths replaced Python's opaque RNG seeding with explicit
+SplitMix64 derivations (:mod:`repro.core.seeding`), and ``rng_mode="vector"``
+replaced ``random.Random`` itself with a counter-based stream.  A mixing bug
+in any of them would silently bias every Monte-Carlo estimate in the
+repository, so this suite pins the streams' first-order statistics:
+
+- **chi-square uniformity** of bucketed outputs, against both the high and
+  the low bits (a classic failure mode of weak mixes is a uniform top and a
+  patterned bottom, or vice versa);
+- **lag-1 serial correlation** along each stream (consecutive counters must
+  look independent);
+- **monobit balance** (set bits ~ half of all bits).
+
+Every test uses fixed seeds, so the statistics are deterministic: the
+asserted bounds are wide (far beyond 6 sigma for a healthy generator) and a
+failure means a real regression in the mix, not test flake.  The quick core
+runs in tier-1; the ``slow_stats``-marked sweeps run via ``make test-stats``.
+"""
+
+import math
+
+import pytest
+
+from repro.core.seeding import (
+    derive_stream_seed,
+    derive_trial_seed,
+    splitmix64,
+    stream_word,
+)
+
+U64 = float(1 << 64)
+
+# 64 buckets -> 63 degrees of freedom: mean 63, sigma ~ 11.2.  The bounds
+# below sit ~6 sigma out on each side; the sampled statistics are
+# deterministic, so a value outside them is a mixing regression, not noise.
+BUCKETS = 64
+CHI2_LOW = 25.0
+CHI2_HIGH = 135.0
+
+
+def chi_square(counts, total):
+    expected = total / len(counts)
+    return sum((c - expected) ** 2 / expected for c in counts)
+
+
+def chi_square_bucketed(samples, bucket):
+    counts = [0] * BUCKETS
+    for sample in samples:
+        counts[bucket(sample)] += 1
+    return chi_square(counts, len(samples))
+
+
+def lag1_correlation(values):
+    """Pearson correlation of consecutive stream outputs scaled to [0, 1)."""
+    xs = values[:-1]
+    ys = values[1:]
+    n = len(xs)
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    var_y = sum((y - mean_y) ** 2 for y in ys)
+    return cov / math.sqrt(var_x * var_y)
+
+
+def top_bucket(word):
+    return word >> 58  # top 6 bits
+
+
+def low_bucket(word):
+    return word & (BUCKETS - 1)  # bottom 6 bits
+
+
+STREAMS = {
+    # name -> (sampler over index i, sample count for the tier-1 core)
+    "trial-seed": lambda i: derive_trial_seed(12345, i),
+    "trial-seed-master-sweep": lambda i: derive_trial_seed(i, 7),
+    "vector-stream": lambda i: stream_word(0xDEADBEEF, i),
+    "vector-stream-seed-sweep": lambda i: stream_word(i, 3),
+    "stream-seed": lambda i: derive_stream_seed(derive_trial_seed(5, i), 0, 0),
+}
+
+
+class TestUniformity:
+    @pytest.mark.parametrize("name", sorted(STREAMS))
+    def test_chi_square_top_and_low_bits(self, name):
+        sampler = STREAMS[name]
+        samples = [sampler(i) for i in range(4096)]
+        for bucket in (top_bucket, low_bucket):
+            stat = chi_square_bucketed(samples, bucket)
+            assert CHI2_LOW < stat < CHI2_HIGH, (name, bucket.__name__, stat)
+
+    @pytest.mark.slow_stats
+    @pytest.mark.parametrize("name", sorted(STREAMS))
+    @pytest.mark.parametrize("master", (0, 1, 2**63, 977))
+    def test_chi_square_deep(self, name, master):
+        """More samples, several base offsets, and a mid-bits bucketing."""
+        sampler = STREAMS[name]
+        samples = [sampler(master + i) for i in range(32768)]
+        for bucket in (top_bucket, low_bucket, lambda w: (w >> 29) & 63):
+            stat = chi_square_bucketed(samples, bucket)
+            assert CHI2_LOW < stat < CHI2_HIGH, (name, master, stat)
+
+    def test_monobit_balance(self):
+        ones = sum(bin(stream_word(31337, i)).count("1") for i in range(2048))
+        total = 2048 * 64
+        # sigma = sqrt(total)/2 ~ 181; allow ~6 sigma.
+        assert abs(ones - total / 2) < 1100, ones
+
+
+class TestSerialCorrelation:
+    @pytest.mark.parametrize("name", sorted(STREAMS))
+    def test_lag1_is_negligible(self, name):
+        sampler = STREAMS[name]
+        values = [sampler(i) / U64 for i in range(4096)]
+        r = lag1_correlation(values)
+        # Independent uniforms: sigma ~ 1/sqrt(n) ~ 0.016; allow ~4 sigma.
+        assert abs(r) < 0.065, (name, r)
+
+    @pytest.mark.slow_stats
+    @pytest.mark.parametrize("name", sorted(STREAMS))
+    def test_lag1_deep(self, name):
+        sampler = STREAMS[name]
+        values = [sampler(i) / U64 for i in range(32768)]
+        r = lag1_correlation(values)
+        assert abs(r) < 0.025, (name, r)  # ~4.5 sigma at n=32768
+
+
+class TestAvalanche:
+    """A counter step must flip about half the output bits — the property
+    that makes (seed, counter) addressing as good as sequential stepping."""
+
+    def test_single_counter_step_avalanche(self):
+        flips = []
+        for i in range(512):
+            a = stream_word(99, i)
+            b = stream_word(99, i + 1)
+            flips.append(bin(a ^ b).count("1"))
+        mean = sum(flips) / len(flips)
+        assert 28 < mean < 36, mean  # ideal 32
+
+    def test_seed_bit_avalanche(self):
+        flips = []
+        for bit in range(64):
+            for base in (0, 0x123456789ABCDEF):
+                a = splitmix64(base)
+                b = splitmix64(base ^ (1 << bit))
+                flips.append(bin(a ^ b).count("1"))
+        mean = sum(flips) / len(flips)
+        assert 28 < mean < 36, mean
