@@ -4,13 +4,22 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-stats bench bench-smoke
+.PHONY: test test-stats test-parallel bench bench-smoke
 
 # Tier-1: the full test suite (includes the benchmark smoke harness).
 # Heavy statistical tests (marker: slow_stats) are skipped here; run them
-# with `make test-stats`.
+# with `make test-stats`.  Process-executor tests (marker: parallel_proc)
+# skip themselves on single-CPU boxes; `make test-parallel` forces them.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The parallel tier: the sharded executor / campaign suites with the
+# process-executor tests forced on even where cpu_count() < 2, plus the
+# workload-pattern and chunk-tail regression suites.
+test-parallel:
+	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
+		tests/test_parallel.py tests/test_chunk_tail.py \
+		tests/test_workload_patterns.py -q
 
 # The full statistical harness: RNG-quality chi-square / serial-correlation
 # sweeps and the deep cross-mode (compat/fast/vector) decision-consistency

@@ -15,11 +15,16 @@ tier-1 via ``tests/test_bench_smoke.py``, and standalone via
   trial in every rng mode — including the counter-based ``vector`` mode,
   whose scalar CounterRng path must agree with the batched draw kernel;
 - a short :func:`~repro.engine.estimate_acceptance_fast` run completes and
-  one-sided completeness holds (every trial accepts on the legal state).
+  one-sided completeness holds (every trial accepts on the legal state);
+- the parallel subsystem wiring holds end to end: a tiny campaign runs
+  through the **process executor**, the sharded merge equals the
+  single-process estimate verdict-count for verdict-count, and the pool
+  tears down without leaking worker processes.
 
 Run:  python benchmarks/smoke.py      (or: make bench-smoke)
 """
 
+import multiprocessing
 import sys
 
 from repro.core.boosting import BoostedRPLS
@@ -116,8 +121,67 @@ def smoke_workload(name, scheme, configuration, randomness):
     return [name, plan.half_edge_count, "numpy" if plan.vector_ready else "scalar", "ok"]
 
 
+def smoke_parallel():
+    """One tiny campaign through the process executor; returns report rows.
+
+    Covers the PR 4 wiring the unit tests mark ``parallel_proc``: spec
+    pickling into real worker processes, per-worker plan resolution, the
+    sharded merge's verdict-count identity with the single-process run, and
+    — the worker-leak regression guard — an empty ``active_children()``
+    after the pool closes.  Falls back to the serial backend (still
+    exercising the campaign layer) only where the sandbox forbids forking.
+    """
+    from repro.engine import estimate_acceptance_fast
+    from repro.parallel import Campaign, estimate_acceptance_sharded, workload_spec
+
+    campaign = Campaign.sweep(
+        "smoke",
+        [("spanning-tree", {"node_count": 12, "extra_edges": 3})],
+        rng_modes=("fast", "vector"),
+        trial_budgets=(32,),
+    )
+    backend = "process"
+    try:
+        records = _run_smoke_campaign(campaign, backend)
+    # OSError/PermissionError: fork/pipe syscalls refused outright.
+    # RuntimeError covers concurrent.futures BrokenProcessPool — workers
+    # spawned but killed by the sandbox (seccomp/cgroups) mid-run.
+    except (OSError, PermissionError, RuntimeError) as exc:  # pragma: no cover
+        print(f"process executor unavailable ({exc}); smoke falls back to serial")
+        backend = "serial"
+        records = _run_smoke_campaign(campaign, backend)
+
+    assert len(records) == len(campaign.cells), "campaign skipped cells unexpectedly"
+    for record in records:
+        assert record["probability"] == 1.0, (
+            f"campaign cell {record['cell']}: completeness violated"
+        )
+
+    # Verdict-count identity through the chosen backend on a nontrivial
+    # (two-sided) workload — the sharded determinism contract end to end.
+    spec = workload_spec("noisy-spanning-tree", rng_mode="fast", node_count=12)
+    single = estimate_acceptance_fast(spec.resolve(), 64, seed=1)
+    sharded = estimate_acceptance_sharded(
+        spec, 64, seed=1, executor=backend, workers=2, shard_count=4
+    )
+    assert sharded.estimate == single, "sharded merge diverged from single-process"
+
+    leaked = multiprocessing.active_children()
+    assert not leaked, f"worker processes leaked past executor close: {leaked}"
+    return [
+        [f"campaign[{record['cell']}]", "-", backend, "ok"] for record in records
+    ] + [[f"sharded-merge(noisy, {sharded.shards} shards)", "-", backend, "ok"]]
+
+
+def _run_smoke_campaign(campaign, backend):
+    from repro.parallel import MemorySink, run_campaign
+
+    return run_campaign(campaign, executor=backend, workers=2, sink=MemorySink())
+
+
 def main() -> int:
     rows = [smoke_workload(*workload) for workload in workloads()]
+    rows.extend(smoke_parallel())
     print(format_table(["workload", "half-edges", "kernel", "status"], rows))
     print(f"\n{len(rows)} engine-hooked workloads smoke-tested ok")
     return 0

@@ -85,6 +85,44 @@ def derive_trial_seed(seed: int, trial: int) -> int:
     return splitmix64((base + trial * _GOLDEN_GAMMA) & _MASK64)
 
 
+def derive_trial_seed_array(seed: int, start: int, stop: int) -> "object":
+    """Vectorized :func:`derive_trial_seed` over the counter range [start, stop).
+
+    ``result[i] == derive_trial_seed(seed, start + i)`` bit for bit: the
+    scalar mix reduces every intermediate modulo ``2**64`` exactly as the
+    ``uint64`` lanes wrap.  This is the seed-slicing kernel of the sharded
+    executor (:mod:`repro.parallel`): a shard owning trial counters
+    ``[start, stop)`` derives its seeds as one array op, independent of
+    every other shard.
+    """
+    if _np is None:  # pragma: no cover - callers gate on numpy availability
+        raise RuntimeError("numpy backend requested but numpy is unavailable")
+    base = splitmix64(seed & _MASK64)
+    counters = _np.arange(start, stop, dtype=_np.uint64)
+    return splitmix64_array(
+        _np.uint64(base) + counters * _np.uint64(_GOLDEN_GAMMA)
+    )
+
+
+def trial_seed_slice(seed: int, start: int, stop: int, seed_mode: str = "mix"):
+    """The per-trial seeds of counters ``[start, stop)`` as a Python list.
+
+    The one entry point every chunked/sharded driver uses to materialize a
+    trial-counter range, so shard partitioning cannot drift from the
+    sequential derivation: concatenating the slices of a partition of
+    ``[0, trials)`` reproduces, element for element, the seeds a
+    single-process run derives.  ``seed_mode="mix"`` takes the vectorized
+    SplitMix64 kernel when numpy is present (bit-identical to the scalar
+    mix); ``"legacy"`` always derives scalar ``hash((seed, trial))`` values.
+    """
+    if stop <= start:
+        return []
+    if seed_mode == "mix" and _np is not None:
+        return [int(word) for word in derive_trial_seed_array(seed, start, stop)]
+    trial_seed = resolve_trial_seed(seed_mode)
+    return [trial_seed(seed, trial) for trial in range(start, stop)]
+
+
 def resolve_trial_seed(seed_mode: str):
     """The per-trial derivation function for a ``seed_mode`` knob.
 

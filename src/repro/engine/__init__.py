@@ -60,8 +60,13 @@ Knobs
 - Plans with an unparseable hook label carry a compile-time verdict
   (``plan.constant_verdict is False``); estimators return the degenerate
   0.0 estimate without running trials.
+- ``first_trial=...`` / ``should_stop=...`` are the shard hooks of the
+  parallel subsystem: :mod:`repro.parallel` partitions a trial budget into
+  counter ranges across serial/thread/process backends, with the merged
+  estimate exactly equal to the single-process one.
 
-See ``docs/engine.md`` for the full architecture and hook contract.
+See ``docs/engine.md`` for the full architecture and hook contract, and
+``docs/parallel.md`` for multi-core sharding and experiment campaigns.
 """
 
 from repro.engine.cache import PlanCache

@@ -35,6 +35,7 @@ observable in tests and experiment logs.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from types import MappingProxyType
 from typing import Dict, Optional, Tuple
@@ -118,12 +119,34 @@ class PlanCache:
         self._plans: "OrderedDict[Tuple, VerificationPlan]" = OrderedDict()
         self.hits = 0
         self.misses = 0
+        # Shard workers of repro.parallel.ThreadExecutor resolve plans
+        # through one shared cache concurrently; the lock covers the
+        # lookup/insert/evict critical sections (compilation itself runs
+        # unlocked — plans are pure values, so two racing compiles of the
+        # same key just produce two equal plans and the second insert wins).
+        self._lock = threading.Lock()
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def clear(self) -> None:
-        self._plans.clear()
+        with self._lock:
+            self._plans.clear()
+
+    def stats(self) -> Dict[str, int]:
+        """A snapshot of the cache counters, for experiment telemetry.
+
+        >>> PlanCache(maxsize=2).stats()
+        {'size': 0, 'maxsize': 2, 'hits': 0, 'misses': 0}
+        """
+        with self._lock:
+            return {
+                "size": len(self._plans),
+                "maxsize": self.maxsize,
+                "hits": self.hits,
+                "misses": self.misses,
+            }
 
     def key(
         self,
@@ -172,18 +195,21 @@ class PlanCache:
         except Uncacheable:
             # See Uncacheable: a state field holds a shared mutable
             # container, so memoizing would risk replaying a stale plan.
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.hits += 1
-            self._plans.move_to_end(key)
-            return plan
-        self.misses += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.hits += 1
+                self._plans.move_to_end(key)
+                return plan
+            self.misses += 1
         plan = VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
-        self._plans[key] = plan
-        while len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
+        with self._lock:
+            self._plans[key] = plan
+            while len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
         return plan
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

@@ -60,12 +60,12 @@ decisions the trial loop would have produced, minus the loop.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
 from repro.core.bitstrings import BitString
 from repro.core.configuration import Configuration
 from repro.core.scheme import RandomizedScheme
-from repro.core.seeding import resolve_trial_seed
+from repro.core.seeding import trial_seed_slice
 from repro.core.verifier import RandomnessMode
 from repro.engine.plan import RngMode, VerificationPlan
 from repro.graphs.port_graph import Node
@@ -83,6 +83,8 @@ def estimate_acceptance_fast(
     stop_halfwidth: Optional[float] = None,
     min_trials: int = 2 * DEFAULT_CHUNK,
     vectorize: Optional[bool] = None,
+    first_trial: int = 0,
+    should_stop: Optional[Callable[[], bool]] = None,
 ) -> "AcceptanceEstimate":
     """Estimate ``Pr[verifier accepts]`` by running ``trials`` plan rounds.
 
@@ -104,6 +106,19 @@ def estimate_acceptance_fast(
     benchmarks that must not silently fall back), ``False`` forces the
     scalar path.  The kernel never changes decisions, only throughput.
 
+    The two shard hooks (see :mod:`repro.parallel`):
+
+    - ``first_trial`` offsets the trial counter — the call covers the
+      counter range ``[first_trial, first_trial + trials)``, deriving
+      exactly the seeds the unsharded run derives for those positions, so a
+      partition of ``[0, N)`` across calls reproduces the single-call run
+      verdict for verdict (and therefore count for count once merged);
+    - ``should_stop`` is polled before every chunk; when it returns true
+      the call returns the partial estimate of the chunks already run
+      (possibly the empty zero-trial estimate).  Like the Wilson exit, a
+      cooperative stop changes *which prefix* of the shard's deterministic
+      trial sequence is consumed, never any individual decision.
+
     Plans with a compile-time verdict (``plan.constant_verdict``) return the
     exact degenerate estimate immediately, with no trials executed.
     """
@@ -113,9 +128,10 @@ def estimate_acceptance_fast(
         raise ValueError("trials must be positive")
     if chunk_size <= 0:
         raise ValueError("chunk_size must be positive")
+    if first_trial < 0:
+        raise ValueError("first_trial must be non-negative")
     if rng_mode is None:
         rng_mode = plan.rng_mode
-    trial_seed = resolve_trial_seed(seed_mode)
     if vectorize is None:
         use_vector = rng_mode in ("fast", "vector") and plan.vector_ready
     elif vectorize:
@@ -128,6 +144,10 @@ def estimate_acceptance_fast(
     else:
         use_vector = False
 
+    from repro.core.seeding import resolve_trial_seed
+
+    resolve_trial_seed(seed_mode)  # validate the mode before any work
+
     if plan.constant_verdict is not None:
         accepted = trials if plan.constant_verdict else 0
         return AcceptanceEstimate(accepted=accepted, trials=trials)
@@ -135,9 +155,17 @@ def estimate_acceptance_fast(
     accepted = 0
     done = 0
     while done < trials:
+        if should_stop is not None and should_stop():
+            break
+        # The final chunk is exactly the remaining trials — `done + chunk`
+        # never overshoots `trials`, so the reported count equals the prefix
+        # of the trial sequence actually consumed (pinned by the chunk-tail
+        # regression tests).
         chunk = min(chunk_size, trials - done)
         accepted += plan.run_trials(
-            [trial_seed(seed, trial) for trial in range(done, done + chunk)],
+            trial_seed_slice(
+                seed, first_trial + done, first_trial + done + chunk, seed_mode
+            ),
             rng_mode=rng_mode,
             vectorize=use_vector,
         )

@@ -282,6 +282,28 @@ class VerificationPlan:
 
         return self.constant_verdict is None and vector_state(self) is not None
 
+    def prepare(self, vectorize: Optional[bool] = None) -> "VerificationPlan":
+        """Force every lazily-built execution structure now; returns self.
+
+        The vectorized kernel description (:func:`repro.engine.kernels.vector_state`)
+        is built on first use and memoized on the plan.  A plan shared by
+        concurrent shard workers (:class:`repro.parallel.ThreadExecutor`)
+        would otherwise build it racily — harmlessly, since every builder
+        computes the same immutable value, but redundantly, once per worker.
+        Executors call ``prepare()`` once before fanning a plan out so the
+        workers only ever read.  ``vectorize=True`` additionally asserts the
+        plan really has a kernel (same contract as
+        ``estimate_acceptance_fast(vectorize=True)``).
+        """
+        if self.constant_verdict is None:
+            ready = self.vector_ready  # builds and memoizes the state
+            if vectorize and not ready:
+                raise ValueError(
+                    "vectorize=True but the plan has no vectorized kernel "
+                    "(numpy missing, or the scheme has no engine_vector_spec hook)"
+                )
+        return self
+
     # -- per-trial RNG derivation ---------------------------------------------
 
     def _edge_rngs(self, trial_seed: int, rng_mode: RngMode) -> List[random.Random]:

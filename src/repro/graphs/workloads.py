@@ -400,3 +400,197 @@ def hamiltonian_configuration(
             graph.add_edge(u, v)
             added += 1
     return Configuration(graph, simple_states(graph)), order
+
+
+# ---------------------------------------------------------------------------
+# fault-arrival patterns (simulation.self_stabilization workloads)
+# ---------------------------------------------------------------------------
+#
+# The self-stabilization loop takes its faults as a {round: injector}
+# schedule plus injector callables.  The helpers below build the arrival
+# patterns real systems see — uniform background noise, bursts, and
+# hotspot-skewed victim selection (cf. the UniformRandom/Hotspot/Bursty
+# workload generators of fabric/storage simulators) — so detection latency
+# and availability can be measured under realistic fault traffic, sweepable
+# as campaign cells across the parallel worker pool.
+#
+# Structural aliases (duplicated from repro.simulation.self_stabilization
+# to keep the dependency pointing simulation -> graphs, not back):
+#   FaultInjector       = Callable[[Configuration, int], Configuration]
+#   LabelFaultInjector  = Callable[[labels, Configuration, int], labels]
+
+
+def uniform_random_fault_schedule(
+    injector, total_rounds: int, rate: float, seed: int = 0, start: int = 0
+) -> Dict[int, object]:
+    """Independent per-round fault arrivals: each round faults w.p. ``rate``.
+
+    The memoryless background-noise model — every round in
+    ``[start, total_rounds)`` is hit independently, so inter-fault gaps are
+    geometric.  Deterministic in ``seed``.
+
+    >>> schedule = uniform_random_fault_schedule(lambda c, r: c, 100, 0.2, seed=1)
+    >>> all(0 <= r < 100 for r in schedule)
+    True
+    """
+    if not 0 <= rate <= 1:
+        raise ValueError("rate must lie in [0, 1]")
+    if total_rounds < 0:
+        raise ValueError("total_rounds must be non-negative")
+    rng = random.Random(f"uniform-faults|{seed}")
+    return {
+        round_index: injector
+        for round_index in range(start, total_rounds)
+        if rng.random() < rate
+    }
+
+
+def bursty_fault_schedule(
+    injector,
+    total_rounds: int,
+    burst_length: int,
+    period: int,
+    start: int = 0,
+    jitter: int = 0,
+    seed: int = 0,
+) -> Dict[int, object]:
+    """Faults arriving in bursts: ``burst_length`` consecutive hits every
+    ``period`` rounds, the burst start offset by up to ``jitter`` rounds.
+
+    The correlated-failure model (a power event, a flaky switch): detection
+    must fire *inside* a burst window, and availability degrades
+    super-linearly with burst length — the shape the campaign sweeps probe.
+
+    >>> sorted(bursty_fault_schedule(lambda c, r: c, 20, 2, 10))
+    [0, 1, 10, 11]
+    """
+    if burst_length < 1:
+        raise ValueError("burst_length must be positive")
+    if period < burst_length:
+        raise ValueError("period must cover the burst")
+    if jitter < 0:
+        raise ValueError("jitter must be non-negative")
+    rng = random.Random(f"bursty-faults|{seed}")
+    schedule: Dict[int, object] = {}
+    burst_start = start
+    while burst_start < total_rounds:
+        offset = rng.randrange(jitter + 1) if jitter else 0
+        for step in range(burst_length):
+            round_index = burst_start + offset + step
+            if round_index < total_rounds:
+                schedule[round_index] = injector
+        burst_start += period
+    return schedule
+
+
+def hotspot_victims(nodes: List[Node], hotspot_fraction: float, seed: int = 0) -> List[Node]:
+    """The deterministic hot subset of a node list (at least one node).
+
+    The subset is a seeded sample, so two processes materializing the same
+    workload agree on which nodes are hot — a requirement for campaign
+    cells that shard a hotspot run across workers.
+    """
+    if not 0 < hotspot_fraction <= 1:
+        raise ValueError("hotspot_fraction must lie in (0, 1]")
+    if not nodes:
+        raise ValueError("need at least one node")
+    count = max(1, round(hotspot_fraction * len(nodes)))
+    rng = random.Random(f"hotspot-subset|{seed}")
+    return sorted(rng.sample(list(nodes), count), key=repr)
+
+
+def hotspot_injector(
+    corrupt_victim,
+    hotspot_fraction: float = 0.1,
+    hotspot_weight: float = 0.9,
+    seed: int = 0,
+):
+    """Skew fault locations onto a small hot subset of nodes.
+
+    ``corrupt_victim(configuration, victim, rng)`` applies one fault at the
+    chosen node; the returned injector picks the victim from the hot subset
+    with probability ``hotspot_weight`` and uniformly from the cold rest
+    otherwise (falling back to the hot set when every node is hot).  Victim
+    choice is a pure function of ``(seed, round_index)``, never of shared
+    RNG state, so schedules replay identically across processes.
+    """
+    if not 0 <= hotspot_weight <= 1:
+        raise ValueError("hotspot_weight must lie in [0, 1]")
+
+    def inject(configuration: Configuration, round_index: int) -> Configuration:
+        victim, rng = _pick_hotspot_victim(
+            list(configuration.graph.nodes),
+            hotspot_fraction,
+            hotspot_weight,
+            seed,
+            round_index,
+            "hotspot-fault",
+        )
+        return corrupt_victim(configuration, victim, rng)
+
+    return inject
+
+
+def _pick_hotspot_victim(
+    nodes: List[Node],
+    hotspot_fraction: float,
+    hotspot_weight: float,
+    seed: int,
+    round_index: int,
+    tag: str,
+):
+    """The shared skew policy of the two hotspot injectors.
+
+    Returns ``(victim, rng)`` — the rng is handed back so the caller can
+    draw the fault's *content* from the same per-round stream.  Victim
+    choice is a pure function of ``(tag, seed, round_index)``; the hot
+    subset itself is a pure function of ``(nodes, fraction, seed)``.
+    """
+    hot = hotspot_victims(nodes, hotspot_fraction, seed)
+    hot_set = set(hot)
+    cold = [node for node in nodes if node not in hot_set]
+    rng = random.Random(f"{tag}|{seed}|{round_index}")
+    pool = hot if (not cold or rng.random() < hotspot_weight) else cold
+    return pool[rng.randrange(len(pool))], rng
+
+
+def hotspot_label_injector(
+    flips: int = 1,
+    hotspot_fraction: float = 0.1,
+    hotspot_weight: float = 0.9,
+    seed: int = 0,
+):
+    """A hotspot-skewed memory-fault model for *labels* (the stored proof).
+
+    The label-fault counterpart of :func:`hotspot_injector`: flips
+    ``flips`` random bits in the chosen victim's label, leaving the output
+    legal — detectable only through the randomized consistency checks, so
+    repeated hits on the same hot node probe exactly the detection-latency
+    trade boosting buys.  Signature matches
+    ``repro.simulation.self_stabilization.LabelFaultInjector``.
+    """
+    if flips < 1:
+        raise ValueError("flips must be positive")
+
+    def inject(labels, configuration: Configuration, round_index: int):
+        from repro.core.bitstrings import BitString
+
+        victim, rng = _pick_hotspot_victim(
+            list(configuration.graph.nodes),
+            hotspot_fraction,
+            hotspot_weight,
+            seed,
+            round_index,
+            "hotspot-label-fault",
+        )
+        label = labels[victim]
+        if label.length == 0:
+            return labels
+        value = label.value
+        for _ in range(flips):
+            value ^= 1 << rng.randrange(label.length)
+        mutated = dict(labels)
+        mutated[victim] = BitString(value, label.length)
+        return mutated
+
+    return inject

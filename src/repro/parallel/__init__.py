@@ -1,0 +1,78 @@
+"""Sharded parallel execution and experiment campaigns.
+
+Why this package exists
+-----------------------
+
+PR 1-3 collapsed the per-trial cost of repeated verification into chunked
+numpy array ops, leaving one Python process as the remaining wall-clock
+ceiling.  The counter-addressed SplitMix64 derivation of
+:mod:`repro.core.seeding` makes multi-process sharding *deterministic*: a
+trial's verdict is a pure function of ``(master seed, trial counter)``, so
+partitioning the counter range across workers reproduces the single-process
+run bit for bit — same per-trial verdicts, same merged counts, in any shard
+order, on any backend.
+
+The two layers:
+
+- **Sharded executor** — :class:`ShardPlanner` partitions a trial budget
+  into counter ranges; :class:`SerialExecutor` / :class:`ThreadExecutor` /
+  :class:`ProcessExecutor` run them; :func:`estimate_acceptance_sharded`
+  merges per-shard counts through
+  :meth:`~repro.simulation.metrics.AcceptanceEstimate.merge` (exact, by
+  construction) with an optional cooperative Wilson early exit that cancels
+  outstanding shards.  Process workers rebuild plans from picklable
+  :class:`PlanSpec` values through per-process caches — compiled plans
+  never cross the process boundary (:mod:`repro.parallel.spec`).
+- **Campaign orchestrator** — declarative :class:`Campaign` / :class:`Cell`
+  sweeps (workload family x rng mode x trial budget x seed) over one shared
+  worker pool, streaming JSON-lines records into resumable sinks
+  (:mod:`repro.parallel.campaign`), with a CLI front end
+  (``python -m repro.parallel.cli``).
+
+See ``docs/parallel.md`` for the shard/seed-partition contract, the
+executor matrix, and the campaign record format.
+"""
+
+from repro.parallel.campaign import (
+    Campaign,
+    Cell,
+    JsonlSink,
+    MemorySink,
+    run_campaign,
+)
+from repro.parallel.executors import (
+    EXECUTORS,
+    ProcessExecutor,
+    SerialExecutor,
+    ShardedEstimate,
+    ShardResult,
+    ThreadExecutor,
+    available_cpus,
+    estimate_acceptance_sharded,
+    resolve_executor,
+)
+from repro.parallel.factories import WORKLOADS, workload_spec
+from repro.parallel.shards import Shard, ShardPlanner
+from repro.parallel.spec import PlanSpec
+
+__all__ = [
+    "EXECUTORS",
+    "WORKLOADS",
+    "Campaign",
+    "Cell",
+    "JsonlSink",
+    "MemorySink",
+    "PlanSpec",
+    "ProcessExecutor",
+    "SerialExecutor",
+    "Shard",
+    "ShardPlanner",
+    "ShardResult",
+    "ShardedEstimate",
+    "ThreadExecutor",
+    "available_cpus",
+    "estimate_acceptance_sharded",
+    "resolve_executor",
+    "run_campaign",
+    "workload_spec",
+]

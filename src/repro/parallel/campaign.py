@@ -1,0 +1,263 @@
+"""Declarative experiment campaigns over the sharded executor.
+
+A *campaign* is a list of *cells*, each one a fully-specified Monte-Carlo
+estimation job: a picklable workload spec (:mod:`repro.parallel.spec`), a
+trial budget, a master seed, and an optional Wilson stop.  Campaigns are
+built either cell by cell or with :meth:`Campaign.sweep`, which crosses
+workload families x rng modes x trial budgets x seeds — the shape of every
+scaling experiment in this repository (and of the structured experiment
+collections in the related perun project this layer borrows its
+record-keeping from).
+
+Results stream into a *sink* as JSON records, one per cell.  The
+:class:`JsonlSink` is **resumable**: each record carries its cell's stable
+key, a reopened sink loads the keys already present, and
+:func:`run_campaign` skips those cells — so an interrupted overnight sweep
+continues where it stopped instead of re-spending its budget.  Records are
+flat JSON-lines on purpose: greppable, streamable, and safe under
+append-only writes (a torn final line is detected and ignored on reload).
+
+Cell identity covers the spec value, the trial budget, the master seed,
+and the stop rule — not the executor backend, worker count, or shard
+layout.  For **exhaustive** cells (no ``stop_halfwidth``) that is the full
+result-determining set: rerunning with more workers resumes cleanly and
+would produce bit-identical counts for the cells it reruns.  For
+**early-exit** cells the recorded counts additionally depend on *where the
+stop fired*, which varies with backend, worker count, and (on the
+thread/process backends) shard completion order — every such record is
+still an unbiased estimate over the trials it reports, with its Wilson
+interval attached, so resumed records are statistically comparable but not
+bit-reproducible.  The execution provenance (``executor``, ``workers``,
+``shards``, ``stopped_early``) is stored in each record for exactly this
+reason.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.parallel.executors import (
+    ShardPlanner,
+    estimate_acceptance_sharded,
+    resolve_executor,
+)
+from repro.parallel.factories import workload_spec
+from repro.parallel.spec import PlanSpec
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One estimation job of a campaign."""
+
+    name: str
+    spec: PlanSpec
+    trials: int
+    seed: int = 0
+    stop_halfwidth: Optional[float] = None
+
+    def __post_init__(self):
+        if self.trials <= 0:
+            raise ValueError("trials must be positive")
+
+    def key(self) -> str:
+        """The stable resume key of the cell.
+
+        Exactly the cell's *statistical* identity: for exhaustive cells it
+        pins the result bit for bit; for ``stop_halfwidth`` cells the
+        recorded counts also depend on where the cooperative stop fired
+        (see the module docstring), so a resumed record answers the same
+        estimation question without necessarily repeating the same trial
+        count.
+        """
+        return json.dumps(
+            {
+                "spec": self.spec.describe(),
+                "trials": self.trials,
+                "seed": self.seed,
+                "stop_halfwidth": self.stop_halfwidth,
+            },
+            sort_keys=True,
+        )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A named collection of cells, run as one unit over one worker pool."""
+
+    name: str
+    cells: Tuple[Cell, ...]
+
+    def __post_init__(self):
+        names = [cell.name for cell in self.cells]
+        if len(set(names)) != len(names):
+            raise ValueError("cell names within a campaign must be unique")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    @classmethod
+    def sweep(
+        cls,
+        name: str,
+        workloads: Sequence[Union[str, Tuple[str, Dict]]],
+        rng_modes: Sequence[str] = ("vector",),
+        trial_budgets: Sequence[int] = (1024,),
+        seeds: Sequence[int] = (0,),
+        stop_halfwidth: Optional[float] = None,
+    ) -> "Campaign":
+        """Cross workload families x rng modes x budgets x seeds into cells.
+
+        ``workloads`` entries are registry names (see
+        :data:`repro.parallel.factories.WORKLOADS`), optionally paired with
+        size kwargs: ``("spanning-tree", {"node_count": 200})``.
+
+        >>> len(Campaign.sweep("s", ["spanning-tree", "shared-coins"],
+        ...                    rng_modes=("fast", "vector"),
+        ...                    trial_budgets=(100, 1000)).cells)
+        8
+        """
+        cells: List[Cell] = []
+        for entry in workloads:
+            workload, kwargs = entry if isinstance(entry, tuple) else (entry, {})
+            for rng_mode in rng_modes:
+                spec = workload_spec(workload, rng_mode=rng_mode, **kwargs)
+                size = ",".join(f"{k}={v}" for k, v in sorted(kwargs.items()))
+                sized = f"{workload}({size})" if size else workload
+                for trials in trial_budgets:
+                    for seed in seeds:
+                        cells.append(
+                            Cell(
+                                name=f"{sized}/{rng_mode}/t{trials}/s{seed}",
+                                spec=spec,
+                                trials=trials,
+                                seed=seed,
+                                stop_halfwidth=stop_halfwidth,
+                            )
+                        )
+        return cls(name=name, cells=tuple(cells))
+
+
+class MemorySink:
+    """An in-memory sink — the default for tests and interactive runs."""
+
+    def __init__(self):
+        self.records: List[Dict] = []
+        self._keys = set()
+
+    def completed(self, cell: Cell) -> bool:
+        return cell.key() in self._keys
+
+    def write(self, record: Dict) -> None:
+        self.records.append(record)
+        self._keys.add(record["cell_key"])
+
+
+class JsonlSink:
+    """Append-only JSON-lines sink with resume support.
+
+    ``resume=True`` (default) loads the cell keys already recorded so
+    :func:`run_campaign` can skip them; ``resume=False`` truncates.
+    """
+
+    def __init__(self, path: Union[str, Path], resume: bool = True):
+        self.path = Path(path)
+        self.records: List[Dict] = []
+        self._keys = set()
+        if resume and self.path.exists():
+            for line in self.path.read_text().splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    continue  # torn tail line from an interrupted run
+                self.records.append(record)
+                self._keys.add(record.get("cell_key"))
+        elif not resume and self.path.exists():
+            self.path.unlink()
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+
+    def completed(self, cell: Cell) -> bool:
+        return cell.key() in self._keys
+
+    def write(self, record: Dict) -> None:
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self.records.append(record)
+        self._keys.add(record["cell_key"])
+
+
+def run_campaign(
+    campaign: Campaign,
+    executor: Union[str, object, None] = "serial",
+    workers: Optional[int] = None,
+    sink=None,
+    planner: Optional[ShardPlanner] = None,
+    chunk_size: int = 64,
+    vectorize: Optional[bool] = None,
+) -> List[Dict]:
+    """Run every (not yet completed) cell; returns the new records.
+
+    One executor instance — hence one warm worker pool and one set of
+    per-process plan caches — serves the whole campaign.  Each record holds
+    the cell identity, the merged estimate with its Wilson interval, the
+    shard/worker provenance, and the wall-clock cost:
+
+    ``campaign, cell, cell_key, factory, args, kwargs, randomness,
+    rng_mode, requested_trials, trials, accepted, probability, wilson_low,
+    wilson_high, stopped_early, shards, executor, workers, elapsed_sec``
+    """
+    if sink is None:
+        sink = MemorySink()
+    instance, owned = resolve_executor(executor, workers)
+    new_records: List[Dict] = []
+    try:
+        for cell in campaign.cells:
+            if sink.completed(cell):
+                continue
+            start = time.perf_counter()
+            sharded = estimate_acceptance_sharded(
+                cell.spec,
+                cell.trials,
+                seed=cell.seed,
+                executor=instance,
+                planner=planner,
+                chunk_size=chunk_size,
+                stop_halfwidth=cell.stop_halfwidth,
+                vectorize=vectorize,
+            )
+            elapsed = time.perf_counter() - start
+            estimate = sharded.estimate
+            low, high = (
+                estimate.interval if estimate.trials else (float("nan"), float("nan"))
+            )
+            record = {
+                "campaign": campaign.name,
+                "cell": cell.name,
+                "cell_key": cell.key(),
+                **cell.spec.describe(),
+                "requested_trials": cell.trials,
+                "trials": estimate.trials,
+                "accepted": estimate.accepted,
+                "probability": (
+                    estimate.probability if estimate.trials else float("nan")
+                ),
+                "wilson_low": low,
+                "wilson_high": high,
+                "stopped_early": sharded.stopped_early,
+                "shards": sharded.shards,
+                "executor": sharded.executor,
+                "workers": sharded.workers,
+                "elapsed_sec": round(elapsed, 6),
+            }
+            sink.write(record)
+            new_records.append(record)
+    finally:
+        if owned:
+            instance.close()
+    return new_records

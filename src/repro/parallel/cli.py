@@ -1,0 +1,202 @@
+"""Command-line entry point for sharded estimates and campaigns.
+
+Run as ``python -m repro.parallel.cli`` (with ``src`` on ``PYTHONPATH``):
+
+- ``... list`` — the workload registry and executor backends;
+- ``... estimate --workload spanning-tree --trials 20000 --workers 4
+  --executor process`` — one sharded estimate, printed with its Wilson
+  interval and shard provenance;
+- ``... campaign --workloads spanning-tree,shared-coins --rng-modes
+  fast,vector --trials 2000,8000 --out results/campaign.jsonl`` — a sweep
+  streamed to a resumable JSON-lines sink (rerunning the same command picks
+  up where it stopped).
+
+Workload sizes pass through ``--size key=value`` pairs (repeatable), e.g.
+``--size node_count=200 --size extra_edges=60``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.parallel.campaign import Campaign, JsonlSink, MemorySink, run_campaign
+from repro.parallel.executors import (
+    EXECUTORS,
+    available_cpus,
+    estimate_acceptance_sharded,
+)
+from repro.parallel.factories import WORKLOADS, workload_spec
+from repro.parallel.shards import ShardPlanner
+
+
+def _parse_sizes(pairs: Optional[Sequence[str]]) -> Dict[str, int]:
+    sizes: Dict[str, int] = {}
+    for pair in pairs or ():
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SystemExit(f"--size expects key=value, got {pair!r}")
+        try:
+            sizes[key] = int(value)
+        except ValueError:
+            raise SystemExit(f"--size value must be an integer, got {pair!r}") from None
+    return sizes
+
+
+def _csv(value: str) -> List[str]:
+    return [item for item in (part.strip() for part in value.split(",")) if item]
+
+
+def _add_executor_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--executor",
+        choices=sorted(EXECUTORS),
+        default="serial",
+        help="shard backend (default: serial)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help=f"worker count for thread/process backends (default: all "
+        f"{available_cpus()} available CPUs)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="fixed shard count (default: planner picks from workers/budget)",
+    )
+    parser.add_argument("--chunk-size", type=int, default=64)
+    parser.add_argument(
+        "--stop-halfwidth",
+        type=float,
+        default=None,
+        help="Wilson early-exit half-width on the merged estimate",
+    )
+
+
+def _planner(args) -> Optional[ShardPlanner]:
+    return ShardPlanner(shard_count=args.shards) if args.shards else None
+
+
+def _cmd_list(_args) -> int:
+    print("workloads:")
+    for name, (factory, randomness) in sorted(WORKLOADS.items()):
+        print(f"  {name:24s} randomness={randomness:7s} {factory.__module__}:{factory.__name__}")
+    print(f"executors: {', '.join(sorted(EXECUTORS))}")
+    print(f"available CPUs: {available_cpus()}")
+    return 0
+
+
+def _cmd_estimate(args) -> int:
+    spec = workload_spec(args.workload, rng_mode=args.rng_mode, **_parse_sizes(args.size))
+    sharded = estimate_acceptance_sharded(
+        spec,
+        args.trials,
+        seed=args.seed,
+        executor=args.executor,
+        workers=args.workers,
+        planner=_planner(args),
+        chunk_size=args.chunk_size,
+        stop_halfwidth=args.stop_halfwidth,
+    )
+    print(f"{args.workload} [{spec.rng_mode}] -> {sharded}")
+    for result in sharded.shard_results:
+        print(
+            f"  shard {result.shard.index}: trials [{result.shard.start}, "
+            f"{result.shard.stop}) ran {result.trials}, accepted {result.accepted}"
+        )
+    return 0
+
+
+def _cmd_campaign(args) -> int:
+    workloads = _csv(args.workloads)
+    for workload in workloads:
+        if workload not in WORKLOADS:
+            raise SystemExit(
+                f"unknown workload {workload!r} (see `python -m repro.parallel.cli list`)"
+            )
+    sizes = _parse_sizes(args.size)
+    entries = [(w, sizes) if sizes else w for w in workloads]
+    campaign = Campaign.sweep(
+        args.name,
+        entries,
+        rng_modes=tuple(_csv(args.rng_modes)),
+        trial_budgets=tuple(int(t) for t in _csv(args.trials)),
+        seeds=tuple(int(s) for s in _csv(args.seeds)),
+        stop_halfwidth=args.stop_halfwidth,
+    )
+    sink = JsonlSink(args.out, resume=not args.no_resume) if args.out else MemorySink()
+    skipped = sum(1 for cell in campaign.cells if sink.completed(cell))
+    records = run_campaign(
+        campaign,
+        executor=args.executor,
+        workers=args.workers,
+        sink=sink,
+        planner=_planner(args),
+        chunk_size=args.chunk_size,
+    )
+    for record in records:
+        print(
+            f"{record['cell']:48s} p={record['probability']:.4f} "
+            f"[{record['wilson_low']:.4f}, {record['wilson_high']:.4f}] "
+            f"trials={record['trials']} shards={record['shards']} "
+            f"{record['elapsed_sec']:.3f}s"
+        )
+    where = args.out if args.out else "(memory)"
+    print(
+        f"campaign {campaign.name!r}: {len(records)} cells run, "
+        f"{skipped} resumed as complete -> {where}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.cli",
+        description="Sharded Monte-Carlo estimates and experiment campaigns.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="show workloads and backends").set_defaults(
+        func=_cmd_list
+    )
+
+    estimate = sub.add_parser("estimate", help="one sharded acceptance estimate")
+    estimate.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
+    estimate.add_argument("--rng-mode", default="vector")
+    estimate.add_argument("--trials", type=int, required=True)
+    estimate.add_argument("--seed", type=int, default=0)
+    estimate.add_argument("--size", action="append", metavar="KEY=VALUE")
+    _add_executor_args(estimate)
+    estimate.set_defaults(func=_cmd_estimate)
+
+    campaign = sub.add_parser("campaign", help="run a sweep of cells")
+    campaign.add_argument("--name", default="cli-campaign")
+    campaign.add_argument(
+        "--workloads", required=True, help="comma-separated registry names"
+    )
+    campaign.add_argument("--rng-modes", default="vector")
+    campaign.add_argument("--trials", default="1024", help="comma-separated budgets")
+    campaign.add_argument("--seeds", default="0", help="comma-separated master seeds")
+    campaign.add_argument("--size", action="append", metavar="KEY=VALUE")
+    campaign.add_argument("--out", default=None, help="JSON-lines result path")
+    campaign.add_argument(
+        "--no-resume",
+        action="store_true",
+        help="truncate --out instead of skipping completed cells",
+    )
+    _add_executor_args(campaign)
+    campaign.set_defaults(func=_cmd_campaign)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

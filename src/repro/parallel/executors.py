@@ -1,0 +1,426 @@
+"""Shard execution backends and the sharded acceptance estimator.
+
+Three interchangeable backends run the shards a
+:class:`~repro.parallel.shards.ShardPlanner` lays out:
+
+- :class:`SerialExecutor` — one shard at a time, in-process.  The reference
+  backend: zero concurrency, zero pickling, and the baseline every
+  determinism test compares against.
+- :class:`ThreadExecutor` — a thread pool sharing one compiled plan (plans
+  are read-only after :meth:`~repro.engine.plan.VerificationPlan.prepare`).
+  Python's GIL serializes the interpreted parts, but the numpy kernels
+  release the GIL in their array passes, so vector-mode plans overlap
+  usefully; mostly this backend exists to exercise the cooperative-stop
+  machinery without process overhead.
+- :class:`ProcessExecutor` — a process pool, the backend that actually buys
+  wall-clock on multi-core hardware.  Workers receive a picklable
+  :class:`~repro.parallel.spec.PlanSpec` (never a compiled plan) and
+  rebuild/cache plans per process; see :mod:`repro.parallel.spec`.
+
+Cooperative early exit
+----------------------
+
+Every backend exposes one shared stop signal.  The aggregator in
+:func:`estimate_acceptance_sharded` merges shard results as they complete
+and, once the Wilson interval of the running merge is narrow enough,
+requests a stop: shards not yet started are skipped, and running shards
+observe the flag between chunks (the ``should_stop`` hook of
+:func:`~repro.engine.montecarlo.estimate_acceptance_fast`) and return their
+partial counts.  Exactly like the single-process Wilson exit, stopping
+changes *which trials run*, never any individual verdict — so a stopped
+run is still an unbiased estimate over the trials it reports.
+
+Determinism contract
+--------------------
+
+Without a stop (``stop_halfwidth=None``), every backend runs every shard to
+completion and the merged estimate **equals** the single-process
+``estimate_acceptance_fast(plan, trials)`` — same ``accepted``, same
+``trials`` — in every rng mode, because trial verdicts are pure functions
+of the trial counter.  The test suite pins this for 1/2/8 shards on all
+three backends.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import multiprocessing
+import os
+import threading
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
+
+from repro.engine.montecarlo import DEFAULT_CHUNK, estimate_acceptance_fast
+from repro.engine.plan import VerificationPlan
+from repro.parallel.shards import Shard, ShardPlanner
+from repro.parallel.spec import PlanSpec
+from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
+
+
+def available_cpus() -> int:
+    """CPUs this process may actually use (affinity-aware where possible)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+@dataclass(frozen=True)
+class ShardResult:
+    """What one shard reports back: its range and the counts it ran.
+
+    ``trials`` may be short of ``shard.trials`` when a cooperative stop
+    fired mid-shard (always a whole number of chunks, possibly zero).
+    """
+
+    shard: Shard
+    accepted: int
+    trials: int
+
+    @property
+    def estimate(self) -> AcceptanceEstimate:
+        return AcceptanceEstimate(accepted=self.accepted, trials=self.trials)
+
+
+def _run_shard(payload, should_stop: Callable[[], bool]) -> ShardResult:
+    """The shard worker body — runs on every backend, in-process or not."""
+    target, shard, options = payload
+    plan = target.resolve() if isinstance(target, PlanSpec) else target
+    estimate = estimate_acceptance_fast(
+        plan,
+        shard.trials,
+        seed=options["seed"],
+        rng_mode=options["rng_mode"],
+        seed_mode=options["seed_mode"],
+        chunk_size=options["chunk_size"],
+        vectorize=options["vectorize"],
+        first_trial=shard.start,
+        should_stop=should_stop,
+    )
+    return ShardResult(shard=shard, accepted=estimate.accepted, trials=estimate.trials)
+
+
+# ---------------------------------------------------------------------------
+# backends
+# ---------------------------------------------------------------------------
+
+
+class SerialExecutor:
+    """Run shards one after another in the calling process."""
+
+    name = "serial"
+    workers = 1
+
+    def __init__(self):
+        self._stop = False
+
+    def request_stop(self) -> None:
+        self._stop = True
+
+    def run(self, fn: Callable, payloads: Iterable) -> Iterator:
+        self._stop = False
+        should_stop = lambda: self._stop  # noqa: E731 - the flag, as a probe
+        for payload in payloads:
+            if self._stop:
+                break
+            yield fn(payload, should_stop)
+
+    def close(self) -> None:
+        pass
+
+    def __enter__(self) -> "SerialExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class ThreadExecutor:
+    """Run shards on a thread pool; the stop signal is a threading.Event."""
+
+    name = "thread"
+
+    def __init__(self, workers: Optional[int] = None):
+        self.workers = workers if workers is not None else available_cpus()
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        self._pool = concurrent.futures.ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-shard"
+        )
+        self._event = threading.Event()
+
+    def request_stop(self) -> None:
+        self._event.set()
+
+    def run(self, fn: Callable, payloads: Iterable) -> Iterator:
+        self._event.clear()
+        should_stop = self._event.is_set
+        futures = [self._pool.submit(fn, payload, should_stop) for payload in payloads]
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                if future.cancelled():
+                    continue
+                yield future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ThreadExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+# Worker-process globals, installed by the pool initializer.  With the fork
+# start method children inherit the parent's module state anyway; with spawn
+# they import this module fresh and the initializer is the only channel —
+# either way the event arrives through initargs, the one path
+# ProcessPoolExecutor guarantees for synchronization primitives.
+_WORKER_STOP: Optional[object] = None
+
+
+def _init_shard_worker(stop_event) -> None:
+    global _WORKER_STOP
+    _WORKER_STOP = stop_event
+
+
+def _never_stop() -> bool:
+    return False
+
+
+def _invoke_in_worker(fn: Callable, payload):
+    stop = _WORKER_STOP
+    return fn(payload, stop.is_set if stop is not None else _never_stop)
+
+
+class ProcessExecutor:
+    """Run shards on a process pool — true multi-core sharding.
+
+    Payload targets must be :class:`~repro.parallel.spec.PlanSpec` values;
+    compiled plans are rejected up front (see :mod:`repro.parallel.spec` for
+    why plans never cross the boundary).  The default start method prefers
+    ``fork`` (cheap, inherits the warm parent) and falls back to the
+    platform default where fork is unavailable.
+    """
+
+    name = "process"
+
+    def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None):
+        self.workers = workers if workers is not None else available_cpus()
+        if self.workers < 1:
+            raise ValueError("workers must be positive")
+        if start_method is None:
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else methods[0]
+        self._context = multiprocessing.get_context(start_method)
+        self.start_method = start_method
+        self._event = self._context.Event()
+        self._pool = concurrent.futures.ProcessPoolExecutor(
+            max_workers=self.workers,
+            mp_context=self._context,
+            initializer=_init_shard_worker,
+            initargs=(self._event,),
+        )
+
+    def request_stop(self) -> None:
+        self._event.set()
+
+    def run(self, fn: Callable, payloads: Iterable) -> Iterator:
+        self._event.clear()
+        payloads = list(payloads)
+        for payload in payloads:
+            target = payload[0] if isinstance(payload, tuple) and payload else payload
+            if isinstance(target, VerificationPlan):
+                raise TypeError(
+                    "ProcessExecutor shards take a PlanSpec, not a compiled "
+                    "VerificationPlan — build one with PlanSpec.of(...)"
+                )
+        futures = [
+            self._pool.submit(_invoke_in_worker, fn, payload) for payload in payloads
+        ]
+        try:
+            for future in concurrent.futures.as_completed(futures):
+                if future.cancelled():
+                    continue
+                yield future.result()
+        finally:
+            for future in futures:
+                future.cancel()
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True, cancel_futures=True)
+
+    def __enter__(self) -> "ProcessExecutor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+EXECUTORS = {
+    "serial": SerialExecutor,
+    "thread": ThreadExecutor,
+    "process": ProcessExecutor,
+}
+
+Executor = Union[SerialExecutor, ThreadExecutor, ProcessExecutor]
+
+
+def resolve_executor(
+    executor: Union[str, Executor, None], workers: Optional[int] = None
+) -> Tuple[Executor, bool]:
+    """An executor instance for a name-or-instance argument.
+
+    Returns ``(executor, owned)`` — ``owned`` tells the caller whether it
+    created (and must close) the instance.  Worker-leak discipline: every
+    internal caller closes owned executors in a ``finally``; tests assert no
+    child processes survive a close.
+    """
+    if executor is None:
+        executor = "serial"
+    if isinstance(executor, str):
+        try:
+            factory = EXECUTORS[executor]
+        except KeyError:
+            raise ValueError(
+                f"unknown executor {executor!r} (choose from {sorted(EXECUTORS)})"
+            ) from None
+        if factory is SerialExecutor:
+            return SerialExecutor(), True
+        return factory(workers=workers), True
+    if workers is not None and getattr(executor, "workers", None) not in (None, workers):
+        raise ValueError(
+            f"workers={workers} conflicts with the provided executor's "
+            f"workers={executor.workers}"
+        )
+    return executor, False
+
+
+# ---------------------------------------------------------------------------
+# the sharded estimator
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ShardedEstimate:
+    """The merged estimate of a sharded run, with its per-shard provenance."""
+
+    estimate: AcceptanceEstimate
+    shard_results: Tuple[ShardResult, ...]
+    requested_trials: int
+    executor: str
+    workers: int
+    stopped_early: bool
+
+    @property
+    def shards(self) -> int:
+        return len(self.shard_results)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        tag = " (stopped early)" if self.stopped_early else ""
+        return (
+            f"{self.estimate} over {self.shards} shards "
+            f"[{self.executor} x{self.workers}]{tag}"
+        )
+
+
+def estimate_acceptance_sharded(
+    target: Union[PlanSpec, VerificationPlan],
+    trials: int,
+    seed: int = 0,
+    executor: Union[str, Executor, None] = "serial",
+    workers: Optional[int] = None,
+    planner: Optional[ShardPlanner] = None,
+    shard_count: Optional[int] = None,
+    rng_mode: Optional[str] = None,
+    seed_mode: str = "mix",
+    chunk_size: int = DEFAULT_CHUNK,
+    stop_halfwidth: Optional[float] = None,
+    min_trials: int = 2 * DEFAULT_CHUNK,
+    vectorize: Optional[bool] = None,
+) -> ShardedEstimate:
+    """Estimate ``Pr[verifier accepts]`` with the trial range sharded.
+
+    The multi-worker counterpart of
+    :func:`~repro.engine.montecarlo.estimate_acceptance_fast`: the trial
+    budget is partitioned into counter ranges (``planner`` /
+    ``shard_count``), the ranges run on ``executor`` (a name from
+    ``EXECUTORS`` or a ready instance; string names honour ``workers``), and
+    the per-shard counts merge through
+    :meth:`~repro.simulation.metrics.AcceptanceEstimate.merge`.
+
+    ``target`` may be a compiled plan (serial/thread backends) or a
+    :class:`~repro.parallel.spec.PlanSpec` (any backend; required for
+    processes).  With ``stop_halfwidth`` set, the aggregator applies the
+    Wilson stop rule to the *merged* running estimate and cancels
+    outstanding shards cooperatively.  Without it, the result is exactly the
+    single-process estimate — see the module docstring's determinism
+    contract.
+    """
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if planner is not None and shard_count is not None:
+        raise ValueError("pass either planner or shard_count, not both")
+    if planner is None:
+        planner = ShardPlanner(shard_count=shard_count)
+
+    instance, owned = resolve_executor(executor, workers)
+    try:
+        if isinstance(target, PlanSpec):
+            if rng_mode is None:
+                rng_mode = target.rng_mode
+            shard_target: Union[PlanSpec, VerificationPlan] = target
+            if not isinstance(instance, ProcessExecutor):
+                # Same process: resolve once and share the read-only plan.
+                shard_target = target.resolve().prepare(vectorize)
+        else:
+            if rng_mode is None:
+                rng_mode = target.rng_mode
+            shard_target = target.prepare(vectorize)
+
+        shards = planner.plan(trials, instance.workers)
+        options = {
+            "seed": seed,
+            "rng_mode": rng_mode,
+            "seed_mode": seed_mode,
+            "chunk_size": chunk_size,
+            "vectorize": vectorize,
+        }
+        payloads = [(shard_target, shard, options) for shard in shards]
+
+        results: List[ShardResult] = []
+        accepted = 0
+        done = 0
+        stopped = False
+        for result in instance.run(_run_shard, payloads):
+            results.append(result)
+            accepted += result.accepted
+            done += result.trials
+            if (
+                not stopped
+                and stop_halfwidth is not None
+                and done >= min_trials
+            ):
+                low, high = wilson_interval(accepted, done)
+                if high - low <= 2 * stop_halfwidth:
+                    stopped = True
+                    instance.request_stop()
+    finally:
+        if owned:
+            instance.close()
+
+    results.sort(key=lambda result: result.shard.index)
+    merged = AcceptanceEstimate.merge(result.estimate for result in results)
+    stopped_early = stopped or merged.trials < trials
+    return ShardedEstimate(
+        estimate=merged,
+        shard_results=tuple(results),
+        requested_trials=trials,
+        executor=instance.name,
+        workers=instance.workers,
+        stopped_early=stopped_early,
+    )

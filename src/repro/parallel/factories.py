@@ -1,0 +1,122 @@
+"""Named, picklable workload factories for sharded and campaign runs.
+
+Every factory is a module-level callable returning ``(scheme,
+configuration)`` — the shape :class:`~repro.parallel.spec.PlanSpec`
+requires — and is fully determined by its arguments (explicit seeds
+everywhere), so the same spec rebuilds a decision-identical workload in
+every worker process.  The :data:`WORKLOADS` registry maps the short names
+the CLI and campaign sweeps use onto factories plus the randomness mode the
+scheme actually runs under (the shared-coins compiler needs public coins;
+everything else runs under edge randomness).
+
+These mirror the engine benchmark workloads (``benchmarks/bench_engine.py``,
+``benchmarks/smoke.py``) at caller-chosen sizes, so a campaign cell is
+directly comparable to the recorded single-process trajectory in
+``BENCH_engine.json``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.core.boosting import BoostedRPLS
+from repro.core.compiler import FingerprintCompiledRPLS
+from repro.core.noise import NoisyChannelRPLS
+from repro.core.shared import SharedCoinsCompiledRPLS
+from repro.graphs.generators import (
+    flow_configuration,
+    mst_configuration,
+    spanning_tree_configuration,
+)
+from repro.graphs.workloads import distance_configuration
+from repro.parallel.spec import PlanSpec
+from repro.schemes.distance import distance_rpls
+from repro.schemes.flow import k_flow_rpls
+from repro.schemes.mst import mst_rpls
+from repro.schemes.spanning_tree import SpanningTreePLS
+
+
+def compiled_spanning_tree(node_count: int = 60, extra_edges: int = 15, seed: int = 1):
+    """The Theorem 3.1 fingerprint compiler on a random spanning tree."""
+    scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+    return scheme, spanning_tree_configuration(node_count, extra_edges, seed=seed)
+
+
+def boosted_spanning_tree(
+    node_count: int = 60, extra_edges: int = 15, seed: int = 1, t: int = 3
+):
+    """The footnote-1 boosted compiler (soundness error ``3**-t``)."""
+    scheme = BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), t)
+    return scheme, spanning_tree_configuration(node_count, extra_edges, seed=seed)
+
+
+def compiled_mst(node_count: int = 48, seed: int = 1):
+    """The Borůvka-trace MST scheme — the largest-label workload."""
+    return mst_rpls(), mst_configuration(node_count, seed=seed)
+
+
+def compiled_k_flow(k: int = 2, path_length: int = 4, decoy_edges: int = 3, seed: int = 3):
+    """The k-flow certification scheme on a planted flow network."""
+    return k_flow_rpls(), flow_configuration(
+        k, path_length=path_length, decoy_edges=decoy_edges, seed=seed
+    )
+
+
+def compiled_distance(node_count: int = 32, extra_edges: int = 10, seed: int = 4):
+    """Weighted single-source distance certification."""
+    return distance_rpls(weighted=True), distance_configuration(
+        node_count, extra_edges, seed=seed, weighted=True
+    )
+
+
+def shared_coins_spanning_tree(node_count: int = 60, extra_edges: int = 15, seed: int = 1):
+    """The Section 6 shared-coins compiler (public coins; parity kernel)."""
+    scheme = SharedCoinsCompiledRPLS(SpanningTreePLS())
+    return scheme, spanning_tree_configuration(node_count, extra_edges, seed=seed)
+
+
+def noisy_spanning_tree(
+    node_count: int = 24, extra_edges: int = 6, seed: int = 1, flip_milli: int = 2
+):
+    """The compiled scheme over a noisy channel — *two-sided* acceptance.
+
+    The one workload in the registry whose acceptance probability sits
+    strictly between 0 and 1, which is what the sharded-merge tests need to
+    observe nontrivial per-shard counts.  ``flip_milli`` is the per-bit flip
+    probability in thousandths (spec arguments stay hashable integers).  The
+    noisy wrapper has no engine hooks, so this workload exercises the
+    generic plan path under ``compat``/``fast`` modes (no ``vector``).
+    """
+    scheme = NoisyChannelRPLS(
+        FingerprintCompiledRPLS(SpanningTreePLS()), flip_milli / 1000.0
+    )
+    return scheme, spanning_tree_configuration(node_count, extra_edges, seed=seed)
+
+
+# name -> (factory, randomness the scheme runs under)
+WORKLOADS: Dict[str, Tuple[object, str]] = {
+    "spanning-tree": (compiled_spanning_tree, "edge"),
+    "boosted-spanning-tree": (boosted_spanning_tree, "edge"),
+    "mst": (compiled_mst, "edge"),
+    "k-flow": (compiled_k_flow, "edge"),
+    "distance": (compiled_distance, "edge"),
+    "shared-coins": (shared_coins_spanning_tree, "shared"),
+    "noisy-spanning-tree": (noisy_spanning_tree, "edge"),
+}
+
+
+def workload_spec(name: str, rng_mode: str = "vector", **kwargs) -> PlanSpec:
+    """The :class:`PlanSpec` of a registry workload at the given size.
+
+    >>> workload_spec("spanning-tree", node_count=16).randomness
+    'edge'
+    >>> workload_spec("shared-coins").randomness
+    'shared'
+    """
+    try:
+        factory, randomness = WORKLOADS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown workload {name!r} (choose from {sorted(WORKLOADS)})"
+        ) from None
+    return PlanSpec.of(factory, randomness=randomness, rng_mode=rng_mode, **kwargs)

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Sequence, Tuple
+from typing import Iterable, Sequence, Tuple
 
 
 def wilson_interval(
@@ -66,6 +66,35 @@ class AcceptanceEstimate:
     def at_most(self, threshold: float) -> bool:
         """True if the lower confidence bound stays under ``threshold``."""
         return self.interval[0] <= threshold
+
+    @classmethod
+    def merge(cls, estimates: Iterable["AcceptanceEstimate"]) -> "AcceptanceEstimate":
+        """Pool estimates of the *same* acceptance probability into one.
+
+        Counts simply add, so the merge is exact (not an approximation):
+        merging the per-shard estimates of a partition of ``[0, trials)``
+        reproduces the single-process estimate of the whole range, because
+        each trial's verdict is a pure function of its trial seed.  Addition
+        makes the operation associative and order-independent by
+        construction — the sharded executor (:mod:`repro.parallel`) relies
+        on both, since its shards complete in nondeterministic order.
+
+        Zero-trial estimates (a shard cancelled before its first chunk) are
+        legitimate identity elements; merging an empty iterable yields the
+        empty estimate, whose ``probability``/``interval`` raise until real
+        trials are merged in.
+
+        >>> AcceptanceEstimate.merge(
+        ...     [AcceptanceEstimate(3, 4), AcceptanceEstimate(1, 6)]
+        ... )
+        AcceptanceEstimate(accepted=4, trials=10)
+        """
+        accepted = 0
+        trials = 0
+        for estimate in estimates:
+            accepted += estimate.accepted
+            trials += estimate.trials
+        return cls(accepted=accepted, trials=trials)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         low, high = self.interval

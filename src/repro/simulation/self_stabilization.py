@@ -201,6 +201,96 @@ def run_self_stabilization(
     return trace
 
 
+@dataclass(frozen=True)
+class StabilizationSummary:
+    """The operator-facing metrics of one replica of the loop.
+
+    The picklable digest a parallel replica ships back to the coordinator —
+    a full :class:`StabilizationTrace` would drag every per-round record
+    through the process boundary for no analytical gain.
+    """
+
+    run_index: int
+    seed: int
+    rounds: int
+    availability: float
+    detections: int
+    mean_detection_latency: Optional[float]
+    false_alarms: int
+    undetected_faults: int
+
+
+def summarize_trace(
+    trace: StabilizationTrace, run_index: int = 0, seed: int = 0
+) -> StabilizationSummary:
+    """Collapse a trace into its :class:`StabilizationSummary`."""
+    return StabilizationSummary(
+        run_index=run_index,
+        seed=seed,
+        rounds=trace.rounds,
+        availability=trace.availability,
+        detections=len(trace.detection_latencies),
+        mean_detection_latency=trace.mean_detection_latency,
+        false_alarms=trace.false_alarms,
+        undetected_faults=trace.undetected_faults,
+    )
+
+
+def _replica_worker(payload, should_stop) -> StabilizationSummary:
+    """One replica of the loop — runs on any repro.parallel backend."""
+    setup, run_index, run_seed = payload
+    kwargs = dict(setup(run_index, run_seed))
+    kwargs.setdefault("seed", run_seed)
+    trace = run_self_stabilization(**kwargs)
+    return summarize_trace(trace, run_index=run_index, seed=kwargs["seed"])
+
+
+def run_stabilization_replicas(
+    setup: Callable[[int, int], Dict],
+    runs: int,
+    seed: int = 0,
+    executor: object = "serial",
+    workers: Optional[int] = None,
+) -> List[StabilizationSummary]:
+    """Run independent fault/recovery replicas across a worker pool.
+
+    Detection latency and availability are random variables of the round
+    coins and the fault pattern, so tight confidence intervals need many
+    independent replicas — which are embarrassingly parallel.  ``setup``
+    maps ``(run_index, run_seed)`` to the keyword arguments of
+    :func:`run_self_stabilization` (anything omitted gets ``seed=run_seed``);
+    per-replica seeds derive from the master ``seed`` through the SplitMix64
+    trial mix, so replica ``i`` is the same run on every backend and worker
+    count.  Results return sorted by ``run_index``.
+
+    ``executor`` accepts the same name-or-instance argument as
+    :func:`repro.parallel.estimate_acceptance_sharded`.  For the process
+    backend ``setup`` must be a module-level callable building the whole
+    workload in the worker (schemes, recovery procedures, and fault
+    schedules are not shipped across the boundary — same rule as
+    :class:`repro.parallel.PlanSpec` factories).
+    """
+    # Local import: repro.parallel is a downstream consumer of this module's
+    # sibling metrics — importing it lazily keeps simulation importable
+    # without the parallel subsystem in the loop.
+    from repro.core.seeding import derive_trial_seed
+    from repro.parallel.executors import resolve_executor
+
+    if runs < 1:
+        raise ValueError("runs must be positive")
+    payloads = [
+        (setup, run_index, derive_trial_seed(seed, run_index))
+        for run_index in range(runs)
+    ]
+    instance, owned = resolve_executor(executor, workers)
+    try:
+        summaries = list(instance.run(_replica_worker, payloads))
+    finally:
+        if owned:
+            instance.close()
+    return sorted(summaries, key=lambda summary: summary.run_index)
+
+
 def periodic_faults(
     injector: FaultInjector, period: int, total_rounds: int, start: int = 0
 ) -> Dict[int, FaultInjector]:

@@ -1,0 +1,158 @@
+"""Chunk-tail regression suite for the Monte-Carlo estimator.
+
+The chunked trial loop of :func:`repro.engine.estimate_acceptance_fast` has
+three boundary behaviours worth pinning exactly, because the sharded
+executor's determinism contract (merged counts == single-process counts)
+silently depends on all of them:
+
+- the **final chunk** is truncated to the remaining trials — never padded,
+  never overshot — for every (trials, chunk_size) shape, on both the scalar
+  and vectorized kernels;
+- the **Wilson early exit** fires only at chunk boundaries, so the reported
+  trial count is always the exact prefix of the deterministic trial
+  sequence that executed (re-running with ``trials`` set to the reported
+  count reproduces the estimate bit for bit);
+- the **`first_trial` offset** shifts the counter range without changing
+  any per-counter verdict, so a partition of ``[0, N)`` reproduces the
+  whole — including when shard sizes collide with chunk tails.
+
+Every assertion here pins counts against the per-trial oracle
+(``plan.run_trial`` over explicit counter ranges), not against a second run
+of the same code path.
+"""
+
+import pytest
+
+from repro.core.seeding import derive_trial_seed
+from repro.engine import estimate_acceptance_fast
+from repro.parallel import workload_spec
+from repro.simulation.metrics import AcceptanceEstimate
+
+
+@pytest.fixture(scope="module")
+def noisy_plan():
+    # Two-sided acceptance so accepted-counts are informative, generic
+    # (scalar) plan path.
+    return workload_spec(
+        "noisy-spanning-tree", rng_mode="fast", node_count=16, flip_milli=5
+    ).resolve()
+
+
+@pytest.fixture(scope="module")
+def vector_plan():
+    # Hook + numpy-kernel path, counter-based draws.
+    return workload_spec(
+        "spanning-tree", rng_mode="vector", node_count=14, extra_edges=4, seed=1
+    ).resolve()
+
+
+def oracle_counts(plan, seed, start, stop):
+    """Per-trial reference: how many of counters [start, stop) accept."""
+    return sum(
+        1 for trial in range(start, stop)
+        if plan.run_trial(derive_trial_seed(seed, trial))
+    )
+
+
+@pytest.mark.parametrize(
+    "trials,chunk_size",
+    [
+        (1, 64),     # single trial, giant chunk
+        (10, 64),    # chunk_size exceeds the whole budget
+        (64, 64),    # exact single chunk
+        (65, 64),    # one-trial tail
+        (100, 33),   # ragged tail (100 = 3*33 + 1)
+        (96, 32),    # exact multiple
+    ],
+)
+def test_final_chunk_never_overshoots(noisy_plan, trials, chunk_size):
+    estimate = estimate_acceptance_fast(
+        noisy_plan, trials, seed=3, chunk_size=chunk_size
+    )
+    assert estimate.trials == trials
+    assert estimate.accepted == oracle_counts(noisy_plan, 3, 0, trials)
+
+
+@pytest.mark.parametrize("trials,chunk_size", [(10, 64), (65, 64), (100, 33)])
+def test_vectorized_tail_matches_oracle(vector_plan, trials, chunk_size):
+    estimate = estimate_acceptance_fast(
+        vector_plan, trials, seed=3, chunk_size=chunk_size, vectorize=True
+    )
+    assert estimate.trials == trials
+    assert estimate.accepted == oracle_counts(vector_plan, 3, 0, trials)
+
+
+def test_early_exit_reports_the_exact_prefix(vector_plan):
+    # All-accept workload + generous half-width: the stop rule fires at the
+    # first boundary past min_trials.  chunk_size=10, min_trials=25 -> the
+    # first eligible check happens at done=30.
+    estimate = estimate_acceptance_fast(
+        vector_plan, 1000, seed=3, chunk_size=10, stop_halfwidth=0.2, min_trials=25
+    )
+    assert estimate.trials == 30
+    assert estimate.accepted == oracle_counts(vector_plan, 3, 0, 30)
+
+
+def test_early_exit_on_a_tail_chunk(noisy_plan):
+    # trials=37, chunk=16 -> chunks of 16, 16, 5.  A stop rule that can
+    # only fire after the tail (min_trials=37) must still report exactly 37.
+    estimate = estimate_acceptance_fast(
+        noisy_plan, 37, seed=5, chunk_size=16, stop_halfwidth=0.49, min_trials=37
+    )
+    assert estimate.trials == 37
+    assert estimate.accepted == oracle_counts(noisy_plan, 5, 0, 37)
+
+
+def test_early_exit_never_fires_below_min_trials(vector_plan):
+    # Budget smaller than min_trials: the stop rule must stay silent and
+    # the full (tail-truncated) budget must run.
+    estimate = estimate_acceptance_fast(
+        vector_plan, 50, seed=3, chunk_size=64, stop_halfwidth=0.01, min_trials=128
+    )
+    assert estimate.trials == 50
+
+
+@pytest.mark.parametrize("split", [1, 10, 33, 64, 99])
+def test_first_trial_partition_reproduces_whole(noisy_plan, split):
+    trials = 100
+    whole = estimate_acceptance_fast(noisy_plan, trials, seed=7, chunk_size=32)
+    left = estimate_acceptance_fast(noisy_plan, split, seed=7, chunk_size=32)
+    right = estimate_acceptance_fast(
+        noisy_plan, trials - split, seed=7, chunk_size=32, first_trial=split
+    )
+    assert AcceptanceEstimate.merge([left, right]) == whole
+    assert right.accepted == oracle_counts(noisy_plan, 7, split, trials)
+
+
+def test_first_trial_offset_with_vector_kernel(vector_plan):
+    offset = estimate_acceptance_fast(
+        vector_plan, 40, seed=7, first_trial=23, vectorize=True, chunk_size=16
+    )
+    assert offset.trials == 40
+    assert offset.accepted == oracle_counts(vector_plan, 7, 23, 63)
+
+
+def test_first_trial_rejects_negative(vector_plan):
+    with pytest.raises(ValueError):
+        estimate_acceptance_fast(vector_plan, 10, first_trial=-1)
+
+
+def test_constant_verdict_short_circuit_still_reports_requested(vector_plan):
+    # The degenerate path reports the *requested* trials (no loop ran);
+    # pinned so the sharded merge stays exact for constant-False plans.
+    from repro.core.compiler import FingerprintCompiledRPLS
+    from repro.core.bitstrings import BitString
+    from repro.engine import VerificationPlan
+    from repro.graphs.generators import spanning_tree_configuration
+    from repro.schemes.spanning_tree import SpanningTreePLS
+
+    scheme = FingerprintCompiledRPLS(SpanningTreePLS())
+    configuration = spanning_tree_configuration(8, 2, seed=1)
+    labels = scheme.prover(configuration)
+    victim = configuration.graph.nodes[0]
+    labels = dict(labels)
+    labels[victim] = BitString(0, 1)  # unparseable: compile-time False
+    plan = VerificationPlan.compile(scheme, configuration, labels=labels)
+    assert plan.constant_verdict is False
+    estimate = estimate_acceptance_fast(plan, 77, seed=0, chunk_size=16)
+    assert (estimate.accepted, estimate.trials) == (0, 77)
