@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-stats test-parallel bench bench-smoke
+.PHONY: test test-stats test-parallel test-stream bench bench-smoke
 
 # Tier-1: the full test suite (includes the benchmark smoke harness).
 # Heavy statistical tests (marker: slow_stats) are skipped here; run them
@@ -20,6 +20,12 @@ test-parallel:
 	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
 		tests/test_parallel.py tests/test_chunk_tail.py \
 		tests/test_workload_patterns.py -q
+
+# The streaming tier: progressive shard-progress + concurrent-cell suites
+# with the process-backend streaming tests forced on (mirrors test-parallel).
+test-stream:
+	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
+		tests/test_streaming.py tests/test_parallel.py -q
 
 # The full statistical harness: RNG-quality chi-square / serial-correlation
 # sweeps and the deep cross-mode (compat/fast/vector) decision-consistency

@@ -178,7 +178,93 @@ def measure_sharded(workers=DEFAULT_WORKERS, executor_name="process", repeats=3)
     return records
 
 
+# The streamed-stop comparison workloads: the all-accept headline scheme
+# (interval collapses fast — streaming mostly saves the tail of the first
+# shard) and a two-sided noisy workload (mid-range p — the interval
+# tightens slowly, so the stop granularity dominates total trials).
+STREAMED_WORKLOADS = [
+    (
+        "compiled(spanning-tree)",
+        workload_spec(
+            "spanning-tree", rng_mode="vector", node_count=NODE_COUNT,
+            extra_edges=EXTRA_EDGES, seed=1,
+        ),
+        20000,
+        0.02,
+    ),
+    (
+        "noisy(spanning-tree)",
+        workload_spec("noisy-spanning-tree", rng_mode="fast", node_count=24),
+        20000,
+        0.04,
+    ),
+]
+
+
+def measure_streamed(instance, shard_count=16, chunk_size=64):
+    """Shard-granular vs chunk-granular Wilson stops on one warm executor.
+
+    Runs each STREAMED_WORKLOADS entry twice with the same ``stop_halfwidth``
+    — once with the PR 4 shard-granular aggregator, once with progressive
+    streaming — and records the total trials each stop consumed.  The
+    trials-saved column is the streaming payoff: the Wilson interval
+    reaches the target width at the same trial count either way, but the
+    shard-granular stop cannot act before whole shards finish.  (The exact
+    stop points depend on backend scheduling; the deterministic assertion
+    lives in ``tests/test_streaming.py`` on the serial backend.)
+    """
+    records = []
+    for name, spec, trials, halfwidth in STREAMED_WORKLOADS:
+        shard_stop = estimate_acceptance_sharded(
+            spec, trials, seed=0, executor=instance, shard_count=shard_count,
+            chunk_size=chunk_size, stop_halfwidth=halfwidth,
+        )
+        stream_stop = estimate_acceptance_sharded(
+            spec, trials, seed=0, executor=instance, shard_count=shard_count,
+            chunk_size=chunk_size, stop_halfwidth=halfwidth,
+            stream_progress=True,
+        )
+        saved = shard_stop.estimate.trials - stream_stop.estimate.trials
+        records.append(
+            {
+                "scheme": name,
+                "requested_trials": trials,
+                "stop_halfwidth": halfwidth,
+                "shards": shard_count,
+                "executor": instance.name,
+                "workers": instance.workers,
+                "shard_stop_trials": shard_stop.estimate.trials,
+                "stream_stop_trials": stream_stop.estimate.trials,
+                "trials_saved_by_streaming": saved,
+                "saved_pct": round(100.0 * saved / shard_stop.estimate.trials, 1)
+                if shard_stop.estimate.trials
+                else 0.0,
+                "progress_updates": stream_stop.progress_updates,
+                "both_stopped_early": bool(
+                    shard_stop.stopped_early and stream_stop.stopped_early
+                ),
+            }
+        )
+    return records
+
+
 SHARDED_TABLE_HEADER = ["sharded workload", "workers", "single/s", "sharded/s", "speedup"]
+STREAMED_TABLE_HEADER = [
+    "streamed workload", "halfwidth", "shard-stop trials", "stream-stop trials", "saved",
+]
+
+
+def _streamed_rows(records):
+    return [
+        [
+            record["scheme"],
+            f"{record['stop_halfwidth']:.3f}",
+            record["shard_stop_trials"],
+            record["stream_stop_trials"],
+            f"{record['trials_saved_by_streaming']} ({record['saved_pct']:.1f}%)",
+        ]
+        for record in records
+    ]
 
 
 def _sharded_rows(records):
@@ -336,6 +422,12 @@ def test_engine_throughput(benchmark, report):
         )
 
     sharded_results = measure_sharded()
+    instance, owned = resolve_executor("process", DEFAULT_WORKERS)
+    try:
+        streamed_results = measure_streamed(instance)
+    finally:
+        if owned:
+            instance.close()
 
     report(
         "E20_engine",
@@ -355,7 +447,9 @@ def test_engine_throughput(benchmark, report):
             rows,
         )
         + "\n\n"
-        + format_table(SHARDED_TABLE_HEADER, _sharded_rows(sharded_results)),
+        + format_table(SHARDED_TABLE_HEADER, _sharded_rows(sharded_results))
+        + "\n\n"
+        + format_table(STREAMED_TABLE_HEADER, _streamed_rows(streamed_results)),
     )
 
     TRAJECTORY_PATH.write_text(
@@ -378,6 +472,7 @@ def test_engine_throughput(benchmark, report):
                 "workers": sharded_results[0]["workers"] if sharded_results else 0,
                 "results": results,
                 "sharded_results": sharded_results,
+                "streamed_results": streamed_results,
             },
             indent=2,
         )
@@ -407,6 +502,14 @@ def test_engine_throughput(benchmark, report):
     # (asserted inside measure_sharded); the wall-clock bar only applies
     # where the hardware can physically provide it.
     assert all(record["verdict_identical"] for record in sharded_results)
+
+    # Streaming: both stop modes fired, and the chunk-granular stop never
+    # consumed more trials than the shard-granular one (the deterministic
+    # strictly-fewer assertion lives in tests/test_streaming.py).
+    assert all(record["both_stopped_early"] for record in streamed_results)
+    assert all(
+        record["trials_saved_by_streaming"] >= 0 for record in streamed_results
+    )
     if available_cpus() >= 4 and all(r["workers"] >= 4 for r in sharded_results):
         assert (
             max(r["sharded_speedup"] for r in sharded_results)
@@ -441,8 +544,19 @@ def main(argv=None) -> int:
     parser.add_argument("--repeats", type=int, default=3)
     args = parser.parse_args(argv)
 
-    records = measure_sharded(args.workers, args.executor, args.repeats)
+    # The serial backend runs exactly one worker; passing the multi-worker
+    # default through would (rightly) be rejected by resolve_executor.
+    workers = args.workers if args.executor != "serial" else None
+    records = measure_sharded(workers, args.executor, args.repeats)
     print(format_table(SHARDED_TABLE_HEADER, _sharded_rows(records)))
+    instance, owned = resolve_executor(args.executor, workers)
+    try:
+        streamed = measure_streamed(instance)
+    finally:
+        if owned:
+            instance.close()
+    print()
+    print(format_table(STREAMED_TABLE_HEADER, _streamed_rows(streamed)))
     print(f"\ncpu_count={available_cpus()} executor={args.executor}")
     return 0
 

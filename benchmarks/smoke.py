@@ -162,21 +162,77 @@ def smoke_parallel():
     spec = workload_spec("noisy-spanning-tree", rng_mode="fast", node_count=12)
     single = estimate_acceptance_fast(spec.resolve(), 64, seed=1)
     sharded = estimate_acceptance_sharded(
-        spec, 64, seed=1, executor=backend, workers=2, shard_count=4
+        spec, 64, seed=1, executor=backend, workers=_workers(backend), shard_count=4
     )
     assert sharded.estimate == single, "sharded merge diverged from single-process"
 
+    streamed_rows = _smoke_streamed_campaign(backend)
+
     leaked = multiprocessing.active_children()
     assert not leaked, f"worker processes leaked past executor close: {leaked}"
+    return (
+        [[f"campaign[{record['cell']}]", "-", backend, "ok"] for record in records]
+        + [[f"sharded-merge(noisy, {sharded.shards} shards)", "-", backend, "ok"]]
+        + streamed_rows
+    )
+
+
+def _workers(backend):
+    """The serial backend runs exactly one worker; asking for more raises."""
+    return 2 if backend != "serial" else None
+
+
+def _smoke_streamed_campaign(backend):
+    """One streamed, cell-parallel mini-campaign — the PR 5 wiring.
+
+    Two concurrent cells stream partial shard counts over the shared pool;
+    the no-stop cells must land on the exact single-process counts
+    (streaming is observational), and the teardown must leave no worker
+    processes behind — the same leak guard as the plain campaign above.
+    """
+    from repro.engine import estimate_acceptance_fast
+    from repro.parallel import Campaign, MemorySink, run_campaign, workload_spec
+
+    campaign = Campaign.sweep(
+        "smoke-streamed",
+        [("spanning-tree", {"node_count": 12, "extra_edges": 3})],
+        rng_modes=("fast", "vector"),
+        trial_budgets=(48,),
+    )
+    records = run_campaign(
+        campaign,
+        executor=backend,
+        workers=_workers(backend),
+        sink=MemorySink(),
+        cell_parallelism=2,
+        stream_progress=True,
+    )
+    assert len(records) == len(campaign.cells), "streamed campaign dropped cells"
+    # Deterministic sink order: records arrive in campaign declaration order
+    # even though the cells ran concurrently.
+    assert [r["cell"] for r in records] == [c.name for c in campaign.cells], (
+        "concurrent cells wrote records out of campaign order"
+    )
+    for record, cell in zip(records, campaign.cells):
+        single = estimate_acceptance_fast(cell.spec.resolve(), cell.trials, seed=cell.seed)
+        assert record["streamed"] and record["trials"] == single.trials, record["cell"]
+        assert record["accepted"] == single.accepted, (
+            f"streamed cell {record['cell']}: counts diverged from single-process"
+        )
+    leaked = multiprocessing.active_children()
+    assert not leaked, f"worker processes leaked past streamed campaign: {leaked}"
     return [
-        [f"campaign[{record['cell']}]", "-", backend, "ok"] for record in records
-    ] + [[f"sharded-merge(noisy, {sharded.shards} shards)", "-", backend, "ok"]]
+        [f"streamed[{record['cell']}]", "-", f"{backend} x2 cells", "ok"]
+        for record in records
+    ]
 
 
 def _run_smoke_campaign(campaign, backend):
     from repro.parallel import MemorySink, run_campaign
 
-    return run_campaign(campaign, executor=backend, workers=2, sink=MemorySink())
+    return run_campaign(
+        campaign, executor=backend, workers=_workers(backend), sink=MemorySink()
+    )
 
 
 def main() -> int:

@@ -85,6 +85,7 @@ def estimate_acceptance_fast(
     vectorize: Optional[bool] = None,
     first_trial: int = 0,
     should_stop: Optional[Callable[[], bool]] = None,
+    progress: Optional[Callable[[int, int], None]] = None,
 ) -> "AcceptanceEstimate":
     """Estimate ``Pr[verifier accepts]`` by running ``trials`` plan rounds.
 
@@ -119,8 +120,18 @@ def estimate_acceptance_fast(
       cooperative stop changes *which prefix* of the shard's deterministic
       trial sequence is consumed, never any individual decision.
 
+    ``progress`` is the streaming channel (see :mod:`repro.parallel.progress`):
+    after every chunk it receives the *cumulative* ``(accepted, done)``
+    counts of this call so far.  Each update is a valid estimate of the same
+    acceptance probability over the prefix already consumed — publishing it
+    mid-run is what lets a sharded aggregator apply the Wilson stop rule at
+    chunk granularity across all workers.  The channel is observational
+    only: it never changes which trials run or what they decide, so a run
+    with ``progress`` set is count-identical to the same run without it.
+
     Plans with a compile-time verdict (``plan.constant_verdict``) return the
-    exact degenerate estimate immediately, with no trials executed.
+    exact degenerate estimate immediately, with no trials executed (one
+    ``progress`` update reports the degenerate counts).
     """
     from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
 
@@ -150,6 +161,8 @@ def estimate_acceptance_fast(
 
     if plan.constant_verdict is not None:
         accepted = trials if plan.constant_verdict else 0
+        if progress is not None:
+            progress(accepted, trials)
         return AcceptanceEstimate(accepted=accepted, trials=trials)
 
     accepted = 0
@@ -170,6 +183,8 @@ def estimate_acceptance_fast(
             vectorize=use_vector,
         )
         done += chunk
+        if progress is not None:
+            progress(accepted, done)
         if stop_halfwidth is not None and done >= min_trials:
             low, high = wilson_interval(accepted, done)
             if high - low <= 2 * stop_halfwidth:

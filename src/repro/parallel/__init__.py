@@ -52,6 +52,7 @@ from repro.parallel.executors import (
     resolve_executor,
 )
 from repro.parallel.factories import WORKLOADS, workload_spec
+from repro.parallel.progress import RunHandle, StopToken, StreamingAggregator
 from repro.parallel.shards import Shard, ShardPlanner
 from repro.parallel.spec import PlanSpec
 
@@ -64,11 +65,14 @@ __all__ = [
     "MemorySink",
     "PlanSpec",
     "ProcessExecutor",
+    "RunHandle",
     "SerialExecutor",
     "Shard",
     "ShardPlanner",
     "ShardResult",
     "ShardedEstimate",
+    "StopToken",
+    "StreamingAggregator",
     "ThreadExecutor",
     "available_cpus",
     "estimate_acceptance_sharded",

@@ -35,6 +35,7 @@ reason.
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass
 from pathlib import Path
@@ -192,6 +193,53 @@ class JsonlSink:
         self._keys.add(record["cell_key"])
 
 
+def _run_cell(
+    campaign: Campaign,
+    cell: Cell,
+    instance,
+    planner: Optional[ShardPlanner],
+    chunk_size: int,
+    vectorize: Optional[bool],
+    stream_progress: bool,
+) -> Dict:
+    """Execute one cell on the shared executor and build its record."""
+    start = time.perf_counter()
+    sharded = estimate_acceptance_sharded(
+        cell.spec,
+        cell.trials,
+        seed=cell.seed,
+        executor=instance,
+        planner=planner,
+        chunk_size=chunk_size,
+        stop_halfwidth=cell.stop_halfwidth,
+        vectorize=vectorize,
+        stream_progress=stream_progress,
+    )
+    elapsed = time.perf_counter() - start
+    estimate = sharded.estimate
+    # Zero-trial estimates report nan probability/interval directly (a
+    # pre-satisfied stop can legitimately produce them); no guards needed.
+    low, high = estimate.interval
+    return {
+        "campaign": campaign.name,
+        "cell": cell.name,
+        "cell_key": cell.key(),
+        **cell.spec.describe(),
+        "requested_trials": cell.trials,
+        "trials": estimate.trials,
+        "accepted": estimate.accepted,
+        "probability": estimate.probability,
+        "wilson_low": low,
+        "wilson_high": high,
+        "stopped_early": sharded.stopped_early,
+        "streamed": sharded.streamed,
+        "shards": sharded.shards,
+        "executor": sharded.executor,
+        "workers": sharded.workers,
+        "elapsed_sec": round(elapsed, 6),
+    }
+
+
 def run_campaign(
     campaign: Campaign,
     executor: Union[str, object, None] = "serial",
@@ -200,6 +248,8 @@ def run_campaign(
     planner: Optional[ShardPlanner] = None,
     chunk_size: int = 64,
     vectorize: Optional[bool] = None,
+    cell_parallelism: int = 1,
+    stream_progress: bool = False,
 ) -> List[Dict]:
     """Run every (not yet completed) cell; returns the new records.
 
@@ -210,54 +260,125 @@ def run_campaign(
 
     ``campaign, cell, cell_key, factory, args, kwargs, randomness,
     rng_mode, requested_trials, trials, accepted, probability, wilson_low,
-    wilson_high, stopped_early, shards, executor, workers, elapsed_sec``
+    wilson_high, stopped_early, streamed, shards, executor, workers,
+    elapsed_sec``
+
+    ``cell_parallelism`` > 1 schedules that many independent cells
+    concurrently over the *same* executor pool — the cell scheduler keeps
+    the pool saturated when individual cells are too small to fill it.
+    Ordering and resume semantics are unchanged: records are written to the
+    sink in campaign declaration order (a completed cell buffers until
+    every earlier cell has been written), cells are independent jobs with
+    per-run stop tokens, and skip-on-resume happens before scheduling.
+    Apart from ``elapsed_sec``, concurrent-cell records are identical to a
+    serial-cell run's.  ``stream_progress`` turns on the progressive shard
+    channel for every cell (see
+    :func:`~repro.parallel.executors.estimate_acceptance_sharded`).
     """
+    if cell_parallelism < 1:
+        raise ValueError("cell_parallelism must be positive")
     if sink is None:
         sink = MemorySink()
     instance, owned = resolve_executor(executor, workers)
     new_records: List[Dict] = []
+    # Claim keys as cells are scheduled: two cells sharing one resume key
+    # (identical spec/trials/seed under different names) run once, exactly
+    # as the old immediately-before-run completed() check deduplicated.
+    claimed = set()
+    pending = []
+    for cell in campaign.cells:
+        key = cell.key()
+        if sink.completed(cell) or key in claimed:
+            continue
+        claimed.add(key)
+        pending.append(cell)
     try:
-        for cell in campaign.cells:
-            if sink.completed(cell):
-                continue
-            start = time.perf_counter()
-            sharded = estimate_acceptance_sharded(
-                cell.spec,
-                cell.trials,
-                seed=cell.seed,
-                executor=instance,
-                planner=planner,
-                chunk_size=chunk_size,
-                stop_halfwidth=cell.stop_halfwidth,
-                vectorize=vectorize,
+        if cell_parallelism == 1 or len(pending) <= 1:
+            for cell in pending:
+                record = _run_cell(
+                    campaign, cell, instance, planner, chunk_size, vectorize,
+                    stream_progress,
+                )
+                sink.write(record)
+                new_records.append(record)
+        else:
+            _run_cells_concurrently(
+                campaign, pending, instance, planner, chunk_size, vectorize,
+                stream_progress, min(cell_parallelism, len(pending)), sink,
+                new_records,
             )
-            elapsed = time.perf_counter() - start
-            estimate = sharded.estimate
-            low, high = (
-                estimate.interval if estimate.trials else (float("nan"), float("nan"))
-            )
-            record = {
-                "campaign": campaign.name,
-                "cell": cell.name,
-                "cell_key": cell.key(),
-                **cell.spec.describe(),
-                "requested_trials": cell.trials,
-                "trials": estimate.trials,
-                "accepted": estimate.accepted,
-                "probability": (
-                    estimate.probability if estimate.trials else float("nan")
-                ),
-                "wilson_low": low,
-                "wilson_high": high,
-                "stopped_early": sharded.stopped_early,
-                "shards": sharded.shards,
-                "executor": sharded.executor,
-                "workers": sharded.workers,
-                "elapsed_sec": round(elapsed, 6),
-            }
-            sink.write(record)
-            new_records.append(record)
     finally:
         if owned:
             instance.close()
     return new_records
+
+
+def _run_cells_concurrently(
+    campaign: Campaign,
+    pending: List[Cell],
+    instance,
+    planner: Optional[ShardPlanner],
+    chunk_size: int,
+    vectorize: Optional[bool],
+    stream_progress: bool,
+    threads: int,
+    sink,
+    new_records: List[Dict],
+) -> None:
+    """The cell scheduler: a small thread team pulls cells off an ordered
+    queue and runs them over the shared executor; finished records buffer
+    until every earlier cell's record is written, so the sink sees campaign
+    declaration order regardless of completion order.
+
+    On a cell failure the contiguous prefix of completed records stays
+    written (resume will skip it); records of cells *after* the failure are
+    discarded rather than written out of order, and the first error
+    re-raises.
+    """
+    state_lock = threading.Lock()
+    cursor = 0
+    flushed = 0
+    buffered: Dict[int, Dict] = {}
+    errors: List[BaseException] = []
+
+    def worker() -> None:
+        nonlocal cursor, flushed
+        while True:
+            with state_lock:
+                if errors or cursor >= len(pending):
+                    return
+                position = cursor
+                cursor += 1
+            cell = pending[position]
+            try:
+                record = _run_cell(
+                    campaign, cell, instance, planner, chunk_size, vectorize,
+                    stream_progress,
+                )
+            except BaseException as exc:  # re-raised in the caller
+                with state_lock:
+                    errors.append(exc)
+                return
+            with state_lock:
+                buffered[position] = record
+                try:
+                    while flushed in buffered:
+                        # Pop only after a successful write, so a failing
+                        # sink loses no buffered record.
+                        sink.write(buffered[flushed])
+                        new_records.append(buffered.pop(flushed))
+                        flushed += 1
+                except BaseException as exc:  # sink failures re-raise too
+                    errors.append(exc)
+                    return
+
+    team = [
+        threading.Thread(target=worker, name=f"repro-cell-{index}")
+        for index in range(threads)
+    ]
+    for thread in team:
+        thread.start()
+    for thread in team:
+        thread.join()
+    if errors:
+        raise errors[0]

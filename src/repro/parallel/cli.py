@@ -12,15 +12,27 @@ Run as ``python -m repro.parallel.cli`` (with ``src`` on ``PYTHONPATH``):
   up where it stopped).
 
 Workload sizes pass through ``--size key=value`` pairs (repeatable), e.g.
-``--size node_count=200 --size extra_edges=60``.
+``--size node_count=200 --size extra_edges=60``.  In a mixed campaign a
+bare key applies to every workload *whose factory accepts it* (keys a
+factory does not take are skipped with a warning, not a crash), and a
+``workload:key=value`` prefix pins the size to one workload of the sweep:
+``--workloads spanning-tree,k-flow --size spanning-tree:node_count=200
+--size k-flow:k=3``.
+
+``--cell-parallelism N`` runs N campaign cells concurrently over the one
+worker pool; ``--stream-progress`` turns on progressive shard-result
+streaming so Wilson stops fire at chunk granularity (see
+``docs/parallel.md``).
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.engine.plan import RNG_MODES
 from repro.parallel.campaign import Campaign, JsonlSink, MemorySink, run_campaign
 from repro.parallel.executors import (
     EXECUTORS,
@@ -31,17 +43,88 @@ from repro.parallel.factories import WORKLOADS, workload_spec
 from repro.parallel.shards import ShardPlanner
 
 
-def _parse_sizes(pairs: Optional[Sequence[str]]) -> Dict[str, int]:
-    sizes: Dict[str, int] = {}
+def _parse_sizes(
+    pairs: Optional[Sequence[str]],
+) -> Tuple[Dict[str, int], Dict[str, Dict[str, int]]]:
+    """Split ``--size`` pairs into shared sizes and per-workload overrides.
+
+    ``key=value`` applies to every workload (where applicable);
+    ``workload:key=value`` applies to that workload only.
+    """
+    shared: Dict[str, int] = {}
+    scoped: Dict[str, Dict[str, int]] = {}
     for pair in pairs or ():
         key, sep, value = pair.partition("=")
         if not sep or not key:
-            raise SystemExit(f"--size expects key=value, got {pair!r}")
+            raise SystemExit(f"--size expects [workload:]key=value, got {pair!r}")
+        workload, colon, scoped_key = key.partition(":")
         try:
-            sizes[key] = int(value)
+            parsed = int(value)
         except ValueError:
             raise SystemExit(f"--size value must be an integer, got {pair!r}") from None
+        if colon:
+            if not scoped_key:
+                raise SystemExit(f"--size expects [workload:]key=value, got {pair!r}")
+            scoped.setdefault(workload, {})[scoped_key] = parsed
+        else:
+            shared[key] = parsed
+    return shared, scoped
+
+
+def _factory_size_keys(workload: str) -> set:
+    factory, _randomness = WORKLOADS[workload]
+    return set(inspect.signature(factory).parameters)
+
+
+def _sizes_for(
+    workload: str,
+    shared: Dict[str, int],
+    scoped: Dict[str, Dict[str, int]],
+    strict: bool = False,
+) -> Dict[str, int]:
+    """The size kwargs one workload actually receives.
+
+    In a *mixed* sweep, shared keys the workload's factory does not accept
+    are dropped with a warning (``--workloads spanning-tree,k-flow --size
+    node_count=200`` must not crash the flow factory).  With a single
+    workload there is no ambiguity a shared key could be resolving —
+    ``strict=True`` makes an inapplicable key fail fast like a scoped typo
+    would, instead of silently benchmarking the default size.
+    """
+    accepted = _factory_size_keys(workload)
+    sizes: Dict[str, int] = {}
+    for key, value in shared.items():
+        if key in accepted:
+            sizes[key] = value
+        elif strict:
+            raise SystemExit(
+                f"--size {key}= names a size the {workload!r} factory does "
+                f"not accept (takes: {', '.join(sorted(accepted))})"
+            )
+        else:
+            print(
+                f"warning: --size {key}={value} does not apply to workload "
+                f"{workload!r}; ignored",
+                file=sys.stderr,
+            )
+    for key, value in scoped.get(workload, {}).items():
+        if key not in accepted:
+            raise SystemExit(
+                f"--size {workload}:{key}= names a size the {workload!r} "
+                f"factory does not accept (takes: {', '.join(sorted(accepted))})"
+            )
+        sizes[key] = value
     return sizes
+
+
+def _parse_rng_modes(value: str) -> List[str]:
+    modes = _csv(value)
+    for mode in modes:
+        if mode not in RNG_MODES:
+            raise SystemExit(
+                f"unknown rng mode {mode!r} (choose from {', '.join(RNG_MODES)})"
+            )
+    return modes
 
 
 def _csv(value: str) -> List[str]:
@@ -75,6 +158,12 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="Wilson early-exit half-width on the merged estimate",
     )
+    parser.add_argument(
+        "--stream-progress",
+        action="store_true",
+        help="stream partial shard counts so the Wilson stop fires at "
+        "chunk granularity across all workers",
+    )
 
 
 def _planner(args) -> Optional[ShardPlanner]:
@@ -91,7 +180,18 @@ def _cmd_list(_args) -> int:
 
 
 def _cmd_estimate(args) -> int:
-    spec = workload_spec(args.workload, rng_mode=args.rng_mode, **_parse_sizes(args.size))
+    shared, scoped = _parse_sizes(args.size)
+    unknown = set(scoped) - {args.workload}
+    if unknown:
+        raise SystemExit(
+            f"--size scopes {sorted(unknown)} name workloads other than "
+            f"{args.workload!r}"
+        )
+    spec = workload_spec(
+        args.workload,
+        rng_mode=args.rng_mode,
+        **_sizes_for(args.workload, shared, scoped, strict=True),
+    )
     sharded = estimate_acceptance_sharded(
         spec,
         args.trials,
@@ -101,6 +201,7 @@ def _cmd_estimate(args) -> int:
         planner=_planner(args),
         chunk_size=args.chunk_size,
         stop_halfwidth=args.stop_halfwidth,
+        stream_progress=args.stream_progress,
     )
     print(f"{args.workload} [{spec.rng_mode}] -> {sharded}")
     for result in sharded.shard_results:
@@ -118,12 +219,22 @@ def _cmd_campaign(args) -> int:
             raise SystemExit(
                 f"unknown workload {workload!r} (see `python -m repro.parallel.cli list`)"
             )
-    sizes = _parse_sizes(args.size)
-    entries = [(w, sizes) if sizes else w for w in workloads]
+    shared, scoped = _parse_sizes(args.size)
+    unknown = set(scoped) - set(workloads)
+    if unknown:
+        raise SystemExit(
+            f"--size scopes {sorted(unknown)} name workloads not in this sweep "
+            f"({', '.join(workloads)})"
+        )
+    entries = []
+    strict = len(workloads) == 1  # one workload: an inapplicable key is a typo
+    for workload in workloads:
+        sizes = _sizes_for(workload, shared, scoped, strict=strict)
+        entries.append((workload, sizes) if sizes else workload)
     campaign = Campaign.sweep(
         args.name,
         entries,
-        rng_modes=tuple(_csv(args.rng_modes)),
+        rng_modes=tuple(_parse_rng_modes(args.rng_modes)),
         trial_budgets=tuple(int(t) for t in _csv(args.trials)),
         seeds=tuple(int(s) for s in _csv(args.seeds)),
         stop_halfwidth=args.stop_halfwidth,
@@ -137,6 +248,8 @@ def _cmd_campaign(args) -> int:
         sink=sink,
         planner=_planner(args),
         chunk_size=args.chunk_size,
+        cell_parallelism=args.cell_parallelism,
+        stream_progress=args.stream_progress,
     )
     for record in records:
         print(
@@ -166,10 +279,15 @@ def build_parser() -> argparse.ArgumentParser:
 
     estimate = sub.add_parser("estimate", help="one sharded acceptance estimate")
     estimate.add_argument("--workload", required=True, choices=sorted(WORKLOADS))
-    estimate.add_argument("--rng-mode", default="vector")
+    estimate.add_argument(
+        "--rng-mode",
+        default="vector",
+        choices=RNG_MODES,
+        help="randomness derivation mode (validated here, not deep in the engine)",
+    )
     estimate.add_argument("--trials", type=int, required=True)
     estimate.add_argument("--seed", type=int, default=0)
-    estimate.add_argument("--size", action="append", metavar="KEY=VALUE")
+    estimate.add_argument("--size", action="append", metavar="[WORKLOAD:]KEY=VALUE")
     _add_executor_args(estimate)
     estimate.set_defaults(func=_cmd_estimate)
 
@@ -178,10 +296,20 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument(
         "--workloads", required=True, help="comma-separated registry names"
     )
-    campaign.add_argument("--rng-modes", default="vector")
+    campaign.add_argument(
+        "--rng-modes",
+        default="vector",
+        help=f"comma-separated modes from {{{', '.join(RNG_MODES)}}}",
+    )
     campaign.add_argument("--trials", default="1024", help="comma-separated budgets")
     campaign.add_argument("--seeds", default="0", help="comma-separated master seeds")
-    campaign.add_argument("--size", action="append", metavar="KEY=VALUE")
+    campaign.add_argument("--size", action="append", metavar="[WORKLOAD:]KEY=VALUE")
+    campaign.add_argument(
+        "--cell-parallelism",
+        type=int,
+        default=1,
+        help="independent cells scheduled concurrently over the one pool",
+    )
     campaign.add_argument("--out", default=None, help="JSON-lines result path")
     campaign.add_argument(
         "--no-resume",
@@ -195,7 +323,13 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ValueError as exc:
+        # Configuration contradictions from the layers below (serial
+        # backend with --workers 4, --cell-parallelism 0, ...) are usage
+        # errors at this boundary, not tracebacks.
+        raise SystemExit(f"error: {exc}") from exc
 
 
 if __name__ == "__main__":

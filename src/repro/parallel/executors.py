@@ -20,7 +20,10 @@ Three interchangeable backends run the shards a
 Cooperative early exit
 ----------------------
 
-Every backend exposes one shared stop signal.  The aggregator in
+Every run gets its own stop token (:class:`~repro.parallel.progress.StopToken`),
+so concurrent runs over one pool — campaign cells — stop independently;
+the executor-wide ``request_stop()`` remains as a pool-global kill switch
+every token also observes.  The aggregator in
 :func:`estimate_acceptance_sharded` merges shard results as they complete
 and, once the Wilson interval of the running merge is narrow enough,
 requests a stop: shards not yet started are skipped, and running shards
@@ -29,6 +32,16 @@ observe the flag between chunks (the ``should_stop`` hook of
 partial counts.  Exactly like the single-process Wilson exit, stopping
 changes *which trials run*, never any individual verdict — so a stopped
 run is still an unbiased estimate over the trials it reports.
+
+With ``stream_progress=True`` the stop acts at **chunk granularity across
+all workers** instead of shard granularity: workers publish partial
+cumulative counts after every chunk through a backend-appropriate conduit
+(direct callback in-process, a ``multiprocessing`` queue plus parent-side
+router for the process pool), and a
+:class:`~repro.parallel.progress.StreamingAggregator` applies the Wilson
+rule to the merged partials — strictly fewer wasted trials on multi-shard
+stops, with no effect at all on no-stop runs (the channel is
+observational; see :mod:`repro.parallel.progress`).
 
 Determinism contract
 --------------------
@@ -52,6 +65,12 @@ from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.engine.montecarlo import DEFAULT_CHUNK, estimate_acceptance_fast
 from repro.engine.plan import VerificationPlan
+from repro.parallel.progress import (
+    ProgressRouter,
+    RunHandle,
+    StopToken,
+    StreamingAggregator,
+)
 from repro.parallel.shards import Shard, ShardPlanner
 from repro.parallel.spec import PlanSpec
 from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
@@ -82,10 +101,24 @@ class ShardResult:
         return AcceptanceEstimate(accepted=self.accepted, trials=self.trials)
 
 
-def _run_shard(payload, should_stop: Callable[[], bool]) -> ShardResult:
-    """The shard worker body — runs on every backend, in-process or not."""
+def _run_shard(
+    payload,
+    should_stop: Callable[[], bool],
+    publish: Optional[Callable[[int, int, int], None]] = None,
+) -> ShardResult:
+    """The shard worker body — runs on every backend, in-process or not.
+
+    ``publish``, when streaming is on, receives the shard's cumulative
+    ``(shard_index, accepted, trials)`` after every chunk — the progress
+    conduit of :mod:`repro.parallel.progress`.
+    """
     target, shard, options = payload
     plan = target.resolve() if isinstance(target, PlanSpec) else target
+    progress = None
+    if publish is not None:
+        progress = lambda accepted, trials: publish(  # noqa: E731
+            shard.index, accepted, trials
+        )
     estimate = estimate_acceptance_fast(
         plan,
         shard.trials,
@@ -96,6 +129,7 @@ def _run_shard(payload, should_stop: Callable[[], bool]) -> ShardResult:
         vectorize=options["vectorize"],
         first_trial=shard.start,
         should_stop=should_stop,
+        progress=progress,
     )
     return ShardResult(shard=shard, accepted=estimate.accepted, trials=estimate.trials)
 
@@ -105,23 +139,61 @@ def _run_shard(payload, should_stop: Callable[[], bool]) -> ShardResult:
 # ---------------------------------------------------------------------------
 
 
-class SerialExecutor:
-    """Run shards one after another in the calling process."""
+class _EpochStop:
+    """Pool-global stop as an *epoch counter*, shared by the in-process
+    backends.
+
+    A run snapshots the epoch at start and stops once it has advanced — so
+    ``request_stop()`` cancels exactly the runs in flight, and later runs
+    on the same (shared, warm) executor start unaffected instead of
+    inheriting a permanently sticky flag.  (The process backend carries the
+    same semantics over a shared-memory counter instead.)
+    """
+
+    _stop_epoch = 0
+
+    def request_stop(self) -> None:
+        self._stop_epoch += 1
+
+    def _global_probe(self) -> Callable[[], bool]:
+        born = self._stop_epoch
+        return lambda: self._stop_epoch > born
+
+
+class SerialExecutor(_EpochStop):
+    """Run shards one after another in the calling process.
+
+    ``start_run`` is still safe under campaign cell parallelism: each run
+    carries its own :class:`~repro.parallel.progress.StopToken` and executes
+    lazily in whichever thread iterates its results, so concurrent cells
+    sharing one SerialExecutor never share stop state.
+    """
 
     name = "serial"
     workers = 1
 
-    def __init__(self):
-        self._stop = False
+    def start_run(
+        self,
+        fn: Callable,
+        payloads: Iterable,
+        on_progress: Optional[Callable[[int, int, int], None]] = None,
+    ) -> RunHandle:
+        """Begin one run; shards execute lazily as results are iterated."""
+        token = StopToken(extra=self._global_probe())
 
-    def request_stop(self) -> None:
-        self._stop = True
+        def results():
+            for payload in payloads:
+                if token.probe():
+                    break
+                yield fn(payload, token.probe, on_progress)
+
+        return RunHandle(results(), token)
 
     def run(self, fn: Callable, payloads: Iterable) -> Iterator:
-        self._stop = False
-        should_stop = lambda: self._stop  # noqa: E731 - the flag, as a probe
+        """Legacy two-argument interface (``fn(payload, should_stop)``)."""
+        should_stop = self._global_probe()
         for payload in payloads:
-            if self._stop:
+            if should_stop():
                 break
             yield fn(payload, should_stop)
 
@@ -135,8 +207,9 @@ class SerialExecutor:
         self.close()
 
 
-class ThreadExecutor:
-    """Run shards on a thread pool; the stop signal is a threading.Event."""
+class ThreadExecutor(_EpochStop):
+    """Run shards on a thread pool; the pool-global stop is the epoch
+    counter of :class:`_EpochStop`."""
 
     name = "thread"
 
@@ -147,23 +220,26 @@ class ThreadExecutor:
         self._pool = concurrent.futures.ThreadPoolExecutor(
             max_workers=self.workers, thread_name_prefix="repro-shard"
         )
-        self._event = threading.Event()
 
-    def request_stop(self) -> None:
-        self._event.set()
+    def start_run(
+        self,
+        fn: Callable,
+        payloads: Iterable,
+        on_progress: Optional[Callable[[int, int, int], None]] = None,
+    ) -> RunHandle:
+        """Submit one run's shards; per-run token, pool-global epoch as backup."""
+        token = StopToken(extra=self._global_probe())
+        futures = [
+            self._pool.submit(fn, payload, token.probe, on_progress)
+            for payload in payloads
+        ]
+        return RunHandle(_drain_futures(futures), token)
 
     def run(self, fn: Callable, payloads: Iterable) -> Iterator:
-        self._event.clear()
-        should_stop = self._event.is_set
+        """Legacy two-argument interface (``fn(payload, should_stop)``)."""
+        should_stop = self._global_probe()
         futures = [self._pool.submit(fn, payload, should_stop) for payload in payloads]
-        try:
-            for future in concurrent.futures.as_completed(futures):
-                if future.cancelled():
-                    continue
-                yield future.result()
-        finally:
-            for future in futures:
-                future.cancel()
+        yield from _drain_futures(futures)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True, cancel_futures=True)
@@ -175,26 +251,76 @@ class ThreadExecutor:
         self.close()
 
 
+def _drain_futures(futures) -> Iterator:
+    """Yield future results as they complete; cancel the rest on exit."""
+    try:
+        for future in concurrent.futures.as_completed(futures):
+            if future.cancelled():
+                continue
+            yield future.result()
+    finally:
+        for future in futures:
+            future.cancel()
+
+
 # Worker-process globals, installed by the pool initializer.  With the fork
 # start method children inherit the parent's module state anyway; with spawn
 # they import this module fresh and the initializer is the only channel —
-# either way the event arrives through initargs, the one path
+# either way the primitives arrive through initargs, the one path
 # ProcessPoolExecutor guarantees for synchronization primitives.
-_WORKER_STOP: Optional[object] = None
+#
+# Three channels: the pool-global stop *epoch* (a shared counter — a run
+# snapshots it at start and stops when it has advanced, so request_stop()
+# cancels in-flight runs without poisoning later ones), the per-run stop
+# *board* (a flat shared byte array — slot ``i`` nonzero means "run holding
+# slot i, stop"), and the progress queue streamed updates travel on.
+_WORKER_EPOCH: Optional[object] = None
+_WORKER_BOARD: Optional[object] = None
+_WORKER_QUEUE: Optional[object] = None
+
+# Concurrent-run capacity of one ProcessExecutor: the stop board is shared
+# memory, so its size is fixed at pool start.  Far above any sane
+# --cell-parallelism; exceeding it raises rather than silently sharing.
+STOP_SLOTS = 64
 
 
-def _init_shard_worker(stop_event) -> None:
-    global _WORKER_STOP
-    _WORKER_STOP = stop_event
+def _init_shard_worker(stop_epoch, stop_board=None, progress_queue=None) -> None:
+    global _WORKER_EPOCH, _WORKER_BOARD, _WORKER_QUEUE
+    _WORKER_EPOCH = stop_epoch
+    _WORKER_BOARD = stop_board
+    _WORKER_QUEUE = progress_queue
 
 
-def _never_stop() -> bool:
-    return False
+def _invoke_in_worker(fn: Callable, payload, born_epoch: int = 0):
+    """Legacy worker body: pool-global stop epoch only."""
+    epoch = _WORKER_EPOCH
+
+    def should_stop() -> bool:
+        return epoch is not None and epoch.value > born_epoch
+
+    return fn(payload, should_stop)
 
 
-def _invoke_in_worker(fn: Callable, payload):
-    stop = _WORKER_STOP
-    return fn(payload, stop.is_set if stop is not None else _never_stop)
+def _invoke_in_worker_run(
+    fn: Callable, payload, slot: int, run_id: int, stream: bool, born_epoch: int
+):
+    """Worker body for ``start_run``: per-run stop slot + optional streaming."""
+    epoch = _WORKER_EPOCH
+    board = _WORKER_BOARD
+
+    def should_stop() -> bool:
+        if epoch is not None and epoch.value > born_epoch:
+            return True
+        return board is not None and board[slot] != 0
+
+    publish = None
+    if stream and _WORKER_QUEUE is not None:
+        queue = _WORKER_QUEUE
+
+        def publish(shard_index: int, accepted: int, trials: int) -> None:
+            queue.put((run_id, shard_index, accepted, trials))
+
+    return fn(payload, should_stop, publish)
 
 
 class ProcessExecutor:
@@ -218,19 +344,29 @@ class ProcessExecutor:
             start_method = "fork" if "fork" in methods else methods[0]
         self._context = multiprocessing.get_context(start_method)
         self.start_method = start_method
-        self._event = self._context.Event()
+        # Pool-global stop epoch, per-run stop slots, and the progress queue
+        # must all exist before the pool so the initializer can ship them to
+        # every worker (lock-free shared memory: the parent is the only
+        # writer, and single-word reads are atomic).
+        self._stop_epoch = self._context.Value("L", 0, lock=False)
+        self._board = self._context.Array("b", STOP_SLOTS, lock=False)
+        self._queue = self._context.Queue()
+        self._router = ProgressRouter(self._queue)
+        self._free_slots = list(range(STOP_SLOTS))
+        self._run_counter = 0
+        self._lock = threading.Lock()
         self._pool = concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=self._context,
             initializer=_init_shard_worker,
-            initargs=(self._event,),
+            initargs=(self._stop_epoch, self._board, self._queue),
         )
 
     def request_stop(self) -> None:
-        self._event.set()
+        self._stop_epoch.value += 1
 
-    def run(self, fn: Callable, payloads: Iterable) -> Iterator:
-        self._event.clear()
+    @staticmethod
+    def _check_payloads(payloads) -> list:
         payloads = list(payloads)
         for payload in payloads:
             target = payload[0] if isinstance(payload, tuple) and payload else payload
@@ -239,20 +375,82 @@ class ProcessExecutor:
                     "ProcessExecutor shards take a PlanSpec, not a compiled "
                     "VerificationPlan — build one with PlanSpec.of(...)"
                 )
+        return payloads
+
+    def start_run(
+        self,
+        fn: Callable,
+        payloads: Iterable,
+        on_progress: Optional[Callable[[int, int, int], None]] = None,
+    ) -> RunHandle:
+        """Submit one run's shards with a dedicated stop slot.
+
+        With ``on_progress`` set, this run's workers stream partial counts
+        onto the shared queue and the router dispatches them (by run id) to
+        the callback — several concurrent runs stream without crosstalk.
+        """
+        payloads = self._check_payloads(payloads)
+        with self._lock:
+            if not self._free_slots:
+                raise RuntimeError(
+                    f"more than {STOP_SLOTS} concurrent runs on one "
+                    "ProcessExecutor — lower the cell parallelism"
+                )
+            slot = self._free_slots.pop()
+            run_id = self._run_counter
+            self._run_counter += 1
+        self._board[slot] = 0
+        stream = on_progress is not None
+        if stream:
+            self._router.subscribe(run_id, on_progress)
+        born = self._stop_epoch.value
+        token = StopToken(
+            extra=lambda: self._stop_epoch.value > born,
+            on_request=lambda: self._board.__setitem__(slot, 1),
+        )
         futures = [
-            self._pool.submit(_invoke_in_worker, fn, payload) for payload in payloads
+            self._pool.submit(
+                _invoke_in_worker_run, fn, payload, slot, run_id, stream, born
+            )
+            for payload in payloads
         ]
-        try:
-            for future in concurrent.futures.as_completed(futures):
-                if future.cancelled():
-                    continue
-                yield future.result()
-        finally:
+
+        def release():
+            # Teardown order matters.  (1) Unsubscribe — the router
+            # dispatches under its own lock, so after this returns no late
+            # update can poke this run's token/slot.  (2) Stop and wait out
+            # this run's workers: pending futures cancel, already-running
+            # shards see the slot flag at their next chunk.  Only then
+            # (3) is the slot clean to hand to a concurrent run.
+            if stream:
+                self._router.unsubscribe(run_id)
+            self._board[slot] = 1
             for future in futures:
                 future.cancel()
+            concurrent.futures.wait(futures)
+            with self._lock:
+                self._board[slot] = 0
+                self._free_slots.append(slot)
+
+        return RunHandle(_drain_futures(futures), token, on_finish=release)
+
+    def run(self, fn: Callable, payloads: Iterable) -> Iterator:
+        """Legacy two-argument interface (``fn(payload, should_stop)``)."""
+        payloads = self._check_payloads(payloads)
+        born = self._stop_epoch.value
+        futures = [
+            self._pool.submit(_invoke_in_worker, fn, payload, born)
+            for payload in payloads
+        ]
+        yield from _drain_futures(futures)
 
     def close(self) -> None:
+        # Pool first, router second: workers may still be publishing while
+        # shutdown waits for them, and the drain thread must keep reading
+        # or a full queue pipe would block worker exit (feeder-thread join)
+        # and deadlock the shutdown.
         self._pool.shutdown(wait=True, cancel_futures=True)
+        self._router.close()
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -279,6 +477,10 @@ def resolve_executor(
     created (and must close) the instance.  Worker-leak discipline: every
     internal caller closes owned executors in a ``finally``; tests assert no
     child processes survive a close.
+
+    A worker count that the named backend cannot honour raises the same
+    :class:`ValueError` an instance mismatch does — ``("serial", workers=4)``
+    is a contradiction, not a request to be silently downgraded.
     """
     if executor is None:
         executor = "serial"
@@ -290,6 +492,12 @@ def resolve_executor(
                 f"unknown executor {executor!r} (choose from {sorted(EXECUTORS)})"
             ) from None
         if factory is SerialExecutor:
+            if workers not in (None, 1):
+                raise ValueError(
+                    f"workers={workers} conflicts with the serial executor's "
+                    "workers=1 — pick the thread or process backend for "
+                    "multi-worker runs"
+                )
             return SerialExecutor(), True
         return factory(workers=workers), True
     if workers is not None and getattr(executor, "workers", None) not in (None, workers):
@@ -307,7 +515,13 @@ def resolve_executor(
 
 @dataclass(frozen=True)
 class ShardedEstimate:
-    """The merged estimate of a sharded run, with its per-shard provenance."""
+    """The merged estimate of a sharded run, with its per-shard provenance.
+
+    ``streamed`` records whether the run used the progressive progress
+    channel; ``progress_updates`` counts the partial-count updates the
+    streaming aggregator folded in (0 on non-streamed runs) — provenance
+    for the chunk-granular stop, never part of the estimate itself.
+    """
 
     estimate: AcceptanceEstimate
     shard_results: Tuple[ShardResult, ...]
@@ -315,6 +529,8 @@ class ShardedEstimate:
     executor: str
     workers: int
     stopped_early: bool
+    streamed: bool = False
+    progress_updates: int = 0
 
     @property
     def shards(self) -> int:
@@ -322,6 +538,8 @@ class ShardedEstimate:
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         tag = " (stopped early)" if self.stopped_early else ""
+        if self.streamed:
+            tag += " [streamed]"
         return (
             f"{self.estimate} over {self.shards} shards "
             f"[{self.executor} x{self.workers}]{tag}"
@@ -342,6 +560,7 @@ def estimate_acceptance_sharded(
     stop_halfwidth: Optional[float] = None,
     min_trials: int = 2 * DEFAULT_CHUNK,
     vectorize: Optional[bool] = None,
+    stream_progress: bool = False,
 ) -> ShardedEstimate:
     """Estimate ``Pr[verifier accepts]`` with the trial range sharded.
 
@@ -360,6 +579,15 @@ def estimate_acceptance_sharded(
     outstanding shards cooperatively.  Without it, the result is exactly the
     single-process estimate — see the module docstring's determinism
     contract.
+
+    ``stream_progress=True`` turns on the progressive channel of
+    :mod:`repro.parallel.progress`: workers publish partial cumulative
+    counts after every chunk and the Wilson stop rule runs on the merged
+    partials, firing at chunk granularity across all workers instead of
+    waiting for whole shards — never more trials than the shard-granular
+    stop, usually measurably fewer.  Streaming is observational: a no-stop
+    streamed run is count-identical to the non-streamed (and single-process)
+    run on every backend and rng mode.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -392,23 +620,48 @@ def estimate_acceptance_sharded(
         }
         payloads = [(shard_target, shard, options) for shard in shards]
 
+        aggregator: Optional[StreamingAggregator] = None
+        on_progress = None
+        if stream_progress:
+            aggregator = StreamingAggregator(
+                stop_halfwidth=stop_halfwidth, min_trials=min_trials
+            )
+            on_progress = aggregator.update
+
+        handle = instance.start_run(_run_shard, payloads, on_progress=on_progress)
+        if aggregator is not None:
+            aggregator.bind_stop(handle.request_stop)
+
         results: List[ShardResult] = []
         accepted = 0
         done = 0
         stopped = False
-        for result in instance.run(_run_shard, payloads):
-            results.append(result)
-            accepted += result.accepted
-            done += result.trials
-            if (
-                not stopped
-                and stop_halfwidth is not None
-                and done >= min_trials
-            ):
-                low, high = wilson_interval(accepted, done)
-                if high - low <= 2 * stop_halfwidth:
-                    stopped = True
-                    instance.request_stop()
+        result_stream = handle.results()
+        try:
+            for result in result_stream:
+                results.append(result)
+                accepted += result.accepted
+                done += result.trials
+                if aggregator is not None:
+                    # Completed shards fold in through the same path as their
+                    # partials (idempotent: the final counts equal the shard's
+                    # last published update), so the stop decision never waits
+                    # on queue latency.
+                    aggregator.update(
+                        result.shard.index, result.accepted, result.trials
+                    )
+                    stopped = aggregator.satisfied
+                elif (
+                    not stopped
+                    and stop_halfwidth is not None
+                    and done >= min_trials
+                ):
+                    low, high = wilson_interval(accepted, done)
+                    if high - low <= 2 * stop_halfwidth:
+                        stopped = True
+                        handle.request_stop()
+        finally:
+            result_stream.close()  # releases the run's slot/subscription
     finally:
         if owned:
             instance.close()
@@ -423,4 +676,6 @@ def estimate_acceptance_sharded(
         executor=instance.name,
         workers=instance.workers,
         stopped_early=stopped_early,
+        streamed=stream_progress,
+        progress_updates=aggregator.updates if aggregator is not None else 0,
     )

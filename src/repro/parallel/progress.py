@@ -1,0 +1,266 @@
+"""Progressive shard-result streaming: conduits, tokens, and the aggregator.
+
+The PR 4 sharded estimator only learned a shard's counts when the *whole
+shard* finished, so its cooperative Wilson stop acted at shard granularity —
+on an 8-shard run that can waste most of a shard's budget after the merged
+interval is already tight enough.  This module is the streaming layer that
+closes the gap: workers publish *partial* cumulative counts after every
+chunk (the ``progress`` hook of
+:func:`~repro.engine.montecarlo.estimate_acceptance_fast`), and a
+:class:`StreamingAggregator` in the parent merges the partials into the
+running Wilson interval, firing the stop at **chunk granularity across all
+workers**.
+
+Why merging partials preserves unbiasedness
+-------------------------------------------
+
+A partial update ``(accepted, trials)`` from shard ``i`` is the exact count
+over the prefix of shard ``i``'s deterministic trial sequence consumed so
+far — every trial's verdict is a pure function of its counter, so the
+partial is itself a valid (unbiased) estimate of the same acceptance
+probability, just over fewer trials.  Updates are *cumulative per shard*
+(each one supersedes the previous from the same shard), so the aggregator's
+running total is always an exact count over a union of disjoint counter
+prefixes — precisely the set of trials that have actually run.  Stopping on
+that total changes *which trials run*, never any verdict: the streamed stop
+has the same statistical justification as the single-process Wilson exit,
+it just acts on fresher information.
+
+Determinism is untouched: the channel is observational.  With no stop rule
+every shard runs to completion and the merged result equals the
+single-process estimate bit for bit, streaming on or off.
+
+Conduits per backend
+--------------------
+
+- **Serial / Thread** — the publish callback is invoked in-process (from
+  worker threads, on the thread backend), so the aggregator takes a lock
+  per update.
+- **Process** — workers put ``(run_id, shard_index, accepted, trials)``
+  tuples on a ``multiprocessing`` queue installed by the pool initializer;
+  a single parent-side :class:`ProgressRouter` thread drains the queue and
+  dispatches to the subscribed aggregator(s) by run id, so several
+  concurrent runs (campaign cells) can stream over one pool without
+  crosstalk.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.simulation.metrics import wilson_interval
+
+
+class StopToken:
+    """A per-run cooperative stop flag.
+
+    Executors hand every run its own token so concurrent runs on one pool
+    (campaign cells) stop independently — the executor-wide
+    ``request_stop()`` remains as a pool-global kill switch that every
+    token's ``probe`` also observes via ``extra``.  ``on_request`` carries
+    backend side effects (the process backend marks its shared stop-board
+    slot so worker processes see the request).
+    """
+
+    def __init__(
+        self,
+        extra: Optional[Callable[[], bool]] = None,
+        on_request: Optional[Callable[[], None]] = None,
+    ):
+        self._stopped = False
+        self._extra = extra
+        self._on_request = on_request
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped
+
+    def request(self) -> None:
+        self._stopped = True
+        if self._on_request is not None:
+            self._on_request()
+
+    def probe(self) -> bool:
+        """The ``should_stop`` hook workers poll between chunks."""
+        if self._stopped:
+            return True
+        return self._extra is not None and self._extra()
+
+
+class RunHandle:
+    """One sharded run in flight on an executor.
+
+    ``results()`` yields shard results as they complete (exactly once);
+    ``request_stop()`` asks the *this run's* workers to stop at the next
+    chunk boundary.  The handle releases backend resources (stop-board
+    slot, progress subscription) when the result iteration finishes,
+    normally or not.
+    """
+
+    def __init__(self, iterator, token: StopToken, on_finish=None):
+        self._iterator = iterator
+        self._token = token
+        self._on_finish = on_finish
+        self._finished = False
+
+    def request_stop(self) -> None:
+        self._token.request()
+
+    def results(self):
+        try:
+            for item in self._iterator:
+                yield item
+        finally:
+            if not self._finished:
+                self._finished = True
+                if self._on_finish is not None:
+                    self._on_finish()
+
+
+class StreamingAggregator:
+    """Merge per-shard partial counts into a running Wilson stop decision.
+
+    Thread-safe: updates arrive from worker threads (thread backend) or the
+    :class:`ProgressRouter` drain thread (process backend).  Each shard's
+    updates are cumulative, so the aggregator keeps the latest partial per
+    shard and maintains exact running totals by delta; a completed shard's
+    final :class:`~repro.parallel.executors.ShardResult` goes through
+    :meth:`update` too (idempotent — it carries the same counts as the
+    shard's last partial).
+
+    With ``stop_halfwidth`` set, once the running totals cover at least
+    ``min_trials`` trials and their Wilson interval is narrower than
+    ``2 * stop_halfwidth``, the aggregator fires the stop callback bound
+    via :meth:`bind_stop` (exactly once; updates that arrive before the
+    binding latch the decision and fire on bind).  Without a stop rule the
+    aggregator only observes — streaming never changes results.
+    """
+
+    def __init__(
+        self,
+        stop_halfwidth: Optional[float] = None,
+        min_trials: int = 0,
+    ):
+        self._partials: Dict[int, Tuple[int, int]] = {}
+        self._lock = threading.Lock()
+        self._stop_halfwidth = stop_halfwidth
+        self._min_trials = min_trials
+        self._stop_cb: Optional[Callable[[], None]] = None
+        self._satisfied = False
+        self._fired = False
+        self.accepted = 0
+        self.trials = 0
+        self.updates = 0
+
+    @property
+    def satisfied(self) -> bool:
+        """Whether the stop rule has been met by the merged partials."""
+        return self._satisfied
+
+    def bind_stop(self, callback: Callable[[], None]) -> None:
+        """Attach the run's ``request_stop``; fires now if already satisfied."""
+        fire = False
+        with self._lock:
+            self._stop_cb = callback
+            if self._satisfied and not self._fired:
+                self._fired = True
+                fire = True
+        if fire:
+            callback()
+
+    def update(self, shard_index: int, accepted: int, trials: int) -> None:
+        """Fold in a shard's latest cumulative ``(accepted, trials)`` counts."""
+        fire = None
+        with self._lock:
+            prev_accepted, prev_trials = self._partials.get(shard_index, (0, 0))
+            if trials < prev_trials:
+                return  # stale (queued behind a fresher update); never regress
+            self._partials[shard_index] = (accepted, trials)
+            self.accepted += accepted - prev_accepted
+            self.trials += trials - prev_trials
+            self.updates += 1
+            if (
+                not self._satisfied
+                and self._stop_halfwidth is not None
+                and self.trials >= self._min_trials
+            ):
+                low, high = wilson_interval(self.accepted, self.trials)
+                if high - low <= 2 * self._stop_halfwidth:
+                    self._satisfied = True
+                    if self._stop_cb is not None and not self._fired:
+                        self._fired = True
+                        fire = self._stop_cb
+        if fire is not None:
+            fire()
+
+
+_ROUTER_SENTINEL = None
+
+
+class ProgressRouter:
+    """Parent-side dispatcher for a process pool's progress queue.
+
+    One router (and one drain thread) per :class:`ProcessExecutor`; runs
+    subscribe their aggregator under a fresh run id, worker updates arrive
+    as ``(run_id, shard_index, accepted, trials)`` tuples, and the router
+    forwards each to its run's subscriber.  Updates for finished
+    (unsubscribed) runs are dropped — late partials carry no information
+    the final shard results don't.
+    """
+
+    def __init__(self, queue):
+        self._queue = queue
+        self._subscribers: Dict[int, Callable[[int, int, int], None]] = {}
+        self._lock = threading.Lock()
+        self._thread: Optional[threading.Thread] = None
+        self._closed = False
+        self.callback_errors = 0  # raising subscribers, dropped not fatal
+
+    def subscribe(self, run_id: int, callback: Callable[[int, int, int], None]) -> None:
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("progress router is closed")
+            self._subscribers[run_id] = callback
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._drain, name="repro-progress", daemon=True
+                )
+                self._thread.start()
+
+    def unsubscribe(self, run_id: int) -> None:
+        with self._lock:
+            self._subscribers.pop(run_id, None)
+
+    def _drain(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _ROUTER_SENTINEL:
+                return
+            run_id, shard_index, accepted, trials = item
+            # Dispatch *under* the lock: unsubscribe() (same lock) then
+            # cannot return while a dispatch for that run is in flight, so
+            # a released run's slot can never be poked by a late update.
+            # The callbacks (StreamingAggregator.update, stop tokens) take
+            # no lock that could reach back here.
+            with self._lock:
+                callback = self._subscribers.get(run_id)
+                if callback is None:
+                    continue
+                try:
+                    callback(shard_index, accepted, trials)
+                except Exception:
+                    # A raising subscriber must not kill the executor-wide
+                    # drain thread: streaming degrades for that update
+                    # only, never for every later run on the pool.
+                    self.callback_errors += 1
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._queue.put(_ROUTER_SENTINEL)
+            thread.join(timeout=5)

@@ -42,24 +42,39 @@ def wilson_interval(
 
 @dataclass(frozen=True)
 class AcceptanceEstimate:
-    """A Monte-Carlo estimate of ``Pr[verifier accepts]``."""
+    """A Monte-Carlo estimate of ``Pr[verifier accepts]``.
+
+    The zero-trial estimate is a legitimate value, not an error: a
+    cooperative stop that fires before a shard's first chunk reports
+    ``AcceptanceEstimate(0, 0)`` (see :mod:`repro.parallel`), and merging
+    treats it as the identity.  Its ``probability`` and ``interval`` are
+    *undefined* rather than exceptional — they return ``nan`` /
+    ``(nan, nan)``, which propagates honestly through records and
+    formatting (every comparison with ``nan`` is false, so
+    ``at_least``/``at_most`` decline to certify anything).
+    """
 
     accepted: int
     trials: int
 
     @property
     def probability(self) -> float:
+        if self.trials == 0:
+            return float("nan")
         return self.accepted / self.trials
 
     @property
     def interval(self) -> Tuple[float, float]:
+        if self.trials == 0:
+            return (float("nan"), float("nan"))
         return wilson_interval(self.accepted, self.trials)
 
     def at_least(self, threshold: float) -> bool:
         """True if the upper confidence bound clears ``threshold``.
 
         Appropriate for asserting completeness-style guarantees
-        (``p_accept >= 2/3``) without flaking on sampling noise.
+        (``p_accept >= 2/3``) without flaking on sampling noise.  A
+        zero-trial estimate certifies nothing (``nan >= x`` is false).
         """
         return self.interval[1] >= threshold
 
@@ -81,8 +96,8 @@ class AcceptanceEstimate:
 
         Zero-trial estimates (a shard cancelled before its first chunk) are
         legitimate identity elements; merging an empty iterable yields the
-        empty estimate, whose ``probability``/``interval`` raise until real
-        trials are merged in.
+        empty estimate, whose ``probability``/``interval`` are ``nan`` /
+        ``(nan, nan)`` until real trials are merged in.
 
         >>> AcceptanceEstimate.merge(
         ...     [AcceptanceEstimate(3, 4), AcceptanceEstimate(1, 6)]

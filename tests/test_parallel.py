@@ -269,9 +269,10 @@ class TestShardedDeterminism:
         spec = noisy_spec()
         single = _single(spec)
         assert 0 < single.accepted < single.trials
-        for backend in ("serial", "thread"):
+        for backend, workers in (("serial", None), ("thread", 2)):
             sharded = estimate_acceptance_sharded(
-                spec, TRIALS, seed=SEED, executor=backend, workers=2, shard_count=8
+                spec, TRIALS, seed=SEED, executor=backend, workers=workers,
+                shard_count=8,
             )
             assert sharded.estimate == single
 
@@ -454,6 +455,14 @@ class TestExecutors:
             with pytest.raises(ValueError):
                 resolve_executor(instance, workers=4)
 
+    def test_serial_name_with_workers_raises_like_instance(self):
+        # Regression: the string path used to silently drop the worker
+        # count while the instance path raised — both must raise now.
+        with pytest.raises(ValueError):
+            resolve_executor("serial", workers=4)
+        executor, owned = resolve_executor("serial", workers=1)
+        assert isinstance(executor, SerialExecutor) and owned
+
     def test_invalid_worker_counts(self):
         with pytest.raises(ValueError):
             ThreadExecutor(workers=0)
@@ -588,3 +597,102 @@ class TestCli:
                 ["estimate", "--workload", "spanning-tree", "--trials", "8",
                  "--size", "node_count"]
             )
+
+    def test_mixed_campaign_ignores_non_applicable_sizes(self, capsys):
+        # Regression: one shared --size used to crash any workload whose
+        # factory didn't accept the key; now it applies where it can and
+        # warns where it can't.
+        code = cli_main(
+            ["campaign", "--workloads", "spanning-tree,k-flow", "--rng-modes",
+             "fast", "--trials", "32", "--size", "node_count=12"]
+        )
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "2 cells run" in captured.out
+        assert "does not apply to workload 'k-flow'" in captured.err
+
+    def test_per_workload_sizes(self, capsys):
+        code = cli_main(
+            ["campaign", "--workloads", "spanning-tree,k-flow", "--rng-modes",
+             "fast", "--trials", "32",
+             "--size", "spanning-tree:node_count=12", "--size", "k-flow:k=2"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "spanning-tree(node_count=12)" in out and "k-flow(k=2)" in out
+
+    def test_scoped_size_typos_fail_fast(self):
+        # A scope naming a workload outside the sweep...
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["campaign", "--workloads", "spanning-tree", "--trials", "8",
+                 "--size", "bogus:node_count=12"]
+            )
+        # ...or a key the scoped factory does not take.
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["campaign", "--workloads", "k-flow", "--trials", "8",
+                 "--size", "k-flow:node_count=12"]
+            )
+
+    def test_single_workload_size_typo_fails_fast(self):
+        # With one workload there is no mixed-sweep ambiguity: an
+        # inapplicable key is a typo, not something to warn-and-drop.
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["estimate", "--workload", "spanning-tree", "--trials", "8",
+                 "--size", "node_cuont=12"]
+            )
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["campaign", "--workloads", "spanning-tree", "--trials", "8",
+                 "--size", "node_cuont=12"]
+            )
+
+    def test_config_contradictions_exit_cleanly(self):
+        # ValueErrors from the executor/campaign layers surface as usage
+        # errors at the CLI boundary, not raw tracebacks.
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["estimate", "--workload", "spanning-tree", "--trials", "8",
+                 "--workers", "4"]  # default executor is serial
+            )
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["campaign", "--workloads", "spanning-tree", "--trials", "8",
+                 "--cell-parallelism", "0"]
+            )
+
+    def test_rng_mode_validated_at_cli_boundary(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["estimate", "--workload", "spanning-tree", "--trials", "8",
+                 "--rng-mode", "turbo"]
+            )
+        with pytest.raises(SystemExit):
+            cli_main(
+                ["campaign", "--workloads", "spanning-tree", "--trials", "8",
+                 "--rng-modes", "fast,turbo"]
+            )
+
+    def test_campaign_cell_parallelism_and_streaming_flags(self, tmp_path, capsys):
+        out_path = str(tmp_path / "stream.jsonl")
+        code = cli_main(
+            ["campaign", "--workloads", "spanning-tree", "--rng-modes",
+             "fast,vector", "--trials", "48", "--size", "node_count=12",
+             "--executor", "thread", "--workers", "2",
+             "--cell-parallelism", "2", "--stream-progress", "--out", out_path]
+        )
+        assert code == 0
+        assert "2 cells run" in capsys.readouterr().out
+        lines = [json.loads(line) for line in
+                 (tmp_path / "stream.jsonl").read_text().splitlines()]
+        assert [record["streamed"] for record in lines] == [True, True]
+
+    def test_estimate_stream_progress_flag(self, capsys):
+        code = cli_main(
+            ["estimate", "--workload", "spanning-tree", "--trials", "96",
+             "--size", "node_count=12", "--shards", "3", "--stream-progress"]
+        )
+        assert code == 0
+        assert "[streamed]" in capsys.readouterr().out

@@ -1,0 +1,543 @@
+"""Progressive shard streaming + concurrent campaign cells (PR 5).
+
+The load-bearing properties:
+
+- **Observational streaming** — with no stop rule, a streamed run's merged
+  counts equal the single-process estimate bit for bit, for 1/2/8 shards on
+  every backend and every rng mode: the progress channel never changes
+  which trials run or what they decide.
+- **Chunk-granular stop** — with ``stop_halfwidth`` set, the streaming
+  aggregator stops after measurably fewer total trials than the PR 4
+  shard-granular stop on the same workload (deterministic on the serial
+  backend, where both stop points are pure functions of the inputs).
+- **Aggregator algebra** — per-shard updates are cumulative (replace, not
+  add), stale updates never regress totals, and a stop decision reached
+  before ``bind_stop`` fires on bind.
+- **Concurrent cells** — a cell-parallel campaign writes records to the
+  sink in campaign declaration order, identical (minus wall-clock) to the
+  serial-cell run; errors propagate and never corrupt the ordered prefix.
+- **Zero-trial estimates** — ``probability``/``interval`` are ``nan``, not
+  exceptions, so a pre-satisfied stop can produce empty estimates safely.
+
+Process-backend tests carry the ``parallel_proc`` marker; `make
+test-stream` forces them on (mirroring ``make test-parallel``).
+"""
+
+import json
+import math
+import multiprocessing
+import threading
+import time
+
+import pytest
+
+from repro.engine import estimate_acceptance_fast
+from repro.parallel import (
+    Campaign,
+    Cell,
+    JsonlSink,
+    PlanSpec,
+    ProcessExecutor,
+    StreamingAggregator,
+    estimate_acceptance_sharded,
+    run_campaign,
+    workload_spec,
+)
+from repro.parallel.factories import compiled_spanning_tree
+from repro.parallel.spec import clear_process_caches
+from repro.simulation.metrics import AcceptanceEstimate
+
+TRIALS = 300
+SEED = 11
+
+
+@pytest.fixture(autouse=True)
+def _fresh_spec_caches():
+    clear_process_caches()
+    yield
+    clear_process_caches()
+
+
+def small_spec(rng_mode="vector"):
+    return workload_spec(
+        "spanning-tree", rng_mode=rng_mode, node_count=14, extra_edges=4, seed=1
+    )
+
+
+def noisy_spec(rng_mode="fast"):
+    return workload_spec(
+        "noisy-spanning-tree", rng_mode=rng_mode, node_count=18, flip_milli=4
+    )
+
+
+def _single(spec):
+    return estimate_acceptance_fast(spec.resolve(), TRIALS, seed=SEED)
+
+
+class SlowPlan:
+    """A plan whose chunks take real wall-clock — the synthetic slow workload.
+
+    Delegates everything to a genuine compiled plan but sleeps before each
+    chunk, so stop-granularity differences translate into measurable trial
+    counts without needing a big budget.
+    """
+
+    def __init__(self, plan, delay=0.001):
+        self._plan = plan
+        self._delay = delay
+
+    def __getattr__(self, name):
+        return getattr(self._plan, name)
+
+    def prepare(self, vectorize=None):
+        self._plan.prepare(vectorize)
+        return self
+
+    def run_trials(self, seeds, **kwargs):
+        time.sleep(self._delay)
+        return self._plan.run_trials(seeds, **kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the progress hook of estimate_acceptance_fast
+# ---------------------------------------------------------------------------
+
+
+class TestProgressHook:
+    def test_progress_reports_cumulative_counts_per_chunk(self):
+        plan = small_spec().resolve()
+        updates = []
+        estimate = estimate_acceptance_fast(
+            plan, 100, seed=SEED, chunk_size=32,
+            progress=lambda accepted, done: updates.append((accepted, done)),
+        )
+        assert [done for _, done in updates] == [32, 64, 96, 100]
+        assert updates[-1] == (estimate.accepted, estimate.trials)
+        # Cumulative, monotone counts: each update is a valid prefix estimate.
+        for (prev_acc, prev_done), (acc, done) in zip(updates, updates[1:]):
+            assert acc >= prev_acc and done > prev_done
+            assert acc - prev_acc <= done - prev_done
+
+    def test_progress_is_observational(self):
+        plan = noisy_spec().resolve()
+        with_channel = estimate_acceptance_fast(
+            plan, TRIALS, seed=SEED, progress=lambda a, n: None
+        )
+        without = estimate_acceptance_fast(plan, TRIALS, seed=SEED)
+        assert with_channel == without
+
+    def test_constant_verdict_publishes_degenerate_counts(self):
+        class ConstantPlan:
+            rng_mode = "fast"
+            vector_ready = False
+            constant_verdict = False
+
+        updates = []
+        estimate = estimate_acceptance_fast(
+            ConstantPlan(), 50, progress=lambda a, n: updates.append((a, n))
+        )
+        assert updates == [(0, 50)]
+        assert (estimate.accepted, estimate.trials) == (0, 50)
+
+
+# ---------------------------------------------------------------------------
+# streaming aggregator algebra
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingAggregator:
+    def test_updates_are_cumulative_per_shard(self):
+        aggregator = StreamingAggregator()
+        aggregator.update(0, 1, 10)
+        aggregator.update(0, 5, 20)  # supersedes, not adds
+        aggregator.update(1, 3, 8)
+        assert (aggregator.accepted, aggregator.trials) == (8, 28)
+        assert aggregator.updates == 3
+
+    def test_stale_update_never_regresses(self):
+        aggregator = StreamingAggregator()
+        aggregator.update(0, 5, 20)
+        aggregator.update(0, 1, 10)  # late partial queued behind a fresher one
+        assert (aggregator.accepted, aggregator.trials) == (5, 20)
+
+    def test_stop_rule_respects_min_trials(self):
+        aggregator = StreamingAggregator(stop_halfwidth=0.5, min_trials=100)
+        aggregator.update(0, 50, 50)
+        assert not aggregator.satisfied
+        aggregator.update(0, 100, 100)
+        assert aggregator.satisfied
+
+    def test_stop_decision_before_bind_fires_on_bind(self):
+        aggregator = StreamingAggregator(stop_halfwidth=0.5, min_trials=10)
+        aggregator.update(0, 64, 64)  # satisfied while unbound
+        assert aggregator.satisfied
+        fired = []
+        aggregator.bind_stop(lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_stop_fires_exactly_once(self):
+        fired = []
+        aggregator = StreamingAggregator(stop_halfwidth=0.5, min_trials=10)
+        aggregator.bind_stop(lambda: fired.append(True))
+        aggregator.update(0, 64, 64)
+        aggregator.update(1, 64, 64)
+        assert fired == [True]
+
+    def test_thread_safety_of_concurrent_updates(self):
+        aggregator = StreamingAggregator()
+
+        def feed(shard_index):
+            for done in range(1, 101):
+                aggregator.update(shard_index, done, done)
+
+        threads = [threading.Thread(target=feed, args=(i,)) for i in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert (aggregator.accepted, aggregator.trials) == (400, 400)
+
+
+# ---------------------------------------------------------------------------
+# no-stop streamed determinism: merged == single-process on every backend
+# ---------------------------------------------------------------------------
+
+
+class TestStreamedDeterminism:
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    @pytest.mark.parametrize("rng_mode", ["compat", "fast", "vector"])
+    def test_serial_streamed_matches_single_process(self, shards, rng_mode):
+        spec = small_spec(rng_mode=rng_mode)
+        streamed = estimate_acceptance_sharded(
+            spec, TRIALS, seed=SEED, executor="serial", shard_count=shards,
+            stream_progress=True,
+        )
+        assert streamed.estimate == _single(spec)
+        assert streamed.streamed and streamed.progress_updates > 0
+        assert not streamed.stopped_early
+
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    @pytest.mark.parametrize("rng_mode", ["compat", "fast", "vector"])
+    def test_thread_streamed_matches_single_process(self, shards, rng_mode):
+        spec = small_spec(rng_mode=rng_mode)
+        streamed = estimate_acceptance_sharded(
+            spec, TRIALS, seed=SEED, executor="thread", workers=2,
+            shard_count=shards, stream_progress=True,
+        )
+        assert streamed.estimate == _single(spec)
+        assert streamed.progress_updates > 0
+
+    def test_two_sided_streamed_counts_merge_exactly(self):
+        spec = noisy_spec()
+        single = _single(spec)
+        assert 0 < single.accepted < single.trials
+        streamed = estimate_acceptance_sharded(
+            spec, TRIALS, seed=SEED, executor="thread", workers=2, shard_count=8,
+            stream_progress=True,
+        )
+        assert streamed.estimate == single
+
+
+@pytest.mark.parallel_proc
+class TestProcessStreaming:
+    @pytest.mark.parametrize("shards", [1, 2, 8])
+    @pytest.mark.parametrize("rng_mode", ["compat", "fast", "vector"])
+    def test_process_streamed_matches_single_process(self, shards, rng_mode):
+        spec = small_spec(rng_mode=rng_mode)
+        with ProcessExecutor(workers=2) as executor:
+            streamed = estimate_acceptance_sharded(
+                spec, TRIALS, seed=SEED, executor=executor, shard_count=shards,
+                stream_progress=True,
+            )
+        assert streamed.estimate == _single(spec)
+        assert streamed.progress_updates > 0
+        assert multiprocessing.active_children() == []
+
+    def test_process_streamed_stop_saves_trials(self):
+        spec = small_spec()
+        with ProcessExecutor(workers=2) as executor:
+            streamed = estimate_acceptance_sharded(
+                spec, 20000, seed=SEED, executor=executor, shard_count=16,
+                chunk_size=32, stop_halfwidth=0.05, min_trials=100,
+                stream_progress=True,
+            )
+        assert streamed.stopped_early
+        assert streamed.estimate.trials < 20000
+        assert multiprocessing.active_children() == []
+
+    def test_slot_recycling_across_sequential_runs(self):
+        # Each run borrows a stop-board slot; finished runs must hand it
+        # back, or a long campaign would exhaust the fixed board.
+        spec = small_spec()
+        with ProcessExecutor(workers=2) as executor:
+            for _ in range(5):
+                estimate_acceptance_sharded(
+                    spec, 128, seed=SEED, executor=executor, shard_count=2,
+                    stream_progress=True,
+                )
+            assert len(executor._free_slots) == len(executor._board)
+        assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# chunk-granular stop beats shard-granular stop
+# ---------------------------------------------------------------------------
+
+
+class TestChunkGranularStop:
+    def test_streamed_stop_saves_trials_on_serial(self):
+        # Serial is fully deterministic: the shard-granular stop cannot act
+        # before the first 1000-trial shard completes, while the streamed
+        # stop acts on the first chunk whose merged Wilson interval is
+        # narrow enough — strictly fewer trials, pure function of inputs.
+        spec = small_spec()
+        kwargs = dict(
+            seed=SEED, executor="serial", shard_count=4,
+            chunk_size=32, stop_halfwidth=0.05, min_trials=64,
+        )
+        plain = estimate_acceptance_sharded(spec, 4000, **kwargs)
+        streamed = estimate_acceptance_sharded(
+            spec, 4000, stream_progress=True, **kwargs
+        )
+        assert plain.stopped_early and streamed.stopped_early
+        assert streamed.estimate.trials < plain.estimate.trials
+        # Chunk granularity: the streamed run consumed whole chunks only.
+        assert streamed.estimate.trials % 32 == 0
+        # Deterministic: the streamed stop point reproduces exactly.
+        again = estimate_acceptance_sharded(
+            spec, 4000, stream_progress=True, **kwargs
+        )
+        assert again.estimate == streamed.estimate
+
+    def test_streamed_stop_on_slow_synthetic_plan_thread_backend(self):
+        # The synthetic slow plan makes chunks take real time, so the
+        # mid-shard stop observably cancels in-flight shards on a threaded
+        # pool as well (counts here are timing-dependent; the assertions
+        # are the guarantees, not the exact stop point).
+        plan = SlowPlan(small_spec().resolve(), delay=0.002)
+        streamed = estimate_acceptance_sharded(
+            plan, 4000, seed=SEED, executor="thread", workers=2, shard_count=8,
+            chunk_size=25, stop_halfwidth=0.05, min_trials=50,
+            stream_progress=True,
+        )
+        assert streamed.stopped_early
+        assert streamed.estimate.trials < 4000
+        # Every executed trial kept its verdict (all-accept workload).
+        assert streamed.estimate.accepted == streamed.estimate.trials
+
+    def test_streamed_never_worse_than_requested_budget_without_stop(self):
+        spec = noisy_spec()
+        streamed = estimate_acceptance_sharded(
+            spec, TRIALS, seed=SEED, executor="serial", shard_count=4,
+            stream_progress=True,
+        )
+        assert streamed.estimate.trials == TRIALS
+
+
+# ---------------------------------------------------------------------------
+# concurrent campaign cells
+# ---------------------------------------------------------------------------
+
+
+class TestConcurrentCells:
+    def _campaign(self):
+        return Campaign.sweep(
+            "cells",
+            ["spanning-tree", ("shared-coins", {"node_count": 12})],
+            rng_modes=("fast", "vector"),
+            trial_budgets=(64, 96),
+        )
+
+    @staticmethod
+    def _stripped(path):
+        """Sink records with the one nondeterministic field removed."""
+        records = []
+        for line in path.read_text().splitlines():
+            record = json.loads(line)
+            record.pop("elapsed_sec")
+            records.append(record)
+        return records
+
+    def test_concurrent_cells_match_serial_cells_byte_for_byte(self, tmp_path):
+        campaign = self._campaign()
+        serial_path = tmp_path / "serial.jsonl"
+        parallel_path = tmp_path / "parallel.jsonl"
+        run_campaign(campaign, executor="thread", workers=2,
+                     sink=JsonlSink(serial_path))
+        run_campaign(campaign, executor="thread", workers=2,
+                     sink=JsonlSink(parallel_path), cell_parallelism=4)
+        # Identical records in identical (campaign declaration) order —
+        # elapsed_sec is wall-clock and the only field allowed to differ.
+        assert self._stripped(serial_path) == self._stripped(parallel_path)
+
+    def test_streamed_concurrent_cells_keep_exact_counts(self, tmp_path):
+        campaign = self._campaign()
+        sink = JsonlSink(tmp_path / "streamed.jsonl")
+        records = run_campaign(
+            campaign, executor="thread", workers=2, sink=sink,
+            cell_parallelism=3, stream_progress=True,
+        )
+        assert [r["cell"] for r in records] == [c.name for c in campaign.cells]
+        for record, cell in zip(records, campaign.cells):
+            single = estimate_acceptance_fast(
+                cell.spec.resolve(), cell.trials, seed=cell.seed
+            )
+            assert (record["accepted"], record["trials"]) == (
+                single.accepted, single.trials,
+            ), record["cell"]
+
+    def test_resume_skips_before_scheduling(self, tmp_path):
+        campaign = self._campaign()
+        path = tmp_path / "resume.jsonl"
+        first = run_campaign(campaign, sink=JsonlSink(path), cell_parallelism=2)
+        assert len(first) == len(campaign.cells)
+        second = run_campaign(campaign, sink=JsonlSink(path), cell_parallelism=2)
+        assert second == []
+        assert len(path.read_text().splitlines()) == len(campaign.cells)
+
+    def test_cell_failure_propagates_and_keeps_ordered_prefix(self, tmp_path):
+        good = Cell(name="good", spec=small_spec(), trials=64)
+        # A spec whose factory rejects its kwargs: resolution raises in the
+        # scheduler thread and must surface in the caller.
+        bad = Cell(
+            name="bad",
+            spec=PlanSpec.of(compiled_spanning_tree, bogus_size=3),
+            trials=64,
+        )
+        campaign = Campaign(name="fails", cells=(good, bad))
+        sink = JsonlSink(tmp_path / "fails.jsonl")
+        with pytest.raises(TypeError):
+            run_campaign(campaign, sink=sink, cell_parallelism=2)
+        for line in (tmp_path / "fails.jsonl").read_text().splitlines():
+            assert json.loads(line)["cell"] == "good"
+
+    def test_invalid_cell_parallelism(self):
+        with pytest.raises(ValueError):
+            run_campaign(self._campaign(), cell_parallelism=0)
+
+    def test_duplicate_key_cells_run_once(self):
+        # Two cells with distinct names but one resume key (same
+        # spec/trials/seed) must produce one record, serial or concurrent —
+        # the key claim happens at scheduling, so the scheduler can never
+        # race two copies of the same estimation job.
+        cells = (
+            Cell(name="first", spec=small_spec(), trials=64),
+            Cell(name="copy", spec=small_spec(), trials=64),
+        )
+        campaign = Campaign(name="dup-key", cells=cells)
+        for parallelism in (1, 2):
+            records = run_campaign(campaign, cell_parallelism=parallelism)
+            assert [r["cell"] for r in records] == ["first"]
+
+    def test_sink_write_failure_propagates_from_scheduler(self):
+        # Regression: a failing sink used to kill the scheduler thread
+        # silently and run_campaign returned success with records lost.
+        class ExplodingSink:
+            def completed(self, cell):
+                return False
+
+            def write(self, record):
+                raise IOError("disk full")
+
+        with pytest.raises(IOError):
+            run_campaign(self._campaign(), sink=ExplodingSink(),
+                         cell_parallelism=2)
+
+
+class TestStopEpoch:
+    """A pool-global request_stop cancels in-flight runs, not future ones."""
+
+    def test_serial_executor_usable_after_request_stop(self):
+        from repro.parallel import SerialExecutor
+
+        spec = small_spec()
+        with SerialExecutor() as executor:
+            executor.request_stop()
+            sharded = estimate_acceptance_sharded(
+                spec, 128, seed=SEED, executor=executor, shard_count=2
+            )
+        # Regression: the stop used to stick, yielding a 0-trial estimate.
+        assert sharded.estimate.trials == 128
+
+    def test_thread_executor_usable_after_request_stop(self):
+        from repro.parallel import ThreadExecutor
+
+        spec = small_spec()
+        with ThreadExecutor(workers=2) as executor:
+            executor.request_stop()
+            sharded = estimate_acceptance_sharded(
+                spec, 128, seed=SEED, executor=executor, shard_count=2
+            )
+        assert sharded.estimate.trials == 128
+
+    def test_request_stop_cancels_in_flight_run(self):
+        from repro.parallel import SerialExecutor
+        from repro.parallel.executors import _run_shard
+        from repro.parallel.shards import ShardPlanner
+
+        spec = small_spec()
+        plan = spec.resolve().prepare(None)
+        executor = SerialExecutor()
+        options = {
+            "seed": SEED, "rng_mode": None, "seed_mode": "mix",
+            "chunk_size": 64, "vectorize": None,
+        }
+        shards = ShardPlanner(shard_count=4).plan(256)
+        handle = executor.start_run(
+            _run_shard, [(plan, shard, options) for shard in shards]
+        )
+        results = handle.results()
+        next(results)  # first shard done
+        executor.request_stop()  # pool-global stop mid-run
+        remaining = list(results)
+        # Shards after the stop were skipped, not run.
+        assert len(remaining) < len(shards) - 1 or all(
+            r.trials == 0 for r in remaining
+        )
+
+
+@pytest.mark.parallel_proc
+class TestProcessStopEpoch:
+    def test_process_executor_usable_after_request_stop(self):
+        spec = small_spec()
+        with ProcessExecutor(workers=2) as executor:
+            executor.request_stop()
+            sharded = estimate_acceptance_sharded(
+                spec, 128, seed=SEED, executor=executor, shard_count=2
+            )
+        assert sharded.estimate.trials == 128
+        assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# zero-trial estimates (the cooperative-stop edge case)
+# ---------------------------------------------------------------------------
+
+
+class TestZeroTrialEstimate:
+    def test_probability_and_interval_are_nan(self):
+        empty = AcceptanceEstimate(0, 0)
+        assert math.isnan(empty.probability)
+        assert all(math.isnan(bound) for bound in empty.interval)
+
+    def test_nan_estimates_format_and_certify_nothing(self):
+        empty = AcceptanceEstimate(0, 0)
+        assert "0 trials" in str(empty)  # __str__ no longer raises
+        assert not empty.at_least(0.0)
+        assert not empty.at_most(1.0)
+
+    def test_merge_identity_still_holds(self):
+        merged = AcceptanceEstimate.merge([AcceptanceEstimate(0, 0)])
+        assert merged == AcceptanceEstimate(0, 0)
+        assert math.isnan(merged.probability)
+
+    def test_pre_satisfied_stop_produces_nan_record_not_crash(self):
+        # A should_stop that is true before the first chunk yields the
+        # zero-trial estimate; formatting and records must survive it.
+        plan = small_spec().resolve()
+        estimate = estimate_acceptance_fast(
+            plan, 100, seed=SEED, should_stop=lambda: True
+        )
+        assert (estimate.accepted, estimate.trials) == (0, 0)
+        assert math.isnan(estimate.probability)
+        json.dumps({"probability": estimate.probability})  # nan-safe via float
