@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-stats test-parallel test-stream bench bench-smoke
+.PHONY: test test-stats test-parallel test-stream test-chaos bench bench-smoke
 
 # Tier-1: the full test suite (includes the benchmark smoke harness).
 # Heavy statistical tests (marker: slow_stats) are skipped here; run them
@@ -26,6 +26,14 @@ test-parallel:
 test-stream:
 	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
 		tests/test_streaming.py tests/test_parallel.py -q
+
+# The robustness tier: worker supervision, deterministic retry, and the
+# chaos-injection harness, with the process-backend chaos tests (markers:
+# chaos, parallel_proc — real worker kills, pool repair) forced on even
+# where cpu_count() < 2.
+test-chaos:
+	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
+		tests/test_supervision.py tests/test_chaos.py -q
 
 # The full statistical harness: RNG-quality chi-square / serial-correlation
 # sweeps and the deep cross-mode (compat/fast/vector) decision-consistency

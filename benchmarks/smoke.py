@@ -167,6 +167,7 @@ def smoke_parallel():
     assert sharded.estimate == single, "sharded merge diverged from single-process"
 
     streamed_rows = _smoke_streamed_campaign(backend)
+    chaos_rows = _smoke_chaos_recovery(backend)
 
     leaked = multiprocessing.active_children()
     assert not leaked, f"worker processes leaked past executor close: {leaked}"
@@ -174,6 +175,7 @@ def smoke_parallel():
         [[f"campaign[{record['cell']}]", "-", backend, "ok"] for record in records]
         + [[f"sharded-merge(noisy, {sharded.shards} shards)", "-", backend, "ok"]]
         + streamed_rows
+        + chaos_rows
     )
 
 
@@ -225,6 +227,68 @@ def _smoke_streamed_campaign(backend):
         [f"streamed[{record['cell']}]", "-", f"{backend} x2 cells", "ok"]
         for record in records
     ]
+
+
+def _smoke_chaos_recovery(backend):
+    """Kill a worker mid-run; supervision must still merge the exact counts.
+
+    The PR 6 wiring: on the process backend the chaos harness SIGKILLs a
+    real worker (breaking the pool) and the supervisor's retry + pool
+    repair must reproduce the undisturbed single-process estimate bit for
+    bit.  On the serial fallback the kill degrades to an injected crash —
+    the same retry path, minus the repair.  Either way the estimate is the
+    identity check, not a tolerance.
+    """
+    from repro.engine import estimate_acceptance_fast
+    from repro.parallel import (
+        ChaosExecutor,
+        FaultPolicy,
+        RetryPolicy,
+        estimate_acceptance_sharded,
+        resolve_executor,
+        workload_spec,
+    )
+
+    shard_count, retries = 4, 6
+    # Walk the pure fault schedule for a seed that kills at least one first
+    # attempt and leaves every retry clean — deterministic, no flakiness.
+    def fits(seed):
+        policy = FaultPolicy(seed=seed, kill_rate=0.3)
+        return any(
+            policy.decide(i, 0) == "kill" for i in range(shard_count)
+        ) and all(
+            policy.decide(i, a) is None
+            for i in range(shard_count)
+            for a in range(1, retries + 1)
+        )
+
+    policy = FaultPolicy(seed=next(s for s in range(1000) if fits(s)), kill_rate=0.3)
+    spec = workload_spec("noisy-spanning-tree", rng_mode="fast", node_count=12)
+    single = estimate_acceptance_fast(spec.resolve(), 64, seed=1)
+    inner, _owned = resolve_executor(backend, _workers(backend))
+    try:
+        chaos = ChaosExecutor(inner, policy)
+        sharded = estimate_acceptance_sharded(
+            spec, 64, seed=1, executor=chaos, shard_count=shard_count,
+            retry_policy=RetryPolicy(
+                max_retries=retries, backoff_base=0.01, backoff_max=0.05
+            ),
+        )
+    finally:
+        inner.close()
+    assert any(kind == "kill" for _, _, kind in chaos.injected), (
+        "chaos smoke injected no kill fault"
+    )
+    assert sharded.report is not None and sharded.report.ok, (
+        f"chaos smoke quarantined shards: {sharded.report.as_dict()}"
+    )
+    assert sharded.estimate == single, (
+        "killed-worker run diverged from the single-process estimate"
+    )
+    leaked = multiprocessing.active_children()
+    assert not leaked, f"worker processes leaked past chaos recovery: {leaked}"
+    mode = "worker kill + repair" if backend == "process" else "injected crash"
+    return [[f"chaos-recovery({mode})", "-", backend, "ok"]]
 
 
 def _run_smoke_campaign(campaign, backend):

@@ -29,8 +29,17 @@ The two layers:
   (:mod:`repro.parallel.campaign`), with a CLI front end
   (``python -m repro.parallel.cli``).
 
+Fault tolerance rides on the same determinism: because a shard re-executes
+bit-identically, retry is semantically free — :mod:`repro.parallel.supervision`
+adds heartbeat deadlines, deterministic retry with backoff, pool repair and
+quarantine (:class:`RetryPolicy` / :class:`RunReport`), campaigns degrade
+gracefully per cell (``on_cell_error``), and the seeded chaos harness of
+:mod:`repro.parallel.chaos` (:class:`FaultPolicy` / :class:`ChaosExecutor`)
+makes every one of those guarantees testable and demonstrable.
+
 See ``docs/parallel.md`` for the shard/seed-partition contract, the
-executor matrix, and the campaign record format.
+executor matrix, the campaign record format, and the failure semantics;
+``docs/robustness.md`` for the chaos harness guide.
 """
 
 from repro.parallel.campaign import (
@@ -39,6 +48,14 @@ from repro.parallel.campaign import (
     JsonlSink,
     MemorySink,
     run_campaign,
+)
+from repro.parallel.chaos import (
+    ChaosExecutor,
+    ChaosSink,
+    ChaosSinkError,
+    ChaosWorkerCrash,
+    ChaosWorkerHang,
+    FaultPolicy,
 )
 from repro.parallel.executors import (
     EXECUTORS,
@@ -52,24 +69,48 @@ from repro.parallel.executors import (
     resolve_executor,
 )
 from repro.parallel.factories import WORKLOADS, workload_spec
-from repro.parallel.progress import RunHandle, StopToken, StreamingAggregator
+from repro.parallel.progress import (
+    ProgressRouter,
+    RunHandle,
+    StopToken,
+    StreamingAggregator,
+)
 from repro.parallel.shards import Shard, ShardPlanner
 from repro.parallel.spec import PlanSpec
+from repro.parallel.supervision import (
+    QuarantinedShard,
+    RetryPolicy,
+    RunReport,
+    ShardFailure,
+    ShardSupervisor,
+)
 
 __all__ = [
     "EXECUTORS",
     "WORKLOADS",
     "Campaign",
     "Cell",
+    "ChaosExecutor",
+    "ChaosSink",
+    "ChaosSinkError",
+    "ChaosWorkerCrash",
+    "ChaosWorkerHang",
+    "FaultPolicy",
     "JsonlSink",
     "MemorySink",
     "PlanSpec",
     "ProcessExecutor",
+    "ProgressRouter",
+    "QuarantinedShard",
+    "RetryPolicy",
     "RunHandle",
+    "RunReport",
     "SerialExecutor",
     "Shard",
+    "ShardFailure",
     "ShardPlanner",
     "ShardResult",
+    "ShardSupervisor",
     "ShardedEstimate",
     "StopToken",
     "StreamingAggregator",

@@ -35,6 +35,8 @@ reason.
 from __future__ import annotations
 
 import json
+import os
+import sys
 import threading
 import time
 from dataclasses import dataclass
@@ -142,6 +144,17 @@ class Campaign:
         return cls(name=name, cells=tuple(cells))
 
 
+def _record_completes(record: Dict) -> bool:
+    """Whether a record marks its cell *done* for resume purposes.
+
+    ``status="failed"`` records (graceful degradation, see
+    :func:`run_campaign`) document the failure without claiming the cell:
+    a resumed campaign re-attempts exactly those cells.  Records from
+    before the ``status`` field existed are successes.
+    """
+    return record.get("status", "ok") != "failed"
+
+
 class MemorySink:
     """An in-memory sink — the default for tests and interactive runs."""
 
@@ -154,31 +167,51 @@ class MemorySink:
 
     def write(self, record: Dict) -> None:
         self.records.append(record)
-        self._keys.add(record["cell_key"])
+        if _record_completes(record):
+            self._keys.add(record["cell_key"])
 
 
 class JsonlSink:
     """Append-only JSON-lines sink with resume support.
 
     ``resume=True`` (default) loads the cell keys already recorded so
-    :func:`run_campaign` can skip them; ``resume=False`` truncates.
+    :func:`run_campaign` can skip them; ``resume=False`` truncates.  Torn
+    lines — a process killed mid-append can tear the tail, and a crashed
+    filesystem can tear lines mid-file — are skipped with a warning and
+    counted in ``torn_lines``, never fatal: the sink's promise is that
+    every *intact* record survives and resume proceeds from those.
+    ``status="failed"`` records are loaded (they are provenance) but do
+    not mark their cell complete, so resume re-attempts failed cells only.
+
+    ``fsync=True`` fsyncs after every append — crash-consistent campaign
+    logs at the cost of one ``fsync`` per cell (cells run for seconds;
+    the sync is noise).
     """
 
-    def __init__(self, path: Union[str, Path], resume: bool = True):
+    def __init__(self, path: Union[str, Path], resume: bool = True, fsync: bool = False):
         self.path = Path(path)
+        self.fsync = fsync
         self.records: List[Dict] = []
+        self.torn_lines = 0
         self._keys = set()
         if resume and self.path.exists():
-            for line in self.path.read_text().splitlines():
+            for number, line in enumerate(self.path.read_text().splitlines(), 1):
                 line = line.strip()
                 if not line:
                     continue
                 try:
                     record = json.loads(line)
                 except json.JSONDecodeError:
-                    continue  # torn tail line from an interrupted run
+                    self.torn_lines += 1
+                    print(
+                        f"warning: {self.path}: skipping torn record on "
+                        f"line {number}",
+                        file=sys.stderr,
+                    )
+                    continue
                 self.records.append(record)
-                self._keys.add(record.get("cell_key"))
+                if _record_completes(record):
+                    self._keys.add(record.get("cell_key"))
         elif not resume and self.path.exists():
             self.path.unlink()
         self.path.parent.mkdir(parents=True, exist_ok=True)
@@ -189,8 +222,12 @@ class JsonlSink:
     def write(self, record: Dict) -> None:
         with self.path.open("a") as handle:
             handle.write(json.dumps(record, sort_keys=True) + "\n")
+            if self.fsync:
+                handle.flush()
+                os.fsync(handle.fileno())
         self.records.append(record)
-        self._keys.add(record["cell_key"])
+        if _record_completes(record):
+            self._keys.add(record["cell_key"])
 
 
 def _run_cell(
@@ -201,6 +238,8 @@ def _run_cell(
     chunk_size: int,
     vectorize: Optional[bool],
     stream_progress: bool,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = 0,
 ) -> Dict:
     """Execute one cell on the shared executor and build its record."""
     start = time.perf_counter()
@@ -214,16 +253,19 @@ def _run_cell(
         stop_halfwidth=cell.stop_halfwidth,
         vectorize=vectorize,
         stream_progress=stream_progress,
+        shard_timeout=shard_timeout,
+        max_retries=max_retries,
     )
     elapsed = time.perf_counter() - start
     estimate = sharded.estimate
     # Zero-trial estimates report nan probability/interval directly (a
     # pre-satisfied stop can legitimately produce them); no guards needed.
     low, high = estimate.interval
-    return {
+    record = {
         "campaign": campaign.name,
         "cell": cell.name,
         "cell_key": cell.key(),
+        "status": "ok",
         **cell.spec.describe(),
         "requested_trials": cell.trials,
         "trials": estimate.trials,
@@ -238,6 +280,54 @@ def _run_cell(
         "workers": sharded.workers,
         "elapsed_sec": round(elapsed, 6),
     }
+    if sharded.report is not None:
+        record["supervision"] = sharded.report.as_dict()
+    return record
+
+
+def _failure_record(campaign: Campaign, cell: Cell, error: Exception) -> Dict:
+    """The ``status="failed"`` record of a cell that ran out of attempts.
+
+    Carries the cell identity and the error payload but never marks the
+    cell complete (see :func:`_record_completes`): a resumed campaign
+    re-attempts exactly the failed cells.
+    """
+    return {
+        "campaign": campaign.name,
+        "cell": cell.name,
+        "cell_key": cell.key(),
+        "status": "failed",
+        **cell.spec.describe(),
+        "requested_trials": cell.trials,
+        "error": {"type": type(error).__name__, "message": str(error)},
+    }
+
+
+def _attempt_cell(
+    campaign: Campaign,
+    cell: Cell,
+    on_cell_error: str,
+    cell_retries: int,
+    run_args,
+) -> Tuple[Optional[Dict], Optional[Exception]]:
+    """Run one cell under the campaign's error policy.
+
+    Returns ``(record, None)`` on success and ``(None, error)`` when the
+    policy swallowed the failure (``skip``, or ``retry`` exhausted);
+    ``on_cell_error="raise"`` propagates instead.  Only :class:`Exception`
+    is ever swallowed — ``KeyboardInterrupt``/``SystemExit`` always
+    propagate, so an interrupt cannot be degraded into a failure record.
+    """
+    attempts = 1 + (max(0, cell_retries) if on_cell_error == "retry" else 0)
+    last_error: Optional[Exception] = None
+    for _attempt in range(attempts):
+        try:
+            return _run_cell(campaign, cell, *run_args), None
+        except Exception as exc:
+            if on_cell_error == "raise":
+                raise
+            last_error = exc
+    return None, last_error
 
 
 def run_campaign(
@@ -250,6 +340,10 @@ def run_campaign(
     vectorize: Optional[bool] = None,
     cell_parallelism: int = 1,
     stream_progress: bool = False,
+    on_cell_error: str = "raise",
+    cell_retries: int = 1,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = 0,
 ) -> List[Dict]:
     """Run every (not yet completed) cell; returns the new records.
 
@@ -274,9 +368,32 @@ def run_campaign(
     serial-cell run's.  ``stream_progress`` turns on the progressive shard
     channel for every cell (see
     :func:`~repro.parallel.executors.estimate_acceptance_sharded`).
+
+    Graceful degradation (``on_cell_error``): with ``"raise"`` (default,
+    the historical behaviour) the first failing cell aborts the campaign.
+    ``"skip"`` records the failure in the sink as a ``status="failed"``
+    record — error type and message attached — and keeps running sibling
+    cells; ``"retry"`` re-attempts the cell up to ``cell_retries`` times
+    first and then degrades like ``skip``.  Failed records never mark a
+    cell complete, so a subsequent resume re-attempts exactly the failed
+    cells.  ``KeyboardInterrupt`` always propagates regardless of policy
+    (the ordered prefix already written stays resumable).
+
+    ``shard_timeout`` / ``max_retries`` pass through to every cell's
+    :func:`~repro.parallel.executors.estimate_acceptance_sharded` call —
+    shard-level supervision (heartbeat deadlines, deterministic retry,
+    quarantine; see :mod:`repro.parallel.supervision`) underneath the
+    cell-level policy above.
     """
     if cell_parallelism < 1:
         raise ValueError("cell_parallelism must be positive")
+    if on_cell_error not in ("raise", "skip", "retry"):
+        raise ValueError(
+            f"on_cell_error must be 'raise', 'skip' or 'retry', "
+            f"got {on_cell_error!r}"
+        )
+    if cell_retries < 0:
+        raise ValueError("cell_retries must be non-negative")
     if sink is None:
         sink = MemorySink()
     instance, owned = resolve_executor(executor, workers)
@@ -292,20 +409,24 @@ def run_campaign(
             continue
         claimed.add(key)
         pending.append(cell)
+    run_args = (
+        instance, planner, chunk_size, vectorize, stream_progress,
+        shard_timeout, max_retries,
+    )
     try:
         if cell_parallelism == 1 or len(pending) <= 1:
             for cell in pending:
-                record = _run_cell(
-                    campaign, cell, instance, planner, chunk_size, vectorize,
-                    stream_progress,
+                record, error = _attempt_cell(
+                    campaign, cell, on_cell_error, cell_retries, run_args
                 )
+                if record is None:
+                    record = _failure_record(campaign, cell, error)
                 sink.write(record)
                 new_records.append(record)
         else:
             _run_cells_concurrently(
-                campaign, pending, instance, planner, chunk_size, vectorize,
-                stream_progress, min(cell_parallelism, len(pending)), sink,
-                new_records,
+                campaign, pending, run_args, on_cell_error, cell_retries,
+                min(cell_parallelism, len(pending)), sink, new_records,
             )
     finally:
         if owned:
@@ -316,11 +437,9 @@ def run_campaign(
 def _run_cells_concurrently(
     campaign: Campaign,
     pending: List[Cell],
-    instance,
-    planner: Optional[ShardPlanner],
-    chunk_size: int,
-    vectorize: Optional[bool],
-    stream_progress: bool,
+    run_args,
+    on_cell_error: str,
+    cell_retries: int,
     threads: int,
     sink,
     new_records: List[Dict],
@@ -330,10 +449,13 @@ def _run_cells_concurrently(
     until every earlier cell's record is written, so the sink sees campaign
     declaration order regardless of completion order.
 
-    On a cell failure the contiguous prefix of completed records stays
-    written (resume will skip it); records of cells *after* the failure are
-    discarded rather than written out of order, and the first error
-    re-raises.
+    Cell failures follow ``on_cell_error`` exactly like the serial path:
+    under ``skip``/``retry`` a failed cell contributes a ``status="failed"``
+    record that flushes in declaration order like any other, and siblings
+    keep running.  Under ``raise`` (and for ``KeyboardInterrupt`` always)
+    the contiguous prefix of completed records stays written (resume will
+    skip it); records of cells *after* the failure are discarded rather
+    than written out of order, and the first error re-raises.
     """
     state_lock = threading.Lock()
     cursor = 0
@@ -351,10 +473,11 @@ def _run_cells_concurrently(
                 cursor += 1
             cell = pending[position]
             try:
-                record = _run_cell(
-                    campaign, cell, instance, planner, chunk_size, vectorize,
-                    stream_progress,
+                record, error = _attempt_cell(
+                    campaign, cell, on_cell_error, cell_retries, run_args
                 )
+                if record is None:
+                    record = _failure_record(campaign, cell, error)
             except BaseException as exc:  # re-raised in the caller
                 with state_lock:
                     errors.append(exc)

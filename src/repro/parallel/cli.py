@@ -164,10 +164,54 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         help="stream partial shard counts so the Wilson stop fires at "
         "chunk granularity across all workers",
     )
+    parser.add_argument(
+        "--shard-timeout",
+        type=float,
+        default=None,
+        help="heartbeat deadline per shard in seconds; a silent shard is "
+        "declared failed and retried (enables supervision)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=0,
+        help="re-dispatches per failed shard before quarantine "
+        "(> 0 enables supervision; see docs/robustness.md)",
+    )
+    parser.add_argument(
+        "--chaos-spec",
+        default=None,
+        metavar="SPEC",
+        help="inject a deterministic fault schedule, e.g. "
+        "'seed=7,crash=0.3,slow=0.2,delay=0.01' "
+        "(keys: seed, crash, kill, hang, slow, torn, sink, delay, hang-limit)",
+    )
 
 
 def _planner(args) -> Optional[ShardPlanner]:
     return ShardPlanner(shard_count=args.shards) if args.shards else None
+
+
+def _build_executor(args):
+    """The executor argument for the run, honouring ``--chaos-spec``.
+
+    Without chaos this is just the backend name (the layers below resolve
+    and own it).  With ``--chaos-spec`` the backend is resolved here,
+    wrapped in a :class:`~repro.parallel.chaos.ChaosExecutor`, and returned
+    with a cleanup callable the command must invoke in a ``finally``.
+    """
+    if not getattr(args, "chaos_spec", None):
+        return args.executor, None
+    from repro.parallel.chaos import ChaosExecutor, FaultPolicy
+    from repro.parallel.executors import resolve_executor
+
+    try:
+        policy = FaultPolicy.parse(args.chaos_spec)
+    except ValueError as exc:
+        raise SystemExit(f"error: --chaos-spec: {exc}") from exc
+    inner, _owned = resolve_executor(args.executor, args.workers)
+    instance = ChaosExecutor(inner, policy)
+    return instance, instance.close
 
 
 def _cmd_list(_args) -> int:
@@ -192,23 +236,43 @@ def _cmd_estimate(args) -> int:
         rng_mode=args.rng_mode,
         **_sizes_for(args.workload, shared, scoped, strict=True),
     )
-    sharded = estimate_acceptance_sharded(
-        spec,
-        args.trials,
-        seed=args.seed,
-        executor=args.executor,
-        workers=args.workers,
-        planner=_planner(args),
-        chunk_size=args.chunk_size,
-        stop_halfwidth=args.stop_halfwidth,
-        stream_progress=args.stream_progress,
-    )
+    executor, cleanup = _build_executor(args)
+    try:
+        sharded = estimate_acceptance_sharded(
+            spec,
+            args.trials,
+            seed=args.seed,
+            executor=executor,
+            workers=args.workers,
+            planner=_planner(args),
+            chunk_size=args.chunk_size,
+            stop_halfwidth=args.stop_halfwidth,
+            stream_progress=args.stream_progress,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup()
     print(f"{args.workload} [{spec.rng_mode}] -> {sharded}")
     for result in sharded.shard_results:
         print(
             f"  shard {result.shard.index}: trials [{result.shard.start}, "
             f"{result.shard.stop}) ran {result.trials}, accepted {result.accepted}"
         )
+    report = sharded.report
+    if report is not None:
+        print(
+            f"  supervision: attempts={sum(report.attempts.values())} "
+            f"retries={report.retries} timeouts={report.timeouts} "
+            f"repairs={report.pool_repairs} "
+            f"quarantined={len(report.quarantined)}"
+        )
+        for bad in report.quarantined:
+            print(
+                f"    quarantined {bad.shard} after {bad.attempts} attempts: "
+                f"{bad.failures[-1].message}"
+            )
     return 0
 
 
@@ -239,19 +303,41 @@ def _cmd_campaign(args) -> int:
         seeds=tuple(int(s) for s in _csv(args.seeds)),
         stop_halfwidth=args.stop_halfwidth,
     )
-    sink = JsonlSink(args.out, resume=not args.no_resume) if args.out else MemorySink()
-    skipped = sum(1 for cell in campaign.cells if sink.completed(cell))
-    records = run_campaign(
-        campaign,
-        executor=args.executor,
-        workers=args.workers,
-        sink=sink,
-        planner=_planner(args),
-        chunk_size=args.chunk_size,
-        cell_parallelism=args.cell_parallelism,
-        stream_progress=args.stream_progress,
+    sink = (
+        JsonlSink(args.out, resume=not args.no_resume, fsync=args.fsync)
+        if args.out
+        else MemorySink()
     )
+    skipped = sum(1 for cell in campaign.cells if sink.completed(cell))
+    executor, cleanup = _build_executor(args)
+    try:
+        records = run_campaign(
+            campaign,
+            executor=executor,
+            workers=args.workers,
+            sink=sink,
+            planner=_planner(args),
+            chunk_size=args.chunk_size,
+            cell_parallelism=args.cell_parallelism,
+            stream_progress=args.stream_progress,
+            on_cell_error=args.on_cell_error,
+            cell_retries=args.cell_retries,
+            shard_timeout=args.shard_timeout,
+            max_retries=args.max_retries,
+        )
+    finally:
+        if cleanup is not None:
+            cleanup()
+    failed = 0
     for record in records:
+        if record.get("status") == "failed":
+            failed += 1
+            error = record.get("error", {})
+            print(
+                f"{record['cell']:48s} FAILED "
+                f"{error.get('type', '?')}: {error.get('message', '')}"
+            )
+            continue
         print(
             f"{record['cell']:48s} p={record['probability']:.4f} "
             f"[{record['wilson_low']:.4f}, {record['wilson_high']:.4f}] "
@@ -259,9 +345,10 @@ def _cmd_campaign(args) -> int:
             f"{record['elapsed_sec']:.3f}s"
         )
     where = args.out if args.out else "(memory)"
+    tail = f", {failed} failed" if failed else ""
     print(
         f"campaign {campaign.name!r}: {len(records)} cells run, "
-        f"{skipped} resumed as complete -> {where}"
+        f"{skipped} resumed as complete{tail} -> {where}"
     )
     return 0
 
@@ -315,6 +402,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-resume",
         action="store_true",
         help="truncate --out instead of skipping completed cells",
+    )
+    campaign.add_argument(
+        "--fsync",
+        action="store_true",
+        help="fsync the --out sink after every record (crash-consistent logs)",
+    )
+    campaign.add_argument(
+        "--on-cell-error",
+        choices=("raise", "skip", "retry"),
+        default="raise",
+        help="failing cell: abort the campaign (raise), record a "
+        "status=failed record and continue (skip), or re-attempt then "
+        "skip (retry)",
+    )
+    campaign.add_argument(
+        "--cell-retries",
+        type=int,
+        default=1,
+        help="re-attempts per failing cell under --on-cell-error retry",
     )
     _add_executor_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)

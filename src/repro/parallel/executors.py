@@ -73,6 +73,7 @@ from repro.parallel.progress import (
 )
 from repro.parallel.shards import Shard, ShardPlanner
 from repro.parallel.spec import PlanSpec
+from repro.parallel.supervision import RetryPolicy, RunReport, ShardSupervisor
 from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
 
 
@@ -110,15 +111,23 @@ def _run_shard(
 
     ``publish``, when streaming is on, receives the shard's cumulative
     ``(shard_index, accepted, trials)`` after every chunk — the progress
-    conduit of :mod:`repro.parallel.progress`.
+    conduit of :mod:`repro.parallel.progress`.  Under supervision
+    (``options["heartbeat"]``) the same conduit additionally carries
+    zero-trial liveness pings at each chunk boundary; the supervisor
+    filters them out of the user-facing stream, and they are harmless to a
+    raw :class:`~repro.parallel.progress.StreamingAggregator` anyway (a
+    ``(0, 0)`` update never regresses its totals).
     """
     target, shard, options = payload
     plan = target.resolve() if isinstance(target, PlanSpec) else target
     progress = None
+    heartbeat = None
     if publish is not None:
         progress = lambda accepted, trials: publish(  # noqa: E731
             shard.index, accepted, trials
         )
+        if options.get("heartbeat"):
+            heartbeat = lambda: publish(shard.index, 0, 0)  # noqa: E731
     estimate = estimate_acceptance_fast(
         plan,
         shard.trials,
@@ -130,6 +139,7 @@ def _run_shard(
         first_trial=shard.start,
         should_stop=should_stop,
         progress=progress,
+        heartbeat=heartbeat,
     )
     return ShardResult(shard=shard, accepted=estimate.accepted, trials=estimate.trials)
 
@@ -171,6 +181,7 @@ class SerialExecutor(_EpochStop):
 
     name = "serial"
     workers = 1
+    in_process = True  # payload targets stay in this process (plans shareable)
 
     def start_run(
         self,
@@ -212,6 +223,7 @@ class ThreadExecutor(_EpochStop):
     counter of :class:`_EpochStop`."""
 
     name = "thread"
+    in_process = True
 
     def __init__(self, workers: Optional[int] = None):
         self.workers = workers if workers is not None else available_cpus()
@@ -331,9 +343,20 @@ class ProcessExecutor:
     why plans never cross the boundary).  The default start method prefers
     ``fork`` (cheap, inherits the warm parent) and falls back to the
     platform default where fork is unavailable.
+
+    Failure posture: one dead worker breaks a whole
+    ``concurrent.futures.ProcessPoolExecutor`` — every in-flight future
+    fails and new submissions are refused.  :meth:`repair` is the recovery
+    path the supervision layer (:mod:`repro.parallel.supervision`) uses: it
+    swaps in a fresh pool over the *same* shared stop/progress primitives
+    and reaps the old pool's processes, so retried shards dispatch onto
+    healthy workers without rebuilding the executor.  :meth:`close` is
+    idempotent and always reaps — the context-manager exit path guarantees
+    no worker process outlives the executor, exceptions or not.
     """
 
     name = "process"
+    in_process = False  # payloads cross a process boundary (specs only)
 
     def __init__(self, workers: Optional[int] = None, start_method: Optional[str] = None):
         self.workers = workers if workers is not None else available_cpus()
@@ -355,12 +378,61 @@ class ProcessExecutor:
         self._free_slots = list(range(STOP_SLOTS))
         self._run_counter = 0
         self._lock = threading.Lock()
-        self._pool = concurrent.futures.ProcessPoolExecutor(
+        self._closed = False
+        self.repairs = 0  # pool replacements performed by repair()
+        self._pool = self._make_pool()
+
+    def _make_pool(self) -> concurrent.futures.ProcessPoolExecutor:
+        return concurrent.futures.ProcessPoolExecutor(
             max_workers=self.workers,
             mp_context=self._context,
             initializer=_init_shard_worker,
             initargs=(self._stop_epoch, self._board, self._queue),
         )
+
+    @staticmethod
+    def _reap_pool(pool, grace: float = 5.0) -> None:
+        """Forcibly terminate and join any worker the pool left alive.
+
+        Normal shutdown leaves nothing to do; this is the backstop for
+        broken pools and hung workers (the one case ``shutdown`` cannot
+        reclaim).  Reaches into the pool's process table — a private
+        attribute, so every access is defensive."""
+        processes = list((getattr(pool, "_processes", None) or {}).values())
+        for process in processes:
+            try:
+                if process.is_alive():
+                    process.terminate()
+            except Exception:  # pragma: no cover - racing process exit
+                pass
+        for process in processes:
+            try:
+                process.join(timeout=grace)
+                if process.is_alive():  # pragma: no cover - last resort
+                    process.kill()
+                    process.join(timeout=grace)
+            except Exception:  # pragma: no cover - racing process exit
+                pass
+
+    def repair(self) -> None:
+        """Replace the worker pool; shared stop/progress state survives.
+
+        Builds the new pool *first*, swaps it in, then tears the old one
+        down — concurrent ``start_run`` calls always find a usable pool.
+        In-flight futures on the old pool fail (``BrokenProcessPool``)
+        rather than block, which is exactly what the supervisor's retry
+        path wants.  Hung or dead old workers are terminated and joined.
+        """
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("cannot repair a closed executor")
+            old, self._pool = self._pool, self._make_pool()
+            self.repairs += 1
+        try:
+            old.shutdown(wait=False, cancel_futures=True)
+        except Exception:  # pragma: no cover - broken-pool teardown races
+            pass
+        self._reap_pool(old)
 
     def request_stop(self) -> None:
         self._stop_epoch.value += 1
@@ -445,12 +517,27 @@ class ProcessExecutor:
         yield from _drain_futures(futures)
 
     def close(self) -> None:
+        """Tear down the pool and router; idempotent, and always reaps.
+
+        Every exit path — normal completion, an exception inside a ``with``
+        block, a double close — ends with no live worker process: after the
+        orderly shutdown, any survivor (broken pool, hung worker) is
+        terminated and joined by :meth:`_reap_pool`.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool = self._pool
         # Pool first, router second: workers may still be publishing while
         # shutdown waits for them, and the drain thread must keep reading
         # or a full queue pipe would block worker exit (feeder-thread join)
         # and deadlock the shutdown.
-        self._pool.shutdown(wait=True, cancel_futures=True)
-        self._router.close()
+        try:
+            pool.shutdown(wait=True, cancel_futures=True)
+        finally:
+            self._reap_pool(pool)
+            self._router.close()
 
     def __enter__(self) -> "ProcessExecutor":
         return self
@@ -521,6 +608,13 @@ class ShardedEstimate:
     channel; ``progress_updates`` counts the partial-count updates the
     streaming aggregator folded in (0 on non-streamed runs) — provenance
     for the chunk-granular stop, never part of the estimate itself.
+
+    ``report`` is the supervision ledger
+    (:class:`~repro.parallel.supervision.RunReport`) when the run was
+    supervised (``shard_timeout``/``max_retries``/``retry_policy``), else
+    ``None``.  A report with quarantined shards means the estimate merges
+    only the shards that completed — still exact over those counter
+    ranges, but short of the requested budget; check ``report.ok``.
     """
 
     estimate: AcceptanceEstimate
@@ -531,6 +625,7 @@ class ShardedEstimate:
     stopped_early: bool
     streamed: bool = False
     progress_updates: int = 0
+    report: Optional["RunReport"] = None
 
     @property
     def shards(self) -> int:
@@ -561,6 +656,9 @@ def estimate_acceptance_sharded(
     min_trials: int = 2 * DEFAULT_CHUNK,
     vectorize: Optional[bool] = None,
     stream_progress: bool = False,
+    shard_timeout: Optional[float] = None,
+    max_retries: int = 0,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> ShardedEstimate:
     """Estimate ``Pr[verifier accepts]`` with the trial range sharded.
 
@@ -588,6 +686,15 @@ def estimate_acceptance_sharded(
     stop, usually measurably fewer.  Streaming is observational: a no-stop
     streamed run is count-identical to the non-streamed (and single-process)
     run on every backend and rng mode.
+
+    Fault tolerance (``shard_timeout`` / ``max_retries`` / ``retry_policy``,
+    see :mod:`repro.parallel.supervision`): setting any of them routes the
+    run through a :class:`~repro.parallel.supervision.ShardSupervisor` —
+    shards get heartbeat deadlines, failed or timed-out shards retry with
+    deterministic backoff (bit-identical re-execution, so any crash/retry
+    schedule merges to the undisturbed estimate), shards that exhaust the
+    budget are quarantined, and the returned estimate carries the
+    :class:`~repro.parallel.supervision.RunReport` in ``report``.
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
@@ -595,14 +702,27 @@ def estimate_acceptance_sharded(
         raise ValueError("pass either planner or shard_count, not both")
     if planner is None:
         planner = ShardPlanner(shard_count=shard_count)
+    supervised = (
+        retry_policy is not None or shard_timeout is not None or max_retries > 0
+    )
+    if retry_policy is not None and (shard_timeout is not None or max_retries):
+        raise ValueError(
+            "pass either retry_policy or shard_timeout/max_retries, not both"
+        )
+    if supervised and retry_policy is None:
+        retry_policy = RetryPolicy(max_retries=max_retries, shard_timeout=shard_timeout)
 
     instance, owned = resolve_executor(executor, workers)
     try:
+        # Chaos wrappers and other delegating executors advertise whether
+        # payloads stay in-process via the `in_process` attribute; the bare
+        # ProcessExecutor is the one stock backend that ships them out.
+        in_process = getattr(instance, "in_process", True)
         if isinstance(target, PlanSpec):
             if rng_mode is None:
                 rng_mode = target.rng_mode
             shard_target: Union[PlanSpec, VerificationPlan] = target
-            if not isinstance(instance, ProcessExecutor):
+            if in_process:
                 # Same process: resolve once and share the read-only plan.
                 shard_target = target.resolve().prepare(vectorize)
         else:
@@ -618,6 +738,10 @@ def estimate_acceptance_sharded(
             "chunk_size": chunk_size,
             "vectorize": vectorize,
         }
+        if supervised:
+            # The liveness-ping channel (see _run_shard); supervision needs
+            # heartbeats even on non-streamed runs.
+            options["heartbeat"] = True
         payloads = [(shard_target, shard, options) for shard in shards]
 
         aggregator: Optional[StreamingAggregator] = None
@@ -628,29 +752,26 @@ def estimate_acceptance_sharded(
             )
             on_progress = aggregator.update
 
-        handle = instance.start_run(_run_shard, payloads, on_progress=on_progress)
-        if aggregator is not None:
-            aggregator.bind_stop(handle.request_stop)
-
         results: List[ShardResult] = []
         accepted = 0
         done = 0
         stopped = False
-        result_stream = handle.results()
-        try:
-            for result in result_stream:
-                results.append(result)
+        report: Optional[RunReport] = None
+
+        if supervised:
+            def on_result(result):
+                # Runs on the supervisor thread, once per accepted shard —
+                # the same merge-and-maybe-stop step the unsupervised drain
+                # loop below performs inline.
+                nonlocal accepted, done, stopped
                 accepted += result.accepted
                 done += result.trials
                 if aggregator is not None:
-                    # Completed shards fold in through the same path as their
-                    # partials (idempotent: the final counts equal the shard's
-                    # last published update), so the stop decision never waits
-                    # on queue latency.
                     aggregator.update(
                         result.shard.index, result.accepted, result.trials
                     )
-                    stopped = aggregator.satisfied
+                    if aggregator.satisfied:
+                        stopped = True
                 elif (
                     not stopped
                     and stop_halfwidth is not None
@@ -659,9 +780,53 @@ def estimate_acceptance_sharded(
                     low, high = wilson_interval(accepted, done)
                     if high - low <= 2 * stop_halfwidth:
                         stopped = True
-                        handle.request_stop()
-        finally:
-            result_stream.close()  # releases the run's slot/subscription
+                        supervisor.request_stop()
+
+            supervisor = ShardSupervisor(
+                instance,
+                _run_shard,
+                payloads,
+                policy=retry_policy,
+                on_progress=on_progress,
+                on_result=on_result,
+            )
+            if aggregator is not None:
+                aggregator.bind_stop(supervisor.request_stop)
+            result_map, report = supervisor.run()
+            results = list(result_map.values())
+            if aggregator is not None and aggregator.satisfied:
+                stopped = True
+        else:
+            handle = instance.start_run(_run_shard, payloads, on_progress=on_progress)
+            if aggregator is not None:
+                aggregator.bind_stop(handle.request_stop)
+
+            result_stream = handle.results()
+            try:
+                for result in result_stream:
+                    results.append(result)
+                    accepted += result.accepted
+                    done += result.trials
+                    if aggregator is not None:
+                        # Completed shards fold in through the same path as
+                        # their partials (idempotent: the final counts equal
+                        # the shard's last published update), so the stop
+                        # decision never waits on queue latency.
+                        aggregator.update(
+                            result.shard.index, result.accepted, result.trials
+                        )
+                        stopped = aggregator.satisfied
+                    elif (
+                        not stopped
+                        and stop_halfwidth is not None
+                        and done >= min_trials
+                    ):
+                        low, high = wilson_interval(accepted, done)
+                        if high - low <= 2 * stop_halfwidth:
+                            stopped = True
+                            handle.request_stop()
+            finally:
+                result_stream.close()  # releases the run's slot/subscription
     finally:
         if owned:
             instance.close()
@@ -678,4 +843,5 @@ def estimate_acceptance_sharded(
         stopped_early=stopped_early,
         streamed=stream_progress,
         progress_updates=aggregator.updates if aggregator is not None else 0,
+        report=report,
     )

@@ -207,6 +207,12 @@ class ProgressRouter:
     forwards each to its run's subscriber.  Updates for finished
     (unsubscribed) runs are dropped — late partials carry no information
     the final shard results don't.
+
+    The drain loop is the one thread every run on the pool shares, so it
+    must survive anything the queue delivers: updates for unknown or stale
+    run ids and malformed items (a worker dying mid-``put`` can tear a
+    message) are *counted and dropped* — ``unknown_run_updates`` /
+    ``malformed_items`` — never raised.
     """
 
     def __init__(self, queue):
@@ -216,6 +222,8 @@ class ProgressRouter:
         self._thread: Optional[threading.Thread] = None
         self._closed = False
         self.callback_errors = 0  # raising subscribers, dropped not fatal
+        self.unknown_run_updates = 0  # partials for finished/never-known runs
+        self.malformed_items = 0  # torn or garbage queue items
 
     def subscribe(self, run_id: int, callback: Callable[[int, int, int], None]) -> None:
         with self._lock:
@@ -237,15 +245,26 @@ class ProgressRouter:
             item = self._queue.get()
             if item is _ROUTER_SENTINEL:
                 return
-            run_id, shard_index, accepted, trials = item
+            try:
+                run_id, shard_index, accepted, trials = item
+            except Exception:
+                # Torn/garbage item (chaos-injected, or a worker killed
+                # mid-put): count it, keep draining.
+                self.malformed_items += 1
+                continue
             # Dispatch *under* the lock: unsubscribe() (same lock) then
             # cannot return while a dispatch for that run is in flight, so
             # a released run's slot can never be poked by a late update.
             # The callbacks (StreamingAggregator.update, stop tokens) take
             # no lock that could reach back here.
             with self._lock:
-                callback = self._subscribers.get(run_id)
+                try:
+                    callback = self._subscribers.get(run_id)
+                except TypeError:  # unhashable run id: garbage in disguise
+                    self.malformed_items += 1
+                    continue
                 if callback is None:
+                    self.unknown_run_updates += 1
                     continue
                 try:
                     callback(shard_index, accepted, trials)

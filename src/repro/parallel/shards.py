@@ -38,6 +38,10 @@ class Shard:
     def trials(self) -> int:
         return self.stop - self.start
 
+    def as_dict(self) -> dict:
+        """JSON-friendly form, for supervision reports and failure records."""
+        return {"index": self.index, "start": self.start, "stop": self.stop}
+
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return f"shard {self.index}: [{self.start}, {self.stop})"
 

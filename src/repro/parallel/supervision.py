@@ -1,0 +1,475 @@
+"""Worker supervision: shard deadlines, deterministic retry, quarantine.
+
+The sharded executor of PR 4/5 assumes every dispatched shard eventually
+reports.  One crashed worker (an exception, or a process killed outright),
+one hung shard, and ``estimate_acceptance_sharded`` either raises mid-merge
+or waits forever.  This module adds the layer that makes shard execution
+*fault-tolerant* without touching its determinism contract:
+
+- **Deadlines.** Every shard's progress-channel messages double as
+  heartbeats (the streamed partials of PR 5, plus an explicit liveness ping
+  at each chunk boundary — the ``heartbeat`` hook of
+  :func:`~repro.engine.montecarlo.estimate_acceptance_fast`).  A shard that
+  produces no heartbeat within ``shard_timeout`` is declared failed, its
+  dispatch is stopped cooperatively, and on the process backend a worker
+  that ignores the stop past ``kill_grace`` escalates to a pool repair
+  (dead/hung processes reaped, replacements spawned —
+  :meth:`~repro.parallel.executors.ProcessExecutor.repair`).
+
+- **Deterministic retry.** A failed shard is re-dispatched with exponential
+  backoff, up to ``max_retries`` times.  Because a shard is a counter range
+  and every trial verdict is a pure function of ``(master seed, trial
+  counter)``, the retried shard re-executes *bit-identically*: its partial
+  updates repeat the original's cumulative ``(accepted, trials)`` prefix
+  values exactly, so the never-regress rule of
+  :class:`~repro.parallel.progress.StreamingAggregator` deduplicates them
+  for free and the merged :class:`~repro.simulation.metrics.AcceptanceEstimate`
+  is provably unchanged by any crash/retry schedule.
+
+- **Quarantine.** A shard that fails ``max_retries + 1`` attempts is
+  quarantined — execution continues for its siblings, and the structured
+  :class:`RunReport` surfaces the shard, its attempt count, and every
+  recorded failure, instead of one exception destroying the whole run.
+
+The supervisor is backend-agnostic: it only needs the executor's
+``start_run`` contract (per-run stop tokens) and, optionally, a ``repair()``
+method for the escalation path.  On the serial backend supervised shards
+execute one at a time on watcher threads — serial *ordering* is preserved,
+at the cost of the shards no longer running on the caller's thread (the
+price of being able to time one out).
+
+Known limitation, stated honestly: a worker that hangs *non-cooperatively*
+(never polling ``should_stop`` between chunks) can only be reclaimed on the
+process backend, where ``repair()`` terminates it.  Thread workers cannot
+be killed in CPython; the chaos harness's hang fault is cooperative for
+exactly this reason.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.parallel.shards import Shard
+
+# Main-loop wakeup period: outcome waits, deadline scans, and backoff
+# release checks all happen at this granularity.
+DEFAULT_TICK = 0.02
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """When to give up on a shard attempt, and how to space the next one.
+
+    ``max_retries`` bounds *re*-dispatches (0 = one attempt, no retry).
+    ``shard_timeout`` is the heartbeat deadline in seconds (``None`` =
+    never time out; crashes are still retried).  Backoff before retry
+    ``n`` (1-based) is ``backoff_base * backoff_factor ** (n - 1)``,
+    capped at ``backoff_max`` — deterministic, no jitter, so a retry
+    schedule is reproducible.  ``kill_grace`` is how long a timed-out
+    dispatch may ignore its cooperative stop before the supervisor
+    escalates to a pool repair (process backend only).
+    """
+
+    max_retries: int = 2
+    shard_timeout: Optional[float] = None
+    backoff_base: float = 0.02
+    backoff_factor: float = 2.0
+    backoff_max: float = 1.0
+    kill_grace: float = 1.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.shard_timeout is not None and self.shard_timeout <= 0:
+            raise ValueError("shard_timeout must be positive")
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.kill_grace <= 0:
+            raise ValueError("kill_grace must be positive")
+
+    def backoff(self, retry: int) -> float:
+        """Delay before retry number ``retry`` (1-based); deterministic."""
+        if retry < 1:
+            raise ValueError("retry numbers are 1-based")
+        return min(self.backoff_base * self.backoff_factor ** (retry - 1),
+                   self.backoff_max)
+
+
+@dataclass(frozen=True)
+class ShardFailure:
+    """One recorded failure of one shard attempt."""
+
+    shard_index: int
+    attempt: int  # 0-based attempt number that failed
+    kind: str  # "error" (exception) | "timeout" (heartbeat deadline)
+    message: str
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard_index": self.shard_index,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "message": self.message,
+        }
+
+
+@dataclass(frozen=True)
+class QuarantinedShard:
+    """A shard that exhausted its retry budget, with its failure history."""
+
+    shard: Shard
+    attempts: int
+    failures: Tuple[ShardFailure, ...]
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "shard": self.shard.as_dict(),
+            "attempts": self.attempts,
+            "failures": [failure.as_dict() for failure in self.failures],
+        }
+
+
+@dataclass(frozen=True)
+class RunReport:
+    """The supervision ledger of one sharded run.
+
+    ``attempts`` maps shard index to dispatch count; ``failures`` is every
+    recorded failure in observation order; ``quarantined`` the shards that
+    exhausted their budget.  ``ok`` means every non-skipped shard resolved
+    — quarantine is the one outcome that makes a run not-ok (a cooperative
+    stop skipping shards is normal operation).
+    """
+
+    attempts: Dict[int, int]
+    failures: Tuple[ShardFailure, ...]
+    quarantined: Tuple[QuarantinedShard, ...]
+    retries: int = 0
+    timeouts: int = 0
+    pool_repairs: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.quarantined
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "attempts": dict(self.attempts),
+            "failures": [failure.as_dict() for failure in self.failures],
+            "quarantined": [shard.as_dict() for shard in self.quarantined],
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "pool_repairs": self.pool_repairs,
+            "ok": self.ok,
+        }
+
+
+class _Dispatch:
+    """One in-flight attempt of one shard."""
+
+    __slots__ = ("index", "attempt", "handle", "abandoned_at", "escalated")
+
+    def __init__(self, index: int, attempt: int, handle):
+        self.index = index
+        self.attempt = attempt
+        self.handle = handle
+        self.abandoned_at: Optional[float] = None  # set when timed out
+        self.escalated = False  # kill_grace repair already fired
+
+
+class ShardSupervisor:
+    """Run one set of shard payloads to completion under a retry policy.
+
+    ``payloads`` are the sharded estimator's ``(target, shard, options)``
+    tuples; each shard is dispatched as its *own* single-payload
+    ``executor.start_run`` so it carries its own stop token — timing out
+    one shard never disturbs its siblings.  A daemon watcher thread drains
+    each dispatch and reports its outcome (result, exception, or nothing)
+    onto an internal queue; the supervisor's main loop dispatches, applies
+    deadlines, schedules retries, and quarantines.
+
+    ``on_progress`` (the streaming aggregator's ``update``, when streaming)
+    receives every real partial exactly as an unsupervised run would; the
+    supervisor additionally treats *every* progress message — including the
+    zero-trial liveness pings, which it filters out of the user channel —
+    as that shard's heartbeat.  ``on_result`` fires on the supervisor
+    thread for each accepted shard result (the estimator's Wilson stop
+    hook).  ``request_stop`` is safe from any thread (the aggregator calls
+    it from a drain/worker thread); it takes effect within one tick.
+    """
+
+    def __init__(
+        self,
+        executor,
+        fn: Callable,
+        payloads,
+        policy: Optional[RetryPolicy] = None,
+        on_progress: Optional[Callable[[int, int, int], None]] = None,
+        on_result: Optional[Callable[[object], None]] = None,
+        tick: float = DEFAULT_TICK,
+        clock: Callable[[], float] = time.monotonic,
+    ):
+        payloads = list(payloads)
+        self._executor = executor
+        self._fn = fn
+        self._policy = policy if policy is not None else RetryPolicy()
+        self._user_progress = on_progress
+        self._on_result = on_result
+        self._tick = tick
+        self._clock = clock
+        self._payloads: Dict[int, object] = {}
+        self._shards: Dict[int, Shard] = {}
+        for payload in payloads:
+            shard = payload[1]
+            if shard.index in self._shards:
+                raise ValueError(f"duplicate shard index {shard.index}")
+            self._payloads[shard.index] = payload
+            self._shards[shard.index] = shard
+        self._outcomes: "queue.Queue" = queue.Queue()
+        self._beat_lock = threading.Lock()
+        self._beats: Dict[int, float] = {}
+        self._stop_event = threading.Event()
+        # Supervision ledger
+        self._attempts: Dict[int, int] = {}
+        self._failures: List[ShardFailure] = []
+        self._failures_by_shard: Dict[int, List[ShardFailure]] = {}
+        self._retries = 0
+        self._timeouts = 0
+        self._pool_repairs = 0
+        # The serial backend runs a dispatch in the thread that iterates it
+        # (our watcher), so more than one in-flight dispatch would introduce
+        # concurrency the backend promises not to have.
+        workers = getattr(executor, "workers", 1) or 1
+        self._max_inflight = 1 if getattr(executor, "name", "") == "serial" else workers
+
+    # -- progress / heartbeat -------------------------------------------------
+
+    def _beat(self, shard_index: int, accepted: int, trials: int) -> None:
+        with self._beat_lock:
+            self._beats[shard_index] = self._clock()
+        # Liveness pings are (0, 0); real partials always cover >= 1 trial.
+        if self._user_progress is not None and trials > 0:
+            self._user_progress(shard_index, accepted, trials)
+
+    def _last_beat(self, shard_index: int) -> float:
+        with self._beat_lock:
+            return self._beats.get(shard_index, 0.0)
+
+    # -- external stop (Wilson rule) ------------------------------------------
+
+    def request_stop(self) -> None:
+        """Cooperatively stop the whole run; callable from any thread."""
+        self._stop_event.set()
+
+    # -- internals -------------------------------------------------------------
+
+    def _record_failure(self, index: int, attempt: int, kind: str, message: str) -> None:
+        failure = ShardFailure(
+            shard_index=index, attempt=attempt, kind=kind, message=message
+        )
+        self._failures.append(failure)
+        self._failures_by_shard.setdefault(index, []).append(failure)
+
+    def _try_repair(self) -> bool:
+        repair = getattr(self._executor, "repair", None)
+        if repair is None:
+            return False
+        try:
+            repair()
+        except Exception:
+            return False
+        self._pool_repairs += 1
+        return True
+
+    def _watch(self, dispatch: _Dispatch) -> None:
+        """Drain one dispatch on its own daemon thread; report the outcome."""
+        result = None
+        error: Optional[BaseException] = None
+        try:
+            for item in dispatch.handle.results():
+                result = item
+        except BaseException as exc:  # delivered to the main loop, not raised
+            error = exc
+        self._outcomes.put((dispatch, result, error))
+
+    def _dispatch(self, index: int, inflight: set) -> bool:
+        """Start one attempt of shard ``index``; False if dispatch failed."""
+        attempt = self._attempts.get(index, 0)
+        self._attempts[index] = attempt + 1
+        if attempt > 0:
+            self._retries += 1
+        payload = self._payloads[index]
+        handle = None
+        for round_ in (0, 1):
+            try:
+                handle = self._executor.start_run(
+                    self._fn, [payload], on_progress=self._beat
+                )
+                break
+            except Exception as exc:
+                # A broken process pool rejects submissions outright; repair
+                # once and retry the dispatch before charging the shard.
+                if round_ == 0 and self._try_repair():
+                    continue
+                self._record_failure(
+                    index, attempt, "error", f"dispatch failed: {exc!r}"
+                )
+                return False
+        with self._beat_lock:
+            self._beats[index] = self._clock()
+        dispatch = _Dispatch(index, attempt, handle)
+        inflight.add(dispatch)
+        threading.Thread(
+            target=self._watch,
+            args=(dispatch,),
+            name=f"repro-supervise-{index}",
+            daemon=True,
+        ).start()
+        return True
+
+    def run(self) -> Tuple[Dict[int, object], RunReport]:
+        """Supervise every shard to a result, quarantine, or stop-skip.
+
+        Returns ``(results, report)`` where ``results`` maps shard index to
+        the accepted :class:`~repro.parallel.executors.ShardResult` —
+        complete results always, partial results only once a global stop
+        was requested (matching the unsupervised Wilson-stop semantics,
+        where cancelled shards report the prefix they ran and never-started
+        shards are skipped).
+        """
+        policy = self._policy
+        pending: List[int] = sorted(self._shards)  # eligible, FIFO by index
+        not_before: Dict[int, float] = {}
+        results: Dict[int, object] = {}
+        quarantined: Dict[int, QuarantinedShard] = {}
+        inflight: set = set()
+        stop_propagated = False
+
+        def retry_or_quarantine(index: int) -> None:
+            failures = self._failures_by_shard.get(index, [])
+            if self._stop_event.is_set():
+                return  # stopping: no retries, the shard is skipped
+            if len(failures) > policy.max_retries:
+                quarantined[index] = QuarantinedShard(
+                    shard=self._shards[index],
+                    attempts=self._attempts.get(index, 0),
+                    failures=tuple(failures),
+                )
+                return
+            not_before[index] = self._clock() + policy.backoff(len(failures))
+            pending.append(index)
+            pending.sort()
+
+        while True:
+            now = self._clock()
+
+            # Propagate an external stop exactly once: stop every in-flight
+            # dispatch, drop everything not yet started.
+            if self._stop_event.is_set() and not stop_propagated:
+                stop_propagated = True
+                pending.clear()
+                for dispatch in inflight:
+                    dispatch.handle.request_stop()
+
+            # Dispatch eligible shards up to the in-flight cap.
+            while pending and len(inflight) < self._max_inflight:
+                ready = [
+                    index for index in pending if not_before.get(index, 0.0) <= now
+                ]
+                if not ready:
+                    break
+                index = ready[0]
+                pending.remove(index)
+                if not self._dispatch(index, inflight):
+                    retry_or_quarantine(index)
+
+            if not inflight and not pending:
+                # Every shard is resolved (result or quarantine) or was
+                # dropped by a global stop — supervision is done.
+                break
+
+            # Wait for one outcome (or a tick, for deadline scans).
+            try:
+                dispatch, result, error = self._outcomes.get(timeout=self._tick)
+            except queue.Empty:
+                dispatch = result = error = None
+
+            if dispatch is not None:
+                inflight.discard(dispatch)
+                index = dispatch.index
+                if index in results:
+                    pass  # already resolved by a sibling attempt
+                elif error is not None:
+                    if dispatch.abandoned_at is None:
+                        self._record_failure(
+                            index, dispatch.attempt, "error", repr(error)
+                        )
+                        retry_or_quarantine(index)
+                    # abandoned dispatches already charged a timeout failure
+                elif result is not None and (
+                    result.trials == self._shards[index].trials
+                    or self._stop_event.is_set()
+                ):
+                    # Complete — or partial under a global stop, which the
+                    # unsupervised path also reports.  A late completion from
+                    # an abandoned attempt is free (bit-identical) work.
+                    quarantined.pop(index, None)
+                    if index in pending:
+                        pending.remove(index)
+                    results[index] = result
+                    if self._on_result is not None:
+                        self._on_result(result)
+                elif dispatch.abandoned_at is None:
+                    # Partial (or empty) outcome without a stop: the attempt
+                    # went nowhere — count it and retry.
+                    self._record_failure(
+                        index,
+                        dispatch.attempt,
+                        "error",
+                        "attempt returned no complete result",
+                    )
+                    retry_or_quarantine(index)
+
+            # Heartbeat deadlines + kill-grace escalation.
+            if policy.shard_timeout is not None:
+                now = self._clock()
+                for dispatch in list(inflight):
+                    index = dispatch.index
+                    if dispatch.abandoned_at is None:
+                        if now - self._last_beat(index) > policy.shard_timeout:
+                            self._timeouts += 1
+                            dispatch.abandoned_at = now
+                            self._record_failure(
+                                index,
+                                dispatch.attempt,
+                                "timeout",
+                                f"no heartbeat within {policy.shard_timeout}s",
+                            )
+                            dispatch.handle.request_stop()
+                            retry_or_quarantine(index)
+                    elif (
+                        not dispatch.escalated
+                        and now - dispatch.abandoned_at > policy.kill_grace
+                    ):
+                        # The worker ignored its cooperative stop: reap it
+                        # (process backend).  Its futures then fail and the
+                        # watcher delivers the (already-charged) outcome.
+                        dispatch.escalated = True
+                        self._try_repair()
+
+        report = RunReport(
+            attempts=dict(self._attempts),
+            failures=tuple(self._failures),
+            quarantined=tuple(
+                quarantined[index] for index in sorted(quarantined)
+            ),
+            retries=self._retries,
+            timeouts=self._timeouts,
+            pool_repairs=self._pool_repairs,
+        )
+        return results, report

@@ -46,6 +46,12 @@ def pytest_configure(config):
         "parallel_proc: spawns worker processes; skipped when cpu_count() < 2 "
         "unless REPRO_FORCE_PARALLEL_PROC=1 (run via `make test-parallel`)",
     )
+    config.addinivalue_line(
+        "markers",
+        "chaos: chaos-harness tests that kill/hang real worker processes; "
+        "skipped when cpu_count() < 2 unless REPRO_FORCE_PARALLEL_PROC=1 "
+        "(run via `make test-chaos`)",
+    )
 
 
 def pytest_collection_modifyitems(config, items):
@@ -59,6 +65,12 @@ def pytest_collection_modifyitems(config, items):
             reason="needs >= 2 CPUs (or REPRO_FORCE_PARALLEL_PROC=1; "
             "see `make test-parallel`)"
         )
+        skip_chaos = pytest.mark.skip(
+            reason="needs >= 2 CPUs (or REPRO_FORCE_PARALLEL_PROC=1; "
+            "see `make test-chaos`)"
+        )
         for item in items:
             if "parallel_proc" in item.keywords:
                 item.add_marker(skip_proc)
+            elif "chaos" in item.keywords:
+                item.add_marker(skip_chaos)
