@@ -4,14 +4,23 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-stats test-parallel test-stream test-chaos bench bench-smoke
+.PHONY: test test-specs test-stats test-parallel test-stream test-chaos bench bench-smoke
 
-# Tier-1: the full test suite (includes the benchmark smoke harness).
-# Heavy statistical tests (marker: slow_stats) are skipped here; run them
-# with `make test-stats`.  Process-executor tests (marker: parallel_proc)
-# skip themselves on single-CPU boxes; `make test-parallel` forces them.
+# Tier-1: the full test suite (includes the benchmark smoke harness and
+# the verdict-spec differential matrix, see test-specs).  Heavy statistical
+# tests (marker: slow_stats) are skipped here; run them with
+# `make test-stats`.  Process-executor tests (marker: parallel_proc) skip
+# themselves on single-CPU boxes; `make test-parallel` forces them.
 test:
 	$(PYTHON) -m pytest -x -q
+
+# The verdict-spec tier on its own: the registry-generated differential
+# identity matrix (every registered scheme x rng mode x workload kind,
+# pinned per trial against the legacy oracle) plus the registry property
+# tests.  Runs inside tier-1 too; this target is the fast loop when
+# iterating on repro/engine/specs.py.  slow_stats stays excluded.
+test-specs:
+	$(PYTHON) -m pytest tests/test_verdict_specs.py -q
 
 # The parallel tier: the sharded executor / campaign suites with the
 # process-executor tests forced on even where cpu_count() < 2, plus the

@@ -3,12 +3,15 @@
 Every soundness experiment in this repository is a Monte-Carlo loop over
 repeated verification rounds, so trials-per-second is the throughput metric
 that bounds how much statistical evidence any benchmark can gather.  This
-experiment measures it on four workloads — the paper's headline Theorem 3.1
-compiled spanning-tree scheme (200 nodes), the same with footnote-1
-certificate boosting (t=3), the compiled Borůvka-trace MST scheme (96 nodes,
-the largest-label workload in the library), and the Section 6 shared-coins
-compiler on the 200-node spanning tree (the packed-parity kernel workload)
-— for five execution paths:
+experiment measures it on seven workloads — the paper's headline Theorem
+3.1 compiled spanning-tree scheme (200 nodes), the same with footnote-1
+certificate boosting (t=3), the compiled Borůvka-trace MST scheme (96
+nodes, the largest-label workload in the library), the Section 6
+shared-coins compiler on the 200-node spanning tree (the packed-parity
+kernel workload), and one verdict-spec zoo representative per kernel
+family (:mod:`repro.engine.specs`): compiled biconnectivity (fingerprint),
+shared-coins MIS (parity), boosted Hamiltonicity (threshold) — for five
+execution paths:
 
 - **legacy** — the reference per-trial loop ``estimate_acceptance``;
 - **engine compat** — ``VerificationPlan`` + ``estimate_acceptance_fast``
@@ -377,6 +380,23 @@ def test_engine_throughput(benchmark, report):
             400,
         ),
     ]
+    # One verdict-spec zoo scheme per kernel family, through the same
+    # factories the campaign sweeps use (repro.parallel.factories).
+    from repro.parallel.factories import (
+        boosted_hamiltonicity,
+        compiled_biconnectivity,
+        shared_coins_mis,
+    )
+
+    for name, factory, randomness, legacy_trials, engine_trials in [
+        ("compiled(biconnectivity)", lambda: compiled_biconnectivity(node_count=72), "edge", 8, 80),
+        ("shared-coins(mis)", lambda: shared_coins_mis(node_count=96, extra_edges=30), "shared", 20, 300),
+        ("boosted(hamiltonicity, t=2)", lambda: boosted_hamiltonicity(node_count=48, extra_edges=20), "edge", 8, 80),
+    ]:
+        scheme, configuration = factory()
+        workloads.append(
+            (name, scheme, configuration, randomness, legacy_trials, engine_trials)
+        )
     for name, scheme, configuration, randomness, legacy_trials, engine_trials in workloads:
         labels = scheme.prover(configuration)
         plan, legacy, compat, fast, vector, vector_rng = _measure(

@@ -64,6 +64,13 @@ Knobs
   parallel subsystem: :mod:`repro.parallel` partitions a trial budget into
   counter ranges across serial/thread/process backends, with the merged
   estimate exactly equal to the single-process one.
+- :mod:`repro.engine.specs` is the declarative scheme registry: every
+  scheme in the zoo as a :class:`VerdictSpec` (label parser + kernel
+  family + parameters), resolvable to a guaranteed-fast-path plan via
+  :func:`spec_plan`.  The differential identity matrix
+  (``tests/test_verdict_specs.py``) is generated from this registry, so
+  registered schemes stay bit-identical to the legacy oracle by
+  construction and unregistered ones fail tier-1.
 
 See ``docs/engine.md`` for the full architecture and hook contract, and
 ``docs/parallel.md`` for multi-core sharding and experiment campaigns.
@@ -75,10 +82,36 @@ from repro.engine.montecarlo import (
     estimate_acceptance_fast,
 )
 from repro.engine.plan import VerificationPlan
+from repro.engine.specs import (
+    FAMILIES,
+    UnknownSchemeError,
+    VerdictSpec,
+    build_scheme,
+    clean_configuration,
+    fault_configuration,
+    get_spec,
+    iter_specs,
+    register,
+    scheme_for,
+    spec_names,
+    spec_plan,
+)
 
 __all__ = [
+    "FAMILIES",
     "PlanCache",
+    "UnknownSchemeError",
+    "VerdictSpec",
     "VerificationPlan",
+    "build_scheme",
+    "clean_configuration",
     "estimate_acceptance_batched",
     "estimate_acceptance_fast",
+    "fault_configuration",
+    "get_spec",
+    "iter_specs",
+    "register",
+    "scheme_for",
+    "spec_names",
+    "spec_plan",
 ]

@@ -676,6 +676,23 @@ def vertex_connectivity_configuration(
     return Configuration(graph, states)
 
 
+def corrupt_claimed_k(configuration: Configuration) -> Configuration:
+    """Bump every node's claimed ``k`` by one — the value-fault workload.
+
+    For the flow and vertex-connectivity configurations (both carry the
+    target value ``k`` in every node state) this claims one more unit of
+    flow / one more disjoint path than the graph provides, over the same
+    node set — so honest labels can be replayed against it.
+    """
+    states = {
+        node: configuration.state(node).with_fields(
+            k=configuration.state(node).get("k", 0) + 1
+        )
+        for node in configuration.graph.nodes
+    }
+    return Configuration(configuration.graph, states)
+
+
 def reindex_ids(configuration: Configuration, offset: int) -> Configuration:
     """Shift every identity by ``offset`` (distinctness experiments)."""
     states = {

@@ -36,6 +36,13 @@ distance                    dist fields are the SSSP metric  Theta(log n) / O(lo
 leader                      agreed leader exists             Theta(log n) / O(log log n)
 hamiltonicity               cycle-at-least-n                 O(log n) / O(log log n)
 ==========================  ===============================  =========================
+
+Every scheme in both tables is registered as a ``VerdictSpec`` in
+:mod:`repro.engine.specs` (kernel family fingerprint / parity /
+threshold), which puts it on the batched engine's fast path and into the
+registry-generated differential identity matrix
+(``tests/test_verdict_specs.py``) pinning its per-trial decisions to the
+one-shot reference oracle.
 """
 
 from repro.schemes.coloring import ColoringPLS, ProperColoringPredicate

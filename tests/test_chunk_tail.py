@@ -137,6 +137,41 @@ def test_first_trial_rejects_negative(vector_plan):
         estimate_acceptance_fast(vector_plan, 10, first_trial=-1)
 
 
+# One representative verdict-spec scheme per kernel family (see
+# repro.engine.specs): the chunk-tail identity must hold for every kernel
+# the spec layer routes schemes onto, not just the original benchmark pair.
+SPEC_FAMILY_ROWS = ("biconnectivity", "mis", "hamiltonicity")
+
+
+@pytest.mark.parametrize("name", SPEC_FAMILY_ROWS)
+@pytest.mark.parametrize("trials,chunk_size", [(65, 64), (100, 33)])
+def test_spec_scheme_tail_matches_oracle(name, trials, chunk_size):
+    from spec_matrix import matrix_plan
+
+    plan = matrix_plan(name, "proof-fault", "vector")
+    assert plan is not None and plan.constant_verdict is None
+    estimate = estimate_acceptance_fast(
+        plan, trials, seed=3, chunk_size=chunk_size, vectorize=True
+    )
+    assert estimate.trials == trials
+    assert estimate.accepted == oracle_counts(plan, 3, 0, trials)
+
+
+@pytest.mark.parametrize("name", SPEC_FAMILY_ROWS)
+def test_spec_scheme_partition_reproduces_whole(name):
+    from spec_matrix import matrix_plan
+
+    plan = matrix_plan(name, "proof-fault", "vector")
+    trials, split = 100, 33
+    whole = estimate_acceptance_fast(plan, trials, seed=7, chunk_size=32)
+    left = estimate_acceptance_fast(plan, split, seed=7, chunk_size=32)
+    right = estimate_acceptance_fast(
+        plan, trials - split, seed=7, chunk_size=32, first_trial=split
+    )
+    assert AcceptanceEstimate.merge([left, right]) == whole
+    assert right.accepted == oracle_counts(plan, 7, split, trials)
+
+
 def test_constant_verdict_short_circuit_still_reports_requested(vector_plan):
     # The degenerate path reports the *requested* trials (no loop ran);
     # pinned so the sharded merge stays exact for constant-False plans.

@@ -32,16 +32,11 @@ from repro.core.compiler import FingerprintCompiledRPLS
 from repro.core.seeding import derive_trial_seed
 from repro.core.shared import SharedCoinsCompiledRPLS
 from repro.engine import VerificationPlan, estimate_acceptance_fast
+from repro.engine.specs import clean_configuration, iter_specs, scheme_for
 from repro.graphs.generators import (
-    flow_configuration,
-    mst_configuration,
     spanning_tree_configuration,
     uniform_configuration,
 )
-from repro.graphs.workloads import distance_configuration
-from repro.schemes.distance import distance_rpls
-from repro.schemes.flow import k_flow_rpls
-from repro.schemes.mst import mst_rpls
 from repro.schemes.spanning_tree import SpanningTreePLS
 from repro.schemes.uniformity import DirectUnifRPLS
 from repro.simulation.metrics import wilson_interval
@@ -105,28 +100,29 @@ def assert_wilson_consistent(estimates, context):
 
 
 def hook_workloads():
-    """Every hook-bearing scheme on a shared small workload."""
-    spanning = spanning_tree_configuration(14, 4, seed=11)
-    return [
-        ("compiled", FingerprintCompiledRPLS(SpanningTreePLS()), spanning, "edge"),
-        ("compiled-node", FingerprintCompiledRPLS(SpanningTreePLS()), spanning, "node"),
-        (
-            "boosted",
-            BoostedRPLS(FingerprintCompiledRPLS(SpanningTreePLS()), 2),
-            spanning,
-            "edge",
-        ),
-        ("shared-coins", SharedCoinsCompiledRPLS(SpanningTreePLS()), spanning, "shared"),
-        ("unif", DirectUnifRPLS(), uniform_configuration(10, 8, equal=True, seed=12), "edge"),
-        ("mst", mst_rpls(), mst_configuration(10, seed=13), "edge"),
-        (
-            "flow",
-            k_flow_rpls(),
-            flow_configuration(2, path_length=3, decoy_edges=1, seed=14),
-            "edge",
-        ),
-        ("distance", distance_rpls(), distance_configuration(10, 3, seed=15), "edge"),
+    """Every registered verdict spec on its clean workload, plus the one
+    randomness mode no spec covers.
+
+    Iterating :func:`repro.engine.specs.iter_specs` (not a hand-maintained
+    list) means a newly registered scheme joins the cross-mode comparison
+    automatically.  The single manual row keeps ``randomness="node"``
+    covered: the spec layer pins each kernel family to one randomness mode
+    (fingerprint→edge), so node randomness is only reachable by compiling
+    a scheme directly.
+    """
+    rows = [
+        (spec.name, scheme_for(spec), clean_configuration(spec, seed=11), spec.randomness)
+        for spec in iter_specs()
     ]
+    rows.append(
+        (
+            "compiled-node",
+            FingerprintCompiledRPLS(SpanningTreePLS()),
+            spanning_tree_configuration(14, 4, seed=11),
+            "node",
+        )
+    )
+    return rows
 
 
 class TestLegalCompleteness:

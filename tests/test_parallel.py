@@ -291,6 +291,38 @@ class TestShardedDeterminism:
         )
         assert sharded.estimate == estimate_acceptance_fast(plan, TRIALS, seed=SEED)
 
+    @pytest.mark.parametrize(
+        "workload,kwargs",
+        [
+            ("biconnectivity", {"node_count": 16}),
+            ("mis", {"node_count": 16, "extra_edges": 5}),
+            ("hamiltonicity", {"node_count": 12, "extra_edges": 5}),
+        ],
+        ids=["fingerprint", "parity", "threshold"],
+    )
+    def test_spec_zoo_one_scheme_per_kernel_family(self, workload, kwargs):
+        """The verdict-spec zoo shards exactly like the original workloads:
+        one representative scheme per kernel family (fingerprint / parity /
+        threshold, see repro.engine.specs), merged == single-process."""
+        spec = workload_spec(workload, **kwargs)
+        sharded = estimate_acceptance_sharded(
+            spec, TRIALS, seed=SEED, executor="serial", shard_count=4
+        )
+        assert sharded.estimate == _single(spec)
+
+    def test_spec_zoo_nondegenerate_fault_merges_exactly(self):
+        """A proof-faulted parity-kernel plan (0 < p < 1): per-shard counts
+        are nontrivial, and the merge must still be count-exact."""
+        from spec_matrix import matrix_plan
+
+        plan = matrix_plan("mis", "proof-fault", "vector")
+        single = estimate_acceptance_fast(plan, TRIALS, seed=SEED)
+        assert 0 < single.accepted < TRIALS
+        sharded = estimate_acceptance_sharded(
+            plan, TRIALS, seed=SEED, executor="serial", shard_count=5
+        )
+        assert sharded.estimate == single
+
     def test_shard_results_carry_provenance(self):
         sharded = estimate_acceptance_sharded(
             small_spec(), TRIALS, seed=SEED, shard_count=3
