@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-specs test-stats test-parallel test-stream test-chaos bench bench-smoke
+.PHONY: test test-specs test-stats test-parallel test-stream test-chaos bench bench-smoke bench-record bench-diff bench-gate
 
 # Tier-1: the full test suite (includes the benchmark smoke harness and
 # the verdict-spec differential matrix, see test-specs).  Heavy statistical
@@ -58,6 +58,24 @@ bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
 
 # Fast wiring check for every engine-hooked benchmark workload (~seconds):
-# fast-path compilation, oracle bit-identity, vectorized-kernel identity.
+# fast-path compilation, oracle bit-identity, vectorized-kernel identity,
+# and the bench-history regression gate (committed snapshot vs the last
+# recorded benchmarks/history/ profile — a pure file comparison).
 bench-smoke:
 	$(PYTHON) benchmarks/smoke.py
+
+# Append the current BENCH_engine.json snapshot to benchmarks/history/ as a
+# per-commit profile.  `make bench` records one automatically after
+# regenerating the snapshot; this target (re-)records by hand.
+bench-record:
+	$(PYTHON) -m repro.benchhistory record
+
+# The perf-history diff: the latest recorded profile vs the one before it
+# (pass args via the module directly for other pairs / --input snapshots).
+bench-diff:
+	$(PYTHON) -m repro.benchhistory diff
+
+# The noise-aware regression gate on its own (also runs inside bench-smoke
+# and tier-1): exit 1 if the snapshot degraded any recorded kernel.
+bench-gate:
+	$(PYTHON) -m repro.benchhistory gate

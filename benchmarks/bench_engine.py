@@ -39,9 +39,14 @@ carry the box's CPU count so a 1-core container's ~1x is interpretable.
 The >= 2x speedup bar is asserted only when >= 4 CPUs are actually
 available.
 
-Results are persisted machine-readably to ``BENCH_engine.json`` at the
-repository root so future PRs can track the perf trajectory.  Run
-standalone (no pytest) for just the sharded comparison:
+Results are persisted machine-readably twice: the ``BENCH_engine.json``
+snapshot at the repository root (the convenient "latest" view, written
+atomically), and an append-only per-commit profile in
+``benchmarks/history/`` — one record per workload x mode x backend with
+per-repeat throughput samples — which is what the noise-aware regression
+gate (``python -m repro.benchhistory gate``) compares against, so a PR can
+never silently record over a speed win.  Run standalone (no pytest) for
+just the sharded comparison:
 
     PYTHONPATH=src python benchmarks/bench_engine.py --workers 4 --executor process
 """
@@ -71,6 +76,29 @@ from repro.schemes.spanning_tree import SpanningTreePLS
 from repro.simulation.runner import format_table
 
 TRAJECTORY_PATH = pathlib.Path(__file__).parent.parent / "BENCH_engine.json"
+HISTORY_DIR = pathlib.Path(__file__).parent / "history"
+
+
+def write_trajectory(payload, history_dir=HISTORY_DIR):
+    """Persist one bench run: atomic snapshot + append-only history profile.
+
+    The ``BENCH_engine.json`` snapshot is replaced atomically (a torn
+    snapshot would poison the regression gate that reads it), and the same
+    payload is flattened into per-kernel records and appended to the
+    ``benchmarks/history/`` store — the overwritten snapshot stops being
+    the only record of the repo's speed wins.  Returns the payload.
+    """
+    from repro.benchhistory import (
+        HistoryStore,
+        atomic_write_text,
+        profile_from_snapshot,
+    )
+
+    atomic_write_text(TRAJECTORY_PATH, json.dumps(payload, indent=2) + "\n")
+    profile_id, records = profile_from_snapshot(payload)
+    recorded = HistoryStore(history_dir).record(records, profile_id=profile_id)
+    print(f"\nrecorded bench profile {recorded} ({len(records)} kernels)")
+    return payload
 
 NODE_COUNT = 200
 EXTRA_EDGES = 60
@@ -116,15 +144,37 @@ SHARDED_WORKLOADS = [
 ]
 
 
-def _throughput(run, trials, repeats=3):
-    """Best-of-``repeats`` trials/sec (best-of defeats scheduler noise)."""
-    best = 0.0
-    for _ in range(repeats):
+# Coarse perf_counter backends can report a zero (or sub-resolution) delta
+# on a fast kernel with a small budget — dividing by it is a
+# ZeroDivisionError (or a garbage rate).  Measurements below the floor
+# re-run with a doubled budget until the delta is measurable; the clamp is
+# the last resort if the timer never moves at all.
+MIN_MEASURABLE_SEC = 1e-6
+MAX_TIMER_DOUBLINGS = 20
+
+
+def _timed_rate(run, trials):
+    """One measured trials/sec figure, never divided by a zero delta."""
+    elapsed = 0.0
+    for _ in range(MAX_TIMER_DOUBLINGS):
         start = time.perf_counter()
         run(trials)
         elapsed = time.perf_counter() - start
-        best = max(best, trials / elapsed)
-    return best
+        if elapsed >= MIN_MEASURABLE_SEC:
+            return trials / elapsed
+        trials *= 2
+    return trials / max(elapsed, MIN_MEASURABLE_SEC)
+
+
+def _throughput(run, trials, repeats=3):
+    """Best-of-``repeats`` trials/sec (best-of defeats scheduler noise).
+
+    Returns ``(best, samples)`` — the raw per-repeat rates ride into the
+    recorded profiles so the history gate (:mod:`repro.benchhistory`) can
+    estimate each kernel's noise floor from its repeat variance.
+    """
+    samples = [round(_timed_rate(run, trials), 1) for _ in range(repeats)]
+    return max(samples), samples
 
 
 def measure_sharded(workers=DEFAULT_WORKERS, executor_name="process", repeats=3):
@@ -142,7 +192,7 @@ def measure_sharded(workers=DEFAULT_WORKERS, executor_name="process", repeats=3)
     try:
         for name, spec, trials in SHARDED_WORKLOADS:
             plan = spec.resolve()
-            single = _throughput(
+            single, single_samples = _throughput(
                 lambda n: estimate_acceptance_fast(
                     plan, n, seed=0, rng_mode="vector", vectorize=True
                 ),
@@ -156,7 +206,7 @@ def measure_sharded(workers=DEFAULT_WORKERS, executor_name="process", repeats=3)
                 plan, trials, seed=0, rng_mode="vector", vectorize=True
             )
             assert sharded_estimate.estimate == reference, name
-            sharded = _throughput(
+            sharded, sharded_samples = _throughput(
                 lambda n: estimate_acceptance_sharded(
                     spec, n, seed=0, executor=instance
                 ),
@@ -172,6 +222,7 @@ def measure_sharded(workers=DEFAULT_WORKERS, executor_name="process", repeats=3)
                     "single_trials_per_sec": round(single, 1),
                     "sharded_trials_per_sec": round(sharded, 1),
                     "sharded_speedup": round(sharded / single, 2),
+                    "samples": {"single": single_samples, "sharded": sharded_samples},
                     "verdict_identical": True,
                 }
             )
@@ -286,38 +337,37 @@ def _sharded_rows(records):
 
 
 def _measure(scheme, configuration, labels, randomness, legacy_trials, engine_trials):
+    """Throughput of every execution path; returns ``(plan, rates, samples)``.
+
+    ``rates`` maps the history-profile mode names
+    (:mod:`repro.benchhistory`) to best-of-repeats trials/sec; ``samples``
+    maps them to the raw per-repeat rates the noise-floor estimate uses.
+    """
     plan = VerificationPlan.compile(
         scheme, configuration, labels=labels, randomness=randomness
     )
-    legacy = _throughput(
-        lambda n: estimate_acceptance(
+    runs = [
+        ("legacy", legacy_trials, lambda n: estimate_acceptance(
             scheme, configuration, trials=n, seed=0, labels=labels,
             randomness=randomness,
-        ),
-        legacy_trials,
-    )
-    compat = _throughput(
-        lambda n: estimate_acceptance_fast(plan, n, seed=0), engine_trials
-    )
-    fast = _throughput(
-        lambda n: estimate_acceptance_fast(
+        )),
+        ("engine-compat", engine_trials, lambda n: estimate_acceptance_fast(
+            plan, n, seed=0
+        )),
+        ("engine-fast", engine_trials, lambda n: estimate_acceptance_fast(
             plan, n, seed=0, rng_mode="fast", vectorize=False
-        ),
-        engine_trials,
-    )
-    vector = _throughput(
-        lambda n: estimate_acceptance_fast(
+        )),
+        ("engine-fast+numpy", engine_trials, lambda n: estimate_acceptance_fast(
             plan, n, seed=0, rng_mode="fast", vectorize=True
-        ),
-        engine_trials,
-    )
-    vector_rng = _throughput(
-        lambda n: estimate_acceptance_fast(
+        )),
+        ("engine-vector", engine_trials, lambda n: estimate_acceptance_fast(
             plan, n, seed=0, rng_mode="vector", vectorize=True
-        ),
-        engine_trials,
-    )
-    return plan, legacy, compat, fast, vector, vector_rng
+        )),
+    ]
+    rates, samples = {}, {}
+    for mode, trials, run in runs:
+        rates[mode], samples[mode] = _throughput(run, trials)
+    return plan, rates, samples
 
 
 def _assert_bit_identical(
@@ -399,8 +449,12 @@ def test_engine_throughput(benchmark, report):
         )
     for name, scheme, configuration, randomness, legacy_trials, engine_trials in workloads:
         labels = scheme.prover(configuration)
-        plan, legacy, compat, fast, vector, vector_rng = _measure(
+        plan, rates, samples = _measure(
             scheme, configuration, labels, randomness, legacy_trials, engine_trials
+        )
+        legacy, compat, fast, vector, vector_rng = (
+            rates["legacy"], rates["engine-compat"], rates["engine-fast"],
+            rates["engine-fast+numpy"], rates["engine-vector"],
         )
         assert plan.uses_fast_path and plan.vector_ready
         identical = _assert_bit_identical(
@@ -437,6 +491,7 @@ def test_engine_throughput(benchmark, report):
                 "vector_vs_fast": round(vector / fast, 2),
                 "vector_rng_vs_fast": round(vector_rng / fast, 2),
                 "vector_rng_vs_fast_numpy": round(vector_rng / vector, 2),
+                "samples": samples,
                 "bit_identical": identical,
             }
         )
@@ -472,31 +527,27 @@ def test_engine_throughput(benchmark, report):
         + format_table(STREAMED_TABLE_HEADER, _streamed_rows(streamed_results)),
     )
 
-    TRAJECTORY_PATH.write_text(
-        json.dumps(
-            {
-                "experiment": "engine_throughput",
-                "workload": {
-                    "node_count": NODE_COUNT,
-                    "extra_edges": EXTRA_EDGES,
-                    "generator": "spanning_tree_configuration(seed=1)",
-                    "mst_node_count": MST_NODE_COUNT,
-                    "mst_generator": "mst_configuration(seed=1)",
-                },
-                "python": sys.version.split()[0],
-                "required_speedup": REQUIRED_SPEEDUP,
-                "required_vector_speedup": REQUIRED_VECTOR_SPEEDUP,
-                "required_vector_rng_speedup": REQUIRED_VECTOR_RNG_SPEEDUP,
-                "required_sharded_speedup": REQUIRED_SHARDED_SPEEDUP,
-                "cpu_count": available_cpus(),
-                "workers": sharded_results[0]["workers"] if sharded_results else 0,
-                "results": results,
-                "sharded_results": sharded_results,
-                "streamed_results": streamed_results,
+    write_trajectory(
+        {
+            "experiment": "engine_throughput",
+            "workload": {
+                "node_count": NODE_COUNT,
+                "extra_edges": EXTRA_EDGES,
+                "generator": "spanning_tree_configuration(seed=1)",
+                "mst_node_count": MST_NODE_COUNT,
+                "mst_generator": "mst_configuration(seed=1)",
             },
-            indent=2,
-        )
-        + "\n"
+            "python": sys.version.split()[0],
+            "required_speedup": REQUIRED_SPEEDUP,
+            "required_vector_speedup": REQUIRED_VECTOR_SPEEDUP,
+            "required_vector_rng_speedup": REQUIRED_VECTOR_RNG_SPEEDUP,
+            "required_sharded_speedup": REQUIRED_SHARDED_SPEEDUP,
+            "cpu_count": available_cpus(),
+            "workers": sharded_results[0]["workers"] if sharded_results else 0,
+            "results": results,
+            "sharded_results": sharded_results,
+            "streamed_results": streamed_results,
+        }
     )
 
     # The acceptance bar: the bit-identical batched path clears 5x on at

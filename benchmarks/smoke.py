@@ -19,12 +19,19 @@ tier-1 via ``tests/test_bench_smoke.py``, and standalone via
 - the parallel subsystem wiring holds end to end: a tiny campaign runs
   through the **process executor**, the sharded merge equals the
   single-process estimate verdict-count for verdict-count, and the pool
-  tears down without leaking worker processes.
+  tears down without leaking worker processes;
+- the bench-history regression gate (``repro.benchhistory``) passes over
+  the *committed* ``BENCH_engine.json`` + ``benchmarks/history/`` files —
+  a pure file comparison, so a failure is a recorded degradation, never
+  measurement flake.
 
 Run:  python benchmarks/smoke.py      (or: make bench-smoke)
 """
 
+import contextlib
+import io
 import multiprocessing
+import pathlib
 import sys
 
 from repro.core.boosting import BoostedRPLS
@@ -331,10 +338,43 @@ def _run_smoke_campaign(campaign, backend):
     )
 
 
+def smoke_bench_history():
+    """The perf-regression gate as a tier-1 invariant; returns its report row.
+
+    Runs ``python -m repro.benchhistory gate`` (in process) over the
+    *committed* ``BENCH_engine.json`` snapshot and ``benchmarks/history/``
+    store — a pure, deterministic file comparison, no measurement, so it
+    cannot flake.  The gate passing means the current commit has not
+    degraded any recorded kernel beyond its noise threshold; it skips
+    cleanly (still exit 0) where there is nothing sound to compare — no
+    recorded baseline yet, or a cpu_count mismatch with the machine that
+    recorded the baseline (the established bench posture on the 1-CPU
+    container).  A non-zero exit is a recorded speed win lost: fail loudly.
+    """
+    from repro.benchhistory.cli import main as benchhistory_main
+
+    repo = pathlib.Path(__file__).parent.parent
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = benchhistory_main(
+            [
+                "gate",
+                "--input", str(repo / "BENCH_engine.json"),
+                "--history", str(repo / "benchmarks" / "history"),
+            ]
+        )
+    output = buffer.getvalue()
+    assert code == 0, f"bench-history gate failed:\n{output}"
+    skipped = "gate: skipped" in output
+    status = output.strip().splitlines()[-1] if skipped else "ok"
+    return [["bench-history gate", "-", "history", status]]
+
+
 def main() -> int:
     rows = [smoke_workload(*workload) for workload in workloads()]
     rows.extend(smoke_spec_registry())
     rows.extend(smoke_parallel())
+    rows.extend(smoke_bench_history())
     print(format_table(["workload", "half-edges", "kernel", "status"], rows))
     print(f"\n{len(rows)} engine-hooked workloads smoke-tested ok")
     return 0

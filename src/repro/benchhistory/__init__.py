@@ -1,0 +1,60 @@
+"""Benchmark history + noise-aware regression gating (perun-style, in miniature).
+
+``BENCH_engine.json`` is a single latest-run snapshot: any regression a PR
+introduces is silently recorded *over* the numbers it regressed.  This
+package makes the speed wins un-losable:
+
+- :mod:`repro.benchhistory.store` — an append-only ``benchmarks/history/``
+  store of per-commit bench *profiles* (one JSON-lines file per profile,
+  written through the campaign :class:`~repro.parallel.campaign.JsonlSink`
+  and finalized atomically), one record per workload x mode x backend,
+  tagged with commit, cpu_count, and timestamp;
+- :mod:`repro.benchhistory.detect` — noise-aware degradation detectors:
+  an average-amount threshold on trials/sec with a per-kernel noise floor
+  estimated from repeat variance, and an integral comparison over the
+  speedup columns (the two checks borrowed from perun's ``check`` family);
+- :mod:`repro.benchhistory.report` — the ``bench-diff`` report comparing
+  any two profiles, and the gate verdict built from it;
+- :mod:`repro.benchhistory.cli` — ``python -m repro.benchhistory`` with
+  ``record`` / ``diff`` / ``gate`` subcommands (``gate`` exits non-zero on
+  a degradation beyond the noise threshold; see ``docs/engine.md``).
+"""
+
+from repro.benchhistory.detect import (
+    IntegralComparison,
+    KernelComparison,
+    average_amount_threshold,
+    integral_comparison,
+    noise_floor,
+    relative_spread,
+)
+from repro.benchhistory.report import BenchDiff, diff_profiles, format_diff, select_baseline
+from repro.benchhistory.store import (
+    DEFAULT_HISTORY_DIR,
+    DEFAULT_SNAPSHOT,
+    HistoryStore,
+    Profile,
+    atomic_write_text,
+    current_commit,
+    profile_from_snapshot,
+)
+
+__all__ = [
+    "BenchDiff",
+    "DEFAULT_HISTORY_DIR",
+    "DEFAULT_SNAPSHOT",
+    "HistoryStore",
+    "IntegralComparison",
+    "KernelComparison",
+    "Profile",
+    "atomic_write_text",
+    "average_amount_threshold",
+    "current_commit",
+    "diff_profiles",
+    "format_diff",
+    "integral_comparison",
+    "noise_floor",
+    "profile_from_snapshot",
+    "relative_spread",
+    "select_baseline",
+]

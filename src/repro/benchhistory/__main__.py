@@ -1,0 +1,8 @@
+"""Entry point: ``python -m repro.benchhistory {record,diff,gate} ...``."""
+
+import sys
+
+from repro.benchhistory.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

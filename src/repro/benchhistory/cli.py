@@ -1,0 +1,244 @@
+"""``python -m repro.benchhistory`` — record / diff / gate.
+
+- ``record``  append the current ``BENCH_engine.json`` snapshot to the
+  ``benchmarks/history/`` store as a per-commit profile (``make bench``
+  does this automatically through :mod:`benchmarks.bench_engine`; the
+  subcommand exists to (re-)record any snapshot file by hand).
+- ``diff``    compare two recorded profiles — by default the latest
+  against the one before it, or ``--input`` (a snapshot file) against the
+  gate's baseline — and print the kernel + integral report.
+- ``gate``    the regression gate: compare the current snapshot against
+  the last recorded profile of a *different* commit and exit non-zero if
+  any kernel's trials/sec, or any speedup-column integral, degraded beyond
+  its noise-aware threshold.  The gate *skips* (exit 0, with a reason)
+  when there is nothing sound to compare: no snapshot, no recorded
+  baseline, or a cpu_count mismatch between the machines that produced the
+  two profiles (the established bench posture — hardware-dependent bars
+  only apply where the hardware matches; pass ``--any-machine`` to compare
+  anyway).
+
+Exit codes: 0 = ok or skipped, 1 = degradation detected, 2 = bad usage.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.benchhistory.detect import (
+    DEFAULT_INTEGRAL_DROP,
+    DEFAULT_MIN_REL_DROP,
+    DEFAULT_NOISE_MULTIPLIER,
+)
+from repro.benchhistory.report import diff_profiles, format_diff, select_baseline
+from repro.benchhistory.store import (
+    DEFAULT_HISTORY_DIR,
+    DEFAULT_SNAPSHOT,
+    HistoryStore,
+    Profile,
+    current_commit,
+    profile_from_snapshot,
+)
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--history",
+        type=Path,
+        default=DEFAULT_HISTORY_DIR,
+        help=f"history directory (default: {DEFAULT_HISTORY_DIR})",
+    )
+
+
+def _add_thresholds(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--min-rel-drop",
+        type=float,
+        default=DEFAULT_MIN_REL_DROP,
+        help="smallest per-kernel trials/sec drop ever flagged "
+        f"(default: {DEFAULT_MIN_REL_DROP})",
+    )
+    parser.add_argument(
+        "--noise-multiplier",
+        type=float,
+        default=DEFAULT_NOISE_MULTIPLIER,
+        help="factor on the per-kernel repeat-variance noise floor "
+        f"(default: {DEFAULT_NOISE_MULTIPLIER})",
+    )
+    parser.add_argument(
+        "--integral-drop",
+        type=float,
+        default=DEFAULT_INTEGRAL_DROP,
+        help="speedup-column integral drop that counts as degradation "
+        f"(default: {DEFAULT_INTEGRAL_DROP})",
+    )
+
+
+def _snapshot_profile(args, parser) -> Optional[Profile]:
+    """The --input snapshot as an unrecorded in-memory profile."""
+    path = Path(args.input)
+    if not path.exists():
+        return None
+    try:
+        snapshot = json.loads(path.read_text())
+    except json.JSONDecodeError as exc:
+        parser.error(f"unreadable snapshot {path}: {exc}")
+    commit = args.commit if args.commit else current_commit(path.parent)
+    profile_id, records = profile_from_snapshot(snapshot, commit=commit)
+    return Profile(profile_id=f"snapshot:{profile_id}", records=tuple(records))
+
+
+def _cmd_record(args, parser) -> int:
+    profile = _snapshot_profile(args, parser)
+    if profile is None:
+        print(f"record: no snapshot at {args.input}", file=sys.stderr)
+        return 2
+    store = HistoryStore(args.history)
+    profile_id = store.record(
+        profile.records, profile_id=args.profile_id
+    )
+    print(
+        f"recorded profile {profile_id} ({len(profile.records)} kernel records, "
+        f"commit {profile.commit}) in {store.root}"
+    )
+    return 0
+
+
+def _cmd_diff(args, parser) -> int:
+    store = HistoryStore(args.history)
+    ids = store.profile_ids()
+    if args.baseline and args.current:
+        baseline, current = store.load(args.baseline), store.load(args.current)
+    elif args.input is not None:
+        current = _snapshot_profile(args, parser)
+        if current is None:
+            print(f"diff: no snapshot at {args.input}", file=sys.stderr)
+            return 2
+        baseline = (
+            store.load(args.baseline)
+            if args.baseline
+            else select_baseline(store, current.commit)
+        )
+        if baseline is None:
+            print(f"diff: no recorded profiles in {store.root}")
+            return 0
+    else:
+        if len(ids) < 2:
+            print(
+                f"diff: need two recorded profiles in {store.root} "
+                f"(have {len(ids)}); record more or pass --input"
+            )
+            return 0
+        baseline, current = store.load(ids[-2]), store.load(ids[-1])
+    diff = diff_profiles(
+        baseline,
+        current,
+        min_rel_drop=args.min_rel_drop,
+        noise_multiplier=args.noise_multiplier,
+        integral_drop=args.integral_drop,
+    )
+    print(format_diff(diff))
+    return 0
+
+
+def _cmd_gate(args, parser) -> int:
+    def skip(reason: str) -> int:
+        print(f"gate: skipped ({reason})")
+        return 0
+
+    current = _snapshot_profile(args, parser)
+    if current is None:
+        return skip(f"no snapshot at {args.input}")
+    store = HistoryStore(args.history)
+    baseline = (
+        store.load(args.baseline)
+        if args.baseline
+        else select_baseline(store, current.commit)
+    )
+    if baseline is None:
+        return skip(f"no recorded baseline profile in {store.root}")
+    if baseline.torn_lines:
+        print(
+            f"gate: baseline {baseline.profile_id} had {baseline.torn_lines} "
+            "torn record(s); comparing the intact ones",
+            file=sys.stderr,
+        )
+    diff = diff_profiles(
+        baseline,
+        current,
+        min_rel_drop=args.min_rel_drop,
+        noise_multiplier=args.noise_multiplier,
+        integral_drop=args.integral_drop,
+    )
+    if not diff.machine_match and not args.any_machine:
+        return skip(
+            f"cpu_count mismatch (baseline {baseline.cpu_count}, "
+            f"current {current.cpu_count}); recorded throughput is only "
+            "comparable on matching hardware — pass --any-machine to force"
+        )
+    print(format_diff(diff))
+    if diff.ok:
+        print(
+            f"\ngate: ok — no kernel degraded beyond its noise threshold "
+            f"vs {baseline.profile_id}"
+        )
+        return 0
+    names = ", ".join(
+        f"{k.workload}/{k.mode}/{k.backend}" for k in diff.degradations
+    ) or ", ".join(f"integral({i.mode})" for i in diff.integral_degradations)
+    print(f"\ngate: FAILED — degraded beyond noise threshold: {names}")
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.benchhistory", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    record = sub.add_parser("record", help="append a snapshot to the history store")
+    _add_common(record)
+    record.add_argument("--input", type=Path, default=DEFAULT_SNAPSHOT)
+    record.add_argument("--commit", help="override the commit tag (default: git HEAD)")
+    record.add_argument("--profile-id", help="override the generated profile id")
+    record.set_defaults(func=_cmd_record)
+
+    diff = sub.add_parser("diff", help="compare two profiles (default: last two)")
+    _add_common(diff)
+    _add_thresholds(diff)
+    diff.add_argument("baseline", nargs="?", help="baseline profile id")
+    diff.add_argument("current", nargs="?", help="current profile id")
+    diff.add_argument(
+        "--input", type=Path, default=None,
+        help="compare this snapshot file (as current) against the baseline",
+    )
+    diff.add_argument("--commit", help="commit tag for --input (default: git HEAD)")
+    diff.set_defaults(func=_cmd_diff)
+
+    gate = sub.add_parser(
+        "gate", help="fail (exit 1) if the snapshot degraded a recorded kernel"
+    )
+    _add_common(gate)
+    _add_thresholds(gate)
+    gate.add_argument("--input", type=Path, default=DEFAULT_SNAPSHOT)
+    gate.add_argument("--commit", help="override the commit tag (default: git HEAD)")
+    gate.add_argument("--baseline", help="gate against this profile id")
+    gate.add_argument(
+        "--any-machine", action="store_true",
+        help="compare even when the baseline's cpu_count differs",
+    )
+    gate.set_defaults(func=_cmd_gate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "diff" and bool(args.baseline) != bool(args.current):
+        if args.input is None:
+            parser.error("diff takes zero or two profile ids (or --input)")
+    return args.func(args, parser)

@@ -1,0 +1,161 @@
+"""The ``bench-diff`` report: two profiles, every detector, one verdict.
+
+:func:`diff_profiles` runs both detectors of
+:mod:`repro.benchhistory.detect` across two profiles and folds the results
+into a :class:`BenchDiff`; :func:`format_diff` renders it as the familiar
+monospace tables.  The regression *gate* is ``diff.ok`` plus the
+machine-match guard — throughput recorded on a 1-CPU container is not
+comparable to an 8-core box, so a cpu_count mismatch makes the gate *skip*
+(the established bench posture: hardware-dependent bars apply only where
+the hardware matches), never fail.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.benchhistory.detect import (
+    DEFAULT_INTEGRAL_DROP,
+    DEFAULT_MIN_REL_DROP,
+    DEFAULT_NOISE_MULTIPLIER,
+    IntegralComparison,
+    KernelComparison,
+    average_amount_threshold,
+    integral_comparison,
+)
+from repro.benchhistory.store import HistoryStore, Profile
+from repro.simulation.runner import format_table
+
+
+@dataclass(frozen=True)
+class BenchDiff:
+    """Everything the detectors concluded about ``baseline -> current``."""
+
+    baseline_id: str
+    current_id: str
+    kernels: Tuple[KernelComparison, ...]
+    integrals: Tuple[IntegralComparison, ...]
+    machine_match: bool
+
+    def _with_verdict(self, verdict: str) -> Tuple[KernelComparison, ...]:
+        return tuple(k for k in self.kernels if k.verdict == verdict)
+
+    @property
+    def degradations(self) -> Tuple[KernelComparison, ...]:
+        return self._with_verdict("degraded")
+
+    @property
+    def improvements(self) -> Tuple[KernelComparison, ...]:
+        return self._with_verdict("improved")
+
+    @property
+    def integral_degradations(self) -> Tuple[IntegralComparison, ...]:
+        return tuple(i for i in self.integrals if i.verdict == "degraded")
+
+    @property
+    def ok(self) -> bool:
+        """No kernel and no speedup-column integral degraded past its
+        threshold.  New/missing kernels never gate."""
+        return not self.degradations and not self.integral_degradations
+
+
+def diff_profiles(
+    baseline: Profile,
+    current: Profile,
+    min_rel_drop: float = DEFAULT_MIN_REL_DROP,
+    noise_multiplier: float = DEFAULT_NOISE_MULTIPLIER,
+    integral_drop: float = DEFAULT_INTEGRAL_DROP,
+) -> BenchDiff:
+    """Run both detectors over every kernel the two profiles mention."""
+    base_kernels = baseline.kernels()
+    cur_kernels = current.kernels()
+    comparisons = []
+    for key in sorted(set(base_kernels) | set(cur_kernels)):
+        comparisons.append(
+            average_amount_threshold(
+                base_kernels.get(key),
+                cur_kernels.get(key),
+                min_rel_drop=min_rel_drop,
+                noise_multiplier=noise_multiplier,
+            )
+        )
+    integrals = integral_comparison(base_kernels, cur_kernels, threshold=integral_drop)
+    machine_match = (
+        baseline.cpu_count is None
+        or current.cpu_count is None
+        or baseline.cpu_count == current.cpu_count
+    )
+    return BenchDiff(
+        baseline_id=baseline.profile_id,
+        current_id=current.profile_id,
+        kernels=tuple(comparisons),
+        integrals=integrals,
+        machine_match=machine_match,
+    )
+
+
+def format_diff(diff: BenchDiff) -> str:
+    """The human-facing bench-diff report (kernel table + integral table)."""
+    def rate(value: Optional[float]) -> str:
+        return f"{value:.1f}" if value is not None else "-"
+
+    kernel_rows = [
+        [
+            comparison.workload,
+            comparison.mode,
+            comparison.backend,
+            rate(comparison.baseline),
+            rate(comparison.current),
+            comparison.describe(),
+            comparison.verdict,
+        ]
+        for comparison in diff.kernels
+    ]
+    text = (
+        f"bench-diff: {diff.baseline_id} -> {diff.current_id}\n\n"
+        + format_table(
+            ["workload", "mode", "backend", "base/s", "cur/s", "change", "verdict"],
+            kernel_rows,
+        )
+    )
+    if diff.integrals:
+        integral_rows = [
+            [i.mode, i.backend, i.describe(), f"-{i.threshold:.0%}", i.verdict]
+            for i in diff.integrals
+        ]
+        text += "\n\n" + format_table(
+            ["speedup integral (mode)", "backend", "change", "gate", "verdict"],
+            integral_rows,
+        )
+    if not diff.machine_match:
+        text += "\n\nnote: profiles were recorded on different cpu_counts"
+    counts = (
+        f"{len(diff.degradations)} degraded, {len(diff.improvements)} improved, "
+        f"{sum(1 for k in diff.kernels if k.verdict in ('new', 'missing'))} new/missing, "
+        f"{len(diff.integral_degradations)} integral degradations"
+    )
+    return text + f"\n\n{counts}"
+
+
+def select_baseline(
+    store: HistoryStore, current_commit: Optional[str] = None
+) -> Optional[Profile]:
+    """The profile a gate run should compare against.
+
+    The newest recorded profile whose commit differs from
+    ``current_commit`` — gating a commit against its *own* freshly recorded
+    profile would compare a file with itself.  When every recorded profile
+    is from the current commit (first record, or a re-record of the same
+    bench run), the newest one is returned: an identical re-record passes
+    the gate by construction, which is the intended behavior.
+    """
+    ids = store.profile_ids()
+    if not ids:
+        return None
+    if current_commit is not None:
+        for profile_id in reversed(ids):
+            profile = store.load(profile_id)
+            if profile.commit != current_commit:
+                return profile
+    return store.load(ids[-1])

@@ -168,7 +168,7 @@ class MemorySink:
     def write(self, record: Dict) -> None:
         self.records.append(record)
         if _record_completes(record):
-            self._keys.add(record["cell_key"])
+            self._keys.add(record.get("cell_key"))
 
 
 class JsonlSink:
@@ -227,7 +227,9 @@ class JsonlSink:
                 os.fsync(handle.fileno())
         self.records.append(record)
         if _record_completes(record):
-            self._keys.add(record["cell_key"])
+            # .get: the sink also carries non-campaign records (the bench
+            # history profiles of repro.benchhistory), which have no cell key.
+            self._keys.add(record.get("cell_key"))
 
 
 def _run_cell(

@@ -797,13 +797,18 @@ def estimate_acceptance_sharded(
             if aggregator is not None and aggregator.satisfied:
                 stopped = True
         else:
-            handle = instance.start_run(_run_shard, payloads, on_progress=on_progress)
-            if aggregator is not None:
-                aggregator.bind_stop(handle.request_stop)
-
-            result_stream = handle.results()
-            try:
-                for result in result_stream:
+            # The context manager guarantees the run's backend resources
+            # (stop-board slot, progress subscription) are released on every
+            # exit path — including errors raised *before* the first result
+            # is iterated, where closing the result generator alone would
+            # never reach its finally (a never-started generator's body does
+            # not run on close; see RunHandle.close).
+            with instance.start_run(
+                _run_shard, payloads, on_progress=on_progress
+            ) as handle:
+                if aggregator is not None:
+                    aggregator.bind_stop(handle.request_stop)
+                for result in handle.results():
                     results.append(result)
                     accepted += result.accepted
                     done += result.trials
@@ -825,8 +830,6 @@ def estimate_acceptance_sharded(
                         if high - low <= 2 * stop_halfwidth:
                             stopped = True
                             handle.request_stop()
-            finally:
-                result_stream.close()  # releases the run's slot/subscription
     finally:
         if owned:
             instance.close()

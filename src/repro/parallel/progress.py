@@ -47,6 +47,7 @@ Conduits per backend
 from __future__ import annotations
 
 import threading
+import warnings
 from typing import Callable, Dict, Optional, Tuple
 
 from repro.simulation.metrics import wilson_interval
@@ -92,10 +93,16 @@ class RunHandle:
     """One sharded run in flight on an executor.
 
     ``results()`` yields shard results as they complete (exactly once);
-    ``request_stop()`` asks the *this run's* workers to stop at the next
-    chunk boundary.  The handle releases backend resources (stop-board
-    slot, progress subscription) when the result iteration finishes,
-    normally or not.
+    ``request_stop()`` asks *this run's* workers to stop at the next chunk
+    boundary.  The handle releases backend resources (stop-board slot,
+    progress subscription) when the result iteration finishes, normally or
+    not — **and** via :meth:`close`, which is the path a caller that never
+    iterates (or dies between ``start_run`` and the first ``next``) must
+    take: relying on the generator's ``finally`` alone leaks both
+    resources, because closing a never-started generator does not run its
+    body.  ``close`` is idempotent, safe after a completed iteration, and
+    the handle is a context manager (``with executor.start_run(...) as
+    handle:``) so error paths release by construction.
     """
 
     def __init__(self, iterator, token: StopToken, on_finish=None):
@@ -107,15 +114,43 @@ class RunHandle:
     def request_stop(self) -> None:
         self._token.request()
 
+    def _finish(self) -> None:
+        if not self._finished:
+            self._finished = True
+            if self._on_finish is not None:
+                self._on_finish()
+
+    def close(self) -> None:
+        """Release the run's backend resources; idempotent.
+
+        For a run whose results were never (fully) iterated this stops the
+        workers cooperatively first, then runs the release hook — the same
+        teardown a completed iteration performs.  After a completed
+        ``results()`` iteration it is a no-op.
+        """
+        if self._finished:
+            return
+        self._token.request()
+        # Close the underlying iterator if it was started: _drain_futures'
+        # own finally then cancels any pending futures before the release
+        # hook waits out the running ones.
+        close_iter = getattr(self._iterator, "close", None)
+        if close_iter is not None:
+            close_iter()
+        self._finish()
+
     def results(self):
         try:
             for item in self._iterator:
                 yield item
         finally:
-            if not self._finished:
-                self._finished = True
-                if self._on_finish is not None:
-                    self._on_finish()
+            self._finish()
+
+    def __enter__(self) -> "RunHandle":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
 class StreamingAggregator:
@@ -215,8 +250,9 @@ class ProgressRouter:
     ``malformed_items`` — never raised.
     """
 
-    def __init__(self, queue):
+    def __init__(self, queue, join_timeout: float = 5.0):
         self._queue = queue
+        self._join_timeout = join_timeout
         self._subscribers: Dict[int, Callable[[int, int, int], None]] = {}
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
@@ -224,6 +260,7 @@ class ProgressRouter:
         self.callback_errors = 0  # raising subscribers, dropped not fatal
         self.unknown_run_updates = 0  # partials for finished/never-known runs
         self.malformed_items = 0  # torn or garbage queue items
+        self.drain_thread_leaked = 0  # drain threads that outlived close()
 
     def subscribe(self, run_id: int, callback: Callable[[int, int, int], None]) -> None:
         with self._lock:
@@ -275,6 +312,15 @@ class ProgressRouter:
                     self.callback_errors += 1
 
     def close(self) -> None:
+        """Stop the drain thread; a thread that outlives the join is *surfaced*.
+
+        The join can time out when the queue is wedged (a worker died
+        holding the pipe, or a subscriber callback blocks forever): the
+        sentinel then never reaches the drain loop.  Silently ignoring that
+        would leak one daemon thread per executor lifecycle — so it is
+        counted in ``drain_thread_leaked`` and warned about instead, which
+        is what the executor-teardown regression tests key on.
+        """
         with self._lock:
             if self._closed:
                 return
@@ -282,4 +328,13 @@ class ProgressRouter:
             thread = self._thread
         if thread is not None:
             self._queue.put(_ROUTER_SENTINEL)
-            thread.join(timeout=5)
+            thread.join(timeout=self._join_timeout)
+            if thread.is_alive():
+                self.drain_thread_leaked += 1
+                warnings.warn(
+                    f"progress drain thread {thread.name!r} did not exit "
+                    f"within {self._join_timeout}s of close() — the progress "
+                    "queue is wedged; leaking the (daemon) thread",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )

@@ -1,0 +1,576 @@
+"""The benchmark-history subsystem (PR 8): store, detectors, gate, CLI.
+
+The load-bearing properties:
+
+- **Append-only store** — profiles are only ever added (same-id re-records
+  get a serial suffix), finalization is atomic (dot-prefixed temp +
+  ``os.replace``, invisible to listing), and reloads tolerate torn lines
+  the way campaign logs do: intact records survive, torn ones are counted.
+- **Noise-aware detectors** — the per-kernel average-amount threshold
+  widens with the repeat-variance noise floor (a kernel whose repeats
+  spread 50% cannot be gated at 15%), and the speedup-column integral
+  catches shared-kernel regressions that hide inside per-workload noise.
+- **Gate semantics** — exit 1 only on a real degradation; identical
+  re-records pass by construction, and the gate *skips* (exit 0) whenever
+  there is nothing sound to compare: no snapshot, no recorded baseline, or
+  a cpu_count mismatch (the established hardware-matching bench posture).
+- **Timer clamp** — ``bench_engine`` never divides by a zero
+  ``perf_counter`` delta: sub-resolution measurements re-run with a doubled
+  budget, and the final division is clamped.
+"""
+
+import importlib.util
+import json
+import pathlib
+import types
+
+import pytest
+
+from repro.benchhistory import (
+    HistoryStore,
+    Profile,
+    atomic_write_text,
+    average_amount_threshold,
+    diff_profiles,
+    format_diff,
+    integral_comparison,
+    noise_floor,
+    profile_from_snapshot,
+    relative_spread,
+    select_baseline,
+)
+from repro.benchhistory.cli import main
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+BENCH_ENGINE_PATH = REPO_ROOT / "benchmarks" / "bench_engine.py"
+
+
+def _load_bench_engine():
+    spec = importlib.util.spec_from_file_location("bench_engine_under_test",
+                                                  BENCH_ENGINE_PATH)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def kernel_record(
+    workload="spanning-tree",
+    mode="engine-fast",
+    backend="single",
+    rate=1000.0,
+    speedup=10.0,
+    samples=(),
+    commit="aaaaaaa",
+    cpu_count=1,
+    profile="p-aaaaaaa",
+):
+    return {
+        "profile": profile,
+        "commit": commit,
+        "timestamp": "2026-08-08T00:00:00Z",
+        "cpu_count": cpu_count,
+        "python": "3.x",
+        "workload": workload,
+        "mode": mode,
+        "backend": backend,
+        "trials_per_sec": rate,
+        "speedup": speedup,
+        "samples": list(samples),
+    }
+
+
+def make_snapshot(rate=1000.0, cpu_count=1, samples=(990.0, 1000.0, 1010.0),
+                  schemes=("spanning-tree",), with_compat=False):
+    """A minimal BENCH_engine.json payload: legacy + engine-fast columns."""
+    results = []
+    for scheme in schemes:
+        row = {
+            "scheme": scheme,
+            "legacy_trials_per_sec": 100.0,
+            "engine_fast_trials_per_sec": rate,
+            "speedup_fast": rate / 100.0,
+            "samples": {
+                "legacy": [100.0, 100.0, 100.0],
+                "engine-fast": list(samples),
+            },
+        }
+        if with_compat:
+            row["engine_compat_trials_per_sec"] = rate / 2
+            row["speedup_compat"] = rate / 200.0
+        results.append(row)
+    return {"cpu_count": cpu_count, "python": "3.x", "results": results}
+
+
+def write_snapshot(path, **kwargs):
+    path.write_text(json.dumps(make_snapshot(**kwargs)))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# atomic_write_text
+# ---------------------------------------------------------------------------
+
+
+class TestAtomicWrite:
+    def test_writes_and_replaces_without_litter(self, tmp_path):
+        target = tmp_path / "out.json"
+        atomic_write_text(target, "first")
+        atomic_write_text(target, "second")
+        assert target.read_text() == "second"
+        assert [p.name for p in tmp_path.iterdir()] == ["out.json"]
+
+    def test_creates_missing_parents(self, tmp_path):
+        target = tmp_path / "deep" / "er" / "out.txt"
+        atomic_write_text(target, "x")
+        assert target.read_text() == "x"
+
+
+# ---------------------------------------------------------------------------
+# the history store
+# ---------------------------------------------------------------------------
+
+
+class TestHistoryStore:
+    def test_record_and_load_round_trip(self, tmp_path):
+        store = HistoryStore(tmp_path / "history")
+        records = [kernel_record(), kernel_record(mode="engine-vector", rate=2000.0)]
+        profile_id = store.record(records, profile_id="20260808T000000Z-aaaaaaa")
+        profile = store.load(profile_id)
+        assert profile.commit == "aaaaaaa"
+        assert profile.cpu_count == 1
+        assert profile.torn_lines == 0
+        assert len(profile) == 2
+        keys = set(profile.kernels())
+        assert ("spanning-tree", "engine-fast", "single") in keys
+        assert ("spanning-tree", "engine-vector", "single") in keys
+
+    def test_record_never_overwrites_append_only(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        first = store.record([kernel_record(rate=1.0)], profile_id="pid")
+        second = store.record([kernel_record(rate=2.0)], profile_id="pid")
+        assert first == "pid"
+        assert second == "pid.2"
+        assert store.profile_ids() == ["pid", "pid.2"]
+        assert store.load("pid").records[0]["trials_per_sec"] == 1.0
+        assert store.load("pid.2").records[0]["trials_per_sec"] == 2.0
+
+    def test_record_leaves_no_temp_files(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.record([kernel_record()], profile_id="pid")
+        assert all(not p.name.startswith(".") for p in tmp_path.iterdir())
+
+    def test_listing_ignores_dot_prefixed_temp_files(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.record([kernel_record()], profile_id="pid")
+        (tmp_path / ".stray.jsonl.tmp.123").write_text("{}")
+        assert store.profile_ids() == ["pid"]
+
+    def test_empty_record_rejected(self, tmp_path):
+        with pytest.raises(ValueError, match="at least one"):
+            HistoryStore(tmp_path).record([])
+
+    def test_latest_and_exclude(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        store.record([kernel_record(commit="old")], profile_id="a-old")
+        store.record([kernel_record(commit="new")], profile_id="b-new")
+        assert store.latest().profile_id == "b-new"
+        assert store.latest(exclude=["b-new"]).profile_id == "a-old"
+        assert HistoryStore(tmp_path / "missing").latest() is None
+
+    def test_torn_and_partial_lines_reload_tolerantly(self, tmp_path):
+        # The satellite: a crashed filesystem (or a kill mid-append) tears
+        # lines — reload must keep every intact record and count the rest.
+        store = HistoryStore(tmp_path)
+        profile_id = store.record(
+            [kernel_record(), kernel_record(mode="engine-vector")],
+            profile_id="pid",
+        )
+        path = store.load(profile_id).path
+        with path.open("a") as handle:
+            handle.write("this is not json\n")
+            handle.write('{"workload": "torn", "mode": "eng')  # torn mid-record
+        profile = store.load(profile_id)
+        assert profile.torn_lines == 2
+        assert len(profile) == 2  # both intact records survived
+        assert set(k[1] for k in profile.kernels()) == {
+            "engine-fast", "engine-vector"
+        }
+
+    def test_load_missing_profile_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            HistoryStore(tmp_path).load("never-recorded")
+
+
+# ---------------------------------------------------------------------------
+# profile_from_snapshot
+# ---------------------------------------------------------------------------
+
+
+class TestProfileFromSnapshot:
+    def test_flattens_modes_and_carries_samples(self):
+        snapshot = make_snapshot(rate=1000.0, with_compat=True)
+        profile_id, records = profile_from_snapshot(
+            snapshot, commit="abc1234", timestamp="2026-08-08T00:00:00Z"
+        )
+        assert profile_id == "20260808T000000Z-abc1234"
+        by_mode = {r["mode"]: r for r in records}
+        assert set(by_mode) == {"legacy", "engine-compat", "engine-fast"}
+        assert by_mode["legacy"]["speedup"] == 1.0  # the reference oracle
+        assert by_mode["engine-fast"]["trials_per_sec"] == 1000.0
+        assert by_mode["engine-fast"]["samples"] == [990.0, 1000.0, 1010.0]
+        assert all(r["commit"] == "abc1234" and r["cpu_count"] == 1 for r in records)
+
+    def test_sharded_rows_become_sharded_backend_records(self):
+        snapshot = {
+            "cpu_count": 2,
+            "sharded_results": [{
+                "scheme": "noisy-spanning-tree",
+                "executor": "process",
+                "workers": 2,
+                "sharded_trials_per_sec": 500.0,
+                "sharded_speedup": 1.8,
+                "samples": {"single": [280.0], "sharded": [490.0, 500.0]},
+            }],
+        }
+        _, records = profile_from_snapshot(snapshot, commit="c", timestamp="t")
+        (record,) = records
+        assert record["backend"] == "sharded(process)"
+        assert record["mode"] == "vector"
+        assert record["workers"] == 2
+        assert record["samples"] == [490.0, 500.0]
+
+    def test_real_repo_snapshot_flattens(self):
+        snapshot_path = REPO_ROOT / "BENCH_engine.json"
+        if not snapshot_path.exists():
+            pytest.skip("no committed BENCH_engine.json")
+        snapshot = json.loads(snapshot_path.read_text())
+        _, records = profile_from_snapshot(snapshot, commit="c", timestamp="t")
+        assert records, "committed snapshot produced no kernel records"
+        for record in records:
+            assert record["trials_per_sec"] > 0
+            assert {"workload", "mode", "backend", "speedup"} <= set(record)
+        assert any(r["backend"].startswith("sharded(") for r in records)
+
+
+# ---------------------------------------------------------------------------
+# the detectors
+# ---------------------------------------------------------------------------
+
+
+class TestDetectors:
+    def test_relative_spread(self):
+        assert relative_spread([90.0, 100.0, 95.0]) == pytest.approx(0.1)
+        assert relative_spread([100.0]) == 0.0
+        assert relative_spread([]) == 0.0
+        assert relative_spread([0.0, -5.0, 100.0]) == 0.0  # non-positive dropped
+
+    def test_noise_floor_defaults_without_samples(self):
+        assert noise_floor(kernel_record(samples=())) == 0.05
+        assert noise_floor(kernel_record(samples=(50.0, 100.0))) == pytest.approx(0.5)
+
+    @pytest.mark.parametrize(
+        "base_rate, cur_rate, verdict",
+        [(1000.0, 500.0, "degraded"), (1000.0, 2000.0, "improved"),
+         (1000.0, 950.0, "ok"), (1000.0, 1000.0, "ok")],
+    )
+    def test_average_amount_threshold_verdicts(self, base_rate, cur_rate, verdict):
+        comparison = average_amount_threshold(
+            kernel_record(rate=base_rate), kernel_record(rate=cur_rate)
+        )
+        assert comparison.verdict == verdict
+
+    def test_new_and_missing_kernels_never_gate(self):
+        new = average_amount_threshold(None, kernel_record())
+        missing = average_amount_threshold(kernel_record(), None)
+        assert new.verdict == "new" and new.describe() == "new"
+        assert missing.verdict == "missing"
+
+    def test_noise_floor_widens_the_gate(self):
+        # Repeats spreading 50% apart: threshold becomes 2 * 0.5 = 100%,
+        # so even a 40% drop stays inside the noise band.
+        noisy = kernel_record(rate=1000.0, samples=(500.0, 1000.0, 900.0))
+        dropped = kernel_record(rate=600.0, samples=(580.0, 600.0, 590.0))
+        comparison = average_amount_threshold(noisy, dropped)
+        assert comparison.threshold == pytest.approx(1.0)
+        assert comparison.verdict == "ok"
+        # The same drop on a quiet kernel is a degradation.
+        quiet = kernel_record(rate=1000.0, samples=(990.0, 1000.0, 1010.0))
+        assert average_amount_threshold(quiet, dropped).verdict == "degraded"
+
+    def test_integral_comparison_catches_column_wide_drop(self):
+        def kernels(scale):
+            records = {}
+            for i, workload in enumerate(["w0", "w1", "w2"]):
+                records[(workload, "engine-fast", "single")] = kernel_record(
+                    workload=workload, speedup=(10.0 + i) * scale
+                )
+                records[(workload, "legacy", "single")] = kernel_record(
+                    workload=workload, mode="legacy", speedup=1.0
+                )
+            return records
+
+        (column,) = integral_comparison(kernels(1.0), kernels(0.8))
+        assert column.mode == "engine-fast"  # legacy excluded
+        assert column.workloads == 3
+        assert column.verdict == "degraded"
+        assert column.change == pytest.approx(-0.2)
+        (ok_column,) = integral_comparison(kernels(1.0), kernels(0.95))
+        assert ok_column.verdict == "ok"
+
+    def test_integral_only_sums_shared_workloads(self):
+        base = {
+            ("w0", "engine-fast", "single"): kernel_record(workload="w0", speedup=10.0),
+            ("gone", "engine-fast", "single"): kernel_record(workload="gone", speedup=99.0),
+        }
+        cur = {("w0", "engine-fast", "single"): kernel_record(workload="w0", speedup=10.0)}
+        (column,) = integral_comparison(base, cur)
+        assert column.workloads == 1
+        assert column.verdict == "ok"  # the removed workload does not drag
+
+
+# ---------------------------------------------------------------------------
+# diff_profiles / select_baseline
+# ---------------------------------------------------------------------------
+
+
+def _profile(profile_id, records):
+    return Profile(profile_id=profile_id, records=tuple(records))
+
+
+class TestDiffAndBaseline:
+    def test_identical_profiles_diff_ok(self):
+        records = [kernel_record(), kernel_record(mode="legacy", speedup=1.0)]
+        diff = diff_profiles(_profile("a", records), _profile("b", records))
+        assert diff.ok
+        assert diff.machine_match
+        assert not diff.degradations and not diff.improvements
+        report = format_diff(diff)
+        assert "0 degraded" in report and "spanning-tree" in report
+
+    def test_degraded_profile_fails_and_formats(self):
+        base = [kernel_record(rate=1000.0, samples=(990.0, 1000.0, 1010.0))]
+        cur = [kernel_record(rate=400.0, samples=(395.0, 400.0, 405.0))]
+        diff = diff_profiles(_profile("a", base), _profile("b", cur))
+        assert not diff.ok
+        assert len(diff.degradations) == 1
+        assert "degraded" in format_diff(diff)
+
+    def test_machine_match_flags_cpu_count_difference(self):
+        base = [kernel_record(cpu_count=8)]
+        cur = [kernel_record(cpu_count=1)]
+        diff = diff_profiles(_profile("a", base), _profile("b", cur))
+        assert not diff.machine_match
+        assert "different cpu_counts" in format_diff(diff)
+        # Unknown cpu_count on either side is not a mismatch.
+        unknown = [dict(kernel_record(), cpu_count=None)]
+        assert diff_profiles(_profile("a", unknown), _profile("b", cur)).machine_match
+
+    def test_select_baseline_prefers_a_different_commit(self, tmp_path):
+        store = HistoryStore(tmp_path)
+        assert select_baseline(store, "any") is None  # empty store skips
+        store.record([kernel_record(commit="old")], profile_id="a-old")
+        store.record([kernel_record(commit="new")], profile_id="b-new")
+        # Gating commit "new": its own fresh profile is not the baseline.
+        assert select_baseline(store, "new").profile_id == "a-old"
+        # A commit with no recorded profile gates against the newest.
+        assert select_baseline(store, "other").profile_id == "b-new"
+        # Every profile from the current commit: fall back to the newest
+        # (an identical re-record passes by construction).
+        assert select_baseline(store, "old").profile_id == "b-new"
+
+
+# ---------------------------------------------------------------------------
+# the CLI: record / diff / gate
+# ---------------------------------------------------------------------------
+
+
+class TestCli:
+    def test_record_then_gate_identical_snapshot_passes(self, tmp_path, capsys):
+        snap = write_snapshot(tmp_path / "snap.json")
+        history = tmp_path / "history"
+        assert main(["record", "--input", str(snap), "--history", str(history),
+                     "--commit", "aaa"]) == 0
+        assert main(["gate", "--input", str(snap), "--history", str(history),
+                     "--commit", "bbb"]) == 0
+        out = capsys.readouterr().out
+        assert "gate: ok" in out
+
+    def test_gate_fails_on_degraded_snapshot(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        base = write_snapshot(tmp_path / "base.json", rate=1000.0)
+        assert main(["record", "--input", str(base), "--history", str(history),
+                     "--commit", "aaa"]) == 0
+        degraded = write_snapshot(
+            tmp_path / "cur.json", rate=400.0, samples=(395.0, 400.0, 405.0)
+        )
+        assert main(["gate", "--input", str(degraded), "--history", str(history),
+                     "--commit", "bbb"]) == 1
+        out = capsys.readouterr().out
+        assert "gate: FAILED" in out
+        assert "spanning-tree/engine-fast/single" in out
+
+    def test_gate_skips_without_history(self, tmp_path, capsys):
+        snap = write_snapshot(tmp_path / "snap.json")
+        assert main(["gate", "--input", str(snap),
+                     "--history", str(tmp_path / "empty")]) == 0
+        assert "gate: skipped (no recorded baseline" in capsys.readouterr().out
+
+    def test_gate_skips_without_snapshot(self, tmp_path, capsys):
+        assert main(["gate", "--input", str(tmp_path / "missing.json"),
+                     "--history", str(tmp_path)]) == 0
+        assert "gate: skipped (no snapshot" in capsys.readouterr().out
+
+    def test_gate_skips_on_machine_mismatch_unless_forced(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        base = write_snapshot(tmp_path / "base.json", rate=1000.0, cpu_count=8)
+        assert main(["record", "--input", str(base), "--history", str(history),
+                     "--commit", "aaa"]) == 0
+        degraded = write_snapshot(
+            tmp_path / "cur.json", rate=400.0,
+            samples=(395.0, 400.0, 405.0), cpu_count=1,
+        )
+        gate = ["gate", "--input", str(degraded), "--history", str(history),
+                "--commit", "bbb"]
+        assert main(gate) == 0
+        assert "cpu_count mismatch" in capsys.readouterr().out
+        # --any-machine compares anyway — and the degradation then fails it.
+        assert main(gate + ["--any-machine"]) == 1
+
+    def test_three_consecutive_clean_runs_within_noise_all_pass(self, tmp_path, capsys):
+        # The flake bar from the acceptance criteria: re-measured rates that
+        # jitter inside the noise band must never trip the gate.
+        history = tmp_path / "history"
+        base = write_snapshot(tmp_path / "base.json", rate=1000.0)
+        assert main(["record", "--input", str(base), "--history", str(history),
+                     "--commit", "aaa"]) == 0
+        for run, rate in enumerate([1030.0, 955.0, 1008.0]):
+            snap = write_snapshot(
+                tmp_path / f"run{run}.json", rate=rate,
+                samples=(rate - 10, rate, rate + 10),
+            )
+            assert main(["gate", "--input", str(snap), "--history", str(history),
+                         "--commit", "bbb"]) == 0, f"clean run {run} flaked"
+        assert capsys.readouterr().out.count("gate: ok") == 3
+
+    def test_new_kernel_without_baseline_does_not_gate(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        base = write_snapshot(tmp_path / "base.json")
+        assert main(["record", "--input", str(base), "--history", str(history),
+                     "--commit", "aaa"]) == 0
+        wider = write_snapshot(tmp_path / "cur.json", with_compat=True)
+        assert main(["gate", "--input", str(wider), "--history", str(history),
+                     "--commit", "bbb"]) == 0
+        assert "new" in capsys.readouterr().out
+
+    def test_gate_tolerates_torn_baseline(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        snap = write_snapshot(tmp_path / "snap.json")
+        assert main(["record", "--input", str(snap), "--history", str(history),
+                     "--commit", "aaa", "--profile-id", "pid"]) == 0
+        with (history / "pid.jsonl").open("a") as handle:
+            handle.write('{"torn": "mid-wri')
+        assert main(["gate", "--input", str(snap), "--history", str(history),
+                     "--commit", "bbb"]) == 0
+        captured = capsys.readouterr()
+        assert "torn record(s)" in captured.err
+        assert "gate: ok" in captured.out
+
+    def test_diff_latest_two_recorded_profiles(self, tmp_path, capsys):
+        history = tmp_path / "history"
+        for name, rate, commit in [("a", 1000.0, "aaa"), ("b", 400.0, "bbb")]:
+            snap = write_snapshot(tmp_path / f"{name}.json", rate=rate,
+                                  samples=(rate - 5, rate, rate + 5))
+            assert main(["record", "--input", str(snap), "--history", str(history),
+                         "--commit", commit, "--profile-id", f"{name}-{commit}"]) == 0
+        assert main(["diff", "--history", str(history)]) == 0
+        out = capsys.readouterr().out
+        assert "a-aaa -> b-bbb" in out
+        assert "1 degraded" in out  # diff reports; only gate sets exit codes
+
+    def test_diff_needs_two_profiles_or_input(self, tmp_path, capsys):
+        assert main(["diff", "--history", str(tmp_path)]) == 0
+        assert "need two recorded profiles" in capsys.readouterr().out
+        with pytest.raises(SystemExit) as excinfo:
+            main(["diff", "only-one-id", "--history", str(tmp_path)])
+        assert excinfo.value.code == 2  # usage error: one id without --input
+
+    def test_record_without_snapshot_is_a_usage_error(self, tmp_path, capsys):
+        assert main(["record", "--input", str(tmp_path / "missing.json"),
+                     "--history", str(tmp_path)]) == 2
+        assert "no snapshot" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# the tier-1 invariant: the committed snapshot has not degraded
+# ---------------------------------------------------------------------------
+
+
+class TestCommittedGate:
+    def test_committed_snapshot_passes_the_gate(self, capsys):
+        snapshot = REPO_ROOT / "BENCH_engine.json"
+        history = REPO_ROOT / "benchmarks" / "history"
+        if not snapshot.exists():
+            pytest.skip("no committed BENCH_engine.json")
+        # Pure file comparison (committed snapshot vs committed history
+        # profiles): deterministic, so a non-zero exit is a real recorded
+        # degradation, never measurement flake.  Skips (exit 0) cleanly
+        # when the history is empty or recorded on different hardware.
+        code = main(["gate", "--input", str(snapshot), "--history", str(history)])
+        assert code == 0, capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# bench_engine timer hardening (the ZeroDivisionError satellite)
+# ---------------------------------------------------------------------------
+
+
+class TestBenchEngineTimer:
+    def test_zero_perf_counter_delta_never_divides_by_zero(self):
+        bench = _load_bench_engine()
+        calls = []
+        frozen = types.SimpleNamespace(perf_counter=lambda: 42.0)
+        original_time = bench.time
+        bench.time = frozen  # the module's clock never advances
+        try:
+            rate = bench._timed_rate(lambda trials: calls.append(trials), 10)
+        finally:
+            bench.time = original_time
+        assert rate > 0  # clamped, not ZeroDivisionError
+        # The budget doubled on every sub-resolution measurement.
+        assert calls == [10 * 2 ** n for n in range(bench.MAX_TIMER_DOUBLINGS)]
+
+    def test_sub_resolution_measurement_reruns_with_doubled_budget(self):
+        bench = _load_bench_engine()
+        ticks = iter([0.0, 0.0, 1.0, 1.5])  # first delta 0, second 0.5s
+        bench_time = types.SimpleNamespace(perf_counter=lambda: next(ticks))
+        original_time = bench.time
+        bench.time = bench_time
+        try:
+            rate = bench._timed_rate(lambda trials: None, 100)
+        finally:
+            bench.time = original_time
+        assert rate == pytest.approx(200 / 0.5)  # the doubled budget's rate
+
+    def test_throughput_returns_best_and_samples(self):
+        bench = _load_bench_engine()
+        best, samples = bench._throughput(lambda trials: None, 1000, repeats=3)
+        assert len(samples) == 3
+        assert best == max(samples)
+        assert all(sample > 0 for sample in samples)
+
+    def test_write_trajectory_snapshots_and_records_history(self, tmp_path, capsys):
+        bench = _load_bench_engine()
+        original_path = bench.TRAJECTORY_PATH
+        bench.TRAJECTORY_PATH = tmp_path / "BENCH_engine.json"
+        try:
+            payload = make_snapshot()
+            bench.write_trajectory(payload, history_dir=tmp_path / "history")
+        finally:
+            bench.TRAJECTORY_PATH = original_path
+        assert json.loads((tmp_path / "BENCH_engine.json").read_text()) == payload
+        store = HistoryStore(tmp_path / "history")
+        ids = store.profile_ids()
+        assert len(ids) == 1
+        profile = store.load(ids[0])
+        assert {r["mode"] for r in profile.records} == {"legacy", "engine-fast"}
+        assert "recorded bench profile" in capsys.readouterr().out

@@ -20,6 +20,7 @@ schedules), alongside the individual fault kinds:
 import json
 import multiprocessing
 import queue as queue_module
+import threading
 import time
 
 import pytest
@@ -281,6 +282,37 @@ class TestProgressRouterHardening:
         assert self._wait_for(lambda: len(received) == 1)
         assert router.callback_errors == 1
         router.close()
+
+    def test_wedged_queue_close_surfaces_leaked_drain_thread(self):
+        # A queue whose get() blocks forever models the wedged-pipe case
+        # (worker died holding the pipe): the close() sentinel never reaches
+        # the drain loop, the join times out, and the leak must be surfaced
+        # (counter + warning), not silently swallowed.
+        release = threading.Event()
+
+        class WedgedQueue:
+            def get(self):
+                release.wait()
+                return None  # the router sentinel: lets the thread exit
+
+            def put(self, item):
+                pass  # drops the sentinel — the wedge
+
+        router = ProgressRouter(WedgedQueue(), join_timeout=0.1)
+        router.subscribe(1, lambda *update: None)
+        with pytest.warns(RuntimeWarning, match="did not exit"):
+            router.close()
+        assert router.drain_thread_leaked == 1
+        router.close()  # idempotent: no second join, no second warning
+        assert router.drain_thread_leaked == 1
+        release.set()  # unwedge so the daemon thread exits before teardown
+
+    def test_clean_close_does_not_count_a_leak(self):
+        channel = queue_module.Queue()
+        router = ProgressRouter(channel)
+        router.subscribe(1, lambda *update: None)
+        router.close()
+        assert router.drain_thread_leaked == 0
 
 
 # ---------------------------------------------------------------------------

@@ -44,6 +44,7 @@ from repro.parallel import (
     workload_spec,
 )
 from repro.parallel.factories import compiled_spanning_tree
+from repro.parallel.progress import RunHandle, StopToken
 from repro.parallel.spec import clear_process_caches
 from repro.simulation.metrics import AcceptanceEstimate
 
@@ -541,3 +542,117 @@ class TestZeroTrialEstimate:
         assert (estimate.accepted, estimate.trials) == (0, 0)
         assert math.isnan(estimate.probability)
         json.dumps({"probability": estimate.probability})  # nan-safe via float
+
+
+# ---------------------------------------------------------------------------
+# RunHandle lifecycle (PR 8): a handle that is never iterated must still
+# release its backend resources — closing the result generator alone cannot,
+# because a never-started generator's body (and finally) does not run.
+# ---------------------------------------------------------------------------
+
+
+class TestRunHandleLifecycle:
+    def _handle(self):
+        released = []
+        started = []
+        token = StopToken()
+
+        def shard_results():
+            started.append(True)
+            yield "shard-0"
+            yield "shard-1"
+
+        handle = RunHandle(
+            shard_results(), token, on_finish=lambda: released.append(True)
+        )
+        return handle, token, released, started
+
+    def test_never_iterated_close_releases_and_requests_stop(self):
+        handle, token, released, started = self._handle()
+        handle.close()
+        assert released == [True]  # on_finish ran, exactly once
+        assert token.stopped  # this run's workers were asked to stop
+        assert started == []  # the generator body never executed
+
+    def test_close_is_idempotent(self):
+        handle, _, released, _ = self._handle()
+        handle.close()
+        handle.close()
+        assert released == [True]
+
+    def test_close_after_completed_iteration_is_noop(self):
+        handle, token, released, _ = self._handle()
+        assert list(handle.results()) == ["shard-0", "shard-1"]
+        assert released == [True]
+        handle.close()
+        assert released == [True]
+        assert not token.stopped  # a completed run is never stop-requested
+
+    def test_context_manager_releases_without_iteration(self):
+        handle, token, released, _ = self._handle()
+        with handle:
+            pass
+        assert released == [True]
+        assert token.stopped
+
+    def test_context_manager_releases_on_error_before_first_result(self):
+        handle, token, released, _ = self._handle()
+        with pytest.raises(RuntimeError, match="died before"):
+            with handle:
+                raise RuntimeError("died before the first next()")
+        assert released == [True]
+        assert token.stopped
+
+    def test_abandoned_results_generator_releases_once(self):
+        handle, _, released, _ = self._handle()
+        results = handle.results()
+        next(results)
+        results.close()  # the started-generator finally path
+        assert released == [True]
+        handle.close()  # and close() afterwards stays a no-op
+        assert released == [True]
+
+
+@pytest.mark.parallel_proc
+class TestProcessHandleRelease:
+    def _payloads(self, spec, shard_count=2, trials=128):
+        from repro.parallel.shards import ShardPlanner
+
+        options = {
+            "seed": SEED,
+            "rng_mode": spec.rng_mode,
+            "seed_mode": "mix",
+            "chunk_size": 64,
+            "vectorize": None,
+        }
+        shards = ShardPlanner(shard_count=shard_count).plan(trials)
+        return [(spec, shard, options) for shard in shards]
+
+    def test_never_iterated_handle_frees_slot_and_subscription(self):
+        from repro.parallel.executors import STOP_SLOTS, _run_shard
+
+        spec = small_spec()
+        aggregator = StreamingAggregator()
+        with ProcessExecutor(workers=2) as executor:
+            handle = executor.start_run(
+                _run_shard, self._payloads(spec), on_progress=aggregator.update
+            )
+            handle.close()  # abandoned: results() never called
+            assert len(executor._free_slots) == STOP_SLOTS
+            assert executor._router._subscribers == {}
+            # The pool survived the teardown: a full run still works.
+            sharded = estimate_acceptance_sharded(
+                spec, 128, seed=SEED, executor=executor, shard_count=2
+            )
+            assert sharded.estimate.trials == 128
+        assert multiprocessing.active_children() == []
+
+    def test_error_before_iteration_frees_slot_via_context_manager(self):
+        from repro.parallel.executors import STOP_SLOTS, _run_shard
+
+        spec = small_spec()
+        with ProcessExecutor(workers=2) as executor:
+            with pytest.raises(RuntimeError, match="caller died"):
+                with executor.start_run(_run_shard, self._payloads(spec)):
+                    raise RuntimeError("caller died before iterating")
+            assert len(executor._free_slots) == STOP_SLOTS
