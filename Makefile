@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-specs test-stats test-parallel test-stream test-chaos bench bench-smoke bench-record bench-diff bench-gate
+.PHONY: test test-specs test-stats test-parallel test-stream test-chaos test-obs bench bench-smoke bench-record bench-diff bench-gate
 
 # Tier-1: the full test suite (includes the benchmark smoke harness and
 # the verdict-spec differential matrix, see test-specs).  Heavy statistical
@@ -43,6 +43,14 @@ test-stream:
 test-chaos:
 	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
 		tests/test_supervision.py tests/test_chaos.py -q
+
+# The observability tier: trace/metrics primitives, the router piggyback,
+# the traced-chaos flight recorder, and the traced-vs-untraced bit-identity
+# matrix, with the process-backend and chaos-marked tests forced on even
+# where cpu_count() < 2 (mirrors test-parallel / test-chaos).
+test-obs:
+	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
+		tests/test_obs.py tests/test_obs_identity.py -q
 
 # The full statistical harness: RNG-quality chi-square / serial-correlation
 # sweeps and the deep cross-mode (compat/fast/vector) decision-consistency

@@ -370,11 +370,99 @@ def smoke_bench_history():
     return [["bench-history gate", "-", "history", status]]
 
 
+def smoke_observability():
+    """The telemetry layer end to end in one temp dir; returns report rows.
+
+    The PR 9 wiring: a tiny traced campaign must (a) write records identical
+    to the untraced run modulo wall-clock fields — tracing is observational —
+    (b) produce a trace directory that ``python -m repro.obs report`` reads
+    with exit 0, (c) export valid Chrome trace-event JSON, and (d) leave the
+    bench-history gate above unperturbed when it runs *inside* a trace
+    context (telemetry must never turn a passing gate red).
+    """
+    import json
+    import tempfile
+
+    from repro.benchhistory.cli import main as benchhistory_main
+    from repro.obs.cli import main as obs_main
+    from repro.obs.runtime import tracing
+    from repro.parallel import Campaign, MemorySink, run_campaign
+
+    def tiny_campaign():
+        return Campaign.sweep(
+            "smoke-obs",
+            [("spanning-tree", {"node_count": 12, "extra_edges": 3})],
+            rng_modes=("vector",),
+            trial_budgets=(32,),
+        )
+
+    def strip_timing(record):
+        record = {k: v for k, v in record.items() if k != "elapsed_sec"}
+        supervision = record.get("supervision")
+        if supervision:
+            record["supervision"] = {
+                k: v
+                for k, v in supervision.items()
+                if k not in ("started_unix", "finished_unix", "duration_sec")
+            }
+        return record
+
+    untraced_sink = MemorySink()
+    run_campaign(tiny_campaign(), executor="serial", sink=untraced_sink)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        trace_dir = pathlib.Path(tmp) / "trace"
+        traced_sink = MemorySink()
+        with tracing(trace_dir):
+            run_campaign(tiny_campaign(), executor="serial", sink=traced_sink)
+        assert [strip_timing(r) for r in traced_sink.records] == [
+            strip_timing(r) for r in untraced_sink.records
+        ], "tracing perturbed campaign records"
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = obs_main(["report", str(trace_dir)])
+        report = buffer.getvalue()
+        assert code == 0, f"obs report failed:\n{report}"
+        assert "trials=32" in report, f"obs report missing run rollup:\n{report}"
+        assert "worker.trials = 32" in report, f"obs report missing metrics:\n{report}"
+
+        buffer = io.StringIO()
+        with contextlib.redirect_stdout(buffer):
+            code = obs_main(["export", str(trace_dir), "--chrome"])
+        assert code == 0, "obs chrome export failed"
+        payload = json.loads(buffer.getvalue())
+        assert payload["traceEvents"], "chrome export produced no events"
+        assert all(e["ph"] in ("X", "i") for e in payload["traceEvents"])
+
+        # The bench gate under tracing: same committed-file comparison as
+        # smoke_bench_history, now with the recorder installed.
+        repo = pathlib.Path(__file__).parent.parent
+        gate_dir = pathlib.Path(tmp) / "gate-trace"
+        buffer = io.StringIO()
+        with tracing(gate_dir), contextlib.redirect_stdout(buffer):
+            code = benchhistory_main(
+                [
+                    "gate",
+                    "--input", str(repo / "BENCH_engine.json"),
+                    "--history", str(repo / "benchmarks" / "history"),
+                ]
+            )
+        assert code == 0, f"bench gate failed under tracing:\n{buffer.getvalue()}"
+
+    return [
+        ["traced-campaign identity", "-", "obs", "ok"],
+        ["obs report + chrome export", "-", "obs", "ok"],
+        ["bench gate under tracing", "-", "obs", "ok"],
+    ]
+
+
 def main() -> int:
     rows = [smoke_workload(*workload) for workload in workloads()]
     rows.extend(smoke_spec_registry())
     rows.extend(smoke_parallel())
     rows.extend(smoke_bench_history())
+    rows.extend(smoke_observability())
     print(format_table(["workload", "half-edges", "kernel", "status"], rows))
     print(f"\n{len(rows)} engine-hooked workloads smoke-tested ok")
     return 0

@@ -46,6 +46,7 @@ from repro.core.scheme import RandomizedScheme
 from repro.core.verifier import RandomnessMode
 from repro.engine.plan import VerificationPlan
 from repro.graphs.port_graph import Node
+from repro.obs.runtime import get_metrics
 
 
 class Uncacheable(Exception):
@@ -197,14 +198,17 @@ class PlanCache:
             # container, so memoizing would risk replaying a stale plan.
             with self._lock:
                 self.misses += 1
+            get_metrics().counter("plan_cache.misses").inc()
             return VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
         with self._lock:
             plan = self._plans.get(key)
             if plan is not None:
                 self.hits += 1
                 self._plans.move_to_end(key)
+                get_metrics().counter("plan_cache.hits").inc()
                 return plan
             self.misses += 1
+        get_metrics().counter("plan_cache.misses").inc()
         plan = VerificationPlan(scheme, configuration, labels, randomness, rng_mode)
         with self._lock:
             self._plans[key] = plan

@@ -1,0 +1,68 @@
+"""Runtime telemetry: trace spans, a metrics registry, and trace readers.
+
+The package splits along the import-cycle boundary:
+
+- :mod:`repro.obs.trace` / :mod:`repro.obs.metrics` — stdlib-only span and
+  metric primitives.
+- :mod:`repro.obs.runtime` — the process-global recorder/metrics seam every
+  instrumented layer calls (``get_recorder()``, ``get_metrics()``,
+  ``tracing()``).
+- :mod:`repro.obs.reader` / :mod:`repro.obs.cli` — offline trace analysis
+  (``python -m repro.obs report|slow|export``); leaf modules, deliberately
+  **not** imported here so instrumented code never pays for them.
+
+The obs package never imports ``repro.engine`` or ``repro.parallel`` —
+those layers import *us*, which is what keeps instrumentation one-way.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BOUNDS,
+    MetricsFlush,
+    MetricsRegistry,
+    diff_snapshots,
+    merge_snapshots,
+    snapshot_empty,
+)
+from repro.obs.runtime import (
+    get_metrics,
+    get_recorder,
+    record_event,
+    recorder_for_spec,
+    reset_metrics,
+    set_recorder,
+    take_metrics_flush,
+    tracing,
+)
+from repro.obs.trace import (
+    NULL_RECORDER,
+    ChunkProgress,
+    NullRecorder,
+    Span,
+    TraceRecorder,
+    TraceSpec,
+    TraceWriter,
+)
+
+__all__ = [
+    "DEFAULT_BOUNDS",
+    "MetricsFlush",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "merge_snapshots",
+    "snapshot_empty",
+    "get_metrics",
+    "get_recorder",
+    "record_event",
+    "recorder_for_spec",
+    "reset_metrics",
+    "set_recorder",
+    "take_metrics_flush",
+    "tracing",
+    "NULL_RECORDER",
+    "ChunkProgress",
+    "NullRecorder",
+    "Span",
+    "TraceRecorder",
+    "TraceSpec",
+    "TraceWriter",
+]

@@ -1,0 +1,143 @@
+"""``python -m repro.obs`` — read traces back: report, slow spans, export.
+
+Subcommands:
+
+- ``report <dir>`` — per-run rollup (attempts, retries, timeouts,
+  quarantines, injected faults, chunk timing) plus merged metrics.
+- ``slow <dir> [--top K] [--name N]`` — the K longest spans.
+- ``export <dir> --chrome [-o out.json]`` — Chrome trace-event JSON for
+  ``about://tracing`` / Perfetto.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.obs.reader import load_trace, slowest_spans, summarize_runs, to_chrome_trace
+
+
+def _cmd_report(ns) -> int:
+    trace = load_trace(ns.trace_dir)
+    print(
+        f"trace: {ns.trace_dir}  files={trace.files}  records={len(trace.records)}"
+        f"  torn_lines={trace.torn_lines}"
+    )
+    runs = summarize_runs(trace)
+    if not runs:
+        print("no run spans recorded")
+    for run in runs:
+        faults = (
+            " faults=" + ",".join(f"{k}:{v}" for k, v in sorted(run["faults"].items()))
+            if run["faults"]
+            else ""
+        )
+        print(
+            f"run {run['label']}: status={run['status']}"
+            f" dur={run['duration_sec']:.3f}s shards={run['shards']}"
+            f" trials={run['trials']} accepted={run['accepted']}"
+        )
+        print(
+            f"  attempts={run['dispatches']} retries={run['retries']}"
+            f" timeouts={run['timeouts']} heartbeat_misses={run['heartbeat_misses']}"
+            f" quarantined={run['quarantined']} pool_repairs={run['pool_repairs']}"
+            f"{faults}"
+        )
+        if ns.attempts:
+            for attempt in run["attempts"]:
+                print(f"    shard {attempt['shard']} attempt {attempt['attempt']}")
+            for failure in run["failures"]:
+                print(
+                    f"    failure shard {failure['shard']}"
+                    f" attempt {failure['attempt']} kind={failure['kind']}"
+                )
+        if run["chunks"]:
+            print(
+                f"  chunks={run['chunks']} chunk_trials={run['chunk_trials']}"
+                f" chunk_time={run['chunk_time_sec']:.3f}s"
+            )
+    merged = trace.merged_metrics()
+    counters = merged.get("counters") or {}
+    if counters:
+        print("metrics:")
+        for name in sorted(counters):
+            print(f"  {name} = {counters[name]}")
+    for name, data in sorted((merged.get("histograms") or {}).items()):
+        count = data.get("count", 0)
+        if count:
+            mean = data.get("sum", 0.0) / count
+            print(f"  {name}: count={count} mean={mean:.4f}s")
+    return 0
+
+
+def _cmd_slow(ns) -> int:
+    trace = load_trace(ns.trace_dir)
+    spans = slowest_spans(trace, top=ns.top, name=ns.name)
+    if not spans:
+        print("no spans recorded")
+        return 0
+    for span in spans:
+        print(
+            f"{span.get('dur', 0.0):>9.4f}s  {span.get('name', '?'):<12}"
+            f" id={span.get('id')} status={span.get('status', 'ok')}"
+            f" pid={span.get('pid')}"
+        )
+    return 0
+
+
+def _cmd_export(ns) -> int:
+    trace = load_trace(ns.trace_dir)
+    if not ns.chrome:
+        print("export: specify a format (--chrome)", file=sys.stderr)
+        return 2
+    payload = json.dumps(to_chrome_trace(trace), sort_keys=True)
+    if ns.out:
+        with open(ns.out, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote {ns.out}")
+    else:
+        print(payload)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs", description="Trace reader for --trace output"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    report = sub.add_parser("report", help="per-run latency/retry/fault rollup")
+    report.add_argument("trace_dir", help="trace directory (from --trace DIR)")
+    report.add_argument(
+        "--attempts", action="store_true", help="list every shard attempt and failure"
+    )
+    report.set_defaults(func=_cmd_report)
+
+    slow = sub.add_parser("slow", help="top-k slowest spans")
+    slow.add_argument("trace_dir")
+    slow.add_argument("--top", type=int, default=10)
+    slow.add_argument("--name", default=None, help="restrict to spans named N")
+    slow.set_defaults(func=_cmd_slow)
+
+    export = sub.add_parser("export", help="export the trace for external viewers")
+    export.add_argument("trace_dir")
+    export.add_argument(
+        "--chrome", action="store_true", help="Chrome trace-event JSON (about://tracing)"
+    )
+    export.add_argument("-o", "--out", default=None, help="output path (default stdout)")
+    export.set_defaults(func=_cmd_export)
+    return parser
+
+
+def main(argv=None) -> int:
+    ns = build_parser().parse_args(argv)
+    try:
+        return ns.func(ns)
+    except FileNotFoundError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

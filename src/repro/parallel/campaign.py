@@ -43,6 +43,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
+from repro.obs.runtime import get_recorder
 from repro.parallel.executors import (
     ShardPlanner,
     estimate_acceptance_sharded,
@@ -242,22 +243,42 @@ def _run_cell(
     stream_progress: bool,
     shard_timeout: Optional[float] = None,
     max_retries: int = 0,
+    trace_parent: Optional[str] = None,
 ) -> Dict:
-    """Execute one cell on the shared executor and build its record."""
+    """Execute one cell on the shared executor and build its record.
+
+    ``trace_parent`` is the campaign span's id, passed explicitly because
+    concurrent cells run on scheduler threads where the recorder's
+    thread-local span stack cannot see the campaign span.  The *cell* span
+    opened here lives on the executing thread's stack, so the run span
+    inside the estimator parents onto it automatically.
+    """
+    recorder = get_recorder()
+    cell_attrs = None
+    if recorder.enabled:
+        cell_attrs = {
+            "key": cell.name,
+            "campaign": campaign.name,
+            "trials": cell.trials,
+            "seed": cell.seed,
+        }
     start = time.perf_counter()
-    sharded = estimate_acceptance_sharded(
-        cell.spec,
-        cell.trials,
-        seed=cell.seed,
-        executor=instance,
-        planner=planner,
-        chunk_size=chunk_size,
-        stop_halfwidth=cell.stop_halfwidth,
-        vectorize=vectorize,
-        stream_progress=stream_progress,
-        shard_timeout=shard_timeout,
-        max_retries=max_retries,
-    )
+    with recorder.span("cell", cell_attrs, parent=trace_parent) as cell_span:
+        sharded = estimate_acceptance_sharded(
+            cell.spec,
+            cell.trials,
+            seed=cell.seed,
+            executor=instance,
+            planner=planner,
+            chunk_size=chunk_size,
+            stop_halfwidth=cell.stop_halfwidth,
+            vectorize=vectorize,
+            stream_progress=stream_progress,
+            shard_timeout=shard_timeout,
+            max_retries=max_retries,
+        )
+        cell_span.set("trials_run", sharded.estimate.trials)
+        cell_span.set("stopped_early", sharded.stopped_early)
     elapsed = time.perf_counter() - start
     estimate = sharded.estimate
     # Zero-trial estimates report nan probability/interval directly (a
@@ -284,6 +305,16 @@ def _run_cell(
     }
     if sharded.report is not None:
         record["supervision"] = sharded.report.as_dict()
+        # Executor-lifetime router drop/leak counters (process backend; see
+        # ProgressRouter.stats) — recorded, not warning-only.
+        stats = getattr(instance, "progress_stats", None)
+        if stats is not None:
+            try:
+                router_stats = stats()
+            except Exception:
+                router_stats = None
+            if router_stats is not None:
+                record["supervision"]["progress_router"] = router_stats
     return record
 
 
@@ -411,9 +442,20 @@ def run_campaign(
             continue
         claimed.add(key)
         pending.append(cell)
+    recorder = get_recorder()
+    campaign_attrs = None
+    if recorder.enabled:
+        campaign_attrs = {
+            "campaign": campaign.name,
+            "cells": len(pending),
+            "skipped": len(campaign.cells) - len(pending),
+            "executor": getattr(instance, "name", "?"),
+            "cell_parallelism": cell_parallelism,
+        }
+    campaign_span = recorder.span("campaign", campaign_attrs)
     run_args = (
         instance, planner, chunk_size, vectorize, stream_progress,
-        shard_timeout, max_retries,
+        shard_timeout, max_retries, campaign_span.span_id,
     )
     try:
         if cell_parallelism == 1 or len(pending) <= 1:
@@ -430,9 +472,14 @@ def run_campaign(
                 campaign, pending, run_args, on_cell_error, cell_retries,
                 min(cell_parallelism, len(pending)), sink, new_records,
             )
+    except BaseException as exc:
+        campaign_span.__exit__(type(exc), exc, None)
+        raise
     finally:
         if owned:
             instance.close()
+    campaign_span.set("records", len(new_records))
+    campaign_span.__exit__(None, None, None)
     return new_records
 
 

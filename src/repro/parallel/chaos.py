@@ -57,6 +57,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.seeding import splitmix64
+from repro.obs.runtime import get_metrics, record_event
 from repro.parallel.shards import Shard
 
 _FAULT_KINDS = ("crash", "kill", "hang", "slow", "torn")
@@ -294,11 +295,27 @@ class ChaosExecutor:
                 if kind is not None:
                     with self._lock:
                         self.injected.append((shard.index, attempt, kind))
+                    # Parent-side audit trail: every injected fault lands in
+                    # the trace (and metrics), so a chaos run is auditable
+                    # from its flight record alone.
+                    record_event(
+                        "chaos.inject",
+                        {"fault": kind, "shard": shard.index, "attempt": attempt},
+                    )
+                    get_metrics().counter(f"chaos.injected.{kind}").inc()
             wrapped.append((fn, kind, params, payload))
         return self.inner.start_run(_chaos_body, wrapped, on_progress=on_progress)
 
     def request_stop(self) -> None:
         self.inner.request_stop()
+
+    def progress_stats(self):
+        stats = getattr(self.inner, "progress_stats", None)
+        return stats() if stats is not None else None
+
+    def worker_metrics(self, run_id=None):
+        metrics = getattr(self.inner, "worker_metrics", None)
+        return metrics(run_id) if metrics is not None else None
 
     def repair(self) -> None:
         repair = getattr(self.inner, "repair", None)

@@ -30,9 +30,11 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+from contextlib import nullcontext
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.engine.plan import RNG_MODES
+from repro.obs.runtime import tracing
 from repro.parallel.campaign import Campaign, JsonlSink, MemorySink, run_campaign
 from repro.parallel.executors import (
     EXECUTORS,
@@ -186,6 +188,19 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         "'seed=7,crash=0.3,slow=0.2,delay=0.01' "
         "(keys: seed, crash, kill, hang, slow, torn, sink, delay, hang-limit)",
     )
+    parser.add_argument(
+        "--trace",
+        default=None,
+        metavar="DIR",
+        help="record a runtime trace (spans, events, metrics) into DIR; "
+        "read it back with `python -m repro.obs report DIR` "
+        "(see docs/observability.md)",
+    )
+
+
+def _tracing(args):
+    """The ``--trace`` context: a live recorder, or a no-op without it."""
+    return tracing(args.trace) if getattr(args, "trace", None) else nullcontext()
 
 
 def _planner(args) -> Optional[ShardPlanner]:
@@ -238,23 +253,26 @@ def _cmd_estimate(args) -> int:
     )
     executor, cleanup = _build_executor(args)
     try:
-        sharded = estimate_acceptance_sharded(
-            spec,
-            args.trials,
-            seed=args.seed,
-            executor=executor,
-            workers=args.workers,
-            planner=_planner(args),
-            chunk_size=args.chunk_size,
-            stop_halfwidth=args.stop_halfwidth,
-            stream_progress=args.stream_progress,
-            shard_timeout=args.shard_timeout,
-            max_retries=args.max_retries,
-        )
+        with _tracing(args):
+            sharded = estimate_acceptance_sharded(
+                spec,
+                args.trials,
+                seed=args.seed,
+                executor=executor,
+                workers=args.workers,
+                planner=_planner(args),
+                chunk_size=args.chunk_size,
+                stop_halfwidth=args.stop_halfwidth,
+                stream_progress=args.stream_progress,
+                shard_timeout=args.shard_timeout,
+                max_retries=args.max_retries,
+            )
     finally:
         if cleanup is not None:
             cleanup()
     print(f"{args.workload} [{spec.rng_mode}] -> {sharded}")
+    if args.trace:
+        print(f"trace -> {args.trace} (read: python -m repro.obs report {args.trace})")
     for result in sharded.shard_results:
         print(
             f"  shard {result.shard.index}: trials [{result.shard.start}, "
@@ -311,20 +329,21 @@ def _cmd_campaign(args) -> int:
     skipped = sum(1 for cell in campaign.cells if sink.completed(cell))
     executor, cleanup = _build_executor(args)
     try:
-        records = run_campaign(
-            campaign,
-            executor=executor,
-            workers=args.workers,
-            sink=sink,
-            planner=_planner(args),
-            chunk_size=args.chunk_size,
-            cell_parallelism=args.cell_parallelism,
-            stream_progress=args.stream_progress,
-            on_cell_error=args.on_cell_error,
-            cell_retries=args.cell_retries,
-            shard_timeout=args.shard_timeout,
-            max_retries=args.max_retries,
-        )
+        with _tracing(args):
+            records = run_campaign(
+                campaign,
+                executor=executor,
+                workers=args.workers,
+                sink=sink,
+                planner=_planner(args),
+                chunk_size=args.chunk_size,
+                cell_parallelism=args.cell_parallelism,
+                stream_progress=args.stream_progress,
+                on_cell_error=args.on_cell_error,
+                cell_retries=args.cell_retries,
+                shard_timeout=args.shard_timeout,
+                max_retries=args.max_retries,
+            )
     finally:
         if cleanup is not None:
             cleanup()
@@ -350,6 +369,8 @@ def _cmd_campaign(args) -> int:
         f"campaign {campaign.name!r}: {len(records)} cells run, "
         f"{skipped} resumed as complete{tail} -> {where}"
     )
+    if args.trace:
+        print(f"trace -> {args.trace} (read: python -m repro.obs report {args.trace})")
     return 0
 
 

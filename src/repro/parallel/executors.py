@@ -60,11 +60,20 @@ import concurrent.futures
 import multiprocessing
 import os
 import threading
+import time
 from dataclasses import dataclass
 from typing import Callable, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.engine.montecarlo import DEFAULT_CHUNK, estimate_acceptance_fast
 from repro.engine.plan import VerificationPlan
+from repro.obs.runtime import (
+    get_metrics,
+    get_recorder,
+    record_event,
+    reset_metrics,
+    take_metrics_flush,
+)
+from repro.obs.trace import ChunkProgress, NULL_RECORDER
 from repro.parallel.progress import (
     ProgressRouter,
     RunHandle,
@@ -117,6 +126,13 @@ def _run_shard(
     filters them out of the user-facing stream, and they are harmless to a
     raw :class:`~repro.parallel.progress.StreamingAggregator` anyway (a
     ``(0, 0)`` update never regresses its totals).
+
+    Tracing (``options["trace"]``, a picklable
+    :class:`~repro.obs.trace.TraceSpec` parented on the run span) wraps
+    the shard in a *shard* span and the ``progress`` callback in a
+    :class:`~repro.obs.trace.ChunkProgress` — per-chunk spans over the
+    same observational seam, the publish channel forwarded unchanged.
+    The engine call itself is identical traced or not.
     """
     target, shard, options = payload
     plan = target.resolve() if isinstance(target, PlanSpec) else target
@@ -128,19 +144,45 @@ def _run_shard(
         )
         if options.get("heartbeat"):
             heartbeat = lambda: publish(shard.index, 0, 0)  # noqa: E731
-    estimate = estimate_acceptance_fast(
-        plan,
-        shard.trials,
-        seed=options["seed"],
-        rng_mode=options["rng_mode"],
-        seed_mode=options["seed_mode"],
-        chunk_size=options["chunk_size"],
-        vectorize=options["vectorize"],
-        first_trial=shard.start,
-        should_stop=should_stop,
-        progress=progress,
-        heartbeat=heartbeat,
-    )
+    spec = options.get("trace")
+    recorder = spec.recorder() if spec is not None else NULL_RECORDER
+    attrs = None
+    start_mono = 0.0
+    if recorder.enabled:
+        attrs = {
+            "shard": shard.index,
+            "first_trial": shard.start,
+            "planned_trials": shard.trials,
+            "rng_mode": options["rng_mode"],
+        }
+        start_mono = time.monotonic()
+    with recorder.span(
+        "shard", attrs, parent=spec.parent if spec is not None else None
+    ) as span:
+        if recorder.enabled:
+            progress = ChunkProgress(recorder, span.span_id, inner=progress)
+        estimate = estimate_acceptance_fast(
+            plan,
+            shard.trials,
+            seed=options["seed"],
+            rng_mode=options["rng_mode"],
+            seed_mode=options["seed_mode"],
+            chunk_size=options["chunk_size"],
+            vectorize=options["vectorize"],
+            first_trial=shard.start,
+            should_stop=should_stop,
+            progress=progress,
+            heartbeat=heartbeat,
+        )
+        span.set("accepted", estimate.accepted)
+        span.set("trials", estimate.trials)
+    if recorder.enabled:
+        metrics = get_metrics()
+        metrics.counter("worker.shards").inc()
+        metrics.counter("worker.trials").inc(estimate.trials)
+        metrics.histogram("worker.shard_seconds").observe(
+            time.monotonic() - start_mono
+        )
     return ShardResult(shard=shard, accepted=estimate.accepted, trials=estimate.trials)
 
 
@@ -191,6 +233,10 @@ class SerialExecutor(_EpochStop):
     ) -> RunHandle:
         """Begin one run; shards execute lazily as results are iterated."""
         token = StopToken(extra=self._global_probe())
+        payloads = list(payloads)
+        record_event(
+            "executor.start_run", {"executor": self.name, "shards": len(payloads)}
+        )
 
         def results():
             for payload in payloads:
@@ -241,6 +287,10 @@ class ThreadExecutor(_EpochStop):
     ) -> RunHandle:
         """Submit one run's shards; per-run token, pool-global epoch as backup."""
         token = StopToken(extra=self._global_probe())
+        payloads = list(payloads)
+        record_event(
+            "executor.start_run", {"executor": self.name, "shards": len(payloads)}
+        )
         futures = [
             self._pool.submit(fn, payload, token.probe, on_progress)
             for payload in payloads
@@ -301,6 +351,9 @@ def _init_shard_worker(stop_epoch, stop_board=None, progress_queue=None) -> None
     _WORKER_EPOCH = stop_epoch
     _WORKER_BOARD = stop_board
     _WORKER_QUEUE = progress_queue
+    # Fork-started workers inherit the parent's metrics registry values;
+    # zero them so a worker flush never re-reports parent-side counts.
+    reset_metrics()
 
 
 def _invoke_in_worker(fn: Callable, payload, born_epoch: int = 0):
@@ -314,9 +367,23 @@ def _invoke_in_worker(fn: Callable, payload, born_epoch: int = 0):
 
 
 def _invoke_in_worker_run(
-    fn: Callable, payload, slot: int, run_id: int, stream: bool, born_epoch: int
+    fn: Callable,
+    payload,
+    slot: int,
+    run_id: int,
+    stream: bool,
+    born_epoch: int,
+    flush_metrics: bool = False,
 ):
-    """Worker body for ``start_run``: per-run stop slot + optional streaming."""
+    """Worker body for ``start_run``: per-run stop slot + optional streaming.
+
+    With ``flush_metrics`` (set by the parent iff a trace is live), the
+    worker's accrued metrics delta rides home on the progress queue as a
+    :class:`~repro.obs.metrics.MetricsFlush` after the shard — inside the
+    per-shard ``finally`` so a raising shard still reports, and skipped
+    entirely when the delta is empty (untraced runs put nothing extra on
+    the queue).
+    """
     epoch = _WORKER_EPOCH
     board = _WORKER_BOARD
 
@@ -332,7 +399,13 @@ def _invoke_in_worker_run(
         def publish(shard_index: int, accepted: int, trials: int) -> None:
             queue.put((run_id, shard_index, accepted, trials))
 
-    return fn(payload, should_stop, publish)
+    try:
+        return fn(payload, should_stop, publish)
+    finally:
+        if flush_metrics and _WORKER_QUEUE is not None:
+            flush = take_metrics_flush(run_id)
+            if flush is not None:
+                _WORKER_QUEUE.put(flush)
 
 
 class ProcessExecutor:
@@ -480,9 +553,23 @@ class ProcessExecutor:
             extra=lambda: self._stop_epoch.value > born,
             on_request=lambda: self._board.__setitem__(slot, 1),
         )
+        # Worker metrics only flush while a trace is live — the off path
+        # puts zero extra items on the queue.
+        flush_metrics = get_recorder().enabled
+        record_event(
+            "executor.start_run",
+            {"executor": self.name, "shards": len(payloads), "run_id": run_id},
+        )
         futures = [
             self._pool.submit(
-                _invoke_in_worker_run, fn, payload, slot, run_id, stream, born
+                _invoke_in_worker_run,
+                fn,
+                payload,
+                slot,
+                run_id,
+                stream,
+                born,
+                flush_metrics,
             )
             for payload in payloads
         ]
@@ -515,6 +602,16 @@ class ProcessExecutor:
             for payload in payloads
         ]
         yield from _drain_futures(futures)
+
+    def progress_stats(self) -> dict:
+        """The router's drop/leak counters (see ``ProgressRouter.stats``)."""
+        return self._router.stats()
+
+    def worker_metrics(self, run_id: Optional[int] = None) -> Optional[dict]:
+        """Worker-flushed metrics: one run's snapshot, or merged across runs."""
+        if run_id is not None:
+            return self._router.run_metrics(run_id)
+        return self._router.merged_metrics()
 
     def close(self) -> None:
         """Tear down the pool and router; idempotent, and always reaps.
@@ -713,6 +810,18 @@ def estimate_acceptance_sharded(
         retry_policy = RetryPolicy(max_retries=max_retries, shard_timeout=shard_timeout)
 
     instance, owned = resolve_executor(executor, workers)
+    recorder = get_recorder()
+    run_attrs = None
+    if recorder.enabled:
+        run_attrs = {
+            "executor": instance.name,
+            "workers": instance.workers,
+            "trials": trials,
+            "seed": seed,
+            "supervised": supervised,
+            "streamed": stream_progress,
+        }
+    run_span = recorder.span("run", run_attrs)
     try:
         # Chaos wrappers and other delegating executors advertise whether
         # payloads stay in-process via the `in_process` attribute; the bare
@@ -742,6 +851,12 @@ def estimate_acceptance_sharded(
             # The liveness-ping channel (see _run_shard); supervision needs
             # heartbeats even on non-streamed runs.
             options["heartbeat"] = True
+        if recorder.enabled:
+            run_span.set("rng_mode", rng_mode)
+            run_span.set("shards", len(shards))
+            # Workers rebuild a recorder from the spec (the PlanSpec move);
+            # shard spans parent onto this run span across the boundary.
+            options["trace"] = recorder.spec(parent=run_span.span_id)
         payloads = [(shard_target, shard, options) for shard in shards]
 
         aggregator: Optional[StreamingAggregator] = None
@@ -830,6 +945,11 @@ def estimate_acceptance_sharded(
                         if high - low <= 2 * stop_halfwidth:
                             stopped = True
                             handle.request_stop()
+    except BaseException as exc:
+        # Close the run span on the error path (status="error"); the
+        # success path closes it after the merge, with the final counts.
+        run_span.__exit__(type(exc), exc, None)
+        raise
     finally:
         if owned:
             instance.close()
@@ -837,6 +957,10 @@ def estimate_acceptance_sharded(
     results.sort(key=lambda result: result.shard.index)
     merged = AcceptanceEstimate.merge(result.estimate for result in results)
     stopped_early = stopped or merged.trials < trials
+    run_span.set("trials_run", merged.trials)
+    run_span.set("accepted", merged.accepted)
+    run_span.set("stopped_early", stopped_early)
+    run_span.__exit__(None, None, None)
     return ShardedEstimate(
         estimate=merged,
         shard_results=tuple(results),

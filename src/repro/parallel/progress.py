@@ -50,6 +50,8 @@ import threading
 import warnings
 from typing import Callable, Dict, Optional, Tuple
 
+from repro.obs.metrics import MetricsFlush, MetricsRegistry
+from repro.obs.runtime import get_metrics
 from repro.simulation.metrics import wilson_interval
 
 
@@ -247,7 +249,16 @@ class ProgressRouter:
     must survive anything the queue delivers: updates for unknown or stale
     run ids and malformed items (a worker dying mid-``put`` can tear a
     message) are *counted and dropped* — ``unknown_run_updates`` /
-    ``malformed_items`` — never raised.
+    ``malformed_items`` — never raised.  :meth:`stats` packages every
+    drop/leak counter into one dict so campaign ``supervision`` records can
+    carry them instead of warning-only.
+
+    The queue double-duties as the worker→parent metrics conduit: a
+    :class:`~repro.obs.metrics.MetricsFlush` item carries one worker's
+    metrics delta tagged with its run id; the router folds it into a
+    per-run registry (:meth:`run_metrics`), into the cross-run merge
+    (:meth:`merged_metrics`), and into the parent's process-global
+    registry so worker-side counters surface in trace metrics records.
     """
 
     def __init__(self, queue, join_timeout: float = 5.0):
@@ -257,9 +268,14 @@ class ProgressRouter:
         self._lock = threading.Lock()
         self._thread: Optional[threading.Thread] = None
         self._closed = False
+        self._last_trials: Dict[int, Dict[int, int]] = {}  # run -> shard -> trials
+        self._run_metrics: Dict[int, MetricsRegistry] = {}
+        self._merged_metrics = MetricsRegistry()
         self.callback_errors = 0  # raising subscribers, dropped not fatal
         self.unknown_run_updates = 0  # partials for finished/never-known runs
+        self.stale_updates = 0  # regressive partials (superseded in transit)
         self.malformed_items = 0  # torn or garbage queue items
+        self.metrics_flushes = 0  # worker metrics deltas folded in
         self.drain_thread_leaked = 0  # drain threads that outlived close()
 
     def subscribe(self, run_id: int, callback: Callable[[int, int, int], None]) -> None:
@@ -276,12 +292,53 @@ class ProgressRouter:
     def unsubscribe(self, run_id: int) -> None:
         with self._lock:
             self._subscribers.pop(run_id, None)
+            self._last_trials.pop(run_id, None)
+
+    def stats(self) -> Dict[str, int]:
+        """Every drop/leak counter in one dict (for supervision records)."""
+        return {
+            "unknown": self.unknown_run_updates,
+            "stale": self.stale_updates,
+            "malformed": self.malformed_items,
+            "callback_errors": self.callback_errors,
+            "metrics_flushes": self.metrics_flushes,
+            "drain_thread_leaked": self.drain_thread_leaked,
+        }
+
+    def run_metrics(self, run_id: int) -> Optional[Dict]:
+        """The merged worker-metrics snapshot flushed for one run id."""
+        with self._lock:
+            registry = self._run_metrics.get(run_id)
+            return registry.snapshot() if registry is not None else None
+
+    def merged_metrics(self) -> Dict:
+        """Worker metrics merged across every run on this pool."""
+        with self._lock:
+            return self._merged_metrics.snapshot()
+
+    def _absorb_metrics(self, flush: MetricsFlush) -> None:
+        with self._lock:
+            self.metrics_flushes += 1
+            registry = self._run_metrics.get(flush.run_id)
+            if registry is None:
+                registry = MetricsRegistry()
+                self._run_metrics[flush.run_id] = registry
+            registry.merge(flush.metrics)
+            self._merged_metrics.merge(flush.metrics)
+        # Outside the router lock: the global registry has its own.
+        get_metrics().merge(flush.metrics)
 
     def _drain(self) -> None:
         while True:
             item = self._queue.get()
             if item is _ROUTER_SENTINEL:
                 return
+            if isinstance(item, MetricsFlush):
+                try:
+                    self._absorb_metrics(item)
+                except Exception:
+                    self.malformed_items += 1
+                continue
             try:
                 run_id, shard_index, accepted, trials = item
             except Exception:
@@ -303,6 +360,21 @@ class ProgressRouter:
                 if callback is None:
                     self.unknown_run_updates += 1
                     continue
+                # Stale accounting: a cumulative partial whose trial count
+                # regressed was superseded in transit (or torn by chaos).
+                # Heartbeat pings are (0, 0) by contract and never count.
+                # Still dispatched — the aggregator's never-regress rule is
+                # the authority; the router only observes.
+                if (accepted, trials) != (0, 0):
+                    try:
+                        per_shard = self._last_trials.setdefault(run_id, {})
+                        if trials < per_shard.get(shard_index, 0):
+                            self.stale_updates += 1
+                        else:
+                            per_shard[shard_index] = trials
+                    except TypeError:  # unhashable shard index: garbage
+                        self.malformed_items += 1
+                        continue
                 try:
                     callback(shard_index, accepted, trials)
                 except Exception:

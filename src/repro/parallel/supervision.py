@@ -53,6 +53,7 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs.runtime import get_metrics, record_event
 from repro.parallel.shards import Shard
 
 # Main-loop wakeup period: outcome waits, deadline scans, and backoff
@@ -103,12 +104,18 @@ class RetryPolicy:
 
 @dataclass(frozen=True)
 class ShardFailure:
-    """One recorded failure of one shard attempt."""
+    """One recorded failure of one shard attempt.
+
+    ``elapsed_sec`` is the monotonic offset from the supervised run's start
+    to the moment the failure was recorded — retry spacing read off a
+    report is therefore immune to wall-clock steps.
+    """
 
     shard_index: int
     attempt: int  # 0-based attempt number that failed
     kind: str  # "error" (exception) | "timeout" (heartbeat deadline)
     message: str
+    elapsed_sec: float = 0.0  # monotonic, from run start
 
     def as_dict(self) -> Dict[str, object]:
         return {
@@ -116,6 +123,7 @@ class ShardFailure:
             "attempt": self.attempt,
             "kind": self.kind,
             "message": self.message,
+            "elapsed_sec": self.elapsed_sec,
         }
 
 
@@ -144,6 +152,12 @@ class RunReport:
     exhausted their budget.  ``ok`` means every non-skipped shard resolved
     — quarantine is the one outcome that makes a run not-ok (a cooperative
     stop skipping shards is normal operation).
+
+    Timing carries both clocks: ``started_unix`` / ``finished_unix`` are
+    wall-clock (for correlating with logs), ``duration_sec`` is a
+    **monotonic** difference — a wall-clock step mid-run (NTP, suspend)
+    shifts the unix pair but can never corrupt the duration, and the
+    per-failure ``elapsed_sec`` offsets share the same monotonic origin.
     """
 
     attempts: Dict[int, int]
@@ -152,6 +166,9 @@ class RunReport:
     retries: int = 0
     timeouts: int = 0
     pool_repairs: int = 0
+    started_unix: float = 0.0
+    finished_unix: float = 0.0
+    duration_sec: float = 0.0  # monotonic, clock-step immune
 
     @property
     def ok(self) -> bool:
@@ -165,6 +182,9 @@ class RunReport:
             "retries": self.retries,
             "timeouts": self.timeouts,
             "pool_repairs": self.pool_repairs,
+            "started_unix": self.started_unix,
+            "finished_unix": self.finished_unix,
+            "duration_sec": self.duration_sec,
             "ok": self.ok,
         }
 
@@ -241,6 +261,7 @@ class ShardSupervisor:
         self._retries = 0
         self._timeouts = 0
         self._pool_repairs = 0
+        self._start_mono = 0.0  # set by run(); failures record offsets from it
         # The serial backend runs a dispatch in the thread that iterates it
         # (our watcher), so more than one in-flight dispatch would introduce
         # concurrency the backend promises not to have.
@@ -270,10 +291,23 @@ class ShardSupervisor:
 
     def _record_failure(self, index: int, attempt: int, kind: str, message: str) -> None:
         failure = ShardFailure(
-            shard_index=index, attempt=attempt, kind=kind, message=message
+            shard_index=index,
+            attempt=attempt,
+            kind=kind,
+            message=message,
+            elapsed_sec=self._clock() - self._start_mono,
         )
         self._failures.append(failure)
         self._failures_by_shard.setdefault(index, []).append(failure)
+        record_event(
+            "supervision.failure",
+            {
+                "shard": index,
+                "attempt": attempt,
+                "fail_kind": kind,
+                "elapsed_sec": failure.elapsed_sec,
+            },
+        )
 
     def _try_repair(self) -> bool:
         repair = getattr(self._executor, "repair", None)
@@ -284,6 +318,7 @@ class ShardSupervisor:
         except Exception:
             return False
         self._pool_repairs += 1
+        record_event("supervision.pool_repair", {"repairs": self._pool_repairs})
         return True
 
     def _watch(self, dispatch: _Dispatch) -> None:
@@ -303,6 +338,7 @@ class ShardSupervisor:
         self._attempts[index] = attempt + 1
         if attempt > 0:
             self._retries += 1
+        record_event("supervision.dispatch", {"shard": index, "attempt": attempt})
         payload = self._payloads[index]
         handle = None
         for round_ in (0, 1):
@@ -343,6 +379,8 @@ class ShardSupervisor:
         shards are skipped).
         """
         policy = self._policy
+        self._start_mono = self._clock()
+        started_unix = time.time()
         pending: List[int] = sorted(self._shards)  # eligible, FIFO by index
         not_before: Dict[int, float] = {}
         results: Dict[int, object] = {}
@@ -360,10 +398,23 @@ class ShardSupervisor:
                     attempts=self._attempts.get(index, 0),
                     failures=tuple(failures),
                 )
+                record_event(
+                    "supervision.quarantine",
+                    {"shard": index, "attempts": self._attempts.get(index, 0)},
+                )
                 return
-            not_before[index] = self._clock() + policy.backoff(len(failures))
+            backoff = policy.backoff(len(failures))
+            not_before[index] = self._clock() + backoff
             pending.append(index)
             pending.sort()
+            record_event(
+                "supervision.retry",
+                {
+                    "shard": index,
+                    "next_attempt": self._attempts.get(index, 0),
+                    "backoff_sec": backoff,
+                },
+            )
 
         while True:
             now = self._clock()
@@ -471,5 +522,20 @@ class ShardSupervisor:
             retries=self._retries,
             timeouts=self._timeouts,
             pool_repairs=self._pool_repairs,
+            started_unix=started_unix,
+            finished_unix=time.time(),
+            duration_sec=self._clock() - self._start_mono,
         )
+        # Mirror the ledger into the metrics registry so traces and
+        # `repro.obs report` see supervision activity without re-parsing
+        # supervision records.
+        metrics = get_metrics()
+        if self._retries:
+            metrics.counter("supervision.retries").inc(self._retries)
+        if self._timeouts:
+            metrics.counter("supervision.timeouts").inc(self._timeouts)
+        if self._pool_repairs:
+            metrics.counter("supervision.pool_repairs").inc(self._pool_repairs)
+        if quarantined:
+            metrics.counter("supervision.quarantined").inc(len(quarantined))
         return results, report
