@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-specs test-stats test-parallel test-stream test-chaos test-obs bench bench-smoke bench-record bench-diff bench-gate
+.PHONY: test test-specs test-stats test-parallel test-stream test-chaos test-controller test-obs bench bench-smoke bench-record bench-diff bench-gate
 
 # Tier-1: the full test suite (includes the benchmark smoke harness and
 # the verdict-spec differential matrix, see test-specs).  Heavy statistical
@@ -43,6 +43,15 @@ test-stream:
 test-chaos:
 	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
 		tests/test_supervision.py tests/test_chaos.py -q
+
+# The adaptive-budget tier: chunk-schedule policies, the campaign
+# allocator, and the installment seam, plus the chunk-tail suite that pins
+# the decision-validity contract (any chunk policy -> per-trial verdicts
+# bit-identical to the fixed-chunk run), with process-backend tests forced
+# on (mirrors test-parallel).
+test-controller:
+	REPRO_FORCE_PARALLEL_PROC=1 $(PYTHON) -m pytest \
+		tests/test_controller.py tests/test_chunk_tail.py -q
 
 # The observability tier: trace/metrics primitives, the router piggyback,
 # the traced-chaos flight recorder, and the traced-vs-untraced bit-identity

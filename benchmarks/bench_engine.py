@@ -302,10 +302,114 @@ def measure_streamed(instance, shard_count=16, chunk_size=64):
     return records
 
 
+# The adaptive-budget comparison campaign (PR 10): one lopsided cell that
+# converges in its probe and one genuinely noisy cell that needs real
+# budget — the shape where a fixed equal per-cell split wastes the most.
+ADAPTIVE_TARGET_HALFWIDTH = 0.04
+ADAPTIVE_CELLS = [
+    (
+        "compiled(spanning-tree)",
+        workload_spec(
+            "spanning-tree", rng_mode="vector", node_count=NODE_COUNT,
+            extra_edges=EXTRA_EDGES, seed=1,
+        ),
+    ),
+    (
+        "noisy(spanning-tree)",
+        workload_spec("noisy-spanning-tree", rng_mode="fast", node_count=24),
+    ),
+]
+
+
+def measure_adaptive(
+    instance, target_halfwidth=ADAPTIVE_TARGET_HALFWIDTH, probe_budget=60000
+):
+    """Global-budget allocation vs fixed per-cell budgets, same target.
+
+    First measures each cell's *actual* need: a streamed solo run to the
+    target halfwidth.  A fixed equal per-cell split cannot size cells
+    individually, so it must provision every cell at the worst cell's need
+    — ``fixed_provision = n_cells * max(need)``.  Then one adaptive
+    campaign runs with exactly that budget as its global pool; the
+    recorded ``speedup`` is ``fixed_provision / adaptive_total`` (>= 1
+    when reallocation starves converged cells instead of burning their
+    share).  The record shape feeds the history gate's integral check
+    through its ``speedup`` column (see repro.benchhistory).
+    """
+    from repro.parallel import Campaign, Cell, MemorySink, run_campaign
+
+    needs = {}
+    for name, spec in ADAPTIVE_CELLS:
+        solo = estimate_acceptance_sharded(
+            spec, probe_budget, seed=0, executor=instance,
+            stop_halfwidth=target_halfwidth, stream_progress=True,
+        )
+        assert solo.stopped_early, f"{name}: raise probe_budget"
+        needs[name] = solo.estimate.trials
+    fixed_provision = len(ADAPTIVE_CELLS) * max(needs.values())
+
+    campaign = Campaign(
+        name="bench-adaptive",
+        cells=tuple(
+            Cell(name=name, spec=spec, trials=64, seed=0)
+            for name, spec in ADAPTIVE_CELLS
+        ),
+    )
+    records = run_campaign(
+        campaign,
+        executor=instance,
+        sink=MemorySink(),
+        global_budget=fixed_provision,
+        target_halfwidth=target_halfwidth,
+    )
+    per_cell = {
+        record["cell"]: {
+            "fixed_need_trials": needs[record["cell"]],
+            "consumed_trials": record["allocation"]["consumed"],
+            "installments": len(record["allocation"]["installments"]),
+            "converged": record["allocation"]["converged"],
+        }
+        for record in records
+    }
+    adaptive_total = sum(cell["consumed_trials"] for cell in per_cell.values())
+    return [
+        {
+            "scheme": "adaptive-campaign(mixed)",
+            "target_halfwidth": target_halfwidth,
+            "executor": instance.name,
+            "workers": instance.workers,
+            "cells": len(ADAPTIVE_CELLS),
+            "global_budget": fixed_provision,
+            "fixed_provision_trials": fixed_provision,
+            "adaptive_total_trials": adaptive_total,
+            "trials_saved": fixed_provision - adaptive_total,
+            "speedup": round(fixed_provision / adaptive_total, 2),
+            "all_converged": all(c["converged"] for c in per_cell.values()),
+            "per_cell": per_cell,
+        }
+    ]
+
+
 SHARDED_TABLE_HEADER = ["sharded workload", "workers", "single/s", "sharded/s", "speedup"]
 STREAMED_TABLE_HEADER = [
     "streamed workload", "halfwidth", "shard-stop trials", "stream-stop trials", "saved",
 ]
+ADAPTIVE_TABLE_HEADER = [
+    "adaptive campaign", "halfwidth", "fixed trials", "adaptive trials", "saved",
+]
+
+
+def _adaptive_rows(records):
+    return [
+        [
+            record["scheme"],
+            f"{record['target_halfwidth']:.3f}",
+            record["fixed_provision_trials"],
+            record["adaptive_total_trials"],
+            f"{record['trials_saved']} ({record['speedup']:.2f}x)",
+        ]
+        for record in records
+    ]
 
 
 def _streamed_rows(records):
@@ -500,6 +604,7 @@ def test_engine_throughput(benchmark, report):
     instance, owned = resolve_executor("process", DEFAULT_WORKERS)
     try:
         streamed_results = measure_streamed(instance)
+        adaptive_results = measure_adaptive(instance)
     finally:
         if owned:
             instance.close()
@@ -524,7 +629,9 @@ def test_engine_throughput(benchmark, report):
         + "\n\n"
         + format_table(SHARDED_TABLE_HEADER, _sharded_rows(sharded_results))
         + "\n\n"
-        + format_table(STREAMED_TABLE_HEADER, _streamed_rows(streamed_results)),
+        + format_table(STREAMED_TABLE_HEADER, _streamed_rows(streamed_results))
+        + "\n\n"
+        + format_table(ADAPTIVE_TABLE_HEADER, _adaptive_rows(adaptive_results)),
     )
 
     write_trajectory(
@@ -547,6 +654,7 @@ def test_engine_throughput(benchmark, report):
             "results": results,
             "sharded_results": sharded_results,
             "streamed_results": streamed_results,
+            "adaptive_results": adaptive_results,
         }
     )
 
@@ -580,6 +688,15 @@ def test_engine_throughput(benchmark, report):
     assert all(record["both_stopped_early"] for record in streamed_results)
     assert all(
         record["trials_saved_by_streaming"] >= 0 for record in streamed_results
+    )
+
+    # Adaptive budgets: every cell reached the target halfwidth, and the
+    # global budget spent no more than the fixed per-cell provision it
+    # replaced (the allocator can only save trials, never add them).
+    assert all(record["all_converged"] for record in adaptive_results)
+    assert all(
+        record["adaptive_total_trials"] <= record["fixed_provision_trials"]
+        for record in adaptive_results
     )
     if available_cpus() >= 4 and all(r["workers"] >= 4 for r in sharded_results):
         assert (
@@ -623,11 +740,14 @@ def main(argv=None) -> int:
     instance, owned = resolve_executor(args.executor, workers)
     try:
         streamed = measure_streamed(instance)
+        adaptive = measure_adaptive(instance)
     finally:
         if owned:
             instance.close()
     print()
     print(format_table(STREAMED_TABLE_HEADER, _streamed_rows(streamed)))
+    print()
+    print(format_table(ADAPTIVE_TABLE_HEADER, _adaptive_rows(adaptive)))
     print(f"\ncpu_count={available_cpus()} executor={args.executor}")
     return 0
 

@@ -207,6 +207,7 @@ def smoke_parallel():
 
     streamed_rows = _smoke_streamed_campaign(backend)
     chaos_rows = _smoke_chaos_recovery(backend)
+    adaptive_rows = _smoke_adaptive_campaign(backend)
 
     leaked = multiprocessing.active_children()
     assert not leaked, f"worker processes leaked past executor close: {leaked}"
@@ -215,6 +216,7 @@ def smoke_parallel():
         + [[f"sharded-merge(noisy, {sharded.shards} shards)", "-", backend, "ok"]]
         + streamed_rows
         + chaos_rows
+        + adaptive_rows
     )
 
 
@@ -264,6 +266,84 @@ def _smoke_streamed_campaign(backend):
     assert not leaked, f"worker processes leaked past streamed campaign: {leaked}"
     return [
         [f"streamed[{record['cell']}]", "-", f"{backend} x2 cells", "ok"]
+        for record in records
+    ]
+
+
+def _smoke_adaptive_campaign(backend):
+    """One tiny global-budget campaign — the PR 10 wiring.
+
+    Two cells of very different hardness share one trial budget; the
+    allocator must converge both inside it, every recorded count must be an
+    exact reproducible prefix of the cell's deterministic trial sequence
+    (decision validity: allocation never touches a verdict), and teardown
+    must leave no worker processes behind — the same leak guard as the
+    other campaign smokes.
+    """
+    from repro.parallel import (
+        Campaign,
+        Cell,
+        MemorySink,
+        estimate_acceptance_sharded,
+        run_campaign,
+        workload_spec,
+    )
+
+    campaign = Campaign(
+        name="smoke-adaptive",
+        cells=(
+            Cell(
+                name="easy",
+                spec=workload_spec("spanning-tree", rng_mode="fast", node_count=12),
+                trials=32,
+                seed=0,
+            ),
+            Cell(
+                name="hard",
+                spec=workload_spec(
+                    "noisy-spanning-tree", rng_mode="fast", node_count=12,
+                    flip_milli=5,
+                ),
+                trials=32,
+                seed=0,
+            ),
+        ),
+    )
+    records = run_campaign(
+        campaign,
+        executor=backend,
+        workers=_workers(backend),
+        sink=MemorySink(),
+        cell_parallelism=2,
+        global_budget=3000,
+        target_halfwidth=0.05,
+    )
+    assert len(records) == len(campaign.cells), "adaptive campaign dropped cells"
+    consumed = 0
+    cells = {cell.name: cell for cell in campaign.cells}
+    for record in records:
+        allocation = record["allocation"]
+        assert allocation["converged"], (
+            f"adaptive cell {record['cell']} missed the target halfwidth"
+        )
+        consumed += allocation["consumed"]
+        replay = estimate_acceptance_sharded(
+            cells[record["cell"]].spec, record["trials"],
+            seed=cells[record["cell"]].seed, executor="serial",
+        )
+        assert replay.estimate.accepted == record["accepted"], (
+            f"adaptive cell {record['cell']}: counts are not a reproducible prefix"
+        )
+    assert consumed <= 3000, "allocator overspent the global budget"
+    leaked = multiprocessing.active_children()
+    assert not leaked, f"worker processes leaked past adaptive campaign: {leaked}"
+    return [
+        [
+            f"adaptive[{record['cell']}]",
+            f"{record['allocation']['consumed']} trials",
+            f"{backend} global-budget",
+            "ok",
+        ]
         for record in records
     ]
 

@@ -109,7 +109,11 @@ def profile_from_snapshot(
     backend, each carrying the profile tags.  ``results`` rows produce one
     record per execution mode (``backend="single"``); ``sharded_results``
     rows produce one ``backend="sharded(<executor>)"`` record whose speedup
-    column is the sharded-vs-single ratio.  Per-repeat throughput samples
+    column is the sharded-vs-single ratio; ``adaptive_results`` rows
+    produce a rate-less ``mode="adaptive"`` record whose speedup column is
+    the fixed-provision-vs-adaptive trial ratio — with no ``trials_per_sec``
+    the per-kernel check reports ``new`` (non-gating) and the integral
+    check gates the speedup column.  Per-repeat throughput samples
     (``samples`` sub-dicts, recorded since the history subsystem landed)
     ride along so the detectors can estimate each kernel's noise floor;
     older snapshots without them fall back to the default floor.
@@ -151,6 +155,18 @@ def profile_from_snapshot(
                 "trials_per_sec": row["sharded_trials_per_sec"],
                 "speedup": row["sharded_speedup"],
                 "samples": row.get("samples", {}).get("sharded", []),
+                "workers": row.get("workers"),
+            }
+        )
+    for row in snapshot.get("adaptive_results", ()):
+        records.append(
+            {
+                **tags,
+                "workload": row["scheme"],
+                "mode": "adaptive",
+                "backend": f"campaign({row.get('executor', 'process')})",
+                "speedup": row["speedup"],
+                "samples": [],
                 "workers": row.get("workers"),
             }
         )

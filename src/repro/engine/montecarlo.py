@@ -80,6 +80,7 @@ def estimate_acceptance_fast(
     rng_mode: Optional[RngMode] = None,
     seed_mode: str = "mix",
     chunk_size: int = DEFAULT_CHUNK,
+    chunk_schedule: Optional[object] = None,
     stop_halfwidth: Optional[float] = None,
     min_trials: int = 2 * DEFAULT_CHUNK,
     vectorize: Optional[bool] = None,
@@ -96,6 +97,17 @@ def estimate_acceptance_fast(
     ``min_trials`` trials have run); the returned estimate then reports the
     trials actually executed.  Early exit changes *which prefix* of the
     trial sequence is used, never the per-trial decisions.
+
+    ``chunk_schedule`` is the chunk-schedule seam (see
+    :mod:`repro.parallel.controller`): an object whose ``session()`` returns
+    a per-run decision function ``next_chunk(accepted, done, remaining) ->
+    int``, consulted before every chunk in place of the constant
+    ``chunk_size``.  The schedule's decision-validity contract: chunking
+    only re-partitions the same deterministic trial prefix, so any schedule
+    changes *when* the stop rule is checked between chunks — never which
+    seed a trial derives or what it decides.  Returned sizes are clamped to
+    ``[1, remaining]``; with ``chunk_schedule=None`` the constant
+    ``chunk_size`` applies, bit-for-bit the historical behaviour.
 
     ``rng_mode=None`` (default) uses the plan's compiled default mode.
     ``seed_mode="legacy"`` reproduces the pre-SplitMix64 per-trial seeds
@@ -172,6 +184,8 @@ def estimate_acceptance_fast(
             progress(accepted, trials)
         return AcceptanceEstimate(accepted=accepted, trials=trials)
 
+    next_chunk = chunk_schedule.session() if chunk_schedule is not None else None
+
     accepted = 0
     done = 0
     while done < trials:
@@ -182,8 +196,12 @@ def estimate_acceptance_fast(
         # The final chunk is exactly the remaining trials — `done + chunk`
         # never overshoots `trials`, so the reported count equals the prefix
         # of the trial sequence actually consumed (pinned by the chunk-tail
-        # regression tests).
-        chunk = min(chunk_size, trials - done)
+        # regression tests).  A schedule's answer is clamped to the same
+        # bounds, so no policy can overshoot the range or stall the loop.
+        if next_chunk is not None:
+            chunk = max(1, min(int(next_chunk(accepted, done, trials - done)), trials - done))
+        else:
+            chunk = min(chunk_size, trials - done)
         accepted += plan.run_trials(
             trial_seed_slice(
                 seed, first_trial + done, first_trial + done + chunk, seed_mode

@@ -57,7 +57,14 @@ from repro.parallel.chaos import (
     ChaosWorkerHang,
     FaultPolicy,
 )
+from repro.parallel.controller import (
+    CampaignAllocator,
+    FixedChunkPolicy,
+    GeometricChunkPolicy,
+    parse_chunk_policy,
+)
 from repro.parallel.executors import (
+    DEFAULT_CHUNK,
     EXECUTORS,
     ProcessExecutor,
     SerialExecutor,
@@ -86,9 +93,11 @@ from repro.parallel.supervision import (
 )
 
 __all__ = [
+    "DEFAULT_CHUNK",
     "EXECUTORS",
     "WORKLOADS",
     "Campaign",
+    "CampaignAllocator",
     "Cell",
     "ChaosExecutor",
     "ChaosSink",
@@ -96,6 +105,8 @@ __all__ = [
     "ChaosWorkerCrash",
     "ChaosWorkerHang",
     "FaultPolicy",
+    "FixedChunkPolicy",
+    "GeometricChunkPolicy",
     "JsonlSink",
     "MemorySink",
     "PlanSpec",
@@ -117,6 +128,7 @@ __all__ = [
     "ThreadExecutor",
     "available_cpus",
     "estimate_acceptance_sharded",
+    "parse_chunk_policy",
     "resolve_executor",
     "run_campaign",
     "workload_spec",

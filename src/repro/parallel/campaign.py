@@ -44,7 +44,9 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.runtime import get_recorder
+from repro.parallel.controller import CampaignAllocator
 from repro.parallel.executors import (
+    DEFAULT_CHUNK,
     ShardPlanner,
     estimate_acceptance_sharded,
     resolve_executor,
@@ -239,6 +241,7 @@ def _run_cell(
     instance,
     planner: Optional[ShardPlanner],
     chunk_size: int,
+    chunk_policy,
     vectorize: Optional[bool],
     stream_progress: bool,
     shard_timeout: Optional[float] = None,
@@ -271,6 +274,7 @@ def _run_cell(
             executor=instance,
             planner=planner,
             chunk_size=chunk_size,
+            chunk_policy=chunk_policy,
             stop_halfwidth=cell.stop_halfwidth,
             vectorize=vectorize,
             stream_progress=stream_progress,
@@ -369,7 +373,8 @@ def run_campaign(
     workers: Optional[int] = None,
     sink=None,
     planner: Optional[ShardPlanner] = None,
-    chunk_size: int = 64,
+    chunk_size: int = DEFAULT_CHUNK,
+    chunk_policy=None,
     vectorize: Optional[bool] = None,
     cell_parallelism: int = 1,
     stream_progress: bool = False,
@@ -377,6 +382,9 @@ def run_campaign(
     cell_retries: int = 1,
     shard_timeout: Optional[float] = None,
     max_retries: int = 0,
+    global_budget: Optional[int] = None,
+    target_halfwidth: Optional[float] = None,
+    min_installment: int = DEFAULT_CHUNK,
 ) -> List[Dict]:
     """Run every (not yet completed) cell; returns the new records.
 
@@ -417,9 +425,31 @@ def run_campaign(
     shard-level supervision (heartbeat deadlines, deterministic retry,
     quarantine; see :mod:`repro.parallel.supervision`) underneath the
     cell-level policy above.
+
+    Adaptive budgets (``global_budget`` + ``target_halfwidth``; see
+    :mod:`repro.parallel.controller` and docs/parallel.md): instead of each
+    cell spending its own ``trials`` budget, one global pool of trials is
+    granted to cells in rounds by a :class:`CampaignAllocator` — cells
+    whose cumulative Wilson interval reaches the target halfwidth are
+    starved, and their unspent budget flows to the widest remaining cells.
+    Installments always extend a cell's consumed counter prefix (future
+    ranges only — per-trial verdicts are untouched by allocation), run with
+    ``stream_progress`` forced on, and each cell's record carries its
+    ``allocation`` history (per-installment ``first_trial``/``trials``) so
+    a resumed or follow-up campaign can continue the exact counter range.
+    ``chunk_policy`` (a policy object from
+    :mod:`repro.parallel.controller`, e.g. ``parse_chunk_policy("geometric")``)
+    applies to every cell on both the fixed and adaptive paths.
     """
     if cell_parallelism < 1:
         raise ValueError("cell_parallelism must be positive")
+    if global_budget is not None and target_halfwidth is None:
+        raise ValueError("global_budget requires target_halfwidth")
+    if target_halfwidth is not None and global_budget is None:
+        raise ValueError(
+            "target_halfwidth requires global_budget (use the cells' "
+            "stop_halfwidth for a per-cell stop rule)"
+        )
     if on_cell_error not in ("raise", "skip", "retry"):
         raise ValueError(
             f"on_cell_error must be 'raise', 'skip' or 'retry', "
@@ -452,13 +482,23 @@ def run_campaign(
             "executor": getattr(instance, "name", "?"),
             "cell_parallelism": cell_parallelism,
         }
+        if global_budget is not None:
+            campaign_attrs["global_budget"] = global_budget
+            campaign_attrs["target_halfwidth"] = target_halfwidth
     campaign_span = recorder.span("campaign", campaign_attrs)
     run_args = (
-        instance, planner, chunk_size, vectorize, stream_progress,
+        instance, planner, chunk_size, chunk_policy, vectorize, stream_progress,
         shard_timeout, max_retries, campaign_span.span_id,
     )
     try:
-        if cell_parallelism == 1 or len(pending) <= 1:
+        if global_budget is not None and pending:
+            _run_adaptive_campaign(
+                campaign, pending, instance, planner, chunk_size, chunk_policy,
+                vectorize, shard_timeout, max_retries, global_budget,
+                target_halfwidth, min_installment, cell_parallelism,
+                on_cell_error, cell_retries, sink, new_records, campaign_span,
+            )
+        elif cell_parallelism == 1 or len(pending) <= 1:
             for cell in pending:
                 record, error = _attempt_cell(
                     campaign, cell, on_cell_error, cell_retries, run_args
@@ -554,3 +594,162 @@ def _run_cells_concurrently(
         thread.join()
     if errors:
         raise errors[0]
+
+
+def _run_adaptive_campaign(
+    campaign: Campaign,
+    pending: List[Cell],
+    instance,
+    planner: Optional[ShardPlanner],
+    chunk_size: int,
+    chunk_policy,
+    vectorize: Optional[bool],
+    shard_timeout: Optional[float],
+    max_retries: int,
+    global_budget: int,
+    target_halfwidth: float,
+    min_installment: int,
+    cell_parallelism: int,
+    on_cell_error: str,
+    cell_retries: int,
+    sink,
+    new_records: List[Dict],
+    campaign_span,
+) -> None:
+    """The global-budget campaign loop: allocator rounds over installments.
+
+    Each round the :class:`~repro.parallel.controller.CampaignAllocator`
+    produces a grant table; every granted cell runs one *installment* — a
+    streamed sharded estimate over the next ``granted`` trials of its
+    counter sequence (``first_trial`` = the consumed prefix, ``prior`` = the
+    prefix's counts, so the Wilson stop applies to the cell's *cumulative*
+    interval and fires as soon as the target halfwidth is reached
+    mid-installment).  Only consumed trials are booked against the budget;
+    a converged installment's unspent grant implicitly returns to the pool.
+
+    Ordering and resume match the fixed path: one record per cell, written
+    in declaration order after the budget is spent, each carrying the
+    cell's full ``allocation`` history.  ``on_cell_error="skip"``/``"retry"``
+    degrade a repeatedly-failing cell to a ``status="failed"`` record (its
+    remaining budget serves the other cells); ``"raise"`` aborts.
+    """
+    from concurrent.futures import ThreadPoolExecutor
+
+    allocator = CampaignAllocator(
+        [cell.name for cell in pending],
+        global_budget,
+        target_halfwidth,
+        min_installment=min_installment,
+    )
+    cells = {cell.name: cell for cell in pending}
+    elapsed = {cell.name: 0.0 for cell in pending}
+    shard_totals = {cell.name: 0 for cell in pending}
+    errors: Dict[str, Exception] = {}
+
+    def run_installment(name: str, granted: int):
+        cell = cells[name]
+        prior = allocator.counts(name)
+        attempts = 1 + (max(0, cell_retries) if on_cell_error == "retry" else 0)
+        last_error: Optional[Exception] = None
+        for _attempt in range(attempts):
+            start = time.perf_counter()
+            try:
+                sharded = estimate_acceptance_sharded(
+                    cell.spec,
+                    granted,
+                    seed=cell.seed,
+                    executor=instance,
+                    planner=planner,
+                    chunk_size=chunk_size,
+                    chunk_policy=chunk_policy,
+                    stop_halfwidth=target_halfwidth,
+                    vectorize=vectorize,
+                    stream_progress=True,
+                    first_trial=prior[1],
+                    prior=prior,
+                    shard_timeout=shard_timeout,
+                    max_retries=max_retries,
+                )
+            except Exception as exc:
+                if on_cell_error == "raise":
+                    raise
+                last_error = exc
+                continue
+            return sharded, time.perf_counter() - start, None
+        return None, 0.0, last_error
+
+    while True:
+        grants = allocator.grants()
+        if not grants:
+            break
+        ordered = list(grants.items())
+        if cell_parallelism > 1 and len(ordered) > 1:
+            with ThreadPoolExecutor(
+                max_workers=min(cell_parallelism, len(ordered)),
+                thread_name_prefix="repro-cell",
+            ) as team:
+                outcomes = list(
+                    team.map(lambda item: run_installment(*item), ordered)
+                )
+        else:
+            outcomes = [run_installment(name, granted) for name, granted in ordered]
+        progressed = False
+        for (name, granted), (sharded, spent, error) in zip(ordered, outcomes):
+            if error is not None:
+                allocator.fail(name)
+                errors[name] = error
+                progressed = True
+                continue
+            estimate = sharded.estimate
+            allocator.settle(
+                name,
+                first_trial=allocator.counts(name)[1],
+                granted=granted,
+                accepted=estimate.accepted,
+                trials=estimate.trials,
+            )
+            elapsed[name] += spent
+            shard_totals[name] += sharded.shards
+            if estimate.trials > 0:
+                progressed = True
+        if not progressed:
+            # A full round granted budget and nothing ran (wedged pool,
+            # every shard quarantined, ...): stop granting instead of
+            # spinning — the records below document the shortfall.
+            break
+
+    from repro.simulation.metrics import AcceptanceEstimate
+
+    for cell in pending:
+        accepted, consumed = allocator.counts(cell.name)
+        history = allocator.history(cell.name)
+        if cell.name in errors:
+            record = _failure_record(campaign, cell, errors[cell.name])
+            record["allocation"] = history
+        else:
+            estimate = AcceptanceEstimate(accepted=accepted, trials=consumed)
+            low, high = estimate.interval
+            record = {
+                "campaign": campaign.name,
+                "cell": cell.name,
+                "cell_key": cell.key(),
+                "status": "ok",
+                **cell.spec.describe(),
+                "requested_trials": cell.trials,
+                "trials": estimate.trials,
+                "accepted": estimate.accepted,
+                "probability": estimate.probability,
+                "wilson_low": low,
+                "wilson_high": high,
+                "stopped_early": history["converged"],
+                "streamed": True,
+                "shards": shard_totals[cell.name],
+                "executor": getattr(instance, "name", "?"),
+                "workers": getattr(instance, "workers", 1),
+                "elapsed_sec": round(elapsed[cell.name], 6),
+                "allocation": history,
+            }
+        sink.write(record)
+        new_records.append(record)
+    for key, value in allocator.summary().items():
+        campaign_span.set(f"allocator.{key}", value)

@@ -23,6 +23,12 @@ factory does not take are skipped with a warning, not a crash), and a
 worker pool; ``--stream-progress`` turns on progressive shard-result
 streaming so Wilson stops fire at chunk granularity (see
 ``docs/parallel.md``).
+
+Adaptive budgets (see docs/parallel.md "Adaptive budgets"):
+``--chunk-policy geometric`` lets chunks start small and grow as the Wilson
+interval tightens, and ``campaign --global-budget 20000 --target-halfwidth
+0.03`` replaces per-cell budgets with one allocator-managed pool that is
+re-granted to the widest cells until every cell reaches the target.
 """
 
 from __future__ import annotations
@@ -36,7 +42,9 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.engine.plan import RNG_MODES
 from repro.obs.runtime import tracing
 from repro.parallel.campaign import Campaign, JsonlSink, MemorySink, run_campaign
+from repro.parallel.controller import parse_chunk_policy
 from repro.parallel.executors import (
+    DEFAULT_CHUNK,
     EXECUTORS,
     available_cpus,
     estimate_acceptance_sharded,
@@ -133,6 +141,39 @@ def _csv(value: str) -> List[str]:
     return [item for item in (part.strip() for part in value.split(",")) if item]
 
 
+def _halfwidth_flag(flag: str):
+    """An argparse ``type`` that bounds a halfwidth to the open (0, 0.5).
+
+    Same boundary-validation posture as ``--rng-mode``: reject the
+    impossible configuration at the CLI with a clear message instead of
+    letting it sink into the engine (``<= 0`` can never be satisfied,
+    ``>= 0.5`` always is).
+    """
+
+    def parse(text: str) -> float:
+        try:
+            value = float(text)
+        except ValueError:
+            raise argparse.ArgumentTypeError(
+                f"{flag} expects a number, got {text!r}"
+            ) from None
+        if not (0 < value < 0.5):
+            raise argparse.ArgumentTypeError(
+                f"{flag} must be in the open interval (0, 0.5), got {text}"
+            )
+        return value
+
+    return parse
+
+
+def _chunk_policy_flag(text: str):
+    """The argparse ``type`` for ``--chunk-policy`` spec strings."""
+    try:
+        return parse_chunk_policy(text)
+    except ValueError as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from None
+
+
 def _add_executor_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument(
         "--executor",
@@ -153,12 +194,27 @@ def _add_executor_args(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="fixed shard count (default: planner picks from workers/budget)",
     )
-    parser.add_argument("--chunk-size", type=int, default=64)
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=DEFAULT_CHUNK,
+        help=f"trials per chunk between stop-rule checks (default: {DEFAULT_CHUNK})",
+    )
+    parser.add_argument(
+        "--chunk-policy",
+        type=_chunk_policy_flag,
+        default=None,
+        metavar="SPEC",
+        help="adaptive chunk schedule: 'fixed[:SIZE]' or "
+        "'geometric[:initial=I,factor=F,max=M]' — start small, grow as the "
+        "Wilson interval tightens (default: fixed --chunk-size)",
+    )
     parser.add_argument(
         "--stop-halfwidth",
-        type=float,
+        type=_halfwidth_flag("--stop-halfwidth"),
         default=None,
-        help="Wilson early-exit half-width on the merged estimate",
+        help="Wilson early-exit half-width on the merged estimate "
+        "(must lie in (0, 0.5))",
     )
     parser.add_argument(
         "--stream-progress",
@@ -262,6 +318,7 @@ def _cmd_estimate(args) -> int:
                 workers=args.workers,
                 planner=_planner(args),
                 chunk_size=args.chunk_size,
+                chunk_policy=args.chunk_policy,
                 stop_halfwidth=args.stop_halfwidth,
                 stream_progress=args.stream_progress,
                 shard_timeout=args.shard_timeout,
@@ -321,6 +378,18 @@ def _cmd_campaign(args) -> int:
         seeds=tuple(int(s) for s in _csv(args.seeds)),
         stop_halfwidth=args.stop_halfwidth,
     )
+    if args.global_budget is not None:
+        if args.global_budget <= 0:
+            raise SystemExit(
+                f"error: --global-budget must be positive, got {args.global_budget}"
+            )
+        if args.target_halfwidth is None:
+            raise SystemExit("error: --global-budget requires --target-halfwidth")
+    elif args.target_halfwidth is not None:
+        raise SystemExit(
+            "error: --target-halfwidth requires --global-budget "
+            "(use --stop-halfwidth for a per-cell stop rule)"
+        )
     sink = (
         JsonlSink(args.out, resume=not args.no_resume, fsync=args.fsync)
         if args.out
@@ -337,12 +406,15 @@ def _cmd_campaign(args) -> int:
                 sink=sink,
                 planner=_planner(args),
                 chunk_size=args.chunk_size,
+                chunk_policy=args.chunk_policy,
                 cell_parallelism=args.cell_parallelism,
                 stream_progress=args.stream_progress,
                 on_cell_error=args.on_cell_error,
                 cell_retries=args.cell_retries,
                 shard_timeout=args.shard_timeout,
                 max_retries=args.max_retries,
+                global_budget=args.global_budget,
+                target_halfwidth=args.target_halfwidth,
             )
     finally:
         if cleanup is not None:
@@ -369,6 +441,20 @@ def _cmd_campaign(args) -> int:
         f"campaign {campaign.name!r}: {len(records)} cells run, "
         f"{skipped} resumed as complete{tail} -> {where}"
     )
+    if args.global_budget is not None and records:
+        consumed = sum(
+            record.get("allocation", {}).get("consumed", 0) for record in records
+        )
+        converged = sum(
+            1
+            for record in records
+            if record.get("allocation", {}).get("converged")
+        )
+        print(
+            f"global budget: {consumed}/{args.global_budget} trials consumed, "
+            f"{converged}/{len(records)} cells reached halfwidth "
+            f"{args.target_halfwidth}"
+        )
     if args.trace:
         print(f"trace -> {args.trace} (read: python -m repro.obs report {args.trace})")
     return 0
@@ -442,6 +528,22 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=1,
         help="re-attempts per failing cell under --on-cell-error retry",
+    )
+    campaign.add_argument(
+        "--global-budget",
+        type=int,
+        default=None,
+        metavar="TRIALS",
+        help="one adaptive trial budget shared by every cell — the "
+        "allocator starves converged cells and re-grants their budget to "
+        "the widest intervals (requires --target-halfwidth)",
+    )
+    campaign.add_argument(
+        "--target-halfwidth",
+        type=_halfwidth_flag("--target-halfwidth"),
+        default=None,
+        help="Wilson half-width every cell should reach under "
+        "--global-budget (must lie in (0, 0.5))",
     )
     _add_executor_args(campaign)
     campaign.set_defaults(func=_cmd_campaign)

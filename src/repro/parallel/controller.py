@@ -1,0 +1,480 @@
+"""Adaptive budget control: chunk schedules and the campaign allocator.
+
+Two decisions used to be hardcoded integers threaded through every layer of
+the stack: *how many trials to run between stop-rule checks* (the
+``chunk_size`` of :func:`~repro.engine.montecarlo.estimate_acceptance_fast`)
+and *how many trials each campaign cell gets* (the per-cell ``trials``
+budget).  This module turns both into policy objects:
+
+- **Chunk schedules** (:class:`FixedChunkPolicy`, :class:`GeometricChunkPolicy`)
+  plug into the engine's chunk-schedule seam: before each chunk the trial
+  loop asks the schedule for the next chunk size.  The geometric policy
+  starts small — a lopsided verdict tightens its Wilson interval within a
+  few trials, so a small first chunk lets the stop rule fire almost
+  immediately — and grows the chunk geometrically as the interval tightens,
+  amortizing per-chunk dispatch overhead once it is clear the run will be
+  long.  The fixed policy is the default-compatible case: a constant size,
+  exactly the historical behaviour.
+- **The campaign allocator** (:class:`CampaignAllocator`) manages one
+  *global* trial budget across all cells of a campaign.  It grants budget in
+  rounds: a cheap probe round first, then need-proportional rounds where
+  cells whose merged Wilson interval is still wide receive most of the
+  remaining pool and cells that reached the target halfwidth are starved
+  entirely.  Grants a converged cell did not consume flow back into the
+  pool automatically — the campaign layer only ever subtracts *consumed*
+  trials.
+
+Decision-validity contract
+--------------------------
+
+Every trial's verdict is a pure function of ``(master seed, trial
+counter)`` (see :mod:`repro.core.seeding`), and both kinds of policy only
+ever decide *future counter ranges*: a chunk schedule partitions a shard's
+fixed ``[start, stop)`` range into differently-sized prefixes, and the
+allocator extends a cell's consumed prefix ``[0, consumed)`` by the next
+installment ``[consumed, consumed + grant)``.  Policies therefore change
+**when the stop rule is checked, never any trial's verdict** — a run under
+any chunk policy is per-trial bit-identical to the fixed-chunk run over the
+same counter range, and a retried shard (supervision) re-executes its
+original range untouched because its payload was fixed at dispatch time.
+The chunk-tail and controller test suites pin this contract.
+
+Observability
+-------------
+
+Allocator decisions surface through :mod:`repro.obs`: each round emits a
+``controller.round`` trace event with its grant table, convergence emits
+``controller.converged``, and the ``controller.*`` counters
+(``rounds``, ``grants``, ``granted_trials``, ``consumed_trials``,
+``returned_trials``, ``converged_cells``, ``chunks``) accumulate in the
+metrics registry.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.montecarlo import DEFAULT_CHUNK
+from repro.obs.runtime import get_metrics, record_event
+from repro.simulation.metrics import wilson_interval
+
+
+def observed_halfwidth(accepted: int, trials: int) -> float:
+    """Half the Wilson interval width, ``inf`` before any trial has run."""
+    if trials <= 0:
+        return math.inf
+    low, high = wilson_interval(accepted, trials)
+    return (high - low) / 2
+
+
+def validate_halfwidth(value: float, name: str = "halfwidth") -> float:
+    """Reject stop/target halfwidths outside the meaningful open interval.
+
+    A halfwidth is half the width of a confidence interval on a proportion:
+    ``<= 0`` can never be satisfied and ``>= 0.5`` is satisfied by the empty
+    estimate — both are configuration mistakes, not stop rules.
+    """
+    if not (0 < value < 0.5):
+        raise ValueError(f"{name} must be in the open interval (0, 0.5), got {value}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# chunk schedules
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class FixedChunkPolicy:
+    """The constant-size schedule — the historical behaviour as a policy.
+
+    Frozen (hence picklable: policies ride to process-pool workers inside
+    the shard options dict); per-call mutable state lives in the session
+    object :meth:`session` returns.
+    """
+
+    chunk_size: int = DEFAULT_CHUNK
+
+    def __post_init__(self):
+        if self.chunk_size <= 0:
+            raise ValueError("chunk_size must be positive")
+
+    def describe(self) -> str:
+        return f"fixed:{self.chunk_size}"
+
+    def session(self):
+        """A fresh per-run decision function (stateless for fixed size)."""
+        size = self.chunk_size
+
+        def next_chunk(accepted: int, done: int, remaining: int) -> int:
+            return size
+
+        return next_chunk
+
+
+@dataclass(frozen=True)
+class GeometricChunkPolicy:
+    """Start small, grow geometrically as the Wilson interval tightens.
+
+    The first chunk is ``initial`` trials.  Before each later chunk the
+    session compares the observed Wilson halfwidth against the narrowest
+    halfwidth seen so far: if the interval tightened, the next chunk grows
+    by ``factor`` (capped at ``max_chunk``); if it did not (the running
+    estimate drifted), the size holds.  Lopsided workloads therefore stop
+    within a few trials of satisfying the stop rule, while long unstopped
+    runs quickly reach ``max_chunk`` and pay near-zero scheduling overhead.
+    """
+
+    initial: int = 8
+    factor: float = 2.0
+    max_chunk: int = 1024
+
+    def __post_init__(self):
+        if self.initial <= 0:
+            raise ValueError("initial chunk must be positive")
+        if self.factor < 1.0:
+            raise ValueError("growth factor must be >= 1")
+        if self.max_chunk < self.initial:
+            raise ValueError("max_chunk must be >= initial")
+
+    def describe(self) -> str:
+        return f"geometric:initial={self.initial},factor={self.factor},max={self.max_chunk}"
+
+    def session(self):
+        """A fresh per-run decision function carrying the growth state."""
+        return _GeometricSession(self)
+
+
+class _GeometricSession:
+    """Mutable per-run state of one :class:`GeometricChunkPolicy` use.
+
+    Created engine-side by ``session()`` — never pickled; only the frozen
+    policy crosses a process boundary.
+    """
+
+    def __init__(self, policy: GeometricChunkPolicy):
+        self._policy = policy
+        self._size = policy.initial
+        self._best_halfwidth = math.inf
+
+    def __call__(self, accepted: int, done: int, remaining: int) -> int:
+        if done > 0:
+            halfwidth = observed_halfwidth(accepted, done)
+            if halfwidth < self._best_halfwidth:
+                self._best_halfwidth = halfwidth
+                self._size = min(
+                    self._policy.max_chunk,
+                    max(self._size + 1, int(self._size * self._policy.factor)),
+                )
+        get_metrics().counter("controller.chunks").inc()
+        return self._size
+
+
+CHUNK_POLICIES = ("fixed", "geometric")
+
+
+def parse_chunk_policy(text: str):
+    """Parse a ``--chunk-policy`` spec string into a policy object.
+
+    Accepted forms::
+
+        fixed                fixed:128
+        geometric            geometric:initial=8,factor=2,max=1024
+
+    Raises :class:`ValueError` on unknown names, malformed arguments, or
+    out-of-range values (delegated to the policy constructors).
+    """
+    head, sep, rest = text.strip().partition(":")
+    head = head.strip()
+    if head == "fixed":
+        if not sep:
+            return FixedChunkPolicy()
+        try:
+            size = int(rest)
+        except ValueError:
+            raise ValueError(
+                f"fixed chunk policy takes an integer size, got {rest!r}"
+            ) from None
+        return FixedChunkPolicy(chunk_size=size)
+    if head == "geometric":
+        kwargs = {}
+        names = {"initial": int, "factor": float, "max": float}
+        if sep and rest.strip():
+            for item in rest.split(","):
+                key, eq, value = item.partition("=")
+                key = key.strip()
+                if not eq or key not in names:
+                    raise ValueError(
+                        f"geometric chunk policy takes initial=, factor=, max= "
+                        f"arguments, got {item.strip()!r}"
+                    )
+                try:
+                    parsed = names[key](value.strip())
+                except ValueError:
+                    raise ValueError(
+                        f"bad value for geometric chunk policy argument "
+                        f"{item.strip()!r}"
+                    ) from None
+                kwargs["max_chunk" if key == "max" else key] = (
+                    int(parsed) if key == "max" else parsed
+                )
+        return GeometricChunkPolicy(**kwargs)
+    raise ValueError(
+        f"unknown chunk policy {head!r} (choose from fixed[:SIZE], "
+        f"geometric[:initial=I,factor=F,max=M])"
+    )
+
+
+# ---------------------------------------------------------------------------
+# the campaign allocator
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellLedger:
+    """One cell's consumption state inside a :class:`CampaignAllocator`.
+
+    ``consumed`` is the length of the cell's executed counter prefix
+    ``[0, consumed)``; the next installment always starts at ``consumed``,
+    which is what makes every allocator decision a *future-range* decision
+    (see the module docstring's validity contract).
+    """
+
+    name: str
+    consumed: int = 0
+    accepted: int = 0
+    converged: bool = False
+    failed: bool = False
+    installments: List[Dict] = field(default_factory=list)
+
+    @property
+    def halfwidth(self) -> float:
+        return observed_halfwidth(self.accepted, self.consumed)
+
+
+class CampaignAllocator:
+    """One global trial budget, granted to campaign cells in rounds.
+
+    Round 1 probes every cell with at most ``probe_trials`` (enough for the
+    Wilson stop's ``min_trials`` gate to clear) so lopsided cells converge
+    and return the rest of their fair share to the pool.  Every later round
+    estimates each unconverged cell's *remaining need* from the observed
+    interval — Wilson halfwidth shrinks like ``1/sqrt(n)``, so a cell at
+    halfwidth ``w`` after ``n`` trials needs roughly ``n * ((w/target)^2 -
+    1)`` more — and grants the pool need-proportionally, widest cells
+    first, each grant floored at ``min_installment`` while the need
+    estimate exceeds it.  Converged (and failed) cells receive nothing.
+
+    The allocator only ever books *consumed* trials against the budget:
+    an installment that converges mid-flight (the cooperative streamed stop)
+    returns its unspent grant to the pool implicitly.  ``grants()`` returns
+    an empty table when the pool is exhausted or no live cell remains —
+    the campaign loop's termination condition.
+    """
+
+    def __init__(
+        self,
+        names: Sequence[str],
+        global_budget: int,
+        target_halfwidth: float,
+        min_installment: int = DEFAULT_CHUNK,
+        probe_trials: Optional[int] = None,
+        need_margin: float = 1.25,
+    ):
+        if not names:
+            raise ValueError("allocator needs at least one cell")
+        if len(set(names)) != len(names):
+            raise ValueError("cell names must be unique")
+        if global_budget <= 0:
+            raise ValueError("global_budget must be positive")
+        validate_halfwidth(target_halfwidth, "target_halfwidth")
+        if min_installment <= 0:
+            raise ValueError("min_installment must be positive")
+        if need_margin < 1.0:
+            raise ValueError("need_margin must be >= 1")
+        self.global_budget = int(global_budget)
+        self.target_halfwidth = float(target_halfwidth)
+        self.min_installment = int(min_installment)
+        self.probe_trials = (
+            int(probe_trials) if probe_trials is not None else 2 * self.min_installment
+        )
+        if self.probe_trials <= 0:
+            raise ValueError("probe_trials must be positive")
+        self.need_margin = float(need_margin)
+        self.rounds = 0
+        self._order = list(names)
+        self.cells: Dict[str, CellLedger] = {
+            name: CellLedger(name) for name in self._order
+        }
+
+    @property
+    def consumed_total(self) -> int:
+        return sum(cell.consumed for cell in self.cells.values())
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.global_budget - self.consumed_total)
+
+    def counts(self, name: str) -> Tuple[int, int]:
+        """The cell's cumulative ``(accepted, consumed)`` counts so far."""
+        cell = self.cells[name]
+        return cell.accepted, cell.consumed
+
+    def live(self) -> List[CellLedger]:
+        """Cells still competing for budget, in declaration order."""
+        return [
+            self.cells[name]
+            for name in self._order
+            if not (self.cells[name].converged or self.cells[name].failed)
+        ]
+
+    def _need(self, cell: CellLedger, fair_share: int) -> int:
+        """Estimated trials the cell still needs to reach the target."""
+        halfwidth = cell.halfwidth
+        if not math.isfinite(halfwidth):
+            # Never probed (a starved round-1 straggler): fall back to an
+            # even share of what is left.
+            return max(self.min_installment, fair_share)
+        ratio = halfwidth / self.target_halfwidth
+        estimate = cell.consumed * (ratio * ratio - 1.0) * self.need_margin
+        return max(self.min_installment, math.ceil(estimate))
+
+    def grants(self) -> Dict[str, int]:
+        """The next round's grant table; empty means the campaign is done.
+
+        The sum of the grants never exceeds the remaining pool, and is at
+        least 1 whenever the table is non-empty — so consuming the grants
+        strictly shrinks the pool and the round loop terminates.
+        """
+        live = self.live()
+        pool = self.remaining
+        if pool <= 0 or not live:
+            return {}
+        self.rounds += 1
+        grants: Dict[str, int] = {}
+        if self.rounds == 1:
+            fair, extra = divmod(pool, len(live))
+            for index, cell in enumerate(live):
+                want = min(fair + (1 if index < extra else 0), self.probe_trials)
+                if want > 0:
+                    grants[cell.name] = want
+        else:
+            fair_share = max(1, pool // len(live))
+            needs = {cell.name: self._need(cell, fair_share) for cell in live}
+            total_need = sum(needs.values())
+            if total_need <= pool:
+                grants = dict(needs)
+            else:
+                # Widest-first proportional split of the whole pool
+                # (declaration order breaks halfwidth ties deterministically).
+                ordered = sorted(
+                    live,
+                    key=lambda cell: (
+                        -cell.halfwidth if math.isfinite(cell.halfwidth) else -math.inf,
+                        self._order.index(cell.name),
+                    ),
+                )
+                shares = {
+                    cell.name: (pool * needs[cell.name]) // total_need
+                    for cell in ordered
+                }
+                leftover = pool - sum(shares.values())
+                for cell in ordered:
+                    if leftover <= 0:
+                        break
+                    shares[cell.name] += 1
+                    leftover -= 1
+                grants = {name: n for name, n in shares.items() if n > 0}
+        metrics = get_metrics()
+        metrics.counter("controller.rounds").inc()
+        metrics.counter("controller.grants").inc(len(grants))
+        record_event(
+            "controller.round",
+            {
+                "round": self.rounds,
+                "pool": pool,
+                "live_cells": len(live),
+                "grants": dict(grants),
+            },
+        )
+        return grants
+
+    def settle(
+        self, name: str, first_trial: int, granted: int, accepted: int, trials: int
+    ) -> None:
+        """Book one finished installment against the budget.
+
+        ``first_trial`` must equal the cell's consumed prefix — installments
+        extend the counter range contiguously, never rewrite it.  ``trials``
+        may be short of ``granted`` (the streamed stop fired); only the
+        consumed part is charged, the rest stays in the pool.
+        """
+        cell = self.cells[name]
+        if first_trial != cell.consumed:
+            raise ValueError(
+                f"installment for {name!r} starts at trial {first_trial}, but "
+                f"the cell's consumed prefix ends at {cell.consumed}"
+            )
+        if trials < 0 or accepted < 0 or accepted > trials:
+            raise ValueError("invalid installment counts")
+        cell.consumed += trials
+        cell.accepted += accepted
+        cell.installments.append(
+            {
+                "round": self.rounds,
+                "first_trial": first_trial,
+                "granted": granted,
+                "trials": trials,
+                "accepted": accepted,
+            }
+        )
+        metrics = get_metrics()
+        metrics.counter("controller.granted_trials").inc(granted)
+        metrics.counter("controller.consumed_trials").inc(trials)
+        if granted > trials:
+            metrics.counter("controller.returned_trials").inc(granted - trials)
+        if not cell.converged and cell.halfwidth <= self.target_halfwidth:
+            cell.converged = True
+            metrics.counter("controller.converged_cells").inc()
+            record_event(
+                "controller.converged",
+                {
+                    "cell": name,
+                    "round": self.rounds,
+                    "consumed": cell.consumed,
+                    "halfwidth": cell.halfwidth,
+                },
+            )
+
+    def fail(self, name: str) -> None:
+        """Stop granting to a cell whose installments keep failing."""
+        self.cells[name].failed = True
+        record_event("controller.cell_failed", {"cell": name, "round": self.rounds})
+
+    def history(self, name: str) -> Dict:
+        """The cell's allocation record — enough to resume its counter range."""
+        cell = self.cells[name]
+        return {
+            "global_budget": self.global_budget,
+            "target_halfwidth": self.target_halfwidth,
+            "converged": cell.converged,
+            "rounds": self.rounds,
+            "consumed": cell.consumed,
+            "installments": list(cell.installments),
+        }
+
+    def summary(self) -> Dict:
+        """Campaign-level totals for span attributes and CLI output."""
+        cells = self.cells.values()
+        return {
+            "global_budget": self.global_budget,
+            "target_halfwidth": self.target_halfwidth,
+            "consumed": self.consumed_total,
+            "remaining": self.remaining,
+            "rounds": self.rounds,
+            "cells": len(self.cells),
+            "converged_cells": sum(1 for cell in cells if cell.converged),
+            "failed_cells": sum(1 for cell in cells if cell.failed),
+        }

@@ -168,6 +168,11 @@ def _run_shard(
             rng_mode=options["rng_mode"],
             seed_mode=options["seed_mode"],
             chunk_size=options["chunk_size"],
+            # The chunk-schedule seam: a picklable policy rides in the
+            # options dict and is instantiated per shard engine-side (the
+            # session holds the mutable growth state).  `.get` keeps old
+            # payload dicts (tests, recorded fixtures) valid.
+            chunk_schedule=options.get("chunk_policy"),
             vectorize=options["vectorize"],
             first_trial=shard.start,
             should_stop=should_stop,
@@ -749,10 +754,14 @@ def estimate_acceptance_sharded(
     rng_mode: Optional[str] = None,
     seed_mode: str = "mix",
     chunk_size: int = DEFAULT_CHUNK,
+    chunk_policy=None,
     stop_halfwidth: Optional[float] = None,
     min_trials: int = 2 * DEFAULT_CHUNK,
     vectorize: Optional[bool] = None,
     stream_progress: bool = False,
+    first_trial: int = 0,
+    prior: Optional[Tuple[int, int]] = None,
+    progress_observer: Optional[Callable[[int, int], None]] = None,
     shard_timeout: Optional[float] = None,
     max_retries: int = 0,
     retry_policy: Optional[RetryPolicy] = None,
@@ -784,6 +793,25 @@ def estimate_acceptance_sharded(
     streamed run is count-identical to the non-streamed (and single-process)
     run on every backend and rng mode.
 
+    Adaptive-budget hooks (see :mod:`repro.parallel.controller`):
+
+    - ``chunk_policy`` is a picklable chunk schedule shipped to every shard
+      through the payload options — each shard instantiates its own session
+      engine-side, so chunk growth is per-shard state.  Any policy is
+      per-trial verdict-identical to the fixed-chunk run (the chunk-schedule
+      seam only re-partitions the shard's fixed counter range).
+    - ``first_trial`` shifts the whole sharded range: the call covers
+      counters ``[first_trial, first_trial + trials)``, exactly as the
+      engine-level hook does for a single shard.  An *installment* run
+      extending an earlier one passes the consumed prefix length here.
+    - ``prior`` seeds the stop rule with cumulative ``(accepted, trials)``
+      counts from the already-consumed prefix, so ``stop_halfwidth`` (and
+      ``min_trials``) apply to the *cumulative* estimate across
+      installments.  The returned estimate still reports only this call's
+      counts — the caller owns the cumulative ledger.
+    - ``progress_observer`` receives the merged cumulative totals (prior
+      included) after every streamed update; observational only.
+
     Fault tolerance (``shard_timeout`` / ``max_retries`` / ``retry_policy``,
     see :mod:`repro.parallel.supervision`): setting any of them routes the
     run through a :class:`~repro.parallel.supervision.ShardSupervisor` —
@@ -795,6 +823,11 @@ def estimate_acceptance_sharded(
     """
     if trials <= 0:
         raise ValueError("trials must be positive")
+    if first_trial < 0:
+        raise ValueError("first_trial must be non-negative")
+    prior_accepted, prior_trials = prior if prior is not None else (0, 0)
+    if prior_accepted < 0 or prior_trials < 0 or prior_accepted > prior_trials:
+        raise ValueError("prior must be valid (accepted, trials) counts")
     if planner is not None and shard_count is not None:
         raise ValueError("pass either planner or shard_count, not both")
     if planner is None:
@@ -818,6 +851,7 @@ def estimate_acceptance_sharded(
             "workers": instance.workers,
             "trials": trials,
             "seed": seed,
+            "first_trial": first_trial,
             "supervised": supervised,
             "streamed": stream_progress,
         }
@@ -840,11 +874,24 @@ def estimate_acceptance_sharded(
             shard_target = target.prepare(vectorize)
 
         shards = planner.plan(trials, instance.workers)
+        if first_trial:
+            # Installment runs extend an earlier consumed prefix: shift the
+            # whole planned range so shard provenance records the *global*
+            # counter positions the trials actually derive their seeds from.
+            shards = tuple(
+                Shard(
+                    index=shard.index,
+                    start=shard.start + first_trial,
+                    stop=shard.stop + first_trial,
+                )
+                for shard in shards
+            )
         options = {
             "seed": seed,
             "rng_mode": rng_mode,
             "seed_mode": seed_mode,
             "chunk_size": chunk_size,
+            "chunk_policy": chunk_policy,
             "vectorize": vectorize,
         }
         if supervised:
@@ -863,13 +910,18 @@ def estimate_acceptance_sharded(
         on_progress = None
         if stream_progress:
             aggregator = StreamingAggregator(
-                stop_halfwidth=stop_halfwidth, min_trials=min_trials
+                stop_halfwidth=stop_halfwidth,
+                min_trials=min_trials,
+                baseline=(prior_accepted, prior_trials),
+                observer=progress_observer,
             )
             on_progress = aggregator.update
 
         results: List[ShardResult] = []
-        accepted = 0
-        done = 0
+        # Stop checks act on the cumulative counts: the prior prefix plus
+        # whatever this call has merged so far.
+        accepted = prior_accepted
+        done = prior_trials
         stopped = False
         report: Optional[RunReport] = None
 

@@ -172,13 +172,33 @@ class StreamingAggregator:
     via :meth:`bind_stop` (exactly once; updates that arrive before the
     binding latch the decision and fire on bind).  Without a stop rule the
     aggregator only observes — streaming never changes results.
+
+    ``baseline`` seeds the running totals with cumulative ``(accepted,
+    trials)`` counts from *earlier* runs over the same trial sequence — the
+    installment mechanism of :mod:`repro.parallel.controller`: a follow-up
+    run covering ``[consumed, consumed + grant)`` passes the counts of the
+    already-consumed prefix, so the stop rule acts on the cell's cumulative
+    Wilson interval rather than the installment's own.  A baseline that
+    already satisfies the stop rule latches it at construction (the bound
+    stop fires immediately).
+
+    ``observer``, when set, receives the merged cumulative ``(accepted,
+    trials)`` totals after every folded update — the live feed a
+    :class:`~repro.parallel.controller.CampaignAllocator` (or any other
+    monitor) consumes.  Observational only: called outside the aggregator
+    lock, after the stop decision for that update is made.
     """
 
     def __init__(
         self,
         stop_halfwidth: Optional[float] = None,
         min_trials: int = 0,
+        baseline: Tuple[int, int] = (0, 0),
+        observer: Optional[Callable[[int, int], None]] = None,
     ):
+        base_accepted, base_trials = baseline
+        if base_accepted < 0 or base_trials < 0 or base_accepted > base_trials:
+            raise ValueError("baseline must be valid (accepted, trials) counts")
         self._partials: Dict[int, Tuple[int, int]] = {}
         self._lock = threading.Lock()
         self._stop_halfwidth = stop_halfwidth
@@ -186,9 +206,18 @@ class StreamingAggregator:
         self._stop_cb: Optional[Callable[[], None]] = None
         self._satisfied = False
         self._fired = False
-        self.accepted = 0
-        self.trials = 0
+        self._observer = observer
+        self.accepted = base_accepted
+        self.trials = base_trials
         self.updates = 0
+        if (
+            stop_halfwidth is not None
+            and base_trials > 0
+            and base_trials >= min_trials
+        ):
+            low, high = wilson_interval(base_accepted, base_trials)
+            if high - low <= 2 * stop_halfwidth:
+                self._satisfied = True
 
     @property
     def satisfied(self) -> bool:
@@ -221,6 +250,7 @@ class StreamingAggregator:
                 not self._satisfied
                 and self._stop_halfwidth is not None
                 and self.trials >= self._min_trials
+                and self.trials > 0
             ):
                 low, high = wilson_interval(self.accepted, self.trials)
                 if high - low <= 2 * self._stop_halfwidth:
@@ -228,8 +258,11 @@ class StreamingAggregator:
                     if self._stop_cb is not None and not self._fired:
                         self._fired = True
                         fire = self._stop_cb
+            observed = (self.accepted, self.trials)
         if fire is not None:
             fire()
+        if self._observer is not None:
+            self._observer(*observed)
 
 
 _ROUTER_SENTINEL = None

@@ -239,6 +239,32 @@ class TestProfileFromSnapshot:
         assert record["workers"] == 2
         assert record["samples"] == [490.0, 500.0]
 
+    def test_adaptive_rows_become_rateless_speedup_records(self):
+        snapshot = {
+            "cpu_count": 2,
+            "adaptive_results": [{
+                "scheme": "adaptive-campaign(mixed)",
+                "executor": "process",
+                "workers": 2,
+                "fixed_provision_trials": 9000,
+                "adaptive_total_trials": 5000,
+                "speedup": 1.8,
+            }],
+        }
+        _, records = profile_from_snapshot(snapshot, commit="c", timestamp="t")
+        (record,) = records
+        assert record["backend"] == "campaign(process)"
+        assert record["mode"] == "adaptive"
+        assert record["speedup"] == 1.8
+        # No trials_per_sec: the per-kernel check must treat the record as
+        # "new" (non-gating) while the integral check gates the speedup.
+        assert "trials_per_sec" not in record
+        comparison = average_amount_threshold(None, record)
+        assert comparison.verdict == "new"
+        key = (record["workload"], record["mode"], record["backend"])
+        integrals = integral_comparison({key: record}, {key: record})
+        assert [i.verdict for i in integrals] == ["ok"]
+
     def test_real_repo_snapshot_flattens(self):
         snapshot_path = REPO_ROOT / "BENCH_engine.json"
         if not snapshot_path.exists():
@@ -247,7 +273,10 @@ class TestProfileFromSnapshot:
         _, records = profile_from_snapshot(snapshot, commit="c", timestamp="t")
         assert records, "committed snapshot produced no kernel records"
         for record in records:
-            assert record["trials_per_sec"] > 0
+            # Adaptive-campaign records carry a speedup but no rate (trial
+            # totals, not wall-clock, are their metric).
+            if record["mode"] != "adaptive":
+                assert record["trials_per_sec"] > 0
             assert {"workload", "mode", "backend", "speedup"} <= set(record)
         assert any(r["backend"].startswith("sharded(") for r in records)
 

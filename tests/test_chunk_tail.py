@@ -25,7 +25,11 @@ import pytest
 
 from repro.core.seeding import derive_trial_seed
 from repro.engine import estimate_acceptance_fast
-from repro.parallel import workload_spec
+from repro.parallel import (
+    FixedChunkPolicy,
+    GeometricChunkPolicy,
+    workload_spec,
+)
 from repro.simulation.metrics import AcceptanceEstimate
 
 
@@ -170,6 +174,70 @@ def test_spec_scheme_partition_reproduces_whole(name):
     )
     assert AcceptanceEstimate.merge([left, right]) == whole
     assert right.accepted == oracle_counts(plan, 7, split, trials)
+
+
+# Chunk schedules (PR 10): any policy only re-partitions a run's counter
+# range into differently-sized prefixes, so the per-trial verdicts — and
+# therefore the counts — must stay bit-identical to the fixed-chunk run.
+CHUNK_POLICY_ROWS = [
+    FixedChunkPolicy(chunk_size=33),
+    GeometricChunkPolicy(initial=1, factor=2.0, max_chunk=64),
+    GeometricChunkPolicy(initial=7, factor=3.0, max_chunk=31),
+]
+
+
+@pytest.mark.parametrize(
+    "policy", CHUNK_POLICY_ROWS, ids=lambda p: p.describe()
+)
+@pytest.mark.parametrize("trials", [1, 10, 65, 100])
+def test_chunk_policy_tail_matches_oracle(noisy_plan, policy, trials):
+    estimate = estimate_acceptance_fast(
+        noisy_plan, trials, seed=3, chunk_schedule=policy
+    )
+    assert estimate.trials == trials
+    assert estimate.accepted == oracle_counts(noisy_plan, 3, 0, trials)
+
+
+@pytest.mark.parametrize(
+    "policy", CHUNK_POLICY_ROWS, ids=lambda p: p.describe()
+)
+def test_chunk_policy_partition_reproduces_whole(noisy_plan, policy):
+    trials, split = 100, 33
+    whole = estimate_acceptance_fast(noisy_plan, trials, seed=7, chunk_size=32)
+    left = estimate_acceptance_fast(
+        noisy_plan, split, seed=7, chunk_schedule=policy
+    )
+    right = estimate_acceptance_fast(
+        noisy_plan, trials - split, seed=7, first_trial=split,
+        chunk_schedule=policy,
+    )
+    assert AcceptanceEstimate.merge([left, right]) == whole
+
+
+def test_chunk_policy_on_vector_kernel(vector_plan):
+    policy = GeometricChunkPolicy(initial=2, factor=2.0, max_chunk=32)
+    estimate = estimate_acceptance_fast(
+        vector_plan, 100, seed=3, chunk_schedule=policy, vectorize=True
+    )
+    assert estimate.trials == 100
+    assert estimate.accepted == oracle_counts(vector_plan, 3, 0, 100)
+
+
+def test_stopped_adaptive_run_is_an_exact_prefix(noisy_plan):
+    # A geometric-schedule run that stops early reports some prefix length;
+    # re-running that exact budget under a *different* chunking must land on
+    # identical counts — the stop decision never leaks into any verdict.
+    policy = GeometricChunkPolicy(initial=4, factor=2.0, max_chunk=128)
+    stopped = estimate_acceptance_fast(
+        noisy_plan, 5000, seed=9, chunk_schedule=policy,
+        stop_halfwidth=0.08, min_trials=16,
+    )
+    assert stopped.trials < 5000  # the stop rule actually fired
+    replay = estimate_acceptance_fast(
+        noisy_plan, stopped.trials, seed=9, chunk_size=17
+    )
+    assert (replay.accepted, replay.trials) == (stopped.accepted, stopped.trials)
+    assert stopped.accepted == oracle_counts(noisy_plan, 9, 0, stopped.trials)
 
 
 def test_constant_verdict_short_circuit_still_reports_requested(vector_plan):

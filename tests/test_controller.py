@@ -1,0 +1,607 @@
+"""Adaptive budget controller suite: chunk policies, installments, allocator.
+
+Pins the decision-validity contract of :mod:`repro.parallel.controller`: chunk
+schedules and budget allocation only decide *future counter ranges*, so any
+policy's per-trial verdicts are bit-identical to the fixed-chunk run over the
+same range.  Covers the four layers the controller threads through:
+
+- chunk-policy objects and their ``--chunk-policy`` spec grammar;
+- the :class:`StreamingAggregator` baseline/observer hooks (installments);
+- ``estimate_acceptance_sharded``'s ``first_trial``/``prior`` seam;
+- :class:`CampaignAllocator` rounds and the global-budget campaign loop,
+  end to end through ``run_campaign`` and the CLI.
+"""
+
+import json
+import math
+import multiprocessing
+import pickle
+
+import pytest
+
+from repro.parallel import (
+    Campaign,
+    CampaignAllocator,
+    Cell,
+    DEFAULT_CHUNK,
+    FixedChunkPolicy,
+    GeometricChunkPolicy,
+    JsonlSink,
+    MemorySink,
+    StreamingAggregator,
+    estimate_acceptance_sharded,
+    parse_chunk_policy,
+    run_campaign,
+    workload_spec,
+)
+from repro.parallel.cli import main as cli_main
+from repro.parallel.controller import observed_halfwidth, validate_halfwidth
+from repro.parallel.factories import compiled_spanning_tree
+from repro.parallel.spec import PlanSpec
+from repro.simulation.metrics import AcceptanceEstimate, wilson_interval
+
+
+def easy_spec():
+    # Honest spanning-tree run: every trial accepts, converges in the probe.
+    return workload_spec("spanning-tree", rng_mode="fast", node_count=12)
+
+
+def noisy_spec():
+    # Two-sided acceptance: nontrivial interval, needs real budget.
+    return workload_spec(
+        "noisy-spanning-tree", rng_mode="fast", node_count=18, flip_milli=4
+    )
+
+
+# ---------------------------------------------------------------------------
+# chunk policies
+# ---------------------------------------------------------------------------
+
+
+class TestChunkPolicies:
+    def test_parse_fixed(self):
+        assert parse_chunk_policy("fixed") == FixedChunkPolicy()
+        assert parse_chunk_policy("fixed").chunk_size == DEFAULT_CHUNK
+        assert parse_chunk_policy("fixed:128") == FixedChunkPolicy(chunk_size=128)
+
+    def test_parse_geometric(self):
+        assert parse_chunk_policy("geometric") == GeometricChunkPolicy()
+        policy = parse_chunk_policy("geometric:initial=4,factor=3,max=64")
+        assert policy == GeometricChunkPolicy(initial=4, factor=3.0, max_chunk=64)
+
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            FixedChunkPolicy(chunk_size=33),
+            GeometricChunkPolicy(),
+            GeometricChunkPolicy(initial=7, factor=3.0, max_chunk=31),
+        ],
+    )
+    def test_describe_round_trips(self, policy):
+        assert parse_chunk_policy(policy.describe()) == policy
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "bogus",
+            "fixed:x",
+            "fixed:0",
+            "geometric:speed=9",
+            "geometric:initial=zero",
+            "geometric:initial=0",
+            "geometric:factor=0.5",
+            "geometric:initial=16,max=8",
+        ],
+    )
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            parse_chunk_policy(text)
+
+    def test_fixed_session_is_constant(self):
+        session = FixedChunkPolicy(chunk_size=48).session()
+        assert [session(0, 0, 10**6), session(9, 48, 100), session(9, 96, 4)] == [
+            48, 48, 48,
+        ]
+
+    def test_geometric_growth_is_monotone_and_capped(self):
+        policy = GeometricChunkPolicy(initial=4, factor=2.0, max_chunk=64)
+        session = policy.session()
+        sizes = []
+        done = 0
+        for _ in range(12):
+            # Halfwidth shrinks as done grows (p=0.5 worst case), so every
+            # round tightens the interval and the size grows.
+            sizes.append(session(done // 2, done, 10**6))
+            done += 1000
+        assert sizes[0] == 4
+        assert sizes == sorted(sizes)
+        assert sizes[-1] == 64
+
+    def test_geometric_holds_when_interval_does_not_tighten(self):
+        session = GeometricChunkPolicy(initial=8, factor=2.0).session()
+        first = session(50, 100, 10**6)
+        # Same counts again: halfwidth identical, not tighter -> size holds.
+        assert session(50, 100, 10**6) == first
+
+    def test_engine_clamps_oversized_chunks(self):
+        spec = noisy_spec()
+        base = estimate_acceptance_sharded(spec, 100, seed=3, executor="serial")
+        huge = estimate_acceptance_sharded(
+            spec, 100, seed=3, executor="serial",
+            chunk_policy=FixedChunkPolicy(chunk_size=10**6),
+        )
+        assert huge.estimate == base.estimate
+
+    @pytest.mark.parametrize(
+        "policy",
+        [FixedChunkPolicy(chunk_size=17), GeometricChunkPolicy(initial=2)],
+    )
+    def test_policies_pickle(self, policy):
+        assert pickle.loads(pickle.dumps(policy)) == policy
+
+    def test_validate_halfwidth_bounds(self):
+        assert validate_halfwidth(0.05) == 0.05
+        for bad in (0.0, -0.1, 0.5, 0.7):
+            with pytest.raises(ValueError):
+                validate_halfwidth(bad)
+
+    def test_observed_halfwidth_matches_wilson(self):
+        low, high = wilson_interval(40, 100)
+        assert observed_halfwidth(40, 100) == pytest.approx((high - low) / 2)
+        assert observed_halfwidth(0, 0) == math.inf
+
+
+# ---------------------------------------------------------------------------
+# streaming baseline (the installment seam in StreamingAggregator)
+# ---------------------------------------------------------------------------
+
+
+class TestStreamingBaseline:
+    def test_baseline_seeds_running_totals(self):
+        aggregator = StreamingAggregator(baseline=(3, 10))
+        assert (aggregator.accepted, aggregator.trials) == (3, 10)
+        aggregator.update(0, 2, 5)
+        assert (aggregator.accepted, aggregator.trials) == (5, 15)
+
+    def test_satisfying_baseline_latches_at_construction(self):
+        aggregator = StreamingAggregator(stop_halfwidth=0.2, baseline=(200, 200))
+        assert aggregator.satisfied
+        fired = []
+        aggregator.bind_stop(lambda: fired.append(True))
+        assert fired == [True]
+
+    def test_baseline_respects_min_trials_gate(self):
+        aggregator = StreamingAggregator(
+            stop_halfwidth=0.2, min_trials=100, baseline=(50, 50)
+        )
+        assert not aggregator.satisfied
+
+    def test_observer_sees_cumulative_totals(self):
+        seen = []
+        aggregator = StreamingAggregator(
+            baseline=(3, 10), observer=lambda a, t: seen.append((a, t))
+        )
+        aggregator.update(0, 2, 5)
+        aggregator.update(1, 1, 4)
+        assert seen == [(5, 15), (6, 19)]
+
+    @pytest.mark.parametrize("baseline", [(5, 3), (-1, 0), (0, -2)])
+    def test_invalid_baseline_rejected(self, baseline):
+        with pytest.raises(ValueError):
+            StreamingAggregator(baseline=baseline)
+
+
+# ---------------------------------------------------------------------------
+# installments through estimate_acceptance_sharded
+# ---------------------------------------------------------------------------
+
+
+class TestInstallments:
+    def test_installments_merge_to_the_one_shot_run(self):
+        spec = noisy_spec()
+        whole = estimate_acceptance_sharded(spec, 300, seed=11, executor="serial")
+        first = estimate_acceptance_sharded(spec, 120, seed=11, executor="serial")
+        prior = (first.estimate.accepted, first.estimate.trials)
+        second = estimate_acceptance_sharded(
+            spec, 180, seed=11, executor="serial", first_trial=120, prior=prior
+        )
+        assert second.estimate.trials == 180  # the call's own counts only
+        merged = AcceptanceEstimate.merge([first.estimate, second.estimate])
+        assert merged == whole.estimate
+
+    def test_prior_drives_the_cumulative_stop(self):
+        # The prefix already satisfies the stop rule, so the follow-up
+        # installment stops far short of its grant.
+        sharded = estimate_acceptance_sharded(
+            easy_spec(), 512, seed=0, executor="serial",
+            stop_halfwidth=0.05, stream_progress=True,
+            first_trial=256, prior=(256, 256),
+        )
+        assert sharded.stopped_early
+        assert sharded.estimate.trials < 512
+
+    def test_first_trial_rejects_negative(self):
+        with pytest.raises(ValueError):
+            estimate_acceptance_sharded(
+                easy_spec(), 10, executor="serial", first_trial=-1
+            )
+
+    @pytest.mark.parametrize("prior", [(5, 3), (-1, 0)])
+    def test_invalid_prior_rejected(self, prior):
+        with pytest.raises(ValueError):
+            estimate_acceptance_sharded(
+                easy_spec(), 10, executor="serial", prior=prior
+            )
+
+
+# ---------------------------------------------------------------------------
+# the campaign allocator
+# ---------------------------------------------------------------------------
+
+
+class TestAllocator:
+    def make(self, **kwargs):
+        defaults = dict(
+            names=["a", "b"],
+            global_budget=1000,
+            target_halfwidth=0.05,
+            min_installment=64,
+        )
+        defaults.update(kwargs)
+        return CampaignAllocator(**defaults)
+
+    def test_probe_round_splits_fairly_and_caps(self):
+        allocator = self.make()
+        assert allocator.grants() == {"a": 128, "b": 128}
+
+    def test_tiny_pool_still_grants_something(self):
+        allocator = self.make(global_budget=3)
+        assert allocator.grants() == {"a": 2, "b": 1}
+
+    def test_converged_cells_are_starved(self):
+        allocator = self.make()
+        allocator.grants()
+        # "a" converges in its probe (lopsided: 128/128 accepted), "b" stays
+        # wide (64/128 is the worst case).
+        allocator.settle("a", first_trial=0, granted=128, accepted=128, trials=128)
+        allocator.settle("b", first_trial=0, granted=128, accepted=64, trials=128)
+        assert allocator.cells["a"].converged
+        second = allocator.grants()
+        assert "a" not in second and "b" in second
+
+    def test_wider_cell_gets_the_larger_grant(self):
+        allocator = self.make(
+            names=["wide", "narrow"], global_budget=10_000, target_halfwidth=0.01
+        )
+        allocator.grants()
+        allocator.settle("wide", first_trial=0, granted=128, accepted=64, trials=128)
+        allocator.settle(
+            "narrow", first_trial=0, granted=128, accepted=127, trials=128
+        )
+        grants = allocator.grants()
+        assert grants["wide"] > grants["narrow"]
+
+    def test_grants_never_exceed_pool(self):
+        allocator = self.make(global_budget=300)
+        while True:
+            grants = allocator.grants()
+            if not grants:
+                break
+            assert sum(grants.values()) <= allocator.global_budget
+            for name, granted in grants.items():
+                prior = allocator.counts(name)
+                # Worst-case consumption: everything granted, never converges.
+                allocator.settle(
+                    name,
+                    first_trial=prior[1],
+                    granted=granted,
+                    accepted=granted // 2,
+                    trials=granted,
+                )
+        assert allocator.consumed_total <= allocator.global_budget
+        assert allocator.remaining == allocator.global_budget - allocator.consumed_total
+
+    def test_termination_under_simulated_consumption(self):
+        allocator = self.make(global_budget=5000, target_halfwidth=0.02)
+        rounds = 0
+        while rounds < 1000:
+            grants = allocator.grants()
+            if not grants:
+                break
+            rounds += 1
+            for name, granted in grants.items():
+                prior = allocator.counts(name)
+                accepted = granted if name == "a" else granted // 2
+                allocator.settle(
+                    name, first_trial=prior[1], granted=granted,
+                    accepted=accepted, trials=granted,
+                )
+        assert rounds < 1000  # the loop drained the pool or converged
+        assert allocator.consumed_total <= allocator.global_budget
+
+    def test_unspent_grant_returns_to_the_pool(self):
+        allocator = self.make()
+        allocator.grants()
+        # The streamed stop fired 100 trials into a 128-trial grant: only
+        # the consumed part is charged.
+        allocator.settle("a", first_trial=0, granted=128, accepted=100, trials=100)
+        allocator.settle("b", first_trial=0, granted=128, accepted=64, trials=128)
+        assert allocator.consumed_total == 228
+        assert allocator.remaining == 1000 - 228
+
+    def test_settle_enforces_contiguous_installments(self):
+        allocator = self.make()
+        allocator.grants()
+        with pytest.raises(ValueError):
+            allocator.settle("a", first_trial=5, granted=64, accepted=3, trials=5)
+        with pytest.raises(ValueError):
+            allocator.settle("a", first_trial=0, granted=64, accepted=9, trials=5)
+
+    def test_failed_cells_get_nothing(self):
+        allocator = self.make()
+        allocator.grants()
+        allocator.settle("b", first_trial=0, granted=128, accepted=64, trials=128)
+        allocator.fail("a")
+        assert set(allocator.grants()) == {"b"}
+
+    def test_history_records_the_counter_prefix(self):
+        allocator = self.make()
+        allocator.grants()
+        allocator.settle("a", first_trial=0, granted=128, accepted=100, trials=100)
+        history = allocator.history("a")
+        assert history["global_budget"] == 1000
+        assert history["target_halfwidth"] == 0.05
+        assert history["consumed"] == 100
+        assert history["converged"] is True
+        assert history["installments"] == [
+            {
+                "round": 1,
+                "first_trial": 0,
+                "granted": 128,
+                "trials": 100,
+                "accepted": 100,
+            }
+        ]
+        summary = allocator.summary()
+        assert summary["consumed"] == 100 and summary["converged_cells"] == 1
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(names=[]),
+            dict(names=["a", "a"]),
+            dict(global_budget=0),
+            dict(target_halfwidth=0.5),
+            dict(target_halfwidth=0.0),
+            dict(min_installment=0),
+            dict(probe_trials=0),
+            dict(need_margin=0.5),
+        ],
+    )
+    def test_constructor_validation(self, kwargs):
+        with pytest.raises(ValueError):
+            self.make(**kwargs)
+
+
+# ---------------------------------------------------------------------------
+# the global-budget campaign loop
+# ---------------------------------------------------------------------------
+
+
+def adaptive_campaign():
+    return Campaign(
+        name="adaptive",
+        cells=(
+            Cell(name="easy", spec=easy_spec(), trials=64, seed=0),
+            Cell(name="hard", spec=noisy_spec(), trials=64, seed=0),
+        ),
+    )
+
+
+def assert_contiguous(allocation):
+    consumed = 0
+    for installment in allocation["installments"]:
+        assert installment["first_trial"] == consumed
+        consumed += installment["trials"]
+    assert consumed == allocation["consumed"]
+
+
+class TestAdaptiveCampaign:
+    def test_serial_adaptive_campaign(self):
+        records = run_campaign(
+            adaptive_campaign(),
+            executor="serial",
+            sink=MemorySink(),
+            global_budget=4000,
+            target_halfwidth=0.05,
+        )
+        assert [record["cell"] for record in records] == ["easy", "hard"]
+        total = 0
+        for record in records:
+            assert record["status"] == "ok"
+            allocation = record["allocation"]
+            assert allocation["converged"] is True
+            assert record["stopped_early"] is True
+            assert_contiguous(allocation)
+            assert record["trials"] == allocation["consumed"]
+            # The stop contract: the recorded cumulative interval satisfies
+            # the target halfwidth.
+            width = record["wilson_high"] - record["wilson_low"]
+            assert width <= 2 * 0.05
+            total += allocation["consumed"]
+            json.dumps(record)  # records must serialize as-is
+        assert total <= 4000
+        # The lopsided cell converged inside its probe grant; the noisy cell
+        # needed more.
+        easy, hard = records
+        assert easy["allocation"]["consumed"] <= 128
+        assert hard["allocation"]["consumed"] > easy["allocation"]["consumed"]
+
+    def test_adaptive_counts_are_a_reproducible_prefix(self):
+        # Decision-validity: re-running the plain fixed path over exactly the
+        # consumed prefix reproduces every recorded count bit for bit.
+        records = run_campaign(
+            adaptive_campaign(),
+            executor="serial",
+            sink=MemorySink(),
+            global_budget=4000,
+            target_halfwidth=0.05,
+        )
+        campaign = adaptive_campaign()
+        cells = {cell.name: cell for cell in campaign.cells}
+        for record in records:
+            cell = cells[record["cell"]]
+            replay = estimate_acceptance_sharded(
+                cell.spec, record["trials"], seed=cell.seed, executor="serial"
+            )
+            assert replay.estimate.accepted == record["accepted"]
+            assert replay.estimate.trials == record["trials"]
+
+    def test_adaptive_campaign_resumes_from_sink(self, tmp_path):
+        path = tmp_path / "adaptive.jsonl"
+        kwargs = dict(global_budget=2000, target_halfwidth=0.05)
+        first = run_campaign(
+            adaptive_campaign(), executor="serial", sink=JsonlSink(path), **kwargs
+        )
+        assert len(first) == 2
+        second = run_campaign(
+            adaptive_campaign(), executor="serial", sink=JsonlSink(path), **kwargs
+        )
+        assert second == []
+
+    def test_global_budget_requires_target_halfwidth(self):
+        with pytest.raises(ValueError):
+            run_campaign(
+                adaptive_campaign(), executor="serial", sink=MemorySink(),
+                global_budget=1000,
+            )
+        with pytest.raises(ValueError):
+            run_campaign(
+                adaptive_campaign(), executor="serial", sink=MemorySink(),
+                target_halfwidth=0.05,
+            )
+
+    def test_poisoned_cell_degrades_to_failed_record(self):
+        campaign = Campaign(
+            name="degrade",
+            cells=(
+                Cell(
+                    name="bad",
+                    spec=PlanSpec.of(compiled_spanning_tree, bogus_size=3),
+                    trials=64,
+                    seed=0,
+                ),
+                Cell(name="good", spec=easy_spec(), trials=64, seed=0),
+            ),
+        )
+        records = run_campaign(
+            campaign,
+            executor="serial",
+            sink=MemorySink(),
+            global_budget=2000,
+            target_halfwidth=0.05,
+            on_cell_error="skip",
+        )
+        by_name = {record["cell"]: record for record in records}
+        assert by_name["bad"]["status"] == "failed"
+        assert "allocation" in by_name["bad"]
+        assert by_name["good"]["status"] == "ok"
+        assert by_name["good"]["allocation"]["converged"] is True
+
+    @pytest.mark.parallel_proc
+    def test_process_backend_with_cell_parallelism(self):
+        records = run_campaign(
+            adaptive_campaign(),
+            executor="process",
+            workers=2,
+            cell_parallelism=2,
+            sink=MemorySink(),
+            global_budget=3000,
+            target_halfwidth=0.05,
+            chunk_policy=GeometricChunkPolicy(initial=8, factor=2.0, max_chunk=256),
+        )
+        assert {record["status"] for record in records} == {"ok"}
+        for record in records:
+            assert_contiguous(record["allocation"])
+        assert multiprocessing.active_children() == []
+
+
+# ---------------------------------------------------------------------------
+# CLI
+# ---------------------------------------------------------------------------
+
+
+class TestCliAdaptive:
+    def test_adaptive_campaign_cli(self, tmp_path, capsys):
+        code = cli_main(
+            [
+                "campaign", "--workloads", "spanning-tree", "--rng-modes", "fast",
+                "--trials", "64", "--size", "node_count=12",
+                "--out", str(tmp_path / "cli.jsonl"),
+                "--global-budget", "2000", "--target-halfwidth", "0.05",
+                "--chunk-policy", "geometric",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "global budget:" in out
+        assert "cells reached halfwidth 0.05" in out
+
+    def test_estimate_accepts_chunk_policy(self, capsys):
+        code = cli_main(
+            [
+                "estimate", "--workload", "spanning-tree", "--trials", "96",
+                "--size", "node_count=12", "--chunk-policy", "geometric:initial=4",
+            ]
+        )
+        assert code == 0
+        assert "(96 trials)" in capsys.readouterr().out
+
+    def test_target_halfwidth_requires_global_budget(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "campaign", "--workloads", "spanning-tree", "--rng-modes",
+                    "fast", "--trials", "64", "--out", str(tmp_path / "x.jsonl"),
+                    "--target-halfwidth", "0.05",
+                ]
+            )
+
+    def test_global_budget_requires_target_halfwidth(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "campaign", "--workloads", "spanning-tree", "--rng-modes",
+                    "fast", "--trials", "64", "--out", str(tmp_path / "x.jsonl"),
+                    "--global-budget", "1000",
+                ]
+            )
+
+    def test_nonpositive_global_budget_rejected(self, tmp_path):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "campaign", "--workloads", "spanning-tree", "--rng-modes",
+                    "fast", "--trials", "64", "--out", str(tmp_path / "x.jsonl"),
+                    "--global-budget", "0", "--target-halfwidth", "0.05",
+                ]
+            )
+
+    @pytest.mark.parametrize("value", ["0", "-0.1", "0.5", "0.7", "nan"])
+    def test_halfwidth_flags_reject_out_of_range(self, value):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "estimate", "--workload", "spanning-tree", "--trials", "64",
+                    "--stop-halfwidth", value,
+                ]
+            )
+
+    def test_bad_chunk_policy_rejected(self):
+        with pytest.raises(SystemExit):
+            cli_main(
+                [
+                    "estimate", "--workload", "spanning-tree", "--trials", "64",
+                    "--chunk-policy", "bogus",
+                ]
+            )

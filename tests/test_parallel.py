@@ -123,6 +123,34 @@ class TestShardPlanner:
         with pytest.raises(ValueError):
             Shard(index=0, start=5, stop=3)
 
+    # -- degenerate budgets: the shapes the adaptive allocator produces ----
+
+    def test_fewer_trials_than_workers(self):
+        # The default policy folds a tiny budget into one shard...
+        assert [
+            (s.start, s.stop) for s in ShardPlanner().plan(3, workers=8)
+        ] == [(0, 3)]
+        # ...while a per-trial policy shatters it into 1-trial shards, never
+        # producing an empty shard.
+        shards = ShardPlanner(min_shard_trials=1).plan(3, workers=8)
+        assert [(s.start, s.stop) for s in shards] == [(0, 1), (1, 2), (2, 3)]
+
+    def test_oversubscribe_rounding(self):
+        planner = ShardPlanner(min_shard_trials=10, oversubscribe=3)
+        # 95 trials / min 10 -> 9 shards (floor), below the 12-slot cap.
+        assert planner.resolve_count(95, workers=4) == 9
+        sizes = [s.trials for s in planner.plan(95, workers=4)]
+        assert sizes == [11] * 5 + [10] * 4  # big-first, remainder spread
+        assert sum(sizes) == 95
+        # A huge budget is capped at workers * oversubscribe.
+        assert planner.resolve_count(10**4, workers=4) == 12
+
+    def test_zero_remainder_split_is_exact(self):
+        shards = ShardPlanner(min_shard_trials=25).plan(100, workers=4)
+        assert [s.trials for s in shards] == [25, 25, 25, 25]
+        covered = [t for s in shards for t in range(s.start, s.stop)]
+        assert covered == list(range(100))
+
 
 # ---------------------------------------------------------------------------
 # AcceptanceEstimate.merge
